@@ -1,0 +1,39 @@
+//! Parallelism ablation: sequential vs rayon-parallel all-pairs shortest
+//! paths on built networks of growing size — the substrate cost that
+//! dominates every social-cost evaluation in the experiment harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gncg_graph::apsp::{apsp_parallel_forced, apsp_sequential};
+use gncg_graph::AdjacencyList;
+
+fn ring_with_chords(n: usize) -> AdjacencyList {
+    let mut g = AdjacencyList::new(n);
+    for i in 0..n {
+        g.add_edge(i as u32, ((i + 1) % n) as u32, 1.0 + (i % 5) as f64);
+    }
+    for i in (0..n).step_by(7) {
+        let j = (i * i + 5) % n;
+        if i != j && !g.has_edge(i as u32, j as u32) {
+            g.add_edge(i as u32, j as u32, 2.0);
+        }
+    }
+    g
+}
+
+fn bench_apsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apsp");
+    for n in [64usize, 128, 256] {
+        let g = ring_with_chords(n);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &g, |b, g| {
+            b.iter(|| apsp_sequential(g))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &g, |b, g| {
+            b.iter(|| apsp_parallel_forced(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apsp);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Best-response solver ablation: exact branch-and-bound vs the
+//! polynomial UMFL local search (Theorem 3's machinery), across instance
+//! sizes — quantifying the price of exactness the NP-hardness results
+//! (Cor. 1, Thms 13/16) predict.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gncg_core::{Game, Profile};
+
+fn instance(n: usize) -> (Game, Profile) {
+    let host = gncg_metrics::arbitrary::random_metric(n, 1.0, 4.0, 11);
+    (Game::new(host, 1.5), Profile::star(n, 0))
+}
+
+fn bench_best_response(c: &mut Criterion) {
+    let mut group = c.benchmark_group("best_response");
+    for n in [8usize, 12, 16] {
+        let (game, profile) = instance(n);
+        group.bench_with_input(BenchmarkId::new("exact_bnb", n), &n, |b, _| {
+            b.iter(|| gncg_core::response::exact_best_response(&game, &profile, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_bnb_parallel", n), &n, |b, _| {
+            b.iter(|| gncg_core::response::exact_best_response_parallel(&game, &profile, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("umfl_local_search", n), &n, |b, _| {
+            b.iter(|| gncg_solvers::umfl::best_response_umfl(&game, &profile, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_single_move", n), &n, |b, _| {
+            b.iter(|| gncg_core::response::best_greedy_move(&game, &profile, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_best_response);
+criterion_main!(benches);

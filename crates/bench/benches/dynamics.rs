@@ -1,0 +1,66 @@
+//! Scheduler ablation (E24): convergence cost of response dynamics under
+//! round-robin, random, and max-gain activation — and the sequential vs
+//! parallel sweep throughput used by the harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gncg_core::Profile;
+use gncg_dynamics::{DynamicsConfig, ResponseRule, Scheduler};
+
+fn bench_schedulers(c: &mut Criterion) {
+    let host = gncg_metrics::arbitrary::random_metric(10, 1.0, 4.0, 5);
+    let game = gncg_core::Game::new(host, 1.5);
+    let mut group = c.benchmark_group("dynamics_scheduler");
+    for (name, sched) in [
+        ("round_robin", Scheduler::RoundRobin),
+        ("random", Scheduler::RandomOrder { seed: 3 }),
+        ("max_gain", Scheduler::MaxGain),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, 10), &sched, |b, &s| {
+            b.iter(|| {
+                gncg_dynamics::run(
+                    &game,
+                    Profile::star(10, 0),
+                    &DynamicsConfig {
+                        rule: ResponseRule::BestGreedyMove,
+                        scheduler: s,
+                        max_rounds: 300,
+                        record_trace: false,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_parallelism(c: &mut Criterion) {
+    let hosts: Vec<gncg_graph::SymMatrix> = (0..8)
+        .map(|s| gncg_metrics::arbitrary::random_metric(8, 1.0, 4.0, s))
+        .collect();
+    let alphas = [0.5, 1.0, 2.0, 4.0];
+    let cfg = DynamicsConfig {
+        rule: ResponseRule::BestGreedyMove,
+        scheduler: Scheduler::RoundRobin,
+        max_rounds: 200,
+        record_trace: false,
+    };
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            gncg_dynamics::parallel::sweep_sequential(&hosts, &alphas, &cfg, |_, n| {
+                Profile::star(n, 0)
+            })
+        })
+    });
+    group.bench_function("rayon", |b| {
+        b.iter(|| {
+            gncg_dynamics::parallel::sweep(&hosts, &alphas, &cfg, |_, n| Profile::star(n, 0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_sweep_parallelism);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Social-optimum solver comparison (E08): Algorithm 1 (polynomial, 1-2
+//! hosts) vs exact branch-and-bound vs the local-search heuristic — the
+//! paper's tractable/intractable boundary in computational form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gncg_core::Game;
+
+fn bench_opt_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("social_optimum");
+    group.sample_size(10);
+    for n in [6usize, 7, 8] {
+        let host = gncg_metrics::onetwo::random(n, 0.5, 3);
+        let game = Game::new(host.clone(), 0.75);
+        group.bench_with_input(BenchmarkId::new("exact_bnb", n), &n, |b, _| {
+            b.iter(|| gncg_solvers::opt_exact::social_optimum(&game))
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm1", n), &n, |b, _| {
+            b.iter(|| gncg_solvers::algorithm1::algorithm1_cost(&game))
+        });
+        group.bench_with_input(BenchmarkId::new("local_search", n), &n, |b, _| {
+            b.iter(|| gncg_solvers::opt_heuristic::social_optimum_heuristic(&game, 30))
+        });
+    }
+    // Algorithm 1 scales far beyond the exact solver.
+    for n in [32usize, 64] {
+        let host = gncg_metrics::onetwo::random(n, 0.5, 3);
+        let game = Game::new(host, 0.75);
+        group.bench_with_input(BenchmarkId::new("algorithm1_large", n), &n, |b, _| {
+            b.iter(|| gncg_solvers::algorithm1::algorithm1_cost(&game))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_opt_solvers);
+criterion_main!(benches);

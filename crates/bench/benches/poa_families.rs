@@ -1,0 +1,82 @@
+//! Generation cost of the PoA lower-bound families (the per-figure series
+//! of E03/E09/E15/E18/E19/E20): building the family instance and measuring
+//! its NE/OPT ratio at growing n — the workload behind Figures 3, 6, 9
+//! and 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gncg_core::cost::social_cost;
+
+fn bench_star_tree_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("family_star_tree_fig6");
+    for n in [16usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let g = gncg_constructions::star_tree::game(n, 4.0);
+                let ne = social_cost(&g, &gncg_constructions::star_tree::ne_profile(n));
+                let opt = social_cost(&g, &gncg_constructions::star_tree::opt_profile(n));
+                ne / opt
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_clique_of_stars_family(c: &mut Criterion) {
+    use gncg_constructions::clique_of_stars::CliqueOfStars;
+    let mut group = c.benchmark_group("family_clique_of_stars_fig3");
+    group.sample_size(10);
+    for n_param in [3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_param), &n_param, |b, &np| {
+            b.iter(|| {
+                let cs = CliqueOfStars::alpha_one(np);
+                let g = cs.game(1.0);
+                let ne = social_cost(&g, &cs.ne_profile());
+                let opt = social_cost(&g, &cs.opt_profile());
+                ne / opt
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cross_polytope_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("family_cross_polytope_fig10");
+    for d in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| {
+                let g = gncg_constructions::cross_polytope::game(d, 4.0);
+                let ne = social_cost(&g, &gncg_constructions::cross_polytope::ne_profile(d));
+                let opt = social_cost(&g, &gncg_constructions::cross_polytope::opt_profile(d));
+                ne / opt
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_geometric_path_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("family_geometric_path_fig9");
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let g = gncg_constructions::geometric_path::game(n, 2.0);
+                let ne =
+                    social_cost(&g, &gncg_constructions::geometric_path::star_profile(n));
+                let opt =
+                    social_cost(&g, &gncg_constructions::geometric_path::path_profile(n));
+                ne / opt
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_star_tree_family,
+    bench_clique_of_stars_family,
+    bench_cross_polytope_family,
+    bench_geometric_path_family
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Equilibrium-enumeration bench (E25): cost of computing the exact
+//! Price of Stability, with and without the theorem-based prunes — an
+//! ablation of the Lemma 1 spanner prune and the ownership-independent
+//! AE/greedy factorization that make the search feasible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gncg_core::Game;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equilibrium_enumeration");
+    group.sample_size(10);
+    for n in [4usize, 5] {
+        for (name, host) in [
+            ("unit", gncg_metrics::unit::unit_host(n)),
+            ("tree", gncg_metrics::treemetric::random_tree(n, 1.0, 3.0, 1).metric_closure()),
+            ("metric", gncg_metrics::arbitrary::random_metric(n, 1.0, 4.0, 1)),
+        ] {
+            let game = Game::new(host, 2.0);
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &game,
+                |b, g| b.iter(|| gncg_solvers::stability::enumerate_equilibria(g)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

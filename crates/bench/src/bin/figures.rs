@@ -1,0 +1,158 @@
+//! Regenerates the data series behind every quantitative figure of the
+//! paper into `results/*.csv` (plot-ready):
+//!
+//! * `fig3_clique_of_stars.csv` — 1-2 lower-bound family ratios vs N
+//!   (Theorem 8, both the α = 1 and ½ ≤ α < 1 variants),
+//! * `fig6_star_tree.csv` — tree-metric family ratio vs n per α
+//!   (Theorem 15), with the `(α+2)/2` target,
+//! * `fig9_geometric_path.csv` — geometric path family ratio vs n per α
+//!   (Lemma 8 / Theorem 18),
+//! * `fig10_cross_polytope.csv` — 1-norm family ratio vs dimension per α
+//!   (Theorem 19),
+//! * `table1_poa_bounds.csv` — the PoA bound formulas per model row on an
+//!   α grid (Table 1),
+//! * `diameter_sqrt_alpha.csv` — equilibrium diameters on 1-2 hosts vs α
+//!   (Theorem 11).
+//!
+//! ```text
+//! cargo run --release -p gncg-bench --bin figures [-- output_dir]
+//! ```
+
+use std::path::PathBuf;
+
+use gncg_bench::report::Series;
+use gncg_core::cost::social_cost;
+use gncg_core::{poa, Game};
+use gncg_dynamics::ResponseRule;
+
+fn main() {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results".into())
+        .into();
+
+    fig3(&dir);
+    fig6(&dir);
+    fig9(&dir);
+    fig10(&dir);
+    table1(&dir);
+    diameter(&dir);
+    println!("wrote 6 series into {}", dir.display());
+}
+
+fn fig3(dir: &std::path::Path) {
+    use gncg_constructions::clique_of_stars::CliqueOfStars;
+    let mut s = Series::new(&["N", "alpha", "ratio", "target"]);
+    for n_param in 2..=6usize {
+        let c = CliqueOfStars::alpha_one(n_param);
+        let game = c.game(1.0);
+        let r = social_cost(&game, &c.ne_profile()) / social_cost(&game, &c.opt_profile());
+        s.push(vec![n_param as f64, 1.0, r, 1.5]);
+        for alpha in [0.5, 0.75] {
+            let c = CliqueOfStars::alpha_below_one(n_param);
+            let game = c.game(alpha);
+            let r =
+                social_cost(&game, &c.ne_profile()) / social_cost(&game, &c.opt_profile());
+            s.push(vec![n_param as f64, alpha, r, 3.0 / (alpha + 2.0)]);
+        }
+    }
+    s.write_to(&dir.join("fig3_clique_of_stars.csv")).unwrap();
+}
+
+fn fig6(dir: &std::path::Path) {
+    use gncg_constructions::star_tree;
+    let mut s = Series::new(&["n", "alpha", "ratio", "target"]);
+    for alpha in [1.0, 4.0, 16.0] {
+        for n in [4usize, 8, 16, 32, 64, 128, 256] {
+            s.push(vec![
+                n as f64,
+                alpha,
+                star_tree::ratio_formula(n, alpha),
+                poa::metric_upper_bound(alpha),
+            ]);
+        }
+    }
+    s.write_to(&dir.join("fig6_star_tree.csv")).unwrap();
+}
+
+fn fig9(dir: &std::path::Path) {
+    use gncg_constructions::geometric_path as gp;
+    let mut s = Series::new(&["n", "alpha", "ratio"]);
+    for alpha in [0.5, 2.0, 8.0] {
+        for n in [3usize, 4, 6, 8, 12, 16] {
+            let g = gp::game(n, alpha);
+            let r = social_cost(&g, &gp::star_profile(n)) / social_cost(&g, &gp::path_profile(n));
+            s.push(vec![n as f64, alpha, r]);
+        }
+    }
+    s.write_to(&dir.join("fig9_geometric_path.csv")).unwrap();
+}
+
+fn fig10(dir: &std::path::Path) {
+    use gncg_constructions::cross_polytope as cp;
+    let mut s = Series::new(&["d", "alpha", "ratio", "formula", "metric_bound"]);
+    for alpha in [1.0, 4.0, 16.0] {
+        for d in [1usize, 2, 4, 8, 16, 32] {
+            let g = cp::game(d, alpha);
+            let measured =
+                social_cost(&g, &cp::ne_profile(d)) / social_cost(&g, &cp::opt_profile(d));
+            s.push(vec![
+                d as f64,
+                alpha,
+                measured,
+                poa::l1_lower_bound(alpha, d),
+                poa::metric_upper_bound(alpha),
+            ]);
+        }
+    }
+    s.write_to(&dir.join("fig10_cross_polytope.csv")).unwrap();
+}
+
+fn table1(dir: &std::path::Path) {
+    let mut s = Series::new(&[
+        "alpha",
+        "metric_upper",
+        "general_upper",
+        "one_two_low_alpha",
+        "rd_pnorm_lower",
+        "l1_d8_lower",
+        "sqrt_alpha",
+    ]);
+    let mut alpha = 0.25;
+    while alpha <= 64.0 {
+        s.push(vec![
+            alpha,
+            poa::metric_upper_bound(alpha),
+            poa::general_upper_bound(alpha),
+            if alpha <= 1.0 {
+                poa::one_two_poa_low_alpha(alpha)
+            } else {
+                f64::NAN
+            },
+            poa::rd_pnorm_lower_bound(alpha),
+            poa::l1_lower_bound(alpha, 8),
+            poa::sqrt_alpha_reference(alpha),
+        ]);
+        alpha *= 2.0;
+    }
+    s.write_to(&dir.join("table1_poa_bounds.csv")).unwrap();
+}
+
+fn diameter(dir: &std::path::Path) {
+    let mut s = Series::new(&["alpha", "max_diameter", "sqrt_alpha"]);
+    for alpha in [2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0] {
+        let mut max_d: f64 = 0.0;
+        for seed in 0..3u64 {
+            let host = gncg_metrics::onetwo::random(10, 0.4, seed);
+            let game = Game::new(host, alpha);
+            let run = gncg_bench::dynamics_from_star(&game, ResponseRule::BestGreedyMove, 500);
+            if !run.converged() {
+                continue;
+            }
+            let g = run.profile.build_network(&game);
+            max_d = max_d.max(gncg_graph::apsp::apsp_parallel(&g).diameter());
+        }
+        s.push(vec![alpha, max_d, alpha.sqrt()]);
+    }
+    s.write_to(&dir.join("diameter_sqrt_alpha.csv")).unwrap();
+}

@@ -1,0 +1,102 @@
+//! # gncg-bench
+//!
+//! Shared helpers for the criterion benches and the `experiments` binary
+//! (the harness that regenerates every table and figure of the paper —
+//! see `EXPERIMENTS.md` at the repository root).
+
+pub mod report;
+
+use gncg_core::cost::social_cost;
+use gncg_core::{Game, Profile};
+use gncg_dynamics::{DynamicsConfig, ResponseRule, RunResult, Scheduler};
+
+/// A single experiment check: a labelled paper claim with a measured
+/// value and a pass verdict.
+#[derive(Clone, Debug)]
+pub struct Check {
+    /// Experiment id, e.g. `"E03"`.
+    pub id: &'static str,
+    /// Short description of the check.
+    pub what: String,
+    /// The paper's claim (human-readable).
+    pub paper: String,
+    /// The measured outcome (human-readable).
+    pub measured: String,
+    /// Whether the measurement supports the claim.
+    pub pass: bool,
+}
+
+impl Check {
+    /// Formats as a harness output row.
+    pub fn row(&self) -> String {
+        format!(
+            "[{}] {:4} | {} | paper: {} | measured: {}",
+            if self.pass { "PASS" } else { "FAIL" },
+            self.id,
+            self.what,
+            self.paper,
+            self.measured
+        )
+    }
+}
+
+/// Runs capped dynamics under `rule` from a star.
+pub fn dynamics_from_star(
+    game: &Game,
+    rule: ResponseRule,
+    max_rounds: usize,
+) -> RunResult {
+    gncg_dynamics::run(
+        game,
+        Profile::star(game.n(), 0),
+        &DynamicsConfig {
+            rule,
+            scheduler: Scheduler::RoundRobin,
+            max_rounds,
+            record_trace: false,
+        },
+    )
+}
+
+/// Measured equilibrium/OPT ratio using the exact OPT (requires n ≤ 9).
+pub fn measured_ratio_exact_opt(game: &Game, profile: &Profile) -> f64 {
+    let opt = gncg_solvers::opt_exact::social_optimum(game);
+    social_cost(game, profile) / opt.cost
+}
+
+/// Measured equilibrium/heuristic-OPT ratio (valid PoA lower bound for
+/// any n — the heuristic only over-estimates OPT is false; it
+/// *upper-bounds* OPT, so the ratio *lower*-bounds the true ratio).
+pub fn measured_ratio_heuristic_opt(game: &Game, profile: &Profile) -> f64 {
+    let opt = gncg_solvers::opt_heuristic::social_optimum_heuristic(game, 40);
+    social_cost(game, profile) / opt.cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_graph::SymMatrix;
+
+    #[test]
+    fn check_row_formatting() {
+        let c = Check {
+            id: "E99",
+            what: "demo".into(),
+            paper: "x ≤ 1".into(),
+            measured: "x = 0.5".into(),
+            pass: true,
+        };
+        assert!(c.row().contains("PASS"));
+        assert!(c.row().contains("E99"));
+    }
+
+    #[test]
+    fn ratio_helpers() {
+        let game = Game::new(SymMatrix::filled(5, 1.0), 2.0);
+        let star = Profile::star(5, 0);
+        let r = measured_ratio_exact_opt(&game, &star);
+        assert!(r >= 1.0 - 1e-9);
+        let rh = measured_ratio_heuristic_opt(&game, &star);
+        assert!(rh >= r - 1e-9);
+    }
+}

@@ -1,0 +1,88 @@
+//! Plot-ready data series: a minimal CSV writer (no external deps) used by
+//! the `figures` binary to emit one file per reproduced figure under
+//! `results/`.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A rectangular data series with named columns.
+#[derive(Clone, Debug, Default)]
+pub struct Series {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Rows; each must match `columns.len()`.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Series {
+    /// Creates an empty series with the given columns.
+    pub fn new(columns: &[&str]) -> Self {
+        Series {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the header.
+    pub fn push(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders as CSV text.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV to `path`, creating parent directories.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        let mut s = Series::new(&["n", "ratio"]);
+        s.push(vec![4.0, 2.0]);
+        s.push(vec![8.0, 2.5]);
+        let csv = s.to_csv();
+        assert_eq!(csv, "n,ratio\n4,2\n8,2.5\n");
+    }
+
+    #[test]
+    #[should_panic]
+    fn width_mismatch_panics() {
+        let mut s = Series::new(&["a", "b"]);
+        s.push(vec![1.0]);
+    }
+
+    #[test]
+    fn write_to_disk() {
+        let mut s = Series::new(&["x"]);
+        s.push(vec![1.5]);
+        let dir = std::env::temp_dir().join("gncg_report_test");
+        let path = dir.join("series.csv");
+        s.write_to(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, "x\n1.5\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,49 @@
+//! Seed-search utility: hunts for certified improvement/best-response
+//! cycles on the paper's no-FIP instances (Figs. 5 and 8) and on random
+//! p-norm point sets (Conjecture 1). The seeds baked into the test suite
+//! and the experiment harness were located with this tool.
+//!
+//! ```text
+//! cargo run --release -p gncg-constructions --example probe_cycles
+//! ```
+
+use gncg_constructions::br_cycles::{
+    fig5_game, fig8_game, find_best_response_cycle, find_improving_move_cycle,
+};
+use gncg_constructions::conjectures::conjecture1_probe;
+use gncg_metrics::euclidean::Norm;
+
+fn main() {
+    println!("— Fig. 5 (tree metric, Thm 14): improving-move cycles —");
+    let g5 = fig5_game(1.0);
+    for seed in 0..24u64 {
+        if let Some(c) = find_improving_move_cycle(&g5, seed, 30_000) {
+            println!("  seed {seed}: certified cycle of length {}", c.len());
+            break;
+        }
+    }
+
+    println!("— Fig. 8 (1-norm plane, Thm 17): best-response cycles —");
+    let g8 = fig8_game(1.0);
+    for seed in 0..8u64 {
+        if let Some(c) = find_best_response_cycle(&g8, seed, 20_000) {
+            println!("  seed {seed}: certified BR cycle of {} moves", c.len());
+            break;
+        }
+    }
+
+    println!("— Conjecture 1: cycles under p ≥ 2 norms on random points —");
+    for (name, norm, alpha) in [
+        ("L2", Norm::L2, 1.0),
+        ("L3", Norm::Lp(3.0), 1.5),
+        ("L∞", Norm::LInf, 1.0),
+    ] {
+        match conjecture1_probe(norm, 8, alpha, 0..16, 25_000) {
+            Some((seed, c)) => println!(
+                "  {name} (α={alpha}): certified cycle of length {} at seed {seed}",
+                c.len()
+            ),
+            None => println!("  {name} (α={alpha}): none within budget"),
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Theorems 14 and 17 / Figures 5 and 8: instances without the finite
+//! improvement property, and a certified best-response-cycle finder.
+//!
+//! A *best-response cycle* is a sequence of best-response improving moves
+//! that returns to its starting strategy vector; its existence proves the
+//! game is not a potential game. The paper exhibits such cycles on
+//!
+//! * the 10-node weighted tree of Figure 5 (tree metric, Theorem 14), and
+//! * the 10-point 1-norm plane configuration of Figure 8 (Theorem 17).
+//!
+//! The precise move sequences live in the figures; rather than transcribe
+//! pixel coordinates we *search*: run exact best-response dynamics under
+//! randomized activation until a profile recurs. Any recurrence under
+//! best-response moves **is** a best-response cycle, and
+//! [`certify_cycle`] re-verifies every transition independently (each move
+//! strictly improves and lands on an exact best response).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gncg_core::response::exact_best_response;
+use gncg_core::{Game, NodeId, Profile};
+use gncg_graph::WeightedTree;
+use gncg_metrics::euclidean::{Norm, PointSet};
+
+/// The Figure 5 weighted tree (nodes `a_0 … a_9`).
+pub fn fig5_tree() -> WeightedTree {
+    WeightedTree::new(
+        10,
+        vec![
+            (6, 3, 3.0),
+            (3, 4, 7.0),
+            (3, 5, 2.0),
+            (3, 2, 5.0),
+            (2, 0, 12.0),
+            (0, 7, 9.0),
+            (7, 1, 11.0),
+            (7, 8, 2.0),
+            (8, 9, 10.0),
+        ],
+    )
+}
+
+/// The Figure 8 point configuration (1-norm plane).
+pub fn fig8_points() -> PointSet {
+    PointSet::planar(&[
+        (3.0, 0.0), // a0
+        (0.0, 3.0), // a1
+        (2.0, 2.0), // a2
+        (0.0, 2.0), // a3
+        (1.0, 1.0), // a4
+        (4.0, 3.0), // a5
+        (2.0, 0.0), // a6
+        (4.0, 1.0), // a7
+        (1.0, 4.0), // a8
+        (1.0, 0.0), // a9
+    ])
+}
+
+/// The Theorem 14 game: metric closure of the Figure 5 tree (α = 1 as in
+/// the paper's dynamics discussion).
+pub fn fig5_game(alpha: f64) -> Game {
+    Game::new(fig5_tree().metric_closure(), alpha)
+}
+
+/// The Theorem 17 game: Figure 8 points under the 1-norm.
+pub fn fig8_game(alpha: f64) -> Game {
+    Game::new(fig8_points().host_matrix(Norm::L1), alpha)
+}
+
+/// One certified step of a best-response cycle.
+#[derive(Clone, Debug)]
+pub struct CycleStep {
+    /// The moving agent.
+    pub agent: NodeId,
+    /// The profile *before* the move.
+    pub before: Profile,
+    /// Agent cost before.
+    pub cost_before: f64,
+    /// Agent cost after (strictly smaller).
+    pub cost_after: f64,
+}
+
+/// A certified best-response cycle: applying the steps in order returns to
+/// `steps[0].before`.
+#[derive(Clone, Debug)]
+pub struct BestResponseCycle {
+    /// The steps of the cycle.
+    pub steps: Vec<CycleStep>,
+}
+
+impl BestResponseCycle {
+    /// Cycle length (number of moves).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the cycle is empty (never true for found cycles).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Searches for a best-response cycle on `game` by running exact
+/// best-response dynamics under seeded random activation from random
+/// spanning-tree starting profiles. Returns the first certified cycle.
+///
+/// `budget` bounds the total number of best-response moves tried across
+/// restarts.
+pub fn find_best_response_cycle(game: &Game, seed: u64, budget: usize) -> Option<BestResponseCycle> {
+    let n = game.n();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spent = 0usize;
+    while spent < budget {
+        // Random spanning tree with random ownership as the start.
+        let mut profile = random_tree_profile(n, &mut rng);
+        let mut history: Vec<(Profile, NodeId)> = Vec::new();
+        let mut seen: std::collections::HashMap<Profile, usize> = std::collections::HashMap::new();
+        seen.insert(profile.clone(), 0);
+        // Random activation until silence, recurrence, or local budget.
+        let mut idle = 0usize;
+        while spent < budget && idle < 4 * n {
+            let u = rng.gen_range(0..n) as NodeId;
+            let br = exact_best_response(game, &profile, u);
+            spent += 1;
+            if !br.improves() {
+                idle += 1;
+                continue;
+            }
+            idle = 0;
+            history.push((profile.clone(), u));
+            let mut next = profile.clone();
+            next.set_strategy(u, br.strategy);
+            if let Some(&first) = seen.get(&next) {
+                // Recurrence: the moves from step `first` onward form a cycle.
+                let steps = history[first..]
+                    .iter()
+                    .map(|(p, agent)| {
+                        let br = exact_best_response(game, p, *agent);
+                        CycleStep {
+                            agent: *agent,
+                            before: p.clone(),
+                            cost_before: br.current_cost,
+                            cost_after: br.cost,
+                        }
+                    })
+                    .collect();
+                let cycle = BestResponseCycle { steps };
+                if certify_cycle(game, &cycle) {
+                    return Some(cycle);
+                }
+            }
+            seen.insert(next.clone(), history.len());
+            profile = next;
+        }
+    }
+    None
+}
+
+/// Independently re-verifies a cycle: every step's move is a strictly
+/// improving exact best response, consecutive profiles chain correctly,
+/// and the last step returns to the first profile.
+pub fn certify_cycle(game: &Game, cycle: &BestResponseCycle) -> bool {
+    if cycle.is_empty() {
+        return false;
+    }
+    let k = cycle.len();
+    for (i, step) in cycle.steps.iter().enumerate() {
+        let br = exact_best_response(game, &step.before, step.agent);
+        if !br.improves() {
+            return false;
+        }
+        // The applied strategy must be *a* best response (cost-equal).
+        let mut after = step.before.clone();
+        after.set_strategy(step.agent, br.strategy);
+        let next = &cycle.steps[(i + 1) % k].before;
+        // Chain: the state after this move is the next step's before-state
+        // (for the last step: the first state — closing the cycle). Because
+        // best responses can tie, we require cost-equality of the move
+        // actually chaining the cycle.
+        let chained_cost = {
+            let mut p = step.before.clone();
+            p.set_strategy(step.agent, next.strategy(step.agent).clone());
+            gncg_core::cost::agent_cost(game, &p, step.agent).total()
+        };
+        if !gncg_graph::approx_eq(chained_cost, br.cost) {
+            return false;
+        }
+        // And all *other* agents' strategies must be unchanged.
+        for v in 0..game.n() as NodeId {
+            if v != step.agent && step.before.strategy(v) != next.strategy(v) {
+                return false;
+            }
+        }
+        let _ = after;
+    }
+    true
+}
+
+/// Searches for an **improving-move cycle**: a sequence of strictly
+/// improving *greedy* moves (single add / delete / swap) that returns to
+/// its starting profile. Any such cycle violates the finite improvement
+/// property just as a best-response cycle does (FIP quantifies over *all*
+/// improving-move sequences), which is what Theorem 14 / Corollary 1
+/// assert. The walk picks uniformly among each activated agent's improving
+/// greedy moves, so it explores move combinations a deterministic
+/// best-response rule never visits.
+pub fn find_improving_move_cycle(
+    game: &Game,
+    seed: u64,
+    budget: usize,
+) -> Option<ImprovingMoveCycle> {
+    use gncg_core::cost::{base_graph_without, candidate_cost};
+    use gncg_core::Move;
+    let n = game.n();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spent = 0usize;
+    while spent < budget {
+        let mut profile = random_tree_profile(n, &mut rng);
+        let mut history: Vec<(Profile, NodeId, Profile)> = Vec::new();
+        let mut seen: std::collections::HashMap<Profile, usize> = std::collections::HashMap::new();
+        seen.insert(profile.clone(), 0);
+        let mut idle = 0usize;
+        while spent < budget && idle < 6 * n {
+            let u = rng.gen_range(0..n) as NodeId;
+            spent += 1;
+            // All strictly improving greedy moves of u.
+            let network = profile.build_network(game);
+            let current = gncg_core::cost::agent_cost_in(game, &profile, &network, u).total();
+            let base = base_graph_without(game, &profile, u);
+            let own = profile.strategy(u);
+            let improving: Vec<std::collections::BTreeSet<NodeId>> =
+                Move::greedy_moves(&profile, u)
+                    .into_iter()
+                    .map(|m| m.apply(u, own))
+                    .filter(|cand| {
+                        gncg_graph::strictly_less(
+                            candidate_cost(game, &base, u, cand).total(),
+                            current,
+                        )
+                    })
+                    .collect();
+            if improving.is_empty() {
+                idle += 1;
+                continue;
+            }
+            idle = 0;
+            let choice = improving[rng.gen_range(0..improving.len())].clone();
+            let mut next = profile.clone();
+            next.set_strategy(u, choice);
+            history.push((profile.clone(), u, next.clone()));
+            if let Some(&first) = seen.get(&next) {
+                let steps: Vec<ImprovingStep> = history[first..]
+                    .iter()
+                    .map(|(before, agent, after)| ImprovingStep {
+                        agent: *agent,
+                        before: before.clone(),
+                        after: after.clone(),
+                    })
+                    .collect();
+                let cycle = ImprovingMoveCycle { steps };
+                if certify_improving_cycle(game, &cycle) {
+                    return Some(cycle);
+                }
+            }
+            seen.insert(next.clone(), history.len());
+            profile = next;
+        }
+    }
+    None
+}
+
+/// One step of an improving-move cycle.
+#[derive(Clone, Debug)]
+pub struct ImprovingStep {
+    /// The moving agent.
+    pub agent: NodeId,
+    /// Profile before the move.
+    pub before: Profile,
+    /// Profile after the move (differs only in `agent`'s strategy).
+    pub after: Profile,
+}
+
+/// A certified improving-move cycle.
+#[derive(Clone, Debug)]
+pub struct ImprovingMoveCycle {
+    /// The steps; applying them in order returns to `steps[0].before`.
+    pub steps: Vec<ImprovingStep>,
+}
+
+impl ImprovingMoveCycle {
+    /// Number of moves in the cycle.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the cycle is empty (never true for found cycles).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Independently re-verifies an improving-move cycle: each step changes
+/// exactly one agent's strategy, strictly improves that agent, chains to
+/// the next step, and the last step closes the loop.
+pub fn certify_improving_cycle(game: &Game, cycle: &ImprovingMoveCycle) -> bool {
+    if cycle.is_empty() {
+        return false;
+    }
+    let k = cycle.len();
+    for (i, step) in cycle.steps.iter().enumerate() {
+        // Chain integrity.
+        let next_before = &cycle.steps[(i + 1) % k].before;
+        if &step.after != next_before {
+            return false;
+        }
+        // Single-agent change.
+        for v in 0..game.n() as NodeId {
+            if v != step.agent && step.before.strategy(v) != step.after.strategy(v) {
+                return false;
+            }
+        }
+        // Strict improvement.
+        let before_cost = gncg_core::cost::agent_cost(game, &step.before, step.agent).total();
+        let after_cost = gncg_core::cost::agent_cost(game, &step.after, step.agent).total();
+        if !gncg_graph::strictly_less(after_cost, before_cost) {
+            return false;
+        }
+    }
+    true
+}
+
+fn random_tree_profile(n: usize, rng: &mut StdRng) -> Profile {
+    let mut p = Profile::empty(n);
+    for v in 1..n as NodeId {
+        let parent = rng.gen_range(0..v);
+        if rng.gen_bool(0.5) {
+            p.buy(parent, v);
+        } else {
+            p.buy(v, parent);
+        }
+    }
+    // Sprinkle a few extra edges: the paper's cycles live on profiles that
+    // are not spanning trees, so pure-tree starts can miss the cycling
+    // region of the profile space.
+    let extras = rng.gen_range(0..=n / 3);
+    for _ in 0..extras {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u != v && !p.has_edge(u, v) {
+            p.buy(u, v);
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_tree_shape() {
+        let t = fig5_tree();
+        assert_eq!(t.n(), 10);
+        assert!(t.as_graph().is_tree());
+        let w = t.metric_closure();
+        assert!(w.satisfies_triangle_inequality());
+    }
+
+    #[test]
+    fn fig8_point_distances() {
+        let ps = fig8_points();
+        let w = ps.host_matrix(Norm::L1);
+        // a0 = (3,0), a4 = (1,1): L1 distance 3.
+        assert_eq!(w.get(0, 4), 3.0);
+        // a1 = (0,3), a8 = (1,4): 2.
+        assert_eq!(w.get(1, 8), 2.0);
+        assert!(w.satisfies_triangle_inequality());
+    }
+
+    #[test]
+    fn certify_rejects_empty_and_garbage() {
+        let game = fig5_game(1.0);
+        assert!(!certify_cycle(&game, &BestResponseCycle { steps: vec![] }));
+        // A non-improving fake step must be rejected.
+        let p = Profile::star(10, 0);
+        let fake = BestResponseCycle {
+            steps: vec![CycleStep {
+                agent: 0,
+                before: p,
+                cost_before: 1.0,
+                cost_after: 0.5,
+            }],
+        };
+        assert!(!certify_cycle(&game, &fake));
+    }
+
+    // The cycle *search* tests live in the integration suite (they are
+    // heavier); here we only smoke-test the machinery on a tiny budget.
+    #[test]
+    fn search_smoke_runs_within_budget() {
+        let game = fig5_game(1.0);
+        let _ = find_best_response_cycle(&game, 1, 50);
+    }
+}

@@ -1,0 +1,258 @@
+//! Theorem 8 / Figure 3: 1-2 lower-bound families for `1/2 ≤ α ≤ 1`.
+//!
+//! Construction: a clique `K` of `N` vertices joined by 1-edges; each
+//! clique vertex is the center of a star of `N` fresh leaves (1-edges); a
+//! special vertex `u`. For the `α = 1` family `u` has a 1-edge to *every*
+//! other vertex; for the `1/2 ≤ α < 1` family `u` has 1-edges only to the
+//! clique vertices. All remaining pairs are 2-edges.
+//!
+//! * optimum: (a superset of) the 1-edge subgraph — social cost
+//!   `≈ (α+2)·stuff` with leading term `2N⁴` (α = 1) / `(α+2)N⁴` (α < 1),
+//! * NE: all 1-edges except those between `u` and star leaves — social
+//!   cost `3N⁴ − Θ(N³)`,
+//!
+//! driving the ratio to `3/2 − ε` (α = 1) and `3/(α+2) − ε`
+//! (`1/2 ≤ α < 1`), which matches the Theorem 7 upper bound.
+
+use gncg_core::{Game, Profile};
+use gncg_graph::{NodeId, SymMatrix};
+use gncg_metrics::onetwo;
+
+/// Node layout of the family.
+#[derive(Clone, Debug)]
+pub struct CliqueOfStars {
+    /// Star/clique parameter `N`.
+    pub n_param: usize,
+    /// Whether `u` has 1-edges to the leaves too (the `α = 1` variant).
+    pub u_adjacent_to_leaves: bool,
+}
+
+impl CliqueOfStars {
+    /// The `α = 1` family (Fig. 3 right: `u` 1-adjacent to everyone).
+    pub fn alpha_one(n_param: usize) -> Self {
+        CliqueOfStars {
+            n_param,
+            u_adjacent_to_leaves: true,
+        }
+    }
+
+    /// The `1/2 ≤ α < 1` family (Fig. 3 left: `u` 1-adjacent to the clique
+    /// only).
+    pub fn alpha_below_one(n_param: usize) -> Self {
+        CliqueOfStars {
+            n_param,
+            u_adjacent_to_leaves: false,
+        }
+    }
+
+    /// Total vertices: `N` clique + `N²` leaves + `u`.
+    pub fn nodes(&self) -> usize {
+        self.n_param * self.n_param + self.n_param + 1
+    }
+
+    /// Id of clique vertex `i` (`0 ≤ i < N`).
+    pub fn clique(&self, i: usize) -> NodeId {
+        assert!(i < self.n_param);
+        i as NodeId
+    }
+
+    /// Id of leaf `j` of the star centered at clique vertex `i`.
+    pub fn leaf(&self, i: usize, j: usize) -> NodeId {
+        assert!(i < self.n_param && j < self.n_param);
+        (self.n_param + i * self.n_param + j) as NodeId
+    }
+
+    /// Id of the special vertex `u`.
+    pub fn u(&self) -> NodeId {
+        (self.nodes() - 1) as NodeId
+    }
+
+    /// The 1-edges of the host.
+    pub fn one_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let nq = self.n_param;
+        let mut edges = Vec::new();
+        for i in 0..nq {
+            for k in (i + 1)..nq {
+                edges.push((self.clique(i), self.clique(k)));
+            }
+            for j in 0..nq {
+                edges.push((self.clique(i), self.leaf(i, j)));
+            }
+        }
+        let u = self.u();
+        for i in 0..nq {
+            edges.push((self.clique(i), u));
+        }
+        if self.u_adjacent_to_leaves {
+            for i in 0..nq {
+                for j in 0..nq {
+                    edges.push((self.leaf(i, j), u));
+                }
+            }
+        }
+        edges
+    }
+
+    /// The 1-2 host matrix.
+    pub fn host(&self) -> SymMatrix {
+        onetwo::from_one_edges(self.nodes(), &self.one_edges())
+    }
+
+    /// The game at `α`.
+    pub fn game(&self, alpha: f64) -> Game {
+        Game::new(self.host(), alpha)
+    }
+
+    /// The NE profile: all 1-edges *except* `u`–leaf edges, each bought by
+    /// a canonical endpoint (clique vertices buy their star and clique
+    /// edges; `u`'s edges to clique vertices are bought by `u`).
+    pub fn ne_profile(&self) -> Profile {
+        let nq = self.n_param;
+        let mut p = Profile::empty(self.nodes());
+        for i in 0..nq {
+            for k in (i + 1)..nq {
+                p.buy(self.clique(i), self.clique(k));
+            }
+            for j in 0..nq {
+                p.buy(self.clique(i), self.leaf(i, j));
+            }
+        }
+        for i in 0..nq {
+            p.buy(self.u(), self.clique(i));
+        }
+        p
+    }
+
+    /// The optimum reference profile.
+    ///
+    /// For the `α = 1` family the 1-edge subgraph is the social optimum.
+    /// For the `1/2 ≤ α < 1` family the paper upper-bounds the optimum by
+    /// the cost of the **entire host graph** (`(α+2)N⁴ + Θ(N²)`) — for
+    /// `α < 1` diameter-2 networks with 2-edges beat the diameter-3
+    /// 1-edge subgraph. Either way the returned profile's cost
+    /// upper-bounds OPT, so measured NE/OPT ratios are valid PoA *lower*
+    /// bounds.
+    pub fn opt_profile(&self) -> Profile {
+        if self.u_adjacent_to_leaves {
+            Profile::from_owned_edges(self.nodes(), &self.one_edges())
+        } else {
+            let n = self.nodes();
+            let mut p = Profile::empty(n);
+            for u in 0..n as NodeId {
+                for v in (u + 1)..n as NodeId {
+                    p.buy(u, v);
+                }
+            }
+            p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_core::cost::social_cost;
+    use gncg_core::equilibrium::{is_greedy_equilibrium, is_nash_equilibrium};
+
+    #[test]
+    fn layout_and_host() {
+        let c = CliqueOfStars::alpha_one(2);
+        assert_eq!(c.nodes(), 7);
+        let host = c.host();
+        assert!(gncg_metrics::onetwo::is_one_two(&host));
+        // u adjacent to everyone with 1-edges.
+        let u = c.u();
+        for v in 0..6 {
+            assert_eq!(host.get(u, v), 1.0);
+        }
+        // Leaves of different stars are 2 apart.
+        assert_eq!(host.get(c.leaf(0, 0), c.leaf(1, 0)), 2.0);
+    }
+
+    #[test]
+    fn ne_certified_alpha_one_small() {
+        // N = 2 → n = 7: exact NE check is feasible.
+        let c = CliqueOfStars::alpha_one(2);
+        let game = c.game(1.0);
+        assert!(is_nash_equilibrium(&game, &c.ne_profile()));
+    }
+
+    #[test]
+    fn ne_certified_alpha_below_one_small() {
+        let c = CliqueOfStars::alpha_below_one(2);
+        for alpha in [0.5, 0.75, 0.99] {
+            let game = c.game(alpha);
+            assert!(
+                is_nash_equilibrium(&game, &c.ne_profile()),
+                "α = {alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn ne_greedy_stable_larger() {
+        // N = 3 → n = 13: greedy certification is cheap.
+        let c = CliqueOfStars::alpha_one(3);
+        let game = c.game(1.0);
+        assert!(is_greedy_equilibrium(&game, &c.ne_profile()));
+    }
+
+    #[test]
+    fn ratio_grows_towards_three_halves_alpha_one() {
+        // The ratio NE/OPT must increase with N towards 3/2.
+        let mut prev = 0.0;
+        for n_param in [2, 3, 4] {
+            let c = CliqueOfStars::alpha_one(n_param);
+            let game = c.game(1.0);
+            let r = social_cost(&game, &c.ne_profile()) / social_cost(&game, &c.opt_profile());
+            assert!(r > prev, "ratio should grow with N (N={n_param}, r={r})");
+            assert!(r < 1.5);
+            prev = r;
+        }
+        assert!(prev > 1.2, "by N = 4 the ratio should be well above 1");
+    }
+
+    #[test]
+    fn ratio_below_bound_alpha_below_one() {
+        // The family converges to 3/(α+2) from below as N → ∞ (Thm 8);
+        // low-order Θ(N³) terms keep small N below 1 for α close to 1, so
+        // we assert the bound, monotone growth, and (at α = 0.5, where the
+        // gap is widest) crossing 1 already at N = 4. The bench harness
+        // sweeps larger N.
+        for alpha in [0.5, 0.75] {
+            let bound = 3.0 / (alpha + 2.0);
+            let mut prev = 0.0;
+            for n_param in [2, 3, 4] {
+                let c = CliqueOfStars::alpha_below_one(n_param);
+                let game = c.game(alpha);
+                let r =
+                    social_cost(&game, &c.ne_profile()) / social_cost(&game, &c.opt_profile());
+                assert!(r < bound + 1e-9, "α={alpha} N={n_param}: {r} vs bound {bound}");
+                assert!(r > prev, "ratio must grow with N (α={alpha}, N={n_param})");
+                prev = r;
+            }
+        }
+        let c = CliqueOfStars::alpha_below_one(4);
+        let game = c.game(0.5);
+        let r = social_cost(&game, &c.ne_profile()) / social_cost(&game, &c.opt_profile());
+        assert!(r > 1.0, "α=0.5, N=4 must already beat 1, got {r}");
+    }
+
+    #[test]
+    fn opt_profile_has_diameter_2_when_u_adjacent() {
+        let c = CliqueOfStars::alpha_one(3);
+        let game = c.game(1.0);
+        let g = c.opt_profile().build_network(&game);
+        let d = gncg_graph::apsp::apsp_parallel(&g);
+        assert!(d.diameter() <= 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn ne_profile_has_diameter_3() {
+        let c = CliqueOfStars::alpha_one(3);
+        let game = c.game(1.0);
+        let g = c.ne_profile().build_network(&game);
+        let d = gncg_graph::apsp::apsp_parallel(&g);
+        assert!(gncg_graph::approx_eq(d.diameter(), 3.0));
+    }
+}

@@ -1,0 +1,144 @@
+//! Probes for the paper's two open conjectures.
+//!
+//! * **Conjecture 1** — the `Rd–GNCG` with *any* p-norm lacks the finite
+//!   improvement property (the paper proves it for the 1-norm,
+//!   Theorem 17). We search random point sets under p ∈ {2, 3, ∞} for
+//!   certified improving-move / best-response cycles.
+//! * **Conjecture 2** — the PoA of the *general* (non-metric) GNCG equals
+//!   the metric bound `(α+2)/2`, not the proven `((α+2)/2)²`
+//!   (Theorem 20). Using exhaustive equilibrium enumeration
+//!   ([`gncg_solvers::stability`]) we compute the **exact** PoA of random
+//!   non-metric instances and compare against both bounds.
+
+use gncg_core::{poa, Game};
+use gncg_metrics::euclidean::{Norm, PointSet};
+
+use crate::br_cycles::{
+    certify_improving_cycle, find_improving_move_cycle, ImprovingMoveCycle,
+};
+
+/// Searches for an FIP violation under `norm` on random planar point sets
+/// (Conjecture 1). Returns the first certified improving-move cycle.
+pub fn conjecture1_probe(
+    norm: Norm,
+    n_points: usize,
+    alpha: f64,
+    seeds: std::ops::Range<u64>,
+    budget_per_seed: usize,
+) -> Option<(u64, ImprovingMoveCycle)> {
+    for seed in seeds {
+        let points = PointSet::random(n_points, 2, 4.0, seed);
+        let game = Game::new(points.host_matrix(norm), alpha);
+        if let Some(cycle) = find_improving_move_cycle(&game, seed, budget_per_seed) {
+            if certify_improving_cycle(&game, &cycle) {
+                return Some((seed, cycle));
+            }
+        }
+    }
+    None
+}
+
+/// One data point of the Conjecture 2 probe.
+#[derive(Clone, Debug)]
+pub struct Conjecture2Point {
+    /// Instance seed.
+    pub seed: u64,
+    /// The α used.
+    pub alpha: f64,
+    /// Exact PoA of the instance (None when the instance admits no pure
+    /// NE).
+    pub exact_poa: Option<f64>,
+    /// Exact PoS of the instance.
+    pub exact_pos: Option<f64>,
+    /// `exact_poa / ((α+2)/2)` — Conjecture 2 predicts ≤ 1.
+    pub normalized: Option<f64>,
+}
+
+/// Computes the exact PoA of random **non-metric** instances on `n ≤ 5`
+/// agents via exhaustive equilibrium enumeration and normalizes by the
+/// conjectured bound `(α+2)/2`.
+pub fn conjecture2_probe(
+    n: usize,
+    alphas: &[f64],
+    seeds: std::ops::Range<u64>,
+) -> Vec<Conjecture2Point> {
+    assert!(n <= 5, "exact enumeration probe limited to n ≤ 5");
+    let mut out = Vec::new();
+    for seed in seeds {
+        let host = gncg_metrics::arbitrary::random(n, 0.2, 8.0, seed);
+        for &alpha in alphas {
+            let game = Game::new(host.clone(), alpha);
+            let land = gncg_solvers::stability::enumerate_equilibria(&game);
+            let opt = gncg_solvers::opt_exact::social_optimum(&game);
+            let exact_poa = land.price_of_anarchy(opt.cost);
+            let exact_pos = land.price_of_stability(opt.cost);
+            out.push(Conjecture2Point {
+                seed,
+                alpha,
+                exact_poa,
+                exact_pos,
+                normalized: exact_poa.map(|p| p / poa::metric_upper_bound(alpha)),
+            });
+        }
+    }
+    out
+}
+
+/// The worst normalized PoA over a probe batch (`> 1` would refute
+/// Conjecture 2 with a concrete counterexample).
+pub fn worst_normalized(points: &[Conjecture2Point]) -> f64 {
+    points
+        .iter()
+        .filter_map(|p| p.normalized)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjecture2_probe_small_batch() {
+        let points = conjecture2_probe(4, &[1.0, 3.0], 0..4);
+        assert_eq!(points.len(), 8);
+        // Equilibria exist on most sampled instances; PoS ≤ PoA where both
+        // exist.
+        for p in &points {
+            if let (Some(pos), Some(poa)) = (p.exact_pos, p.exact_poa) {
+                assert!(pos <= poa + 1e-9);
+                assert!(pos >= 1.0 - 1e-9);
+            }
+        }
+        // Conjecture 2 on the sampled batch.
+        let worst = worst_normalized(&points);
+        assert!(
+            worst <= 1.0 + 1e-9,
+            "Conjecture 2 refuted on sample?! normalized = {worst}"
+        );
+    }
+
+    #[test]
+    fn conjecture2_never_exceeds_proven_bound() {
+        // The proven Theorem 20 bound must hold unconditionally.
+        let points = conjecture2_probe(4, &[0.5, 2.0], 4..8);
+        for p in &points {
+            if let Some(exact) = p.exact_poa {
+                let proven = poa::general_upper_bound(p.alpha);
+                let opt_rel = exact / proven;
+                assert!(opt_rel <= 1.0 + 1e-9, "seed {} α {}", p.seed, p.alpha);
+            }
+        }
+    }
+
+    #[test]
+    fn conjecture1_probe_interface() {
+        // Smoke-test with a tiny budget: no crash; a found cycle certifies.
+        if let Some((seed, cycle)) =
+            conjecture1_probe(Norm::L2, 6, 1.0, 0..2, 2_000)
+        {
+            let points = PointSet::random(6, 2, 4.0, seed);
+            let game = Game::new(points.host_matrix(Norm::L2), 1.0);
+            assert!(certify_improving_cycle(&game, &cycle));
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Theorem 19 / Figure 10: the 1-norm cross-polytope family.
+//!
+//! `n = 2d + 1` points in `R^d`: the origin `v_0`, the unit point
+//! `v_1 = (1, 0, …, 0)`, its antipode `v_2 = (−2/α, 0, …, 0)`, and
+//! `±(2/α)·e_i` for the remaining axes. Under the 1-norm,
+//!
+//! * the star `S*` centered at the origin is the social optimum, and
+//! * the star `S` centered at `v_1` with all edges owned by `v_1` is a NE
+//!   (the 1-norm turns this into exactly the Theorem 15 construction),
+//!
+//! giving `PoA ≥ 1 + α/(2 + α/(2d−1))`, which approaches the tight metric
+//! bound `(α+2)/2` as `d → ∞`.
+
+use gncg_core::{Game, Profile};
+use gncg_metrics::euclidean::{Norm, PointSet};
+
+/// The `2d + 1` points of the family.
+pub fn points(d: usize, alpha: f64) -> PointSet {
+    assert!(d >= 1);
+    assert!(alpha > 0.0);
+    let r = 2.0 / alpha;
+    let mut pts: Vec<Vec<f64>> = Vec::with_capacity(2 * d + 1);
+    pts.push(vec![0.0; d]); // v_0
+    let mut v1 = vec![0.0; d];
+    v1[0] = 1.0;
+    pts.push(v1); // v_1
+    let mut v2 = vec![0.0; d];
+    v2[0] = -r;
+    pts.push(v2); // v_2
+    for axis in 1..d {
+        let mut plus = vec![0.0; d];
+        plus[axis] = r;
+        pts.push(plus);
+        let mut minus = vec![0.0; d];
+        minus[axis] = -r;
+        pts.push(minus);
+    }
+    PointSet::new(pts)
+}
+
+/// The game under the 1-norm.
+pub fn game(d: usize, alpha: f64) -> Game {
+    Game::new(points(d, alpha).host_matrix(Norm::L1), alpha)
+}
+
+/// Number of agents, `2d + 1`.
+pub fn nodes(d: usize) -> usize {
+    2 * d + 1
+}
+
+/// The social-optimum profile: the star centered at the origin.
+pub fn opt_profile(d: usize) -> Profile {
+    Profile::star(nodes(d), 0)
+}
+
+/// The NE profile: the star centered at `v_1`, all edges owned by `v_1`.
+pub fn ne_profile(d: usize) -> Profile {
+    Profile::star(nodes(d), 1)
+}
+
+/// The closed-form PoA lower bound `1 + α/(2 + α/(2d−1))`.
+pub fn ratio_formula(d: usize, alpha: f64) -> f64 {
+    gncg_core::poa::l1_lower_bound(alpha, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_core::cost::social_cost;
+    use gncg_core::equilibrium::is_nash_equilibrium;
+
+    #[test]
+    fn geometry_under_l1() {
+        let alpha = 2.0; // r = 1
+        let g = game(3, alpha);
+        // v0 to all satellites: r = 1; v0 to v1: 1.
+        for v in 1..7u32 {
+            assert!(gncg_graph::approx_eq(g.w(0, v), 1.0));
+        }
+        // v1 to v2: 1 + r = 2 (collinear, opposite sides).
+        assert!(gncg_graph::approx_eq(g.w(1, 2), 2.0));
+        // v1 to an off-axis satellite: 1 + r = 2 under L1.
+        assert!(gncg_graph::approx_eq(g.w(1, 3), 2.0));
+        // Two off-axis satellites on different axes: 2r.
+        assert!(gncg_graph::approx_eq(g.w(3, 5), 2.0));
+    }
+
+    #[test]
+    fn ne_star_certified() {
+        for d in [1, 2, 3] {
+            for alpha in [0.5, 1.0, 2.0, 5.0] {
+                let g = game(d, alpha);
+                assert!(
+                    is_nash_equilibrium(&g, &ne_profile(d)),
+                    "v1-star must be NE (d={d}, α={alpha})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measured_ratio_matches_formula() {
+        for d in [1, 2, 3] {
+            for alpha in [0.5, 1.0, 3.0, 8.0] {
+                let g = game(d, alpha);
+                let measured =
+                    social_cost(&g, &ne_profile(d)) / social_cost(&g, &opt_profile(d));
+                let formula = ratio_formula(d, alpha);
+                assert!(
+                    (measured - formula).abs() < 1e-9,
+                    "d={d} α={alpha}: measured {measured} vs formula {formula}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn origin_star_is_social_optimum_small() {
+        for alpha in [1.0, 4.0] {
+            let g = game(2, alpha); // 5 nodes
+            let exact = gncg_solvers::opt_exact::social_optimum(&g);
+            let star_cost = social_cost(&g, &opt_profile(2));
+            assert!(
+                gncg_graph::approx_eq(exact.cost, star_cost),
+                "origin star not optimal (α={alpha}): {star_cost} vs {}",
+                exact.cost
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_increases_with_dimension() {
+        let alpha = 6.0;
+        let mut prev = 0.0;
+        for d in [1, 2, 4, 8] {
+            let r = ratio_formula(d, alpha);
+            assert!(r > prev);
+            prev = r;
+        }
+        assert!(prev < gncg_core::poa::metric_upper_bound(alpha));
+    }
+}

@@ -1,0 +1,156 @@
+//! Lemma 8 / Figure 9 and Theorem 18: the geometric path family.
+//!
+//! Points `v_0, …, v_n` on a line with `w(v_0, v_1) = 1` and
+//! `w(v_{i−1}, v_i) = (2/α)(1 + 2/α)^{i−2}` for `i ≥ 2`; equivalently
+//! `w(v_0, v_i) = (1 + 2/α)^{i−1}`. The path `P_{n+1}` is the social
+//! optimum; the spanning star centered at `v_0` with *leaf-owned* edges is
+//! a NE, and `cost(S)/cost(P) > 1` — the PoA of the `Rd–GNCG` exceeds 1
+//! for every p-norm and every `d ≥ 1` (the points are collinear, so all
+//! p-norms agree).
+//!
+//! Restricted to 4 nodes this is exactly Theorem 18's witness with ratio
+//! `(3α³+24α²+40α+24)/(α³+10α²+32α+24)`.
+
+use gncg_core::{Game, Profile};
+use gncg_graph::NodeId;
+use gncg_metrics::euclidean::PointSet;
+
+/// Position of node `i` on the line: `0` for `v_0`, else `(1+2/α)^{i−1}`.
+pub fn position(i: usize, alpha: f64) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        (1.0 + 2.0 / alpha).powi(i as i32 - 1)
+    }
+}
+
+/// The point set `v_0, …, v_n` (that is, `n + 1` points).
+pub fn points(n: usize, alpha: f64) -> PointSet {
+    PointSet::line(&(0..=n).map(|i| position(i, alpha)).collect::<Vec<_>>())
+}
+
+/// The game on `n + 1` collinear points (all p-norms coincide; the 1-norm
+/// host matrix is used).
+pub fn game(n: usize, alpha: f64) -> Game {
+    Game::new(
+        points(n, alpha).host_matrix(gncg_metrics::euclidean::Norm::L1),
+        alpha,
+    )
+}
+
+/// The social-optimum profile: the path, each edge owned by its left
+/// endpoint.
+pub fn path_profile(n: usize) -> Profile {
+    let edges: Vec<(NodeId, NodeId)> = (0..n).map(|i| (i as NodeId, i as NodeId + 1)).collect();
+    Profile::from_owned_edges(n + 1, &edges)
+}
+
+/// The NE profile: the star centered at `v_0` with **`v_0` owning every
+/// edge** — the paper's "no deletions or swaps are possible" reading:
+/// the center is adjacent to everyone (nothing to swap to) and deleting
+/// disconnects (never profitable), so only leaf *additions* remain, and
+/// those are priced out by the geometric weights.
+pub fn star_profile(n: usize) -> Profile {
+    Profile::star(n + 1, 0)
+}
+
+/// Closed-form NE star cost (proof of Lemma 8):
+/// `(2n + α) · (α/2) · ((1 + 2/α)^n − 1)`.
+pub fn star_cost_formula(n: usize, alpha: f64) -> f64 {
+    (2.0 * n as f64 + alpha) * (alpha / 2.0) * ((1.0 + 2.0 / alpha).powi(n as i32) - 1.0)
+}
+
+/// Theorem 18's exact 4-node ratio.
+pub fn theorem18_ratio(alpha: f64) -> f64 {
+    gncg_core::poa::rd_pnorm_lower_bound(alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_core::cost::social_cost;
+    use gncg_core::equilibrium::is_nash_equilibrium;
+
+    #[test]
+    fn host_distances_are_geometric() {
+        let alpha = 2.0;
+        let g = game(4, alpha);
+        // w(v0, vi) = (1+2/α)^{i-1} = 2^{i-1} for α = 2.
+        for i in 1..=4u32 {
+            assert!(gncg_graph::approx_eq(
+                g.w(0, i),
+                2f64.powi(i as i32 - 1)
+            ));
+        }
+        // Consecutive gaps: (2/α)(1+2/α)^{i-2} = 2^{i-2}.
+        assert!(gncg_graph::approx_eq(g.w(1, 2), 1.0));
+        assert!(gncg_graph::approx_eq(g.w(2, 3), 2.0));
+    }
+
+    #[test]
+    fn star_is_certified_ne() {
+        for n in [3, 5, 7] {
+            for alpha in [0.5, 1.0, 2.0, 6.0] {
+                let g = game(n, alpha);
+                assert!(
+                    is_nash_equilibrium(&g, &star_profile(n)),
+                    "star must be NE (n={n}, α={alpha})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn star_cost_matches_formula() {
+        for n in [3, 5] {
+            for alpha in [1.0, 2.0, 4.0] {
+                let g = game(n, alpha);
+                let measured = social_cost(&g, &star_profile(n));
+                assert!(
+                    gncg_graph::approx_eq(measured, star_cost_formula(n, alpha)),
+                    "n={n} α={alpha}: {measured} vs {}",
+                    star_cost_formula(n, alpha)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_is_social_optimum_small() {
+        for alpha in [1.0, 3.0] {
+            let g = game(4, alpha); // 5 nodes
+            let exact = gncg_solvers::opt_exact::social_optimum(&g);
+            let path_cost = social_cost(&g, &path_profile(4));
+            assert!(
+                gncg_graph::approx_eq(exact.cost, path_cost),
+                "path not optimal at α={alpha}: {path_cost} vs {}",
+                exact.cost
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_exceeds_one() {
+        for n in [4, 6] {
+            for alpha in [0.5, 1.0, 2.0, 8.0] {
+                let g = game(n, alpha);
+                let r = social_cost(&g, &star_profile(n)) / social_cost(&g, &path_profile(n));
+                assert!(r > 1.0, "n={n} α={alpha}: ratio {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem18_ratio_matches_measured_4_nodes() {
+        for alpha in [0.5, 1.0, 2.0, 5.0, 10.0] {
+            let g = game(3, alpha); // v0..v3 — 4 nodes
+            let measured =
+                social_cost(&g, &star_profile(3)) / social_cost(&g, &path_profile(3));
+            let formula = theorem18_ratio(alpha);
+            assert!(
+                (measured - formula).abs() < 1e-9,
+                "α={alpha}: measured {measured} vs formula {formula}"
+            );
+        }
+    }
+}

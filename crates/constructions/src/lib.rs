@@ -1,0 +1,37 @@
+//! # gncg-constructions
+//!
+//! Faithful builds of every explicit construction in *Geometric Network
+//! Creation Games*:
+//!
+//! * [`star_tree`] — Theorem 15 / Fig. 6: the tree-metric star family
+//!   witnessing PoA ≥ (α+2)/2 − ε,
+//! * [`clique_of_stars`] — Theorem 8 / Fig. 3: 1-2 lower bounds for
+//!   `1/2 ≤ α ≤ 1`,
+//! * [`star_12`] — Theorem 10: stars are NE in 1-2 graphs for α ≥ 3,
+//! * [`geometric_path`] — Lemma 8 / Fig. 9 and Theorem 18: the geometric
+//!   path family (PoA > 1 for every p-norm; explicit 4-node bound),
+//! * [`cross_polytope`] — Theorem 19 / Fig. 10: 1-norm `R^d` family with
+//!   PoA ≥ 1 + α/(2 + α/(2d−1)),
+//! * [`three_cycle`] — Theorem 20's closing example: the 3-node instance
+//!   where the proof's pairwise bound σ is quadratically loose,
+//! * [`br_cycles`] — Theorems 14 & 17 / Figs. 5 & 8: instances without the
+//!   finite improvement property, plus a certified best-response-cycle
+//!   finder,
+//! * [`vc_gadget`] — Theorem 4 / Fig. 2: NE-decision ≡ Vertex Cover,
+//! * [`sc_tree_gadget`] — Theorem 13 / Fig. 4: tree-metric best response
+//!   ≡ Set Cover,
+//! * [`sc_rd_gadget`] — Theorem 16 / Fig. 7: planar Euclidean best
+//!   response ≡ Set Cover.
+
+pub mod br_cycles;
+pub mod clique_of_stars;
+pub mod conjectures;
+pub mod cross_polytope;
+pub mod geometric_path;
+pub mod ne_oracle;
+pub mod sc_rd_gadget;
+pub mod sc_tree_gadget;
+pub mod star_12;
+pub mod star_tree;
+pub mod three_cycle;
+pub mod vc_gadget;

@@ -1,0 +1,225 @@
+//! Theorem 16 / Figure 7: best response in the `Rd–GNCG` ≡ Minimum Set
+//! Cover, for any p-norm.
+//!
+//! Planar embedding (`α = 1`, `L ≫ ε`, `L/3 > β > kε`):
+//!
+//! * `u` at the origin,
+//! * set nodes `a_i` on the radius-`L` circle, packed into an arc of
+//!   length `ε`,
+//! * element nodes `p_j` on the radius-`2L` circle, packed into an arc of
+//!   length `ε`,
+//! * `b_i` on the line through `u` and `a_i`, on the *opposite* side of
+//!   `u` at distance `(L−β)/2` — so `u, b_i, a_i` are collinear with
+//!   `w(b_i, a_i) = (L−β)/2 + L`.
+//!
+//! Network edges: `(b_i, u)` and `(b_i, a_i)` owned by `b_i`, and
+//! `(a_i, p_j)` for every `p_j ∈ X_i` owned by `a_i`; `u` owns nothing.
+//! Agent `u`'s best response buys exactly a minimum set cover's set nodes.
+
+use gncg_core::{Game, Profile};
+use gncg_graph::NodeId;
+use gncg_metrics::euclidean::{Norm, PointSet};
+use gncg_solvers::set_cover::SetCoverInstance;
+
+pub use crate::sc_tree_gadget::GadgetParams;
+
+/// The Theorem 16 planar gadget.
+#[derive(Clone, Debug)]
+pub struct ScRdGadget {
+    /// The set-cover instance.
+    pub instance: SetCoverInstance,
+    /// Scales.
+    pub params: GadgetParams,
+}
+
+impl ScRdGadget {
+    /// Builds the gadget.
+    pub fn new(instance: SetCoverInstance, params: GadgetParams) -> Self {
+        params.validate(instance.universe);
+        ScRdGadget { instance, params }
+    }
+
+    /// Number of subsets `m`.
+    pub fn m(&self) -> usize {
+        self.instance.sets.len()
+    }
+
+    /// Universe size `k`.
+    pub fn k(&self) -> usize {
+        self.instance.universe
+    }
+
+    /// Total nodes: `u, a_1..a_m, b_1..b_m, p_1..p_k`.
+    pub fn nodes(&self) -> usize {
+        1 + 2 * self.m() + self.k()
+    }
+
+    /// Node id of `u`.
+    pub fn u(&self) -> NodeId {
+        0
+    }
+
+    /// Node id of set node `a_i`.
+    pub fn a(&self, i: usize) -> NodeId {
+        assert!(i < self.m());
+        (1 + i) as NodeId
+    }
+
+    /// Node id of `b_i`.
+    pub fn b(&self, i: usize) -> NodeId {
+        assert!(i < self.m());
+        (1 + self.m() + i) as NodeId
+    }
+
+    /// Node id of element node `p_j`.
+    pub fn p(&self, j: usize) -> NodeId {
+        assert!(j < self.k());
+        (1 + 2 * self.m() + j) as NodeId
+    }
+
+    /// Angle of set node `a_i` (radians): the `a`-nodes span an arc of
+    /// length `ε` on the radius-`L` circle.
+    fn a_angle(&self, i: usize) -> f64 {
+        let m = self.m().max(2) as f64;
+        (i as f64 / (m - 1.0)) * (self.params.eps / self.params.l)
+    }
+
+    /// Angle of element node `p_j`: arc of length `ε` on radius `2L`.
+    fn p_angle(&self, j: usize) -> f64 {
+        let k = self.k().max(2) as f64;
+        (j as f64 / (k - 1.0)) * (self.params.eps / (2.0 * self.params.l))
+    }
+
+    /// The planar point set in node-id order.
+    pub fn points(&self) -> PointSet {
+        let GadgetParams { l, beta, .. } = self.params;
+        let mut pts: Vec<Vec<f64>> = Vec::with_capacity(self.nodes());
+        pts.push(vec![0.0, 0.0]); // u
+        for i in 0..self.m() {
+            let t = self.a_angle(i);
+            pts.push(vec![l * t.cos(), l * t.sin()]);
+        }
+        for i in 0..self.m() {
+            let t = self.a_angle(i);
+            let r = (l - beta) / 2.0;
+            pts.push(vec![-r * t.cos(), -r * t.sin()]);
+        }
+        for j in 0..self.k() {
+            let t = self.p_angle(j);
+            pts.push(vec![2.0 * l * t.cos(), 2.0 * l * t.sin()]);
+        }
+        PointSet::new(pts)
+    }
+
+    /// The game under `norm` (`α = 1` per the reduction).
+    pub fn game(&self, norm: Norm) -> Game {
+        Game::new(self.points().host_matrix(norm), 1.0)
+    }
+
+    /// The reduction's strategy profile (`u` owns nothing).
+    pub fn profile(&self) -> Profile {
+        let mut p = Profile::empty(self.nodes());
+        for i in 0..self.m() {
+            p.buy(self.b(i), self.u());
+            p.buy(self.b(i), self.a(i));
+        }
+        for (i, s) in self.instance.sets.iter().enumerate() {
+            for &j in s {
+                p.buy(self.a(i), self.p(j));
+            }
+        }
+        p
+    }
+
+    /// Extracts the set-cover choice encoded by a strategy of `u`.
+    pub fn cover_of(&self, strategy: &std::collections::BTreeSet<NodeId>) -> Vec<usize> {
+        (0..self.m())
+            .filter(|&i| strategy.contains(&self.a(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_core::response::exact_best_response;
+    use gncg_solvers::set_cover::exact_min_cover;
+
+    fn instance() -> SetCoverInstance {
+        SetCoverInstance::new(3, vec![vec![0, 1], vec![1, 2], vec![2]])
+    }
+
+    fn gadget() -> ScRdGadget {
+        ScRdGadget::new(instance(), GadgetParams::default_for(3))
+    }
+
+    #[test]
+    fn geometry() {
+        let g = gadget();
+        let game = g.game(Norm::L2);
+        let GadgetParams { l, eps, beta } = g.params;
+        // u–a_i distance L; u–p_j distance 2L; u–b_i distance (L−β)/2.
+        for i in 0..g.m() {
+            assert!((game.w(g.u(), g.a(i)) - l).abs() < 1e-9);
+            assert!((game.w(g.u(), g.b(i)) - (l - beta) / 2.0).abs() < 1e-9);
+        }
+        for j in 0..g.k() {
+            assert!((game.w(g.u(), g.p(j)) - 2.0 * l).abs() < 1e-9);
+        }
+        // Collinearity: w(b_i, a_i) = (L−β)/2 + L.
+        for i in 0..g.m() {
+            assert!((game.w(g.b(i), g.a(i)) - ((l - beta) / 2.0 + l)).abs() < 1e-9);
+        }
+        // Set nodes packed within ε of each other.
+        assert!(game.w(g.a(0), g.a(g.m() - 1)) <= eps + 1e-9);
+    }
+
+    #[test]
+    fn baseline_network_distances() {
+        let g = gadget();
+        let game = g.game(Norm::L2);
+        let net = g.profile().build_network(&game);
+        let d = gncg_graph::dijkstra::dijkstra(&net, g.u());
+        let GadgetParams { l, beta, .. } = g.params;
+        assert!((d[g.a(0) as usize] - (2.0 * l - beta)).abs() < 1e-9);
+        assert!((d[g.p(0) as usize] - (3.0 * l - beta)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn best_response_of_u_is_minimum_set_cover_l2() {
+        run_br_check(Norm::L2);
+    }
+
+    #[test]
+    fn best_response_of_u_is_minimum_set_cover_other_norms() {
+        // The reduction works for any p-norm (Theorem 16).
+        run_br_check(Norm::L1);
+        run_br_check(Norm::Lp(3.0));
+    }
+
+    fn run_br_check(norm: Norm) {
+        let g = gadget();
+        let game = g.game(norm);
+        let p = g.profile();
+        let br = exact_best_response(&game, &p, g.u());
+        assert!(br.improves(), "u must profit ({norm:?})");
+        assert!(
+            br.strategy
+                .iter()
+                .all(|&v| (1..1 + g.m() as NodeId).contains(&v)),
+            "BR must buy set nodes only under {norm:?}, got {:?}",
+            br.strategy
+        );
+        let cover = g.cover_of(&br.strategy);
+        assert!(g.instance.is_cover(&cover));
+        assert_eq!(cover.len(), exact_min_cover(&g.instance).len(), "{norm:?}");
+    }
+
+    #[test]
+    fn host_is_metric() {
+        let g = gadget();
+        for norm in [Norm::L1, Norm::L2, Norm::LInf] {
+            assert!(g.points().host_matrix(norm).satisfies_triangle_inequality());
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Theorem 13 / Figure 4: best response in the T–GNCG ≡ Minimum Set Cover.
+//!
+//! Given a set-cover instance (universe `U` of `k` elements, `m` subsets
+//! `X_i`), build the weighted tree (with `α = 1`, `L ≫ ε`,
+//! `L/3 > β > kε`):
+//!
+//! * `(c, u)` of weight `L − ε`,
+//! * `(u, b_i)` of weight `(L − β)/2` for every subset,
+//! * `(c, a_i)` of weight `ε` for every subset,
+//! * `(a_i, p_j)` of weight `L` for the one subset each element is
+//!   attached to in the tree.
+//!
+//! The strategy profile: `c` and every `b_i` own their edge to `u`;
+//! additionally the network contains `(b_i, a_i)` (owned by `b_i`) and
+//! `(a_i, p_j)` for every `p_j ∈ X_i` (owned by `a_i`); `u` owns nothing.
+//! Agent `u`'s best response buys exactly the set nodes of a minimum set
+//! cover.
+
+use gncg_core::{Game, Profile};
+use gncg_graph::{NodeId, SymMatrix, WeightedTree};
+use gncg_solvers::set_cover::SetCoverInstance;
+
+/// Gadget parameters (`L ≫ ε`, `L/3 > β > kε`).
+#[derive(Clone, Copy, Debug)]
+pub struct GadgetParams {
+    /// The large scale `L`.
+    pub l: f64,
+    /// The tiny scale `ε`.
+    pub eps: f64,
+    /// The separation `β`.
+    pub beta: f64,
+}
+
+impl GadgetParams {
+    /// Sensible defaults for a universe of size `k`: `L = 100`,
+    /// `ε = 0.01`, `β = 1`.
+    pub fn default_for(k: usize) -> Self {
+        let p = GadgetParams {
+            l: 100.0,
+            eps: 0.01,
+            beta: 1.0,
+        };
+        p.validate(k);
+        p
+    }
+
+    /// Validates the parameter constraints of the reduction.
+    pub fn validate(&self, k: usize) {
+        assert!(self.l > 0.0 && self.eps > 0.0 && self.beta > 0.0);
+        assert!(
+            self.beta > k as f64 * self.eps,
+            "need β > kε for the reduction"
+        );
+        assert!(self.beta < self.l / 3.0, "need β < L/3");
+        assert!(self.l > 10.0 * self.eps, "need L >> ε");
+    }
+}
+
+/// The Theorem 13 gadget.
+#[derive(Clone, Debug)]
+pub struct ScTreeGadget {
+    /// The set-cover instance.
+    pub instance: SetCoverInstance,
+    /// Scales.
+    pub params: GadgetParams,
+}
+
+impl ScTreeGadget {
+    /// Builds the gadget.
+    pub fn new(instance: SetCoverInstance, params: GadgetParams) -> Self {
+        params.validate(instance.universe);
+        ScTreeGadget { instance, params }
+    }
+
+    /// Number of subsets `m`.
+    pub fn m(&self) -> usize {
+        self.instance.sets.len()
+    }
+
+    /// Universe size `k`.
+    pub fn k(&self) -> usize {
+        self.instance.universe
+    }
+
+    /// Total nodes: `u, c, a_1..a_m, b_1..b_m, p_1..p_k`.
+    pub fn nodes(&self) -> usize {
+        2 + 2 * self.m() + self.k()
+    }
+
+    /// Node id of `u`.
+    pub fn u(&self) -> NodeId {
+        0
+    }
+
+    /// Node id of `c`.
+    pub fn c(&self) -> NodeId {
+        1
+    }
+
+    /// Node id of set node `a_i`.
+    pub fn a(&self, i: usize) -> NodeId {
+        assert!(i < self.m());
+        (2 + i) as NodeId
+    }
+
+    /// Node id of `b_i`.
+    pub fn b(&self, i: usize) -> NodeId {
+        assert!(i < self.m());
+        (2 + self.m() + i) as NodeId
+    }
+
+    /// Node id of element node `p_j`.
+    pub fn p(&self, j: usize) -> NodeId {
+        assert!(j < self.k());
+        (2 + 2 * self.m() + j) as NodeId
+    }
+
+    /// The set node each element is attached to in the tree (the first
+    /// subset containing it).
+    pub fn attachment(&self, j: usize) -> usize {
+        self.instance
+            .sets
+            .iter()
+            .position(|s| s.contains(&j))
+            .expect("instance covers the universe")
+    }
+
+    /// The defining weighted tree.
+    pub fn tree(&self) -> WeightedTree {
+        let GadgetParams { l, eps, beta } = self.params;
+        let mut edges = vec![(self.c(), self.u(), l - eps)];
+        for i in 0..self.m() {
+            edges.push((self.u(), self.b(i), (l - beta) / 2.0));
+            edges.push((self.c(), self.a(i), eps));
+        }
+        for j in 0..self.k() {
+            edges.push((self.a(self.attachment(j)), self.p(j), l));
+        }
+        WeightedTree::new(self.nodes(), edges)
+    }
+
+    /// The host matrix (metric closure of the tree).
+    pub fn host(&self) -> SymMatrix {
+        self.tree().metric_closure()
+    }
+
+    /// The game (`α = 1` per the reduction).
+    pub fn game(&self) -> Game {
+        Game::new(self.host(), 1.0)
+    }
+
+    /// The reduction's strategy profile (u owns nothing).
+    pub fn profile(&self) -> Profile {
+        let mut p = Profile::empty(self.nodes());
+        p.buy(self.c(), self.u());
+        for i in 0..self.m() {
+            p.buy(self.b(i), self.u());
+            p.buy(self.b(i), self.a(i));
+        }
+        for j in 0..self.k() {
+            for (i, s) in self.instance.sets.iter().enumerate() {
+                if s.contains(&j) {
+                    p.buy(self.a(i), self.p(j));
+                }
+            }
+        }
+        p
+    }
+
+    /// Extracts the set-cover choice encoded by a strategy of `u`
+    /// (indices of bought set nodes).
+    pub fn cover_of(&self, strategy: &std::collections::BTreeSet<NodeId>) -> Vec<usize> {
+        (0..self.m())
+            .filter(|&i| strategy.contains(&self.a(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_core::response::exact_best_response;
+    use gncg_solvers::set_cover::exact_min_cover;
+
+    fn instance() -> SetCoverInstance {
+        // U = {0,1,2}; X1 = {0,1}, X2 = {1,2}, X3 = {2}. Min cover = {X1, X2}.
+        SetCoverInstance::new(3, vec![vec![0, 1], vec![1, 2], vec![2]])
+    }
+
+    fn gadget() -> ScTreeGadget {
+        ScTreeGadget::new(instance(), GadgetParams::default_for(3))
+    }
+
+    #[test]
+    fn layout_and_distances() {
+        let g = gadget();
+        assert_eq!(g.nodes(), 2 + 6 + 3);
+        let host = g.host();
+        let GadgetParams { l, eps, beta } = g.params;
+        // w(u, a_i) = (L−ε) + ε = L.
+        assert!(gncg_graph::approx_eq(host.get(g.u(), g.a(0)), l));
+        // w(u, p_j) = L + L = 2L (via c and the attachment set node).
+        assert!(gncg_graph::approx_eq(host.get(g.u(), g.p(0)), 2.0 * l));
+        // w(b_i, a_i) = (L−β)/2 + L.
+        assert!(gncg_graph::approx_eq(
+            host.get(g.b(0), g.a(0)),
+            (l - beta) / 2.0 + l
+        ));
+        // Set nodes are 2ε apart.
+        assert!(gncg_graph::approx_eq(host.get(g.a(0), g.a(1)), 2.0 * eps));
+    }
+
+    #[test]
+    fn baseline_distances_in_profile_network() {
+        let g = gadget();
+        let game = g.game();
+        let net = g.profile().build_network(&game);
+        let d = gncg_graph::dijkstra::dijkstra(&net, g.u());
+        let GadgetParams { l, beta, .. } = g.params;
+        // d_G(u, a_i) = 2L − β (via b_i).
+        assert!(gncg_graph::approx_eq(d[g.a(0) as usize], 2.0 * l - beta));
+        // d_G(u, p_j) = 3L − β.
+        assert!(gncg_graph::approx_eq(d[g.p(0) as usize], 3.0 * l - beta));
+    }
+
+    #[test]
+    fn best_response_of_u_is_minimum_set_cover() {
+        let g = gadget();
+        let game = g.game();
+        let p = g.profile();
+        let br = exact_best_response(&game, &p, g.u());
+        assert!(br.improves(), "u must profit from buying set edges");
+        // Strategy consists solely of set nodes.
+        assert!(
+            br.strategy.iter().all(|&v| (2..2 + g.m() as NodeId).contains(&v)),
+            "BR must buy set nodes only, got {:?}",
+            br.strategy
+        );
+        let cover = g.cover_of(&br.strategy);
+        assert!(g.instance.is_cover(&cover), "BR must encode a cover");
+        let min_size = exact_min_cover(&g.instance).len();
+        assert_eq!(
+            cover.len(),
+            min_size,
+            "BR must encode a *minimum* cover (got {cover:?})"
+        );
+    }
+
+    #[test]
+    fn larger_cover_strategies_cost_more() {
+        let g = gadget();
+        let game = g.game();
+        let p = g.profile();
+        let base = gncg_core::cost::base_graph_without(&game, &p, g.u());
+        // Cover {X1, X2} (min) vs cover {X1, X2, X3}.
+        let small: std::collections::BTreeSet<NodeId> = [g.a(0), g.a(1)].into_iter().collect();
+        let large: std::collections::BTreeSet<NodeId> =
+            [g.a(0), g.a(1), g.a(2)].into_iter().collect();
+        let cs = gncg_core::cost::candidate_cost(&game, &base, g.u(), &small).total();
+        let cl = gncg_core::cost::candidate_cost(&game, &base, g.u(), &large).total();
+        assert!(cs < cl, "smaller cover must be cheaper: {cs} vs {cl}");
+    }
+
+    #[test]
+    fn non_cover_strategies_are_improvable() {
+        // Buying only X3 = {2} leaves elements 0, 1 uncovered; the BR from
+        // that state must improve.
+        let g = gadget();
+        let game = g.game();
+        let mut p = g.profile();
+        p.buy(g.u(), g.a(2));
+        let br = exact_best_response(&game, &p, g.u());
+        assert!(br.improves());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_params_rejected() {
+        // β < kε violates the reduction constraint.
+        ScTreeGadget::new(
+            instance(),
+            GadgetParams {
+                l: 100.0,
+                eps: 1.0,
+                beta: 2.0,
+            },
+        );
+    }
+}

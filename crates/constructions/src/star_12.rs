@@ -1,0 +1,74 @@
+//! Theorem 10: in the 1-2–GNCG every spanning star is a NE for `α ≥ 3`.
+//!
+//! The center owns all edges. A leaf's only possible improvement is an
+//! edge addition; in the worst case (center 2 away from both leaves,
+//! leaves 1 apart) an added edge saves distance 3 at price `α ≥ 3` — never
+//! a strict improvement.
+
+use gncg_core::{Game, Profile};
+use gncg_graph::{NodeId, SymMatrix};
+
+/// A center-owned spanning star profile on `n` nodes.
+pub fn star_profile(n: usize, center: NodeId) -> Profile {
+    Profile::star(n, center)
+}
+
+/// The game on a given 1-2 host.
+///
+/// # Panics
+/// Panics if the host is not a 1-2 matrix.
+pub fn game(host: SymMatrix, alpha: f64) -> Game {
+    assert!(
+        gncg_metrics::onetwo::is_one_two(&host),
+        "Theorem 10 concerns 1-2 hosts"
+    );
+    Game::new(host, alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_core::equilibrium::{is_greedy_equilibrium, is_nash_equilibrium};
+
+    #[test]
+    fn stars_are_ne_for_alpha_3_on_random_12_hosts() {
+        for seed in 0..6u64 {
+            let host = gncg_metrics::onetwo::random(7, 0.5, seed);
+            let g = game(host, 3.0);
+            for center in [0, 3] {
+                assert!(
+                    is_nash_equilibrium(&g, &star_profile(7, center)),
+                    "seed {seed}, center {center}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stars_remain_ne_above_3() {
+        let host = gncg_metrics::onetwo::random(6, 0.4, 1);
+        for alpha in [3.0, 5.0, 50.0] {
+            let g = game(host.clone(), alpha);
+            assert!(is_nash_equilibrium(&g, &star_profile(6, 0)), "α = {alpha}");
+        }
+    }
+
+    #[test]
+    fn worst_case_witness_below_3() {
+        // The theorem's threshold is witnessed: center 2-away from two
+        // leaves that are 1 apart; for α < 3 buying the 1-edge saves 3 > α.
+        let mut host = SymMatrix::filled(3, 2.0);
+        host.set(1, 2, 1.0);
+        let g = game(host, 2.5);
+        assert!(!is_nash_equilibrium(&g, &star_profile(3, 0)));
+        let g3 = g.with_alpha(3.0);
+        assert!(is_nash_equilibrium(&g3, &star_profile(3, 0)));
+    }
+
+    #[test]
+    fn star_ge_implies_the_cheaper_check_passes_too() {
+        let host = gncg_metrics::onetwo::random(10, 0.5, 2);
+        let g = game(host, 4.0);
+        assert!(is_greedy_equilibrium(&g, &star_profile(10, 5)));
+    }
+}

@@ -1,0 +1,148 @@
+//! Theorem 15 / Figure 6: the tree-metric star family.
+//!
+//! The defining tree `S*_n` is a star with center `u` (node 0), `n−2` leaf
+//! edges of weight `2/α` (nodes 2..n) and one special edge `(u, v)` of
+//! weight 1 (`v` = node 1). The social optimum is `S*_n` itself
+//! (Corollary 3) with
+//!
+//! ```text
+//! cost(S*_n) = (2n + α − 2) · ((n−2)·2/α + 1).
+//! ```
+//!
+//! The spanning star `S_n` centered at `v` — one edge of weight 1 to `u`
+//! and `n−2` edges of weight `1 + 2/α` to the leaves, all owned by `v` —
+//! is a Nash Equilibrium with
+//!
+//! ```text
+//! cost(S_n) = (2n + α − 2) · ((n−2)(1 + 2/α) + 1),
+//! ```
+//!
+//! so `cost(S_n)/cost(S*_n) → (α+2)/2` as `n → ∞`, matching the Theorem 1
+//! upper bound: the M–GNCG PoA bound is tight already on tree metrics.
+
+use gncg_core::{Game, Profile};
+use gncg_graph::{NodeId, WeightedTree};
+
+/// Node index of the star center `u` of the defining tree.
+pub const U: NodeId = 0;
+/// Node index of the special neighbor `v` (the NE star center).
+pub const V: NodeId = 1;
+
+/// The defining weighted tree `S*_n` (requires `n >= 3`).
+pub fn defining_tree(n: usize, alpha: f64) -> WeightedTree {
+    assert!(n >= 3, "the family needs n >= 3");
+    assert!(alpha > 0.0);
+    let mut edges = vec![(U, V, 1.0)];
+    for leaf in 2..n as NodeId {
+        edges.push((U, leaf, 2.0 / alpha));
+    }
+    WeightedTree::new(n, edges)
+}
+
+/// The game on the metric closure of the defining tree.
+pub fn game(n: usize, alpha: f64) -> Game {
+    Game::new(defining_tree(n, alpha).metric_closure(), alpha)
+}
+
+/// The social-optimum profile: the defining tree, edges owned by `u`
+/// (ownership is irrelevant for social cost).
+pub fn opt_profile(n: usize) -> Profile {
+    Profile::star(n, U)
+}
+
+/// The NE profile: the spanning star centered at `v`, all edges owned by
+/// `v`.
+pub fn ne_profile(n: usize) -> Profile {
+    Profile::star(n, V)
+}
+
+/// Closed-form social cost of the optimum (paper, proof of Thm 15).
+pub fn opt_cost_formula(n: usize, alpha: f64) -> f64 {
+    let nn = n as f64;
+    (2.0 * nn + alpha - 2.0) * ((nn - 2.0) * 2.0 / alpha + 1.0)
+}
+
+/// Closed-form social cost of the NE star (paper, proof of Thm 15).
+pub fn ne_cost_formula(n: usize, alpha: f64) -> f64 {
+    let nn = n as f64;
+    (2.0 * nn + alpha - 2.0) * ((nn - 2.0) * (1.0 + 2.0 / alpha) + 1.0)
+}
+
+/// The ratio of the two closed forms (approaches `(α+2)/2` as `n → ∞`).
+pub fn ratio_formula(n: usize, alpha: f64) -> f64 {
+    ne_cost_formula(n, alpha) / opt_cost_formula(n, alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_core::cost::social_cost;
+    use gncg_core::equilibrium::is_nash_equilibrium;
+
+    #[test]
+    fn measured_costs_match_formulas() {
+        for n in [3, 5, 8] {
+            for alpha in [0.5, 1.0, 2.0, 5.0] {
+                let g = game(n, alpha);
+                let opt = social_cost(&g, &opt_profile(n));
+                let ne = social_cost(&g, &ne_profile(n));
+                assert!(
+                    gncg_graph::approx_eq(opt, opt_cost_formula(n, alpha)),
+                    "opt n={n} α={alpha}: {opt} vs {}",
+                    opt_cost_formula(n, alpha)
+                );
+                assert!(
+                    gncg_graph::approx_eq(ne, ne_cost_formula(n, alpha)),
+                    "ne n={n} α={alpha}: {ne} vs {}",
+                    ne_cost_formula(n, alpha)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ne_profile_is_certified_nash() {
+        for n in [4, 6, 8] {
+            for alpha in [0.5, 1.0, 3.0] {
+                let g = game(n, alpha);
+                assert!(
+                    is_nash_equilibrium(&g, &ne_profile(n)),
+                    "star at v must be NE (n={n}, α={alpha})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn opt_is_exact_social_optimum_small() {
+        for alpha in [0.8, 2.0] {
+            let g = game(5, alpha);
+            let exact = gncg_solvers::opt_exact::social_optimum(&g);
+            let tree_cost = social_cost(&g, &opt_profile(5));
+            assert!(gncg_graph::approx_eq(exact.cost, tree_cost));
+        }
+    }
+
+    #[test]
+    fn ratio_approaches_metric_bound() {
+        let alpha = 4.0;
+        let bound = gncg_core::poa::metric_upper_bound(alpha);
+        let r_small = ratio_formula(5, alpha);
+        let r_big = ratio_formula(100_000, alpha);
+        assert!(r_small < r_big);
+        assert!(r_big < bound);
+        assert!(bound - r_big < 1e-3, "ratio must approach (α+2)/2");
+    }
+
+    #[test]
+    fn ratio_never_exceeds_upper_bound() {
+        for n in [3, 10, 100, 10_000] {
+            for alpha in [0.25, 1.0, 7.0, 40.0] {
+                assert!(
+                    ratio_formula(n, alpha)
+                        <= gncg_core::poa::metric_upper_bound(alpha) + 1e-12
+                );
+            }
+        }
+    }
+}

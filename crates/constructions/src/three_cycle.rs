@@ -1,0 +1,118 @@
+//! Theorem 20's closing example: the 3-node instance showing the
+//! `((α+2)/2)²` technique is pairwise-tight but globally loose.
+//!
+//! Host: a triangle with weights `w(a,b) = 0`, `w(b,c) = 1`,
+//! `w(a,c) = (α+2)/2` (non-metric for α > 0: the direct `a–c` edge is
+//! longer than the `a–b–c` detour).
+//!
+//! * OPT — the path `{(a,b), (b,c)}` of weight 0 + 1,
+//! * NE — the path `{(a,b), (a,c)}` of weight 0 + (α+2)/2, with `a`
+//!   owning both edges,
+//!
+//! For the endpoints of the heavy edge the per-pair ratio σ of the
+//! Theorem 20 proof equals `((α+2)/2)²`, yet the true cost ratio is only
+//! `(α+2)/2` — supporting Conjecture 2 (the GNCG PoA should be `(α+2)/2`).
+
+use gncg_core::{Game, Profile};
+use gncg_graph::SymMatrix;
+
+/// Node ids.
+pub const A: u32 = 0;
+/// Node `b` — the middle of the optimal path.
+pub const B: u32 = 1;
+/// Node `c` — the far endpoint.
+pub const C: u32 = 2;
+
+/// The host triangle for a given α.
+pub fn host(alpha: f64) -> SymMatrix {
+    let mut w = SymMatrix::zeros(3);
+    w.set(A, B, 0.0);
+    w.set(B, C, 1.0);
+    w.set(A, C, (alpha + 2.0) / 2.0);
+    w
+}
+
+/// The game.
+pub fn game(alpha: f64) -> Game {
+    Game::new(host(alpha), alpha)
+}
+
+/// OPT: the light path, owned by `a` and `b`.
+pub fn opt_profile() -> Profile {
+    Profile::from_owned_edges(3, &[(A, B), (B, C)])
+}
+
+/// NE: the heavy path, both edges owned by `a`.
+pub fn ne_profile() -> Profile {
+    Profile::from_owned_edges(3, &[(A, B), (A, C)])
+}
+
+/// The per-pair σ of the Theorem 20 proof for the heavy edge `(a, c)`:
+/// `(α·w + 2w) / (2·d_OPT)` with `w = (α+2)/2`, `d_OPT(a,c) = 1`.
+pub fn sigma(alpha: f64) -> f64 {
+    let w = (alpha + 2.0) / 2.0;
+    (alpha * w + 2.0 * w) / 2.0
+}
+
+/// The true social-cost ratio of the two profiles: `(α+2)/2`.
+pub fn true_ratio(alpha: f64) -> f64 {
+    (alpha + 2.0) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_core::cost::social_cost;
+    use gncg_core::equilibrium::is_nash_equilibrium;
+
+    #[test]
+    fn host_is_nonmetric() {
+        for alpha in [0.5, 1.0, 4.0] {
+            assert!(!host(alpha).satisfies_triangle_inequality(), "α={alpha}");
+        }
+    }
+
+    #[test]
+    fn ne_profile_is_certified() {
+        for alpha in [0.5, 1.0, 2.0, 7.0] {
+            let g = game(alpha);
+            assert!(is_nash_equilibrium(&g, &ne_profile()), "α={alpha}");
+        }
+    }
+
+    #[test]
+    fn opt_profile_is_exact_optimum() {
+        for alpha in [0.5, 2.0, 5.0] {
+            let g = game(alpha);
+            let exact = gncg_solvers::opt_exact::social_optimum(&g);
+            let path = social_cost(&g, &opt_profile());
+            assert!(gncg_graph::approx_eq(exact.cost, path), "α={alpha}");
+        }
+    }
+
+    #[test]
+    fn measured_ratio_is_metric_bound_not_sigma() {
+        for alpha in [0.5, 1.0, 3.0, 10.0] {
+            let g = game(alpha);
+            let r = social_cost(&g, &ne_profile()) / social_cost(&g, &opt_profile());
+            assert!(
+                (r - true_ratio(alpha)).abs() < 1e-9,
+                "α={alpha}: measured {r} vs (α+2)/2 = {}",
+                true_ratio(alpha)
+            );
+            // σ is genuinely quadratic: ((α+2)/2)².
+            let expected_sigma = ((alpha + 2.0) / 2.0) * ((alpha + 2.0) / 2.0);
+            assert!((sigma(alpha) - expected_sigma).abs() < 1e-9);
+            assert!(sigma(alpha) > r, "σ must exceed the true ratio (α={alpha})");
+        }
+    }
+
+    #[test]
+    fn ratio_within_general_upper_bound() {
+        for alpha in [0.5, 2.0, 9.0] {
+            let g = game(alpha);
+            let r = social_cost(&g, &ne_profile()) / social_cost(&g, &opt_profile());
+            assert!(r <= gncg_core::poa::general_upper_bound(alpha) + 1e-9);
+        }
+    }
+}

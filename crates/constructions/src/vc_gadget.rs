@@ -1,0 +1,247 @@
+//! Theorem 4 / Figure 2: deciding NE membership is NP-hard — the Vertex
+//! Cover gadget.
+//!
+//! Given a (subcubic) Vertex Cover instance with `N` vertices and `m`
+//! edges, build a 1-2 host at `α = 1`:
+//!
+//! * a *vertex node* `a_i` per VC vertex,
+//! * two *edge nodes* `p_j, p'_j` per VC edge,
+//! * one special node `u`.
+//!
+//! 1-edges: `a_i ↔ p_j, p'_j` iff `v_i` is an endpoint of `e_j`, and all
+//! pairs of vertex nodes. Everything else (including every `u`-edge) has
+//! weight 2.
+//!
+//! In the profile where all 1-edges are bought (one owner each) and `u`
+//! buys 2-edges to the vertex nodes of a vertex cover of size `k`, agent
+//! `u`'s cost is `3N + 6m + k'` for any deviation to a cover of size
+//! `k'` — so `u`'s best response *is* a minimum vertex cover, and deciding
+//! whether the profile is a NE decides whether a smaller cover exists.
+
+use gncg_core::{Game, Profile};
+use gncg_graph::{NodeId, SymMatrix};
+use gncg_metrics::onetwo;
+use gncg_solvers::vertex_cover::CoverGraph;
+
+/// The Theorem 4 gadget built from a Vertex Cover instance.
+#[derive(Clone, Debug)]
+pub struct VcGadget {
+    /// The underlying VC instance.
+    pub instance: CoverGraph,
+}
+
+impl VcGadget {
+    /// Wraps an instance.
+    pub fn new(instance: CoverGraph) -> Self {
+        VcGadget { instance }
+    }
+
+    /// Number of VC vertices `N`.
+    pub fn n_vertices(&self) -> usize {
+        self.instance.n
+    }
+
+    /// Number of VC edges `m`.
+    pub fn m_edges(&self) -> usize {
+        self.instance.edges.len()
+    }
+
+    /// Total gadget nodes: `N + 2m + 1`.
+    pub fn nodes(&self) -> usize {
+        self.n_vertices() + 2 * self.m_edges() + 1
+    }
+
+    /// Id of vertex node `a_i`.
+    pub fn vertex_node(&self, i: usize) -> NodeId {
+        assert!(i < self.n_vertices());
+        i as NodeId
+    }
+
+    /// Id of edge node `p_j`.
+    pub fn edge_node(&self, j: usize) -> NodeId {
+        assert!(j < self.m_edges());
+        (self.n_vertices() + 2 * j) as NodeId
+    }
+
+    /// Id of edge node `p'_j`.
+    pub fn edge_node_prime(&self, j: usize) -> NodeId {
+        assert!(j < self.m_edges());
+        (self.n_vertices() + 2 * j + 1) as NodeId
+    }
+
+    /// Id of the special node `u`.
+    pub fn u(&self) -> NodeId {
+        (self.nodes() - 1) as NodeId
+    }
+
+    /// The gadget's 1-edges.
+    pub fn one_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut edges = Vec::new();
+        let nv = self.n_vertices();
+        for i in 0..nv {
+            for k in (i + 1)..nv {
+                edges.push((self.vertex_node(i), self.vertex_node(k)));
+            }
+        }
+        for (j, &(x, y)) in self.instance.edges.iter().enumerate() {
+            for endpoint in [x, y] {
+                edges.push((self.vertex_node(endpoint), self.edge_node(j)));
+                edges.push((self.vertex_node(endpoint), self.edge_node_prime(j)));
+            }
+        }
+        edges
+    }
+
+    /// The 1-2 host matrix.
+    pub fn host(&self) -> SymMatrix {
+        onetwo::from_one_edges(self.nodes(), &self.one_edges())
+    }
+
+    /// The game (always `α = 1` per the reduction).
+    pub fn game(&self) -> Game {
+        Game::new(self.host(), 1.0)
+    }
+
+    /// The reduction's profile: every 1-edge bought by its smaller
+    /// endpoint; `u` buys 2-edges towards the vertex nodes in `cover`.
+    ///
+    /// # Panics
+    /// Panics if `cover` is not a vertex cover of the instance.
+    pub fn profile_with_cover(&self, cover: &[usize]) -> Profile {
+        assert!(
+            self.instance.is_cover(cover),
+            "u's strategy must correspond to a vertex cover"
+        );
+        let mut p = Profile::from_owned_edges(self.nodes(), &self.one_edges());
+        for &i in cover {
+            p.buy(self.u(), self.vertex_node(i));
+        }
+        p
+    }
+
+    /// The size of the cover encoded by `u`'s strategy in a profile
+    /// (counts bought vertex nodes).
+    pub fn cover_of_u(&self, profile: &Profile) -> Vec<usize> {
+        profile
+            .strategy(self.u())
+            .iter()
+            .filter(|&&v| (v as usize) < self.n_vertices())
+            .map(|&v| v as usize)
+            .collect()
+    }
+
+    /// The paper's cost formula for `u` when playing a cover of size `k'`:
+    /// `3N + 6m + k'`.
+    pub fn u_cost_formula(&self, k: usize) -> f64 {
+        (3 * self.n_vertices() + 6 * self.m_edges() + k) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_core::response::exact_best_response;
+    use gncg_solvers::vertex_cover::exact_min_cover;
+
+    /// Path graph v0 - v1 - v2: minimum cover = {v1}.
+    fn p3() -> VcGadget {
+        VcGadget::new(CoverGraph::new(3, &[(0, 1), (1, 2)]))
+    }
+
+    #[test]
+    fn layout() {
+        let g = p3();
+        assert_eq!(g.nodes(), 3 + 4 + 1);
+        assert_eq!(g.u(), 7);
+        let host = g.host();
+        assert!(gncg_metrics::onetwo::is_one_two(&host));
+        // u has no 1-edges.
+        for v in 0..7 {
+            assert_eq!(host.get(7, v), 2.0);
+        }
+        // a1 (cover vertex) 1-adjacent to all edge nodes.
+        for j in 0..2 {
+            assert_eq!(host.get(1, g.edge_node(j)), 1.0);
+            assert_eq!(host.get(1, g.edge_node_prime(j)), 1.0);
+        }
+        // a0 only 1-adjacent to edge 0's nodes.
+        assert_eq!(host.get(0, g.edge_node(0)), 1.0);
+        assert_eq!(host.get(0, g.edge_node(1)), 2.0);
+    }
+
+    #[test]
+    fn u_cost_matches_formula() {
+        let gadget = p3();
+        let game = gadget.game();
+        // Optimal cover {1}: cost = 3·3 + 6·2 + 1 = 22.
+        let p = gadget.profile_with_cover(&[1]);
+        let c = gncg_core::cost::agent_cost(&game, &p, gadget.u()).total();
+        assert!(gncg_graph::approx_eq(c, gadget.u_cost_formula(1)));
+        // Suboptimal cover {0, 2}: cost = 22 + 1 = 23... formula with k=2.
+        let p2 = gadget.profile_with_cover(&[0, 2]);
+        let c2 = gncg_core::cost::agent_cost(&game, &p2, gadget.u()).total();
+        assert!(gncg_graph::approx_eq(c2, gadget.u_cost_formula(2)));
+    }
+
+    #[test]
+    fn best_response_of_u_is_minimum_cover() {
+        let gadget = p3();
+        let game = gadget.game();
+        // Start u from the suboptimal cover {0, 2}.
+        let p = gadget.profile_with_cover(&[0, 2]);
+        let br = exact_best_response(&game, &p, gadget.u());
+        assert!(br.improves());
+        // The best response must cost exactly formula(min cover size).
+        let min_k = exact_min_cover(&gadget.instance).len();
+        assert_eq!(min_k, 1);
+        assert!(gncg_graph::approx_eq(br.cost, gadget.u_cost_formula(min_k)));
+        // And the strategy is exactly a minimum vertex cover of vertex nodes.
+        let bought: Vec<usize> = br.strategy.iter().map(|&v| v as usize).collect();
+        assert!(bought.iter().all(|&v| v < gadget.n_vertices()));
+        assert!(gadget.instance.is_cover(&bought));
+        assert_eq!(bought.len(), min_k);
+    }
+
+    #[test]
+    fn minimum_cover_profile_is_stable_for_u() {
+        let gadget = p3();
+        let game = gadget.game();
+        let p = gadget.profile_with_cover(&[1]);
+        let br = exact_best_response(&game, &p, gadget.u());
+        assert!(
+            !br.improves(),
+            "with a minimum cover u must have no improving deviation"
+        );
+    }
+
+    #[test]
+    fn ne_decision_equals_minimality() {
+        // The full NE-decision equivalence on a 4-cycle: min cover = 2.
+        let gadget = VcGadget::new(CoverGraph::new(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]));
+        let game = gadget.game();
+        let min_cover = exact_min_cover(&gadget.instance);
+        assert_eq!(min_cover.len(), 2);
+        // u playing a minimum cover: no improving move.
+        let stable = gadget.profile_with_cover(&min_cover);
+        assert!(!exact_best_response(&game, &stable, gadget.u()).improves());
+        // u playing a size-3 cover: improving move exists.
+        let slack = gadget.profile_with_cover(&[0, 1, 2]);
+        assert!(exact_best_response(&game, &slack, gadget.u()).improves());
+    }
+
+    #[test]
+    fn other_agents_are_stable_in_reduction_profile() {
+        // The reduction requires every agent except u to already play a
+        // best response.
+        let gadget = p3();
+        let game = gadget.game();
+        let p = gadget.profile_with_cover(&[1]);
+        for agent in 0..gadget.nodes() as NodeId - 1 {
+            let br = exact_best_response(&game, &p, agent);
+            assert!(
+                !br.improves(),
+                "agent {agent} should be stable in the gadget profile"
+            );
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Equilibrium analysis: per-agent cost decomposition and fairness
+//! statistics.
+//!
+//! The model's story (§1.3) is about who pays for shared infrastructure:
+//! in an equilibrium some agents own many edges (hubs) while others free
+//! ride on connectivity bought by their neighbors. This module quantifies
+//! that split for any profile.
+
+use gncg_graph::NodeId;
+
+use crate::cost::{agent_cost_in, CostBreakdown};
+use crate::{Game, Profile};
+
+/// Per-agent cost record.
+#[derive(Clone, Debug)]
+pub struct AgentReport {
+    /// The agent.
+    pub agent: NodeId,
+    /// Its cost split.
+    pub cost: CostBreakdown,
+    /// Edges bought by the agent.
+    pub edges_bought: usize,
+    /// Degree in the built network (bought + received).
+    pub degree: usize,
+}
+
+/// Profile-level analysis.
+#[derive(Clone, Debug)]
+pub struct ProfileReport {
+    /// Per-agent rows, indexed by agent id.
+    pub agents: Vec<AgentReport>,
+    /// Social cost (sum of agent totals).
+    pub social_cost: f64,
+    /// Total edge expenditure across agents.
+    pub total_edge_cost: f64,
+    /// Total distance cost across agents.
+    pub total_distance_cost: f64,
+    /// Count of agents buying no edges at all (free riders).
+    pub free_riders: usize,
+    /// Max/min agent total cost ratio (∞ when some agent pays 0 — cannot
+    /// happen on connected profiles with α > 0 and positive weights).
+    pub cost_spread: f64,
+}
+
+/// Analyzes a profile.
+pub fn analyze(game: &Game, profile: &Profile) -> ProfileReport {
+    let network = profile.build_network(game);
+    let mut agents = Vec::with_capacity(game.n());
+    for u in 0..game.n() as NodeId {
+        let cost = agent_cost_in(game, profile, &network, u);
+        agents.push(AgentReport {
+            agent: u,
+            cost,
+            edges_bought: profile.strategy(u).len(),
+            degree: network.degree(u),
+        });
+    }
+    let total_edge_cost: f64 = agents.iter().map(|a| a.cost.edge_cost).sum();
+    let total_distance_cost: f64 = agents.iter().map(|a| a.cost.distance_cost).sum();
+    let free_riders = agents.iter().filter(|a| a.edges_bought == 0).count();
+    let max_cost = agents
+        .iter()
+        .map(|a| a.cost.total())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let min_cost = agents
+        .iter()
+        .map(|a| a.cost.total())
+        .fold(f64::INFINITY, f64::min);
+    let cost_spread = if min_cost > 0.0 {
+        max_cost / min_cost
+    } else {
+        f64::INFINITY
+    };
+    ProfileReport {
+        social_cost: total_edge_cost + total_distance_cost,
+        total_edge_cost,
+        total_distance_cost,
+        free_riders,
+        cost_spread,
+        agents,
+    }
+}
+
+impl ProfileReport {
+    /// The agent with the largest total cost.
+    pub fn worst_off(&self) -> &AgentReport {
+        self.agents
+            .iter()
+            .max_by(|a, b| a.cost.total().total_cmp(&b.cost.total()))
+            .expect("non-empty profile")
+    }
+
+    /// The agent buying the most edges (the "hub" builder).
+    pub fn biggest_builder(&self) -> &AgentReport {
+        self.agents
+            .iter()
+            .max_by_key(|a| a.edges_bought)
+            .expect("non-empty profile")
+    }
+
+    /// The fraction of the social cost carried by edge expenditure.
+    pub fn edge_cost_share(&self) -> f64 {
+        if self.social_cost == 0.0 {
+            0.0
+        } else {
+            self.total_edge_cost / self.social_cost
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_graph::SymMatrix;
+
+    fn star_report(alpha: f64) -> ProfileReport {
+        let game = Game::new(SymMatrix::filled(5, 1.0), alpha);
+        analyze(&game, &Profile::star(5, 0))
+    }
+
+    #[test]
+    fn star_decomposition() {
+        let r = star_report(2.0);
+        // Center buys 4 edges, leaves none.
+        assert_eq!(r.agents[0].edges_bought, 4);
+        assert_eq!(r.free_riders, 4);
+        assert_eq!(r.biggest_builder().agent, 0);
+        // Social cost consistency.
+        let direct = crate::cost::social_cost(&game_for(), &Profile::star(5, 0));
+        assert!(gncg_graph::approx_eq(r.social_cost, direct));
+        // Edge cost = α·4 = 8; distance = 4 + 4·7 = 32.
+        assert!(gncg_graph::approx_eq(r.total_edge_cost, 8.0));
+        assert!(gncg_graph::approx_eq(r.total_distance_cost, 4.0 + 4.0 * 7.0));
+    }
+
+    fn game_for() -> Game {
+        Game::new(SymMatrix::filled(5, 1.0), 2.0)
+    }
+
+    #[test]
+    fn worst_off_agent_in_star_is_center_at_high_alpha() {
+        // At α = 2: center cost 8 + 4 = 12; leaves 0 + 7 = 7.
+        let r = star_report(2.0);
+        assert_eq!(r.worst_off().agent, 0);
+        assert!(gncg_graph::approx_eq(r.cost_spread, 12.0 / 7.0));
+    }
+
+    #[test]
+    fn edge_cost_share_monotone_in_alpha() {
+        let lo = star_report(0.5).edge_cost_share();
+        let hi = star_report(5.0).edge_cost_share();
+        assert!(lo < hi);
+        assert!((0.0..=1.0).contains(&lo));
+        assert!((0.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn disconnected_profile_reports_infinite_costs() {
+        let game = Game::new(SymMatrix::filled(3, 1.0), 1.0);
+        let r = analyze(&game, &Profile::empty(3));
+        assert!(r.social_cost.is_infinite());
+        assert_eq!(r.free_riders, 3);
+    }
+}

@@ -1,0 +1,222 @@
+//! Agent and social cost evaluation.
+//!
+//! `cost(u, G(s)) = α·w(u, S_u) + d_G(s)(u, V)` — edge cost plus distance
+//! cost, infinite when `u` cannot reach some node. Candidate strategies are
+//! priced without mutating the profile via masked Dijkstra runs.
+
+use std::collections::BTreeSet;
+
+use gncg_graph::apsp::apsp_parallel;
+use gncg_graph::dijkstra::{dijkstra, dijkstra_with_extra};
+use gncg_graph::{AdjacencyList, NodeId};
+
+use crate::{Game, Profile};
+
+/// A cost split into its two components.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostBreakdown {
+    /// `α · w(u, S_u)` — what the agent pays for its edges.
+    pub edge_cost: f64,
+    /// `d_G(u, V)` — sum of distances to all nodes (∞ if disconnected).
+    pub distance_cost: f64,
+}
+
+impl CostBreakdown {
+    /// Total cost.
+    pub fn total(&self) -> f64 {
+        self.edge_cost + self.distance_cost
+    }
+}
+
+/// Edge cost of agent `u` under `profile`: `α·w(u, S_u)`.
+pub fn edge_cost(game: &Game, profile: &Profile, u: NodeId) -> f64 {
+    // `+ 0.0` normalizes the `-0.0` an empty f64 sum produces.
+    game.alpha()
+        * profile
+            .strategy(u)
+            .iter()
+            .map(|&v| game.w(u, v))
+            .sum::<f64>()
+        + 0.0
+}
+
+/// Full cost of agent `u`, given the already-built network of `profile`.
+pub fn agent_cost_in(game: &Game, profile: &Profile, network: &AdjacencyList, u: NodeId) -> CostBreakdown {
+    let dist: f64 = dijkstra(network, u).iter().sum();
+    CostBreakdown {
+        edge_cost: edge_cost(game, profile, u),
+        distance_cost: dist,
+    }
+}
+
+/// Full cost of agent `u` (builds the network internally).
+pub fn agent_cost(game: &Game, profile: &Profile, u: NodeId) -> CostBreakdown {
+    let network = profile.build_network(game);
+    agent_cost_in(game, profile, &network, u)
+}
+
+/// The *base graph* for agent `u`: the built network with every edge that
+/// exists solely because of `u`'s purchases removed. Candidate strategies
+/// of `u` are priced by overlaying virtual edges on this graph.
+pub fn base_graph_without(game: &Game, profile: &Profile, u: NodeId) -> AdjacencyList {
+    let mut g = profile.build_network(game);
+    for (a, b) in profile.sole_owned_edges(u) {
+        g.remove_edge(a, b);
+    }
+    g
+}
+
+/// Prices candidate strategy `candidate` for agent `u` against a
+/// precomputed [`base_graph_without`]. Cheap enough to call inside
+/// branch-and-bound search loops.
+pub fn candidate_cost(
+    game: &Game,
+    base: &AdjacencyList,
+    u: NodeId,
+    candidate: &BTreeSet<NodeId>,
+) -> CostBreakdown {
+    let extra: Vec<(NodeId, NodeId, f64)> = candidate
+        .iter()
+        .map(|&v| (u, v, game.w(u, v)))
+        .collect();
+    let dist: f64 = dijkstra_with_extra(base, u, &extra).iter().sum();
+    let edge: f64 = game.alpha() * candidate.iter().map(|&v| game.w(u, v)).sum::<f64>();
+    CostBreakdown {
+        edge_cost: edge,
+        distance_cost: dist,
+    }
+}
+
+/// Social cost of a profile: `Σ_u cost(u)` — equivalently
+/// `α·Σ_u w(u, S_u) + Σ_u d_G(u, V)`.
+pub fn social_cost(game: &Game, profile: &Profile) -> f64 {
+    let network = profile.build_network(game);
+    social_cost_in(game, profile, &network)
+}
+
+/// Social cost reusing a built network.
+pub fn social_cost_in(game: &Game, profile: &Profile, network: &AdjacencyList) -> f64 {
+    let d = apsp_parallel(network);
+    let dist = d.total_distance_cost();
+    let edges: f64 = (0..profile.n() as NodeId)
+        .map(|u| edge_cost(game, profile, u))
+        .sum();
+    edges + dist
+}
+
+/// Social cost of an undirected *edge set* (ownership-independent): the
+/// social cost of any profile inducing network `g` is
+/// `α·(total edge weight) + (total pairwise distance)`, because each edge
+/// is paid once by whoever owns it.
+///
+/// This is the objective the social-optimum solvers minimize, which is
+/// valid because the optimum never double-buys an edge.
+pub fn network_social_cost(game: &Game, g: &AdjacencyList) -> f64 {
+    let d = apsp_parallel(g);
+    game.alpha() * g.total_weight() + d.total_distance_cost()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_graph::SymMatrix;
+
+    fn unit_game(n: usize, alpha: f64) -> Game {
+        Game::new(SymMatrix::filled(n, 1.0), alpha)
+    }
+
+    #[test]
+    fn star_costs_unit_metric() {
+        // Star on 4 nodes, unit weights, α = 1. Center: edge 3, dist 3.
+        let game = unit_game(4, 1.0);
+        let p = Profile::star(4, 0);
+        let c0 = agent_cost(&game, &p, 0);
+        assert_eq!(c0.edge_cost, 3.0);
+        assert_eq!(c0.distance_cost, 3.0);
+        // Leaf: no edges, distances 1 + 2 + 2.
+        let c1 = agent_cost(&game, &p, 1);
+        assert_eq!(c1.edge_cost, 0.0);
+        assert_eq!(c1.distance_cost, 5.0);
+    }
+
+    #[test]
+    fn disconnected_cost_is_infinite() {
+        let game = unit_game(3, 1.0);
+        let mut p = Profile::empty(3);
+        p.buy(0, 1);
+        let c = agent_cost(&game, &p, 0);
+        assert!(c.total().is_infinite());
+    }
+
+    #[test]
+    fn social_cost_star() {
+        // K4 star, α=1: edges 3·1, distances: center 3, each leaf 5 → 3+3+15=21.
+        let game = unit_game(4, 1.0);
+        let p = Profile::star(4, 0);
+        assert_eq!(social_cost(&game, &p), 21.0);
+        // Matches ownership-independent version.
+        let g = p.build_network(&game);
+        assert_eq!(network_social_cost(&game, &g), 21.0);
+    }
+
+    #[test]
+    fn double_purchase_costs_both() {
+        let game = unit_game(2, 3.0);
+        let mut p = Profile::empty(2);
+        p.buy(0, 1);
+        p.buy(1, 0);
+        // Each pays α = 3, distance 1 each: total 3+3+1+1 = 8.
+        assert_eq!(social_cost(&game, &p), 8.0);
+        // The edge-set view counts the edge once: 3 + 2 = 5.
+        let g = p.build_network(&game);
+        assert_eq!(network_social_cost(&game, &g), 5.0);
+    }
+
+    #[test]
+    fn candidate_cost_matches_real_change() {
+        let game = unit_game(5, 2.0);
+        let mut p = Profile::star(5, 0);
+        p.buy(1, 2); // extra edge
+        let base = base_graph_without(&game, &p, 1);
+        // Candidate: 1 buys towards 3 and 4 instead.
+        let cand: BTreeSet<NodeId> = [3, 4].into_iter().collect();
+        let predicted = candidate_cost(&game, &base, 1, &cand);
+        // Apply for real and compare.
+        let mut p2 = p.clone();
+        p2.set_strategy(1, cand);
+        let real = agent_cost(&game, &p2, 1);
+        assert!(gncg_graph::approx_eq(predicted.total(), real.total()));
+        assert!(gncg_graph::approx_eq(predicted.edge_cost, real.edge_cost));
+    }
+
+    #[test]
+    fn candidate_cost_keeps_other_owners_edges() {
+        // Agent 1's candidate change must not remove the edge 0-1 owned by 0.
+        let game = unit_game(3, 1.0);
+        let mut p = Profile::empty(3);
+        p.buy(0, 1);
+        p.buy(1, 2);
+        let base = base_graph_without(&game, &p, 1);
+        assert!(base.has_edge(0, 1));
+        assert!(!base.has_edge(1, 2));
+        let empty = BTreeSet::new();
+        let c = candidate_cost(&game, &base, 1, &empty);
+        // 1 keeps reaching 0 (dist 1) but loses 2 (∞).
+        assert!(c.distance_cost.is_infinite());
+    }
+
+    #[test]
+    fn weighted_costs() {
+        let mut w = SymMatrix::filled(3, 1.0);
+        w.set(0, 2, 5.0);
+        w.set(1, 2, 2.0);
+        let game = Game::new(w, 0.5);
+        let p = Profile::from_owned_edges(3, &[(0, 1), (1, 2)]);
+        let c0 = agent_cost(&game, &p, 0);
+        assert_eq!(c0.edge_cost, 0.5);
+        assert_eq!(c0.distance_cost, 1.0 + 3.0);
+        let c1 = agent_cost(&game, &p, 1);
+        assert_eq!(c1.edge_cost, 0.5 * 2.0);
+        assert_eq!(c1.distance_cost, 1.0 + 2.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Game instances: a complete weighted host graph plus the price
+//! parameter `α`.
+
+use gncg_graph::apsp::DistanceMatrix;
+use gncg_graph::{NodeId, SymMatrix};
+
+/// A GNCG instance `(H, α)`.
+///
+/// `H` is given as its symmetric weight matrix; `α > 0` scales the price of
+/// an edge relative to its weight: buying `(u, v)` costs `α·w(u, v)`.
+#[derive(Clone, Debug)]
+pub struct Game {
+    host: SymMatrix,
+    alpha: f64,
+    /// Shortest-path distances *in the host* (the metric closure of `H`).
+    /// For metric hosts these equal the weights; for non-metric hosts they
+    /// may be smaller. Used as a distance lower bound in best-response
+    /// pruning and for Lemma 1/2 spanner checks.
+    host_dist: DistanceMatrix,
+}
+
+impl Game {
+    /// Creates an instance.
+    ///
+    /// # Panics
+    /// Panics if `α <= 0` or any weight is negative.
+    pub fn new(host: SymMatrix, alpha: f64) -> Self {
+        assert!(alpha > 0.0, "α must be positive");
+        assert!(host.is_nonnegative(), "edge weights must be non-negative");
+        let host_dist = gncg_graph::apsp::floyd_warshall(&host);
+        Game {
+            host,
+            alpha,
+            host_dist,
+        }
+    }
+
+    /// Number of agents.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.host.n()
+    }
+
+    /// The price parameter `α`.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The host weight `w(u, v)`.
+    #[inline]
+    pub fn w(&self, u: NodeId, v: NodeId) -> f64 {
+        self.host.get(u, v)
+    }
+
+    /// The host weight matrix.
+    #[inline]
+    pub fn host(&self) -> &SymMatrix {
+        &self.host
+    }
+
+    /// Shortest-path distances in the host graph (`d_H`).
+    #[inline]
+    pub fn host_distances(&self) -> &DistanceMatrix {
+        &self.host_dist
+    }
+
+    /// Whether the host satisfies the triangle inequality (`M–GNCG`).
+    pub fn is_metric(&self) -> bool {
+        self.host.satisfies_triangle_inequality()
+    }
+
+    /// The same host with a different `α` (cheap: reuses the closure).
+    pub fn with_alpha(&self, alpha: f64) -> Game {
+        assert!(alpha > 0.0, "α must be positive");
+        Game {
+            host: self.host.clone(),
+            alpha,
+            host_dist: self.host_dist.clone(),
+        }
+    }
+
+    /// Price of buying edge `(u, v)`: `α·w(u, v)`.
+    #[inline]
+    pub fn edge_price(&self, u: NodeId, v: NodeId) -> f64 {
+        self.alpha * self.host.get(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_game(n: usize, alpha: f64) -> Game {
+        Game::new(SymMatrix::filled(n, 1.0), alpha)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let g = unit_game(5, 2.0);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.alpha(), 2.0);
+        assert_eq!(g.w(0, 1), 1.0);
+        assert_eq!(g.edge_price(0, 1), 2.0);
+        assert!(g.is_metric());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_alpha_rejected() {
+        unit_game(3, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weights_rejected() {
+        let mut w = SymMatrix::filled(3, 1.0);
+        w.set(0, 1, -1.0);
+        Game::new(w, 1.0);
+    }
+
+    #[test]
+    fn host_distances_shortcut_nonmetric_edges() {
+        let mut w = SymMatrix::filled(3, 1.0);
+        w.set(0, 2, 10.0);
+        let g = Game::new(w, 1.0);
+        assert!(!g.is_metric());
+        assert_eq!(g.host_distances().get(0, 2), 2.0);
+        assert_eq!(g.w(0, 2), 10.0);
+    }
+
+    #[test]
+    fn with_alpha_keeps_host() {
+        let g = unit_game(4, 1.0);
+        let g2 = g.with_alpha(5.0);
+        assert_eq!(g2.alpha(), 5.0);
+        assert_eq!(g2.n(), 4);
+        assert_eq!(g2.edge_price(1, 2), 5.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Price-of-Anarchy bookkeeping and the paper's bound formulas.
+//!
+//! The PoA of an instance is `max_NE cost(NE) / cost(OPT)`; experiments
+//! measure the ratio achieved by specific equilibria (a lower bound on the
+//! instance PoA) and compare against the paper's theorems.
+
+/// The ratio `cost(equilibrium) / cost(opt)`.
+///
+/// # Panics
+/// Panics if `cost_opt <= 0` or either cost is not finite.
+pub fn ratio(cost_eq: f64, cost_opt: f64) -> f64 {
+    assert!(cost_opt > 0.0, "OPT cost must be positive");
+    assert!(cost_eq.is_finite() && cost_opt.is_finite());
+    cost_eq / cost_opt
+}
+
+/// Theorem 1: the PoA of the M–GNCG is at most `(α+2)/2`.
+pub fn metric_upper_bound(alpha: f64) -> f64 {
+    (alpha + 2.0) / 2.0
+}
+
+/// Theorem 20: the PoA of the general GNCG is at most `((α+2)/2)²`.
+pub fn general_upper_bound(alpha: f64) -> f64 {
+    let b = metric_upper_bound(alpha);
+    b * b
+}
+
+/// Theorems 7–9: the tight PoA of the 1-2–GNCG for `α ≤ 1`:
+/// `1` for `α < 1/2`, `3/(α+2)` for `1/2 ≤ α < 1`, `3/2` at `α = 1`.
+pub fn one_two_poa_low_alpha(alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha));
+    if alpha < 0.5 {
+        1.0
+    } else if alpha < 1.0 {
+        3.0 / (alpha + 2.0)
+    } else {
+        1.5
+    }
+}
+
+/// Theorem 15: PoA lower bound `(α+2)/2 − ε` for the T–GNCG — the
+/// asymptotic ratio of the star construction (Fig. 6). Equal to
+/// [`metric_upper_bound`]; the construction witnesses tightness.
+pub fn tree_lower_bound(alpha: f64) -> f64 {
+    metric_upper_bound(alpha)
+}
+
+/// Theorem 18: PoA lower bound for the Rd–GNCG with any p-norm, p ≥ 1:
+/// `(3α³ + 24α² + 40α + 24) / (α³ + 10α² + 32α + 24)`.
+pub fn rd_pnorm_lower_bound(alpha: f64) -> f64 {
+    let a = alpha;
+    (3.0 * a.powi(3) + 24.0 * a.powi(2) + 40.0 * a + 24.0)
+        / (a.powi(3) + 10.0 * a.powi(2) + 32.0 * a + 24.0)
+}
+
+/// Theorem 19: PoA lower bound for the 1-norm in `R^d`:
+/// `1 + α / (2 + α/(2d−1))`.
+pub fn l1_lower_bound(alpha: f64, d: usize) -> f64 {
+    assert!(d >= 1);
+    1.0 + alpha / (2.0 + alpha / (2.0 * d as f64 - 1.0))
+}
+
+/// Fabrikant et al.'s general NCG upper bound `O(√α)` specialized with the
+/// constant from Theorem 11's diameter argument: returns `√α` as the
+/// reference curve the 1-2 experiments compare against (shape, not
+/// constant).
+pub fn sqrt_alpha_reference(alpha: f64) -> f64 {
+    alpha.sqrt()
+}
+
+/// Demaine et al.'s tight 1-∞–GNCG PoA curve `Θ(⁵√α)` (achieved at
+/// `α = n^{5/3}`): the `⁵√α` reference shape for the 1-∞ row of Table 1.
+pub fn demaine_one_inf_reference(alpha: f64) -> f64 {
+    alpha.powf(0.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_basics() {
+        assert_eq!(ratio(6.0, 3.0), 2.0);
+        assert_eq!(ratio(3.0, 3.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ratio_rejects_zero_opt() {
+        ratio(1.0, 0.0);
+    }
+
+    #[test]
+    fn metric_bound_values() {
+        assert_eq!(metric_upper_bound(2.0), 2.0);
+        assert_eq!(metric_upper_bound(0.0), 1.0);
+        assert_eq!(general_upper_bound(2.0), 4.0);
+    }
+
+    #[test]
+    fn one_two_piecewise() {
+        assert_eq!(one_two_poa_low_alpha(0.3), 1.0);
+        assert!((one_two_poa_low_alpha(0.5) - 3.0 / 2.5).abs() < 1e-12);
+        assert_eq!(one_two_poa_low_alpha(1.0), 1.5);
+        // Continuity at α → 1⁻: 3/(1+2) = 1 vs 3/2 at α = 1 — the paper's
+        // bound jumps because the α = 1 NE keeps cost-neutral 1-edges.
+        assert!((one_two_poa_low_alpha(0.999) - 3.0 / 2.999).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rd_pnorm_limits() {
+        // α → 0: ratio → 24/24 = 1. α → ∞: → 3.
+        assert!((rd_pnorm_lower_bound(0.0) - 1.0).abs() < 1e-12);
+        assert!((rd_pnorm_lower_bound(1e9) - 3.0).abs() < 1e-6);
+        // Monotone increasing in α on a grid.
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let v = rd_pnorm_lower_bound(i as f64 * 0.5);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn l1_bound_approaches_metric_bound() {
+        // As d → ∞ the Theorem 19 bound tends to 1 + α/2 = (α+2)/2.
+        let alpha = 6.0;
+        let b_small = l1_lower_bound(alpha, 1);
+        let b_big = l1_lower_bound(alpha, 10_000);
+        assert!(b_small < b_big);
+        assert!((b_big - metric_upper_bound(alpha)).abs() < 1e-3);
+        assert!(b_big < metric_upper_bound(alpha));
+    }
+
+    #[test]
+    fn lower_bounds_below_upper_bounds() {
+        for i in 1..60 {
+            let alpha = i as f64 * 0.37;
+            assert!(rd_pnorm_lower_bound(alpha) <= metric_upper_bound(alpha) + 1e-12);
+            for d in [1, 2, 3, 8] {
+                assert!(l1_lower_bound(alpha, d) <= metric_upper_bound(alpha) + 1e-12);
+            }
+            assert!(metric_upper_bound(alpha) <= general_upper_bound(alpha) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! Best responses: exact (branch-and-bound) and greedy single moves.
+//!
+//! Computing an exact best response is NP-hard in every variant of the
+//! game (Corollary 1, Theorems 13 and 16), so the exact solver here is an
+//! exponential branch-and-bound over candidate edge subsets, effective for
+//! the instance sizes of the experiments (n ≲ 20) and for the structured
+//! reduction gadgets where the pruning bound collapses the search space.
+//!
+//! The admissible pruning bound uses `d_{G(s)}(u, v) ≥ d_H(u, v)`: any
+//! built network is a subgraph of the host, so the host's shortest-path
+//! distances lower-bound every candidate's distance cost.
+
+use std::collections::BTreeSet;
+
+use gncg_graph::{strictly_less, AdjacencyList, NodeId};
+
+use crate::cost::{agent_cost_in, base_graph_without, candidate_cost, CostBreakdown};
+use crate::{Game, Move, Profile};
+
+/// Result of a best-response computation.
+#[derive(Clone, Debug)]
+pub struct BestResponse {
+    /// The optimal strategy found.
+    pub strategy: BTreeSet<NodeId>,
+    /// Its cost for the agent.
+    pub cost: f64,
+    /// The agent's current cost before deviating.
+    pub current_cost: f64,
+    /// Number of candidate subsets fully evaluated (diagnostic).
+    pub evaluated: usize,
+}
+
+impl BestResponse {
+    /// Whether the best response strictly improves on the current strategy.
+    pub fn improves(&self) -> bool {
+        strictly_less(self.cost, self.current_cost)
+    }
+}
+
+/// Exact best response of `agent` via depth-first branch-and-bound over
+/// subsets of `V \ {agent}`.
+///
+/// Candidates are considered in order of increasing host weight; a branch
+/// is pruned as soon as its committed edge cost plus the host-distance
+/// lower bound cannot beat the incumbent. The agent's *current* strategy
+/// seeds the incumbent, so the search also certifies equilibria quickly.
+pub fn exact_best_response(game: &Game, profile: &Profile, agent: NodeId) -> BestResponse {
+    let n = game.n();
+    let base = base_graph_without(game, profile, agent);
+    let network = profile.build_network(game);
+    let current = agent_cost_in(game, profile, &network, agent).total();
+
+    // Distance lower bound: Σ_v d_H(agent, v).
+    let dist_lb: f64 = game.host_distances().row(agent).iter().sum();
+
+    let mut candidates: Vec<NodeId> = (0..n as NodeId).filter(|&v| v != agent).collect();
+    candidates.sort_by(|&a, &b| game.w(agent, a).total_cmp(&game.w(agent, b)));
+
+    let mut best_cost = current;
+    let mut best_set: BTreeSet<NodeId> = profile.strategy(agent).clone();
+    let mut evaluated = 0usize;
+
+    // Iterative DFS over include/exclude decisions. A frame is
+    // (next_index, chosen_so_far, committed_edge_cost).
+    let mut chosen: Vec<NodeId> = Vec::new();
+    dfs(
+        game,
+        &base,
+        agent,
+        &candidates,
+        0,
+        &mut chosen,
+        0.0,
+        dist_lb,
+        &mut best_cost,
+        &mut best_set,
+        &mut evaluated,
+    );
+
+    BestResponse {
+        strategy: best_set,
+        cost: best_cost,
+        current_cost: current,
+        evaluated,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    game: &Game,
+    base: &AdjacencyList,
+    agent: NodeId,
+    candidates: &[NodeId],
+    idx: usize,
+    chosen: &mut Vec<NodeId>,
+    edge_cost: f64,
+    dist_lb: f64,
+    best_cost: &mut f64,
+    best_set: &mut BTreeSet<NodeId>,
+    evaluated: &mut usize,
+) {
+    // Admissible bound: committed α-weighted edge cost + host-distance LB.
+    if game.alpha() * edge_cost + dist_lb >= *best_cost - gncg_graph::EPS {
+        // No extension (which only adds edge cost) can beat the incumbent,
+        // and neither can completions that stop adding: the one candidate
+        // completion with the committed edge set is also dominated by the
+        // same bound. Evaluate nothing below this node.
+        return;
+    }
+    if idx == candidates.len() {
+        let set: BTreeSet<NodeId> = chosen.iter().copied().collect();
+        let c = candidate_cost(game, base, agent, &set);
+        *evaluated += 1;
+        if strictly_less(c.total(), *best_cost) {
+            *best_cost = c.total();
+            *best_set = set;
+        }
+        return;
+    }
+    let v = candidates[idx];
+    // Branch 1: include v.
+    chosen.push(v);
+    dfs(
+        game,
+        base,
+        agent,
+        candidates,
+        idx + 1,
+        chosen,
+        edge_cost + game.w(agent, v),
+        dist_lb,
+        best_cost,
+        best_set,
+        evaluated,
+    );
+    chosen.pop();
+    // Branch 2: exclude v.
+    dfs(
+        game,
+        base,
+        agent,
+        candidates,
+        idx + 1,
+        chosen,
+        edge_cost,
+        dist_lb,
+        best_cost,
+        best_set,
+        evaluated,
+    );
+}
+
+/// Rayon-parallel exact best response: the include/exclude tree is split
+/// at the first `SPLIT_DEPTH` candidate decisions into `2^SPLIT_DEPTH`
+/// independent subtree searches that run on the rayon pool, each with its
+/// own incumbent seeded by the agent's current cost; results reduce to the
+/// global optimum. Produces exactly the same *cost* as
+/// [`exact_best_response`] (the strategy may differ among ties).
+///
+/// Worth it from roughly `n ≥ 14` candidates; below that the sequential
+/// search wins (the bench `best_response.rs` quantifies the crossover).
+pub fn exact_best_response_parallel(
+    game: &Game,
+    profile: &Profile,
+    agent: NodeId,
+) -> BestResponse {
+    use rayon::prelude::*;
+    const SPLIT_DEPTH: usize = 4;
+
+    let n = game.n();
+    let base = base_graph_without(game, profile, agent);
+    let network = profile.build_network(game);
+    let current = agent_cost_in(game, profile, &network, agent).total();
+    let dist_lb: f64 = game.host_distances().row(agent).iter().sum();
+
+    let mut candidates: Vec<NodeId> = (0..n as NodeId).filter(|&v| v != agent).collect();
+    candidates.sort_by(|&a, &b| game.w(agent, a).total_cmp(&game.w(agent, b)));
+
+    if candidates.len() <= SPLIT_DEPTH {
+        return exact_best_response(game, profile, agent);
+    }
+
+    let split = SPLIT_DEPTH.min(candidates.len());
+    let results: Vec<(f64, BTreeSet<NodeId>, usize)> = (0u32..(1 << split))
+        .into_par_iter()
+        .map(|prefix_mask| {
+            let mut chosen: Vec<NodeId> = Vec::new();
+            let mut edge_cost = 0.0;
+            for (i, &v) in candidates.iter().take(split).enumerate() {
+                if prefix_mask & (1 << i) != 0 {
+                    chosen.push(v);
+                    edge_cost += game.w(agent, v);
+                }
+            }
+            let mut best_cost = current;
+            let mut best_set: BTreeSet<NodeId> = profile.strategy(agent).clone();
+            let mut evaluated = 0usize;
+            dfs(
+                game,
+                &base,
+                agent,
+                &candidates,
+                split,
+                &mut chosen,
+                edge_cost,
+                dist_lb,
+                &mut best_cost,
+                &mut best_set,
+                &mut evaluated,
+            );
+            (best_cost, best_set, evaluated)
+        })
+        .collect();
+
+    let mut best_cost = current;
+    let mut best_set: BTreeSet<NodeId> = profile.strategy(agent).clone();
+    let mut evaluated = 0usize;
+    for (c, s, e) in results {
+        evaluated += e;
+        if strictly_less(c, best_cost) {
+            best_cost = c;
+            best_set = s;
+        }
+    }
+    BestResponse {
+        strategy: best_set,
+        cost: best_cost,
+        current_cost: current,
+        evaluated,
+    }
+}
+
+/// The best single greedy move (add / delete / swap) of `agent`, if any
+/// strictly improving one exists. Returns the move together with the cost
+/// it achieves.
+pub fn best_greedy_move(game: &Game, profile: &Profile, agent: NodeId) -> Option<(Move, f64)> {
+    best_move_among(game, profile, agent, &Move::greedy_moves(profile, agent))
+}
+
+/// The best single edge *addition* of `agent`, if an improving one exists
+/// (the move space of Add-only Equilibria).
+pub fn best_add_move(game: &Game, profile: &Profile, agent: NodeId) -> Option<(Move, f64)> {
+    best_move_among(game, profile, agent, &Move::add_moves(profile, agent))
+}
+
+/// Evaluates a set of moves and returns the best strictly-improving one.
+pub fn best_move_among(
+    game: &Game,
+    profile: &Profile,
+    agent: NodeId,
+    moves: &[Move],
+) -> Option<(Move, f64)> {
+    let network = profile.build_network(game);
+    let current = agent_cost_in(game, profile, &network, agent).total();
+    let base = base_graph_without(game, profile, agent);
+    let own = profile.strategy(agent);
+    let mut best: Option<(Move, f64)> = None;
+    for m in moves {
+        let cand = m.apply(agent, own);
+        let c = candidate_cost(game, &base, agent, &cand).total();
+        let incumbent = best.as_ref().map_or(current, |&(_, b)| b);
+        if strictly_less(c, incumbent) {
+            best = Some((m.clone(), c));
+        }
+    }
+    best
+}
+
+/// Prices an explicit move without applying it.
+pub fn move_cost(game: &Game, profile: &Profile, agent: NodeId, m: &Move) -> CostBreakdown {
+    let base = base_graph_without(game, profile, agent);
+    let cand = m.apply(agent, profile.strategy(agent));
+    candidate_cost(game, &base, agent, &cand)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_graph::SymMatrix;
+
+    fn unit_game(n: usize, alpha: f64) -> Game {
+        Game::new(SymMatrix::filled(n, 1.0), alpha)
+    }
+
+    #[test]
+    fn isolated_agent_buys_exactly_one_edge_into_a_star() {
+        // Star on 4 nodes around 0 (owned by 0); agent 3 removed from the
+        // star and isolated. Its best response for α = 1 is to buy the
+        // cheapest connection, via the center (all weights 1, so any single
+        // edge to the center is optimal: dist 1 + 2 + 2 vs edge 1).
+        let game = unit_game(4, 5.0);
+        let mut p = Profile::empty(4);
+        p.buy(0, 1);
+        p.buy(0, 2);
+        let br = exact_best_response(&game, &p, 3);
+        assert!(br.improves()); // currently disconnected, cost ∞
+        assert_eq!(br.strategy.len(), 1);
+        assert!(br.strategy.contains(&0));
+        // α·1 + (1 + 2 + 2) = 10.
+        assert_eq!(br.cost, 10.0);
+    }
+
+    #[test]
+    fn low_alpha_buys_everything() {
+        // For tiny α the best response is to connect directly to everyone.
+        let game = unit_game(5, 0.01);
+        let p = Profile::star(5, 0);
+        let br = exact_best_response(&game, &p, 2);
+        assert_eq!(br.strategy.len(), 3, "buy direct edges to all non-neighbors");
+        assert!(br.improves());
+    }
+
+    #[test]
+    fn high_alpha_keeps_nothing_extra() {
+        // Star center 0 owns all edges; leaf 1 should buy nothing at high α.
+        let game = unit_game(5, 100.0);
+        let p = Profile::star(5, 0);
+        let br = exact_best_response(&game, &p, 1);
+        assert!(!br.improves());
+        assert!(br.strategy.is_empty());
+    }
+
+    #[test]
+    fn exact_br_at_least_as_good_as_greedy() {
+        let host = gncg_metrics::arbitrary::random_metric(8, 1.0, 4.0, 17);
+        let game = Game::new(host, 1.5);
+        let mut p = Profile::star(8, 0);
+        p.buy(3, 4);
+        for agent in 0..8 {
+            let br = exact_best_response(&game, &p, agent);
+            if let Some((_, g)) = best_greedy_move(&game, &p, agent) {
+                assert!(br.cost <= g + 1e-9, "agent {agent}: BR {} > greedy {g}", br.cost);
+            }
+            assert!(br.cost <= br.current_cost + 1e-9);
+        }
+    }
+
+    #[test]
+    fn best_greedy_move_finds_add() {
+        // Path 0-1-2-3 with unit weights, α = 0.1: endpoints want shortcuts.
+        let game = unit_game(4, 0.1);
+        let p = Profile::from_owned_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let (m, c) = best_greedy_move(&game, &p, 0).expect("improving move exists");
+        match m {
+            Move::Add(v) => assert!(v == 2 || v == 3),
+            other => panic!("expected Add, got {other:?}"),
+        }
+        assert!(c < agent_cost_in(&game, &p, &p.build_network(&game), 0).total());
+    }
+
+    #[test]
+    fn best_greedy_move_finds_delete() {
+        // Triangle where 0 owns a redundant heavy edge.
+        let mut w = SymMatrix::filled(3, 1.0);
+        w.set(0, 2, 1.5);
+        let game = Game::new(w, 10.0);
+        let p = Profile::from_owned_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let (m, _) = best_greedy_move(&game, &p, 0).expect("delete should improve");
+        assert_eq!(m, Move::Delete(2));
+    }
+
+    #[test]
+    fn move_cost_matches_application() {
+        let game = unit_game(5, 2.0);
+        let p = Profile::star(5, 0);
+        let m = Move::Add(2);
+        let predicted = move_cost(&game, &p, 1, &m).total();
+        let mut p2 = p.clone();
+        p2.buy(1, 2);
+        let real = crate::cost::agent_cost(&game, &p2, 1).total();
+        assert!(gncg_graph::approx_eq(predicted, real));
+    }
+
+    #[test]
+    fn parallel_br_matches_sequential_cost() {
+        for seed in 0..3u64 {
+            let host = gncg_metrics::arbitrary::random_metric(9, 1.0, 4.0, seed);
+            let game = Game::new(host, 1.2);
+            let mut p = Profile::star(9, 0);
+            p.buy(2, 5);
+            p.buy(7, 3);
+            for agent in 0..9u32 {
+                let seq = exact_best_response(&game, &p, agent);
+                let par = exact_best_response_parallel(&game, &p, agent);
+                assert!(
+                    gncg_graph::approx_eq(seq.cost, par.cost),
+                    "agent {agent} seed {seed}: {} vs {}",
+                    seq.cost,
+                    par.cost
+                );
+                assert!(gncg_graph::approx_eq(seq.current_cost, par.current_cost));
+                // The parallel strategy must achieve its reported cost.
+                let mut p2 = p.clone();
+                p2.set_strategy(agent, par.strategy.clone());
+                let real = crate::cost::agent_cost(&game, &p2, agent).total();
+                assert!(gncg_graph::approx_eq(real, par.cost));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_br_tiny_instance_falls_back() {
+        let game = unit_game(4, 1.0);
+        let p = Profile::star(4, 0);
+        let par = exact_best_response_parallel(&game, &p, 1);
+        let seq = exact_best_response(&game, &p, 1);
+        assert!(gncg_graph::approx_eq(par.cost, seq.cost));
+    }
+
+    #[test]
+    fn br_on_weighted_path_prefers_cheap_edges() {
+        // Host: metric from a path with increasing weights. Agent n-1
+        // disconnected; best single edge should weigh cheapness vs centrality.
+        let t = gncg_graph::WeightedTree::path(&[1.0, 1.0, 10.0]);
+        let host = t.metric_closure();
+        let game = Game::new(host, 1.0);
+        let mut p = Profile::empty(4);
+        p.buy(0, 1);
+        p.buy(1, 2);
+        let br = exact_best_response(&game, &p, 3);
+        // Buying (3,2) costs α·10 + dist (10 + 11 + 12) — best option is
+        // still a connection; exact solver must find the cheapest total.
+        assert!(br.cost.is_finite());
+        assert!(!br.strategy.is_empty());
+        // Verify optimality against brute force over all 7 nonempty subsets.
+        let base = base_graph_without(&game, &p, 3);
+        let mut brute = f64::INFINITY;
+        for mask in 1u32..8 {
+            let set: BTreeSet<NodeId> =
+                (0..3).filter(|&i| mask & (1 << i) != 0).map(|i| i as NodeId).collect();
+            let c = candidate_cost(&game, &base, 3, &set).total();
+            brute = brute.min(c);
+        }
+        assert!(gncg_graph::approx_eq(br.cost, brute));
+    }
+}

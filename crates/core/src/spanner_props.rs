@@ -1,0 +1,94 @@
+//! Lemma 1 and Lemma 2: spanner properties of equilibria and optima.
+//!
+//! * Lemma 1 — for any host graph, any Add-only Equilibrium is an
+//!   `(α+1)`-spanner of `H`.
+//! * Lemma 2 — the social optimum is an `(α/2+1)`-spanner of any connected
+//!   host graph.
+//!
+//! These are *verification* utilities used by experiments E01/E02 and by
+//! the PoA upper-bound machinery.
+
+use gncg_graph::spanner::{is_k_spanner, max_stretch};
+use gncg_graph::AdjacencyList;
+
+use crate::{Game, Profile};
+
+/// Lemma 1 bound: `α + 1`.
+pub fn lemma1_bound(alpha: f64) -> f64 {
+    alpha + 1.0
+}
+
+/// Lemma 2 bound: `α/2 + 1`.
+pub fn lemma2_bound(alpha: f64) -> f64 {
+    alpha / 2.0 + 1.0
+}
+
+/// Measures the stretch of the built network of `profile` w.r.t. the host
+/// distances of `game`.
+pub fn profile_stretch(game: &Game, profile: &Profile) -> f64 {
+    let g = profile.build_network(game);
+    max_stretch(&g, game.host_distances())
+}
+
+/// Checks the Lemma 1 property: the built network is an `(α+1)`-spanner.
+/// (Holds whenever `profile` is an AE; may fail for arbitrary profiles.)
+pub fn satisfies_lemma1(game: &Game, profile: &Profile) -> bool {
+    let g = profile.build_network(game);
+    is_k_spanner(&g, game.host_distances(), lemma1_bound(game.alpha()))
+}
+
+/// Checks the Lemma 2 property on an arbitrary network (intended: the
+/// social optimum): it is an `(α/2+1)`-spanner of the host.
+pub fn satisfies_lemma2(game: &Game, network: &AdjacencyList) -> bool {
+    is_k_spanner(network, game.host_distances(), lemma2_bound(game.alpha()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_graph::SymMatrix;
+
+    #[test]
+    fn bounds() {
+        assert_eq!(lemma1_bound(3.0), 4.0);
+        assert_eq!(lemma2_bound(3.0), 2.5);
+    }
+
+    #[test]
+    fn star_satisfies_lemma1_unit_metric() {
+        // Star at α = 2 is an NE hence AE; its stretch is 2 ≤ α + 1 = 3.
+        let game = Game::new(SymMatrix::filled(6, 1.0), 2.0);
+        let p = Profile::star(6, 0);
+        assert!(satisfies_lemma1(&game, &p));
+        let s = profile_stretch(&game, &p);
+        assert!(gncg_graph::approx_eq(s, 2.0));
+    }
+
+    #[test]
+    fn disconnected_profile_fails_lemma1() {
+        let game = Game::new(SymMatrix::filled(4, 1.0), 1.0);
+        let p = Profile::empty(4);
+        assert!(!satisfies_lemma1(&game, &p));
+        assert_eq!(profile_stretch(&game, &p), f64::INFINITY);
+    }
+
+    #[test]
+    fn lemma1_can_fail_for_non_ae_profiles() {
+        // A path on the unit metric has stretch n-1; for small α this
+        // exceeds α+1 — and indeed a path is not an AE there.
+        let game = Game::new(SymMatrix::filled(6, 1.0), 0.5);
+        let p = Profile::from_owned_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+        );
+        assert!(!satisfies_lemma1(&game, &p));
+        assert!(!crate::equilibrium::is_add_only_equilibrium(&game, &p));
+    }
+
+    #[test]
+    fn complete_network_satisfies_lemma2() {
+        let game = Game::new(SymMatrix::filled(5, 1.0), 1.0);
+        let g = gncg_graph::AdjacencyList::complete_from_matrix(game.host());
+        assert!(satisfies_lemma2(&game, &g));
+    }
+}

@@ -1,0 +1,90 @@
+//! Profile-recurrence detection.
+//!
+//! Because strategies are finite, any infinite improving-move sequence must
+//! revisit a profile; under a deterministic rule + scheduler a recurrence
+//! certifies a genuine best-response cycle (the game has no potential
+//! function — Theorem 14 / Theorem 17).
+
+use std::collections::HashMap;
+
+use gncg_core::Profile;
+
+/// Records visited profiles and reports the first recurrence.
+#[derive(Debug, Default)]
+pub struct CycleDetector {
+    seen: HashMap<Profile, usize>,
+    steps: usize,
+}
+
+/// A detected recurrence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Recurrence {
+    /// Step at which the profile was first seen.
+    pub first_seen: usize,
+    /// Step at which it recurred.
+    pub recurred_at: usize,
+}
+
+impl Recurrence {
+    /// Cycle length.
+    pub fn period(&self) -> usize {
+        self.recurred_at - self.first_seen
+    }
+}
+
+impl CycleDetector {
+    /// Creates an empty detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a profile; returns the recurrence if it was seen before.
+    pub fn observe(&mut self, profile: &Profile) -> Option<Recurrence> {
+        let step = self.steps;
+        self.steps += 1;
+        match self.seen.get(profile) {
+            Some(&first) => Some(Recurrence {
+                first_seen: first,
+                recurred_at: step,
+            }),
+            None => {
+                self.seen.insert(profile.clone(), step);
+                None
+            }
+        }
+    }
+
+    /// Number of distinct profiles seen.
+    pub fn distinct(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_recurrence() {
+        let mut d = CycleDetector::new();
+        let a = Profile::from_owned_edges(3, &[(0, 1)]);
+        let b = Profile::from_owned_edges(3, &[(1, 2)]);
+        assert!(d.observe(&a).is_none());
+        assert!(d.observe(&b).is_none());
+        let r = d.observe(&a).expect("recurrence");
+        assert_eq!(r.first_seen, 0);
+        assert_eq!(r.recurred_at, 2);
+        assert_eq!(r.period(), 2);
+        assert_eq!(d.distinct(), 2);
+    }
+
+    #[test]
+    fn ownership_differences_are_distinct_states() {
+        let mut d = CycleDetector::new();
+        let a = Profile::from_owned_edges(3, &[(0, 1)]);
+        let b = Profile::from_owned_edges(3, &[(1, 0)]);
+        assert!(d.observe(&a).is_none());
+        assert!(d.observe(&b).is_none());
+        assert_eq!(d.distinct(), 2);
+    }
+}

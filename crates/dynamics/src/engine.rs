@@ -1,0 +1,353 @@
+//! The dynamics run loop.
+//!
+//! A run repeatedly activates agents (per [`Scheduler`]) and lets each
+//! activated agent apply an improving strategy change (per
+//! [`ResponseRule`]). The run ends when
+//!
+//! * a full round passes with no applied move — the profile is an
+//!   equilibrium *with respect to the rule's move space* (exact NE for
+//!   [`ResponseRule::ExactBestResponse`], GE for
+//!   [`ResponseRule::BestGreedyMove`], AE for [`ResponseRule::AddOnly`]),
+//! * a profile recurs ([`Outcome::Cycle`]) — a finite-improvement-property
+//!   violation witness under deterministic scheduling, or
+//! * the round cap is hit ([`Outcome::MaxRoundsReached`]).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use gncg_core::response::{best_add_move, best_greedy_move, exact_best_response};
+use gncg_core::{Game, NodeId, Profile};
+
+use crate::cycle::{CycleDetector, Recurrence};
+use crate::trace::{Trace, TraceEntry};
+
+/// Which deviation space activated agents search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResponseRule {
+    /// Exact best response (exponential per activation; small `n`).
+    ExactBestResponse,
+    /// Best single add / delete / swap (polynomial; converges to GE).
+    BestGreedyMove,
+    /// Best single addition (polynomial; converges to AE).
+    AddOnly,
+}
+
+/// Agent activation order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduler {
+    /// `0, 1, …, n-1` every round (deterministic — recurrences certify
+    /// genuine cycles).
+    RoundRobin,
+    /// A fresh uniformly random permutation each round.
+    RandomOrder {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Each round activates only the agent with the largest available
+    /// improvement (deterministic).
+    MaxGain,
+}
+
+/// Run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DynamicsConfig {
+    /// Deviation space.
+    pub rule: ResponseRule,
+    /// Activation order.
+    pub scheduler: Scheduler,
+    /// Maximum rounds before giving up.
+    pub max_rounds: usize,
+    /// Whether to record a [`Trace`].
+    pub record_trace: bool,
+}
+
+impl Default for DynamicsConfig {
+    fn default() -> Self {
+        DynamicsConfig {
+            rule: ResponseRule::BestGreedyMove,
+            scheduler: Scheduler::RoundRobin,
+            max_rounds: 1_000,
+            record_trace: false,
+        }
+    }
+}
+
+/// Why a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// A full round was silent: equilibrium w.r.t. the rule's move space.
+    Converged {
+        /// Rounds executed (including the final silent round).
+        rounds: usize,
+    },
+    /// A previously seen profile recurred.
+    Cycle {
+        /// The recurrence.
+        recurrence: Recurrence,
+    },
+    /// The cap was reached without convergence or recurrence.
+    MaxRoundsReached,
+}
+
+/// Result of a dynamics run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Final profile.
+    pub profile: Profile,
+    /// Why the run ended.
+    pub outcome: Outcome,
+    /// Total applied moves.
+    pub moves: usize,
+    /// Optional per-move trace.
+    pub trace: Option<Trace>,
+}
+
+impl RunResult {
+    /// Whether the run ended in a certified equilibrium.
+    pub fn converged(&self) -> bool {
+        matches!(self.outcome, Outcome::Converged { .. })
+    }
+}
+
+/// Runs the dynamics from `start` on `game`.
+pub fn run(game: &Game, start: Profile, cfg: &DynamicsConfig) -> RunResult {
+    let n = game.n();
+    let mut profile = start;
+    let mut detector = CycleDetector::new();
+    detector.observe(&profile);
+    let mut rng = match cfg.scheduler {
+        Scheduler::RandomOrder { seed } => Some(StdRng::seed_from_u64(seed)),
+        _ => None,
+    };
+    let mut trace = if cfg.record_trace {
+        Some(Trace::default())
+    } else {
+        None
+    };
+    let mut moves = 0usize;
+
+    for round in 0..cfg.max_rounds {
+        let mut moved_this_round = false;
+        let order: Vec<NodeId> = match cfg.scheduler {
+            Scheduler::RoundRobin => (0..n as NodeId).collect(),
+            Scheduler::RandomOrder { .. } => {
+                let mut v: Vec<NodeId> = (0..n as NodeId).collect();
+                v.shuffle(rng.as_mut().expect("rng set for RandomOrder"));
+                v
+            }
+            Scheduler::MaxGain => {
+                // Activate only the best-gain agent this round.
+                match max_gain_agent(game, &profile, cfg.rule) {
+                    Some(u) => vec![u],
+                    None => Vec::new(),
+                }
+            }
+        };
+        for u in order {
+            if let Some((new_strategy, before, after)) = improving_change(game, &profile, u, cfg.rule)
+            {
+                profile.set_strategy(u, new_strategy);
+                moves += 1;
+                moved_this_round = true;
+                if let Some(t) = trace.as_mut() {
+                    t.entries.push(TraceEntry {
+                        round,
+                        agent: u,
+                        cost_before: before,
+                        cost_after: after,
+                        strategy_size: profile.strategy(u).len(),
+                    });
+                }
+                if let Some(rec) = detector.observe(&profile) {
+                    return RunResult {
+                        profile,
+                        outcome: Outcome::Cycle { recurrence: rec },
+                        moves,
+                        trace,
+                    };
+                }
+            }
+        }
+        if !moved_this_round {
+            return RunResult {
+                profile,
+                outcome: Outcome::Converged { rounds: round + 1 },
+                moves,
+                trace,
+            };
+        }
+    }
+    RunResult {
+        profile,
+        outcome: Outcome::MaxRoundsReached,
+        moves,
+        trace,
+    }
+}
+
+/// The improving change of `u` under `rule`, with costs before/after.
+fn improving_change(
+    game: &Game,
+    profile: &Profile,
+    u: NodeId,
+    rule: ResponseRule,
+) -> Option<(std::collections::BTreeSet<NodeId>, f64, f64)> {
+    match rule {
+        ResponseRule::ExactBestResponse => {
+            let br = exact_best_response(game, profile, u);
+            if br.improves() {
+                Some((br.strategy, br.current_cost, br.cost))
+            } else {
+                None
+            }
+        }
+        ResponseRule::BestGreedyMove => best_greedy_move(game, profile, u).map(|(m, c)| {
+            let before = gncg_core::cost::agent_cost(game, profile, u).total();
+            (m.apply(u, profile.strategy(u)), before, c)
+        }),
+        ResponseRule::AddOnly => best_add_move(game, profile, u).map(|(m, c)| {
+            let before = gncg_core::cost::agent_cost(game, profile, u).total();
+            (m.apply(u, profile.strategy(u)), before, c)
+        }),
+    }
+}
+
+/// The agent with the largest improvement under `rule`, if any.
+fn max_gain_agent(game: &Game, profile: &Profile, rule: ResponseRule) -> Option<NodeId> {
+    let mut best: Option<(NodeId, f64)> = None;
+    for u in 0..game.n() as NodeId {
+        if let Some((_, before, after)) = improving_change(game, profile, u, rule) {
+            let gain = if before.is_infinite() && after.is_finite() {
+                f64::INFINITY
+            } else {
+                before - after
+            };
+            if best.is_none_or(|(_, g)| gain > g) {
+                best = Some((u, gain));
+            }
+        }
+    }
+    best.map(|(u, _)| u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_graph::SymMatrix;
+
+    fn unit_game(n: usize, alpha: f64) -> Game {
+        Game::new(SymMatrix::filled(n, 1.0), alpha)
+    }
+
+    #[test]
+    fn greedy_dynamics_reach_ge_on_unit_metric() {
+        let game = unit_game(6, 2.0);
+        let start = Profile::star(6, 0);
+        let r = run(&game, start, &DynamicsConfig::default());
+        assert!(r.converged());
+        assert!(gncg_core::equilibrium::is_greedy_equilibrium(&game, &r.profile));
+    }
+
+    #[test]
+    fn br_dynamics_from_star_already_stable() {
+        let game = unit_game(5, 3.0);
+        let r = run(
+            &game,
+            Profile::star(5, 0),
+            &DynamicsConfig {
+                rule: ResponseRule::ExactBestResponse,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.moves, 0);
+        assert!(r.converged());
+        assert!(gncg_core::equilibrium::is_nash_equilibrium(&game, &r.profile));
+    }
+
+    #[test]
+    fn br_dynamics_converge_on_random_metric() {
+        // No guarantee in general (no FIP), but these instances converge;
+        // when they do, the result must certify as NE.
+        let host = gncg_metrics::arbitrary::random_metric(6, 1.0, 3.0, 4);
+        let game = Game::new(host, 1.5);
+        let r = run(
+            &game,
+            Profile::star(6, 1),
+            &DynamicsConfig {
+                rule: ResponseRule::ExactBestResponse,
+                max_rounds: 200,
+                ..Default::default()
+            },
+        );
+        if r.converged() {
+            assert!(gncg_core::equilibrium::is_nash_equilibrium(&game, &r.profile));
+        }
+    }
+
+    #[test]
+    fn add_only_dynamics_reach_ae() {
+        let game = unit_game(7, 0.4);
+        let start = Profile::star(7, 0);
+        let r = run(
+            &game,
+            start,
+            &DynamicsConfig {
+                rule: ResponseRule::AddOnly,
+                record_trace: true,
+                ..Default::default()
+            },
+        );
+        assert!(r.converged());
+        assert!(gncg_core::equilibrium::is_add_only_equilibrium(&game, &r.profile));
+        let t = r.trace.expect("trace recorded");
+        assert!(t.all_improving());
+        assert_eq!(t.moves(), r.moves);
+        // α < 1 on unit metric: everyone buys all missing edges.
+        let g = r.profile.build_network(&game);
+        assert_eq!(g.m(), 21);
+    }
+
+    #[test]
+    fn max_gain_scheduler_converges() {
+        let game = unit_game(5, 2.0);
+        let r = run(
+            &game,
+            Profile::star(5, 2),
+            &DynamicsConfig {
+                scheduler: Scheduler::MaxGain,
+                ..Default::default()
+            },
+        );
+        assert!(r.converged());
+    }
+
+    #[test]
+    fn random_scheduler_is_seed_deterministic() {
+        let host = gncg_metrics::arbitrary::random_metric(6, 1.0, 3.0, 8);
+        let game = Game::new(host, 1.0);
+        let cfg = DynamicsConfig {
+            scheduler: Scheduler::RandomOrder { seed: 5 },
+            ..Default::default()
+        };
+        let a = run(&game, Profile::star(6, 0), &cfg);
+        let b = run(&game, Profile::star(6, 0), &cfg);
+        assert_eq!(a.profile, b.profile);
+        assert_eq!(a.moves, b.moves);
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        let game = unit_game(6, 0.4);
+        let r = run(
+            &game,
+            Profile::star(6, 0),
+            &DynamicsConfig {
+                max_rounds: 1,
+                ..Default::default()
+            },
+        );
+        // One round cannot both apply moves and certify silence.
+        assert!(!r.converged());
+    }
+}

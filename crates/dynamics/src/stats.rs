@@ -1,0 +1,150 @@
+//! Aggregate statistics over sweep batches: convergence behavior, social
+//! cost distributions, and ratio summaries for the experiment harness.
+
+use crate::engine::Outcome;
+use crate::parallel::SweepPoint;
+
+/// Summary of a batch of dynamics runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepSummary {
+    /// Number of points.
+    pub runs: usize,
+    /// Fraction that converged.
+    pub convergence_rate: f64,
+    /// Number of runs that ended in a detected cycle.
+    pub cycles: usize,
+    /// Number of runs that hit the round cap.
+    pub capped: usize,
+    /// Mean applied moves per run.
+    pub mean_moves: f64,
+    /// Mean rounds-to-convergence over converged runs (0 if none).
+    pub mean_rounds: f64,
+    /// Minimum / mean / maximum social cost over all points.
+    pub social_cost: MinMeanMax,
+}
+
+/// A (min, mean, max) triple.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MinMeanMax {
+    /// Smallest observed value.
+    pub min: f64,
+    /// Mean value.
+    pub mean: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl MinMeanMax {
+    /// Summarizes a non-empty iterator; returns NaN-free zeros when empty.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> MinMeanMax {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+            count += 1;
+        }
+        if count == 0 {
+            MinMeanMax {
+                min: 0.0,
+                mean: 0.0,
+                max: 0.0,
+            }
+        } else {
+            MinMeanMax {
+                min,
+                mean: sum / count as f64,
+                max,
+            }
+        }
+    }
+}
+
+/// Summarizes a sweep batch.
+pub fn summarize(points: &[SweepPoint]) -> SweepSummary {
+    let runs = points.len();
+    let mut cycles = 0usize;
+    let mut capped = 0usize;
+    let mut converged = 0usize;
+    let mut rounds_sum = 0usize;
+    for p in points {
+        match p.result.outcome {
+            Outcome::Converged { rounds } => {
+                converged += 1;
+                rounds_sum += rounds;
+            }
+            Outcome::Cycle { .. } => cycles += 1,
+            Outcome::MaxRoundsReached => capped += 1,
+        }
+    }
+    SweepSummary {
+        runs,
+        convergence_rate: if runs == 0 {
+            1.0
+        } else {
+            converged as f64 / runs as f64
+        },
+        cycles,
+        capped,
+        mean_moves: if runs == 0 {
+            0.0
+        } else {
+            points.iter().map(|p| p.result.moves as f64).sum::<f64>() / runs as f64
+        },
+        mean_rounds: if converged == 0 {
+            0.0
+        } else {
+            rounds_sum as f64 / converged as f64
+        },
+        social_cost: MinMeanMax::of(points.iter().map(|p| p.social_cost)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{DynamicsConfig, ResponseRule, Scheduler};
+    use gncg_core::Profile;
+
+    #[test]
+    fn min_mean_max_basics() {
+        let m = MinMeanMax::of([2.0, 4.0, 6.0]);
+        assert_eq!(m.min, 2.0);
+        assert_eq!(m.mean, 4.0);
+        assert_eq!(m.max, 6.0);
+        let empty = MinMeanMax::of(std::iter::empty());
+        assert_eq!(empty.mean, 0.0);
+    }
+
+    #[test]
+    fn summarize_sweep() {
+        let hosts = vec![
+            gncg_metrics::unit::unit_host(5),
+            gncg_metrics::onetwo::random(5, 0.5, 1),
+        ];
+        let cfg = DynamicsConfig {
+            rule: ResponseRule::BestGreedyMove,
+            scheduler: Scheduler::RoundRobin,
+            max_rounds: 200,
+            record_trace: false,
+        };
+        let points =
+            crate::parallel::sweep(&hosts, &[1.0, 2.0], &cfg, |_, n| Profile::star(n, 0));
+        let s = summarize(&points);
+        assert_eq!(s.runs, 4);
+        assert_eq!(s.cycles + s.capped + (s.convergence_rate * 4.0).round() as usize, 4);
+        assert!(s.social_cost.min <= s.social_cost.mean);
+        assert!(s.social_cost.mean <= s.social_cost.max);
+        assert!(s.mean_moves >= 0.0);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let s = summarize(&[]);
+        assert_eq!(s.runs, 0);
+        assert_eq!(s.convergence_rate, 1.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Per-move records of a dynamics run.
+
+use gncg_graph::NodeId;
+
+/// One applied strategy change.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// Round in which the move was applied (0-based).
+    pub round: usize,
+    /// The moving agent.
+    pub agent: NodeId,
+    /// Agent cost before the move.
+    pub cost_before: f64,
+    /// Agent cost after the move.
+    pub cost_after: f64,
+    /// Number of edges bought by the agent after the move.
+    pub strategy_size: usize,
+}
+
+impl TraceEntry {
+    /// The improvement achieved by the move (positive for improving moves;
+    /// infinite-cost transitions report `f64::INFINITY`).
+    pub fn improvement(&self) -> f64 {
+        if self.cost_before.is_infinite() && self.cost_after.is_infinite() {
+            0.0
+        } else {
+            self.cost_before - self.cost_after
+        }
+    }
+}
+
+/// A full run trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Applied moves in order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Total number of applied moves.
+    pub fn moves(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether every recorded move was strictly improving for its agent.
+    pub fn all_improving(&self) -> bool {
+        self.entries
+            .iter()
+            .all(|e| gncg_graph::strictly_less(e.cost_after, e.cost_before))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_math() {
+        let e = TraceEntry {
+            round: 0,
+            agent: 1,
+            cost_before: 10.0,
+            cost_after: 7.5,
+            strategy_size: 2,
+        };
+        assert_eq!(e.improvement(), 2.5);
+        let inf = TraceEntry {
+            cost_before: f64::INFINITY,
+            cost_after: f64::INFINITY,
+            ..e.clone()
+        };
+        assert_eq!(inf.improvement(), 0.0);
+    }
+
+    #[test]
+    fn all_improving_detects_violations() {
+        let mut t = Trace::default();
+        t.entries.push(TraceEntry {
+            round: 0,
+            agent: 0,
+            cost_before: 5.0,
+            cost_after: 4.0,
+            strategy_size: 1,
+        });
+        assert!(t.all_improving());
+        t.entries.push(TraceEntry {
+            round: 0,
+            agent: 1,
+            cost_before: 4.0,
+            cost_after: 4.0,
+            strategy_size: 1,
+        });
+        assert!(!t.all_improving());
+        assert_eq!(t.moves(), 2);
+    }
+}

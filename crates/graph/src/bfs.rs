@@ -1,0 +1,106 @@
+//! Breadth-first search: hop distances for unweighted analysis.
+//!
+//! The original NCG measures distances as hop counts; on unit-weight
+//! networks BFS computes the same distances as Dijkstra at a fraction of
+//! the cost. Also used for hop-diameter diagnostics on weighted
+//! equilibria (e.g. the Theorem 4 gadget's eccentricity-3 argument).
+
+use std::collections::VecDeque;
+
+use crate::{AdjacencyList, NodeId};
+
+/// Hop distances from `source` (`usize::MAX` marks unreachable nodes).
+pub fn bfs_hops(g: &AdjacencyList, source: NodeId) -> Vec<usize> {
+    let n = g.n();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::with_capacity(n);
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &(v, _) in g.neighbors(u) {
+            if dist[v as usize] == usize::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Hop eccentricity of `source` (`None` when some node is unreachable).
+pub fn hop_eccentricity(g: &AdjacencyList, source: NodeId) -> Option<usize> {
+    let d = bfs_hops(g, source);
+    d.into_iter().try_fold(0usize, |acc, x| {
+        if x == usize::MAX {
+            None
+        } else {
+            Some(acc.max(x))
+        }
+    })
+}
+
+/// Hop diameter of a connected graph (`None` when disconnected).
+pub fn hop_diameter(g: &AdjacencyList) -> Option<usize> {
+    let n = g.n();
+    if n == 0 {
+        return Some(0);
+    }
+    let mut diam = 0usize;
+    for u in 0..n as NodeId {
+        diam = diam.max(hop_eccentricity(g, u)?);
+    }
+    Some(diam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> AdjacencyList {
+        AdjacencyList::from_edges(4, &[(0, 1, 3.0), (1, 2, 0.5), (2, 3, 7.0)])
+    }
+
+    #[test]
+    fn hops_ignore_weights() {
+        let d = bfs_hops(&path4(), 0);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let mut g = AdjacencyList::new(3);
+        g.add_edge(0, 1, 1.0);
+        let d = bfs_hops(&g, 0);
+        assert_eq!(d[2], usize::MAX);
+        assert_eq!(hop_eccentricity(&g, 0), None);
+        assert_eq!(hop_diameter(&g), None);
+    }
+
+    #[test]
+    fn diameter_and_eccentricity() {
+        let g = path4();
+        assert_eq!(hop_eccentricity(&g, 0), Some(3));
+        assert_eq!(hop_eccentricity(&g, 1), Some(2));
+        assert_eq!(hop_diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn bfs_matches_dijkstra_on_unit_weights() {
+        let g = AdjacencyList::from_edges(
+            6,
+            &[(0, 1, 1.0), (1, 2, 1.0), (0, 3, 1.0), (3, 4, 1.0), (4, 5, 1.0), (2, 5, 1.0)],
+        );
+        let hops = bfs_hops(&g, 0);
+        let dj = crate::dijkstra::dijkstra(&g, 0);
+        for v in 0..6 {
+            assert_eq!(hops[v] as f64, dj[v]);
+        }
+    }
+
+    #[test]
+    fn empty_graph_diameter() {
+        assert_eq!(hop_diameter(&AdjacencyList::new(0)), Some(0));
+        assert_eq!(hop_diameter(&AdjacencyList::new(1)), Some(0));
+    }
+}

@@ -1,0 +1,232 @@
+//! Single-source shortest paths (Dijkstra) on [`AdjacencyList`] graphs.
+//!
+//! The game layer evaluates agent costs — sums of shortest-path distances —
+//! millions of times per experiment, so this module is the hot path. It uses
+//! a binary heap over a total-order wrapper for `f64` and supports early
+//! exit and virtual extra edges (for "what if agent `u` bought edge `e`"
+//! evaluations without mutating the graph).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{AdjacencyList, NodeId};
+
+/// Min-heap entry: (distance, node) ordered by distance ascending.
+#[derive(Copy, Clone, Debug)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.node == other.node
+    }
+}
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on distance to turn BinaryHeap (max-heap) into a min-heap.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Computes shortest-path distances from `source` to every node.
+/// Unreachable nodes get `f64::INFINITY`.
+pub fn dijkstra(g: &AdjacencyList, source: NodeId) -> Vec<f64> {
+    dijkstra_with_extra(g, source, &[])
+}
+
+/// Dijkstra with additional *virtual* undirected edges overlaid on `g`.
+///
+/// This is the workhorse of best-response evaluation: to price a candidate
+/// strategy `S_u` the solver runs Dijkstra from `u` on the graph
+/// `G − (u's old edges) ∪ (u's candidate edges)` without copying it.
+/// `extra` edges apply in both directions.
+pub fn dijkstra_with_extra(
+    g: &AdjacencyList,
+    source: NodeId,
+    extra: &[(NodeId, NodeId, f64)],
+) -> Vec<f64> {
+    let n = g.n();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+    dist[source as usize] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+
+    // Pre-bucket extra edges per endpoint for O(1) lookup in the relax loop.
+    // extra is tiny (an agent's strategy), so a linear scan is fine.
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for &(v, w) in g.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+        for &(a, b, w) in extra {
+            let v = if a == u {
+                b
+            } else if b == u {
+                a
+            } else {
+                continue;
+            };
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+    dist
+}
+
+/// Dijkstra that ignores every edge incident to `source` that appears in
+/// `removed` (as an unordered pair), with `extra` virtual edges added.
+///
+/// Used to evaluate strategy changes: agent `u`'s owned edges are removed
+/// and the candidate strategy's edges are overlaid.
+pub fn dijkstra_masked(
+    g: &AdjacencyList,
+    source: NodeId,
+    removed: &[(NodeId, NodeId)],
+    extra: &[(NodeId, NodeId, f64)],
+) -> Vec<f64> {
+    let n = g.n();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+    dist[source as usize] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    let is_removed = |u: NodeId, v: NodeId| {
+        removed
+            .iter()
+            .any(|&(a, b)| (a == u && b == v) || (a == v && b == u))
+    };
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for &(v, w) in g.neighbors(u) {
+            if is_removed(u, v) {
+                continue;
+            }
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+        for &(a, b, w) in extra {
+            let v = if a == u {
+                b
+            } else if b == u {
+                a
+            } else {
+                continue;
+            };
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+    dist
+}
+
+/// Sum of distances from `source` to all nodes (the *distance cost*
+/// `d_G(u, V)` of the paper). Infinite if any node is unreachable.
+pub fn distance_cost(g: &AdjacencyList, source: NodeId) -> f64 {
+    dijkstra(g, source).iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> AdjacencyList {
+        // 0 -1- 1 -1- 3, 0 -3- 2 -1- 3
+        AdjacencyList::from_edges(
+            4,
+            &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 3.0), (2, 3, 1.0)],
+        )
+    }
+
+    #[test]
+    fn shortest_paths_basic() {
+        let g = diamond();
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, vec![0.0, 1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let mut g = AdjacencyList::new(3);
+        g.add_edge(0, 1, 1.0);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[2], f64::INFINITY);
+        assert!(distance_cost(&g, 0).is_infinite());
+    }
+
+    #[test]
+    fn extra_edges_shortcut() {
+        let g = diamond();
+        // Virtual edge 0-3 of weight 0.5 shortcuts everything.
+        let d = dijkstra_with_extra(&g, 0, &[(0, 3, 0.5)]);
+        assert_eq!(d[3], 0.5);
+        assert_eq!(d[2], 1.5);
+    }
+
+    #[test]
+    fn masked_edges_are_ignored() {
+        let g = diamond();
+        let d = dijkstra_masked(&g, 0, &[(0, 1)], &[]);
+        // Without 0-1, node 1 is reached via 2-3: 3 + 1 + 1 = 5.
+        assert_eq!(d[1], 5.0);
+        assert_eq!(d[3], 4.0);
+    }
+
+    #[test]
+    fn mask_and_extra_compose() {
+        let g = diamond();
+        let d = dijkstra_masked(&g, 0, &[(0, 1), (0, 2)], &[(0, 3, 1.0)]);
+        assert_eq!(d[3], 1.0);
+        assert_eq!(d[1], 2.0);
+        assert_eq!(d[2], 2.0);
+    }
+
+    #[test]
+    fn distance_cost_sums() {
+        let g = diamond();
+        assert_eq!(distance_cost(&g, 0), 0.0 + 1.0 + 3.0 + 2.0);
+    }
+
+    #[test]
+    fn zero_weight_edges_ok() {
+        // Thm 20's gap instance uses a zero-weight edge; Dijkstra must
+        // handle w = 0 correctly (non-negative weights only).
+        let g = AdjacencyList::from_edges(3, &[(0, 1, 0.0), (1, 2, 1.0)]);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, vec![0.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Minimum spanning trees (Prim and Kruskal).
+//!
+//! MSTs appear in three places in the reproduction: as the connectivity
+//! lower bound in social-optimum branch-and-bound, as a starting point for
+//! greedy OPT heuristics, and as random-tree generators' backbone in the
+//! `T–GNCG` metric factories.
+
+use crate::unionfind::UnionFind;
+use crate::{AdjacencyList, NodeId, SymMatrix};
+
+/// Computes an MST of the complete graph described by `w` using Prim's
+/// algorithm (dense `O(n²)` — optimal for complete hosts).
+///
+/// Returns the tree as an edge list. For `n == 0` or `1` the list is empty.
+/// Infinite weights are allowed; if the finite part is disconnected the
+/// resulting "tree" will contain infinite edges.
+pub fn prim_complete(w: &SymMatrix) -> Vec<(NodeId, NodeId, f64)> {
+    let n = w.n();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let mut in_tree = vec![false; n];
+    let mut best = vec![f64::INFINITY; n];
+    let mut best_from = vec![0 as NodeId; n];
+    let mut edges = Vec::with_capacity(n - 1);
+    in_tree[0] = true;
+    for v in 1..n {
+        best[v] = w.get(0, v as NodeId);
+        best_from[v] = 0;
+    }
+    for _ in 1..n {
+        let mut pick = usize::MAX;
+        let mut pick_w = f64::INFINITY;
+        for v in 0..n {
+            if !in_tree[v] && best[v] <= pick_w {
+                pick = v;
+                pick_w = best[v];
+            }
+        }
+        in_tree[pick] = true;
+        edges.push((best_from[pick], pick as NodeId, pick_w));
+        for v in 0..n {
+            if !in_tree[v] {
+                let wv = w.get(pick as NodeId, v as NodeId);
+                if wv < best[v] {
+                    best[v] = wv;
+                    best_from[v] = pick as NodeId;
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Computes an MST (or minimum spanning forest) of a sparse graph using
+/// Kruskal's algorithm. Returns the chosen edges.
+pub fn kruskal(g: &AdjacencyList) -> Vec<(NodeId, NodeId, f64)> {
+    let mut edges: Vec<_> = g.edges().collect();
+    edges.sort_by(|a, b| a.2.total_cmp(&b.2));
+    let mut uf = UnionFind::new(g.n());
+    let mut out = Vec::new();
+    for (u, v, w) in edges {
+        if uf.union(u as usize, v as usize) {
+            out.push((u, v, w));
+        }
+    }
+    out
+}
+
+/// Total weight of an edge list.
+pub fn total_weight(edges: &[(NodeId, NodeId, f64)]) -> f64 {
+    edges.iter().map(|&(_, _, w)| w).sum()
+}
+
+/// Builds an [`AdjacencyList`] from MST edges on `n` nodes.
+pub fn to_graph(n: usize, edges: &[(NodeId, NodeId, f64)]) -> AdjacencyList {
+    AdjacencyList::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prim_on_simple_metric() {
+        // Points on a line at 0, 1, 3: MST is {0-1 (1), 1-2 (2)}.
+        let pos: [f64; 3] = [0.0, 1.0, 3.0];
+        let w = SymMatrix::from_fn(3, |u, v| (pos[u as usize] - pos[v as usize]).abs());
+        let t = prim_complete(&w);
+        assert_eq!(t.len(), 2);
+        assert_eq!(total_weight(&t), 3.0);
+        assert!(to_graph(3, &t).is_tree());
+    }
+
+    #[test]
+    fn prim_matches_kruskal_on_complete() {
+        let pos: [f64; 6] = [0.0, 2.0, 2.5, 7.0, 8.0, 8.2];
+        let n = pos.len();
+        let w = SymMatrix::from_fn(n, |u, v| (pos[u as usize] - pos[v as usize]).abs());
+        let g = AdjacencyList::complete_from_matrix(&w);
+        let p = prim_complete(&w);
+        let k = kruskal(&g);
+        assert_eq!(p.len(), n - 1);
+        assert_eq!(k.len(), n - 1);
+        assert!((total_weight(&p) - total_weight(&k)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kruskal_forest_on_disconnected() {
+        let mut g = AdjacencyList::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(2, 3, 2.0);
+        let f = kruskal(&g);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn prim_trivial_sizes() {
+        assert!(prim_complete(&SymMatrix::zeros(0)).is_empty());
+        assert!(prim_complete(&SymMatrix::zeros(1)).is_empty());
+        let w = SymMatrix::filled(2, 5.0);
+        let t = prim_complete(&w);
+        assert_eq!(t, vec![(0, 1, 5.0)]);
+    }
+
+    #[test]
+    fn mst_weight_lower_bounds_any_spanning_tree() {
+        // Unit metric on 5 nodes: every spanning tree weighs 4, MST too.
+        let w = SymMatrix::filled(5, 1.0);
+        let t = prim_complete(&w);
+        assert_eq!(total_weight(&t), 4.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Shortest-path trees with predecessor tracking and path extraction.
+//!
+//! The main solvers only need distance *values*; this module adds the
+//! actual routes, used by the examples (to print equilibrium routes), by
+//! the Theorem 12 diagnostics (which edges a deviation re-routes), and by
+//! edge-load accounting.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{AdjacencyList, NodeId};
+
+/// A shortest-path tree from a single source.
+#[derive(Clone, Debug)]
+pub struct ShortestPathTree {
+    /// The source node.
+    pub source: NodeId,
+    /// Distance per node (∞ when unreachable).
+    pub dist: Vec<f64>,
+    /// Predecessor per node on one shortest path (`None` for the source
+    /// and for unreachable nodes).
+    pub pred: Vec<Option<NodeId>>,
+}
+
+impl ShortestPathTree {
+    /// Extracts the path `source → target` as a node list (inclusive).
+    /// Returns `None` if `target` is unreachable.
+    pub fn path_to(&self, target: NodeId) -> Option<Vec<NodeId>> {
+        if self.dist[target as usize].is_infinite() {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut cur = target;
+        while let Some(p) = self.pred[cur as usize] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], self.source);
+        Some(path)
+    }
+
+    /// Number of hops (edges) on the extracted path to `target`.
+    pub fn hops_to(&self, target: NodeId) -> Option<usize> {
+        self.path_to(target).map(|p| p.len() - 1)
+    }
+}
+
+#[derive(Copy, Clone)]
+struct Entry {
+    dist: f64,
+    node: NodeId,
+}
+impl PartialEq for Entry {
+    fn eq(&self, o: &Self) -> bool {
+        self.dist == o.dist && self.node == o.node
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, o: &Self) -> Ordering {
+        o.dist.total_cmp(&self.dist).then_with(|| o.node.cmp(&self.node))
+    }
+}
+
+/// Dijkstra with predecessor tracking.
+pub fn shortest_path_tree(g: &AdjacencyList, source: NodeId) -> ShortestPathTree {
+    let n = g.n();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+    dist[source as usize] = 0.0;
+    heap.push(Entry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(Entry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for &(v, w) in g.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                pred[v as usize] = Some(u);
+                heap.push(Entry { dist: nd, node: v });
+            }
+        }
+    }
+    ShortestPathTree { source, dist, pred }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> AdjacencyList {
+        AdjacencyList::from_edges(
+            4,
+            &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 3.0), (2, 3, 1.0)],
+        )
+    }
+
+    #[test]
+    fn tree_distances_match_dijkstra() {
+        let g = diamond();
+        let t = shortest_path_tree(&g, 0);
+        assert_eq!(t.dist, crate::dijkstra::dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn path_extraction() {
+        let g = diamond();
+        let t = shortest_path_tree(&g, 0);
+        assert_eq!(t.path_to(3), Some(vec![0, 1, 3]));
+        assert_eq!(t.hops_to(3), Some(2));
+        assert_eq!(t.path_to(0), Some(vec![0]));
+        assert_eq!(t.hops_to(0), Some(0));
+    }
+
+    #[test]
+    fn unreachable_path_is_none() {
+        let mut g = AdjacencyList::new(3);
+        g.add_edge(0, 1, 1.0);
+        let t = shortest_path_tree(&g, 0);
+        assert_eq!(t.path_to(2), None);
+        assert_eq!(t.hops_to(2), None);
+    }
+
+    #[test]
+    fn path_weights_sum_to_distance() {
+        let g = diamond();
+        let t = shortest_path_tree(&g, 2);
+        for target in 0..4u32 {
+            if let Some(path) = t.path_to(target) {
+                let mut total = 0.0;
+                for w in path.windows(2) {
+                    total += g.edge_weight(w[0], w[1]).unwrap();
+                }
+                assert!(crate::approx_eq(total, t.dist[target as usize]));
+            }
+        }
+    }
+}

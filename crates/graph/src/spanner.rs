@@ -1,0 +1,154 @@
+//! `k`-spanner verification and stretch measurement.
+//!
+//! A subgraph `G` of host `H` is a *k-spanner* if
+//! `d_G(u,v) <= k · d_H(u,v)` for all pairs. Lemma 1 of the paper proves
+//! every Add-only Equilibrium is an `(α+1)`-spanner of `H`; Lemma 2 proves
+//! the social optimum is an `(α/2+1)`-spanner. The experiment harness
+//! verifies both claims empirically using this module.
+
+use crate::apsp::{apsp_parallel, DistanceMatrix};
+use crate::{AdjacencyList, NodeId, SymMatrix};
+
+/// The maximum multiplicative stretch of `sub` relative to host distances
+/// `host_dist`, i.e. `max_{u≠v} d_sub(u,v) / d_H(u,v)`.
+///
+/// Pairs with `d_H(u,v) == 0` are skipped unless `d_sub(u,v) > 0`, in which
+/// case the stretch is infinite. Returns `1.0` for graphs with `< 2` nodes.
+pub fn max_stretch(sub: &AdjacencyList, host_dist: &DistanceMatrix) -> f64 {
+    let n = sub.n();
+    assert_eq!(n, host_dist.n());
+    if n < 2 {
+        return 1.0;
+    }
+    let sub_dist = apsp_parallel(sub);
+    let mut worst: f64 = 1.0;
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            let dh = host_dist.get(u, v);
+            let dg = sub_dist.get(u, v);
+            if dh == 0.0 {
+                if dg > crate::EPS {
+                    return f64::INFINITY;
+                }
+                continue;
+            }
+            worst = worst.max(dg / dh);
+        }
+    }
+    worst
+}
+
+/// Whether `sub` is a `k`-spanner of the host described by `host_dist`
+/// (within workspace tolerance).
+pub fn is_k_spanner(sub: &AdjacencyList, host_dist: &DistanceMatrix, k: f64) -> bool {
+    let s = max_stretch(sub, host_dist);
+    crate::approx_le(s, k)
+}
+
+/// Host distances of a complete weighted host graph: for *metric* hosts the
+/// closure equals the weights themselves; for non-metric hosts shortest
+/// paths may shortcut direct edges. This helper always computes true
+/// shortest-path distances in `H`.
+pub fn host_distances(w: &SymMatrix) -> DistanceMatrix {
+    crate::apsp::floyd_warshall(w)
+}
+
+/// A greedy minimum-weight `k`-spanner heuristic (the classical
+/// Althöfer et al. greedy): scan edges of `H` by non-decreasing weight and
+/// keep an edge iff the current spanner's distance between its endpoints
+/// exceeds `k` times its weight.
+///
+/// For metric hosts the result is a valid `k`-spanner of `H`; minimality is
+/// heuristic (the exact minimum-weight spanner is NP-hard), which suffices
+/// for Theorem 5's *existence* machinery where any locally-minimal
+/// 3/2-spanner works as a starting point; the solvers crate post-processes
+/// with weight-reducing local moves.
+pub fn greedy_k_spanner(w: &SymMatrix, k: f64) -> AdjacencyList {
+    let n = w.n();
+    let mut edges: Vec<_> = w.pairs().filter(|&(_, _, wt)| wt.is_finite()).collect();
+    edges.sort_by(|a, b| a.2.total_cmp(&b.2));
+    let mut g = AdjacencyList::new(n);
+    for (u, v, wt) in edges {
+        let d = crate::dijkstra::dijkstra(&g, u)[v as usize];
+        if d > k * wt + crate::EPS {
+            g.add_edge(u, v, wt);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_is_1_spanner() {
+        let w = SymMatrix::filled(5, 1.0);
+        let hd = host_distances(&w);
+        let g = AdjacencyList::complete_from_matrix(&w);
+        assert!(is_k_spanner(&g, &hd, 1.0));
+        assert!((max_stretch(&g, &hd) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_is_2_spanner_of_unit_metric() {
+        let n = 6;
+        let w = SymMatrix::filled(n, 1.0);
+        let hd = host_distances(&w);
+        let mut star = AdjacencyList::new(n);
+        for v in 1..n as NodeId {
+            star.add_edge(0, v, 1.0);
+        }
+        assert!(is_k_spanner(&star, &hd, 2.0));
+        assert!(!is_k_spanner(&star, &hd, 1.5));
+        assert!((max_stretch(&star, &hd) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_has_infinite_stretch() {
+        let w = SymMatrix::filled(3, 1.0);
+        let hd = host_distances(&w);
+        let g = AdjacencyList::new(3);
+        assert_eq!(max_stretch(&g, &hd), f64::INFINITY);
+        assert!(!is_k_spanner(&g, &hd, 1e12));
+    }
+
+    #[test]
+    fn greedy_spanner_is_valid() {
+        // 1-2 metric: greedy 3/2-spanner must contain all 1-edges (Lemma 5).
+        let n = 8;
+        let w = SymMatrix::from_fn(n, |u, v| if (u + v) % 3 == 0 { 2.0 } else { 1.0 });
+        let hd = host_distances(&w);
+        let sp = greedy_k_spanner(&w, 1.5);
+        assert!(is_k_spanner(&sp, &hd, 1.5));
+        for (u, v, wt) in w.pairs() {
+            if wt == 1.0 {
+                assert!(sp.has_edge(u, v), "1-edge ({u},{v}) missing from 3/2-spanner");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_spanner_k1_is_whole_metric_graph() {
+        // For k = 1 on a strict metric where every detour is strictly longer,
+        // every edge must be kept.
+        let pos: [f64; 4] = [0.0, 1.0, 2.5, 4.1];
+        let w = SymMatrix::from_fn(4, |u, v| (pos[u as usize] - pos[v as usize]).abs());
+        let sp = greedy_k_spanner(&w, 1.0);
+        // Collinear points: detours have *equal* length, so only the n-1
+        // consecutive edges are strictly required.
+        assert!(sp.m() >= 3);
+        let hd = host_distances(&w);
+        assert!(is_k_spanner(&sp, &hd, 1.0));
+    }
+
+    #[test]
+    fn spanner_of_weighted_tree_closure() {
+        let t = crate::tree::WeightedTree::path(&[1.0, 1.0, 1.0, 1.0]);
+        let w = t.metric_closure();
+        let hd = host_distances(&w);
+        // The tree itself is a 1-spanner of its closure.
+        let g = t.as_graph();
+        assert!(is_k_spanner(&g, &hd, 1.0));
+    }
+}

@@ -1,0 +1,214 @@
+//! Graph statistics used across the experiment harness: diameters,
+//! eccentricities, distance costs, cut edges, and weighted betweenness.
+
+use crate::apsp::{apsp_parallel, DistanceMatrix};
+use crate::{AdjacencyList, NodeId};
+
+/// Summary statistics of a built network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of undirected edges.
+    pub m: usize,
+    /// Total edge weight.
+    pub total_edge_weight: f64,
+    /// Weighted diameter (∞ if disconnected).
+    pub diameter: f64,
+    /// Sum of all ordered pairwise distances.
+    pub total_distance: f64,
+    /// Whether the graph is connected.
+    pub connected: bool,
+}
+
+/// Computes [`GraphStats`] for a graph.
+pub fn stats(g: &AdjacencyList) -> GraphStats {
+    let d = apsp_parallel(g);
+    stats_with_distances(g, &d)
+}
+
+/// Computes [`GraphStats`] reusing a precomputed distance table.
+pub fn stats_with_distances(g: &AdjacencyList, d: &DistanceMatrix) -> GraphStats {
+    GraphStats {
+        n: g.n(),
+        m: g.m(),
+        total_edge_weight: g.total_weight(),
+        diameter: d.diameter(),
+        total_distance: d.total_distance_cost(),
+        connected: d.all_finite() || g.n() <= 1,
+    }
+}
+
+/// Returns the cut edges (bridges) of `g` via Tarjan's low-link algorithm.
+///
+/// Lemma 7 of the paper bounds NE edge cost by splitting into at most
+/// `n - 1` cut edges plus non-cut edges; the experiment for Theorem 11
+/// measures both classes.
+pub fn bridges(g: &AdjacencyList) -> Vec<(NodeId, NodeId)> {
+    let n = g.n();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut out = Vec::new();
+    let mut timer = 0usize;
+    // Iterative DFS to avoid recursion limits on long paths.
+    #[derive(Clone, Copy)]
+    struct Frame {
+        u: NodeId,
+        parent: NodeId,
+        next_edge: usize,
+    }
+    for root in 0..n as NodeId {
+        if disc[root as usize] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![Frame {
+            u: root,
+            parent: NodeId::MAX,
+            next_edge: 0,
+        }];
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        while let Some(top) = stack.last_mut() {
+            let u = top.u;
+            let nbrs = g.neighbors(u);
+            if top.next_edge < nbrs.len() {
+                let (v, _) = nbrs[top.next_edge];
+                top.next_edge += 1;
+                if disc[v as usize] == usize::MAX {
+                    disc[v as usize] = timer;
+                    low[v as usize] = timer;
+                    timer += 1;
+                    stack.push(Frame {
+                        u: v,
+                        parent: u,
+                        next_edge: 0,
+                    });
+                } else if v != top.parent {
+                    low[u as usize] = low[u as usize].min(disc[v as usize]);
+                }
+            } else {
+                let frame = *top;
+                stack.pop();
+                if let Some(parent_frame) = stack.last() {
+                    let p = parent_frame.u;
+                    low[p as usize] = low[p as usize].min(low[frame.u as usize]);
+                    if low[frame.u as usize] > disc[p as usize] {
+                        let (a, b) = if p < frame.u { (p, frame.u) } else { (frame.u, p) };
+                        out.push((a, b));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Weighted betweenness-style edge load: for every ordered pair `(s, t)`
+/// counts each edge lying on *one* (arbitrary, via predecessor) shortest
+/// path. Used by the Lemma 8 experiment, which computes the distance cost of
+/// a path graph via per-edge shortest-path participation.
+pub fn edge_shortest_path_load(g: &AdjacencyList) -> Vec<((NodeId, NodeId), usize)> {
+    use std::collections::HashMap;
+    let n = g.n();
+    let mut load: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+    for s in 0..n as NodeId {
+        // Dijkstra with predecessor tracking.
+        let dist = crate::dijkstra::dijkstra(g, s);
+        let mut pred: Vec<Option<NodeId>> = vec![None; n];
+        for u in 0..n as NodeId {
+            if u == s || dist[u as usize].is_infinite() {
+                continue;
+            }
+            // Find one predecessor on a shortest path.
+            for &(v, w) in g.neighbors(u) {
+                if crate::approx_eq(dist[v as usize] + w, dist[u as usize]) {
+                    pred[u as usize] = Some(v);
+                    break;
+                }
+            }
+        }
+        for t in 0..n as NodeId {
+            if t == s || dist[t as usize].is_infinite() {
+                continue;
+            }
+            let mut cur = t;
+            while let Some(p) = pred[cur as usize] {
+                let key = if p < cur { (p, cur) } else { (cur, p) };
+                *load.entry(key).or_insert(0) += 1;
+                cur = p;
+                if cur == s {
+                    break;
+                }
+            }
+        }
+    }
+    let mut v: Vec<_> = load.into_iter().collect();
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> AdjacencyList {
+        AdjacencyList::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+    }
+
+    #[test]
+    fn stats_path() {
+        let s = stats(&path4());
+        assert_eq!(s.n, 4);
+        assert_eq!(s.m, 3);
+        assert_eq!(s.total_edge_weight, 3.0);
+        assert_eq!(s.diameter, 3.0);
+        assert!(s.connected);
+        // ordered pairs: 2*(1+2+3 + 1+2 + 1) = 20
+        assert_eq!(s.total_distance, 20.0);
+    }
+
+    #[test]
+    fn bridges_of_path_are_all_edges() {
+        let mut b = bridges(&path4());
+        b.sort();
+        assert_eq!(b, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn bridges_of_cycle_are_empty() {
+        let mut g = path4();
+        g.add_edge(3, 0, 1.0);
+        assert!(bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn bridges_mixed() {
+        // Triangle 0-1-2 plus pendant 3 attached to 2.
+        let g = AdjacencyList::from_edges(
+            4,
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (2, 3, 1.0)],
+        );
+        assert_eq!(bridges(&g), vec![(2, 3)]);
+    }
+
+    #[test]
+    fn edge_load_on_path() {
+        // On a path, edge i participates in (i+1)(n-1-i) unordered pairs,
+        // 2x ordered.
+        let loads = edge_shortest_path_load(&path4());
+        let as_map: std::collections::HashMap<_, _> = loads.into_iter().collect();
+        assert_eq!(as_map[&(0, 1)], 2 * 3);
+        assert_eq!(as_map[&(1, 2)], 2 * 4);
+        assert_eq!(as_map[&(2, 3)], 2 * 3);
+    }
+
+    #[test]
+    fn stats_disconnected() {
+        let mut g = AdjacencyList::new(3);
+        g.add_edge(0, 1, 1.0);
+        let s = stats(&g);
+        assert!(!s.connected);
+        assert!(s.diameter.is_infinite());
+    }
+}

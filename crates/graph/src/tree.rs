@@ -1,0 +1,161 @@
+//! Edge-weighted trees and their metric closures.
+//!
+//! The `T–GNCG` model variant plays the game on the metric closure of a
+//! given weighted tree `T` (`w(u,v) = d_T(u,v)` for all pairs). This module
+//! provides the tree structure, exact tree distances, and the closure.
+
+use crate::apsp::{apsp_sequential, DistanceMatrix};
+use crate::{AdjacencyList, NodeId, SymMatrix};
+
+/// An edge-weighted tree on nodes `0..n`.
+#[derive(Clone, Debug)]
+pub struct WeightedTree {
+    n: usize,
+    edges: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl WeightedTree {
+    /// Builds a tree from its edge list.
+    ///
+    /// # Panics
+    /// Panics if the edges do not form a tree on `n` nodes or any weight is
+    /// negative.
+    pub fn new(n: usize, edges: Vec<(NodeId, NodeId, f64)>) -> Self {
+        assert!(
+            n == 0 || edges.len() == n - 1,
+            "a tree on {n} nodes needs {} edges, got {}",
+            n.saturating_sub(1),
+            edges.len()
+        );
+        assert!(edges.iter().all(|&(_, _, w)| w >= 0.0), "negative weight");
+        let g = AdjacencyList::from_edges(n, &edges);
+        assert!(g.is_tree() || n == 0, "edge list does not form a tree");
+        WeightedTree { n, edges }
+    }
+
+    /// A star with center `0` and `n - 1` leaves, all edges of weight `w`.
+    pub fn star(n: usize, w: f64) -> Self {
+        let edges = (1..n as NodeId).map(|v| (0, v, w)).collect();
+        WeightedTree::new(n, edges)
+    }
+
+    /// A path `0 - 1 - … - n-1` with the given per-edge weights.
+    ///
+    /// # Panics
+    /// Panics unless `weights.len() == n - 1`.
+    pub fn path(weights: &[f64]) -> Self {
+        let n = weights.len() + 1;
+        let edges = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (i as NodeId, (i + 1) as NodeId, w))
+            .collect();
+        WeightedTree::new(n, edges)
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The tree's edges.
+    pub fn edges(&self) -> &[(NodeId, NodeId, f64)] {
+        &self.edges
+    }
+
+    /// Total edge weight of the tree.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|&(_, _, w)| w).sum()
+    }
+
+    /// The tree as an adjacency list.
+    pub fn as_graph(&self) -> AdjacencyList {
+        AdjacencyList::from_edges(self.n, &self.edges)
+    }
+
+    /// All-pairs tree distances.
+    pub fn distances(&self) -> DistanceMatrix {
+        apsp_sequential(&self.as_graph())
+    }
+
+    /// The metric closure: a complete weight matrix with
+    /// `w(u,v) = d_T(u,v)`. This is the `T–GNCG` host graph.
+    pub fn metric_closure(&self) -> SymMatrix {
+        self.distances().into_sym_matrix()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_distances() {
+        let t = WeightedTree::star(4, 2.0);
+        let d = t.distances();
+        assert_eq!(d.get(0, 1), 2.0);
+        assert_eq!(d.get(1, 2), 4.0);
+        assert_eq!(t.total_weight(), 6.0);
+    }
+
+    #[test]
+    fn path_distances() {
+        let t = WeightedTree::path(&[1.0, 2.0, 3.0]);
+        let d = t.distances();
+        assert_eq!(d.get(0, 3), 6.0);
+        assert_eq!(d.get(1, 3), 5.0);
+    }
+
+    #[test]
+    fn closure_is_metric() {
+        let t = WeightedTree::path(&[1.0, 5.0, 2.0]);
+        let closure = t.metric_closure();
+        assert!(closure.satisfies_triangle_inequality());
+        assert_eq!(closure.get(0, 3), 8.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_tree_rejected() {
+        // 4 nodes, 3 edges but with a cycle and a disconnected node.
+        WeightedTree::new(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_edge_count_rejected() {
+        WeightedTree::new(4, vec![(0, 1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weight_rejected() {
+        WeightedTree::new(2, vec![(0, 1, -1.0)]);
+    }
+
+    #[test]
+    fn closure_of_fig5_tree() {
+        // The 10-node tree of Figure 5 (Theorem 14's best-response cycle).
+        // Edge weights from the figure: see constructions crate for use.
+        let t = WeightedTree::new(
+            10,
+            vec![
+                (6, 3, 3.0),
+                (3, 4, 7.0),
+                (3, 5, 2.0),
+                (3, 2, 5.0),
+                (2, 0, 12.0),
+                (0, 7, 9.0),
+                (7, 1, 11.0),
+                (7, 8, 2.0),
+                (8, 9, 10.0),
+            ],
+        );
+        let w = t.metric_closure();
+        assert!(w.satisfies_triangle_inequality());
+        // d(6, 4) = 3 + 7
+        assert_eq!(w.get(6, 4), 10.0);
+        // d(9, 1) = 10 + 2 + 11
+        assert_eq!(w.get(9, 1), 23.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Disjoint-set forest (union–find) with path halving and union by rank.
+//!
+//! Used by Kruskal's MST, forest/cycle detection, and connectivity checks.
+
+/// A classic union–find structure over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Finds the representative of `x` (with path halving).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x as usize
+    }
+
+    /// Unions the sets of `a` and `b`. Returns `false` if they were already
+    /// in the same set (i.e. the union edge would close a cycle).
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi as u32;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.components(), 3);
+    }
+
+    #[test]
+    fn all_unions_collapse_to_one() {
+        let mut uf = UnionFind::new(10);
+        for i in 1..10 {
+            assert!(uf.union(0, i));
+        }
+        assert_eq!(uf.components(), 1);
+        for i in 0..10 {
+            for j in 0..10 {
+                assert!(uf.connected(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_detection_via_union() {
+        // Edges of a triangle: third union must fail.
+        let mut uf = UnionFind::new(3);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(2, 0));
+    }
+}

@@ -1,0 +1,66 @@
+//! General (typically non-metric) weighted hosts — the full `GNCG`.
+
+use gncg_graph::SymMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random weights in `[lo, hi]` on every pair. For `hi > 2·lo` the
+/// result is non-metric with high probability. Deterministic in `seed`.
+pub fn random(n: usize, lo: f64, hi: f64, seed: u64) -> SymMatrix {
+    assert!(lo >= 0.0 && hi >= lo);
+    let mut rng = StdRng::seed_from_u64(seed);
+    SymMatrix::from_fn(n, |_, _| {
+        if hi > lo {
+            rng.gen_range(lo..hi)
+        } else {
+            lo
+        }
+    })
+}
+
+/// A random *metric* host: random weights repaired to their metric closure
+/// (shortest-path distances in the complete weighted graph). The result
+/// always satisfies the triangle inequality.
+pub fn random_metric(n: usize, lo: f64, hi: f64, seed: u64) -> SymMatrix {
+    let w = random(n, lo, hi, seed);
+    gncg_graph::apsp::floyd_warshall(&w).into_sym_matrix()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_in_range() {
+        let w = random(8, 1.0, 4.0, 2);
+        assert!(w.pairs().all(|(_, _, wt)| (1.0..=4.0).contains(&wt)));
+    }
+
+    #[test]
+    fn wide_range_is_nonmetric_whp() {
+        // Range [0.01, 100]: essentially certainly non-metric at n = 12.
+        let w = random(12, 0.01, 100.0, 7);
+        assert!(!w.satisfies_triangle_inequality());
+    }
+
+    #[test]
+    fn repaired_host_is_metric() {
+        let w = random_metric(12, 0.01, 100.0, 7);
+        assert!(w.satisfies_triangle_inequality());
+        assert!(w.is_nonnegative());
+    }
+
+    #[test]
+    fn metric_repair_only_shrinks() {
+        let raw = random(10, 0.5, 30.0, 3);
+        let fixed = random_metric(10, 0.5, 30.0, 3);
+        for (u, v, wt) in raw.pairs() {
+            assert!(fixed.get(u, v) <= wt + 1e-12);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(random(6, 0.0, 1.0, 5), random(6, 0.0, 1.0, 5));
+    }
+}

@@ -1,0 +1,185 @@
+//! Points in `R^d` under p-norms — the `Rd–GNCG` host factory.
+//!
+//! The paper's geometric setting places agents at points of `R^d` and sets
+//! `w(u, v) = ‖u − v‖_p`. The 1-norm plays a special role (Theorems 17
+//! and 19 embed tree-metric constructions into it); general `p ≥ 2` appears
+//! in Theorems 16 and 18.
+
+use gncg_graph::SymMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A p-norm (or the Chebyshev norm) on `R^d`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Norm {
+    /// Manhattan norm, `p = 1`.
+    L1,
+    /// Euclidean norm, `p = 2`.
+    L2,
+    /// Chebyshev norm, `p = ∞`.
+    LInf,
+    /// General `p`-norm with `p >= 1`.
+    Lp(f64),
+}
+
+impl Norm {
+    /// Distance between two points of equal dimension.
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dimension mismatch");
+        match *self {
+            Norm::L1 => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+            Norm::L2 => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
+            Norm::LInf => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max),
+            Norm::Lp(p) => {
+                assert!(p >= 1.0, "p-norms need p >= 1 to be metrics");
+                a.iter()
+                    .zip(b)
+                    .map(|(x, y)| (x - y).abs().powf(p))
+                    .sum::<f64>()
+                    .powf(1.0 / p)
+            }
+        }
+    }
+}
+
+/// A finite set of points in `R^d`.
+#[derive(Clone, Debug)]
+pub struct PointSet {
+    dim: usize,
+    points: Vec<Vec<f64>>,
+}
+
+impl PointSet {
+    /// Builds a point set; all points must share a dimension.
+    pub fn new(points: Vec<Vec<f64>>) -> Self {
+        let dim = points.first().map_or(0, |p| p.len());
+        assert!(
+            points.iter().all(|p| p.len() == dim),
+            "all points must have the same dimension"
+        );
+        PointSet { dim, points }
+    }
+
+    /// Convenience constructor for planar points.
+    pub fn planar(points: &[(f64, f64)]) -> Self {
+        PointSet::new(points.iter().map(|&(x, y)| vec![x, y]).collect())
+    }
+
+    /// Convenience constructor for points on a line.
+    pub fn line(xs: &[f64]) -> Self {
+        PointSet::new(xs.iter().map(|&x| vec![x]).collect())
+    }
+
+    /// `n` points drawn uniformly from `[0, extent]^d`, deterministic in
+    /// `seed`.
+    pub fn random(n: usize, dim: usize, extent: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen::<f64>() * extent).collect())
+            .collect();
+        PointSet {
+            dim,
+            points,
+        }
+    }
+
+    /// Number of points.
+    pub fn n(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The `i`-th point.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.points[i]
+    }
+
+    /// The complete host-graph weight matrix under `norm`.
+    pub fn host_matrix(&self, norm: Norm) -> SymMatrix {
+        SymMatrix::from_fn(self.n(), |u, v| {
+            norm.distance(&self.points[u as usize], &self.points[v as usize])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_on_simple_points() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(Norm::L1.distance(&a, &b), 7.0);
+        assert_eq!(Norm::L2.distance(&a, &b), 5.0);
+        assert_eq!(Norm::LInf.distance(&a, &b), 4.0);
+        assert!((Norm::Lp(2.0).distance(&a, &b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lp_interpolates() {
+        let a = [0.0, 0.0];
+        let b = [1.0, 1.0];
+        let d15 = Norm::Lp(1.5).distance(&a, &b);
+        assert!(d15 < Norm::L1.distance(&a, &b));
+        assert!(d15 > Norm::L2.distance(&a, &b));
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_one_p_rejected() {
+        Norm::Lp(0.5).distance(&[0.0], &[1.0]);
+    }
+
+    #[test]
+    fn host_matrix_is_metric() {
+        let ps = PointSet::random(12, 3, 10.0, 42);
+        for norm in [Norm::L1, Norm::L2, Norm::LInf, Norm::Lp(3.0)] {
+            let w = ps.host_matrix(norm);
+            assert!(w.is_nonnegative());
+            assert!(
+                w.satisfies_triangle_inequality(),
+                "{norm:?} host must be metric"
+            );
+        }
+    }
+
+    #[test]
+    fn planar_and_line_constructors() {
+        let p = PointSet::planar(&[(0.0, 0.0), (1.0, 0.0)]);
+        assert_eq!(p.n(), 2);
+        assert_eq!(p.dim(), 2);
+        let l = PointSet::line(&[0.0, 2.0, 5.0]);
+        let w = l.host_matrix(Norm::L1);
+        assert_eq!(w.get(0, 2), 5.0);
+        assert_eq!(w.get(1, 2), 3.0);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = PointSet::random(5, 2, 1.0, 7);
+        let b = PointSet::random(5, 2, 1.0, 7);
+        assert_eq!(a.points, b.points);
+        let c = PointSet::random(5, 2, 1.0, 8);
+        assert_ne!(a.points, c.points);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mixed_dimensions_rejected() {
+        PointSet::new(vec![vec![0.0], vec![0.0, 1.0]]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # gncg-metrics
+//!
+//! Host-graph factories for every model variant of *Geometric Network
+//! Creation Games* (Fig. 1 of the paper):
+//!
+//! * [`mod@unit`] — the original NCG (unit-weight clique),
+//! * [`onetwo`] — `1-2–GNCG` hosts (weights in {1, 2}),
+//! * [`treemetric`] — `T–GNCG` hosts (metric closures of weighted trees),
+//! * [`euclidean`] — `Rd–GNCG` hosts (points in `R^d` under p-norms),
+//! * [`oneinf`] — the non-metric `1-∞–GNCG` hosts of Demaine et al.,
+//! * [`arbitrary`] — general non-negative (typically non-metric) hosts,
+//! * [`validate`] — model-class classification (which variants a given
+//!   host belongs to), used by the Fig. 1 containment experiment (E23).
+//!
+//! All random factories are fully deterministic given a seed.
+
+pub mod arbitrary;
+pub mod euclidean;
+pub mod oneinf;
+pub mod structured;
+pub mod onetwo;
+pub mod treemetric;
+pub mod unit;
+pub mod validate;
+
+pub use euclidean::{Norm, PointSet};
+pub use validate::ModelClass;

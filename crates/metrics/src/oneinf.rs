@@ -1,0 +1,80 @@
+//! `1-∞–GNCG` hosts (Demaine et al.): weights in `{1, ∞}`.
+//!
+//! Weight `∞` encodes "this edge cannot be bought": the model is the NCG on
+//! a general *unweighted* host graph. It is inherently **non-metric**
+//! (an ∞-edge between two nodes at hop distance 2 violates the triangle
+//! inequality), which is why the paper's metric machinery does not apply
+//! to it (§1.2).
+
+use gncg_graph::{NodeId, SymMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a 1-∞ host from the edge set of an unweighted graph: listed pairs
+/// get weight 1, all others weight ∞.
+pub fn from_unit_edges(n: usize, edges: &[(NodeId, NodeId)]) -> SymMatrix {
+    let mut w = SymMatrix::filled(n, f64::INFINITY);
+    for &(u, v) in edges {
+        w.set(u, v, 1.0);
+    }
+    w
+}
+
+/// A random connected 1-∞ host: a random spanning tree plus each remaining
+/// pair independently with probability `p`. Deterministic in `seed`.
+pub fn random_connected(n: usize, p: f64, seed: u64) -> SymMatrix {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = (1..n)
+        .map(|v| (rng.gen_range(0..v) as NodeId, v as NodeId))
+        .collect();
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            if !edges.contains(&(u, v)) && !edges.contains(&(v, u)) && rng.gen::<f64>() < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    from_unit_edges(n, &edges)
+}
+
+/// Whether a matrix is a 1-∞ host.
+pub fn is_one_inf(w: &SymMatrix) -> bool {
+    w.pairs().all(|(_, _, wt)| wt == 1.0 || wt.is_infinite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_unit_edges_basic() {
+        let w = from_unit_edges(3, &[(0, 1)]);
+        assert_eq!(w.get(0, 1), 1.0);
+        assert!(w.get(0, 2).is_infinite());
+        assert!(is_one_inf(&w));
+    }
+
+    #[test]
+    fn incomplete_host_is_nonmetric() {
+        // A path 0-1-2 with forbidden (0,2): w(0,2)=∞ > w(0,1)+w(1,2)=2.
+        let w = from_unit_edges(3, &[(0, 1), (1, 2)]);
+        assert!(!w.satisfies_triangle_inequality());
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        for seed in 0..5 {
+            let w = random_connected(12, 0.1, seed);
+            let g = gncg_graph::AdjacencyList::complete_from_matrix(&w);
+            assert!(g.is_connected());
+            assert!(is_one_inf(&w));
+        }
+    }
+
+    #[test]
+    fn p_one_gives_clique() {
+        let w = random_connected(6, 1.0, 0);
+        assert!(w.pairs().all(|(_, _, wt)| wt == 1.0));
+    }
+}

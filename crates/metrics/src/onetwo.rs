@@ -1,0 +1,115 @@
+//! `1-2–GNCG` hosts: complete graphs with weights in `{1, 2}`.
+//!
+//! Any assignment of weights from `{1, 2}` satisfies the triangle
+//! inequality (`1 + 1 >= 2`), which makes 1-2 graphs the simplest
+//! non-trivial metric special case — the paper's §3.1.
+
+use gncg_graph::{NodeId, SymMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random 1-2 host: every pair is a 1-edge independently with probability
+/// `p_one`, otherwise a 2-edge. Deterministic in `seed`.
+pub fn random(n: usize, p_one: f64, seed: u64) -> SymMatrix {
+    assert!((0.0..=1.0).contains(&p_one));
+    let mut rng = StdRng::seed_from_u64(seed);
+    SymMatrix::from_fn(n, |_, _| if rng.gen::<f64>() < p_one { 1.0 } else { 2.0 })
+}
+
+/// A 1-2 host where the 1-edges form a given graph (all other pairs are
+/// 2-edges). This is how the paper's constructions (Figs. 2 and 3) are
+/// phrased: "all depicted edges have weight 1; missing edges have weight 2."
+pub fn from_one_edges(n: usize, one_edges: &[(NodeId, NodeId)]) -> SymMatrix {
+    let mut w = SymMatrix::filled(n, 2.0);
+    for &(u, v) in one_edges {
+        w.set(u, v, 1.0);
+    }
+    w
+}
+
+/// Is this a valid 1-2 matrix? (Every off-diagonal weight is 1 or 2.)
+pub fn is_one_two(w: &SymMatrix) -> bool {
+    w.pairs().all(|(_, _, wt)| wt == 1.0 || wt == 2.0)
+}
+
+/// The subgraph of 1-edges, as an edge list.
+pub fn one_edges(w: &SymMatrix) -> Vec<(NodeId, NodeId)> {
+    w.pairs()
+        .filter(|&(_, _, wt)| wt == 1.0)
+        .map(|(u, v, _)| (u, v))
+        .collect()
+}
+
+/// Counts 1-1-2 triangles: triples `{u, v, x}` where `(u,v)` is a 2-edge
+/// but `(u,x)` and `(x,v)` are 1-edges. Algorithm 1 of the paper removes
+/// exactly the 2-edges of such triangles to obtain the social optimum for
+/// `α <= 1`.
+pub fn count_112_triangles(w: &SymMatrix) -> usize {
+    let n = w.n();
+    let mut count = 0;
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            if w.get(u, v) != 2.0 {
+                continue;
+            }
+            for x in 0..n as NodeId {
+                if x != u && x != v && w.get(u, x) == 1.0 && w.get(x, v) == 1.0 {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_one_two_and_metric() {
+        let w = random(10, 0.4, 3);
+        assert!(is_one_two(&w));
+        assert!(w.satisfies_triangle_inequality());
+    }
+
+    #[test]
+    fn random_extremes() {
+        let all_ones = random(6, 1.0, 1);
+        assert!(all_ones.pairs().all(|(_, _, w)| w == 1.0));
+        let all_twos = random(6, 0.0, 1);
+        assert!(all_twos.pairs().all(|(_, _, w)| w == 2.0));
+    }
+
+    #[test]
+    fn from_one_edges_places_ones() {
+        let w = from_one_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(w.get(0, 1), 1.0);
+        assert_eq!(w.get(2, 3), 1.0);
+        assert_eq!(w.get(0, 2), 2.0);
+        assert!(is_one_two(&w));
+    }
+
+    #[test]
+    fn triangle_counting() {
+        // Path of 1-edges 0-1-2 with 2-edge (0,2): exactly one 1-1-2 triangle.
+        let w = from_one_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(count_112_triangles(&w), 1);
+        // All ones: no 2-edges, no triangles.
+        assert_eq!(count_112_triangles(&random(5, 1.0, 0)), 0);
+    }
+
+    #[test]
+    fn one_edges_roundtrip() {
+        let edges = vec![(0, 2), (1, 3)];
+        let w = from_one_edges(4, &edges);
+        let mut back = one_edges(&w);
+        back.sort();
+        assert_eq!(back, edges);
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(random(8, 0.5, 9), random(8, 0.5, 9));
+    }
+}

@@ -1,0 +1,130 @@
+//! Structured geometric instance families beyond uniform random points:
+//! grids, clustered "cities", and perturbed tree metrics. Used by the
+//! examples and by stress experiments where uniform point clouds are too
+//! benign (clusters create the hub-vs-shortcut tension the paper's
+//! motivating networks exhibit).
+
+use gncg_graph::{NodeId, SymMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::euclidean::PointSet;
+
+/// An `rows × cols` integer grid of points with spacing `step`.
+pub fn grid(rows: usize, cols: usize, step: f64) -> PointSet {
+    assert!(rows >= 1 && cols >= 1 && step > 0.0);
+    let mut pts = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            pts.push(vec![c as f64 * step, r as f64 * step]);
+        }
+    }
+    PointSet::new(pts)
+}
+
+/// `clusters` Gaussian-ish blobs of `per_cluster` points each: cluster
+/// centers uniform in `[0, extent]²`, members uniform in a disc of radius
+/// `spread` around their center. Deterministic in `seed`.
+pub fn clustered(
+    clusters: usize,
+    per_cluster: usize,
+    extent: f64,
+    spread: f64,
+    seed: u64,
+) -> PointSet {
+    assert!(clusters >= 1 && per_cluster >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = Vec::with_capacity(clusters * per_cluster);
+    for _ in 0..clusters {
+        let cx = rng.gen::<f64>() * extent;
+        let cy = rng.gen::<f64>() * extent;
+        for _ in 0..per_cluster {
+            let angle = rng.gen::<f64>() * std::f64::consts::TAU;
+            let radius = rng.gen::<f64>() * spread;
+            pts.push(vec![cx + radius * angle.cos(), cy + radius * angle.sin()]);
+        }
+    }
+    PointSet::new(pts)
+}
+
+/// A *perturbed tree metric*: the closure of a random tree with every
+/// pairwise weight multiplied by a factor in `[1, 1 + noise]`, then
+/// re-repaired to a metric by shortest-path closure. For small `noise`
+/// the host is metric but (generically) no longer a tree metric — probing
+/// how fast Theorem 12's "all NE are trees" structure degrades.
+pub fn perturbed_tree_metric(n: usize, noise: f64, seed: u64) -> SymMatrix {
+    assert!(noise >= 0.0);
+    let tree = crate::treemetric::random_tree(n, 1.0, 3.0, seed);
+    let base = tree.metric_closure();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut noisy = SymMatrix::zeros(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            let factor = 1.0 + rng.gen::<f64>() * noise;
+            noisy.set(u, v, base.get(u, v) * factor);
+        }
+    }
+    gncg_graph::apsp::floyd_warshall(&noisy).into_sym_matrix()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euclidean::Norm;
+
+    #[test]
+    fn grid_layout() {
+        let g = grid(2, 3, 1.0);
+        assert_eq!(g.n(), 6);
+        let w = g.host_matrix(Norm::L1);
+        // Corners of the 2×3 grid: (0,0) to (2,1) — L1 distance 3.
+        assert_eq!(w.get(0, 5), 3.0);
+        assert!(w.satisfies_triangle_inequality());
+    }
+
+    #[test]
+    fn clustered_counts_and_metricity() {
+        let ps = clustered(3, 4, 100.0, 1.0, 5);
+        assert_eq!(ps.n(), 12);
+        let w = ps.host_matrix(Norm::L2);
+        assert!(w.satisfies_triangle_inequality());
+    }
+
+    #[test]
+    fn clusters_are_tight_relative_to_extent() {
+        let ps = clustered(2, 3, 1000.0, 1.0, 9);
+        let w = ps.host_matrix(Norm::L2);
+        // Within-cluster distances ≤ 2·spread; the two clusters are far
+        // apart with overwhelming probability at extent 1000.
+        let within_max = (0..3u32)
+            .flat_map(|i| ((i + 1)..3).map(move |j| (i, j)))
+            .map(|(i, j)| w.get(i, j))
+            .fold(0.0, f64::max);
+        assert!(within_max <= 2.0 + 1e-9);
+        assert!(w.get(0, 3) > 10.0, "clusters should separate");
+    }
+
+    #[test]
+    fn perturbed_tree_metric_is_metric_but_not_tree() {
+        let w = perturbed_tree_metric(8, 0.3, 3);
+        assert!(w.satisfies_triangle_inequality());
+        assert!(
+            !crate::validate::is_tree_metric(&w),
+            "30% noise should break tree-metricity"
+        );
+    }
+
+    #[test]
+    fn zero_noise_recovers_tree_metric() {
+        let w = perturbed_tree_metric(8, 0.0, 3);
+        assert!(crate::validate::is_tree_metric(&w));
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(
+            perturbed_tree_metric(6, 0.2, 1),
+            perturbed_tree_metric(6, 0.2, 1)
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! `T–GNCG` hosts: metric closures of random weighted trees.
+
+use gncg_graph::{NodeId, WeightedTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random weighted tree on `n` nodes: the shape is a uniform random
+/// attachment tree (each node `v >= 1` attaches to a uniformly random
+/// earlier node), edge weights uniform in `[lo, hi]`. Deterministic in
+/// `seed`.
+pub fn random_tree(n: usize, lo: f64, hi: f64, seed: u64) -> WeightedTree {
+    assert!(n >= 1);
+    assert!(lo >= 0.0 && hi >= lo);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges = (1..n)
+        .map(|v| {
+            let parent = rng.gen_range(0..v) as NodeId;
+            let w = if hi > lo {
+                rng.gen_range(lo..hi)
+            } else {
+                lo
+            };
+            (parent, v as NodeId, w)
+        })
+        .collect();
+    WeightedTree::new(n, edges)
+}
+
+/// A random *path* tree: nodes `0..n` in a line with uniform random weights.
+pub fn random_path(n: usize, lo: f64, hi: f64, seed: u64) -> WeightedTree {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<f64> = (1..n)
+        .map(|_| if hi > lo { rng.gen_range(lo..hi) } else { lo })
+        .collect();
+    WeightedTree::path(&weights)
+}
+
+/// A random *caterpillar*: a weighted spine with random leaves hanging off
+/// it — a tree shape with high diameter and high degree simultaneously,
+/// good stress input for the T–GNCG experiments.
+pub fn random_caterpillar(
+    spine: usize,
+    leaves: usize,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+) -> WeightedTree {
+    assert!(spine >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = spine + leaves;
+    let mut edges = Vec::with_capacity(n - 1);
+    let w = |rng: &mut StdRng| if hi > lo { rng.gen_range(lo..hi) } else { lo };
+    for v in 1..spine {
+        let wt = w(&mut rng);
+        edges.push(((v - 1) as NodeId, v as NodeId, wt));
+    }
+    for l in 0..leaves {
+        let attach = rng.gen_range(0..spine) as NodeId;
+        let wt = w(&mut rng);
+        edges.push((attach, (spine + l) as NodeId, wt));
+    }
+    WeightedTree::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_tree_is_tree_and_closure_metric() {
+        let t = random_tree(20, 1.0, 5.0, 11);
+        assert!(t.as_graph().is_tree());
+        let w = t.metric_closure();
+        assert!(w.satisfies_triangle_inequality());
+        assert!(w.is_nonnegative());
+    }
+
+    #[test]
+    fn random_path_shape() {
+        let t = random_path(6, 1.0, 2.0, 5);
+        let g = t.as_graph();
+        assert!(g.is_tree());
+        // Path: exactly two nodes of degree 1, rest degree 2.
+        let deg1 = (0..6).filter(|&v| g.degree(v) == 1).count();
+        assert_eq!(deg1, 2);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = random_caterpillar(5, 7, 1.0, 1.0, 3);
+        assert_eq!(t.n(), 12);
+        assert!(t.as_graph().is_tree());
+    }
+
+    #[test]
+    fn degenerate_weight_range() {
+        let t = random_tree(5, 2.0, 2.0, 1);
+        assert!(t.edges().iter().all(|&(_, _, w)| w == 2.0));
+    }
+
+    #[test]
+    fn determinism() {
+        let a = random_tree(10, 0.5, 3.0, 42);
+        let b = random_tree(10, 0.5, 3.0, 42);
+        assert_eq!(a.edges(), b.edges());
+    }
+}

@@ -1,0 +1,24 @@
+//! The original NCG host: a unit-weight clique.
+//!
+//! The NCG of Fabrikant et al. is the most restricted special case of the
+//! M–GNCG (Fig. 1): every edge weight is 1 and distances are hop counts.
+
+use gncg_graph::SymMatrix;
+
+/// The unit-weight complete host on `n` nodes.
+pub fn unit_host(n: usize) -> SymMatrix {
+    SymMatrix::filled(n, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_host_is_metric_and_one_two() {
+        let w = unit_host(7);
+        assert!(w.satisfies_triangle_inequality());
+        assert!(crate::onetwo::is_one_two(&w));
+        assert_eq!(w.total_weight(), 21.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Model-class classification: which GNCG variants a host graph belongs to.
+//!
+//! Figure 1 of the paper organizes the variants into a containment
+//! hierarchy (`NCG ⊂ 1-2–GNCG ⊂ M–GNCG ⊂ GNCG`, `T–GNCG ⊂ M–GNCG`, …).
+//! Experiment E23 verifies that every factory in this crate produces hosts
+//! classified as expected under this hierarchy.
+
+use gncg_graph::{NodeId, SymMatrix};
+
+/// Model classes of the paper, ordered roughly special → general.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelClass {
+    /// Unit-weight clique (the original NCG).
+    Ncg,
+    /// Weights in {1, 2}.
+    OneTwo,
+    /// Weights realizable as distances in some weighted tree.
+    TreeMetric,
+    /// Weights satisfy the triangle inequality.
+    Metric,
+    /// Weights in {1, ∞} (non-metric if any ∞ is present with n ≥ 3).
+    OneInf,
+    /// Arbitrary non-negative weights.
+    General,
+}
+
+/// All classes a host belongs to (always includes `General` when weights
+/// are non-negative).
+pub fn classify(w: &SymMatrix) -> Vec<ModelClass> {
+    let mut out = Vec::new();
+    if !w.is_nonnegative() {
+        return out;
+    }
+    out.push(ModelClass::General);
+    if crate::oneinf::is_one_inf(w) {
+        out.push(ModelClass::OneInf);
+    }
+    if w.satisfies_triangle_inequality() {
+        out.push(ModelClass::Metric);
+        if is_tree_metric(w) {
+            out.push(ModelClass::TreeMetric);
+        }
+    }
+    if crate::onetwo::is_one_two(w) {
+        out.push(ModelClass::OneTwo);
+    }
+    if w.pairs().all(|(_, _, wt)| wt == 1.0) {
+        out.push(ModelClass::Ncg);
+    }
+    out
+}
+
+/// Whether the host's weights coincide with shortest-path distances of some
+/// weighted tree. Checked constructively: the MST of the host is the unique
+/// candidate tree (for tree metrics the defining tree is a minimum spanning
+/// tree), so we build it and compare its closure to the weights.
+pub fn is_tree_metric(w: &SymMatrix) -> bool {
+    let n = w.n();
+    if n <= 2 {
+        return true;
+    }
+    if !w.pairs().all(|(_, _, wt)| wt.is_finite()) {
+        return false;
+    }
+    let mst = gncg_graph::mst::prim_complete(w);
+    let tree = gncg_graph::AdjacencyList::from_edges(n, &mst);
+    let d = gncg_graph::apsp::apsp_sequential(&tree);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            if !gncg_graph::approx_eq(d.get(u, v), w.get(u, v)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_host_is_everything_metric() {
+        let w = crate::unit::unit_host(5);
+        let c = classify(&w);
+        assert!(c.contains(&ModelClass::Ncg));
+        assert!(c.contains(&ModelClass::OneTwo));
+        assert!(c.contains(&ModelClass::Metric));
+        assert!(c.contains(&ModelClass::General));
+        // The unit metric is NOT a tree metric for n >= 3 (all pairwise
+        // distances 1 cannot be realized by any weighted tree).
+        assert!(!c.contains(&ModelClass::TreeMetric));
+    }
+
+    #[test]
+    fn one_two_host_classification() {
+        let w = crate::onetwo::from_one_edges(4, &[(0, 1), (1, 2)]);
+        let c = classify(&w);
+        assert!(c.contains(&ModelClass::OneTwo));
+        assert!(c.contains(&ModelClass::Metric));
+        assert!(!c.contains(&ModelClass::Ncg));
+    }
+
+    #[test]
+    fn tree_closure_is_tree_metric() {
+        let t = crate::treemetric::random_tree(10, 1.0, 4.0, 9);
+        let w = t.metric_closure();
+        assert!(is_tree_metric(&w));
+        let c = classify(&w);
+        assert!(c.contains(&ModelClass::TreeMetric));
+        assert!(c.contains(&ModelClass::Metric));
+    }
+
+    #[test]
+    fn line_points_are_tree_metric() {
+        // Collinear points under any p-norm form a path (tree) metric.
+        let ps = crate::euclidean::PointSet::line(&[0.0, 1.0, 3.5, 4.0]);
+        let w = ps.host_matrix(crate::euclidean::Norm::L2);
+        assert!(is_tree_metric(&w));
+    }
+
+    #[test]
+    fn planar_points_generally_not_tree_metric() {
+        let ps = crate::euclidean::PointSet::planar(&[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (0.0, 1.0),
+            (1.0, 1.0),
+        ]);
+        let w = ps.host_matrix(crate::euclidean::Norm::L2);
+        assert!(!is_tree_metric(&w));
+        assert!(classify(&w).contains(&ModelClass::Metric));
+    }
+
+    #[test]
+    fn one_inf_host_classification() {
+        let w = crate::oneinf::from_unit_edges(3, &[(0, 1), (1, 2)]);
+        let c = classify(&w);
+        assert!(c.contains(&ModelClass::OneInf));
+        assert!(!c.contains(&ModelClass::Metric));
+    }
+
+    #[test]
+    fn nonmetric_random_is_general_only() {
+        let w = crate::arbitrary::random(10, 0.01, 100.0, 1);
+        let c = classify(&w);
+        assert_eq!(c, vec![ModelClass::General]);
+    }
+
+    #[test]
+    fn tiny_hosts_are_tree_metrics() {
+        assert!(is_tree_metric(&crate::unit::unit_host(2)));
+        assert!(is_tree_metric(&crate::unit::unit_host(1)));
+    }
+}

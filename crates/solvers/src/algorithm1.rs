@@ -1,0 +1,140 @@
+//! Algorithm 1 of the paper: polynomial social optimum for 1-2 graphs.
+//!
+//! > **Algorithm 1** — input a complete 1-2 graph `G = K_n`; while there is
+//! > a 1-1-2 triangle in `G`, remove the 2-edge from the triangle.
+//!
+//! Theorem 6: for any `α ≤ 1` the result is a social optimum. The proof
+//! shows OPT has diameter 2, contains all 1-edges, and consequently equals
+//! the complete graph minus exactly the 2-edges whose endpoints share a
+//! 1-edge neighbor.
+
+use gncg_core::{Game, Profile};
+use gncg_graph::{AdjacencyList, NodeId, SymMatrix};
+
+/// Runs Algorithm 1 on a 1-2 host and returns the optimal network.
+///
+/// # Panics
+/// Panics if the host is not a 1-2 matrix.
+pub fn algorithm1(host: &SymMatrix) -> AdjacencyList {
+    assert!(
+        host.pairs().all(|(_, _, w)| w == 1.0 || w == 2.0),
+        "Algorithm 1 requires a 1-2 host graph"
+    );
+    let n = host.n();
+    let mut g = AdjacencyList::complete_from_matrix(host);
+    // A 2-edge (u, v) sits in a 1-1-2 triangle iff some x has 1-edges to
+    // both u and v. Removing such 2-edges never creates new triangles
+    // (1-edges are never removed), so one pass suffices.
+    let two_edges: Vec<(NodeId, NodeId)> = host
+        .pairs()
+        .filter(|&(_, _, w)| w == 2.0)
+        .map(|(u, v, _)| (u, v))
+        .collect();
+    for (u, v) in two_edges {
+        let in_triangle = (0..n as NodeId).any(|x| {
+            x != u && x != v && host.get(u, x) == 1.0 && host.get(x, v) == 1.0
+        });
+        if in_triangle {
+            g.remove_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Algorithm 1 as a single-owner [`Profile`].
+pub fn algorithm1_profile(host: &SymMatrix) -> Profile {
+    let g = algorithm1(host);
+    let edges: Vec<(NodeId, NodeId)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+    Profile::from_owned_edges(host.n(), &edges)
+}
+
+/// The social cost of the Algorithm 1 network under `α` (Theorem 6: equals
+/// the optimal social cost for `α ≤ 1`).
+pub fn algorithm1_cost(game: &Game) -> f64 {
+    let g = algorithm1(game.host());
+    gncg_core::cost::network_social_cost(game, &g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_exactly_triangle_two_edges() {
+        // 1-edges: 0-1, 1-2. The 2-edge (0,2) is in a 1-1-2 triangle and
+        // must be removed; 2-edges to node 3 stay (no common 1-neighbor).
+        let host = gncg_metrics::onetwo::from_one_edges(4, &[(0, 1), (1, 2)]);
+        let g = algorithm1(&host);
+        assert!(!g.has_edge(0, 2));
+        assert!(g.has_edge(0, 3));
+        assert!(g.has_edge(1, 3));
+        assert!(g.has_edge(2, 3));
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn output_has_diameter_at_most_2_and_all_one_edges() {
+        for seed in 0..6u64 {
+            let host = gncg_metrics::onetwo::random(8, 0.4, seed);
+            let g = algorithm1(&host);
+            let d = gncg_graph::apsp::apsp_sequential(&g);
+            assert!(d.diameter() <= 2.0 + 1e-12, "seed {seed}");
+            for (u, v, w) in host.pairs() {
+                if w == 1.0 {
+                    assert!(g.has_edge(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exact_opt_for_alpha_leq_1() {
+        for seed in 0..4u64 {
+            let host = gncg_metrics::onetwo::random(6, 0.5, seed);
+            for alpha in [0.25, 0.5, 0.75, 1.0] {
+                let game = Game::new(host.clone(), alpha);
+                let exact = crate::opt_exact::social_optimum(&game);
+                let alg = algorithm1_cost(&game);
+                assert!(
+                    gncg_graph::approx_eq(exact.cost, alg),
+                    "Algorithm 1 suboptimal: {} vs exact {} (seed {seed}, α {alpha})",
+                    alg,
+                    exact.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_ones_host_is_left_complete() {
+        let host = gncg_metrics::unit::unit_host(5);
+        let g = algorithm1(&host);
+        assert_eq!(g.m(), 10);
+    }
+
+    #[test]
+    fn all_twos_host_is_left_complete() {
+        // No 1-edges → no 1-1-2 triangles → nothing removed.
+        let host = gncg_metrics::onetwo::random(5, 0.0, 0);
+        let g = algorithm1(&host);
+        assert_eq!(g.m(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_one_two_host_rejected() {
+        let host = SymMatrix::filled(3, 3.0);
+        algorithm1(&host);
+    }
+
+    #[test]
+    fn profile_realizes_network() {
+        let host = gncg_metrics::onetwo::random(7, 0.5, 9);
+        let p = algorithm1_profile(&host);
+        let game = Game::new(host.clone(), 1.0);
+        let from_profile = p.build_network(&game);
+        let direct = algorithm1(&host);
+        assert_eq!(from_profile.m(), direct.m());
+    }
+}

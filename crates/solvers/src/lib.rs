@@ -1,0 +1,28 @@
+//! # gncg-solvers
+//!
+//! Solvers for the GNCG reproduction:
+//!
+//! * [`opt_exact`] — exact social optimum via branch-and-bound over edge
+//!   subsets (the game-theoretic analogue of the Network Design Problem;
+//!   suspected NP-hard, so exact only for small `n`),
+//! * [`opt_heuristic`] — MST-seeded local-search optimum for larger `n`,
+//! * [`algorithm1`] — the paper's Algorithm 1: polynomial social optimum
+//!   for 1-2 graphs with `α ≤ 1` (Theorem 6),
+//! * [`tree_opt`] — the defining tree as OPT for `T–GNCG` (Corollary 3),
+//! * [`spanner_eq`] — Theorem 5: NE construction from minimum-weight
+//!   3/2-spanners for 1-2 graphs with `1/2 ≤ α ≤ 1`,
+//! * [`umfl`] — Uncapacitated Metric Facility Location local search, the
+//!   Theorem 3 machinery (locality gap 3 ⇒ every GE is a 3-NE) and a
+//!   polynomial approximate best response,
+//! * [`set_cover`] / [`vertex_cover`] — substrates for the NP-hardness
+//!   reductions (Theorems 4, 13, 16).
+
+pub mod algorithm1;
+pub mod opt_exact;
+pub mod opt_heuristic;
+pub mod set_cover;
+pub mod spanner_eq;
+pub mod stability;
+pub mod tree_opt;
+pub mod umfl;
+pub mod vertex_cover;

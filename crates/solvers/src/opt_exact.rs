@@ -1,0 +1,260 @@
+//! Exact social optimum by branch-and-bound over edge subsets.
+//!
+//! The social optimum minimizes `α·Σ_{e∈E'} w(e) + Σ_{u,v} d_{(V,E')}(u,v)`
+//! over all edge subsets `E' ⊆ E(H)` — a variant of the classical Network
+//! Design Problem, strongly suspected NP-hard (§1.2 of the paper). The
+//! search below is complete; the admissible bound combines the committed
+//! edge cost with the host-closure distance lower bound
+//! `Σ_{u,v} d_H(u,v) ≤ Σ_{u,v} d_G(u,v)` (every built network is a
+//! subgraph of `H`). Intended for `n ≤ 8`.
+
+use gncg_core::{cost::network_social_cost, Game, Profile};
+use gncg_graph::{AdjacencyList, NodeId};
+
+/// An optimum: the edge set, a single-owner profile inducing it, and its
+/// social cost.
+#[derive(Clone, Debug)]
+pub struct Optimum {
+    /// Chosen undirected edges.
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// A profile realizing the network (each edge bought by its smaller
+    /// endpoint — ownership does not affect social cost).
+    pub profile: Profile,
+    /// The minimal social cost.
+    pub cost: f64,
+    /// Diagnostics: number of leaf evaluations.
+    pub evaluated: usize,
+}
+
+/// Computes the exact social optimum of `game`.
+///
+/// # Panics
+/// Panics if `n > 9` (the search space `2^(n(n-1)/2)` becomes impractical;
+/// use [`crate::opt_heuristic`] instead).
+pub fn social_optimum(game: &Game) -> Optimum {
+    let n = game.n();
+    assert!(
+        n <= 9,
+        "exact OPT is exponential; n = {n} > 9 — use opt_heuristic"
+    );
+    if n <= 1 {
+        return Optimum {
+            edges: Vec::new(),
+            profile: Profile::empty(n),
+            cost: 0.0,
+            evaluated: 1,
+        };
+    }
+    // Candidate edges sorted by weight descending: committing heavy edges
+    // early makes the edge-cost bound bite sooner.
+    let mut cand: Vec<(NodeId, NodeId, f64)> =
+        game.host().pairs().filter(|&(_, _, w)| w.is_finite()).collect();
+    cand.sort_by(|a, b| b.2.total_cmp(&a.2));
+
+    // Distance lower bound: total ordered-pair distance of the host closure.
+    let dist_lb: f64 = game.host_distances().total_distance_cost();
+
+    let mut best_cost = f64::INFINITY;
+    let mut best_edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut evaluated = 0usize;
+
+    // Seed the incumbent with the complete host graph and the MST — both
+    // cheap and often near-optimal, tightening the bound from the start.
+    {
+        let full = AdjacencyList::complete_from_matrix(game.host());
+        let c = network_social_cost(game, &full);
+        if c < best_cost {
+            best_cost = c;
+            best_edges = full.edges().map(|(u, v, _)| (u, v)).collect();
+        }
+        let mst_edges = gncg_graph::mst::prim_complete(game.host());
+        let mst = AdjacencyList::from_edges(n, &mst_edges);
+        let c = network_social_cost(game, &mst);
+        if c < best_cost {
+            best_cost = c;
+            best_edges = mst.edges().map(|(u, v, _)| (u, v)).collect();
+        }
+    }
+
+    let mut chosen: Vec<(NodeId, NodeId, f64)> = Vec::new();
+    dfs_opt(
+        game,
+        &cand,
+        0,
+        &mut chosen,
+        0.0,
+        dist_lb,
+        &mut best_cost,
+        &mut best_edges,
+        &mut evaluated,
+    );
+
+    let profile = Profile::from_owned_edges(n, &best_edges);
+    let network = AdjacencyList::from_edges(
+        n,
+        &best_edges
+            .iter()
+            .map(|&(u, v)| (u, v, game.w(u, v)))
+            .collect::<Vec<_>>(),
+    );
+    let cost = network_social_cost(game, &network);
+    Optimum {
+        edges: best_edges,
+        profile,
+        cost,
+        evaluated,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_opt(
+    game: &Game,
+    cand: &[(NodeId, NodeId, f64)],
+    idx: usize,
+    chosen: &mut Vec<(NodeId, NodeId, f64)>,
+    edge_weight: f64,
+    dist_lb: f64,
+    best_cost: &mut f64,
+    best_edges: &mut Vec<(NodeId, NodeId)>,
+    evaluated: &mut usize,
+) {
+    if game.alpha() * edge_weight + dist_lb >= *best_cost - gncg_graph::EPS {
+        return;
+    }
+    if idx == cand.len() {
+        let g = AdjacencyList::from_edges(game.n(), chosen);
+        if !g.is_connected() {
+            return;
+        }
+        *evaluated += 1;
+        let c = network_social_cost(game, &g);
+        if c < *best_cost - gncg_graph::EPS {
+            *best_cost = c;
+            *best_edges = chosen.iter().map(|&(u, v, _)| (u, v)).collect();
+        }
+        return;
+    }
+    let e = cand[idx];
+    chosen.push(e);
+    dfs_opt(
+        game,
+        cand,
+        idx + 1,
+        chosen,
+        edge_weight + e.2,
+        dist_lb,
+        best_cost,
+        best_edges,
+        evaluated,
+    );
+    chosen.pop();
+    dfs_opt(
+        game,
+        cand,
+        idx + 1,
+        chosen,
+        edge_weight,
+        dist_lb,
+        best_cost,
+        best_edges,
+        evaluated,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_graph::SymMatrix;
+
+    fn unit_game(n: usize, alpha: f64) -> Game {
+        Game::new(SymMatrix::filled(n, 1.0), alpha)
+    }
+
+    #[test]
+    fn opt_unit_metric_low_alpha_is_clique() {
+        // α < 1 on the unit metric: every missing edge saves ≥ 2 distance
+        // for α < 2... precisely for α ≤ 2 adding an edge to OPT weakly
+        // helps; for α < 2 the clique is the unique OPT.
+        let game = unit_game(5, 0.5);
+        let opt = social_optimum(&game);
+        assert_eq!(opt.edges.len(), 10);
+        // cost = α·10 + 2·10 = 25.
+        assert!(gncg_graph::approx_eq(opt.cost, 25.0));
+    }
+
+    #[test]
+    fn opt_unit_metric_high_alpha_is_star() {
+        // Classic NCG: for α ≥ 2 the star is optimal.
+        let game = unit_game(6, 5.0);
+        let opt = social_optimum(&game);
+        assert_eq!(opt.edges.len(), 5, "OPT should be a tree (star)");
+        let g = opt.profile.build_network(&game);
+        assert!(g.is_tree());
+        // Star cost: α·5 + (2·5 + 2·2·(5·4/2 - 5))... compute directly:
+        // center dist 5, each leaf 1 + 2·4 = 9: total distance 5 + 5·9 = 50.
+        assert!(gncg_graph::approx_eq(opt.cost, 5.0 * 5.0 + 50.0));
+        // And it is star-shaped: one node of degree 5.
+        assert!((0..6).any(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn opt_matches_brute_force_small() {
+        // Independent brute force on n = 4 (64 subsets).
+        let host = gncg_metrics::arbitrary::random_metric(4, 1.0, 3.0, 23);
+        let game = Game::new(host, 1.7);
+        let opt = social_optimum(&game);
+        let pairs: Vec<(NodeId, NodeId)> =
+            game.host().pairs().map(|(u, v, _)| (u, v)).collect();
+        let mut brute = f64::INFINITY;
+        for mask in 0u32..(1 << pairs.len()) {
+            let edges: Vec<(NodeId, NodeId, f64)> = pairs
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &(u, v))| (u, v, game.w(u, v)))
+                .collect();
+            let g = AdjacencyList::from_edges(4, &edges);
+            if g.is_connected() {
+                brute = brute.min(network_social_cost(&game, &g));
+            }
+        }
+        assert!(gncg_graph::approx_eq(opt.cost, brute));
+    }
+
+    #[test]
+    fn opt_cost_below_any_profile() {
+        let host = gncg_metrics::arbitrary::random_metric(5, 1.0, 4.0, 7);
+        let game = Game::new(host, 2.0);
+        let opt = social_optimum(&game);
+        for center in 0..5 {
+            let star = Profile::star(5, center);
+            assert!(opt.cost <= gncg_core::cost::social_cost(&game, &star) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn opt_profile_cost_agrees() {
+        let host = gncg_metrics::arbitrary::random_metric(5, 0.5, 2.0, 99);
+        let game = Game::new(host, 1.0);
+        let opt = social_optimum(&game);
+        let via_profile = gncg_core::cost::social_cost(&game, &opt.profile);
+        assert!(gncg_graph::approx_eq(opt.cost, via_profile));
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let game = unit_game(1, 1.0);
+        let opt = social_optimum(&game);
+        assert_eq!(opt.cost, 0.0);
+        let game2 = unit_game(2, 3.0);
+        let opt2 = social_optimum(&game2);
+        assert_eq!(opt2.edges, vec![(0, 1)]);
+        assert!(gncg_graph::approx_eq(opt2.cost, 3.0 + 2.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_large_rejected() {
+        social_optimum(&unit_game(10, 1.0));
+    }
+}

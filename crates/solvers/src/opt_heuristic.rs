@@ -1,0 +1,154 @@
+//! Heuristic social optimum for instance sizes beyond the exact solver.
+//!
+//! Strategy: seed with the better of MST and complete graph, then local
+//! search with single-edge additions and removals until no move lowers the
+//! social cost. The result upper-bounds OPT; experiments use it as the
+//! denominator estimate when `n > 8`, reporting it explicitly as an upper
+//! bound (which makes the measured PoA ratios *lower* bounds).
+
+use gncg_core::{cost::network_social_cost, Game, Profile};
+use gncg_graph::{AdjacencyList, NodeId};
+
+/// Result of the local-search optimum.
+#[derive(Clone, Debug)]
+pub struct HeuristicOptimum {
+    /// Chosen undirected edges.
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// A single-owner profile realizing the network.
+    pub profile: Profile,
+    /// Social cost of the network (an upper bound on OPT).
+    pub cost: f64,
+    /// Local-search rounds executed.
+    pub rounds: usize,
+}
+
+/// Runs the local search. `max_rounds` caps full add/remove sweeps
+/// (each round is `O(n²)` candidate moves, each costing an APSP).
+pub fn social_optimum_heuristic(game: &Game, max_rounds: usize) -> HeuristicOptimum {
+    let n = game.n();
+    let mst_edges = gncg_graph::mst::prim_complete(game.host());
+    let mut g = AdjacencyList::from_edges(n, &mst_edges);
+    let mut cost = network_social_cost(game, &g);
+    {
+        let full = AdjacencyList::complete_from_matrix(game.host());
+        let full_cost = network_social_cost(game, &full);
+        if full_cost < cost {
+            g = full;
+            cost = full_cost;
+        }
+    }
+
+    let mut rounds = 0;
+    loop {
+        if rounds >= max_rounds {
+            break;
+        }
+        rounds += 1;
+        let mut improved = false;
+        // Additions.
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                let w = game.w(u, v);
+                if !w.is_finite() || g.has_edge(u, v) {
+                    continue;
+                }
+                g.add_edge(u, v, w);
+                let c = network_social_cost(game, &g);
+                if c < cost - gncg_graph::EPS {
+                    cost = c;
+                    improved = true;
+                } else {
+                    g.remove_edge(u, v);
+                }
+            }
+        }
+        // Removals.
+        let edges: Vec<(NodeId, NodeId, f64)> = g.edges().collect();
+        for (u, v, w) in edges {
+            g.remove_edge(u, v);
+            if g.is_connected() {
+                let c = network_social_cost(game, &g);
+                if c < cost - gncg_graph::EPS {
+                    cost = c;
+                    improved = true;
+                    continue;
+                }
+            }
+            g.add_edge(u, v, w);
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    let edges: Vec<(NodeId, NodeId)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+    let profile = Profile::from_owned_edges(n, &edges);
+    HeuristicOptimum {
+        edges,
+        profile,
+        cost,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_graph::SymMatrix;
+
+    #[test]
+    fn heuristic_matches_exact_on_small_instances() {
+        for seed in 0..5u64 {
+            let host = gncg_metrics::arbitrary::random_metric(6, 1.0, 3.0, seed);
+            for alpha in [0.5, 1.0, 3.0] {
+                let game = Game::new(host.clone(), alpha);
+                let exact = crate::opt_exact::social_optimum(&game);
+                let heur = social_optimum_heuristic(&game, 50);
+                assert!(
+                    heur.cost >= exact.cost - 1e-9,
+                    "heuristic beat exact?! seed {seed} α {alpha}"
+                );
+                // On these tiny metrics the local search should be within 5%.
+                assert!(
+                    heur.cost <= exact.cost * 1.05 + 1e-9,
+                    "heuristic {:.4} vs exact {:.4} (seed {seed}, α {alpha})",
+                    heur.cost,
+                    exact.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_exact_on_unit_star_regime() {
+        // Unit metric, α ≥ 2: the star is optimal and local search finds a
+        // tree of equal cost.
+        let game = Game::new(SymMatrix::filled(12, 1.0), 4.0);
+        let h = social_optimum_heuristic(&game, 50);
+        let star = Profile::star(12, 0);
+        let star_cost = gncg_core::cost::social_cost(&game, &star);
+        assert!(h.cost <= star_cost + 1e-9);
+        assert!(h.profile.build_network(&game).is_connected());
+    }
+
+    #[test]
+    fn result_is_connected_and_consistent() {
+        let host = gncg_metrics::arbitrary::random_metric(10, 1.0, 5.0, 3);
+        let game = Game::new(host, 2.0);
+        let h = social_optimum_heuristic(&game, 30);
+        let g = h.profile.build_network(&game);
+        assert!(g.is_connected());
+        assert!(gncg_graph::approx_eq(
+            h.cost,
+            gncg_core::cost::social_cost(&game, &h.profile)
+        ));
+    }
+
+    #[test]
+    fn zero_rounds_returns_seed() {
+        let game = Game::new(SymMatrix::filled(5, 1.0), 1.0);
+        let h = social_optimum_heuristic(&game, 0);
+        assert!(h.cost.is_finite());
+        assert_eq!(h.rounds, 0);
+    }
+}

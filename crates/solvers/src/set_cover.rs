@@ -1,0 +1,223 @@
+//! Minimum Set Cover — the substrate of the best-response NP-hardness
+//! reductions (Theorems 13 and 16).
+//!
+//! Universe `U = {0, …, k-1}`, collection `X = {X_1, …, X_m}` with
+//! `∪ X_i = U`; find the fewest subsets covering `U`. Exact solver for the
+//! gadget sizes (bitmask branch-and-bound) plus the classical greedy
+//! `ln n`-approximation.
+
+/// A set cover instance.
+#[derive(Clone, Debug)]
+pub struct SetCoverInstance {
+    /// Universe size `k` (elements are `0..k`).
+    pub universe: usize,
+    /// The subsets, each a sorted list of elements.
+    pub sets: Vec<Vec<usize>>,
+}
+
+impl SetCoverInstance {
+    /// Builds an instance, validating element ranges and coverage.
+    ///
+    /// # Panics
+    /// Panics if an element is out of range or the union misses an element.
+    pub fn new(universe: usize, sets: Vec<Vec<usize>>) -> Self {
+        assert!(universe <= 63, "bitmask solver supports ≤ 63 elements");
+        let mut covered = 0u64;
+        for s in &sets {
+            for &e in s {
+                assert!(e < universe, "element {e} out of range");
+                covered |= 1 << e;
+            }
+        }
+        assert_eq!(
+            covered,
+            if universe == 0 { 0 } else { (1u64 << universe) - 1 },
+            "sets do not cover the universe"
+        );
+        SetCoverInstance { universe, sets }
+    }
+
+    fn masks(&self) -> Vec<u64> {
+        self.sets
+            .iter()
+            .map(|s| s.iter().fold(0u64, |m, &e| m | (1 << e)))
+            .collect()
+    }
+
+    /// Whether a choice of set indices covers the universe.
+    pub fn is_cover(&self, chosen: &[usize]) -> bool {
+        let masks = self.masks();
+        let full = if self.universe == 0 {
+            0
+        } else {
+            (1u64 << self.universe) - 1
+        };
+        let got = chosen.iter().fold(0u64, |m, &i| m | masks[i]);
+        got == full
+    }
+}
+
+/// Exact minimum set cover via branch-and-bound over uncovered elements.
+/// Returns the chosen set indices (sorted).
+pub fn exact_min_cover(inst: &SetCoverInstance) -> Vec<usize> {
+    let masks = inst.masks();
+    let full: u64 = if inst.universe == 0 {
+        0
+    } else {
+        (1u64 << inst.universe) - 1
+    };
+    let mut best: Vec<usize> = (0..inst.sets.len()).collect(); // all sets
+    let mut cur: Vec<usize> = Vec::new();
+    fn rec(
+        masks: &[u64],
+        full: u64,
+        covered: u64,
+        cur: &mut Vec<usize>,
+        best: &mut Vec<usize>,
+    ) {
+        if covered == full {
+            if cur.len() < best.len() {
+                *best = cur.clone();
+            }
+            return;
+        }
+        if cur.len() + 1 >= best.len() {
+            // Even one more set cannot beat the incumbent unless it
+            // finishes the cover; handled implicitly below.
+        }
+        if cur.len() >= best.len() {
+            return;
+        }
+        // Branch on the lowest uncovered element: some chosen set must
+        // contain it.
+        let e = (!covered & full).trailing_zeros() as u64;
+        for (i, &m) in masks.iter().enumerate() {
+            if m & (1 << e) != 0 {
+                cur.push(i);
+                rec(masks, full, covered | m, cur, best);
+                cur.pop();
+            }
+        }
+    }
+    rec(&masks, full, 0, &mut cur, &mut best);
+    best.sort_unstable();
+    best
+}
+
+/// Greedy set cover: repeatedly take the set covering the most uncovered
+/// elements (`H_k ≈ ln k` approximation). Returns chosen indices in pick
+/// order.
+pub fn greedy_cover(inst: &SetCoverInstance) -> Vec<usize> {
+    let masks = inst.masks();
+    let full: u64 = if inst.universe == 0 {
+        0
+    } else {
+        (1u64 << inst.universe) - 1
+    };
+    let mut covered = 0u64;
+    let mut chosen = Vec::new();
+    while covered != full {
+        let (i, gain) = masks
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (i, (m & !covered).count_ones()))
+            .max_by_key(|&(_, g)| g)
+            .expect("instance covers universe");
+        assert!(gain > 0, "no progress — invalid instance");
+        covered |= masks[i];
+        chosen.push(i);
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetCoverInstance {
+        // U = {0..4}; optimal cover = {0,1,2,3,4} via 2 sets.
+        SetCoverInstance::new(
+            5,
+            vec![
+                vec![0, 1, 2],
+                vec![2, 3],
+                vec![3, 4],
+                vec![0, 4],
+                vec![1, 3],
+            ],
+        )
+    }
+
+    #[test]
+    fn exact_finds_minimum() {
+        let inst = small();
+        let c = exact_min_cover(&inst);
+        assert!(inst.is_cover(&c));
+        assert_eq!(c.len(), 2, "optimal cover uses 2 sets, got {c:?}");
+    }
+
+    #[test]
+    fn greedy_is_valid_cover() {
+        let inst = small();
+        let c = greedy_cover(&inst);
+        assert!(inst.is_cover(&c));
+        assert!(c.len() >= exact_min_cover(&inst).len());
+    }
+
+    #[test]
+    fn single_set_instance() {
+        let inst = SetCoverInstance::new(3, vec![vec![0, 1, 2], vec![0]]);
+        assert_eq!(exact_min_cover(&inst), vec![0]);
+        assert_eq!(greedy_cover(&inst), vec![0]);
+    }
+
+    #[test]
+    fn greedy_classic_worst_case_still_covers() {
+        // Classic greedy trap: two big "row" sets vs log small ones.
+        let inst = SetCoverInstance::new(
+            6,
+            vec![
+                vec![0, 2, 4],
+                vec![1, 3, 5],
+                vec![0, 1],
+                vec![2, 3, 4, 5],
+            ],
+        );
+        let g = greedy_cover(&inst);
+        assert!(inst.is_cover(&g));
+        let e = exact_min_cover(&inst);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uncoverable_rejected() {
+        SetCoverInstance::new(3, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_rejected() {
+        SetCoverInstance::new(2, vec![vec![0, 5]]);
+    }
+
+    #[test]
+    fn exhaustive_check_against_bruteforce() {
+        // All instances on 4 elements with 4 fixed sets.
+        let inst = SetCoverInstance::new(
+            4,
+            vec![vec![0], vec![1], vec![2, 3], vec![0, 1, 2], vec![1, 3]],
+        );
+        let exact = exact_min_cover(&inst);
+        // Brute force over all subsets of sets.
+        let mut best = usize::MAX;
+        for mask in 1u32..(1 << inst.sets.len()) {
+            let chosen: Vec<usize> =
+                (0..inst.sets.len()).filter(|&i| mask & (1 << i) != 0).collect();
+            if inst.is_cover(&chosen) {
+                best = best.min(chosen.len());
+            }
+        }
+        assert_eq!(exact.len(), best);
+    }
+}

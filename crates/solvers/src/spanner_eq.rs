@@ -1,0 +1,190 @@
+//! Theorem 5: Nash Equilibria from minimum-weight 3/2-spanners.
+//!
+//! For 1-2 hosts and `1/2 ≤ α ≤ 1`, a minimum-weight 3/2-spanner of the
+//! host admits an edge-ownership assignment that is a Nash Equilibrium.
+//! By Lemma 5 such a spanner contains all 1-edges and has diameter ≤ 3.
+//!
+//! Exact minimum-weight spanners are NP-hard, so the construction here is:
+//! greedy 3/2-spanner → prune removable 2-edges (local weight minimality)
+//! → assign owners → repair loop flipping ownership along the lines of the
+//! Theorem 5 proof until the profile certifies as NE (exact best-response
+//! check). The repair loop is guaranteed to make progress on weight-minimal
+//! spanners; on the locally-minimal ones used here it succeeds in practice
+//! and the result is always *certified* before being returned.
+
+use gncg_core::equilibrium::is_nash_equilibrium;
+use gncg_core::response::exact_best_response;
+use gncg_core::{Game, Profile};
+use gncg_graph::spanner::{greedy_k_spanner, is_k_spanner};
+use gncg_graph::{AdjacencyList, NodeId, SymMatrix};
+
+/// Outcome of the Theorem 5 construction.
+#[derive(Clone, Debug)]
+pub struct SpannerEquilibrium {
+    /// The constructed profile.
+    pub profile: Profile,
+    /// Whether the profile was certified as an exact NE.
+    pub certified_ne: bool,
+    /// Ownership repair iterations used.
+    pub repairs: usize,
+}
+
+/// Builds a locally-minimal 3/2-spanner of a 1-2 host: the greedy spanner,
+/// then repeated removal of 2-edges whose deletion preserves the spanner
+/// property.
+pub fn locally_minimal_32_spanner(host: &SymMatrix) -> AdjacencyList {
+    assert!(
+        host.pairs().all(|(_, _, w)| w == 1.0 || w == 2.0),
+        "Theorem 5 construction requires a 1-2 host"
+    );
+    let hd = gncg_graph::spanner::host_distances(host);
+    let mut g = greedy_k_spanner(host, 1.5);
+    loop {
+        let mut removed_any = false;
+        let two_edges: Vec<(NodeId, NodeId, f64)> =
+            g.edges().filter(|&(_, _, w)| w == 2.0).collect();
+        for (u, v, w) in two_edges {
+            g.remove_edge(u, v);
+            if is_k_spanner(&g, &hd, 1.5) {
+                removed_any = true;
+            } else {
+                g.add_edge(u, v, w);
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+    g
+}
+
+/// Runs the full Theorem 5 construction for a 1-2 host and
+/// `1/2 ≤ α ≤ 1`. Returns the profile and whether it certified as NE.
+///
+/// # Panics
+/// Panics if `α ∉ [1/2, 1]` or the host is not 1-2.
+pub fn spanner_equilibrium(host: &SymMatrix, alpha: f64) -> SpannerEquilibrium {
+    assert!(
+        (0.5..=1.0).contains(&alpha),
+        "Theorem 5 applies for 1/2 ≤ α ≤ 1"
+    );
+    let n = host.n();
+    let game = Game::new(host.clone(), alpha);
+    let spanner = locally_minimal_32_spanner(host);
+
+    // Initial ownership: each edge to its lower-id endpoint.
+    let mut profile = Profile::empty(n);
+    for (u, v, _) in spanner.edges() {
+        profile.buy(u, v);
+    }
+
+    let mut repairs = 0usize;
+    let max_repairs = 4 * n * n;
+    loop {
+        // Find an agent with an improving deviation.
+        let mut fixed_all = true;
+        for u in 0..n as NodeId {
+            let br = exact_best_response(&game, &profile, u);
+            if !br.improves() {
+                continue;
+            }
+            fixed_all = false;
+            repairs += 1;
+            if repairs > max_repairs {
+                return SpannerEquilibrium {
+                    profile,
+                    certified_ne: false,
+                    repairs,
+                };
+            }
+            // Theorem 5 repair: for edges u would drop, flip ownership to
+            // the other endpoint; for edges u would add, apply the change
+            // (this only happens when the spanner was not weight-minimal —
+            // adopting the strictly better strategy reduces total weight
+            // and the loop re-enters).
+            let current = profile.strategy(u).clone();
+            let dropped: Vec<NodeId> = current.difference(&br.strategy).copied().collect();
+            let added: Vec<NodeId> = br.strategy.difference(&current).copied().collect();
+            if added.is_empty() {
+                // Pure drop: flip ownership instead of removing the edges,
+                // keeping the network intact (the proof's inversion step).
+                for y in dropped {
+                    profile.unbuy(u, y);
+                    if !profile.owns(y, u) {
+                        profile.buy(y, u);
+                    }
+                }
+            } else {
+                profile.set_strategy(u, br.strategy.clone());
+            }
+            break;
+        }
+        if fixed_all {
+            break;
+        }
+    }
+
+    let certified = is_nash_equilibrium(&game, &profile);
+    SpannerEquilibrium {
+        profile,
+        certified_ne: certified,
+        repairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spanner_contains_all_one_edges_and_diameter_3() {
+        // Lemma 5 checks on random 1-2 hosts.
+        for seed in 0..5u64 {
+            let host = gncg_metrics::onetwo::random(8, 0.35, seed);
+            let g = locally_minimal_32_spanner(&host);
+            for (u, v, w) in host.pairs() {
+                if w == 1.0 {
+                    assert!(g.has_edge(u, v), "1-edge missing (seed {seed})");
+                }
+            }
+            let d = gncg_graph::apsp::apsp_sequential(&g);
+            assert!(d.diameter() <= 3.0 + 1e-12, "seed {seed}");
+            let hd = gncg_graph::spanner::host_distances(&host);
+            assert!(is_k_spanner(&g, &hd, 1.5));
+        }
+    }
+
+    #[test]
+    fn construction_yields_certified_ne() {
+        for seed in 0..4u64 {
+            for alpha in [0.5, 0.75, 1.0] {
+                let host = gncg_metrics::onetwo::random(7, 0.4, seed);
+                let out = spanner_equilibrium(&host, alpha);
+                assert!(
+                    out.certified_ne,
+                    "Theorem 5 construction failed to certify NE (seed {seed}, α {alpha}, repairs {})",
+                    out.repairs
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_all_ones_host() {
+        // All-1 host: the spanner is the complete graph; with α ≤ 1 the
+        // complete graph is an NE.
+        let host = gncg_metrics::unit::unit_host(6);
+        let out = spanner_equilibrium(&host, 0.75);
+        assert!(out.certified_ne);
+        let game = Game::new(host, 0.75);
+        let g = out.profile.build_network(&game);
+        assert_eq!(g.m(), 15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn alpha_out_of_range_rejected() {
+        let host = gncg_metrics::unit::unit_host(4);
+        spanner_equilibrium(&host, 2.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Price of Stability: exhaustive equilibrium enumeration on small
+//! instances.
+//!
+//! The paper's conclusion names the Price of Stability (cost of the *best*
+//! NE over OPT) as the next step for understanding coordination. This
+//! module enumerates, for small `n`, every connected network and every
+//! edge-ownership assignment, certifies Nash equilibria exactly, and
+//! returns the cheapest and costliest ones — yielding the instance's
+//! exact PoS and PoA.
+//!
+//! Corollary 3 (PoS = 1 for the T–GNCG) is verified against this
+//! enumeration in the tests; the experiment harness measures PoS on
+//! random metric and 1-2 hosts.
+
+use gncg_core::equilibrium::is_nash_equilibrium;
+use gncg_core::{Game, NodeId, Profile};
+
+/// The result of exhaustive equilibrium enumeration.
+#[derive(Clone, Debug)]
+pub struct EquilibriumLandscape {
+    /// The cheapest certified NE, if any exists.
+    pub best: Option<(Profile, f64)>,
+    /// The costliest certified NE, if any exists.
+    pub worst: Option<(Profile, f64)>,
+    /// Number of networks admitting at least one NE ownership assignment.
+    pub count: usize,
+    /// Number of connected networks inspected.
+    pub networks: usize,
+}
+
+impl EquilibriumLandscape {
+    /// Price of Stability relative to `opt_cost` (`None` if no NE).
+    pub fn price_of_stability(&self, opt_cost: f64) -> Option<f64> {
+        self.best.as_ref().map(|(_, c)| c / opt_cost)
+    }
+
+    /// Price of Anarchy (over *pure NE*) relative to `opt_cost`.
+    pub fn price_of_anarchy(&self, opt_cost: f64) -> Option<f64> {
+        self.worst.as_ref().map(|(_, c)| c / opt_cost)
+    }
+}
+
+/// Exhaustively enumerates single-owner profiles over connected networks
+/// and certifies each as NE.
+///
+/// Search space: `2^(n(n-1)/2)` edge subsets × `2^m` ownership choices —
+/// use only for `n ≤ 5` (debug) / `n ≤ 6` (release).
+///
+/// # Panics
+/// Panics if `n > 6`.
+pub fn enumerate_equilibria(game: &Game) -> EquilibriumLandscape {
+    let n = game.n();
+    assert!(n <= 6, "equilibrium enumeration is doubly exponential; n ≤ 6");
+    let pairs: Vec<(NodeId, NodeId)> = game
+        .host()
+        .pairs()
+        .filter(|&(_, _, w)| w.is_finite())
+        .map(|(u, v, _)| (u, v))
+        .collect();
+    let mut landscape = EquilibriumLandscape {
+        best: None,
+        worst: None,
+        count: 0,
+        networks: 0,
+    };
+    let total_subsets: u64 = 1 << pairs.len();
+    for mask in 1..total_subsets {
+        let edges: Vec<(NodeId, NodeId)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &e)| e)
+            .collect();
+        let net = gncg_graph::AdjacencyList::from_edges(
+            n,
+            &edges
+                .iter()
+                .map(|&(u, v)| (u, v, game.w(u, v)))
+                .collect::<Vec<_>>(),
+        );
+        if !net.is_connected() {
+            continue;
+        }
+        landscape.networks += 1;
+        // Lemma 1 prune: every NE is an (α+1)-spanner of the host, an
+        // ownership-independent property — reject non-spanners before the
+        // ownership search.
+        if !gncg_graph::spanner::is_k_spanner(
+            &net,
+            game.host_distances(),
+            game.alpha() + 1.0,
+        ) {
+            continue;
+        }
+        // AE prune: whether an *addition* improves is independent of who
+        // owns the existing edges (distances and the price of the new edge
+        // don't depend on ownership), and NE ⊆ AE — so if any agent has an
+        // improving addition under one ownership, no ownership is a NE.
+        let probe = Profile::from_owned_edges(n, &edges);
+        if !gncg_core::equilibrium::is_add_only_equilibrium(game, &probe) {
+            continue;
+        }
+        // The social cost is ownership-independent (every edge has exactly
+        // one owner here); compute once per network.
+        let cost = gncg_core::cost::network_social_cost(game, &net);
+
+        // Greedy-move prune, ownership-factorized: the *improvement value*
+        // of deleting or swapping an owned edge is ownership-independent
+        // (the rest of the owner's edge cost cancels in the difference),
+        // so each edge independently constrains which endpoints may own it
+        // in any GE (hence any NE). Precompute the allowed-owner sets and
+        // search only their product.
+        let allowed: Vec<Vec<NodeId>> = edges
+            .iter()
+            .map(|&(u, v)| {
+                [u, v]
+                    .into_iter()
+                    .filter(|&o| !has_improving_greedy_edge_move(game, &net, o, (u, v)))
+                    .collect()
+            })
+            .collect();
+        if allowed.iter().any(|a| a.is_empty()) {
+            continue; // some edge has no stable owner — no NE on this network
+        }
+        // Enumerate the product of allowed owners; certify with exact best
+        // responses; stop at the first NE (cost is the same for all).
+        let mut choice = vec![0usize; allowed.len()];
+        'product: loop {
+            let owned: Vec<(NodeId, NodeId)> = edges
+                .iter()
+                .enumerate()
+                .map(|(i, &(u, v))| {
+                    let o = allowed[i][choice[i]];
+                    let t = if o == u { v } else { u };
+                    (o, t)
+                })
+                .collect();
+            let profile = Profile::from_owned_edges(n, &owned);
+            if is_nash_equilibrium(game, &profile) {
+                landscape.count += 1;
+                let better = landscape.best.as_ref().is_none_or(|&(_, c)| cost < c);
+                if better {
+                    landscape.best = Some((profile.clone(), cost));
+                }
+                let worse = landscape.worst.as_ref().is_none_or(|&(_, c)| cost > c);
+                if worse {
+                    landscape.worst = Some((profile, cost));
+                }
+                break 'product;
+            }
+            // Next choice vector.
+            let mut i = 0;
+            loop {
+                if i == choice.len() {
+                    break 'product;
+                }
+                choice[i] += 1;
+                if choice[i] < allowed[i].len() {
+                    break;
+                }
+                choice[i] = 0;
+                i += 1;
+            }
+        }
+    }
+    landscape
+}
+
+/// Whether `owner` has a strictly improving single-edge move (delete or
+/// swap) concerning edge `(u, v)` of `net`. Improvement values are
+/// ownership-independent: only distance changes and the α-weighted edge
+/// price difference enter.
+fn has_improving_greedy_edge_move(
+    game: &Game,
+    net: &gncg_graph::AdjacencyList,
+    owner: NodeId,
+    (u, v): (NodeId, NodeId),
+) -> bool {
+    use gncg_graph::dijkstra::{dijkstra, dijkstra_masked};
+    let other = if owner == u { v } else { u };
+    let before: f64 = dijkstra(net, owner).iter().sum();
+    // Delete.
+    let after_del: f64 = dijkstra_masked(net, owner, &[(owner, other)], &[])
+        .iter()
+        .sum();
+    let delta_del = -game.alpha() * game.w(owner, other) + (after_del - before);
+    if delta_del < -gncg_graph::EPS {
+        return true;
+    }
+    // Swaps to any non-neighbor.
+    for x in 0..game.n() as NodeId {
+        if x == owner || net.has_edge(owner, x) {
+            continue;
+        }
+        let wx = game.w(owner, x);
+        if !wx.is_finite() {
+            continue;
+        }
+        let after_swap: f64 =
+            dijkstra_masked(net, owner, &[(owner, other)], &[(owner, x, wx)])
+                .iter()
+                .sum();
+        let delta = game.alpha() * (wx - game.w(owner, other)) + (after_swap - before);
+        if delta < -gncg_graph::EPS {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_metric_low_alpha_unique_equilibrium_cost() {
+        // α < ½ on unit K4: the complete graph is the unique NE network,
+        // so PoS = PoA = 1.
+        let game = Game::new(gncg_metrics::unit::unit_host(4), 0.4);
+        let land = enumerate_equilibria(&game);
+        assert!(land.count >= 1);
+        let opt = crate::opt_exact::social_optimum(&game);
+        assert!(gncg_graph::approx_eq(
+            land.price_of_stability(opt.cost).unwrap(),
+            1.0
+        ));
+        assert!(gncg_graph::approx_eq(
+            land.price_of_anarchy(opt.cost).unwrap(),
+            1.0
+        ));
+    }
+
+    #[test]
+    fn tree_metric_pos_is_one() {
+        // Corollary 3: the defining tree is optimal and stable ⇒ PoS = 1.
+        for seed in 0..3u64 {
+            let tree = gncg_metrics::treemetric::random_tree(5, 1.0, 3.0, seed);
+            let game = Game::new(tree.metric_closure(), 2.0);
+            let land = enumerate_equilibria(&game);
+            let opt = crate::opt_exact::social_optimum(&game);
+            let pos = land
+                .price_of_stability(opt.cost)
+                .expect("NE must exist on tree metrics");
+            assert!(
+                gncg_graph::approx_eq(pos, 1.0),
+                "seed {seed}: PoS = {pos} ≠ 1"
+            );
+        }
+    }
+
+    #[test]
+    fn star_tree_family_gap_between_pos_and_poa() {
+        // The Thm 15 instance at small n: PoS = 1 (the defining tree) but
+        // PoA > 1 (the v-star).
+        let game = gncg_constructions_free_star_tree_game(5, 4.0);
+        let land = enumerate_equilibria(&game);
+        let opt = crate::opt_exact::social_optimum(&game);
+        let pos = land.price_of_stability(opt.cost).unwrap();
+        let poa = land.price_of_anarchy(opt.cost).unwrap();
+        assert!(gncg_graph::approx_eq(pos, 1.0), "PoS = {pos}");
+        assert!(poa > 1.0, "PoA = {poa}");
+    }
+
+    /// Local copy of the Thm 15 host to avoid a dependency cycle with the
+    /// constructions crate (which depends on solvers).
+    fn gncg_constructions_free_star_tree_game(n: usize, alpha: f64) -> Game {
+        let mut edges = vec![(0u32, 1u32, 1.0)];
+        for leaf in 2..n as u32 {
+            edges.push((0, leaf, 2.0 / alpha));
+        }
+        let tree = gncg_graph::WeightedTree::new(n, edges);
+        Game::new(tree.metric_closure(), alpha)
+    }
+
+    #[test]
+    fn worst_ne_at_least_best_ne() {
+        let host = gncg_metrics::onetwo::random(4, 0.5, 3);
+        let game = Game::new(host, 1.0);
+        let land = enumerate_equilibria(&game);
+        if let (Some((_, b)), Some((_, w))) = (&land.best, &land.worst) {
+            assert!(w >= b);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_large_rejected() {
+        let game = Game::new(gncg_metrics::unit::unit_host(7), 1.0);
+        enumerate_equilibria(&game);
+    }
+}

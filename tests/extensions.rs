@@ -1,0 +1,144 @@
+//! Cross-crate integration tests for the extension modules: cost
+//! decomposition analysis, simultaneous dynamics, structured instance
+//! families, and shortest-path reconstruction.
+
+use gncg_core::{Game, Profile};
+use gncg_dynamics::simultaneous::{run_simultaneous, SimOutcome};
+use gncg_dynamics::ResponseRule;
+use gncg_metrics::euclidean::Norm;
+
+/// Cost analysis on a dynamics-reached equilibrium: decomposition sums to
+/// the social cost and the hub story holds on clustered instances
+/// (inter-cluster connectivity is bought by few agents).
+#[test]
+fn analysis_on_clustered_equilibrium() {
+    let points = gncg_metrics::structured::clustered(3, 3, 50.0, 1.0, 7);
+    let game = Game::new(points.host_matrix(Norm::L2), 2.0);
+    let run = gncg_suite::greedy_dynamics_from_star(&game, 0, 500);
+    assert!(run.converged());
+    let report = gncg_core::analysis::analyze(&game, &run.profile);
+    let direct = gncg_core::cost::social_cost(&game, &run.profile);
+    assert!(gncg_graph::approx_eq(report.social_cost, direct));
+    assert_eq!(report.agents.len(), 9);
+    // Sum of per-agent pieces equals the totals.
+    let edge_sum: f64 = report.agents.iter().map(|a| a.cost.edge_cost).sum();
+    assert!(gncg_graph::approx_eq(edge_sum, report.total_edge_cost));
+    // Someone buys edges; not everyone does.
+    assert!(report.biggest_builder().edges_bought >= 1);
+}
+
+/// Simultaneous vs sequential dynamics on the same instance: both
+/// terminate decisively, and a converged simultaneous run is a genuine
+/// equilibrium of its rule.
+#[test]
+fn simultaneous_terminates_and_certifies() {
+    let host = gncg_metrics::arbitrary::random_metric(6, 1.0, 3.0, 11);
+    let game = Game::new(host, 1.0);
+    let sim = run_simultaneous(
+        &game,
+        Profile::star(6, 0),
+        ResponseRule::BestGreedyMove,
+        500,
+    );
+    match sim.outcome {
+        SimOutcome::Converged { .. } => {
+            assert!(gncg_core::equilibrium::is_greedy_equilibrium(&game, &sim.profile));
+        }
+        SimOutcome::Cycle { recurrence } => {
+            assert!(recurrence.period() >= 1);
+        }
+        SimOutcome::MaxRoundsReached => panic!("should decide within 500 rounds"),
+    }
+}
+
+/// Grid instances: equilibria respect the metric PoA bound and the grid's
+/// symmetry keeps the equilibrium diameter moderate.
+#[test]
+fn grid_instance_poa() {
+    let grid = gncg_metrics::structured::grid(3, 3, 1.0);
+    let game = Game::new(grid.host_matrix(Norm::L2), 2.0);
+    let run = gncg_suite::greedy_dynamics_from_star(&game, 0, 500);
+    assert!(run.converged());
+    let eq = gncg_core::cost::social_cost(&game, &run.profile);
+    let opt = gncg_solvers::opt_heuristic::social_optimum_heuristic(&game, 40);
+    assert!(eq / opt.cost <= gncg_core::poa::metric_upper_bound(2.0) + 1e-9);
+}
+
+/// Perturbed tree metrics: at zero noise every certified NE is a tree
+/// (Theorem 12); with noise the host leaves the T–GNCG class, and
+/// equilibria may legitimately contain cycles — the classification agrees.
+#[test]
+fn perturbed_tree_structure_degradation() {
+    let clean = gncg_metrics::structured::perturbed_tree_metric(6, 0.0, 5);
+    assert!(gncg_metrics::validate::is_tree_metric(&clean));
+    let noisy = gncg_metrics::structured::perturbed_tree_metric(6, 0.5, 5);
+    assert!(!gncg_metrics::validate::is_tree_metric(&noisy));
+    assert!(noisy.satisfies_triangle_inequality());
+    // Clean host: certified NE must be a tree.
+    let game = Game::new(clean, 1.5);
+    let run = gncg_suite::br_dynamics_from_star(&game, 0, 300);
+    if run.converged() {
+        assert!(run.profile.build_network(&game).is_tree());
+    }
+}
+
+/// Path reconstruction on an equilibrium network: every extracted route's
+/// weight equals the distance, and routes are host-graph subpaths.
+#[test]
+fn route_extraction_on_equilibrium() {
+    let host = gncg_metrics::arbitrary::random_metric(7, 1.0, 3.0, 2);
+    let game = Game::new(host, 1.5);
+    let run = gncg_suite::greedy_dynamics_from_star(&game, 0, 400);
+    assert!(run.converged());
+    let g = run.profile.build_network(&game);
+    let tree = gncg_graph::paths::shortest_path_tree(&g, 0);
+    for target in 1..7u32 {
+        let path = tree.path_to(target).expect("equilibria are connected");
+        let mut total = 0.0;
+        for w in path.windows(2) {
+            total += g.edge_weight(w[0], w[1]).expect("route uses network edges");
+        }
+        assert!(gncg_graph::approx_eq(total, tree.dist[target as usize]));
+    }
+}
+
+/// The 1-∞ row: equilibria never buy forbidden (infinite) edges even when
+/// exact best responses are in play.
+#[test]
+fn one_inf_equilibria_avoid_forbidden_edges() {
+    for seed in 0..3u64 {
+        let host = gncg_metrics::oneinf::random_connected(6, 0.25, seed);
+        let game = Game::new(host, 2.0);
+        let run = gncg_suite::br_dynamics_from_star(&game, 0, 200);
+        if !run.converged() {
+            continue;
+        }
+        let g = run.profile.build_network(&game);
+        assert!(g.edges().all(|(_, _, w)| w.is_finite()), "seed {seed}");
+    }
+}
+
+/// Sweep statistics: summary invariants over a mixed batch.
+#[test]
+fn sweep_summary_invariants() {
+    use gncg_dynamics::{DynamicsConfig, Scheduler};
+    let hosts: Vec<gncg_graph::SymMatrix> = (0..3)
+        .map(|s| gncg_metrics::arbitrary::random_metric(6, 1.0, 4.0, s))
+        .collect();
+    let cfg = DynamicsConfig {
+        rule: ResponseRule::BestGreedyMove,
+        scheduler: Scheduler::RoundRobin,
+        max_rounds: 300,
+        record_trace: false,
+    };
+    let points =
+        gncg_dynamics::parallel::sweep(&hosts, &[1.0, 2.0], &cfg, |_, n| Profile::star(n, 0));
+    let summary = gncg_dynamics::stats::summarize(&points);
+    assert_eq!(summary.runs, 6);
+    assert!(summary.social_cost.min <= summary.social_cost.max);
+    assert!((0.0..=1.0).contains(&summary.convergence_rate));
+    let accounted = (summary.convergence_rate * summary.runs as f64).round() as usize
+        + summary.cycles
+        + summary.capped;
+    assert_eq!(accounted, summary.runs);
+}

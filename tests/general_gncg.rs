@@ -1,0 +1,92 @@
+//! Experiment E21 and general-host checks (Section 4, Theorem 20).
+
+use gncg_core::cost::social_cost;
+use gncg_core::equilibrium::is_nash_equilibrium;
+use gncg_core::poa;
+use gncg_core::Game;
+use gncg_constructions::three_cycle;
+
+/// Theorem 20's technique gap: σ = ((α+2)/2)² on the heavy pair while the
+/// true ratio is (α+2)/2 — across an α grid.
+#[test]
+fn theorem20_gap_instance_grid() {
+    for alpha in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+        let g = three_cycle::game(alpha);
+        assert!(is_nash_equilibrium(&g, &three_cycle::ne_profile()), "α={alpha}");
+        let r = social_cost(&g, &three_cycle::ne_profile())
+            / social_cost(&g, &three_cycle::opt_profile());
+        assert!((r - three_cycle::true_ratio(alpha)).abs() < 1e-9);
+        let sigma = three_cycle::sigma(alpha);
+        assert!((sigma - poa::general_upper_bound(alpha)).abs() < 1e-9);
+        assert!(r < sigma);
+    }
+}
+
+/// Theorem 20 upper bound: certified NEs on random *non-metric* hosts
+/// respect cost(NE)/cost(OPT) ≤ ((α+2)/2)².
+#[test]
+fn theorem20_upper_bound_random_nonmetric() {
+    for seed in 0..4u64 {
+        let host = gncg_metrics::arbitrary::random(6, 0.5, 10.0, seed);
+        for alpha in [0.5, 1.0, 3.0] {
+            let game = Game::new(host.clone(), alpha);
+            let run = gncg_suite::br_dynamics_from_star(&game, 0, 200);
+            if !run.converged() {
+                continue;
+            }
+            let opt = gncg_solvers::opt_exact::social_optimum(&game);
+            let r = social_cost(&game, &run.profile) / opt.cost;
+            assert!(
+                r <= poa::general_upper_bound(alpha) + 1e-9,
+                "seed {seed} α {alpha}: {r}"
+            );
+        }
+    }
+}
+
+/// Conjecture 2 probe: on the same random non-metric equilibria, does the
+/// *metric* bound (α+2)/2 ever break? (The conjecture says it should not.)
+/// This records the empirical status; a violation would be a noteworthy
+/// counterexample, so the test asserts the conjecture on the sampled set.
+#[test]
+fn conjecture2_probe() {
+    let mut worst: f64 = 0.0;
+    for seed in 0..6u64 {
+        let host = gncg_metrics::arbitrary::random(6, 0.5, 5.0, seed);
+        for alpha in [0.5, 1.5, 4.0] {
+            let game = Game::new(host.clone(), alpha);
+            let run = gncg_suite::br_dynamics_from_star(&game, 0, 150);
+            if !run.converged() {
+                continue;
+            }
+            let opt = gncg_solvers::opt_exact::social_optimum(&game);
+            let r = social_cost(&game, &run.profile) / opt.cost;
+            let normalized = r / poa::metric_upper_bound(alpha);
+            worst = worst.max(normalized);
+        }
+    }
+    assert!(
+        worst <= 1.0 + 1e-9,
+        "Conjecture 2 violated on a sampled instance: normalized ratio {worst}"
+    );
+}
+
+/// 1-∞ hosts (Demaine et al.): equilibria exist on small random connected
+/// hosts and respect the general bound relative to the best-found network.
+#[test]
+fn one_inf_hosts_basic() {
+    for seed in 0..3u64 {
+        let host = gncg_metrics::oneinf::random_connected(6, 0.3, seed);
+        let game = Game::new(host, 2.0);
+        let run = gncg_suite::br_dynamics_from_star(&game, 0, 200);
+        if !run.converged() {
+            continue;
+        }
+        assert!(is_nash_equilibrium(&game, &run.profile));
+        // Built network never uses forbidden (∞) edges.
+        let g = run.profile.build_network(&game);
+        for (u, v, w) in g.edges() {
+            assert!(w.is_finite(), "∞-edge ({u},{v}) bought");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Experiments E01/E02/E04: the spanner lemmas and the approximate-NE
+//! machinery (Lemma 1, Lemma 2, Theorem 2, Corollary 2).
+
+use gncg_core::equilibrium::{greedy_approximation_factor, nash_approximation_factor};
+use gncg_core::spanner_props;
+use gncg_core::{Game, Profile};
+
+fn hosts(n: usize) -> Vec<(&'static str, gncg_graph::SymMatrix)> {
+    vec![
+        ("1-2", gncg_metrics::onetwo::random(n, 0.4, 7)),
+        (
+            "tree",
+            gncg_metrics::treemetric::random_tree(n, 1.0, 4.0, 7).metric_closure(),
+        ),
+        (
+            "R2",
+            gncg_metrics::euclidean::PointSet::random(n, 2, 10.0, 7)
+                .host_matrix(gncg_metrics::euclidean::Norm::L2),
+        ),
+        ("metric", gncg_metrics::arbitrary::random_metric(n, 1.0, 5.0, 7)),
+    ]
+}
+
+/// Lemma 1 (E01): every AE reached by add-only dynamics is an
+/// (α+1)-spanner of the host.
+#[test]
+fn lemma1_ae_is_spanner() {
+    for (name, host) in hosts(7) {
+        for alpha in [0.5, 1.0, 3.0] {
+            let game = Game::new(host.clone(), alpha);
+            // Start from a spanning star (connected ⇒ dynamics stay sane).
+            let run = gncg_suite::add_only_dynamics(&game, Profile::star(7, 0), 500);
+            assert!(run.converged(), "{name} α={alpha}");
+            assert!(
+                spanner_props::satisfies_lemma1(&game, &run.profile),
+                "{name} α={alpha}: AE must be an (α+1)-spanner, stretch {}",
+                spanner_props::profile_stretch(&game, &run.profile)
+            );
+        }
+    }
+}
+
+/// Lemma 1 is tight-ish: stretch can approach α+1, and never exceeds it on
+/// certified NEs either (NE ⊆ AE).
+#[test]
+fn lemma1_holds_for_ne_too() {
+    for alpha in [1.0, 2.0] {
+        let g = gncg_constructions::star_tree::game(6, alpha);
+        let ne = gncg_constructions::star_tree::ne_profile(6);
+        assert!(spanner_props::satisfies_lemma1(&g, &ne));
+    }
+}
+
+/// Lemma 2 (E02): the exact social optimum is an (α/2+1)-spanner.
+#[test]
+fn lemma2_opt_is_spanner() {
+    for (name, host) in hosts(6) {
+        for alpha in [0.5, 1.0, 3.0, 8.0] {
+            let game = Game::new(host.clone(), alpha);
+            let opt = gncg_solvers::opt_exact::social_optimum(&game);
+            let network = opt.profile.build_network(&game);
+            assert!(
+                spanner_props::satisfies_lemma2(&game, &network),
+                "{name} α={alpha}: OPT must be an (α/2+1)-spanner"
+            );
+        }
+    }
+}
+
+/// Theorem 2 (E04): any AE in the M–GNCG is an (α+1)-GE — the greedy
+/// improvement factor of an AE is at most α+1.
+#[test]
+fn theorem2_ae_is_alpha_plus_one_ge() {
+    for (name, host) in hosts(7) {
+        if name == "1-2" {
+            // 1-2 is metric too; keep all.
+        }
+        for alpha in [0.5, 1.0, 2.0] {
+            let game = Game::new(host.clone(), alpha);
+            let run = gncg_suite::add_only_dynamics(&game, Profile::star(7, 2), 500);
+            assert!(run.converged());
+            let factor = greedy_approximation_factor(&game, &run.profile);
+            assert!(
+                factor <= alpha + 1.0 + 1e-9,
+                "{name} α={alpha}: greedy factor {factor} > α+1"
+            );
+        }
+    }
+}
+
+/// Corollary 2 (E04): any AE is a 3(α+1)-approximate NE.
+#[test]
+fn corollary2_ae_is_3_alpha_plus_one_ne() {
+    for (name, host) in hosts(6) {
+        for alpha in [0.5, 1.0, 2.0] {
+            let game = Game::new(host.clone(), alpha);
+            let run = gncg_suite::add_only_dynamics(&game, Profile::star(6, 1), 500);
+            assert!(run.converged());
+            let factor = nash_approximation_factor(&game, &run.profile);
+            assert!(
+                factor <= 3.0 * (alpha + 1.0) + 1e-9,
+                "{name} α={alpha}: nash factor {factor} > 3(α+1)"
+            );
+        }
+    }
+}
+
+/// The Lemma 1 proof mechanism: if a pair's stretch exceeded α+1, buying
+/// the direct edge would improve — check the contrapositive on a
+/// deliberately bad profile.
+#[test]
+fn lemma1_mechanism_on_unstable_profile() {
+    // A long path on the unit metric at small α has stretch n−1 > α+1 and
+    // indeed admits improving additions.
+    let game = Game::new(gncg_metrics::unit::unit_host(7), 0.5);
+    let path = Profile::from_owned_edges(
+        7,
+        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)],
+    );
+    assert!(!spanner_props::satisfies_lemma1(&game, &path));
+    assert!(!gncg_core::equilibrium::is_add_only_equilibrium(&game, &path));
+}

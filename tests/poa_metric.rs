@@ -1,0 +1,106 @@
+//! Experiment E03: the tight PoA of the M–GNCG (Theorem 1 + Theorem 15).
+
+use gncg_core::cost::social_cost;
+use gncg_core::poa;
+use gncg_core::Game;
+use gncg_constructions::star_tree;
+
+/// Upper bound (Theorem 1): every certified NE reached by dynamics on
+/// random metric hosts respects cost(NE)/cost(OPT) ≤ (α+2)/2.
+#[test]
+fn theorem1_upper_bound_on_random_metrics() {
+    for seed in 0..4u64 {
+        let host = gncg_metrics::arbitrary::random_metric(6, 1.0, 4.0, seed);
+        for alpha in [0.5, 1.0, 2.0, 5.0] {
+            let game = Game::new(host.clone(), alpha);
+            let run = gncg_suite::br_dynamics_from_star(&game, 0, 200);
+            if !run.converged() {
+                continue;
+            }
+            // Converged exact-BR dynamics ⇒ certified NE.
+            assert!(gncg_core::equilibrium::is_nash_equilibrium(&game, &run.profile));
+            let opt = gncg_solvers::opt_exact::social_optimum(&game);
+            let r = social_cost(&game, &run.profile) / opt.cost;
+            assert!(
+                r <= poa::metric_upper_bound(alpha) + 1e-9,
+                "seed {seed} α {alpha}: ratio {r} exceeds (α+2)/2"
+            );
+        }
+    }
+}
+
+/// The per-pair σ decomposition of the Theorem 1 proof: on every certified
+/// NE, each node pair's cost contribution is within (α+2)/2 of its OPT
+/// contribution — aggregated, cost(NE) ≤ (α+2)/2 · cost(OPT).
+#[test]
+fn theorem1_pairwise_sigma() {
+    let seed = 1u64;
+    let host = gncg_metrics::arbitrary::random_metric(6, 1.0, 3.0, seed);
+    let alpha = 2.0;
+    let game = Game::new(host, alpha);
+    let run = gncg_suite::br_dynamics_from_star(&game, 0, 200);
+    if !run.converged() {
+        return;
+    }
+    let opt = gncg_solvers::opt_exact::social_optimum(&game);
+    let ne_net = run.profile.build_network(&game);
+    let opt_net = opt.profile.build_network(&game);
+    let dn = gncg_graph::apsp::apsp_parallel(&ne_net);
+    let dopt = gncg_graph::apsp::apsp_parallel(&opt_net);
+    let bound = poa::metric_upper_bound(alpha);
+    for u in 0..6u32 {
+        for v in (u + 1)..6u32 {
+            let x = if ne_net.has_edge(u, v) { 1.0 } else { 0.0 };
+            let xs = if opt_net.has_edge(u, v) { 1.0 } else { 0.0 };
+            let w = game.w(u, v);
+            let sigma =
+                (alpha * w * x + 2.0 * dn.get(u, v)) / (alpha * w * xs + 2.0 * dopt.get(u, v));
+            assert!(
+                sigma <= bound + 1e-9,
+                "pair ({u},{v}): σ = {sigma} > {bound}"
+            );
+        }
+    }
+}
+
+/// Lower bound (Theorem 15): the star-tree family's measured ratio climbs
+/// to within ε of (α+2)/2, and each family member is a certified NE.
+#[test]
+fn theorem15_family_ratio_climbs_to_bound() {
+    let alpha = 3.0;
+    let bound = poa::metric_upper_bound(alpha);
+    let mut last = 0.0;
+    for n in [4, 6, 8] {
+        let g = star_tree::game(n, alpha);
+        assert!(gncg_core::equilibrium::is_nash_equilibrium(
+            &g,
+            &star_tree::ne_profile(n)
+        ));
+        let r = social_cost(&g, &star_tree::ne_profile(n))
+            / social_cost(&g, &star_tree::opt_profile(n));
+        assert!(r > last);
+        assert!(r < bound);
+        last = r;
+    }
+    // Closed form confirms convergence at large n.
+    assert!(bound - star_tree::ratio_formula(100_000, alpha) < 1e-3);
+}
+
+/// The measured family costs equal the closed forms for a grid of (n, α) —
+/// the cost engine and the paper's formulas agree exactly.
+#[test]
+fn family_formulas_grid() {
+    for n in [3, 4, 7, 10] {
+        for alpha in [0.25, 1.0, 2.0, 6.0, 13.0] {
+            let g = star_tree::game(n, alpha);
+            assert!(gncg_graph::approx_eq(
+                social_cost(&g, &star_tree::opt_profile(n)),
+                star_tree::opt_cost_formula(n, alpha)
+            ));
+            assert!(gncg_graph::approx_eq(
+                social_cost(&g, &star_tree::ne_profile(n)),
+                star_tree::ne_cost_formula(n, alpha)
+            ));
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the reproduction.
+
+use proptest::prelude::*;
+
+use gncg_core::{Game, Profile};
+use gncg_graph::{AdjacencyList, SymMatrix};
+
+/// Strategy for a random metric host of size `n` (metric by closure
+/// repair).
+fn metric_host(n: usize) -> impl Strategy<Value = SymMatrix> {
+    proptest::collection::vec(0.1f64..10.0, n * (n - 1) / 2).prop_map(move |ws| {
+        let mut it = ws.into_iter();
+        let raw = SymMatrix::from_fn(n, |_, _| it.next().unwrap());
+        gncg_graph::apsp::floyd_warshall(&raw).into_sym_matrix()
+    })
+}
+
+/// Random profile on `n` agents: each ordered pair bought with small
+/// probability, plus a spanning star for connectivity.
+fn profile(n: usize) -> impl Strategy<Value = Profile> {
+    proptest::collection::vec(proptest::bool::weighted(0.15), n * n).prop_map(move |bits| {
+        let mut p = Profile::star(n, 0);
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && bits[u * n + v] && !p.owns(u as u32, v as u32) {
+                    p.buy(u as u32, v as u32);
+                }
+            }
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The metric closure repair always satisfies the triangle inequality
+    /// and only shrinks weights.
+    #[test]
+    fn closure_repair_is_metric(host in metric_host(6)) {
+        prop_assert!(host.satisfies_triangle_inequality());
+        prop_assert!(host.is_nonnegative());
+    }
+
+    /// Dijkstra and Floyd–Warshall agree on the complete host graph.
+    #[test]
+    fn dijkstra_matches_floyd_warshall(host in metric_host(6)) {
+        let g = AdjacencyList::complete_from_matrix(&host);
+        let dj = gncg_graph::apsp::apsp_sequential(&g);
+        let fw = gncg_graph::apsp::floyd_warshall(&host);
+        for u in 0..6u32 {
+            for v in 0..6u32 {
+                prop_assert!(gncg_graph::approx_eq(dj.get(u, v), fw.get(u, v)));
+            }
+        }
+    }
+
+    /// Social cost equals the sum of agent costs, for arbitrary profiles.
+    #[test]
+    fn social_cost_is_sum_of_agent_costs(host in metric_host(6), p in profile(6)) {
+        let game = Game::new(host, 1.3);
+        let total = gncg_core::cost::social_cost(&game, &p);
+        let summed: f64 = (0..6u32)
+            .map(|u| gncg_core::cost::agent_cost(&game, &p, u).total())
+            .sum();
+        prop_assert!(gncg_graph::approx_eq(total, summed));
+    }
+
+    /// Distances in any built network dominate host-closure distances
+    /// (the bound the best-response pruning relies on).
+    #[test]
+    fn built_distances_dominate_host(host in metric_host(6), p in profile(6)) {
+        let game = Game::new(host, 1.0);
+        let net = p.build_network(&game);
+        let d = gncg_graph::apsp::apsp_sequential(&net);
+        for u in 0..6u32 {
+            for v in 0..6u32 {
+                prop_assert!(d.get(u, v) + 1e-9 >= game.host_distances().get(u, v));
+            }
+        }
+    }
+
+    /// Exact best response never exceeds the cost of any single greedy
+    /// move, and never exceeds the current cost.
+    #[test]
+    fn exact_br_dominates_greedy(host in metric_host(5), p in profile(5), agent in 0u32..5) {
+        let game = Game::new(host, 1.0);
+        let br = gncg_core::response::exact_best_response(&game, &p, agent);
+        prop_assert!(br.cost <= br.current_cost + 1e-9);
+        if let Some((_, greedy)) = gncg_core::response::best_greedy_move(&game, &p, agent) {
+            prop_assert!(br.cost <= greedy + 1e-9);
+        }
+    }
+
+    /// Applying the best response really achieves the reported cost.
+    #[test]
+    fn br_cost_is_achievable(host in metric_host(5), p in profile(5), agent in 0u32..5) {
+        let game = Game::new(host, 0.8);
+        let br = gncg_core::response::exact_best_response(&game, &p, agent);
+        let mut p2 = p.clone();
+        p2.set_strategy(agent, br.strategy.clone());
+        let real = gncg_core::cost::agent_cost(&game, &p2, agent).total();
+        prop_assert!(gncg_graph::approx_eq(real, br.cost));
+    }
+
+    /// The exact social optimum is no costlier than MST, star, or complete
+    /// networks.
+    #[test]
+    fn opt_dominates_reference_networks(host in metric_host(5)) {
+        let game = Game::new(host, 2.0);
+        let opt = gncg_solvers::opt_exact::social_optimum(&game);
+        // Star.
+        for c in 0..5u32 {
+            let star = Profile::star(5, c);
+            prop_assert!(opt.cost <= gncg_core::cost::social_cost(&game, &star) + 1e-9);
+        }
+        // Complete.
+        let full = AdjacencyList::complete_from_matrix(game.host());
+        prop_assert!(opt.cost <= gncg_core::cost::network_social_cost(&game, &full) + 1e-9);
+        // MST.
+        let mst = AdjacencyList::from_edges(5, &gncg_graph::mst::prim_complete(game.host()));
+        prop_assert!(opt.cost <= gncg_core::cost::network_social_cost(&game, &mst) + 1e-9);
+    }
+
+    /// Lemma 2 as a property: the exact OPT is an (α/2+1)-spanner.
+    #[test]
+    fn opt_spanner_property(host in metric_host(5)) {
+        for alpha in [0.5, 2.0] {
+            let game = Game::new(host.clone(), alpha);
+            let opt = gncg_solvers::opt_exact::social_optimum(&game);
+            let network = opt.profile.build_network(&game);
+            prop_assert!(gncg_core::spanner_props::satisfies_lemma2(&game, &network));
+        }
+    }
+
+    /// Greedy k-spanners really are k-spanners, for varying k.
+    #[test]
+    fn greedy_spanner_property(host in metric_host(6), k in 1.0f64..3.0) {
+        let sp = gncg_graph::spanner::greedy_k_spanner(&host, k);
+        let hd = gncg_graph::spanner::host_distances(&host);
+        prop_assert!(gncg_graph::spanner::is_k_spanner(&sp, &hd, k));
+    }
+
+    /// MST weight is invariant between Prim (dense) and Kruskal (sparse).
+    #[test]
+    fn mst_weight_invariant(host in metric_host(7)) {
+        let prim = gncg_graph::mst::prim_complete(&host);
+        let g = AdjacencyList::complete_from_matrix(&host);
+        let kruskal = gncg_graph::mst::kruskal(&g);
+        let wp: f64 = prim.iter().map(|e| e.2).sum();
+        let wk: f64 = kruskal.iter().map(|e| e.2).sum();
+        prop_assert!((wp - wk).abs() < 1e-9);
+    }
+
+    /// Algorithm 1 output always contains every 1-edge and has diameter
+    /// ≤ 2, for arbitrary 1-2 hosts.
+    #[test]
+    fn algorithm1_properties(bits in proptest::collection::vec(proptest::bool::ANY, 15)) {
+        let mut it = bits.into_iter();
+        let host = SymMatrix::from_fn(6, |_, _| if it.next().unwrap() { 1.0 } else { 2.0 });
+        let g = gncg_solvers::algorithm1::algorithm1(&host);
+        for (u, v, w) in host.pairs() {
+            if w == 1.0 {
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+        let d = gncg_graph::apsp::apsp_sequential(&g);
+        prop_assert!(d.diameter() <= 2.0 + 1e-9);
+    }
+}

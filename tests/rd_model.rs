@@ -1,0 +1,102 @@
+//! Experiments E16, E18, E19, E20: the Rd–GNCG (§3.3 of the paper).
+
+use gncg_core::cost::social_cost;
+use gncg_core::equilibrium::is_nash_equilibrium;
+use gncg_core::poa;
+
+/// E16 / Theorem 16: the planar set-cover gadget on a second instance and
+/// a second norm.
+#[test]
+fn theorem16_gadget_second_instance() {
+    use gncg_constructions::sc_rd_gadget::{GadgetParams, ScRdGadget};
+    use gncg_metrics::euclidean::Norm;
+    use gncg_solvers::set_cover::{exact_min_cover, SetCoverInstance};
+    let inst = SetCoverInstance::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]]);
+    let g = ScRdGadget::new(inst, GadgetParams::default_for(4));
+    for norm in [Norm::L2, Norm::LInf] {
+        let game = g.game(norm);
+        let br = gncg_core::response::exact_best_response(&game, &g.profile(), g.u());
+        let cover = g.cover_of(&br.strategy);
+        assert!(g.instance.is_cover(&cover), "{norm:?}");
+        assert_eq!(cover.len(), exact_min_cover(&g.instance).len(), "{norm:?}");
+    }
+}
+
+/// E18 / Lemma 8: PoA > 1 on the geometric path family for several n, α —
+/// with the star certified as NE and the path certified as OPT (small n).
+#[test]
+fn lemma8_poa_exceeds_one() {
+    use gncg_constructions::geometric_path as gp;
+    for alpha in [0.5, 2.0, 8.0] {
+        for n in [3, 5] {
+            let g = gp::game(n, alpha);
+            assert!(is_nash_equilibrium(&g, &gp::star_profile(n)));
+            let ratio =
+                social_cost(&g, &gp::star_profile(n)) / social_cost(&g, &gp::path_profile(n));
+            assert!(ratio > 1.0, "n={n} α={alpha}");
+            assert!(ratio <= poa::metric_upper_bound(alpha) + 1e-9);
+        }
+    }
+}
+
+/// E19 / Theorem 18: the explicit 4-node ratio formula, plus its
+/// asymptote 3 as α → ∞.
+#[test]
+fn theorem18_formula_and_asymptote() {
+    use gncg_constructions::geometric_path as gp;
+    for alpha in [0.25, 1.0, 2.0, 30.0] {
+        let g = gp::game(3, alpha);
+        let measured =
+            social_cost(&g, &gp::star_profile(3)) / social_cost(&g, &gp::path_profile(3));
+        assert!((measured - poa::rd_pnorm_lower_bound(alpha)).abs() < 1e-9);
+    }
+    assert!((poa::rd_pnorm_lower_bound(1e8) - 3.0).abs() < 1e-5);
+}
+
+/// E20 / Theorem 19: the cross-polytope family across dimensions — the
+/// measured ratio equals the formula, grows with d, and approaches
+/// (α+2)/2.
+#[test]
+fn theorem19_dimension_sweep() {
+    use gncg_constructions::cross_polytope as cp;
+    let alpha = 4.0;
+    let mut prev = 0.0;
+    for d in [1, 2, 3, 4] {
+        let g = cp::game(d, alpha);
+        let measured =
+            social_cost(&g, &cp::ne_profile(d)) / social_cost(&g, &cp::opt_profile(d));
+        assert!((measured - poa::l1_lower_bound(alpha, d)).abs() < 1e-9, "d={d}");
+        assert!(measured > prev);
+        prev = measured;
+    }
+    // d = 4 is already most of the way to the metric bound.
+    assert!(prev > 0.8 * poa::metric_upper_bound(alpha));
+}
+
+/// The cross-polytope NE is certified for a d beyond the unit tests, and
+/// the origin star is confirmed optimal by the heuristic search.
+#[test]
+fn theorem19_certification_d4() {
+    use gncg_constructions::cross_polytope as cp;
+    let g = cp::game(4, 2.0); // 9 agents
+    assert!(is_nash_equilibrium(&g, &cp::ne_profile(4)));
+    let heur = gncg_solvers::opt_heuristic::social_optimum_heuristic(&g, 30);
+    let star_cost = social_cost(&g, &cp::opt_profile(4));
+    assert!(star_cost <= heur.cost + 1e-9);
+}
+
+/// Collinear points make all p-norms coincide — the Lemma 8 family gives
+/// identical games under L1, L2, L∞ (this is why it bounds *every* p-norm).
+#[test]
+fn collinear_norm_invariance() {
+    use gncg_metrics::euclidean::{Norm, PointSet};
+    let xs: Vec<f64> = (0..6).map(|i| (i * i) as f64).collect();
+    let ps = PointSet::line(&xs);
+    let a = ps.host_matrix(Norm::L1);
+    let b = ps.host_matrix(Norm::L2);
+    let c = ps.host_matrix(Norm::LInf);
+    for (u, v, w) in a.pairs() {
+        assert!(gncg_graph::approx_eq(w, b.get(u, v)));
+        assert!(gncg_graph::approx_eq(w, c.get(u, v)));
+    }
+}

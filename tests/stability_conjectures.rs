@@ -1,0 +1,116 @@
+//! Experiments E25–E27: the Price-of-Stability extension and the paper's
+//! two conjectures, cross-crate.
+
+use gncg_core::{poa, Game};
+use gncg_solvers::{opt_exact, stability};
+
+/// E25 / Corollary 3: exact PoS = 1 on tree metrics, confirmed by full
+/// equilibrium enumeration (not just by exhibiting the tree).
+#[test]
+fn exact_pos_is_one_on_tree_metrics() {
+    for seed in 0..2u64 {
+        let tree = gncg_metrics::treemetric::random_tree(5, 1.0, 3.0, seed);
+        for alpha in [1.0, 3.0] {
+            let game = Game::new(tree.metric_closure(), alpha);
+            let land = stability::enumerate_equilibria(&game);
+            let opt = opt_exact::social_optimum(&game);
+            let pos = land.price_of_stability(opt.cost).expect("NE exists");
+            assert!(
+                gncg_graph::approx_eq(pos, 1.0),
+                "seed {seed} α {alpha}: PoS {pos}"
+            );
+        }
+    }
+}
+
+/// E25: the enumerated *worst* NE on the Theorem 15 instance reaches the
+/// family's ratio — the v-star really is the worst equilibrium at this
+/// size.
+#[test]
+fn enumerated_poa_matches_family_worst_case() {
+    let alpha = 4.0;
+    let game = gncg_constructions::star_tree::game(5, alpha);
+    let land = stability::enumerate_equilibria(&game);
+    let opt = opt_exact::social_optimum(&game);
+    let enumerated_poa = land.price_of_anarchy(opt.cost).expect("NE exists");
+    let family_ratio = gncg_constructions::star_tree::ratio_formula(5, alpha);
+    assert!(
+        enumerated_poa >= family_ratio - 1e-9,
+        "enumeration ({enumerated_poa}) must dominate the family witness ({family_ratio})"
+    );
+    assert!(enumerated_poa <= poa::metric_upper_bound(alpha) + 1e-9);
+}
+
+/// E25: PoS ≤ PoA always; both within the metric bound on metric hosts.
+#[test]
+fn pos_poa_sandwich_on_metric_hosts() {
+    for seed in 0..3u64 {
+        let host = gncg_metrics::arbitrary::random_metric(5, 1.0, 4.0, seed);
+        for alpha in [0.5, 2.0] {
+            let game = Game::new(host.clone(), alpha);
+            let land = stability::enumerate_equilibria(&game);
+            let opt = opt_exact::social_optimum(&game);
+            if let (Some(pos), Some(poa_v)) = (
+                land.price_of_stability(opt.cost),
+                land.price_of_anarchy(opt.cost),
+            ) {
+                assert!(pos >= 1.0 - 1e-9);
+                assert!(pos <= poa_v + 1e-9);
+                assert!(poa_v <= poa::metric_upper_bound(alpha) + 1e-9);
+            }
+        }
+    }
+}
+
+/// E26 / Conjecture 1: certified improving-move cycles exist under the
+/// 2-norm (the paper proves the 1-norm case only). Seed pre-located by
+/// search; the cycle is independently re-certified here.
+#[test]
+fn conjecture1_l2_cycle() {
+    use gncg_constructions::br_cycles::certify_improving_cycle;
+    use gncg_constructions::conjectures::conjecture1_probe;
+    use gncg_metrics::euclidean::{Norm, PointSet};
+    let found = conjecture1_probe(Norm::L2, 8, 1.0, 10..11, 25_000)
+        .expect("the seed-10 L2 instance has a certified cycle");
+    let (seed, cycle) = found;
+    assert_eq!(seed, 10);
+    let game = Game::new(
+        PointSet::random(8, 2, 4.0, seed).host_matrix(Norm::L2),
+        1.0,
+    );
+    assert!(certify_improving_cycle(&game, &cycle));
+    assert!(cycle.len() >= 2);
+}
+
+/// E27 / Conjecture 2: exact PoA of random non-metric instances never
+/// exceeds the conjectured (α+2)/2 on the sampled batch.
+#[test]
+fn conjecture2_exact_poa_batch() {
+    use gncg_constructions::conjectures::{conjecture2_probe, worst_normalized};
+    let points = conjecture2_probe(4, &[1.0, 3.0], 0..6);
+    let worst = worst_normalized(&points);
+    assert!(
+        worst <= 1.0 + 1e-9,
+        "counterexample to Conjecture 2 found: normalized {worst}"
+    );
+    // And the proven bound holds with slack.
+    for p in &points {
+        if let Some(exact) = p.exact_poa {
+            assert!(exact <= poa::general_upper_bound(p.alpha) + 1e-9);
+        }
+    }
+}
+
+/// Sanity: the equilibrium landscape of the unit K4 at high α contains
+/// both the star (worst) and denser equilibria if any; the worst NE is
+/// the known NCG worst case.
+#[test]
+fn unit_host_landscape() {
+    let game = Game::new(gncg_metrics::unit::unit_host(4), 3.0);
+    let land = stability::enumerate_equilibria(&game);
+    assert!(land.count >= 1);
+    let opt = opt_exact::social_optimum(&game);
+    let poa_v = land.price_of_anarchy(opt.cost).unwrap();
+    // NCG at small n: PoA well below 4/3.
+    assert!(poa_v <= 4.0 / 3.0 + 1e-9);
+}

@@ -1,0 +1,107 @@
+//! Experiments E12, E13, E15: the T–GNCG (§3.2 of the paper).
+
+use gncg_core::cost::social_cost;
+use gncg_core::equilibrium::is_nash_equilibrium;
+use gncg_core::Game;
+
+/// E12 / Theorem 12: every certified NE on a tree metric is a tree.
+#[test]
+fn theorem12_equilibria_are_trees() {
+    for seed in 0..4u64 {
+        let tree = gncg_metrics::treemetric::random_tree(6, 1.0, 5.0, seed);
+        let host = tree.metric_closure();
+        for alpha in [0.5, 1.0, 2.0] {
+            let game = Game::new(host.clone(), alpha);
+            let run = gncg_suite::br_dynamics_from_star(&game, 0, 300);
+            if !run.converged() {
+                continue;
+            }
+            assert!(is_nash_equilibrium(&game, &run.profile));
+            let g = run.profile.build_network(&game);
+            assert!(
+                g.is_tree(),
+                "NE on tree metric must be a tree (seed {seed}, α {alpha}, m = {})",
+                g.m()
+            );
+        }
+    }
+}
+
+/// Corollary 3: the defining tree is both optimal and (with ownership
+/// towards the leaves' parents) a NE — Price of Stability 1.
+#[test]
+fn corollary3_defining_tree_optimal_and_stable() {
+    for seed in 0..3u64 {
+        let tree = gncg_metrics::treemetric::random_tree(6, 1.0, 3.0, seed);
+        let host = tree.metric_closure();
+        for alpha in [1.0, 3.0] {
+            let game = Game::new(host.clone(), alpha);
+            let profile = gncg_solvers::tree_opt::tree_optimum_profile(&tree);
+            // Optimality.
+            let exact = gncg_solvers::opt_exact::social_optimum(&game);
+            assert!(gncg_graph::approx_eq(
+                exact.cost,
+                social_cost(&game, &profile)
+            ));
+            // Stability.
+            assert!(
+                is_nash_equilibrium(&game, &profile),
+                "defining tree must be NE (seed {seed}, α {alpha})"
+            );
+        }
+    }
+}
+
+/// E13 / Theorem 13: the set-cover gadget — exercised here end-to-end on a
+/// second instance (the unit tests cover the canonical one).
+#[test]
+fn theorem13_gadget_second_instance() {
+    use gncg_constructions::sc_tree_gadget::{GadgetParams, ScTreeGadget};
+    use gncg_solvers::set_cover::{exact_min_cover, SetCoverInstance};
+    // U = {0..4}, min cover = 2 ({0,1,2} and {3,4} say).
+    let inst = SetCoverInstance::new(
+        5,
+        vec![vec![0, 1, 2], vec![2, 3], vec![3, 4], vec![0, 4]],
+    );
+    let g = ScTreeGadget::new(inst, GadgetParams::default_for(5));
+    let game = g.game();
+    let br = gncg_core::response::exact_best_response(&game, &g.profile(), g.u());
+    let cover = g.cover_of(&br.strategy);
+    assert!(g.instance.is_cover(&cover));
+    assert_eq!(cover.len(), exact_min_cover(&g.instance).len());
+}
+
+/// E15 / Theorem 15: family ratio at moderate n and a sweep of α.
+#[test]
+fn theorem15_ratio_sweep() {
+    use gncg_constructions::star_tree;
+    for alpha in [0.5, 1.0, 4.0, 16.0] {
+        let bound = gncg_core::poa::metric_upper_bound(alpha);
+        let g = star_tree::game(8, alpha);
+        let r = social_cost(&g, &star_tree::ne_profile(8))
+            / social_cost(&g, &star_tree::opt_profile(8));
+        assert!(r > 1.0 && r < bound, "α={alpha}: {r}");
+        // And closed-form convergence.
+        assert!(bound - star_tree::ratio_formula(1_000_000, alpha) < 1e-4 * bound);
+    }
+}
+
+/// Sparsity contrast (Theorem 12 vs §3.1): on 1-2 metrics equilibria may
+/// be dense, on tree metrics never.
+#[test]
+fn tree_equilibria_sparser_than_one_two() {
+    // A 1-2 NE with α < 1/2 contains all 1-edges (can be dense)...
+    let host12 = gncg_metrics::onetwo::random(6, 0.9, 1);
+    let game12 = Game::new(host12, 0.3);
+    let run12 = gncg_suite::greedy_dynamics_from_star(&game12, 0, 300);
+    assert!(run12.converged());
+    let g12 = run12.profile.build_network(&game12);
+    assert!(g12.m() > 5, "1-2 equilibrium should be dense here");
+    // ...while a tree-metric NE has exactly n−1 edges.
+    let tree = gncg_metrics::treemetric::random_tree(6, 1.0, 2.0, 2);
+    let gamet = Game::new(tree.metric_closure(), 0.3);
+    let runt = gncg_suite::br_dynamics_from_star(&gamet, 0, 300);
+    if runt.converged() {
+        assert_eq!(runt.profile.build_network(&gamet).m(), 5);
+    }
+}

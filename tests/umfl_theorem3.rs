@@ -1,0 +1,103 @@
+//! Experiment E05: Theorem 3 — the UMFL connection (GE ⇒ 3-NE) and the
+//! quality of the UMFL-based polynomial best response.
+
+use gncg_core::equilibrium::nash_approximation_factor;
+use gncg_core::{Game, Profile};
+use gncg_solvers::umfl;
+
+/// Theorem 3 headline: every Greedy Equilibrium reached by greedy dynamics
+/// is a 3-approximate NE.
+#[test]
+fn theorem3_ge_is_3_ne() {
+    for seed in 0..4u64 {
+        let host = gncg_metrics::arbitrary::random_metric(7, 1.0, 4.0, seed);
+        for alpha in [0.5, 1.0, 2.0] {
+            let game = Game::new(host.clone(), alpha);
+            let run = gncg_suite::greedy_dynamics_from_star(&game, 0, 500);
+            assert!(run.converged(), "seed {seed} α {alpha}");
+            let factor = nash_approximation_factor(&game, &run.profile);
+            assert!(
+                factor <= 3.0 + 1e-9,
+                "seed {seed} α {alpha}: GE has Nash factor {factor} > 3"
+            );
+        }
+    }
+}
+
+/// The UMFL best response never loses more than a factor 3 against the
+/// exact best response, across agents and instances (locality gap 3).
+#[test]
+fn umfl_br_within_factor_3() {
+    for seed in 0..3u64 {
+        let host = gncg_metrics::arbitrary::random_metric(7, 1.0, 3.0, seed);
+        let game = Game::new(host, 1.0);
+        let mut p = Profile::star(7, 0);
+        p.buy(2, 5);
+        for agent in 0..7u32 {
+            let exact = gncg_core::response::exact_best_response(&game, &p, agent);
+            let (_, c) = umfl::best_response_umfl(&game, &p, agent);
+            assert!(c <= 3.0 * exact.cost + 1e-9, "agent {agent} seed {seed}");
+            assert!(c + 1e-9 >= exact.cost);
+        }
+    }
+}
+
+/// The UMFL mapping is cost-faithful for arbitrary current strategies:
+/// mapped instance cost of the mapped solution equals the agent's true
+/// cost.
+#[test]
+fn umfl_mapping_faithfulness() {
+    let host = gncg_metrics::arbitrary::random_metric(6, 1.0, 4.0, 9);
+    let game = Game::new(host, 1.5);
+    let mut p = Profile::star(6, 1);
+    p.buy(3, 4);
+    p.buy(4, 2);
+    for agent in 0..6u32 {
+        let inst = umfl::game_to_umfl(&game, &p, agent);
+        // Map the agent's current strategy to facility indices: forced-open
+        // (edges towards the agent) plus its own purchases.
+        let others: Vec<u32> = (0..6).filter(|&v| v != agent).collect();
+        let mut sol: std::collections::BTreeSet<usize> =
+            inst.forced_open.iter().copied().collect();
+        for (i, &v) in others.iter().enumerate() {
+            if p.owns(agent, v) {
+                sol.insert(i);
+            }
+        }
+        if sol.is_empty() {
+            continue; // disconnected strategy: both sides infinite
+        }
+        let mapped = inst.cost(&sol);
+        let real = gncg_core::cost::agent_cost(&game, &p, agent).total();
+        assert!(
+            gncg_graph::approx_eq(mapped, real),
+            "agent {agent}: mapped {mapped} vs real {real}"
+        );
+    }
+}
+
+/// Greedy dynamics with the UMFL response as a *polynomial* pipeline:
+/// UMFL responses applied iteratively still terminate on these instances
+/// and land within the Theorem 3 factor of stability.
+#[test]
+fn umfl_response_dynamics() {
+    let host = gncg_metrics::arbitrary::random_metric(6, 1.0, 3.0, 4);
+    let game = Game::new(host, 1.0);
+    let mut p = Profile::star(6, 0);
+    for _round in 0..40 {
+        let mut moved = false;
+        for agent in 0..6u32 {
+            let current = gncg_core::cost::agent_cost(&game, &p, agent).total();
+            let (strategy, cost) = umfl::best_response_umfl(&game, &p, agent);
+            if gncg_graph::strictly_less(cost, current) {
+                p.set_strategy(agent, strategy);
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    let factor = nash_approximation_factor(&game, &p);
+    assert!(factor <= 3.0 + 1e-9, "UMFL-stable profile has factor {factor}");
+}
