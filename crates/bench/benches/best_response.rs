@@ -1,7 +1,11 @@
-//! Best-response solver ablation: exact branch-and-bound vs the
+//! Best-response solver ablation: the incremental branch-and-bound vs the
+//! historical from-scratch engine, the parallel split search, and the
 //! polynomial UMFL local search (Theorem 3's machinery), across instance
-//! sizes — quantifying the price of exactness the NP-hardness results
-//! (Cor. 1, Thms 13/16) predict.
+//! sizes — quantifying both the price of exactness the NP-hardness results
+//! (Cor. 1, Thms 13/16) predict and the payoff of incremental delta
+//! evaluation. `scripts/bench_snapshot.sh` derives the tracked
+//! `incremental_speedup_n14` figure from the `exact_bnb` /
+//! `exact_bnb_reference` pair at n = 14.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -14,10 +18,13 @@ fn instance(n: usize) -> (Game, Profile) {
 
 fn bench_best_response(c: &mut Criterion) {
     let mut group = c.benchmark_group("best_response");
-    for n in [8usize, 12, 16] {
+    for n in [8usize, 12, 14, 16] {
         let (game, profile) = instance(n);
         group.bench_with_input(BenchmarkId::new("exact_bnb", n), &n, |b, _| {
             b.iter(|| gncg_core::response::exact_best_response(&game, &profile, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_bnb_reference", n), &n, |b, _| {
+            b.iter(|| gncg_core::response::exact_best_response_reference(&game, &profile, 1))
         });
         group.bench_with_input(BenchmarkId::new("exact_bnb_parallel", n), &n, |b, _| {
             b.iter(|| gncg_core::response::exact_best_response_parallel(&game, &profile, 1))

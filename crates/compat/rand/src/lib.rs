@@ -1,0 +1,236 @@
+//! Hermetic stand-in for the `rand` crate.
+//!
+//! The build environment is offline, so the workspace vendors the small
+//! slice of the `rand 0.8` API it actually uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] / [`Rng::gen`] /
+//! [`Rng::gen_bool`], and [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is splitmix64 — not cryptographic, but statistically fine
+//! for instance sampling, and fully deterministic given a seed (every
+//! random host factory in the workspace promises seed-determinism). The
+//! streams differ from upstream `rand`'s `StdRng`, which is acceptable:
+//! nothing in the workspace depends on the exact values, only on
+//! reproducibility.
+
+/// Low-level generator interface: a source of `u64`s.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// A sample of the "standard" distribution of `T` (`f64` in `[0, 1)`).
+    fn gen<T>(&mut self) -> T
+    where
+        T: distributions::StandardSample,
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: splitmix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // One warm-up step decorrelates small consecutive seeds.
+            let mut rng = StdRng { state: seed };
+            rng.next_u64();
+            rng
+        }
+    }
+}
+
+pub mod distributions {
+    //! Range and standard-distribution sampling.
+
+    use super::RngCore;
+
+    /// Ranges that can produce a uniform sample.
+    pub trait SampleRange<T> {
+        /// Draws a uniform sample from the range.
+        fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+    }
+
+    /// Types with a canonical "standard" distribution.
+    pub trait StandardSample {
+        /// Draws a standard sample (`f64`: uniform in `[0, 1)`).
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+    }
+
+    impl StandardSample for f64 {
+        #[inline]
+        fn sample_standard<R: RngCore>(rng: &mut R) -> f64 {
+            // 53 high bits → uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl StandardSample for bool {
+        #[inline]
+        fn sample_standard<R: RngCore>(rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                #[inline]
+                fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range in gen_range");
+                    let span = (self.end - self.start) as u64;
+                    // Modulo bias is < 2^-40 for every span the workspace
+                    // uses (spans are tiny against 2^64); acceptable here.
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                #[inline]
+                fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty inclusive range in gen_range");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range!(usize, u64, u32, u16, u8);
+
+    impl SampleRange<f64> for core::ops::Range<f64> {
+        #[inline]
+        fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "empty range in gen_range");
+            self.start + (self.end - self.start) * f64::sample_standard(rng)
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers.
+
+    use super::RngCore;
+
+    /// Slice shuffling (Fisher–Yates).
+    pub trait SliceRandom {
+        /// Uniformly permutes the slice in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub use distributions::StandardSample;
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0..=4usize);
+            assert!(y <= 4);
+            let f = rng.gen_range(1.5..2.5);
+            assert!((1.5..2.5).contains(&f));
+            let u = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_hits_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut v: Vec<u32> = (0..20).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(v, (0..20).collect::<Vec<_>>(), "20! permutations: identity is essentially impossible");
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Hermetic stand-in for `rayon`: the same parallel-iterator API surface
+//! the workspace uses, executed sequentially.
+//!
+//! The build environment is offline and single-core, so a real thread pool
+//! buys nothing; this shim keeps every `into_par_iter()` call site
+//! source-compatible (including rayon-specific signatures like
+//! `reduce(identity, op)`) while compiling to plain iterator loops. If the
+//! workspace ever moves to a networked multi-core environment, deleting
+//! `crates/compat/rayon` and pointing the workspace dependency at the real
+//! crate is the only change needed.
+
+/// A "parallel" iterator: a newtype over a sequential iterator exposing
+/// rayon's method names and signatures.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each item.
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Filters items.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Filter + map in one pass.
+    pub fn filter_map<U, F: FnMut(I::Item) -> Option<U>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Whether `f` holds for every item.
+    pub fn all<F: FnMut(I::Item) -> bool>(mut self, f: F) -> bool {
+        self.0.all(f)
+    }
+
+    /// Whether `f` holds for any item.
+    pub fn any<F: FnMut(I::Item) -> bool>(mut self, f: F) -> bool {
+        self.0.any(f)
+    }
+
+    /// Runs `f` on every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// rayon's per-worker-state `for_each`: `init` builds mutable state
+    /// reused across the items a worker processes. Sequentially that is
+    /// one `init()` for all items — the same amortization real rayon
+    /// achieves with one state per worker thread.
+    pub fn for_each_init<S, INIT, F>(self, init: INIT, mut f: F)
+    where
+        INIT: Fn() -> S,
+        F: FnMut(&mut S, I::Item),
+    {
+        let mut state = init();
+        self.0.for_each(|item| f(&mut state, item));
+    }
+
+    /// Collects into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// rayon-style reduce: folds with `op` from `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Minimum by a comparator.
+    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+        self,
+        f: F,
+    ) -> Option<I::Item> {
+        self.0.min_by(f)
+    }
+
+    /// Maximum by a comparator.
+    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+        self,
+        f: F,
+    ) -> Option<I::Item> {
+        self.0.max_by(f)
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+}
+
+pub mod prelude {
+    //! The rayon prelude: traits that add `par_*` methods.
+
+    pub use super::ParIter;
+
+    /// Conversion into a parallel iterator (sequential here).
+    pub trait IntoParallelIterator {
+        /// Underlying iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item;
+        /// Converts into a parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Iter>;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> ParIter<I::IntoIter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    /// `par_iter` on shared slices.
+    pub trait ParallelSlice<T> {
+        /// Parallel iterator over references.
+        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+            ParIter(self.iter())
+        }
+    }
+
+    /// `par_chunks_mut` on mutable slices: disjoint chunks, processed in
+    /// place (rayon writes rows of a flat buffer this way).
+    pub trait ParallelSliceMut<T> {
+        /// Parallel iterator over disjoint mutable chunks of size `size`.
+        fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+            ParIter(self.chunks_mut(size))
+        }
+    }
+}
+
+/// Runs two closures (sequentially here) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of pool threads (1: this shim is sequential).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect() {
+        let v: Vec<u32> = (0u32..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn rayon_style_reduce() {
+        let m = (0..10u32)
+            .into_par_iter()
+            .map(|x| x as f64)
+            .reduce(|| f64::MIN, f64::max);
+        assert_eq!(m, 9.0);
+    }
+
+    #[test]
+    fn all_and_filter_map() {
+        assert!((0..5u32).into_par_iter().all(|x| x < 5));
+        let odd: Vec<u32> = (0..9u32)
+            .into_par_iter()
+            .filter_map(|x| (x % 2 == 1).then_some(x))
+            .collect();
+        assert_eq!(odd, vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_rows() {
+        let mut buf = vec![0u32; 12];
+        buf.par_chunks_mut(4).enumerate().for_each(|(i, row)| {
+            for (j, x) in row.iter_mut().enumerate() {
+                *x = (i * 4 + j) as u32;
+            }
+        });
+        assert_eq!(buf, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}

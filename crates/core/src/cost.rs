@@ -59,7 +59,13 @@ pub fn agent_cost(game: &Game, profile: &Profile, u: NodeId) -> CostBreakdown {
 /// exists solely because of `u`'s purchases removed. Candidate strategies
 /// of `u` are priced by overlaying virtual edges on this graph.
 pub fn base_graph_without(game: &Game, profile: &Profile, u: NodeId) -> AdjacencyList {
-    let mut g = profile.build_network(game);
+    base_graph_from(&profile.build_network(game), profile, u)
+}
+
+/// [`base_graph_without`] when the built network is already at hand —
+/// avoids rebuilding `G(s)` from scratch just to strip one agent's edges.
+pub fn base_graph_from(network: &AdjacencyList, profile: &Profile, u: NodeId) -> AdjacencyList {
+    let mut g = network.clone();
     for (a, b) in profile.sole_owned_edges(u) {
         g.remove_edge(a, b);
     }

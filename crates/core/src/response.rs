@@ -1,4 +1,5 @@
-//! Best responses: exact (branch-and-bound) and greedy single moves.
+//! Best responses: exact (incremental branch-and-bound) and greedy single
+//! moves.
 //!
 //! Computing an exact best response is NP-hard in every variant of the
 //! game (Corollary 1, Theorems 13 and 16), so the exact solver here is an
@@ -6,15 +7,65 @@
 //! the instance sizes of the experiments (n ≲ 20) and for the structured
 //! reduction gadgets where the pruning bound collapses the search space.
 //!
-//! The admissible pruning bound uses `d_{G(s)}(u, v) ≥ d_H(u, v)`: any
-//! built network is a subgraph of the host, so the host's shortest-path
-//! distances lower-bound every candidate's distance cost.
+//! # The incremental engine
+//!
+//! The historical implementation ([`exact_best_response_reference`]) priced
+//! every *leaf* of the include/exclude tree with a from-scratch Dijkstra.
+//! The current engine ([`exact_best_response`]) instead maintains the
+//! agent's distance vector *incrementally* along the DFS: including
+//! candidate edge `(u, v)` can only decrease distances, so the include
+//! branch relaxes outward from `v` through an
+//! [`IncrementalSssp`](gncg_graph::IncrementalSssp) undo log and restores
+//! the exact previous vector on backtrack. Consequences:
+//!
+//! * **every partial set is fully priced for free** — the live vector *is*
+//!   the distance cost of the chosen set, so each subset is evaluated at
+//!   the moment its last edge is included (`O(n)` sum, zero Dijkstras at
+//!   leaves) and the incumbent tightens at internal nodes instead of only
+//!   at depth `n−1`;
+//! * the DFS allocates nothing per node (the undo log, heap, and chosen
+//!   stack are reused; only incumbent improvements clone a strategy).
+//!
+//! # Why the partial-network bound is admissible
+//!
+//! A branch at depth `idx` has committed `chosen ⊆ {candidates[..idx]}`
+//! and may still add edges only towards `R = candidates[idx..]`. Every
+//! shortest path from `u` in any completion either
+//!
+//! 1. uses no still-addable edge — all new edges are incident to `u`, a
+//!    path visits `u` once, so the whole path lies in `base ∪ chosen` and
+//!    its length is ≥ the live incremental distance `D[x]`, or
+//! 2. starts with a new edge `(u, v)`, `v ∈ R` — the remainder avoids `u`,
+//!    hence uses no new edge, so the path length is
+//!    ≥ `w(u,v) + d_{B*}(v, x)`, where `B* = base ∪ {(u,c) : c candidate}`
+//!    is the *optimistic network* (a supergraph of every reachable
+//!    network, so its distances lower-bound all of them).
+//!
+//! Therefore `Σ_x min(D[x], min_{v∈R}(w(u,v) + d_{B*}(v, x)))` is an
+//! admissible distance lower bound — strictly stronger than the host
+//! closure bound the reference engine uses (`B*` is a subgraph of the
+//! host, so `d_H ≤ d_{B*}`, and the live `D` tightens it further as the
+//! DFS descends). The inner `min_{v∈R}` depends only on `idx` (remaining
+//! candidates form a suffix), so it is precomputed once per search as a
+//! suffix-min table (`via`), making the bound `O(n)` per node.
+//!
+//! Costs are **bit-identical** to the reference engine on any instance
+//! whose distinct candidate subsets are not tied within [`EPS`]
+//! (`gncg_graph::EPS`): the incremental vector equals a from-scratch
+//! Dijkstra's exactly (both take exact minima over the same sets of path
+//! prefix sums — see `gncg_graph::csr`), and both sum it in index order.
+//! On adversarial sub-`EPS` near-ties the engines may legitimately settle
+//! on either member of the tie (they visit subsets in different orders
+//! and both accept/prune with `EPS` tolerance), so reported costs can
+//! differ by up to `EPS` — the paper's constructions and the random
+//! metrics of the equivalence suites clear the tolerance by orders of
+//! magnitude, which is what licenses the exact `assert_eq!` there.
 
 use std::collections::BTreeSet;
 
-use gncg_graph::{strictly_less, AdjacencyList, NodeId};
+use gncg_graph::{strictly_less, AdjacencyList, Csr, DijkstraScratch, IncrementalSssp, NodeId};
 
-use crate::cost::{agent_cost_in, base_graph_without, candidate_cost, CostBreakdown};
+use crate::cost::{agent_cost_in, base_graph_from, base_graph_without, candidate_cost, CostBreakdown};
 use crate::{Game, Move, Profile};
 
 /// Result of a best-response computation.
@@ -37,14 +88,279 @@ impl BestResponse {
     }
 }
 
-/// Exact best response of `agent` via depth-first branch-and-bound over
-/// subsets of `V \ {agent}`.
-///
-/// Candidates are considered in order of increasing host weight; a branch
-/// is pruned as soon as its committed edge cost plus the host-distance
-/// lower bound cannot beat the incumbent. The agent's *current* strategy
-/// seeds the incumbent, so the search also certifies equilibria quickly.
+/// Read-only state shared by every branch of one best-response search.
+struct BrSearch<'g> {
+    game: &'g Game,
+    agent: NodeId,
+    n: usize,
+    /// CSR snapshot of the base graph (network minus the agent's
+    /// sole-owned edges); all incremental relaxation runs on it.
+    csr: Csr,
+    /// Candidates sorted by increasing host weight from the agent.
+    candidates: Vec<NodeId>,
+    /// `w(agent, candidates[i])`, parallel to `candidates`.
+    cand_w: Vec<f64>,
+    /// Distances from the agent in the bare base graph.
+    d0: Vec<f64>,
+    /// Suffix-min table of the optimistic bound:
+    /// `via[idx·n + x] = min_{i ≥ idx} (cand_w[i] + d_{B*}(candidates[i], x))`,
+    /// with row `len` all-∞ (no candidates left).
+    via: Vec<f64>,
+}
+
+/// Mutable per-branch state (per worker in the parallel search).
+struct BrWorker {
+    inc: IncrementalSssp,
+    chosen: Vec<NodeId>,
+    /// Membership bitmap of `chosen` (indexed by node id): evaluation sums
+    /// edge weights in ascending id order, matching the `BTreeSet`
+    /// iteration order of [`candidate_cost`] bit for bit.
+    in_set: Vec<bool>,
+    best_cost: f64,
+    best_set: BTreeSet<NodeId>,
+    evaluated: usize,
+}
+
+impl BrWorker {
+    fn fresh(search: &BrSearch<'_>, current: f64, current_set: &BTreeSet<NodeId>) -> Self {
+        let mut worker = BrWorker {
+            inc: IncrementalSssp::new(),
+            chosen: Vec::with_capacity(search.candidates.len()),
+            in_set: vec![false; search.n],
+            best_cost: current,
+            best_set: current_set.clone(),
+            evaluated: 0,
+        };
+        worker.inc.reset_from(search.agent, &search.d0);
+        worker
+    }
+}
+
+impl<'g> BrSearch<'g> {
+    /// Builds the shared search state from a prebuilt base graph.
+    fn new(game: &'g Game, agent: NodeId, base: &AdjacencyList) -> Self {
+        let n = game.n();
+        let mut candidates: Vec<NodeId> = (0..n as NodeId).filter(|&v| v != agent).collect();
+        candidates.sort_by(|&a, &b| game.w(agent, a).total_cmp(&game.w(agent, b)));
+        let cand_w: Vec<f64> = candidates.iter().map(|&v| game.w(agent, v)).collect();
+
+        let csr = Csr::from_adjacency(base);
+        let mut scratch = DijkstraScratch::new();
+        scratch.run(&csr, agent, &[]);
+        let d0 = scratch.to_vec(n);
+
+        // The optimistic network B*: base plus every candidate edge.
+        let mut bstar = base.clone();
+        for &v in &candidates {
+            if !bstar.has_edge(agent, v) {
+                bstar.add_edge(agent, v, game.w(agent, v));
+            }
+        }
+        let bstar_csr = Csr::from_adjacency(&bstar);
+
+        // Suffix-min bound table, built back to front.
+        let len = candidates.len();
+        let mut via = vec![f64::INFINITY; (len + 1) * n];
+        for i in (0..len).rev() {
+            scratch.run(&bstar_csr, candidates[i], &[]);
+            let (lo, hi) = (i * n, (i + 1) * n);
+            for x in 0..n {
+                let through = cand_w[i] + scratch.dist(x as NodeId);
+                via[lo + x] = through.min(via[hi + x]);
+            }
+        }
+
+        BrSearch {
+            game,
+            agent,
+            n,
+            csr,
+            candidates,
+            cand_w,
+            d0,
+            via,
+        }
+    }
+
+    /// The admissible lower bound at a node: committed edge cost plus
+    /// `Σ_x min(live dist, optimistic completion dist)`.
+    #[inline]
+    fn lower_bound(&self, worker: &BrWorker, idx: usize, edge_w_sum: f64) -> f64 {
+        let via_row = &self.via[idx * self.n..(idx + 1) * self.n];
+        let dist = worker.inc.dist();
+        let mut lb = 0.0;
+        for x in 0..self.n {
+            lb += dist[x].min(via_row[x]);
+        }
+        self.game.alpha() * edge_w_sum + lb
+    }
+
+    /// Prices the worker's current chosen set off the live vector and
+    /// tightens the incumbent. The edge sum is re-accumulated in ascending
+    /// node-id order (not DFS order) so totals match [`candidate_cost`]
+    /// exactly — f64 addition is order-sensitive.
+    #[inline]
+    fn evaluate_current(&self, worker: &mut BrWorker) {
+        let mut edge_sum = 0.0;
+        for v in 0..self.n {
+            if worker.in_set[v] {
+                edge_sum += self.game.w(self.agent, v as NodeId);
+            }
+        }
+        let cost = self.game.alpha() * edge_sum + worker.inc.sum();
+        worker.evaluated += 1;
+        if strictly_less(cost, worker.best_cost) {
+            worker.best_cost = cost;
+            worker.best_set = worker.chosen.iter().copied().collect();
+        }
+    }
+
+    /// DFS over include/exclude decisions from `idx` onward. The chosen
+    /// set at entry has already been evaluated; `worker.inc` holds its
+    /// exact distance vector.
+    fn dfs(&self, worker: &mut BrWorker, idx: usize, edge_w_sum: f64) {
+        if self.lower_bound(worker, idx, edge_w_sum) >= worker.best_cost - gncg_graph::EPS {
+            // No completion below this node can strictly beat the
+            // incumbent; every subset under it is dominated.
+            return;
+        }
+        if idx == self.candidates.len() {
+            return;
+        }
+        let v = self.candidates[idx];
+        let w = self.cand_w[idx];
+        // Branch 1: include v — relax incrementally, price the new set.
+        worker.inc.add_edge(&self.csr, self.agent, v, w);
+        worker.chosen.push(v);
+        worker.in_set[v as usize] = true;
+        self.evaluate_current(worker);
+        self.dfs(worker, idx + 1, edge_w_sum + w);
+        worker.in_set[v as usize] = false;
+        worker.chosen.pop();
+        worker.inc.undo();
+        // Branch 2: exclude v.
+        self.dfs(worker, idx + 1, edge_w_sum);
+    }
+}
+
+/// Exact best response of `agent` via incremental depth-first
+/// branch-and-bound over subsets of `V \ {agent}` (see the module docs for
+/// the engine's invariants). The agent's *current* strategy seeds the
+/// incumbent, so the search also certifies equilibria quickly.
 pub fn exact_best_response(game: &Game, profile: &Profile, agent: NodeId) -> BestResponse {
+    let network = profile.build_network(game);
+    exact_best_response_in(game, profile, &network, agent)
+}
+
+/// [`exact_best_response`] reusing an already-built network `G(s)` — the
+/// entry point for the dynamics engine's cached-network evaluation.
+pub fn exact_best_response_in(
+    game: &Game,
+    profile: &Profile,
+    network: &AdjacencyList,
+    agent: NodeId,
+) -> BestResponse {
+    let current = agent_cost_in(game, profile, network, agent).total();
+    let base = base_graph_from(network, profile, agent);
+    let search = BrSearch::new(game, agent, &base);
+
+    let mut worker = BrWorker::fresh(&search, current, profile.strategy(agent));
+    // The empty set is the one subset with no include step: price it here.
+    search.evaluate_current(&mut worker);
+    search.dfs(&mut worker, 0, 0.0);
+
+    BestResponse {
+        strategy: worker.best_set,
+        cost: worker.best_cost,
+        current_cost: current,
+        evaluated: worker.evaluated,
+    }
+}
+
+/// Rayon-parallel exact best response: the include/exclude tree is split
+/// at the first `SPLIT_DEPTH` candidate decisions into `2^SPLIT_DEPTH`
+/// independent subtree searches that run on the rayon pool, each with its
+/// own incumbent seeded by the agent's current cost; results reduce to the
+/// global optimum. Produces exactly the same *cost* as
+/// [`exact_best_response`] (the strategy may differ among ties).
+///
+/// The crossover where the split pays off only exists with a real thread
+/// pool: under the sequential rayon shim (`crates/compat/rayon`) the
+/// split is pure overhead — each subtree re-seeds its incumbent from the
+/// current cost instead of sharing the global one, so prefer
+/// [`exact_best_response`] there (the bench `best_response.rs` and
+/// `BENCH_hotpath.json` quantify the gap).
+pub fn exact_best_response_parallel(
+    game: &Game,
+    profile: &Profile,
+    agent: NodeId,
+) -> BestResponse {
+    use rayon::prelude::*;
+    const SPLIT_DEPTH: usize = 4;
+
+    let network = profile.build_network(game);
+    // The candidate count is n − 1; check it before paying for the search
+    // state (the via table costs n Dijkstras) the sequential path would
+    // rebuild anyway.
+    if game.n().saturating_sub(1) <= SPLIT_DEPTH {
+        return exact_best_response_in(game, profile, &network, agent);
+    }
+    let current = agent_cost_in(game, profile, &network, agent).total();
+    let base = base_graph_from(&network, profile, agent);
+    let search = BrSearch::new(game, agent, &base);
+
+    let split = SPLIT_DEPTH;
+    let results: Vec<(f64, BTreeSet<NodeId>, usize)> = (0u32..(1 << split))
+        .into_par_iter()
+        .map(|prefix_mask| {
+            let mut worker = BrWorker::fresh(&search, current, profile.strategy(agent));
+            let mut edge_w_sum = 0.0;
+            for i in 0..split {
+                if prefix_mask & (1 << i) != 0 {
+                    let v = search.candidates[i];
+                    let w = search.cand_w[i];
+                    worker.inc.add_edge(&search.csr, agent, v, w);
+                    worker.chosen.push(v);
+                    worker.in_set[v as usize] = true;
+                    edge_w_sum += w;
+                }
+            }
+            // Each prefix set is a complete subset in exactly this task:
+            // price it before descending (subsets with includes past the
+            // split are priced at their last include inside the DFS).
+            search.evaluate_current(&mut worker);
+            search.dfs(&mut worker, split, edge_w_sum);
+            (worker.best_cost, worker.best_set, worker.evaluated)
+        })
+        .collect();
+
+    let mut best_cost = current;
+    let mut best_set: BTreeSet<NodeId> = profile.strategy(agent).clone();
+    let mut evaluated = 0usize;
+    for (c, s, e) in results {
+        evaluated += e;
+        if strictly_less(c, best_cost) {
+            best_cost = c;
+            best_set = s;
+        }
+    }
+    BestResponse {
+        strategy: best_set,
+        cost: best_cost,
+        current_cost: current,
+        evaluated,
+    }
+}
+
+/// The historical from-scratch engine: one Dijkstra per leaf, pruned only
+/// by the static host-closure bound. Kept as the equivalence oracle for
+/// the incremental engine (the `br_equivalence` proptests) and as the
+/// baseline the `best_response` bench measures speedups against.
+pub fn exact_best_response_reference(
+    game: &Game,
+    profile: &Profile,
+    agent: NodeId,
+) -> BestResponse {
     let n = game.n();
     let base = base_graph_without(game, profile, agent);
     let network = profile.build_network(game);
@@ -59,11 +375,8 @@ pub fn exact_best_response(game: &Game, profile: &Profile, agent: NodeId) -> Bes
     let mut best_cost = current;
     let mut best_set: BTreeSet<NodeId> = profile.strategy(agent).clone();
     let mut evaluated = 0usize;
-
-    // Iterative DFS over include/exclude decisions. A frame is
-    // (next_index, chosen_so_far, committed_edge_cost).
     let mut chosen: Vec<NodeId> = Vec::new();
-    dfs(
+    dfs_reference(
         game,
         &base,
         agent,
@@ -86,7 +399,7 @@ pub fn exact_best_response(game: &Game, profile: &Profile, agent: NodeId) -> Bes
 }
 
 #[allow(clippy::too_many_arguments)]
-fn dfs(
+fn dfs_reference(
     game: &Game,
     base: &AdjacencyList,
     agent: NodeId,
@@ -101,10 +414,6 @@ fn dfs(
 ) {
     // Admissible bound: committed α-weighted edge cost + host-distance LB.
     if game.alpha() * edge_cost + dist_lb >= *best_cost - gncg_graph::EPS {
-        // No extension (which only adds edge cost) can beat the incumbent,
-        // and neither can completions that stop adding: the one candidate
-        // completion with the committed edge set is also dominated by the
-        // same bound. Evaluate nothing below this node.
         return;
     }
     if idx == candidates.len() {
@@ -118,9 +427,8 @@ fn dfs(
         return;
     }
     let v = candidates[idx];
-    // Branch 1: include v.
     chosen.push(v);
-    dfs(
+    dfs_reference(
         game,
         base,
         agent,
@@ -134,8 +442,7 @@ fn dfs(
         evaluated,
     );
     chosen.pop();
-    // Branch 2: exclude v.
-    dfs(
+    dfs_reference(
         game,
         base,
         agent,
@@ -150,86 +457,6 @@ fn dfs(
     );
 }
 
-/// Rayon-parallel exact best response: the include/exclude tree is split
-/// at the first `SPLIT_DEPTH` candidate decisions into `2^SPLIT_DEPTH`
-/// independent subtree searches that run on the rayon pool, each with its
-/// own incumbent seeded by the agent's current cost; results reduce to the
-/// global optimum. Produces exactly the same *cost* as
-/// [`exact_best_response`] (the strategy may differ among ties).
-///
-/// Worth it from roughly `n ≥ 14` candidates; below that the sequential
-/// search wins (the bench `best_response.rs` quantifies the crossover).
-pub fn exact_best_response_parallel(
-    game: &Game,
-    profile: &Profile,
-    agent: NodeId,
-) -> BestResponse {
-    use rayon::prelude::*;
-    const SPLIT_DEPTH: usize = 4;
-
-    let n = game.n();
-    let base = base_graph_without(game, profile, agent);
-    let network = profile.build_network(game);
-    let current = agent_cost_in(game, profile, &network, agent).total();
-    let dist_lb: f64 = game.host_distances().row(agent).iter().sum();
-
-    let mut candidates: Vec<NodeId> = (0..n as NodeId).filter(|&v| v != agent).collect();
-    candidates.sort_by(|&a, &b| game.w(agent, a).total_cmp(&game.w(agent, b)));
-
-    if candidates.len() <= SPLIT_DEPTH {
-        return exact_best_response(game, profile, agent);
-    }
-
-    let split = SPLIT_DEPTH.min(candidates.len());
-    let results: Vec<(f64, BTreeSet<NodeId>, usize)> = (0u32..(1 << split))
-        .into_par_iter()
-        .map(|prefix_mask| {
-            let mut chosen: Vec<NodeId> = Vec::new();
-            let mut edge_cost = 0.0;
-            for (i, &v) in candidates.iter().take(split).enumerate() {
-                if prefix_mask & (1 << i) != 0 {
-                    chosen.push(v);
-                    edge_cost += game.w(agent, v);
-                }
-            }
-            let mut best_cost = current;
-            let mut best_set: BTreeSet<NodeId> = profile.strategy(agent).clone();
-            let mut evaluated = 0usize;
-            dfs(
-                game,
-                &base,
-                agent,
-                &candidates,
-                split,
-                &mut chosen,
-                edge_cost,
-                dist_lb,
-                &mut best_cost,
-                &mut best_set,
-                &mut evaluated,
-            );
-            (best_cost, best_set, evaluated)
-        })
-        .collect();
-
-    let mut best_cost = current;
-    let mut best_set: BTreeSet<NodeId> = profile.strategy(agent).clone();
-    let mut evaluated = 0usize;
-    for (c, s, e) in results {
-        evaluated += e;
-        if strictly_less(c, best_cost) {
-            best_cost = c;
-            best_set = s;
-        }
-    }
-    BestResponse {
-        strategy: best_set,
-        cost: best_cost,
-        current_cost: current,
-        evaluated,
-    }
-}
-
 /// The best single greedy move (add / delete / swap) of `agent`, if any
 /// strictly improving one exists. Returns the move together with the cost
 /// it achieves.
@@ -237,10 +464,52 @@ pub fn best_greedy_move(game: &Game, profile: &Profile, agent: NodeId) -> Option
     best_move_among(game, profile, agent, &Move::greedy_moves(profile, agent))
 }
 
+/// [`best_greedy_move`] reusing an already-built network.
+pub fn best_greedy_move_in(
+    game: &Game,
+    profile: &Profile,
+    network: &AdjacencyList,
+    agent: NodeId,
+) -> Option<(Move, f64)> {
+    best_greedy_move_in_costed(game, profile, network, agent).1
+}
+
+/// [`best_greedy_move_in`] that also returns the agent's current cost —
+/// the move scan computes it anyway, and the dynamics engine needs both
+/// (one SSSP instead of two per activation).
+pub fn best_greedy_move_in_costed(
+    game: &Game,
+    profile: &Profile,
+    network: &AdjacencyList,
+    agent: NodeId,
+) -> (f64, Option<(Move, f64)>) {
+    best_move_among_in_costed(game, profile, network, agent, &Move::greedy_moves(profile, agent))
+}
+
 /// The best single edge *addition* of `agent`, if an improving one exists
 /// (the move space of Add-only Equilibria).
 pub fn best_add_move(game: &Game, profile: &Profile, agent: NodeId) -> Option<(Move, f64)> {
     best_move_among(game, profile, agent, &Move::add_moves(profile, agent))
+}
+
+/// [`best_add_move`] reusing an already-built network.
+pub fn best_add_move_in(
+    game: &Game,
+    profile: &Profile,
+    network: &AdjacencyList,
+    agent: NodeId,
+) -> Option<(Move, f64)> {
+    best_add_move_in_costed(game, profile, network, agent).1
+}
+
+/// [`best_add_move_in`] that also returns the agent's current cost.
+pub fn best_add_move_in_costed(
+    game: &Game,
+    profile: &Profile,
+    network: &AdjacencyList,
+    agent: NodeId,
+) -> (f64, Option<(Move, f64)>) {
+    best_move_among_in_costed(game, profile, network, agent, &Move::add_moves(profile, agent))
 }
 
 /// Evaluates a set of moves and returns the best strictly-improving one.
@@ -251,8 +520,33 @@ pub fn best_move_among(
     moves: &[Move],
 ) -> Option<(Move, f64)> {
     let network = profile.build_network(game);
-    let current = agent_cost_in(game, profile, &network, agent).total();
-    let base = base_graph_without(game, profile, agent);
+    best_move_among_in(game, profile, &network, agent, moves)
+}
+
+/// [`best_move_among`] reusing an already-built network: the network is
+/// built (or cached) once and the base graph is derived from it, instead
+/// of the historical double build per evaluation.
+pub fn best_move_among_in(
+    game: &Game,
+    profile: &Profile,
+    network: &AdjacencyList,
+    agent: NodeId,
+    moves: &[Move],
+) -> Option<(Move, f64)> {
+    best_move_among_in_costed(game, profile, network, agent, moves).1
+}
+
+/// [`best_move_among_in`] that also returns the agent's current cost,
+/// which the incumbent comparison computes anyway.
+pub fn best_move_among_in_costed(
+    game: &Game,
+    profile: &Profile,
+    network: &AdjacencyList,
+    agent: NodeId,
+    moves: &[Move],
+) -> (f64, Option<(Move, f64)>) {
+    let current = agent_cost_in(game, profile, network, agent).total();
+    let base = base_graph_from(network, profile, agent);
     let own = profile.strategy(agent);
     let mut best: Option<(Move, f64)> = None;
     for m in moves {
@@ -263,7 +557,7 @@ pub fn best_move_among(
             best = Some((m.clone(), c));
         }
     }
-    best
+    (current, best)
 }
 
 /// Prices an explicit move without applying it.
@@ -336,6 +630,47 @@ mod tests {
     }
 
     #[test]
+    fn incremental_matches_reference_cost_exactly() {
+        // Bit-for-bit equivalence of the incremental engine against the
+        // historical from-scratch engine, across α regimes.
+        for seed in 0..4u64 {
+            let host = gncg_metrics::arbitrary::random_metric(8, 1.0, 4.0, seed);
+            for alpha in [0.05, 0.6, 1.5, 4.0, 50.0] {
+                let game = Game::new(host.clone(), alpha);
+                let mut p = Profile::star(8, (seed % 8) as NodeId);
+                p.buy(2, 5);
+                for agent in 0..8u32 {
+                    let inc = exact_best_response(&game, &p, agent);
+                    let refr = exact_best_response_reference(&game, &p, agent);
+                    assert_eq!(
+                        inc.cost, refr.cost,
+                        "seed {seed} α {alpha} agent {agent}: {} vs {}",
+                        inc.cost, refr.cost
+                    );
+                    assert_eq!(inc.current_cost, refr.current_cost);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_strategy_achieves_reported_cost() {
+        for seed in 0..3u64 {
+            let host = gncg_metrics::arbitrary::random_metric(7, 1.0, 5.0, seed + 100);
+            let game = Game::new(host, 1.1);
+            let mut p = Profile::star(7, 0);
+            p.buy(4, 6);
+            for agent in 0..7u32 {
+                let br = exact_best_response(&game, &p, agent);
+                let mut p2 = p.clone();
+                p2.set_strategy(agent, br.strategy.clone());
+                let real = crate::cost::agent_cost(&game, &p2, agent).total();
+                assert!(gncg_graph::approx_eq(real, br.cost), "agent {agent}: {real} vs {}", br.cost);
+            }
+        }
+    }
+
+    #[test]
     fn best_greedy_move_finds_add() {
         // Path 0-1-2-3 with unit weights, α = 0.1: endpoints want shortcuts.
         let game = unit_game(4, 0.1);
@@ -382,13 +717,12 @@ mod tests {
             for agent in 0..9u32 {
                 let seq = exact_best_response(&game, &p, agent);
                 let par = exact_best_response_parallel(&game, &p, agent);
-                assert!(
-                    gncg_graph::approx_eq(seq.cost, par.cost),
+                assert_eq!(
+                    seq.cost, par.cost,
                     "agent {agent} seed {seed}: {} vs {}",
-                    seq.cost,
-                    par.cost
+                    seq.cost, par.cost
                 );
-                assert!(gncg_graph::approx_eq(seq.current_cost, par.current_cost));
+                assert_eq!(seq.current_cost, par.current_cost);
                 // The parallel strategy must achieve its reported cost.
                 let mut p2 = p.clone();
                 p2.set_strategy(agent, par.strategy.clone());
@@ -405,6 +739,20 @@ mod tests {
         let par = exact_best_response_parallel(&game, &p, 1);
         let seq = exact_best_response(&game, &p, 1);
         assert!(gncg_graph::approx_eq(par.cost, seq.cost));
+    }
+
+    #[test]
+    fn br_in_matches_br_with_fresh_network() {
+        let host = gncg_metrics::arbitrary::random_metric(6, 1.0, 3.0, 5);
+        let game = Game::new(host, 2.0);
+        let p = Profile::star(6, 2);
+        let network = p.build_network(&game);
+        for agent in 0..6u32 {
+            let a = exact_best_response(&game, &p, agent);
+            let b = exact_best_response_in(&game, &p, &network, agent);
+            assert_eq!(a.cost, b.cost);
+            assert_eq!(a.strategy, b.strategy);
+        }
     }
 
     #[test]

@@ -11,13 +11,30 @@
 //! * a profile recurs ([`Outcome::Cycle`]) — a finite-improvement-property
 //!   violation witness under deterministic scheduling, or
 //! * the round cap is hit ([`Outcome::MaxRoundsReached`]).
+//!
+//! # Cached-network evaluation
+//!
+//! Every activation needs the built network `G(s)`. Rebuilding it from the
+//! profile per activation is `O(n + m)` redundant work times the length of
+//! the run, so the engine maintains one [`EvalContext`]: the network is
+//! built once at the start and every accepted move is applied to it as
+//! *edge deltas* (the changed agent's dropped edges leave unless co-owned,
+//! its new edges enter unless already present). The context is behaviorally
+//! invisible — `debug_assert`s re-derive the network from the profile after
+//! every applied move, so the equivalence is machine-checked in every
+//! debug-mode test run — and the costs produced are bit-identical to
+//! rebuild-per-activation evaluation because the same graph is handed to
+//! the same solvers.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use gncg_core::response::{best_add_move, best_greedy_move, exact_best_response};
+use gncg_core::response::{
+    best_add_move_in_costed, best_greedy_move_in_costed, exact_best_response_in,
+};
 use gncg_core::{Game, NodeId, Profile};
+use gncg_graph::AdjacencyList;
 
 use crate::cycle::{CycleDetector, Recurrence};
 use crate::trace::{Trace, TraceEntry};
@@ -45,7 +62,7 @@ pub enum Scheduler {
         seed: u64,
     },
     /// Each round activates only the agent with the largest available
-    /// improvement (deterministic).
+    /// improvement (deterministic; ties break towards the smaller id).
     MaxGain,
 }
 
@@ -110,10 +127,70 @@ impl RunResult {
     }
 }
 
+/// An improving strategy change: the new strategy plus the agent's cost
+/// before and after it.
+type Change = (std::collections::BTreeSet<NodeId>, f64, f64);
+
+/// The built network `G(s)`, cached across a run and maintained under
+/// strategy changes as edge deltas.
+#[derive(Clone, Debug)]
+pub struct EvalContext {
+    network: AdjacencyList,
+}
+
+impl EvalContext {
+    /// Builds the context (one full network construction).
+    pub fn new(game: &Game, profile: &Profile) -> Self {
+        EvalContext {
+            network: profile.build_network(game),
+        }
+    }
+
+    /// The current network.
+    #[inline]
+    pub fn network(&self) -> &AdjacencyList {
+        &self.network
+    }
+
+    /// Applies agent `u`'s strategy change as edge deltas. `profile` must
+    /// already hold `u`'s *new* strategy; `old` is the strategy it
+    /// replaced. An edge leaves only when its other endpoint does not also
+    /// own it, and enters only when it is not already present.
+    pub fn apply_strategy_change(
+        &mut self,
+        game: &Game,
+        profile: &Profile,
+        u: NodeId,
+        old: &std::collections::BTreeSet<NodeId>,
+    ) {
+        let new = profile.strategy(u);
+        for &v in old.difference(new) {
+            if !profile.owns(v, u) {
+                self.network.remove_edge(u, v);
+            }
+        }
+        for &v in new.difference(old) {
+            if !self.network.has_edge(u, v) {
+                self.network.add_edge(u, v, game.w(u, v));
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            let rebuilt = profile.build_network(game);
+            let mut a: Vec<_> = self.network.edges().collect();
+            let mut b: Vec<_> = rebuilt.edges().collect();
+            a.sort_by_key(|e| (e.0, e.1));
+            b.sort_by_key(|e| (e.0, e.1));
+            debug_assert_eq!(a, b, "EvalContext delta drifted from the rebuilt network");
+        }
+    }
+}
+
 /// Runs the dynamics from `start` on `game`.
 pub fn run(game: &Game, start: Profile, cfg: &DynamicsConfig) -> RunResult {
     let n = game.n();
     let mut profile = start;
+    let mut ctx = EvalContext::new(game, &profile);
     let mut detector = CycleDetector::new();
     detector.observe(&profile);
     let mut rng = match cfg.scheduler {
@@ -129,25 +206,29 @@ pub fn run(game: &Game, start: Profile, cfg: &DynamicsConfig) -> RunResult {
 
     for round in 0..cfg.max_rounds {
         let mut moved_this_round = false;
-        let order: Vec<NodeId> = match cfg.scheduler {
-            Scheduler::RoundRobin => (0..n as NodeId).collect(),
+        // MaxGain computes each agent's change while scanning; reuse the
+        // winner's instead of recomputing it after scheduling.
+        let scheduled: Vec<(NodeId, Option<Change>)> = match cfg.scheduler {
+            Scheduler::RoundRobin => (0..n as NodeId).map(|u| (u, None)).collect(),
             Scheduler::RandomOrder { .. } => {
                 let mut v: Vec<NodeId> = (0..n as NodeId).collect();
                 v.shuffle(rng.as_mut().expect("rng set for RandomOrder"));
-                v
+                v.into_iter().map(|u| (u, None)).collect()
             }
-            Scheduler::MaxGain => {
-                // Activate only the best-gain agent this round.
-                match max_gain_agent(game, &profile, cfg.rule) {
-                    Some(u) => vec![u],
-                    None => Vec::new(),
-                }
-            }
+            Scheduler::MaxGain => match max_gain_change(game, &profile, &ctx, cfg.rule) {
+                Some((u, change)) => vec![(u, Some(change))],
+                None => Vec::new(),
+            },
         };
-        for u in order {
-            if let Some((new_strategy, before, after)) = improving_change(game, &profile, u, cfg.rule)
-            {
+        for (u, precomputed) in scheduled {
+            let change = match precomputed {
+                Some(c) => Some(c),
+                None => improving_change(game, &profile, &ctx, u, cfg.rule),
+            };
+            if let Some((new_strategy, before, after)) = change {
+                let old = profile.strategy(u).clone();
                 profile.set_strategy(u, new_strategy);
+                ctx.apply_strategy_change(game, &profile, u, &old);
                 moves += 1;
                 moved_this_round = true;
                 if let Some(t) = trace.as_mut() {
@@ -186,49 +267,79 @@ pub fn run(game: &Game, start: Profile, cfg: &DynamicsConfig) -> RunResult {
     }
 }
 
-/// The improving change of `u` under `rule`, with costs before/after.
+/// The improving change of `u` under `rule`, with costs before/after,
+/// evaluated against the context's cached network.
 fn improving_change(
     game: &Game,
     profile: &Profile,
+    ctx: &EvalContext,
     u: NodeId,
     rule: ResponseRule,
-) -> Option<(std::collections::BTreeSet<NodeId>, f64, f64)> {
+) -> Option<Change> {
+    let network = ctx.network();
     match rule {
         ResponseRule::ExactBestResponse => {
-            let br = exact_best_response(game, profile, u);
+            let br = exact_best_response_in(game, profile, network, u);
             if br.improves() {
                 Some((br.strategy, br.current_cost, br.cost))
             } else {
                 None
             }
         }
-        ResponseRule::BestGreedyMove => best_greedy_move(game, profile, u).map(|(m, c)| {
-            let before = gncg_core::cost::agent_cost(game, profile, u).total();
-            (m.apply(u, profile.strategy(u)), before, c)
-        }),
-        ResponseRule::AddOnly => best_add_move(game, profile, u).map(|(m, c)| {
-            let before = gncg_core::cost::agent_cost(game, profile, u).total();
-            (m.apply(u, profile.strategy(u)), before, c)
-        }),
+        ResponseRule::BestGreedyMove => {
+            let (before, best) = best_greedy_move_in_costed(game, profile, network, u);
+            best.map(|(m, c)| (m.apply(u, profile.strategy(u)), before, c))
+        }
+        ResponseRule::AddOnly => {
+            let (before, best) = best_add_move_in_costed(game, profile, network, u);
+            best.map(|(m, c)| (m.apply(u, profile.strategy(u)), before, c))
+        }
     }
 }
 
-/// The agent with the largest improvement under `rule`, if any.
-fn max_gain_agent(game: &Game, profile: &Profile, rule: ResponseRule) -> Option<NodeId> {
-    let mut best: Option<(NodeId, f64)> = None;
-    for u in 0..game.n() as NodeId {
-        if let Some((_, before, after)) = improving_change(game, profile, u, rule) {
-            let gain = if before.is_infinite() && after.is_finite() {
-                f64::INFINITY
-            } else {
-                before - after
-            };
-            if best.is_none_or(|(_, g)| gain > g) {
-                best = Some((u, gain));
-            }
-        }
+/// The agent with the largest improvement under `rule` together with the
+/// improving change itself, so the caller never recomputes it. The scan
+/// over agents fans out on the rayon pool; the reduction is deterministic
+/// (max gain, ties to the smaller agent id), so the schedule matches the
+/// sequential scan exactly.
+fn max_gain_change(
+    game: &Game,
+    profile: &Profile,
+    ctx: &EvalContext,
+    rule: ResponseRule,
+) -> Option<(NodeId, Change)> {
+    use rayon::prelude::*;
+    let winner = (0..game.n() as NodeId)
+        .into_par_iter()
+        .filter_map(|u| {
+            improving_change(game, profile, ctx, u, rule).map(|(s, before, after)| {
+                let gain = if before.is_infinite() && after.is_finite() {
+                    f64::INFINITY
+                } else {
+                    before - after
+                };
+                (u, gain, (s, before, after))
+            })
+        })
+        .reduce(
+            // Sentinel: no agent improves. NodeId::MAX never collides with
+            // a real agent (n is far below 2^32).
+            || (NodeId::MAX, f64::NEG_INFINITY, Default::default()),
+            |a, b| {
+                // Strictly-greater keeps the earlier (smaller-id) agent on
+                // ties, matching the historical sequential scan.
+                if b.1 > a.1 || (b.1 == a.1 && b.0 < a.0) {
+                    b
+                } else {
+                    a
+                }
+            },
+        );
+    if winner.0 == NodeId::MAX {
+        None
+    } else {
+        Some((winner.0, winner.2))
     }
-    best.map(|(u, _)| u)
 }
 
 #[cfg(test)]
@@ -323,6 +434,26 @@ mod tests {
     }
 
     #[test]
+    fn max_gain_matches_round_robin_equilibrium_class() {
+        // MaxGain must land in the same equilibrium class (certified GE)
+        // and its precomputed change must behave like a fresh computation.
+        let host = gncg_metrics::arbitrary::random_metric(6, 1.0, 3.0, 13);
+        let game = Game::new(host, 1.2);
+        let r = run(
+            &game,
+            Profile::star(6, 0),
+            &DynamicsConfig {
+                scheduler: Scheduler::MaxGain,
+                max_rounds: 500,
+                ..Default::default()
+            },
+        );
+        if r.converged() {
+            assert!(gncg_core::equilibrium::is_greedy_equilibrium(&game, &r.profile));
+        }
+    }
+
+    #[test]
     fn random_scheduler_is_seed_deterministic() {
         let host = gncg_metrics::arbitrary::random_metric(6, 1.0, 3.0, 8);
         let game = Game::new(host, 1.0);
@@ -334,6 +465,35 @@ mod tests {
         let b = run(&game, Profile::star(6, 0), &cfg);
         assert_eq!(a.profile, b.profile);
         assert_eq!(a.moves, b.moves);
+    }
+
+    #[test]
+    fn eval_context_tracks_deltas() {
+        let game = unit_game(5, 1.0);
+        let mut p = Profile::star(5, 0);
+        let mut ctx = EvalContext::new(&game, &p);
+        assert_eq!(ctx.network().m(), 4);
+        // Agent 1 buys towards 2 and 3; drop nothing.
+        let old = p.strategy(1).clone();
+        p.set_strategy(1, [2, 3].into_iter().collect());
+        ctx.apply_strategy_change(&game, &p, 1, &old);
+        assert_eq!(ctx.network().m(), 6);
+        assert!(ctx.network().has_edge(1, 2));
+        // Agent 0 drops its edge to 1 — but agent 1 does not own (1,0),
+        // so the edge disappears.
+        let old = p.strategy(0).clone();
+        p.set_strategy(0, [2, 3, 4].into_iter().collect());
+        ctx.apply_strategy_change(&game, &p, 0, &old);
+        assert!(!ctx.network().has_edge(0, 1));
+        // Double-ownership: 2 also buys (2,0); 0 dropping (0,2) keeps it.
+        let old = p.strategy(2).clone();
+        p.buy(2, 0);
+        ctx.apply_strategy_change(&game, &p, 2, &old);
+        assert!(ctx.network().has_edge(0, 2));
+        let old = p.strategy(0).clone();
+        p.set_strategy(0, [3, 4].into_iter().collect());
+        ctx.apply_strategy_change(&game, &p, 0, &old);
+        assert!(ctx.network().has_edge(0, 2), "co-owned edge must survive");
     }
 
     #[test]

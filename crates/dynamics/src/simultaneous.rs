@@ -10,7 +10,7 @@
 
 use std::collections::BTreeSet;
 
-use gncg_core::response::{best_greedy_move, exact_best_response};
+use gncg_core::response::{best_greedy_move_in, exact_best_response_in};
 use gncg_core::{Game, NodeId, Profile};
 
 use crate::cycle::{CycleDetector, Recurrence};
@@ -58,23 +58,27 @@ pub fn run_simultaneous(
     detector.observe(&profile);
     let mut moves = 0usize;
     for round in 0..max_rounds {
+        // All agents respond to the same snapshot, so one network build
+        // serves the whole round (this is exactly the simultaneous-move
+        // semantics: nobody sees anyone else's in-flight change).
+        let network = profile.build_network(game);
         let mut changes: Vec<(NodeId, BTreeSet<NodeId>)> = Vec::new();
         for u in 0..n as NodeId {
             match rule {
                 ResponseRule::ExactBestResponse => {
-                    let br = exact_best_response(game, &profile, u);
+                    let br = exact_best_response_in(game, &profile, &network, u);
                     if br.improves() {
                         changes.push((u, br.strategy));
                     }
                 }
                 ResponseRule::BestGreedyMove => {
-                    if let Some((m, _)) = best_greedy_move(game, &profile, u) {
+                    if let Some((m, _)) = best_greedy_move_in(game, &profile, &network, u) {
                         changes.push((u, m.apply(u, profile.strategy(u))));
                     }
                 }
                 ResponseRule::AddOnly => {
                     if let Some((m, _)) =
-                        gncg_core::response::best_add_move(game, &profile, u)
+                        gncg_core::response::best_add_move_in(game, &profile, &network, u)
                     {
                         changes.push((u, m.apply(u, profile.strategy(u))));
                     }

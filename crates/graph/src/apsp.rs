@@ -8,7 +8,7 @@
 
 use rayon::prelude::*;
 
-use crate::dijkstra::dijkstra;
+use crate::csr::{Csr, DijkstraScratch};
 use crate::{AdjacencyList, NodeId, SymMatrix};
 
 /// A dense all-pairs distance table.
@@ -102,17 +102,27 @@ impl DistanceMatrix {
     }
 }
 
-/// Sequential APSP: one Dijkstra per source.
+/// Sequential APSP: one Dijkstra per source, all sharing one scratch and
+/// one CSR snapshot — the only allocations are the snapshot and the
+/// `n × n` output buffer itself.
 pub fn apsp_sequential(g: &AdjacencyList) -> DistanceMatrix {
     let n = g.n();
-    let mut d = Vec::with_capacity(n * n);
-    for u in 0..n as NodeId {
-        d.extend(dijkstra(g, u));
+    if n == 0 {
+        return DistanceMatrix::from_raw(0, Vec::new());
+    }
+    let csr = Csr::from_adjacency(g);
+    let mut scratch = DijkstraScratch::new();
+    let mut d = vec![f64::INFINITY; n * n];
+    for (u, row) in d.chunks_mut(n).enumerate() {
+        scratch.run(&csr, u as NodeId, &[]);
+        scratch.write_distances(row);
     }
     DistanceMatrix::from_raw(n, d)
 }
 
-/// Parallel APSP: sources fan out on the rayon thread pool.
+/// Parallel APSP: sources fan out on the rayon thread pool, each worker
+/// writing its rows directly into disjoint `par_chunks_mut` slices of one
+/// flat `n × n` buffer (no per-row `Vec` collection and recopy).
 ///
 /// This is the default APSP entry point in the workspace; for the small
 /// graphs of unit tests the sequential path is used automatically to avoid
@@ -122,29 +132,26 @@ pub fn apsp_parallel(g: &AdjacencyList) -> DistanceMatrix {
     if n < 64 {
         return apsp_sequential(g);
     }
-    let rows: Vec<Vec<f64>> = (0..n as NodeId)
-        .into_par_iter()
-        .map(|u| dijkstra(g, u))
-        .collect();
-    let mut d = Vec::with_capacity(n * n);
-    for row in rows {
-        d.extend(row);
-    }
-    DistanceMatrix::from_raw(n, d)
+    apsp_parallel_forced(g)
 }
 
 /// Parallel APSP that always uses the rayon pool regardless of size
 /// (exposed for the parallelism ablation bench).
 pub fn apsp_parallel_forced(g: &AdjacencyList) -> DistanceMatrix {
     let n = g.n();
-    let rows: Vec<Vec<f64>> = (0..n as NodeId)
-        .into_par_iter()
-        .map(|u| dijkstra(g, u))
-        .collect();
-    let mut d = Vec::with_capacity(n * n);
-    for row in rows {
-        d.extend(row);
+    if n == 0 {
+        return DistanceMatrix::from_raw(0, Vec::new());
     }
+    let csr = Csr::from_adjacency(g);
+    let mut d = vec![f64::INFINITY; n * n];
+    // for_each_init: one scratch per worker (one total under the
+    // sequential shim), reused across that worker's rows.
+    d.par_chunks_mut(n)
+        .enumerate()
+        .for_each_init(DijkstraScratch::new, |scratch, (u, row)| {
+            scratch.run(&csr, u as NodeId, &[]);
+            scratch.write_distances(row);
+        });
     DistanceMatrix::from_raw(n, d)
 }
 
@@ -226,6 +233,14 @@ mod tests {
         // Total = 2 * sum over unordered pairs.
         let unordered: f64 = 1.0 + 3.0 + 6.0 + 2.0 + 5.0 + 3.0;
         assert_eq!(d.total_distance_cost(), 2.0 * unordered);
+    }
+
+    #[test]
+    fn empty_graph_apsp_is_empty() {
+        let g = AdjacencyList::new(0);
+        assert_eq!(apsp_sequential(&g).n(), 0);
+        assert_eq!(apsp_parallel_forced(&g).n(), 0);
+        assert_eq!(apsp_parallel(&g).n(), 0);
     }
 
     #[test]

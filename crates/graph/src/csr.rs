@@ -1,0 +1,629 @@
+//! CSR graph views and allocation-free shortest-path engines.
+//!
+//! The game layer prices candidate strategies millions of times per
+//! experiment; this module supplies the machinery that makes every one of
+//! those SSSP calls allocation-free and cache-friendly:
+//!
+//! * [`Csr`] — a compressed-sparse-row snapshot of an [`AdjacencyList`]
+//!   (flat offsets + packed neighbor/weight arrays), built once per search
+//!   and shared by every relaxation over it,
+//! * [`EdgeSource`] — the closure-based neighbor-iteration trait both
+//!   graph representations implement, so one Dijkstra serves both,
+//! * [`DijkstraScratch`] — generation-stamped dist array + a drained,
+//!   reused binary heap: repeated SSSP calls allocate nothing after the
+//!   first (the stamp bump replaces the `O(n)` re-initialisation),
+//! * [`IncrementalSssp`] — a distance vector maintained under **edge
+//!   insertions** with an undo log, the engine under the incremental
+//!   best-response branch-and-bound in `gncg_core::response`.
+//!
+//! # Invariants of the undo-log relaxation
+//!
+//! [`IncrementalSssp`] exploits that inserting an edge can only *decrease*
+//! shortest-path distances. [`IncrementalSssp::add_edge`] seeds a Dijkstra
+//! relaxation from the improved endpoint and records every decreased
+//! `(node, old_dist)` pair in a frame of the undo log;
+//! [`IncrementalSssp::undo`] replays the frame in reverse, restoring the
+//! pre-insertion vector exactly (bitwise: restores are copies of the old
+//! values, not recomputations). Between `add_edge`/`undo` pairs the vector
+//! always equals what a from-scratch Dijkstra on the current edge set
+//! would produce: both compute the exact minimum over identical sets of
+//! left-to-right path prefix sums, so equal values — not merely
+//! approximately equal ones — are guaranteed, which is what lets the
+//! incremental branch-and-bound certify bit-identical costs.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{AdjacencyList, NodeId};
+
+/// Min-heap entry: (distance, node) ordered by distance ascending, ties by
+/// node id — identical ordering to the historical from-scratch Dijkstra so
+/// the two engines traverse equal-cost frontiers in the same order.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct HeapEntry {
+    pub dist: f64,
+    pub node: NodeId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.node == other.node
+    }
+}
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on distance to turn BinaryHeap (max-heap) into a min-heap.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Closure-based neighbor iteration: the one interface every shortest-path
+/// engine in this module relaxes over. Implemented by [`AdjacencyList`]
+/// (array-of-vecs) and [`Csr`] (flat arrays).
+pub trait EdgeSource {
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize;
+
+    /// Calls `f(v, w)` for every neighbor `v` of `u` (with edge weight
+    /// `w`), in the representation's storage order.
+    fn for_each_neighbor<F: FnMut(NodeId, f64)>(&self, u: NodeId, f: F);
+}
+
+impl EdgeSource for AdjacencyList {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.n()
+    }
+
+    #[inline]
+    fn for_each_neighbor<F: FnMut(NodeId, f64)>(&self, u: NodeId, mut f: F) {
+        for &(v, w) in self.neighbors(u) {
+            f(v, w);
+        }
+    }
+}
+
+/// A compressed-sparse-row snapshot of an undirected graph: neighbor ids
+/// and weights packed into two flat arrays indexed by per-node offsets.
+///
+/// Building costs one `O(n + m)` pass; afterwards every relaxation scans
+/// contiguous memory. Use it whenever one graph serves many SSSP calls
+/// (APSP, a best-response search over a fixed base graph).
+#[derive(Clone, Debug)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+    weights: Vec<f64>,
+}
+
+impl Csr {
+    /// Snapshots `g` (neighbor order preserved).
+    pub fn from_adjacency(g: &AdjacencyList) -> Self {
+        let n = g.n();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * g.m());
+        let mut weights = Vec::with_capacity(2 * g.m());
+        offsets.push(0);
+        for u in 0..n as NodeId {
+            for &(v, w) in g.neighbors(u) {
+                targets.push(v);
+                weights.push(w);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Csr {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Neighbor ids of `u`.
+    #[inline]
+    pub fn neighbors_of(&self, u: NodeId) -> &[NodeId] {
+        let (s, e) = self.span(u);
+        &self.targets[s..e]
+    }
+
+    /// Edge weights of `u`, parallel to [`Csr::neighbors_of`].
+    #[inline]
+    pub fn weights_of(&self, u: NodeId) -> &[f64] {
+        let (s, e) = self.span(u);
+        &self.weights[s..e]
+    }
+
+    #[inline]
+    fn span(&self, u: NodeId) -> (usize, usize) {
+        (
+            self.offsets[u as usize] as usize,
+            self.offsets[u as usize + 1] as usize,
+        )
+    }
+}
+
+impl EdgeSource for Csr {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.n()
+    }
+
+    #[inline]
+    fn for_each_neighbor<F: FnMut(NodeId, f64)>(&self, u: NodeId, mut f: F) {
+        let (s, e) = self.span(u);
+        for i in s..e {
+            f(self.targets[i], self.weights[i]);
+        }
+    }
+}
+
+/// Reusable Dijkstra state: after the first call on a given size, running
+/// an SSSP allocates nothing.
+///
+/// The distance array is *generation-stamped*: each run bumps a counter
+/// and an entry is valid only when its stamp matches, so starting a run is
+/// `O(1)` instead of an `O(n)` fill. The heap is drained by the algorithm
+/// itself (only improving entries are pushed) and its buffer is reused.
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    dist: Vec<f64>,
+    stamp: Vec<u32>,
+    generation: u32,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl DijkstraScratch {
+    /// A fresh scratch; arrays grow lazily to the largest graph seen.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.stamp.resize(n, 0);
+        }
+        if self.generation == u32::MAX {
+            // Stamp wrap: invalidate everything once every 2^32 runs.
+            self.stamp.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.heap.clear();
+    }
+
+    /// Distance of `v` from the last run's source (`∞` when unreached or
+    /// out of range for every graph seen so far).
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> f64 {
+        match self.stamp.get(v as usize) {
+            Some(&s) if s == self.generation => self.dist[v as usize],
+            _ => f64::INFINITY,
+        }
+    }
+
+    #[inline]
+    fn improve(&mut self, v: NodeId, d: f64) -> bool {
+        let i = v as usize;
+        if self.stamp[i] != self.generation {
+            // Never first-touch with ∞ (reached only over a forbidden
+            // edge): stamping it would cascade useless heap churn through
+            // unreachable components; untouched nodes already read as ∞.
+            if d < f64::INFINITY {
+                self.stamp[i] = self.generation;
+                self.dist[i] = d;
+                return true;
+            }
+            false
+        } else if d < self.dist[i] {
+            self.dist[i] = d;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs Dijkstra from `source` on `g` with virtual undirected `extra`
+    /// edges overlaid. Distances are read back via
+    /// [`DijkstraScratch::dist`], [`DijkstraScratch::write_distances`], or
+    /// [`DijkstraScratch::sum_distances`].
+    pub fn run<G: EdgeSource>(&mut self, g: &G, source: NodeId, extra: &[(NodeId, NodeId, f64)]) {
+        self.run_masked(g, source, &[], extra)
+    }
+
+    /// [`DijkstraScratch::run`] with edges in `removed` (unordered pairs)
+    /// skipped — the "agent drops its own edges" evaluation.
+    pub fn run_masked<G: EdgeSource>(
+        &mut self,
+        g: &G,
+        source: NodeId,
+        removed: &[(NodeId, NodeId)],
+        extra: &[(NodeId, NodeId, f64)],
+    ) {
+        self.begin(g.num_nodes());
+        self.improve(source, 0.0);
+        self.heap.push(HeapEntry {
+            dist: 0.0,
+            node: source,
+        });
+        let is_removed = |u: NodeId, v: NodeId| {
+            removed
+                .iter()
+                .any(|&(a, b)| (a == u && b == v) || (a == v && b == u))
+        };
+        while let Some(HeapEntry { dist: d, node: u }) = self.heap.pop() {
+            if d > self.dist(u) {
+                continue;
+            }
+            let mut this = ScratchRelax(self);
+            g.for_each_neighbor(u, |v, w| {
+                if !removed.is_empty() && is_removed(u, v) {
+                    return;
+                }
+                this.relax(v, d + w);
+            });
+            for &(a, b, w) in extra {
+                let v = if a == u {
+                    b
+                } else if b == u {
+                    a
+                } else {
+                    continue;
+                };
+                let nd = d + w;
+                if self.improve(v, nd) {
+                    self.heap.push(HeapEntry { dist: nd, node: v });
+                }
+            }
+        }
+    }
+
+    /// Copies the distances of the last run into `out` (any length:
+    /// unreached or out-of-range nodes get `∞`).
+    pub fn write_distances(&self, out: &mut [f64]) {
+        let known = self.dist.len().min(out.len());
+        for (v, slot) in out.iter_mut().enumerate().take(known) {
+            *slot = self.dist(v as NodeId);
+        }
+        out[known..].fill(f64::INFINITY);
+    }
+
+    /// The distances of the last run as a fresh vector.
+    pub fn to_vec(&self, n: usize) -> Vec<f64> {
+        (0..n as NodeId).map(|v| self.dist(v)).collect()
+    }
+
+    /// Index-order sum of the first `n` distances (`∞` when any node is
+    /// unreached) — identical summation order to `dists.iter().sum()` on a
+    /// materialized vector, so totals agree bitwise.
+    pub fn sum_distances(&self, n: usize) -> f64 {
+        let mut s = 0.0;
+        for v in 0..n as NodeId {
+            s += self.dist(v);
+        }
+        s
+    }
+}
+
+/// Borrow adapter letting the [`EdgeSource`] neighbor closure relax into
+/// the scratch while the graph itself stays separately borrowed.
+struct ScratchRelax<'a>(&'a mut DijkstraScratch);
+
+impl ScratchRelax<'_> {
+    #[inline]
+    fn relax(&mut self, v: NodeId, nd: f64) {
+        if self.0.improve(v, nd) {
+            self.0.heap.push(HeapEntry { dist: nd, node: v });
+        }
+    }
+}
+
+/// A single-source distance vector maintained under edge insertions, with
+/// an undo log for exact backtracking — the workhorse of the incremental
+/// best-response search.
+///
+/// See the module docs for the relaxation/undo invariants.
+#[derive(Debug, Default)]
+pub struct IncrementalSssp {
+    source: NodeId,
+    dist: Vec<f64>,
+    undo: Vec<(NodeId, f64)>,
+    frames: Vec<usize>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl IncrementalSssp {
+    /// A fresh engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets to the baseline distance vector `d0` (distances from
+    /// `source` in the current base graph), clearing the undo log.
+    pub fn reset_from(&mut self, source: NodeId, d0: &[f64]) {
+        self.source = source;
+        self.dist.clear();
+        self.dist.extend_from_slice(d0);
+        self.undo.clear();
+        self.frames.clear();
+        self.heap.clear();
+    }
+
+    /// The current distance vector.
+    #[inline]
+    pub fn dist(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// Index-order sum of the current distances (`∞` when disconnected) —
+    /// same summation order as `dist.iter().sum()`.
+    #[inline]
+    pub fn sum(&self) -> f64 {
+        let mut s = 0.0;
+        for &d in &self.dist {
+            s += d;
+        }
+        s
+    }
+
+    /// Number of open (un-undone) insertion frames.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    #[inline]
+    fn lower(&mut self, v: NodeId, nd: f64) -> bool {
+        let i = v as usize;
+        if nd < self.dist[i] {
+            self.undo.push((v, self.dist[i]));
+            self.dist[i] = nd;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts undirected edge `(a, b)` of weight `w` on top of `g` and
+    /// relaxes every distance it improves, recording the changes as one
+    /// undo frame.
+    ///
+    /// # Correctness contract
+    ///
+    /// `g` must be the same base graph the vector was built from, and
+    /// **every inserted edge must be incident to the source** passed to
+    /// [`IncrementalSssp::reset_from`] (enforced by a `debug_assert`).
+    /// Under that contract, relaxing over `g` alone is exact: previously
+    /// inserted edges are all incident to the source, a shortest path
+    /// never re-enters its source, so no improved path can traverse them
+    /// mid-way and their effect is already reflected in the vector. With
+    /// edges *not* incident to the source that argument fails — a later
+    /// insertion could shorten a path that runs *through* an earlier
+    /// inserted edge, which the `g`-only relaxation would never see,
+    /// silently leaving stale distances.
+    pub fn add_edge<G: EdgeSource>(&mut self, g: &G, a: NodeId, b: NodeId, w: f64) {
+        debug_assert!(
+            a == self.source || b == self.source,
+            "IncrementalSssp::add_edge: edge ({a}, {b}) is not incident to source {}",
+            self.source
+        );
+        self.frames.push(self.undo.len());
+        self.heap.clear();
+        for (from, to) in [(a, b), (b, a)] {
+            let df = self.dist[from as usize];
+            if df.is_finite() {
+                let nd = df + w;
+                if self.lower(to, nd) {
+                    self.heap.push(HeapEntry { dist: nd, node: to });
+                }
+            }
+        }
+        while let Some(HeapEntry { dist: d, node: u }) = self.heap.pop() {
+            if d > self.dist[u as usize] {
+                continue;
+            }
+            let mut this = IncRelax(self);
+            g.for_each_neighbor(u, |v, wuv| {
+                this.relax(v, d + wuv);
+            });
+        }
+    }
+}
+
+/// Borrow adapter mirroring [`ScratchRelax`] for the incremental engine.
+struct IncRelax<'a>(&'a mut IncrementalSssp);
+
+impl IncRelax<'_> {
+    #[inline]
+    fn relax(&mut self, v: NodeId, nd: f64) {
+        if self.0.lower(v, nd) {
+            self.0.heap.push(HeapEntry { dist: nd, node: v });
+        }
+    }
+}
+
+impl IncrementalSssp {
+    /// Reverts the most recent [`IncrementalSssp::add_edge`] frame,
+    /// restoring the exact previous vector.
+    ///
+    /// # Panics
+    /// Panics when no frame is open.
+    pub fn undo(&mut self) {
+        let mark = self.frames.pop().expect("undo without an open frame");
+        while self.undo.len() > mark {
+            let (v, old) = self.undo.pop().expect("undo log underflow");
+            self.dist[v as usize] = old;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+
+    fn diamond() -> AdjacencyList {
+        AdjacencyList::from_edges(4, &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 3.0), (2, 3, 1.0)])
+    }
+
+    #[test]
+    fn csr_matches_adjacency() {
+        let g = diamond();
+        let c = Csr::from_adjacency(&g);
+        assert_eq!(c.n(), 4);
+        for u in 0..4u32 {
+            let mut from_adj = Vec::new();
+            g.for_each_neighbor(u, |v, w| from_adj.push((v, w)));
+            let mut from_csr = Vec::new();
+            c.for_each_neighbor(u, |v, w| from_csr.push((v, w)));
+            assert_eq!(from_adj, from_csr);
+            assert_eq!(c.neighbors_of(u).len(), g.degree(u));
+            assert_eq!(c.weights_of(u).len(), g.degree(u));
+        }
+    }
+
+    #[test]
+    fn scratch_matches_fresh_dijkstra_across_reuse() {
+        let g = diamond();
+        let c = Csr::from_adjacency(&g);
+        let mut scratch = DijkstraScratch::new();
+        for _round in 0..3 {
+            for s in 0..4u32 {
+                scratch.run(&c, s, &[]);
+                let fresh = dijkstra(&g, s);
+                assert_eq!(scratch.to_vec(4), fresh, "source {s}");
+                assert_eq!(scratch.sum_distances(4), fresh.iter().sum::<f64>());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_shrinking_and_growing_graphs() {
+        let big = AdjacencyList::from_edges(6, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (4, 5, 1.0)]);
+        let small = diamond();
+        let mut scratch = DijkstraScratch::new();
+        scratch.run(&big, 0, &[]);
+        assert_eq!(scratch.dist(5), 5.0);
+        // A smaller graph after a bigger one must not see stale entries.
+        scratch.run(&small, 0, &[]);
+        assert_eq!(scratch.to_vec(4), dijkstra(&small, 0));
+        scratch.run(&big, 2, &[]);
+        assert_eq!(scratch.to_vec(6), dijkstra(&big, 2));
+    }
+
+    #[test]
+    fn scratch_extra_and_masked() {
+        let g = diamond();
+        let mut scratch = DijkstraScratch::new();
+        scratch.run(&g, 0, &[(0, 3, 0.5)]);
+        assert_eq!(scratch.dist(3), 0.5);
+        assert_eq!(scratch.dist(2), 1.5);
+        scratch.run_masked(&g, 0, &[(0, 1)], &[]);
+        assert_eq!(scratch.dist(1), 5.0);
+        assert_eq!(scratch.dist(3), 4.0);
+    }
+
+    #[test]
+    fn scratch_disconnected_sum_is_infinite() {
+        let mut g = AdjacencyList::new(3);
+        g.add_edge(0, 1, 1.0);
+        let mut scratch = DijkstraScratch::new();
+        scratch.run(&g, 0, &[]);
+        assert_eq!(scratch.dist(2), f64::INFINITY);
+        assert!(scratch.sum_distances(3).is_infinite());
+        let mut out = vec![0.0; 3];
+        scratch.write_distances(&mut out);
+        assert_eq!(out, vec![0.0, 1.0, f64::INFINITY]);
+        // A longer output buffer gets ∞ past the graph, not a panic.
+        let mut long = vec![0.0; 6];
+        scratch.write_distances(&mut long);
+        assert_eq!(long, vec![0.0, 1.0, f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY]);
+    }
+
+    #[test]
+    fn incremental_insert_matches_fresh_and_undo_restores() {
+        let g = diamond();
+        let c = Csr::from_adjacency(&g);
+        let d0 = dijkstra(&g, 0);
+        let mut inc = IncrementalSssp::new();
+        inc.reset_from(0, &d0);
+
+        inc.add_edge(&c, 0, 3, 0.5);
+        let mut with_edge = g.clone();
+        with_edge.add_edge(0, 3, 0.5);
+        assert_eq!(inc.dist(), dijkstra(&with_edge, 0).as_slice());
+
+        inc.add_edge(&c, 0, 2, 0.25);
+        let mut with_both = with_edge.clone();
+        with_both.add_edge(0, 2, 0.25);
+        assert_eq!(inc.dist(), dijkstra(&with_both, 0).as_slice());
+
+        inc.undo();
+        assert_eq!(inc.dist(), dijkstra(&with_edge, 0).as_slice());
+        inc.undo();
+        assert_eq!(inc.dist(), d0.as_slice());
+        assert_eq!(inc.depth(), 0);
+    }
+
+    #[test]
+    fn incremental_connects_disconnected_source() {
+        // Source starts isolated: all-∞ except itself; inserting an edge
+        // must propagate finite distances outward.
+        let mut g = AdjacencyList::new(4);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        let d0 = dijkstra(&g, 0);
+        assert!(d0[1].is_infinite());
+        let mut inc = IncrementalSssp::new();
+        inc.reset_from(0, &d0);
+        inc.add_edge(&g, 0, 1, 2.0);
+        assert_eq!(inc.dist(), &[0.0, 2.0, 3.0, 4.0]);
+        inc.undo();
+        assert_eq!(inc.dist(), d0.as_slice());
+    }
+
+    #[test]
+    fn incremental_sum_matches_vector_sum() {
+        let g = diamond();
+        let mut inc = IncrementalSssp::new();
+        inc.reset_from(0, &dijkstra(&g, 0));
+        inc.add_edge(&g, 0, 3, 0.5);
+        let manual: f64 = inc.dist().iter().sum();
+        assert_eq!(inc.sum(), manual);
+    }
+
+    #[test]
+    #[should_panic]
+    fn undo_without_frame_panics() {
+        IncrementalSssp::new().undo();
+    }
+
+    #[test]
+    #[should_panic(expected = "not incident to source")]
+    #[cfg(debug_assertions)]
+    fn add_edge_off_source_violates_contract() {
+        // Inserting an edge not incident to the source breaks the
+        // relaxation invariant (see add_edge docs); the contract is
+        // enforced in debug builds.
+        let g = diamond();
+        let mut inc = IncrementalSssp::new();
+        inc.reset_from(0, &dijkstra(&g, 0));
+        inc.add_edge(&g, 1, 2, 0.1);
+    }
+}

@@ -1,44 +1,22 @@
 //! Single-source shortest paths (Dijkstra) on [`AdjacencyList`] graphs.
 //!
 //! The game layer evaluates agent costs — sums of shortest-path distances —
-//! millions of times per experiment, so this module is the hot path. It uses
-//! a binary heap over a total-order wrapper for `f64` and supports early
-//! exit and virtual extra edges (for "what if agent `u` bought edge `e`"
-//! evaluations without mutating the graph).
+//! millions of times per experiment, so this module is the hot path. Since
+//! the incremental-engine refactor the actual relaxation lives in
+//! [`crate::csr`]: every function here drives a thread-local
+//! [`DijkstraScratch`], so repeated calls reuse the heap and the
+//! generation-stamped distance array instead of allocating fresh ones.
+//! Only materializing the returned `Vec<f64>` allocates; callers on the
+//! hottest paths (APSP, best-response search) use the scratch API directly
+//! and skip even that.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::cell::RefCell;
 
+use crate::csr::DijkstraScratch;
 use crate::{AdjacencyList, NodeId};
 
-/// Min-heap entry: (distance, node) ordered by distance ascending.
-#[derive(Copy, Clone, Debug)]
-struct HeapEntry {
-    dist: f64,
-    node: NodeId,
-}
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist && self.node == other.node
-    }
-}
-impl Eq for HeapEntry {}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse on distance to turn BinaryHeap (max-heap) into a min-heap.
-        other
-            .dist
-            .total_cmp(&self.dist)
-            .then_with(|| other.node.cmp(&self.node))
-    }
+thread_local! {
+    static SCRATCH: RefCell<DijkstraScratch> = RefCell::new(DijkstraScratch::new());
 }
 
 /// Computes shortest-path distances from `source` to every node.
@@ -49,7 +27,7 @@ pub fn dijkstra(g: &AdjacencyList, source: NodeId) -> Vec<f64> {
 
 /// Dijkstra with additional *virtual* undirected edges overlaid on `g`.
 ///
-/// This is the workhorse of best-response evaluation: to price a candidate
+/// This is the workhorse of single-move evaluation: to price a candidate
 /// strategy `S_u` the solver runs Dijkstra from `u` on the graph
 /// `G − (u's old edges) ∪ (u's candidate edges)` without copying it.
 /// `extra` edges apply in both directions.
@@ -58,48 +36,15 @@ pub fn dijkstra_with_extra(
     source: NodeId,
     extra: &[(NodeId, NodeId, f64)],
 ) -> Vec<f64> {
-    let n = g.n();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut heap = BinaryHeap::with_capacity(n);
-    dist[source as usize] = 0.0;
-    heap.push(HeapEntry {
-        dist: 0.0,
-        node: source,
-    });
-
-    // Pre-bucket extra edges per endpoint for O(1) lookup in the relax loop.
-    // extra is tiny (an agent's strategy), so a linear scan is fine.
-    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
-        if d > dist[u as usize] {
-            continue;
-        }
-        for &(v, w) in g.neighbors(u) {
-            let nd = d + w;
-            if nd < dist[v as usize] {
-                dist[v as usize] = nd;
-                heap.push(HeapEntry { dist: nd, node: v });
-            }
-        }
-        for &(a, b, w) in extra {
-            let v = if a == u {
-                b
-            } else if b == u {
-                a
-            } else {
-                continue;
-            };
-            let nd = d + w;
-            if nd < dist[v as usize] {
-                dist[v as usize] = nd;
-                heap.push(HeapEntry { dist: nd, node: v });
-            }
-        }
-    }
-    dist
+    SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        s.run(g, source, extra);
+        s.to_vec(g.n())
+    })
 }
 
-/// Dijkstra that ignores every edge incident to `source` that appears in
-/// `removed` (as an unordered pair), with `extra` virtual edges added.
+/// Dijkstra that ignores every edge in `removed` (as unordered pairs),
+/// with `extra` virtual edges added.
 ///
 /// Used to evaluate strategy changes: agent `u`'s owned edges are removed
 /// and the candidate strategy's edges are overlaid.
@@ -109,45 +54,49 @@ pub fn dijkstra_masked(
     removed: &[(NodeId, NodeId)],
     extra: &[(NodeId, NodeId, f64)],
 ) -> Vec<f64> {
+    SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        s.run_masked(g, source, removed, extra);
+        s.to_vec(g.n())
+    })
+}
+
+/// Textbook Dijkstra with per-call allocation — deliberately **not**
+/// built on [`DijkstraScratch`].
+///
+/// This is the independent test oracle: every production SSSP entry point
+/// (including `exact_best_response_reference`) runs on the shared scratch
+/// core, so equivalence tests comparing them to each other could not
+/// catch a defect *in that core*. Comparing against this self-contained
+/// implementation can. Not a production entry point — use [`dijkstra`].
+pub fn dijkstra_reference(g: &AdjacencyList, source: NodeId) -> Vec<f64> {
+    #[derive(Copy, Clone, PartialEq)]
+    struct Entry(f64, NodeId);
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other.0.total_cmp(&self.0).then_with(|| other.1.cmp(&self.1))
+        }
+    }
     let n = g.n();
     let mut dist = vec![f64::INFINITY; n];
-    let mut heap = BinaryHeap::with_capacity(n);
+    let mut heap = std::collections::BinaryHeap::new();
     dist[source as usize] = 0.0;
-    heap.push(HeapEntry {
-        dist: 0.0,
-        node: source,
-    });
-    let is_removed = |u: NodeId, v: NodeId| {
-        removed
-            .iter()
-            .any(|&(a, b)| (a == u && b == v) || (a == v && b == u))
-    };
-    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+    heap.push(Entry(0.0, source));
+    while let Some(Entry(d, u)) = heap.pop() {
         if d > dist[u as usize] {
             continue;
         }
         for &(v, w) in g.neighbors(u) {
-            if is_removed(u, v) {
-                continue;
-            }
             let nd = d + w;
             if nd < dist[v as usize] {
                 dist[v as usize] = nd;
-                heap.push(HeapEntry { dist: nd, node: v });
-            }
-        }
-        for &(a, b, w) in extra {
-            let v = if a == u {
-                b
-            } else if b == u {
-                a
-            } else {
-                continue;
-            };
-            let nd = d + w;
-            if nd < dist[v as usize] {
-                dist[v as usize] = nd;
-                heap.push(HeapEntry { dist: nd, node: v });
+                heap.push(Entry(nd, v));
             }
         }
     }
@@ -156,8 +105,13 @@ pub fn dijkstra_masked(
 
 /// Sum of distances from `source` to all nodes (the *distance cost*
 /// `d_G(u, V)` of the paper). Infinite if any node is unreachable.
+/// Allocation-free: sums straight out of the thread-local scratch.
 pub fn distance_cost(g: &AdjacencyList, source: NodeId) -> f64 {
-    dijkstra(g, source).iter().sum()
+    SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        s.run(g, source, &[]);
+        s.sum_distances(g.n())
+    })
 }
 
 #[cfg(test)]
@@ -228,5 +182,40 @@ mod tests {
         let g = AdjacencyList::from_edges(3, &[(0, 1, 0.0), (1, 2, 1.0)]);
         let d = dijkstra(&g, 0);
         assert_eq!(d, vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn scratch_core_matches_independent_reference() {
+        // dijkstra() runs on the shared scratch core; dijkstra_reference
+        // is self-contained. Agreement here is the one check that does
+        // not route both sides through DijkstraScratch.
+        let g = diamond();
+        for s in 0..4u32 {
+            assert_eq!(dijkstra(&g, s), dijkstra_reference(&g, s));
+        }
+        let mut h = AdjacencyList::new(7);
+        for i in 0..6u32 {
+            h.add_edge(i, i + 1, 0.5 + i as f64);
+        }
+        h.add_edge(0, 4, 3.25);
+        for s in 0..7u32 {
+            assert_eq!(dijkstra(&h, s), dijkstra_reference(&h, s));
+        }
+    }
+
+    #[test]
+    fn repeated_calls_reuse_scratch_consistently() {
+        // The thread-local scratch must never leak state between calls on
+        // different graphs or sources.
+        let g = diamond();
+        let mut h = AdjacencyList::new(6);
+        h.add_edge(0, 5, 2.0);
+        for _ in 0..4 {
+            assert_eq!(dijkstra(&g, 0), vec![0.0, 1.0, 3.0, 2.0]);
+            let dh = dijkstra(&h, 0);
+            assert_eq!(dh[5], 2.0);
+            assert!(dh[3].is_infinite());
+            assert_eq!(dijkstra(&g, 3), vec![2.0, 1.0, 1.0, 0.0]);
+        }
     }
 }

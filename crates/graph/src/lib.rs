@@ -10,8 +10,11 @@
 //!
 //! * [`SymMatrix`] — dense symmetric `f64` weight storage for host graphs,
 //! * [`AdjacencyList`] — sparse built networks `G(s)`,
+//! * [`csr`] — CSR graph snapshots, the allocation-free
+//!   [`DijkstraScratch`], and the undo-logged [`IncrementalSssp`] engine
+//!   under the incremental best-response search,
 //! * [`dijkstra`] / [`apsp`] — single-source and (rayon-parallel) all-pairs
-//!   shortest paths,
+//!   shortest paths, running on the scratch engine,
 //! * [`mst`] — Prim/Kruskal minimum spanning trees,
 //! * [`tree`] — edge-weighted trees and their metric closure (the `T–GNCG`
 //!   host-graph factory substrate),
@@ -24,6 +27,7 @@
 pub mod adjacency;
 pub mod apsp;
 pub mod bfs;
+pub mod csr;
 pub mod dijkstra;
 pub mod matrix;
 pub mod mst;
@@ -35,6 +39,7 @@ pub mod unionfind;
 
 pub use adjacency::AdjacencyList;
 pub use apsp::DistanceMatrix;
+pub use csr::{Csr, DijkstraScratch, EdgeSource, IncrementalSssp};
 pub use matrix::SymMatrix;
 pub use tree::WeightedTree;
 

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Snapshot the hot-path benchmarks into BENCH_hotpath.json.
+#
+# Runs the criterion benches `best_response`, `apsp`, and `dynamics`
+# (via the hermetic criterion shim in crates/compat/criterion, which
+# appends one JSON line per benchmark under target/criterion-lite/),
+# then aggregates medians — plus the tracked derived figure
+# `incremental_speedup_n14` = exact_bnb_reference/14 ÷ exact_bnb/14 —
+# into BENCH_hotpath.json at the repo root, so every PR leaves a perf
+# trajectory point behind.
+#
+# Knobs: CRITERION_LITE_SAMPLES (default 10 per group),
+#        CRITERION_LITE_SAMPLE_MS (default 20 ms per sample).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPO_ROOT="$PWD"
+OUT_DIR="$REPO_ROOT/target/criterion-lite"
+export CRITERION_LITE_OUT="$OUT_DIR"
+
+rm -rf "$OUT_DIR"
+mkdir -p "$OUT_DIR"
+
+for bench in best_response apsp dynamics; do
+    echo "== cargo bench --bench $bench" >&2
+    cargo bench -p gncg-bench --bench "$bench" >&2
+done
+
+python3 - "$OUT_DIR" "$REPO_ROOT/BENCH_hotpath.json" <<'PY'
+import json, pathlib, sys, datetime
+
+out_dir, dest = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
+medians = {}
+for f in sorted(out_dir.glob("*.jsonl")):
+    for line in f.read_text().splitlines():
+        rec = json.loads(line)
+        # Last write wins: reruns within one snapshot supersede.
+        medians[rec["benchmark"]] = rec["median_ns"]
+
+snapshot = {
+    "generated_by": "scripts/bench_snapshot.sh",
+    "date": datetime.date.today().isoformat(),
+    "median_ns": dict(sorted(medians.items())),
+}
+ref = medians.get("best_response/exact_bnb_reference/14")
+inc = medians.get("best_response/exact_bnb/14")
+if ref and inc:
+    snapshot["incremental_speedup_n14"] = round(ref / inc, 2)
+
+dest.write_text(json.dumps(snapshot, indent=2) + "\n")
+print(f"wrote {dest} ({len(medians)} benchmarks)")
+if "incremental_speedup_n14" in snapshot:
+    print(f"incremental_speedup_n14 = {snapshot['incremental_speedup_n14']}x")
+PY

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification flow: lint clean, build, test.
+#
+# `cargo clippy -- -D warnings` runs first so a lint regression fails the
+# flow before the (longer) build + test steps.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo clippy (deny warnings)" >&2
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release" >&2
+cargo build --release
+
+echo "== cargo test" >&2
+cargo test -q

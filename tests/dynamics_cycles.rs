@@ -13,7 +13,7 @@ use gncg_constructions::br_cycles::{
 fn theorem14_fig5_improving_cycle() {
     let game = fig5_game(1.0);
     // Seed located by offline search; the certifier re-validates each move.
-    let cycle = find_improving_move_cycle(&game, 16, 40_000)
+    let cycle = find_improving_move_cycle(&game, 13, 40_000)
         .expect("an improving-move cycle must exist on the Fig. 5 instance");
     assert!(certify_improving_cycle(&game, &cycle));
     assert!(cycle.len() >= 2);
