@@ -55,9 +55,7 @@ fn bench_sweep_parallelism(c: &mut Criterion) {
         })
     });
     group.bench_function("rayon", |b| {
-        b.iter(|| {
-            gncg_dynamics::parallel::sweep(&hosts, &alphas, &cfg, |_, n| Profile::star(n, 0))
-        })
+        b.iter(|| gncg_dynamics::parallel::sweep(&hosts, &alphas, &cfg, |_, n| Profile::star(n, 0)))
     });
     group.finish();
 }

@@ -61,10 +61,8 @@ fn bench_geometric_path_family(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
                 let g = gncg_constructions::geometric_path::game(n, 2.0);
-                let ne =
-                    social_cost(&g, &gncg_constructions::geometric_path::star_profile(n));
-                let opt =
-                    social_cost(&g, &gncg_constructions::geometric_path::path_profile(n));
+                let ne = social_cost(&g, &gncg_constructions::geometric_path::star_profile(n));
+                let opt = social_cost(&g, &gncg_constructions::geometric_path::path_profile(n));
                 ne / opt
             })
         });

@@ -13,15 +13,19 @@ fn bench_enumeration(c: &mut Criterion) {
     for n in [4usize, 5] {
         for (name, host) in [
             ("unit", gncg_metrics::unit::unit_host(n)),
-            ("tree", gncg_metrics::treemetric::random_tree(n, 1.0, 3.0, 1).metric_closure()),
-            ("metric", gncg_metrics::arbitrary::random_metric(n, 1.0, 4.0, 1)),
+            (
+                "tree",
+                gncg_metrics::treemetric::random_tree(n, 1.0, 3.0, 1).metric_closure(),
+            ),
+            (
+                "metric",
+                gncg_metrics::arbitrary::random_metric(n, 1.0, 4.0, 1),
+            ),
         ] {
             let game = Game::new(host, 2.0);
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &game,
-                |b, g| b.iter(|| gncg_solvers::stability::enumerate_equilibria(g)),
-            );
+            group.bench_with_input(BenchmarkId::new(name, n), &game, |b, g| {
+                b.iter(|| gncg_solvers::stability::enumerate_equilibria(g))
+            });
         }
     }
     group.finish();

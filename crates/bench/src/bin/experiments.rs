@@ -74,23 +74,18 @@ fn main() {
     }
 }
 
+/// The model-variant hosts the cross-variant experiments sweep, built
+/// through the scenario registry (one construction API for every driver).
 fn hosts(n: usize) -> Vec<(&'static str, gncg_graph::SymMatrix)> {
-    vec![
-        ("1-2", gncg_metrics::onetwo::random(n, 0.4, 7)),
-        (
-            "tree",
-            gncg_metrics::treemetric::random_tree(n, 1.0, 4.0, 7).metric_closure(),
-        ),
-        (
-            "R2",
-            gncg_metrics::euclidean::PointSet::random(n, 2, 10.0, 7)
-                .host_matrix(gncg_metrics::euclidean::Norm::L2),
-        ),
-        (
-            "metric",
-            gncg_metrics::arbitrary::random_metric(n, 1.0, 5.0, 7),
-        ),
-    ]
+    ["onetwo", "tree", "r2", "metric"]
+        .into_iter()
+        .map(|key| {
+            (
+                key,
+                gncg_metrics::factory::build_host(key, n, 7).expect("registered factory key"),
+            )
+        })
+        .collect()
 }
 
 fn e01_lemma1() -> Vec<Check> {
@@ -127,8 +122,7 @@ fn e02_lemma2() -> Vec<Check> {
             let game = Game::new(host.clone(), alpha);
             let opt = gncg_solvers::opt_exact::social_optimum(&game);
             let net = opt.profile.build_network(&game);
-            let stretch =
-                gncg_graph::spanner::max_stretch(&net, game.host_distances());
+            let stretch = gncg_graph::spanner::max_stretch(&net, game.host_distances());
             worst = worst.max(stretch / (alpha / 2.0 + 1.0));
         }
         out.push(Check {
@@ -199,8 +193,8 @@ fn e04_ae_factors() -> Vec<Check> {
             if !run.converged() {
                 continue;
             }
-            worst_ge = worst_ge
-                .max(greedy_approximation_factor(&game, &run.profile) / (alpha + 1.0));
+            worst_ge =
+                worst_ge.max(greedy_approximation_factor(&game, &run.profile) / (alpha + 1.0));
             worst_ne = worst_ne
                 .max(nash_approximation_factor(&game, &run.profile) / (3.0 * (alpha + 1.0)));
         }
@@ -282,8 +276,11 @@ fn e06_vertex_cover() -> Vec<Check> {
             id: "E06",
             what: format!("Thm 4 gadget on {name}"),
             paper: format!("u's BR ≡ min vertex cover (size {})", min.len()),
-            measured: format!("BR bought {} vertex nodes, cover: {}", bought.len(),
-                gadget.instance.is_cover(&bought)),
+            measured: format!(
+                "BR bought {} vertex nodes, cover: {}",
+                bought.len(),
+                gadget.instance.is_cover(&bought)
+            ),
             pass: ok,
         });
         // NE-decision: minimum cover profile is stable for u.
@@ -370,8 +367,7 @@ fn e09_one_two_poa() -> Vec<Check> {
         for n_param in [3, 5, 7] {
             let c = CliqueOfStars::alpha_below_one(n_param);
             let game = c.game(alpha);
-            let r =
-                social_cost(&game, &c.ne_profile()) / social_cost(&game, &c.opt_profile());
+            let r = social_cost(&game, &c.ne_profile()) / social_cost(&game, &c.opt_profile());
             series += &format!("N={n_param}: {r:.4}  ");
             last = r;
         }
@@ -517,7 +513,9 @@ fn e13_sc_tree() -> Vec<Check> {
 }
 
 fn e14_fig5_cycle() -> Vec<Check> {
-    use gncg_constructions::br_cycles::{certify_improving_cycle, fig5_game, find_improving_move_cycle};
+    use gncg_constructions::br_cycles::{
+        certify_improving_cycle, fig5_game, find_improving_move_cycle,
+    };
     let game = fig5_game(1.0);
     let cycle = find_improving_move_cycle(&game, 16, 60_000);
     let (found, len, certified) = match &cycle {
@@ -574,8 +572,11 @@ fn e16_sc_rd() -> Vec<Check> {
             id: "E16",
             what: format!("Thm 16 gadget under {norm:?}"),
             paper: format!("u's BR ≡ min set cover (size {min})"),
-            measured: format!("BR cover size {}, valid: {}", cover.len(),
-                g.instance.is_cover(&cover)),
+            measured: format!(
+                "BR cover size {}, valid: {}",
+                cover.len(),
+                g.instance.is_cover(&cover)
+            ),
             pass: g.instance.is_cover(&cover) && cover.len() == min,
         });
     }
@@ -632,8 +633,10 @@ fn e19_theorem18() -> Vec<Check> {
         id: "E19",
         what: "Thm 18: 4-node ratio formula".into(),
         paper: "(3α³+24α²+40α+24)/(α³+10α²+32α+24)".into(),
-        measured: format!("max |measured − formula| = {max_err:.2e}; α→∞ limit {:.4}",
-            poa::rd_pnorm_lower_bound(1e9)),
+        measured: format!(
+            "max |measured − formula| = {max_err:.2e}; α→∞ limit {:.4}",
+            poa::rd_pnorm_lower_bound(1e9)
+        ),
         pass: max_err < 1e-9,
     }]
 }
@@ -646,8 +649,7 @@ fn e20_cross_polytope() -> Vec<Check> {
     for d in [1, 2, 3, 4] {
         let g = cp::game(d, alpha);
         let ne_ok = is_nash_equilibrium(&g, &cp::ne_profile(d));
-        let measured =
-            social_cost(&g, &cp::ne_profile(d)) / social_cost(&g, &cp::opt_profile(d));
+        let measured = social_cost(&g, &cp::ne_profile(d)) / social_cost(&g, &cp::opt_profile(d));
         let formula = poa::l1_lower_bound(alpha, d);
         rows += &format!("d={d}: {measured:.4} (NE {ne_ok})  ");
         ok &= ne_ok && (measured - formula).abs() < 1e-9;
@@ -844,9 +846,8 @@ fn e28_one_inf_row() -> Vec<Check> {
                 forbidden_used = true;
             }
             let opt = gncg_solvers::opt_heuristic::social_optimum_heuristic(&game, 40);
-            max_ratio = max_ratio.max(
-                social_cost(&game, &run.profile) / opt.cost / poa::general_upper_bound(alpha),
-            );
+            max_ratio = max_ratio
+                .max(social_cost(&game, &run.profile) / opt.cost / poa::general_upper_bound(alpha));
         }
     }
     vec![Check {
@@ -891,26 +892,31 @@ fn e29_lemma4_pipeline() -> Vec<Check> {
 }
 
 fn e24_convergence() -> Vec<Check> {
-    use gncg_dynamics::{DynamicsConfig, ResponseRule, Scheduler};
-    let hosts: Vec<gncg_graph::SymMatrix> = (0..6)
-        .map(|s| gncg_metrics::arbitrary::random_metric(7, 1.0, 4.0, s))
-        .collect();
-    let cfg = DynamicsConfig {
-        rule: ResponseRule::BestGreedyMove,
-        scheduler: Scheduler::RoundRobin,
+    // Convergence statistics over a declarative scenario grid: metric
+    // hosts × α grid × seeds, sharded by the batch engine.
+    use gncg_suite::scenario::{RuleSpec, ScenarioSpec, SchedSpec};
+    let spec = ScenarioSpec {
+        name: "e24-convergence".into(),
+        hosts: vec!["metric".into()],
+        ns: vec![7],
+        alphas: vec![0.5, 1.0, 2.0, 4.0],
+        rules: vec![RuleSpec::Greedy],
+        schedulers: vec![SchedSpec::RoundRobin],
+        seeds: (0..6).collect(),
         max_rounds: 400,
-        record_trace: false,
+        base_seed: 24,
     };
-    let points = gncg_dynamics::parallel::sweep(&hosts, &[0.5, 1.0, 2.0, 4.0], &cfg, |_, n| {
-        Profile::star(n, 0)
-    });
-    let rate = gncg_dynamics::parallel::convergence_rate(&points);
+    let results = gncg_suite::scenario::run_cells(&spec).expect("valid spec");
+    let converged = results.iter().filter(|r| r.outcome == "converged").count();
+    let rate = converged as f64 / results.len() as f64;
     vec![Check {
         id: "E24",
-        what: "dynamics convergence statistics".into(),
+        what: "dynamics convergence statistics (scenario grid)".into(),
         paper: "no FIP ⇒ convergence not guaranteed (but common)".into(),
-        measured: format!("{}/{} runs converged (rate {rate:.2})",
-            points.iter().filter(|p| p.result.converged()).count(), points.len()),
+        measured: format!(
+            "{converged}/{} cells converged (rate {rate:.2})",
+            results.len()
+        ),
         pass: rate > 0.0,
     }]
 }

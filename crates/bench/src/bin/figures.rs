@@ -22,8 +22,7 @@ use std::path::PathBuf;
 
 use gncg_bench::report::Series;
 use gncg_core::cost::social_cost;
-use gncg_core::{poa, Game};
-use gncg_dynamics::ResponseRule;
+use gncg_core::poa;
 
 fn main() {
     let dir: PathBuf = std::env::args()
@@ -51,8 +50,7 @@ fn fig3(dir: &std::path::Path) {
         for alpha in [0.5, 0.75] {
             let c = CliqueOfStars::alpha_below_one(n_param);
             let game = c.game(alpha);
-            let r =
-                social_cost(&game, &c.ne_profile()) / social_cost(&game, &c.opt_profile());
+            let r = social_cost(&game, &c.ne_profile()) / social_cost(&game, &c.opt_profile());
             s.push(vec![n_param as f64, alpha, r, 3.0 / (alpha + 2.0)]);
         }
     }
@@ -139,13 +137,29 @@ fn table1(dir: &std::path::Path) {
 }
 
 fn diameter(dir: &std::path::Path) {
+    // The one dynamics-driven series. This is a *paired* design: the same
+    // three registry-built 1-2 hosts (seeds 0..3) are swept across every
+    // α, so the diameter trend is not confounded with host-to-host
+    // variance — which is why the hosts are pinned here instead of taking
+    // a ScenarioSpec's per-cell derived seeds. One engine is reused
+    // across all runs.
+    use gncg_core::{Game, Profile};
+    use gncg_dynamics::{DynamicsConfig, Engine, ResponseRule};
+    let mut engine = Engine::new();
+    let cfg = DynamicsConfig {
+        rule: ResponseRule::BestGreedyMove,
+        max_rounds: 500,
+        ..Default::default()
+    };
+    let hosts: Vec<_> = (0..3u64)
+        .map(|seed| gncg_metrics::factory::build_host("onetwo", 10, seed).expect("registered key"))
+        .collect();
     let mut s = Series::new(&["alpha", "max_diameter", "sqrt_alpha"]);
     for alpha in [2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0] {
         let mut max_d: f64 = 0.0;
-        for seed in 0..3u64 {
-            let host = gncg_metrics::onetwo::random(10, 0.4, seed);
-            let game = Game::new(host, alpha);
-            let run = gncg_bench::dynamics_from_star(&game, ResponseRule::BestGreedyMove, 500);
+        for host in &hosts {
+            let game = Game::new(host.clone(), alpha);
+            let run = engine.run(&game, Profile::star(game.n(), 0), &cfg);
             if !run.converged() {
                 continue;
             }

@@ -8,7 +8,10 @@ pub mod report;
 
 use gncg_core::cost::social_cost;
 use gncg_core::{Game, Profile};
-use gncg_dynamics::{DynamicsConfig, ResponseRule, RunResult, Scheduler};
+
+// The star-start dynamics wiring lives in the scenario layer now; the
+// experiment harness re-exports it so call sites read the same.
+pub use gncg_suite::scenario::dynamics_from_star;
 
 /// A single experiment check: a labelled paper claim with a measured
 /// value and a pass verdict.
@@ -38,24 +41,6 @@ impl Check {
             self.measured
         )
     }
-}
-
-/// Runs capped dynamics under `rule` from a star.
-pub fn dynamics_from_star(
-    game: &Game,
-    rule: ResponseRule,
-    max_rounds: usize,
-) -> RunResult {
-    gncg_dynamics::run(
-        game,
-        Profile::star(game.n(), 0),
-        &DynamicsConfig {
-            rule,
-            scheduler: Scheduler::RoundRobin,
-            max_rounds,
-            record_trace: false,
-        },
-    )
 }
 
 /// Measured equilibrium/OPT ratio using the exact OPT (requires n ≤ 9).

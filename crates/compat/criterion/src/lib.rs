@@ -106,7 +106,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark with an input value.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -137,9 +142,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let id = BenchmarkId {
-            id: id.into(),
-        };
+        let id = BenchmarkId { id: id.into() };
         self.bench_with_input(id, &(), |b, _| f(b))
     }
 
@@ -156,7 +159,11 @@ impl BenchmarkGroup<'_> {
             "{{\"benchmark\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"samples\":{}}}\n",
             full, b.median_ns, b.mean_ns, b.sample_size
         );
-        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&file) {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&file)
+        {
             let _ = f.write_all(line.as_bytes());
         }
     }
@@ -164,7 +171,13 @@ impl BenchmarkGroup<'_> {
 
 fn sanitize(s: &str) -> String {
     s.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

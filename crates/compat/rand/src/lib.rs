@@ -224,7 +224,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..20).collect::<Vec<_>>());
-        assert_ne!(v, (0..20).collect::<Vec<_>>(), "20! permutations: identity is essentially impossible");
+        assert_ne!(
+            v,
+            (0..20).collect::<Vec<_>>(),
+            "20! permutations: identity is essentially impossible"
+        );
     }
 
     #[test]

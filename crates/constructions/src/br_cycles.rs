@@ -107,7 +107,11 @@ impl BestResponseCycle {
 ///
 /// `budget` bounds the total number of best-response moves tried across
 /// restarts.
-pub fn find_best_response_cycle(game: &Game, seed: u64, budget: usize) -> Option<BestResponseCycle> {
+pub fn find_best_response_cycle(
+    game: &Game,
+    seed: u64,
+    budget: usize,
+) -> Option<BestResponseCycle> {
     let n = game.n();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut spent = 0usize;

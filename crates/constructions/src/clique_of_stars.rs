@@ -182,10 +182,7 @@ mod tests {
         let c = CliqueOfStars::alpha_below_one(2);
         for alpha in [0.5, 0.75, 0.99] {
             let game = c.game(alpha);
-            assert!(
-                is_nash_equilibrium(&game, &c.ne_profile()),
-                "α = {alpha}"
-            );
+            assert!(is_nash_equilibrium(&game, &c.ne_profile()), "α = {alpha}");
         }
     }
 
@@ -225,9 +222,11 @@ mod tests {
             for n_param in [2, 3, 4] {
                 let c = CliqueOfStars::alpha_below_one(n_param);
                 let game = c.game(alpha);
-                let r =
-                    social_cost(&game, &c.ne_profile()) / social_cost(&game, &c.opt_profile());
-                assert!(r < bound + 1e-9, "α={alpha} N={n_param}: {r} vs bound {bound}");
+                let r = social_cost(&game, &c.ne_profile()) / social_cost(&game, &c.opt_profile());
+                assert!(
+                    r < bound + 1e-9,
+                    "α={alpha} N={n_param}: {r} vs bound {bound}"
+                );
                 assert!(r > prev, "ratio must grow with N (α={alpha}, N={n_param})");
                 prev = r;
             }

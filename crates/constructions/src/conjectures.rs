@@ -13,9 +13,7 @@
 use gncg_core::{poa, Game};
 use gncg_metrics::euclidean::{Norm, PointSet};
 
-use crate::br_cycles::{
-    certify_improving_cycle, find_improving_move_cycle, ImprovingMoveCycle,
-};
+use crate::br_cycles::{certify_improving_cycle, find_improving_move_cycle, ImprovingMoveCycle};
 
 /// Searches for an FIP violation under `norm` on random planar point sets
 /// (Conjecture 1). Returns the first certified improving-move cycle.
@@ -133,9 +131,7 @@ mod tests {
     #[test]
     fn conjecture1_probe_interface() {
         // Smoke-test with a tiny budget: no crash; a found cycle certifies.
-        if let Some((seed, cycle)) =
-            conjecture1_probe(Norm::L2, 6, 1.0, 0..2, 2_000)
-        {
+        if let Some((seed, cycle)) = conjecture1_probe(Norm::L2, 6, 1.0, 0..2, 2_000) {
             let points = PointSet::random(6, 2, 4.0, seed);
             let game = Game::new(points.host_matrix(Norm::L2), 1.0);
             assert!(certify_improving_cycle(&game, &cycle));

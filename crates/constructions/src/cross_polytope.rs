@@ -103,8 +103,7 @@ mod tests {
         for d in [1, 2, 3] {
             for alpha in [0.5, 1.0, 3.0, 8.0] {
                 let g = game(d, alpha);
-                let measured =
-                    social_cost(&g, &ne_profile(d)) / social_cost(&g, &opt_profile(d));
+                let measured = social_cost(&g, &ne_profile(d)) / social_cost(&g, &opt_profile(d));
                 let formula = ratio_formula(d, alpha);
                 assert!(
                     (measured - formula).abs() < 1e-9,

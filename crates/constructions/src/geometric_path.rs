@@ -77,10 +77,7 @@ mod tests {
         let g = game(4, alpha);
         // w(v0, vi) = (1+2/α)^{i-1} = 2^{i-1} for α = 2.
         for i in 1..=4u32 {
-            assert!(gncg_graph::approx_eq(
-                g.w(0, i),
-                2f64.powi(i as i32 - 1)
-            ));
+            assert!(gncg_graph::approx_eq(g.w(0, i), 2f64.powi(i as i32 - 1)));
         }
         // Consecutive gaps: (2/α)(1+2/α)^{i-2} = 2^{i-2}.
         assert!(gncg_graph::approx_eq(g.w(1, 2), 1.0));
@@ -144,8 +141,7 @@ mod tests {
     fn theorem18_ratio_matches_measured_4_nodes() {
         for alpha in [0.5, 1.0, 2.0, 5.0, 10.0] {
             let g = game(3, alpha); // v0..v3 — 4 nodes
-            let measured =
-                social_cost(&g, &star_profile(3)) / social_cost(&g, &path_profile(3));
+            let measured = social_cost(&g, &star_profile(3)) / social_cost(&g, &path_profile(3));
             let formula = theorem18_ratio(alpha);
             assert!(
                 (measured - formula).abs() < 1e-9,

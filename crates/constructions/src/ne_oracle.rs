@@ -179,8 +179,7 @@ mod tests {
     fn full_vertex_start_exercises_shrinking_loop() {
         // Starting from the full vertex set forces several shrink rounds.
         let g = CoverGraph::new(4, &[(0, 1), (1, 2), (2, 3)]);
-        let (cover, stats) =
-            min_cover_via_ne_oracle_from(&g, (0..4).collect());
+        let (cover, stats) = min_cover_via_ne_oracle_from(&g, (0..4).collect());
         assert!(g.is_cover(&cover));
         assert_eq!(cover.len(), exact_min_cover(&g).len());
         assert!(

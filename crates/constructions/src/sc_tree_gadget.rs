@@ -232,7 +232,9 @@ mod tests {
         assert!(br.improves(), "u must profit from buying set edges");
         // Strategy consists solely of set nodes.
         assert!(
-            br.strategy.iter().all(|&v| (2..2 + g.m() as NodeId).contains(&v)),
+            br.strategy
+                .iter()
+                .all(|&v| (2..2 + g.m() as NodeId).contains(&v)),
             "BR must buy set nodes only, got {:?}",
             br.strategy
         );

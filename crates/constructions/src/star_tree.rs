@@ -139,8 +139,7 @@ mod tests {
         for n in [3, 10, 100, 10_000] {
             for alpha in [0.25, 1.0, 7.0, 40.0] {
                 assert!(
-                    ratio_formula(n, alpha)
-                        <= gncg_core::poa::metric_upper_bound(alpha) + 1e-12
+                    ratio_formula(n, alpha) <= gncg_core::poa::metric_upper_bound(alpha) + 1e-12
                 );
             }
         }

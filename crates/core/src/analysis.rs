@@ -130,7 +130,10 @@ mod tests {
         assert!(gncg_graph::approx_eq(r.social_cost, direct));
         // Edge cost = α·4 = 8; distance = 4 + 4·7 = 32.
         assert!(gncg_graph::approx_eq(r.total_edge_cost, 8.0));
-        assert!(gncg_graph::approx_eq(r.total_distance_cost, 4.0 + 4.0 * 7.0));
+        assert!(gncg_graph::approx_eq(
+            r.total_distance_cost,
+            4.0 + 4.0 * 7.0
+        ));
     }
 
     fn game_for() -> Game {

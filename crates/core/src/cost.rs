@@ -41,7 +41,12 @@ pub fn edge_cost(game: &Game, profile: &Profile, u: NodeId) -> f64 {
 }
 
 /// Full cost of agent `u`, given the already-built network of `profile`.
-pub fn agent_cost_in(game: &Game, profile: &Profile, network: &AdjacencyList, u: NodeId) -> CostBreakdown {
+pub fn agent_cost_in(
+    game: &Game,
+    profile: &Profile,
+    network: &AdjacencyList,
+    u: NodeId,
+) -> CostBreakdown {
     let dist: f64 = dijkstra(network, u).iter().sum();
     CostBreakdown {
         edge_cost: edge_cost(game, profile, u),
@@ -81,10 +86,8 @@ pub fn candidate_cost(
     u: NodeId,
     candidate: &BTreeSet<NodeId>,
 ) -> CostBreakdown {
-    let extra: Vec<(NodeId, NodeId, f64)> = candidate
-        .iter()
-        .map(|&v| (u, v, game.w(u, v)))
-        .collect();
+    let extra: Vec<(NodeId, NodeId, f64)> =
+        candidate.iter().map(|&v| (u, v, game.w(u, v))).collect();
     let dist: f64 = dijkstra_with_extra(base, u, &extra).iter().sum();
     let edge: f64 = game.alpha() * candidate.iter().map(|&v| game.w(u, v)).sum::<f64>();
     CostBreakdown {

@@ -139,7 +139,10 @@ mod tests {
         let moves = Move::greedy_moves(&p, 0);
         assert_eq!(moves.len(), 5);
         let adds = moves.iter().filter(|m| matches!(m, Move::Add(_))).count();
-        let dels = moves.iter().filter(|m| matches!(m, Move::Delete(_))).count();
+        let dels = moves
+            .iter()
+            .filter(|m| matches!(m, Move::Delete(_)))
+            .count();
         let swaps = moves.iter().filter(|m| matches!(m, Move::Swap(..))).count();
         assert_eq!((adds, dels, swaps), (2, 1, 2));
     }

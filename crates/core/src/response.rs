@@ -65,7 +65,9 @@ use std::collections::BTreeSet;
 
 use gncg_graph::{strictly_less, AdjacencyList, Csr, DijkstraScratch, IncrementalSssp, NodeId};
 
-use crate::cost::{agent_cost_in, base_graph_from, base_graph_without, candidate_cost, CostBreakdown};
+use crate::cost::{
+    agent_cost_in, base_graph_from, base_graph_without, candidate_cost, CostBreakdown,
+};
 use crate::{Game, Move, Profile};
 
 /// Result of a best-response computation.
@@ -261,6 +263,24 @@ pub fn exact_best_response_in(
     agent: NodeId,
 ) -> BestResponse {
     let current = agent_cost_in(game, profile, network, agent).total();
+    exact_best_response_given_current(game, profile, network, agent, current)
+}
+
+/// [`exact_best_response_in`] with the agent's current cost supplied by
+/// the caller — the entry point for the dynamics engine's warm per-agent
+/// distance vectors, which price the current strategy without the
+/// per-activation Dijkstra `agent_cost_in` would run.
+///
+/// `current` must equal `agent_cost_in(game, profile, network, agent)
+/// .total()` exactly (it seeds the incumbent, so a too-low value could
+/// prune the true optimum).
+pub fn exact_best_response_given_current(
+    game: &Game,
+    profile: &Profile,
+    network: &AdjacencyList,
+    agent: NodeId,
+    current: f64,
+) -> BestResponse {
     let base = base_graph_from(network, profile, agent);
     let search = BrSearch::new(game, agent, &base);
 
@@ -290,11 +310,7 @@ pub fn exact_best_response_in(
 /// current cost instead of sharing the global one, so prefer
 /// [`exact_best_response`] there (the bench `best_response.rs` and
 /// `BENCH_hotpath.json` quantify the gap).
-pub fn exact_best_response_parallel(
-    game: &Game,
-    profile: &Profile,
-    agent: NodeId,
-) -> BestResponse {
+pub fn exact_best_response_parallel(game: &Game, profile: &Profile, agent: NodeId) -> BestResponse {
     use rayon::prelude::*;
     const SPLIT_DEPTH: usize = 4;
 
@@ -483,7 +499,13 @@ pub fn best_greedy_move_in_costed(
     network: &AdjacencyList,
     agent: NodeId,
 ) -> (f64, Option<(Move, f64)>) {
-    best_move_among_in_costed(game, profile, network, agent, &Move::greedy_moves(profile, agent))
+    best_move_among_in_costed(
+        game,
+        profile,
+        network,
+        agent,
+        &Move::greedy_moves(profile, agent),
+    )
 }
 
 /// The best single edge *addition* of `agent`, if an improving one exists
@@ -509,7 +531,13 @@ pub fn best_add_move_in_costed(
     network: &AdjacencyList,
     agent: NodeId,
 ) -> (f64, Option<(Move, f64)>) {
-    best_move_among_in_costed(game, profile, network, agent, &Move::add_moves(profile, agent))
+    best_move_among_in_costed(
+        game,
+        profile,
+        network,
+        agent,
+        &Move::add_moves(profile, agent),
+    )
 }
 
 /// Evaluates a set of moves and returns the best strictly-improving one.
@@ -546,6 +574,23 @@ pub fn best_move_among_in_costed(
     moves: &[Move],
 ) -> (f64, Option<(Move, f64)>) {
     let current = agent_cost_in(game, profile, network, agent).total();
+    (
+        current,
+        best_move_among_given_current(game, profile, network, agent, current, moves),
+    )
+}
+
+/// [`best_move_among_in_costed`] with the agent's current cost supplied
+/// by the caller (see [`exact_best_response_given_current`] for the
+/// contract on `current`).
+pub fn best_move_among_given_current(
+    game: &Game,
+    profile: &Profile,
+    network: &AdjacencyList,
+    agent: NodeId,
+    current: f64,
+    moves: &[Move],
+) -> Option<(Move, f64)> {
     let base = base_graph_from(network, profile, agent);
     let own = profile.strategy(agent);
     let mut best: Option<(Move, f64)> = None;
@@ -557,7 +602,7 @@ pub fn best_move_among_in_costed(
             best = Some((m.clone(), c));
         }
     }
-    (current, best)
+    best
 }
 
 /// Prices an explicit move without applying it.
@@ -600,7 +645,11 @@ mod tests {
         let game = unit_game(5, 0.01);
         let p = Profile::star(5, 0);
         let br = exact_best_response(&game, &p, 2);
-        assert_eq!(br.strategy.len(), 3, "buy direct edges to all non-neighbors");
+        assert_eq!(
+            br.strategy.len(),
+            3,
+            "buy direct edges to all non-neighbors"
+        );
         assert!(br.improves());
     }
 
@@ -623,7 +672,11 @@ mod tests {
         for agent in 0..8 {
             let br = exact_best_response(&game, &p, agent);
             if let Some((_, g)) = best_greedy_move(&game, &p, agent) {
-                assert!(br.cost <= g + 1e-9, "agent {agent}: BR {} > greedy {g}", br.cost);
+                assert!(
+                    br.cost <= g + 1e-9,
+                    "agent {agent}: BR {} > greedy {g}",
+                    br.cost
+                );
             }
             assert!(br.cost <= br.current_cost + 1e-9);
         }
@@ -665,7 +718,11 @@ mod tests {
                 let mut p2 = p.clone();
                 p2.set_strategy(agent, br.strategy.clone());
                 let real = crate::cost::agent_cost(&game, &p2, agent).total();
-                assert!(gncg_graph::approx_eq(real, br.cost), "agent {agent}: {real} vs {}", br.cost);
+                assert!(
+                    gncg_graph::approx_eq(real, br.cost),
+                    "agent {agent}: {real} vs {}",
+                    br.cost
+                );
             }
         }
     }
@@ -774,8 +831,10 @@ mod tests {
         let base = base_graph_without(&game, &p, 3);
         let mut brute = f64::INFINITY;
         for mask in 1u32..8 {
-            let set: BTreeSet<NodeId> =
-                (0..3).filter(|&i| mask & (1 << i) != 0).map(|i| i as NodeId).collect();
+            let set: BTreeSet<NodeId> = (0..3)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| i as NodeId)
+                .collect();
             let c = candidate_cost(&game, &base, 3, &set).total();
             brute = brute.min(c);
         }

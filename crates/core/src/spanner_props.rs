@@ -77,10 +77,7 @@ mod tests {
         // A path on the unit metric has stretch n-1; for small α this
         // exceeds α+1 — and indeed a path is not an AE there.
         let game = Game::new(SymMatrix::filled(6, 1.0), 0.5);
-        let p = Profile::from_owned_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
-        );
+        let p = Profile::from_owned_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
         assert!(!satisfies_lemma1(&game, &p));
         assert!(!crate::equilibrium::is_add_only_equilibrium(&game, &p));
     }

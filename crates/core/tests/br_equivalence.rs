@@ -31,8 +31,11 @@ fn game(n: usize) -> impl Strategy<Value = Game> {
 
 /// A connected-ish random profile: a star with extra purchases.
 fn profile(n: usize) -> impl Strategy<Value = Profile> {
-    ((0u32..n as u32), proptest::collection::vec(proptest::bool::weighted(0.2), n * n)).prop_map(
-        move |(center, bits)| {
+    (
+        (0u32..n as u32),
+        proptest::collection::vec(proptest::bool::weighted(0.2), n * n),
+    )
+        .prop_map(move |(center, bits)| {
             let mut p = Profile::star(n, center);
             for u in 0..n {
                 for v in 0..n {
@@ -42,8 +45,7 @@ fn profile(n: usize) -> impl Strategy<Value = Profile> {
                 }
             }
             p
-        },
-    )
+        })
 }
 
 proptest! {

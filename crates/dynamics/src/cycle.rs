@@ -58,6 +58,14 @@ impl CycleDetector {
     pub fn distinct(&self) -> usize {
         self.seen.len()
     }
+
+    /// Forgets every observation, keeping the map's allocation — the
+    /// [`Engine`](crate::engine::Engine) resets detectors across batch
+    /// cells this way instead of reallocating.
+    pub fn clear(&mut self) {
+        self.seen.clear();
+        self.steps = 0;
+    }
 }
 
 #[cfg(test)]

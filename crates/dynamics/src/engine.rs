@@ -12,29 +12,49 @@
 //!   violation witness under deterministic scheduling, or
 //! * the round cap is hit ([`Outcome::MaxRoundsReached`]).
 //!
-//! # Cached-network evaluation
+//! # The reusable [`Engine`]
 //!
-//! Every activation needs the built network `G(s)`. Rebuilding it from the
-//! profile per activation is `O(n + m)` redundant work times the length of
-//! the run, so the engine maintains one [`EvalContext`]: the network is
-//! built once at the start and every accepted move is applied to it as
-//! *edge deltas* (the changed agent's dropped edges leave unless co-owned,
-//! its new edges enter unless already present). The context is behaviorally
-//! invisible — `debug_assert`s re-derive the network from the profile after
-//! every applied move, so the equivalence is machine-checked in every
-//! debug-mode test run — and the costs produced are bit-identical to
-//! rebuild-per-activation evaluation because the same graph is handed to
-//! the same solvers.
+//! Batch workloads (the scenario grid runner, the experiment harness)
+//! execute thousands of runs back to back. All per-run scratch — the
+//! cached network, the per-agent warm distance vectors, the
+//! cycle-detector map — lives in an [`Engine`] and is *reset*, not
+//! reallocated, between runs: construct one `Engine` per worker shard and
+//! feed it cells. The free function [`run`] remains as the one-shot
+//! convenience wrapper (it builds a throwaway `Engine`).
+//!
+//! # Cached-network evaluation and warm distance vectors
+//!
+//! Every activation needs the built network `G(s)` and the activated
+//! agent's current cost. The engine maintains one [`EvalContext`]:
+//!
+//! * the network is built once at the start and every accepted move is
+//!   applied to it as *edge deltas* (the changed agent's dropped edges
+//!   leave unless co-owned, its new edges enter unless already present);
+//! * the context keeps **per-agent distance vectors warm across rounds**:
+//!   an agent's current distance cost is read from its warm vector
+//!   instead of the per-activation base Dijkstra the engine historically
+//!   ran. Accepted moves that only *insert* edges are applied to every
+//!   warm vector as decrease-only relaxations
+//!   ([`IncrementalSssp::relax_insert`]); moves that remove an edge
+//!   invalidate the vectors (deletions can lengthen distances), and each
+//!   vector is lazily recomputed on its owner's next activation.
+//!
+//! The context is behaviorally invisible — `debug_assert`s re-derive the
+//! network from the profile and every valid warm vector from a fresh
+//! Dijkstra after each applied move, so the equivalence is
+//! machine-checked in every debug-mode test run — and the costs produced
+//! are bit-identical to rebuild-per-activation evaluation: warm vectors
+//! equal a fresh Dijkstra's output exactly (both take exact minima over
+//! identical sets of left-to-right path prefix sums, see
+//! `gncg_graph::csr`), and sums are taken in the same index order.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use gncg_core::response::{
-    best_add_move_in_costed, best_greedy_move_in_costed, exact_best_response_in,
-};
-use gncg_core::{Game, NodeId, Profile};
-use gncg_graph::AdjacencyList;
+use gncg_core::response::{best_move_among_given_current, exact_best_response_given_current};
+use gncg_core::{Game, Move, NodeId, Profile};
+use gncg_graph::{AdjacencyList, DijkstraScratch, IncrementalSssp};
 
 use crate::cycle::{CycleDetector, Recurrence};
 use crate::trace::{Trace, TraceEntry};
@@ -114,6 +134,11 @@ pub struct RunResult {
     pub profile: Profile,
     /// Why the run ended.
     pub outcome: Outcome,
+    /// Rounds executed (for [`Outcome::Converged`] this includes the
+    /// final silent round; for [`Outcome::Cycle`] the round the
+    /// recurrence was observed in; for [`Outcome::MaxRoundsReached`] the
+    /// cap itself).
+    pub rounds: usize,
     /// Total applied moves.
     pub moves: usize,
     /// Optional per-move trace.
@@ -131,19 +156,40 @@ impl RunResult {
 /// before and after it.
 type Change = (std::collections::BTreeSet<NodeId>, f64, f64);
 
-/// The built network `G(s)`, cached across a run and maintained under
-/// strategy changes as edge deltas.
-#[derive(Clone, Debug)]
+/// The built network `G(s)` plus per-agent warm distance vectors, cached
+/// across a run and maintained under strategy changes (see the module
+/// docs for the delta/warm invariants).
+#[derive(Debug, Default)]
 pub struct EvalContext {
     network: AdjacencyList,
+    /// Warm per-agent distance vectors (`warm[u]` from source `u` in the
+    /// current network); entry `u` is meaningful only when `valid[u]`.
+    warm: Vec<IncrementalSssp>,
+    valid: Vec<bool>,
+    /// Scratch for (re)computing a warm vector from scratch.
+    scratch: DijkstraScratch,
+    dist_buf: Vec<f64>,
 }
 
 impl EvalContext {
-    /// Builds the context (one full network construction).
+    /// Builds a context for `profile` on `game` (one full network
+    /// construction; warm vectors fill lazily).
     pub fn new(game: &Game, profile: &Profile) -> Self {
-        EvalContext {
-            network: profile.build_network(game),
+        let mut ctx = EvalContext::default();
+        ctx.reset(game, profile);
+        ctx
+    }
+
+    /// Re-targets the context at a new run, reusing every allocation the
+    /// previous run left behind.
+    pub fn reset(&mut self, game: &Game, profile: &Profile) {
+        self.network = profile.build_network(game);
+        let n = game.n();
+        if self.warm.len() < n {
+            self.warm.resize_with(n, IncrementalSssp::new);
         }
+        self.valid.clear();
+        self.valid.resize(n, false);
     }
 
     /// The current network.
@@ -152,10 +198,69 @@ impl EvalContext {
         &self.network
     }
 
+    /// Makes agent `u`'s warm distance vector valid (fresh Dijkstra when
+    /// it was invalidated by an edge-removing move or never computed).
+    pub fn ensure_warm(&mut self, u: NodeId) {
+        if self.valid[u as usize] {
+            return;
+        }
+        let n = self.network.n();
+        self.scratch.run(&self.network, u, &[]);
+        self.dist_buf.clear();
+        self.dist_buf.resize(n, f64::INFINITY);
+        self.scratch.write_distances(&mut self.dist_buf);
+        self.warm[u as usize].reset_from(u, &self.dist_buf);
+        self.valid[u as usize] = true;
+    }
+
+    /// Warms every agent's distance vector, fanning the cold recomputes
+    /// over the rayon pool (each is an independent Dijkstra; workers use
+    /// private scratch) — the MaxGain pre-pass, which would otherwise
+    /// serialize `n` Dijkstras after every removal-bearing move.
+    pub fn ensure_all_warm(&mut self) {
+        use rayon::prelude::*;
+        let n = self.network.n();
+        let network = &self.network;
+        let valid = &self.valid;
+        self.warm[..n].par_chunks_mut(1).enumerate().for_each_init(
+            || (DijkstraScratch::new(), Vec::new()),
+            |(scratch, buf): &mut (DijkstraScratch, Vec<f64>), (u, slot)| {
+                if valid[u] {
+                    return;
+                }
+                scratch.run(network, u as NodeId, &[]);
+                buf.clear();
+                buf.resize(n, f64::INFINITY);
+                scratch.write_distances(buf);
+                slot[0].reset_from(u as NodeId, buf);
+            },
+        );
+        self.valid[..n].fill(true);
+    }
+
+    /// Agent `u`'s distance cost `d_G(u, V)` read off its warm vector.
+    /// Requires a prior [`EvalContext::ensure_warm`] for `u`.
+    #[inline]
+    pub fn distance_sum(&self, u: NodeId) -> f64 {
+        debug_assert!(self.valid[u as usize], "distance_sum on a cold vector");
+        self.warm[u as usize].sum()
+    }
+
+    /// Agent `u`'s full current cost `α·w(u, S_u) + d_G(u, V)` — the
+    /// warm-vector replacement for the per-activation Dijkstra of
+    /// `agent_cost_in`. Same addition order, bit-identical totals.
+    #[inline]
+    pub fn current_cost(&self, game: &Game, profile: &Profile, u: NodeId) -> f64 {
+        gncg_core::cost::edge_cost(game, profile, u) + self.distance_sum(u)
+    }
+
     /// Applies agent `u`'s strategy change as edge deltas. `profile` must
     /// already hold `u`'s *new* strategy; `old` is the strategy it
     /// replaced. An edge leaves only when its other endpoint does not also
     /// own it, and enters only when it is not already present.
+    ///
+    /// Warm vectors survive insert-only changes (decrease-only
+    /// relaxation); any removal invalidates them all.
     pub fn apply_strategy_change(
         &mut self,
         game: &Game,
@@ -164,14 +269,33 @@ impl EvalContext {
         old: &std::collections::BTreeSet<NodeId>,
     ) {
         let new = profile.strategy(u);
+        let mut removed_any = false;
         for &v in old.difference(new) {
             if !profile.owns(v, u) {
                 self.network.remove_edge(u, v);
+                removed_any = true;
             }
         }
+        let mut inserted: Vec<(NodeId, f64)> = Vec::new();
         for &v in new.difference(old) {
             if !self.network.has_edge(u, v) {
-                self.network.add_edge(u, v, game.w(u, v));
+                let w = game.w(u, v);
+                self.network.add_edge(u, v, w);
+                inserted.push((v, w));
+            }
+        }
+        if removed_any {
+            self.valid.fill(false);
+        } else if !inserted.is_empty() {
+            // Decrease-only delta: relax each new edge into every warm
+            // vector against the live network (which already holds all of
+            // them — the relax_insert contract).
+            for (inc, &valid) in self.warm.iter_mut().zip(self.valid.iter()) {
+                if valid {
+                    for &(v, w) in &inserted {
+                        inc.relax_insert(&self.network, u, v, w);
+                    }
+                }
             }
         }
         #[cfg(debug_assertions)]
@@ -182,124 +306,183 @@ impl EvalContext {
             a.sort_by_key(|e| (e.0, e.1));
             b.sort_by_key(|e| (e.0, e.1));
             debug_assert_eq!(a, b, "EvalContext delta drifted from the rebuilt network");
+            for (x, (inc, &valid)) in self.warm.iter().zip(self.valid.iter()).enumerate() {
+                if valid {
+                    let fresh = gncg_graph::dijkstra::dijkstra(&self.network, x as NodeId);
+                    debug_assert_eq!(
+                        inc.dist(),
+                        fresh.as_slice(),
+                        "warm distance vector of agent {x} drifted from a fresh Dijkstra"
+                    );
+                }
+            }
         }
     }
 }
 
-/// Runs the dynamics from `start` on `game`.
-pub fn run(game: &Game, start: Profile, cfg: &DynamicsConfig) -> RunResult {
-    let n = game.n();
-    let mut profile = start;
-    let mut ctx = EvalContext::new(game, &profile);
-    let mut detector = CycleDetector::new();
-    detector.observe(&profile);
-    let mut rng = match cfg.scheduler {
-        Scheduler::RandomOrder { seed } => Some(StdRng::seed_from_u64(seed)),
-        _ => None,
-    };
-    let mut trace = if cfg.record_trace {
-        Some(Trace::default())
-    } else {
-        None
-    };
-    let mut moves = 0usize;
+/// A reusable dynamics engine: owns every piece of per-run scratch (the
+/// [`EvalContext`], the cycle detector) and resets it between runs, so
+/// batch cells (scenario grids, sweeps, the experiment harness) pay the
+/// allocations once per worker instead of once per run.
+#[derive(Debug, Default)]
+pub struct Engine {
+    ctx: EvalContext,
+    detector: CycleDetector,
+}
 
-    for round in 0..cfg.max_rounds {
-        let mut moved_this_round = false;
-        // MaxGain computes each agent's change while scanning; reuse the
-        // winner's instead of recomputing it after scheduling.
-        let scheduled: Vec<(NodeId, Option<Change>)> = match cfg.scheduler {
-            Scheduler::RoundRobin => (0..n as NodeId).map(|u| (u, None)).collect(),
-            Scheduler::RandomOrder { .. } => {
-                let mut v: Vec<NodeId> = (0..n as NodeId).collect();
-                v.shuffle(rng.as_mut().expect("rng set for RandomOrder"));
-                v.into_iter().map(|u| (u, None)).collect()
-            }
-            Scheduler::MaxGain => match max_gain_change(game, &profile, &ctx, cfg.rule) {
-                Some((u, change)) => vec![(u, Some(change))],
-                None => Vec::new(),
-            },
+impl Engine {
+    /// A fresh engine (scratch grows lazily to the largest run seen).
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Runs the dynamics from `start` on `game`.
+    pub fn run(&mut self, game: &Game, start: Profile, cfg: &DynamicsConfig) -> RunResult {
+        let n = game.n();
+        let mut profile = start;
+        self.ctx.reset(game, &profile);
+        self.detector.clear();
+        self.detector.observe(&profile);
+        let mut rng = match cfg.scheduler {
+            Scheduler::RandomOrder { seed } => Some(StdRng::seed_from_u64(seed)),
+            _ => None,
         };
-        for (u, precomputed) in scheduled {
-            let change = match precomputed {
-                Some(c) => Some(c),
-                None => improving_change(game, &profile, &ctx, u, cfg.rule),
-            };
-            if let Some((new_strategy, before, after)) = change {
-                let old = profile.strategy(u).clone();
-                profile.set_strategy(u, new_strategy);
-                ctx.apply_strategy_change(game, &profile, u, &old);
-                moves += 1;
-                moved_this_round = true;
-                if let Some(t) = trace.as_mut() {
-                    t.entries.push(TraceEntry {
-                        round,
-                        agent: u,
-                        cost_before: before,
-                        cost_after: after,
-                        strategy_size: profile.strategy(u).len(),
-                    });
+        let mut trace = if cfg.record_trace {
+            Some(Trace::default())
+        } else {
+            None
+        };
+        let mut moves = 0usize;
+
+        for round in 0..cfg.max_rounds {
+            let mut moved_this_round = false;
+            // MaxGain computes each agent's change while scanning; reuse
+            // the winner's instead of recomputing it after scheduling.
+            let scheduled: Vec<(NodeId, Option<Change>)> = match cfg.scheduler {
+                Scheduler::RoundRobin => (0..n as NodeId).map(|u| (u, None)).collect(),
+                Scheduler::RandomOrder { .. } => {
+                    let mut v: Vec<NodeId> = (0..n as NodeId).collect();
+                    v.shuffle(rng.as_mut().expect("rng set for RandomOrder"));
+                    v.into_iter().map(|u| (u, None)).collect()
                 }
-                if let Some(rec) = detector.observe(&profile) {
-                    return RunResult {
-                        profile,
-                        outcome: Outcome::Cycle { recurrence: rec },
-                        moves,
-                        trace,
-                    };
+                Scheduler::MaxGain => {
+                    // The parallel scan reads warm sums immutably: warm
+                    // every vector up front (itself pool-parallel).
+                    self.ctx.ensure_all_warm();
+                    match max_gain_change(game, &profile, &self.ctx, cfg.rule) {
+                        Some((u, change)) => vec![(u, Some(change))],
+                        None => Vec::new(),
+                    }
+                }
+            };
+            for (u, precomputed) in scheduled {
+                let change = match precomputed {
+                    Some(c) => Some(c),
+                    None => {
+                        self.ctx.ensure_warm(u);
+                        let current = self.ctx.current_cost(game, &profile, u);
+                        improving_change(game, &profile, &self.ctx, u, cfg.rule, current)
+                    }
+                };
+                if let Some((new_strategy, before, after)) = change {
+                    let old = profile.strategy(u).clone();
+                    profile.set_strategy(u, new_strategy);
+                    self.ctx.apply_strategy_change(game, &profile, u, &old);
+                    moves += 1;
+                    moved_this_round = true;
+                    if let Some(t) = trace.as_mut() {
+                        t.entries.push(TraceEntry {
+                            round,
+                            agent: u,
+                            cost_before: before,
+                            cost_after: after,
+                            strategy_size: profile.strategy(u).len(),
+                        });
+                    }
+                    if let Some(rec) = self.detector.observe(&profile) {
+                        return RunResult {
+                            profile,
+                            outcome: Outcome::Cycle { recurrence: rec },
+                            rounds: round + 1,
+                            moves,
+                            trace,
+                        };
+                    }
                 }
             }
+            if !moved_this_round {
+                return RunResult {
+                    profile,
+                    outcome: Outcome::Converged { rounds: round + 1 },
+                    rounds: round + 1,
+                    moves,
+                    trace,
+                };
+            }
         }
-        if !moved_this_round {
-            return RunResult {
-                profile,
-                outcome: Outcome::Converged { rounds: round + 1 },
-                moves,
-                trace,
-            };
+        RunResult {
+            profile,
+            outcome: Outcome::MaxRoundsReached,
+            rounds: cfg.max_rounds,
+            moves,
+            trace,
         }
     }
-    RunResult {
-        profile,
-        outcome: Outcome::MaxRoundsReached,
-        moves,
-        trace,
-    }
+}
+
+/// Runs the dynamics from `start` on `game` with a throwaway [`Engine`].
+/// Batch callers should hold an `Engine` and call [`Engine::run`] instead
+/// so scratch is reused across runs.
+pub fn run(game: &Game, start: Profile, cfg: &DynamicsConfig) -> RunResult {
+    Engine::new().run(game, start, cfg)
 }
 
 /// The improving change of `u` under `rule`, with costs before/after,
-/// evaluated against the context's cached network.
+/// evaluated against the context's cached network. `current` is `u`'s
+/// current total cost (read off the context's warm vector by the caller).
 fn improving_change(
     game: &Game,
     profile: &Profile,
     ctx: &EvalContext,
     u: NodeId,
     rule: ResponseRule,
+    current: f64,
 ) -> Option<Change> {
     let network = ctx.network();
     match rule {
         ResponseRule::ExactBestResponse => {
-            let br = exact_best_response_in(game, profile, network, u);
+            let br = exact_best_response_given_current(game, profile, network, u, current);
             if br.improves() {
                 Some((br.strategy, br.current_cost, br.cost))
             } else {
                 None
             }
         }
-        ResponseRule::BestGreedyMove => {
-            let (before, best) = best_greedy_move_in_costed(game, profile, network, u);
-            best.map(|(m, c)| (m.apply(u, profile.strategy(u)), before, c))
-        }
-        ResponseRule::AddOnly => {
-            let (before, best) = best_add_move_in_costed(game, profile, network, u);
-            best.map(|(m, c)| (m.apply(u, profile.strategy(u)), before, c))
-        }
+        ResponseRule::BestGreedyMove => best_move_among_given_current(
+            game,
+            profile,
+            network,
+            u,
+            current,
+            &Move::greedy_moves(profile, u),
+        )
+        .map(|(m, c)| (m.apply(u, profile.strategy(u)), current, c)),
+        ResponseRule::AddOnly => best_move_among_given_current(
+            game,
+            profile,
+            network,
+            u,
+            current,
+            &Move::add_moves(profile, u),
+        )
+        .map(|(m, c)| (m.apply(u, profile.strategy(u)), current, c)),
     }
 }
 
 /// The agent with the largest improvement under `rule` together with the
 /// improving change itself, so the caller never recomputes it. The scan
-/// over agents fans out on the rayon pool; the reduction is deterministic
+/// over agents fans out on the rayon pool reading the context (and its
+/// pre-warmed distance vectors) immutably; the reduction is deterministic
 /// (max gain, ties to the smaller agent id), so the schedule matches the
 /// sequential scan exactly.
 fn max_gain_change(
@@ -312,7 +495,8 @@ fn max_gain_change(
     let winner = (0..game.n() as NodeId)
         .into_par_iter()
         .filter_map(|u| {
-            improving_change(game, profile, ctx, u, rule).map(|(s, before, after)| {
+            let current = ctx.current_cost(game, profile, u);
+            improving_change(game, profile, ctx, u, rule, current).map(|(s, before, after)| {
                 let gain = if before.is_infinite() && after.is_finite() {
                     f64::INFINITY
                 } else {
@@ -357,7 +541,9 @@ mod tests {
         let start = Profile::star(6, 0);
         let r = run(&game, start, &DynamicsConfig::default());
         assert!(r.converged());
-        assert!(gncg_core::equilibrium::is_greedy_equilibrium(&game, &r.profile));
+        assert!(gncg_core::equilibrium::is_greedy_equilibrium(
+            &game, &r.profile
+        ));
     }
 
     #[test]
@@ -373,7 +559,10 @@ mod tests {
         );
         assert_eq!(r.moves, 0);
         assert!(r.converged());
-        assert!(gncg_core::equilibrium::is_nash_equilibrium(&game, &r.profile));
+        assert_eq!(r.rounds, 1);
+        assert!(gncg_core::equilibrium::is_nash_equilibrium(
+            &game, &r.profile
+        ));
     }
 
     #[test]
@@ -392,7 +581,9 @@ mod tests {
             },
         );
         if r.converged() {
-            assert!(gncg_core::equilibrium::is_nash_equilibrium(&game, &r.profile));
+            assert!(gncg_core::equilibrium::is_nash_equilibrium(
+                &game, &r.profile
+            ));
         }
     }
 
@@ -410,7 +601,9 @@ mod tests {
             },
         );
         assert!(r.converged());
-        assert!(gncg_core::equilibrium::is_add_only_equilibrium(&game, &r.profile));
+        assert!(gncg_core::equilibrium::is_add_only_equilibrium(
+            &game, &r.profile
+        ));
         let t = r.trace.expect("trace recorded");
         assert!(t.all_improving());
         assert_eq!(t.moves(), r.moves);
@@ -449,7 +642,9 @@ mod tests {
             },
         );
         if r.converged() {
-            assert!(gncg_core::equilibrium::is_greedy_equilibrium(&game, &r.profile));
+            assert!(gncg_core::equilibrium::is_greedy_equilibrium(
+                &game, &r.profile
+            ));
         }
     }
 
@@ -465,6 +660,83 @@ mod tests {
         let b = run(&game, Profile::star(6, 0), &cfg);
         assert_eq!(a.profile, b.profile);
         assert_eq!(a.moves, b.moves);
+    }
+
+    #[test]
+    fn reused_engine_matches_throwaway_runs() {
+        // One Engine across heterogeneous cells (different hosts, sizes,
+        // rules) must produce exactly what fresh engines produce.
+        let mut engine = Engine::new();
+        let cases: Vec<(Game, ResponseRule)> = vec![
+            (unit_game(6, 2.0), ResponseRule::BestGreedyMove),
+            (
+                Game::new(gncg_metrics::arbitrary::random_metric(8, 1.0, 3.0, 2), 1.5),
+                ResponseRule::ExactBestResponse,
+            ),
+            (unit_game(4, 0.3), ResponseRule::AddOnly),
+            (
+                Game::new(gncg_metrics::arbitrary::random_metric(5, 1.0, 4.0, 9), 0.8),
+                ResponseRule::BestGreedyMove,
+            ),
+        ];
+        for (game, rule) in &cases {
+            let cfg = DynamicsConfig {
+                rule: *rule,
+                max_rounds: 300,
+                ..Default::default()
+            };
+            let reused = engine.run(game, Profile::star(game.n(), 0), &cfg);
+            let fresh = run(game, Profile::star(game.n(), 0), &cfg);
+            assert_eq!(reused.profile, fresh.profile);
+            assert_eq!(reused.outcome, fresh.outcome);
+            assert_eq!(reused.moves, fresh.moves);
+            assert_eq!(reused.rounds, fresh.rounds);
+        }
+    }
+
+    #[test]
+    fn warm_vectors_match_fresh_dijkstra_through_a_run() {
+        // Drive a context through add-only dynamics (insert-only moves
+        // keep vectors warm) and check sums against agent_cost_in.
+        let game = unit_game(6, 0.4);
+        let mut p = Profile::star(6, 0);
+        let mut ctx = EvalContext::new(&game, &p);
+        for u in 0..6u32 {
+            ctx.ensure_warm(u);
+        }
+        // Agent 1 buys (1,3) and (1,4): insert-only change.
+        let old = p.strategy(1).clone();
+        let mut s = old.clone();
+        s.insert(3);
+        s.insert(4);
+        p.set_strategy(1, s);
+        ctx.apply_strategy_change(&game, &p, 1, &old);
+        let network = p.build_network(&game);
+        for u in 0..6u32 {
+            let expected = gncg_core::cost::agent_cost_in(&game, &p, &network, u).total();
+            assert_eq!(ctx.current_cost(&game, &p, u), expected, "agent {u}");
+        }
+    }
+
+    #[test]
+    fn removal_invalidates_then_recomputes() {
+        let game = unit_game(5, 2.0);
+        let mut p = Profile::star(5, 0);
+        let mut ctx = EvalContext::new(&game, &p);
+        for u in 0..5u32 {
+            ctx.ensure_warm(u);
+        }
+        // Swap: agent 0 drops (0,1), buys nothing new for 1 — a removal.
+        let old = p.strategy(0).clone();
+        p.set_strategy(0, [2, 3, 4].into_iter().collect());
+        ctx.apply_strategy_change(&game, &p, 0, &old);
+        // Vectors were invalidated; ensure_warm must restore exactness.
+        let network = p.build_network(&game);
+        for u in 0..5u32 {
+            ctx.ensure_warm(u);
+            let expected = gncg_core::cost::agent_cost_in(&game, &p, &network, u).total();
+            assert_eq!(ctx.current_cost(&game, &p, u), expected, "agent {u}");
+        }
     }
 
     #[test]
@@ -509,5 +781,6 @@ mod tests {
         );
         // One round cannot both apply moves and certify silence.
         assert!(!r.converged());
+        assert_eq!(r.rounds, 1);
     }
 }

@@ -20,4 +20,6 @@ pub mod simultaneous;
 pub mod stats;
 pub mod trace;
 
-pub use engine::{run, DynamicsConfig, Outcome, ResponseRule, RunResult, Scheduler};
+pub use engine::{
+    run, DynamicsConfig, Engine, EvalContext, Outcome, ResponseRule, RunResult, Scheduler,
+};

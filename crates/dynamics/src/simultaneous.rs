@@ -149,7 +149,9 @@ mod tests {
             SimOutcome::Cycle { recurrence } => assert!(recurrence.period() >= 1),
             SimOutcome::Converged { .. } => {
                 // If it converged the result must be a genuine NE.
-                assert!(gncg_core::equilibrium::is_nash_equilibrium(&game, &r.profile));
+                assert!(gncg_core::equilibrium::is_nash_equilibrium(
+                    &game, &r.profile
+                ));
             }
             SimOutcome::MaxRoundsReached => {}
         }
@@ -161,7 +163,9 @@ mod tests {
         let game = Game::new(SymMatrix::filled(6, 0.4), 0.4);
         let r = run_simultaneous(&game, Profile::star(6, 0), ResponseRule::AddOnly, 100);
         assert!(matches!(r.outcome, SimOutcome::Converged { .. }));
-        assert!(gncg_core::equilibrium::is_add_only_equilibrium(&game, &r.profile));
+        assert!(gncg_core::equilibrium::is_add_only_equilibrium(
+            &game, &r.profile
+        ));
     }
 
     #[test]
@@ -182,7 +186,12 @@ mod tests {
         assert!(seq.converged());
         // The simultaneous run must terminate decisively within the cap
         // too (either converging or certifying a cycle) on this instance.
-        let sim = run_simultaneous(&game, Profile::star(6, 0), ResponseRule::BestGreedyMove, 300);
+        let sim = run_simultaneous(
+            &game,
+            Profile::star(6, 0),
+            ResponseRule::BestGreedyMove,
+            300,
+        );
         assert!(!matches!(sim.outcome, SimOutcome::MaxRoundsReached));
     }
 }

@@ -131,11 +131,13 @@ mod tests {
             max_rounds: 200,
             record_trace: false,
         };
-        let points =
-            crate::parallel::sweep(&hosts, &[1.0, 2.0], &cfg, |_, n| Profile::star(n, 0));
+        let points = crate::parallel::sweep(&hosts, &[1.0, 2.0], &cfg, |_, n| Profile::star(n, 0));
         let s = summarize(&points);
         assert_eq!(s.runs, 4);
-        assert_eq!(s.cycles + s.capped + (s.convergence_rate * 4.0).round() as usize, 4);
+        assert_eq!(
+            s.cycles + s.capped + (s.convergence_rate * 4.0).round() as usize,
+            4
+        );
         assert!(s.social_cost.min <= s.social_cost.mean);
         assert!(s.social_cost.mean <= s.social_cost.max);
         assert!(s.mean_moves >= 0.0);

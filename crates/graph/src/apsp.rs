@@ -163,7 +163,11 @@ pub fn floyd_warshall(w: &SymMatrix) -> DistanceMatrix {
     let mut d = vec![f64::INFINITY; n * n];
     for u in 0..n {
         for v in 0..n {
-            d[u * n + v] = if u == v { 0.0 } else { w.get(u as NodeId, v as NodeId) };
+            d[u * n + v] = if u == v {
+                0.0
+            } else {
+                w.get(u as NodeId, v as NodeId)
+            };
         }
     }
     for k in 0..n {

@@ -89,7 +89,14 @@ mod tests {
     fn bfs_matches_dijkstra_on_unit_weights() {
         let g = AdjacencyList::from_edges(
             6,
-            &[(0, 1, 1.0), (1, 2, 1.0), (0, 3, 1.0), (3, 4, 1.0), (4, 5, 1.0), (2, 5, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (2, 5, 1.0),
+            ],
         );
         let hops = bfs_hops(&g, 0);
         let dj = crate::dijkstra::dijkstra(&g, 0);

@@ -400,6 +400,48 @@ impl IncrementalSssp {
         }
     }
 
+    /// Applies an edge insertion as a decrease-only relaxation **without**
+    /// recording an undo frame — the "committed move" update of the
+    /// dynamics engine's warm per-agent distance vectors.
+    ///
+    /// Unlike [`IncrementalSssp::add_edge`], the inserted edge need *not*
+    /// be incident to the source. The different contract that makes this
+    /// sound: `g` must be the **live graph already containing `(a, b)`**
+    /// (and every other current edge). Relaxation then propagates through
+    /// all existing edges — including ones inserted by earlier
+    /// `relax_insert` calls — so the decrease-only update is exact for any
+    /// source: an inserted edge can only shorten distances, every
+    /// shortened path decomposes as (old shortest path to one endpoint) +
+    /// the new edge + (a path in `g`), and both pieces are fully relaxed
+    /// here. Multiple insertions may be applied one at a time in any
+    /// order, provided `g` already holds all of them.
+    ///
+    /// Not undoable: on edge *deletions* the caller must re-seed with
+    /// [`IncrementalSssp::reset_from`] (deletions can increase distances,
+    /// which no decrease-only relaxation can express).
+    pub fn relax_insert<G: EdgeSource>(&mut self, g: &G, a: NodeId, b: NodeId, w: f64) {
+        self.heap.clear();
+        for (from, to) in [(a, b), (b, a)] {
+            let df = self.dist[from as usize];
+            if df.is_finite() {
+                let nd = df + w;
+                if nd < self.dist[to as usize] {
+                    self.dist[to as usize] = nd;
+                    self.heap.push(HeapEntry { dist: nd, node: to });
+                }
+            }
+        }
+        while let Some(HeapEntry { dist: d, node: u }) = self.heap.pop() {
+            if d > self.dist[u as usize] {
+                continue;
+            }
+            let mut this = UnloggedRelax(self);
+            g.for_each_neighbor(u, |v, wuv| {
+                this.relax(v, d + wuv);
+            });
+        }
+    }
+
     /// Inserts undirected edge `(a, b)` of weight `w` on top of `g` and
     /// relaxes every distance it improves, recording the changes as one
     /// undo frame.
@@ -442,6 +484,20 @@ impl IncrementalSssp {
             g.for_each_neighbor(u, |v, wuv| {
                 this.relax(v, d + wuv);
             });
+        }
+    }
+}
+
+/// Borrow adapter for [`IncrementalSssp::relax_insert`]: lowers distances
+/// without touching the undo log (committed updates are permanent).
+struct UnloggedRelax<'a>(&'a mut IncrementalSssp);
+
+impl UnloggedRelax<'_> {
+    #[inline]
+    fn relax(&mut self, v: NodeId, nd: f64) {
+        if nd < self.0.dist[v as usize] {
+            self.0.dist[v as usize] = nd;
+            self.0.heap.push(HeapEntry { dist: nd, node: v });
         }
     }
 }
@@ -515,7 +571,16 @@ mod tests {
 
     #[test]
     fn scratch_reuse_shrinking_and_growing_graphs() {
-        let big = AdjacencyList::from_edges(6, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (4, 5, 1.0)]);
+        let big = AdjacencyList::from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+            ],
+        );
         let small = diamond();
         let mut scratch = DijkstraScratch::new();
         scratch.run(&big, 0, &[]);
@@ -553,7 +618,17 @@ mod tests {
         // A longer output buffer gets ∞ past the graph, not a panic.
         let mut long = vec![0.0; 6];
         scratch.write_distances(&mut long);
-        assert_eq!(long, vec![0.0, 1.0, f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY]);
+        assert_eq!(
+            long,
+            vec![
+                0.0,
+                1.0,
+                f64::INFINITY,
+                f64::INFINITY,
+                f64::INFINITY,
+                f64::INFINITY
+            ]
+        );
     }
 
     #[test]
@@ -612,6 +687,59 @@ mod tests {
     #[should_panic]
     fn undo_without_frame_panics() {
         IncrementalSssp::new().undo();
+    }
+
+    #[test]
+    fn relax_insert_matches_fresh_dijkstra_for_any_source() {
+        // Edge (1, 2) is incident to neither source; relax_insert against
+        // the live graph (already containing it) must still be exact.
+        let g = diamond();
+        for source in 0..4u32 {
+            let d0 = dijkstra(&g, source);
+            let mut live = g.clone();
+            live.add_edge(1, 2, 0.25);
+            let mut inc = IncrementalSssp::new();
+            inc.reset_from(source, &d0);
+            inc.relax_insert(&live, 1, 2, 0.25);
+            assert_eq!(
+                inc.dist(),
+                dijkstra(&live, source).as_slice(),
+                "source {source}"
+            );
+        }
+    }
+
+    #[test]
+    fn relax_insert_sequential_insertions_compose() {
+        // Two edges inserted one at a time, each relaxed against the graph
+        // holding *both*: improvements that need the other edge must
+        // propagate (s=0: 0-2 gets cheap only via 3).
+        let mut g = AdjacencyList::new(4);
+        g.add_edge(0, 1, 10.0);
+        g.add_edge(1, 2, 10.0);
+        g.add_edge(2, 3, 10.0);
+        let d0 = dijkstra(&g, 0);
+        let mut live = g.clone();
+        live.add_edge(0, 3, 1.0);
+        live.add_edge(3, 2, 1.0);
+        let mut inc = IncrementalSssp::new();
+        inc.reset_from(0, &d0);
+        inc.relax_insert(&live, 0, 3, 1.0);
+        inc.relax_insert(&live, 3, 2, 1.0);
+        assert_eq!(inc.dist(), dijkstra(&live, 0).as_slice());
+        assert_eq!(inc.dist()[2], 2.0);
+    }
+
+    #[test]
+    fn relax_insert_leaves_undo_log_untouched() {
+        let g = diamond();
+        let d0 = dijkstra(&g, 0);
+        let mut inc = IncrementalSssp::new();
+        inc.reset_from(0, &d0);
+        let mut live = g.clone();
+        live.add_edge(0, 3, 0.5);
+        inc.relax_insert(&live, 0, 3, 0.5);
+        assert_eq!(inc.depth(), 0, "relax_insert must not open undo frames");
     }
 
     #[test]

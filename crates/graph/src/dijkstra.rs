@@ -80,7 +80,10 @@ pub fn dijkstra_reference(g: &AdjacencyList, source: NodeId) -> Vec<f64> {
     }
     impl Ord for Entry {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            other.0.total_cmp(&self.0).then_with(|| other.1.cmp(&self.1))
+            other
+                .0
+                .total_cmp(&self.0)
+                .then_with(|| other.1.cmp(&self.1))
         }
     }
     let n = g.n();
@@ -120,10 +123,7 @@ mod tests {
 
     fn diamond() -> AdjacencyList {
         // 0 -1- 1 -1- 3, 0 -3- 2 -1- 3
-        AdjacencyList::from_edges(
-            4,
-            &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 3.0), (2, 3, 1.0)],
-        )
+        AdjacencyList::from_edges(4, &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 3.0), (2, 3, 1.0)])
     }
 
     #[test]

@@ -86,7 +86,8 @@ impl SymMatrix {
     /// Iterates over all unordered pairs `(u, v, w)` with `u < v`.
     pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
         (0..self.n).flat_map(move |u| {
-            ((u + 1)..self.n).map(move |v| (u as NodeId, v as NodeId, self.get(u as NodeId, v as NodeId)))
+            ((u + 1)..self.n)
+                .map(move |v| (u as NodeId, v as NodeId, self.get(u as NodeId, v as NodeId)))
         })
     }
 
@@ -106,7 +107,9 @@ impl SymMatrix {
 
     /// Smallest off-diagonal entry, or `f64::INFINITY` for `n <= 1`.
     pub fn min_weight(&self) -> f64 {
-        self.pairs().map(|(_, _, w)| w).fold(f64::INFINITY, f64::min)
+        self.pairs()
+            .map(|(_, _, w)| w)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Checks all entries are non-negative (edge weights must be in `R+`).

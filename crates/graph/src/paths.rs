@@ -64,7 +64,9 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, o: &Self) -> Ordering {
-        o.dist.total_cmp(&self.dist).then_with(|| o.node.cmp(&self.node))
+        o.dist
+            .total_cmp(&self.dist)
+            .then_with(|| o.node.cmp(&self.node))
     }
 }
 
@@ -100,10 +102,7 @@ mod tests {
     use super::*;
 
     fn diamond() -> AdjacencyList {
-        AdjacencyList::from_edges(
-            4,
-            &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 3.0), (2, 3, 1.0)],
-        )
+        AdjacencyList::from_edges(4, &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 3.0), (2, 3, 1.0)])
     }
 
     #[test]

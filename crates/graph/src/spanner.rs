@@ -123,7 +123,10 @@ mod tests {
         assert!(is_k_spanner(&sp, &hd, 1.5));
         for (u, v, wt) in w.pairs() {
             if wt == 1.0 {
-                assert!(sp.has_edge(u, v), "1-edge ({u},{v}) missing from 3/2-spanner");
+                assert!(
+                    sp.has_edge(u, v),
+                    "1-edge ({u},{v}) missing from 3/2-spanner"
+                );
             }
         }
     }

@@ -94,7 +94,11 @@ pub fn bridges(g: &AdjacencyList) -> Vec<(NodeId, NodeId)> {
                     let p = parent_frame.u;
                     low[p as usize] = low[p as usize].min(low[frame.u as usize]);
                     if low[frame.u as usize] > disc[p as usize] {
-                        let (a, b) = if p < frame.u { (p, frame.u) } else { (frame.u, p) };
+                        let (a, b) = if p < frame.u {
+                            (p, frame.u)
+                        } else {
+                            (frame.u, p)
+                        };
                         out.push((a, b));
                     }
                 }
@@ -185,10 +189,7 @@ mod tests {
     #[test]
     fn bridges_mixed() {
         // Triangle 0-1-2 plus pendant 3 attached to 2.
-        let g = AdjacencyList::from_edges(
-            4,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (2, 3, 1.0)],
-        );
+        let g = AdjacencyList::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (2, 3, 1.0)]);
         assert_eq!(bridges(&g), vec![(2, 3)]);
     }
 

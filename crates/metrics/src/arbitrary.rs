@@ -9,13 +9,7 @@ use rand::{Rng, SeedableRng};
 pub fn random(n: usize, lo: f64, hi: f64, seed: u64) -> SymMatrix {
     assert!(lo >= 0.0 && hi >= lo);
     let mut rng = StdRng::seed_from_u64(seed);
-    SymMatrix::from_fn(n, |_, _| {
-        if hi > lo {
-            rng.gen_range(lo..hi)
-        } else {
-            lo
-        }
-    })
+    SymMatrix::from_fn(n, |_, _| if hi > lo { rng.gen_range(lo..hi) } else { lo })
 }
 
 /// A random *metric* host: random weights repaired to their metric closure

@@ -86,10 +86,7 @@ impl PointSet {
         let points = (0..n)
             .map(|_| (0..dim).map(|_| rng.gen::<f64>() * extent).collect())
             .collect();
-        PointSet {
-            dim,
-            points,
-        }
+        PointSet { dim, points }
     }
 
     /// Number of points.

@@ -1,0 +1,246 @@
+//! The host-factory registry: every model variant's host constructor
+//! behind one string-keyed, seedable API.
+//!
+//! Historically each driver (the `gncg` CLI, the `experiments` and
+//! `figures` harnesses, the examples, a dozen integration tests) wired the
+//! factories of [`crate::unit`], [`crate::onetwo`], [`crate::treemetric`],
+//! [`crate::euclidean`], [`crate::oneinf`], [`crate::arbitrary`], and
+//! [`crate::structured`] by hand, each with its own flag spelling and
+//! parameter choices. The registry replaces that duplication: a
+//! [`HostFactory`] is a named constructor `(n, seed) -> SymMatrix`, and
+//! [`build_host`] resolves a key to an `n`-node host deterministically in
+//! `seed`.
+//!
+//! Every factory returns **exactly `n` nodes** (the structured families
+//! truncate their point sets), so scenario grids can cross any key with
+//! any `n`. All factories are pure: equal `(key, n, seed)` triples yield
+//! bitwise-equal hosts, which the scenario engine's golden determinism
+//! tests rely on.
+
+use gncg_graph::SymMatrix;
+
+use crate::euclidean::{Norm, PointSet};
+
+/// A named, seedable host constructor — the unit of the registry.
+///
+/// Implementations must be pure functions of `(n, seed)`: the scenario
+/// subsystem derives per-cell seeds deterministically and replays cells
+/// byte-identically on resume.
+pub trait HostFactory: Sync {
+    /// The registry key (stable across releases; used in CLI flags,
+    /// scenario specs, and JSONL output).
+    fn key(&self) -> &'static str;
+
+    /// One-line human description (shown by `gncg list-factories`).
+    fn describe(&self) -> &'static str;
+
+    /// Whether hosts from this factory satisfy the triangle inequality
+    /// (decides which paper bounds apply to its cells).
+    fn metric(&self) -> bool;
+
+    /// Builds an `n`-node host, deterministic in `seed`.
+    fn build(&self, n: usize, seed: u64) -> SymMatrix;
+}
+
+/// Truncates a point set to its first `n` points (the structured families
+/// over-generate to fill their shapes).
+fn truncate(ps: PointSet, n: usize) -> PointSet {
+    if ps.n() == n {
+        return ps;
+    }
+    PointSet::new((0..n).map(|i| ps.point(i).to_vec()).collect())
+}
+
+macro_rules! factory {
+    ($ty:ident, $key:literal, $desc:literal, $metric:literal, |$n:ident, $seed:ident| $body:expr) => {
+        struct $ty;
+        impl HostFactory for $ty {
+            fn key(&self) -> &'static str {
+                $key
+            }
+            fn describe(&self) -> &'static str {
+                $desc
+            }
+            fn metric(&self) -> bool {
+                $metric
+            }
+            #[allow(unused_variables)]
+            fn build(&self, $n: usize, $seed: u64) -> SymMatrix {
+                $body
+            }
+        }
+    };
+}
+
+factory!(
+    Unit,
+    "unit",
+    "unit-weight clique (the original NCG)",
+    true,
+    |n, seed| crate::unit::unit_host(n)
+);
+factory!(
+    OneTwo,
+    "onetwo",
+    "random {1,2}-weight host (1-2-GNCG), P[w=1] = 0.4",
+    true,
+    |n, seed| crate::onetwo::random(n, 0.4, seed)
+);
+factory!(
+    Tree,
+    "tree",
+    "metric closure of a random weighted tree (T-GNCG), weights in [1,4]",
+    true,
+    |n, seed| crate::treemetric::random_tree(n, 1.0, 4.0, seed).metric_closure()
+);
+factory!(
+    R2,
+    "r2",
+    "uniform random points in [0,10]^2 under the 2-norm (Rd-GNCG)",
+    true,
+    |n, seed| PointSet::random(n, 2, 10.0, seed).host_matrix(Norm::L2)
+);
+factory!(
+    Metric,
+    "metric",
+    "random metric host (closure-repaired), weights in [1,5] (M-GNCG)",
+    true,
+    |n, seed| crate::arbitrary::random_metric(n, 1.0, 5.0, seed)
+);
+factory!(
+    General,
+    "general",
+    "random non-metric host, weights in [0.5,8] (general GNCG)",
+    false,
+    |n, seed| crate::arbitrary::random(n, 0.5, 8.0, seed)
+);
+factory!(
+    Grid,
+    "grid",
+    "first n points of the smallest covering unit grid, 2-norm",
+    true,
+    |n, seed| {
+        let side = (n as f64).sqrt().ceil() as usize;
+        truncate(crate::structured::grid(side.max(1), side.max(1), 1.0), n).host_matrix(Norm::L2)
+    }
+);
+factory!(
+    Clusters,
+    "clusters",
+    "clustered cities (blobs of 4 in [0,20]^2, spread 1), 2-norm",
+    true,
+    |n, seed| {
+        truncate(
+            crate::structured::clustered(n.div_ceil(4).max(1), 4, 20.0, 1.0, seed),
+            n,
+        )
+        .host_matrix(Norm::L2)
+    }
+);
+factory!(
+    OneInf,
+    "oneinf",
+    "random connected {1,inf} host (Demaine et al.'s 1-inf-GNCG)",
+    false,
+    |n, seed| crate::oneinf::random_connected(n, 0.3, seed)
+);
+
+/// All registered factories, in registry (= documentation) order.
+pub fn registry() -> &'static [&'static dyn HostFactory] {
+    static REGISTRY: [&dyn HostFactory; 9] = [
+        &Unit, &OneTwo, &Tree, &R2, &Metric, &General, &Grid, &Clusters, &OneInf,
+    ];
+    &REGISTRY
+}
+
+/// Looks up a factory by key.
+pub fn factory(key: &str) -> Option<&'static dyn HostFactory> {
+    registry().iter().copied().find(|f| f.key() == key)
+}
+
+/// [`factory`] with the canonical unknown-key error message (shared by
+/// every caller that surfaces the failure to a user — the CLI, scenario
+/// spec validation).
+pub fn lookup(key: &str) -> Result<&'static dyn HostFactory, String> {
+    factory(key).ok_or_else(|| {
+        format!(
+            "unknown host factory '{key}' (known: {})",
+            keys().join(", ")
+        )
+    })
+}
+
+/// All registry keys, in registry order.
+pub fn keys() -> Vec<&'static str> {
+    registry().iter().map(|f| f.key()).collect()
+}
+
+/// Builds an `n`-node host from the factory registered under `key`.
+///
+/// Returns `Err` naming the known keys (in registry order) when `key` is
+/// not registered — callers surface it verbatim as the CLI error message.
+pub fn build_host(key: &str, n: usize, seed: u64) -> Result<SymMatrix, String> {
+    lookup(key).map(|f| f.build(n, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_keys_are_unique_and_nonempty() {
+        let ks = keys();
+        assert!(ks.len() >= 9);
+        let mut sorted = ks.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ks.len(), "duplicate registry keys");
+    }
+
+    #[test]
+    fn every_factory_builds_exactly_n_nodes() {
+        for f in registry() {
+            for n in [1usize, 4, 7, 9, 12] {
+                let host = f.build(n, 3);
+                assert_eq!(host.n(), n, "factory {} at n={n}", f.key());
+            }
+        }
+    }
+
+    #[test]
+    fn factories_are_seed_deterministic() {
+        for f in registry() {
+            let a = f.build(8, 11);
+            let b = f.build(8, 11);
+            assert_eq!(a, b, "factory {} not deterministic", f.key());
+        }
+    }
+
+    #[test]
+    fn metric_flag_matches_triangle_inequality() {
+        for f in registry() {
+            let host = f.build(9, 5);
+            if f.metric() {
+                assert!(
+                    host.satisfies_triangle_inequality(),
+                    "factory {} claims metric but violates the triangle inequality",
+                    f.key()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_key_lists_alternatives() {
+        let err = build_host("nope", 5, 0).unwrap_err();
+        assert!(err.contains("unknown host factory"));
+        assert!(err.contains("unit"));
+    }
+
+    #[test]
+    fn build_host_matches_direct_factory_call() {
+        let via_key = build_host("tree", 7, 9).unwrap();
+        let direct = crate::treemetric::random_tree(7, 1.0, 4.0, 9).metric_closure();
+        assert_eq!(via_key, direct);
+    }
+}

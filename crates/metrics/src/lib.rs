@@ -10,18 +10,23 @@
 //! * [`oneinf`] — the non-metric `1-∞–GNCG` hosts of Demaine et al.,
 //! * [`arbitrary`] — general non-negative (typically non-metric) hosts,
 //! * [`validate`] — model-class classification (which variants a given
-//!   host belongs to), used by the Fig. 1 containment experiment (E23).
+//!   host belongs to), used by the Fig. 1 containment experiment (E23),
+//! * [`factory`] — the string-keyed [`factory::HostFactory`] registry
+//!   unifying all of the above behind one seedable constructor API (the
+//!   entry point of the scenario subsystem).
 //!
 //! All random factories are fully deterministic given a seed.
 
 pub mod arbitrary;
 pub mod euclidean;
+pub mod factory;
 pub mod oneinf;
-pub mod structured;
 pub mod onetwo;
+pub mod structured;
 pub mod treemetric;
 pub mod unit;
 pub mod validate;
 
 pub use euclidean::{Norm, PointSet};
+pub use factory::{build_host, HostFactory};
 pub use validate::ModelClass;

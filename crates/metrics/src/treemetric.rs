@@ -15,11 +15,7 @@ pub fn random_tree(n: usize, lo: f64, hi: f64, seed: u64) -> WeightedTree {
     let edges = (1..n)
         .map(|v| {
             let parent = rng.gen_range(0..v) as NodeId;
-            let w = if hi > lo {
-                rng.gen_range(lo..hi)
-            } else {
-                lo
-            };
+            let w = if hi > lo { rng.gen_range(lo..hi) } else { lo };
             (parent, v as NodeId, w)
         })
         .collect();

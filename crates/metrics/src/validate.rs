@@ -121,12 +121,8 @@ mod tests {
 
     #[test]
     fn planar_points_generally_not_tree_metric() {
-        let ps = crate::euclidean::PointSet::planar(&[
-            (0.0, 0.0),
-            (1.0, 0.0),
-            (0.0, 1.0),
-            (1.0, 1.0),
-        ]);
+        let ps =
+            crate::euclidean::PointSet::planar(&[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)]);
         let w = ps.host_matrix(crate::euclidean::Norm::L2);
         assert!(!is_tree_metric(&w));
         assert!(classify(&w).contains(&ModelClass::Metric));

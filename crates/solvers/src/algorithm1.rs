@@ -31,9 +31,8 @@ pub fn algorithm1(host: &SymMatrix) -> AdjacencyList {
         .map(|(u, v, _)| (u, v))
         .collect();
     for (u, v) in two_edges {
-        let in_triangle = (0..n as NodeId).any(|x| {
-            x != u && x != v && host.get(u, x) == 1.0 && host.get(x, v) == 1.0
-        });
+        let in_triangle = (0..n as NodeId)
+            .any(|x| x != u && x != v && host.get(u, x) == 1.0 && host.get(x, v) == 1.0);
         if in_triangle {
             g.remove_edge(u, v);
         }

@@ -47,8 +47,11 @@ pub fn social_optimum(game: &Game) -> Optimum {
     }
     // Candidate edges sorted by weight descending: committing heavy edges
     // early makes the edge-cost bound bite sooner.
-    let mut cand: Vec<(NodeId, NodeId, f64)> =
-        game.host().pairs().filter(|&(_, _, w)| w.is_finite()).collect();
+    let mut cand: Vec<(NodeId, NodeId, f64)> = game
+        .host()
+        .pairs()
+        .filter(|&(_, _, w)| w.is_finite())
+        .collect();
     cand.sort_by(|a, b| b.2.total_cmp(&a.2));
 
     // Distance lower bound: total ordered-pair distance of the host closure.
@@ -203,8 +206,7 @@ mod tests {
         let host = gncg_metrics::arbitrary::random_metric(4, 1.0, 3.0, 23);
         let game = Game::new(host, 1.7);
         let opt = social_optimum(&game);
-        let pairs: Vec<(NodeId, NodeId)> =
-            game.host().pairs().map(|(u, v, _)| (u, v)).collect();
+        let pairs: Vec<(NodeId, NodeId)> = game.host().pairs().map(|(u, v, _)| (u, v)).collect();
         let mut brute = f64::INFINITY;
         for mask in 0u32..(1 << pairs.len()) {
             let edges: Vec<(NodeId, NodeId, f64)> = pairs

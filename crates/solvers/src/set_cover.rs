@@ -31,7 +31,11 @@ impl SetCoverInstance {
         }
         assert_eq!(
             covered,
-            if universe == 0 { 0 } else { (1u64 << universe) - 1 },
+            if universe == 0 {
+                0
+            } else {
+                (1u64 << universe) - 1
+            },
             "sets do not cover the universe"
         );
         SetCoverInstance { universe, sets }
@@ -68,13 +72,7 @@ pub fn exact_min_cover(inst: &SetCoverInstance) -> Vec<usize> {
     };
     let mut best: Vec<usize> = (0..inst.sets.len()).collect(); // all sets
     let mut cur: Vec<usize> = Vec::new();
-    fn rec(
-        masks: &[u64],
-        full: u64,
-        covered: u64,
-        cur: &mut Vec<usize>,
-        best: &mut Vec<usize>,
-    ) {
+    fn rec(masks: &[u64], full: u64, covered: u64, cur: &mut Vec<usize>, best: &mut Vec<usize>) {
         if covered == full {
             if cur.len() < best.len() {
                 *best = cur.clone();
@@ -176,12 +174,7 @@ mod tests {
         // Classic greedy trap: two big "row" sets vs log small ones.
         let inst = SetCoverInstance::new(
             6,
-            vec![
-                vec![0, 2, 4],
-                vec![1, 3, 5],
-                vec![0, 1],
-                vec![2, 3, 4, 5],
-            ],
+            vec![vec![0, 2, 4], vec![1, 3, 5], vec![0, 1], vec![2, 3, 4, 5]],
         );
         let g = greedy_cover(&inst);
         assert!(inst.is_cover(&g));
@@ -212,8 +205,9 @@ mod tests {
         // Brute force over all subsets of sets.
         let mut best = usize::MAX;
         for mask in 1u32..(1 << inst.sets.len()) {
-            let chosen: Vec<usize> =
-                (0..inst.sets.len()).filter(|&i| mask & (1 << i) != 0).collect();
+            let chosen: Vec<usize> = (0..inst.sets.len())
+                .filter(|&i| mask & (1 << i) != 0)
+                .collect();
             if inst.is_cover(&chosen) {
                 best = best.min(chosen.len());
             }

@@ -50,7 +50,10 @@ impl EquilibriumLandscape {
 /// Panics if `n > 6`.
 pub fn enumerate_equilibria(game: &Game) -> EquilibriumLandscape {
     let n = game.n();
-    assert!(n <= 6, "equilibrium enumeration is doubly exponential; n ≤ 6");
+    assert!(
+        n <= 6,
+        "equilibrium enumeration is doubly exponential; n ≤ 6"
+    );
     let pairs: Vec<(NodeId, NodeId)> = game
         .host()
         .pairs()
@@ -85,11 +88,7 @@ pub fn enumerate_equilibria(game: &Game) -> EquilibriumLandscape {
         // Lemma 1 prune: every NE is an (α+1)-spanner of the host, an
         // ownership-independent property — reject non-spanners before the
         // ownership search.
-        if !gncg_graph::spanner::is_k_spanner(
-            &net,
-            game.host_distances(),
-            game.alpha() + 1.0,
-        ) {
+        if !gncg_graph::spanner::is_k_spanner(&net, game.host_distances(), game.alpha() + 1.0) {
             continue;
         }
         // AE prune: whether an *addition* improves is independent of who
@@ -196,10 +195,9 @@ fn has_improving_greedy_edge_move(
         if !wx.is_finite() {
             continue;
         }
-        let after_swap: f64 =
-            dijkstra_masked(net, owner, &[(owner, other)], &[(owner, x, wx)])
-                .iter()
-                .sum();
+        let after_swap: f64 = dijkstra_masked(net, owner, &[(owner, other)], &[(owner, x, wx)])
+            .iter()
+            .sum();
         let delta = game.alpha() * (wx - game.w(owner, other)) + (after_swap - before);
         if delta < -gncg_graph::EPS {
             return true;

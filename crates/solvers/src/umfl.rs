@@ -73,13 +73,14 @@ impl FacilityLocation {
         let mut cur = self.cost(&sol);
         loop {
             let mut best_sol: Option<(BTreeSet<usize>, f64)> = None;
-            let consider = |cand: BTreeSet<usize>, cur: f64, best: &mut Option<(BTreeSet<usize>, f64)>| {
-                let c = self.cost(&cand);
-                let incumbent = best.as_ref().map_or(cur, |&(_, b)| b);
-                if c < incumbent - gncg_graph::EPS {
-                    *best = Some((cand, c));
-                }
-            };
+            let consider =
+                |cand: BTreeSet<usize>, cur: f64, best: &mut Option<(BTreeSet<usize>, f64)>| {
+                    let c = self.cost(&cand);
+                    let incumbent = best.as_ref().map_or(cur, |&(_, b)| b);
+                    if c < incumbent - gncg_graph::EPS {
+                        *best = Some((cand, c));
+                    }
+                };
             // Opens.
             for i in 0..nf {
                 if !sol.contains(&i) {

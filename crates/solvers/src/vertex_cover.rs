@@ -103,9 +103,7 @@ pub fn exact_min_cover(g: &CoverGraph) -> Vec<usize> {
             return;
         }
         // First uncovered edge.
-        let uncovered = edges
-            .iter()
-            .find(|&&(u, v)| !in_cover[u] && !in_cover[v]);
+        let uncovered = edges.iter().find(|&&(u, v)| !in_cover[u] && !in_cover[v]);
         match uncovered {
             None => {
                 *best = cur.clone();
@@ -196,7 +194,17 @@ mod tests {
         // example (the 3-prism, VC = 4... verify by brute force).
         let g = CoverGraph::new(
             6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (0, 3),
+                (1, 4),
+                (2, 5),
+            ],
         );
         assert!(g.max_degree() <= 3);
         let c = exact_min_cover(&g);

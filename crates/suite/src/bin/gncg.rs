@@ -1,19 +1,28 @@
 //! `gncg` — command-line front end for the library.
 //!
 //! ```text
-//! gncg simulate --host <kind> --n <n> --alpha <α> [--seed <s>] [--rule br|greedy|add]
-//! gncg poa      --host <kind> --n <n> --alpha <α> [--seed <s>]
-//! gncg opt      --host <kind> --n <n> --alpha <α> [--seed <s>]
-//! gncg landscape --host <kind> --n <n> --alpha <α> [--seed <s>]
-//! gncg analyze  --host <kind> --n <n> --alpha <α> [--seed <s>]
+//! gncg simulate  --host <key> --n <n> --alpha <α> [--seed <s>] [--rule br|greedy|add] [--max-rounds <r>]
+//! gncg poa       --host <key> --n <n> --alpha <α> [--seed <s>]
+//! gncg opt       --host <key> --n <n> --alpha <α> [--seed <s>]
+//! gncg landscape --host <key> --n <n> --alpha <α> [--seed <s>]
+//! gncg analyze   --host <key> --n <n> --alpha <α> [--seed <s>]
+//! gncg grid      --out <file.jsonl> [--name <s>] [--hosts k1,k2] [--n n1,n2]
+//!                [--alpha a1,a2] [--rules r1,r2] [--scheds s1,s2]
+//!                [--seeds s1,s2 | --seed-count k] [--max-rounds <r>] [--base-seed <s>]
+//! gncg resume    --out <file.jsonl>
+//! gncg list-factories
 //! ```
 //!
-//! Host kinds: `unit`, `onetwo`, `tree`, `r2`, `metric`, `general`,
-//! `grid`, `clusters`.
+//! Host keys come from the `gncg_metrics::factory` registry
+//! (`gncg list-factories` prints them). Exit codes: `0` success, `1`
+//! non-convergence (so dynamics commands are scriptable from CI), `2`
+//! invalid arguments or I/O failure.
 
 use gncg_core::{Game, Profile};
 use gncg_dynamics::{DynamicsConfig, ResponseRule, Scheduler};
 use gncg_graph::SymMatrix;
+use gncg_suite::grid::{manifest_path, run_grid, GridSummary};
+use gncg_suite::scenario::{RuleSpec, ScenarioSpec, SchedSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,20 +30,40 @@ fn main() {
         usage_and_exit();
     }
     let cmd = args[0].clone();
-    let opts = Options::parse(&args[1..]);
-    let host = opts.build_host();
-    let game = Game::new(host, opts.alpha);
     match cmd.as_str() {
-        "simulate" => simulate(&game, &opts),
-        "poa" => poa_cmd(&game),
-        "opt" => opt_cmd(&game),
-        "landscape" => landscape_cmd(&game),
-        "analyze" => analyze_cmd(&game, &opts),
+        "list-factories" => list_factories(),
+        "grid" => grid_cmd(&args[1..]),
+        "resume" => resume_cmd(&args[1..]),
+        "simulate" | "poa" | "opt" | "landscape" | "analyze" => {
+            let opts = Options::parse(&args[1..]);
+            let host = opts.build_host();
+            let game = Game::new(host, opts.alpha);
+            match cmd.as_str() {
+                "simulate" => simulate(&game, &opts),
+                "poa" => poa_cmd(&game),
+                "opt" => opt_cmd(&game),
+                "landscape" => landscape_cmd(&game),
+                "analyze" => analyze_cmd(&game, &opts),
+                _ => unreachable!(),
+            }
+        }
         other => {
             eprintln!("unknown command: {other}");
             usage_and_exit();
         }
     }
+}
+
+fn invalid(msg: impl std::fmt::Display) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+/// Parses a flag value, exiting 2 with a message instead of panicking.
+fn parse_or_exit<T: std::str::FromStr>(value: &str, what: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| invalid(format_args!("{what} (got '{value}')")))
 }
 
 struct Options {
@@ -43,6 +72,7 @@ struct Options {
     alpha: f64,
     seed: u64,
     rule: ResponseRule,
+    max_rounds: usize,
 }
 
 impl Options {
@@ -53,71 +83,151 @@ impl Options {
             alpha: 1.0,
             seed: 42,
             rule: ResponseRule::BestGreedyMove,
+            max_rounds: 1_000,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let mut value = || {
                 it.next()
-                    .unwrap_or_else(|| {
-                        eprintln!("missing value for {flag}");
-                        std::process::exit(2);
-                    })
+                    .unwrap_or_else(|| invalid(format_args!("missing value for {flag}")))
                     .clone()
             };
             match flag.as_str() {
                 "--host" => o.host = value(),
-                "--n" => o.n = value().parse().expect("--n takes an integer"),
-                "--alpha" => o.alpha = value().parse().expect("--alpha takes a float"),
-                "--seed" => o.seed = value().parse().expect("--seed takes an integer"),
+                "--n" => o.n = parse_or_exit(&value(), "--n takes an integer"),
+                "--alpha" => o.alpha = parse_or_exit(&value(), "--alpha takes a float"),
+                "--seed" => o.seed = parse_or_exit(&value(), "--seed takes an integer"),
+                "--max-rounds" => {
+                    o.max_rounds = parse_or_exit(&value(), "--max-rounds takes an integer")
+                }
                 "--rule" => {
-                    o.rule = match value().as_str() {
-                        "br" => ResponseRule::ExactBestResponse,
-                        "greedy" => ResponseRule::BestGreedyMove,
-                        "add" => ResponseRule::AddOnly,
-                        other => {
-                            eprintln!("unknown rule: {other} (use br|greedy|add)");
-                            std::process::exit(2);
-                        }
-                    }
+                    o.rule = RuleSpec::parse(&value())
+                        .unwrap_or_else(|e| invalid(e))
+                        .rule()
                 }
-                other => {
-                    eprintln!("unknown flag: {other}");
-                    std::process::exit(2);
-                }
+                other => invalid(format_args!("unknown flag: {other}")),
             }
         }
         o
     }
 
     fn build_host(&self) -> SymMatrix {
-        match self.host.as_str() {
-            "unit" => gncg_metrics::unit::unit_host(self.n),
-            "onetwo" => gncg_metrics::onetwo::random(self.n, 0.4, self.seed),
-            "tree" => {
-                gncg_metrics::treemetric::random_tree(self.n, 1.0, 4.0, self.seed).metric_closure()
+        gncg_metrics::factory::build_host(&self.host, self.n, self.seed)
+            .unwrap_or_else(|e| invalid(e))
+    }
+}
+
+fn list_factories() {
+    println!("registered host factories (gncg_metrics::factory):");
+    for f in gncg_metrics::factory::registry() {
+        println!(
+            "  {:10} {} [{}]",
+            f.key(),
+            f.describe(),
+            if f.metric() { "metric" } else { "non-metric" }
+        );
+    }
+}
+
+/// Parses `gncg grid` flags into a [`ScenarioSpec`] plus the output path.
+fn parse_grid_spec(args: &[String]) -> (ScenarioSpec, std::path::PathBuf) {
+    let mut spec = ScenarioSpec::default();
+    let mut out: Option<std::path::PathBuf> = None;
+    fn split_list<T>(value: &str, parse: impl Fn(&str) -> T) -> Vec<T> {
+        value
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| parse(s.trim()))
+            .collect()
+    }
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| invalid(format_args!("missing value for {flag}")))
+                .clone()
+        };
+        match flag.as_str() {
+            "--out" => out = Some(value().into()),
+            "--name" => spec.name = value(),
+            "--hosts" => spec.hosts = split_list(&value(), str::to_string),
+            "--n" => spec.ns = split_list(&value(), |s| parse_or_exit(s, "--n takes integers")),
+            "--alpha" => {
+                spec.alphas = split_list(&value(), |s| parse_or_exit(s, "--alpha takes floats"))
             }
-            "r2" => gncg_metrics::euclidean::PointSet::random(self.n, 2, 10.0, self.seed)
-                .host_matrix(gncg_metrics::euclidean::Norm::L2),
-            "metric" => gncg_metrics::arbitrary::random_metric(self.n, 1.0, 5.0, self.seed),
-            "general" => gncg_metrics::arbitrary::random(self.n, 0.5, 8.0, self.seed),
-            "grid" => {
-                let side = (self.n as f64).sqrt().ceil() as usize;
-                gncg_metrics::structured::grid(side, side.max(1), 1.0)
-                    .host_matrix(gncg_metrics::euclidean::Norm::L2)
+            "--rules" => {
+                spec.rules = split_list(&value(), |s| {
+                    RuleSpec::parse(s).unwrap_or_else(|e| invalid(e))
+                })
             }
-            "clusters" => gncg_metrics::structured::clustered(
-                (self.n / 4).max(1),
-                4,
-                20.0,
-                1.0,
-                self.seed,
-            )
-            .host_matrix(gncg_metrics::euclidean::Norm::L2),
-            other => {
-                eprintln!("unknown host kind: {other}");
-                std::process::exit(2);
+            "--scheds" => {
+                spec.schedulers = split_list(&value(), |s| {
+                    SchedSpec::parse(s).unwrap_or_else(|e| invalid(e))
+                })
             }
+            "--seeds" => {
+                spec.seeds = split_list(&value(), |s| parse_or_exit(s, "--seeds takes integers"))
+            }
+            "--seed-count" => {
+                let k: u64 = parse_or_exit(&value(), "--seed-count takes an integer");
+                spec.seeds = (0..k).collect();
+            }
+            "--max-rounds" => {
+                spec.max_rounds = parse_or_exit(&value(), "--max-rounds takes an integer")
+            }
+            "--base-seed" => {
+                spec.base_seed = parse_or_exit(&value(), "--base-seed takes an integer")
+            }
+            other => invalid(format_args!("unknown flag: {other}")),
         }
+    }
+    let out = out.unwrap_or_else(|| invalid("grid requires --out <file.jsonl>"));
+    if let Err(e) = spec.validate() {
+        invalid(e);
+    }
+    (spec, out)
+}
+
+fn print_summary(s: &GridSummary) {
+    println!(
+        "grid: {} cells ({} resumed from disk, {} run, {} of those converged) in {:.2}s",
+        s.total, s.skipped, s.ran, s.converged, s.wall_secs
+    );
+    println!("results: {}", s.out.display());
+    println!("manifest: {}", manifest_path(&s.out).display());
+}
+
+fn grid_cmd(args: &[String]) {
+    let (spec, out) = parse_grid_spec(args);
+    match run_grid(&spec, &out, false) {
+        Ok(summary) => print_summary(&summary),
+        Err(e) => invalid(e),
+    }
+}
+
+fn resume_cmd(args: &[String]) {
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .unwrap_or_else(|| invalid("missing value for --out"))
+                        .into(),
+                )
+            }
+            other => invalid(format_args!("unknown flag: {other}")),
+        }
+    }
+    let out = out.unwrap_or_else(|| invalid("resume requires --out <file.jsonl>"));
+    let manifest = manifest_path(&out);
+    let text = std::fs::read_to_string(&manifest)
+        .unwrap_or_else(|e| invalid(format_args!("cannot read {}: {e}", manifest.display())));
+    let spec = ScenarioSpec::from_manifest(&text).unwrap_or_else(|e| invalid(e));
+    match run_grid(&spec, &out, true) {
+        Ok(summary) => print_summary(&summary),
+        Err(e) => invalid(e),
     }
 }
 
@@ -128,7 +238,7 @@ fn simulate(game: &Game, opts: &Options) {
         &DynamicsConfig {
             rule: opts.rule,
             scheduler: Scheduler::RoundRobin,
-            max_rounds: 1000,
+            max_rounds: opts.max_rounds,
             record_trace: false,
         },
     );
@@ -144,6 +254,10 @@ fn simulate(game: &Game, opts: &Options) {
         "cost:    {:.4}",
         gncg_core::cost::social_cost(game, &result.profile)
     );
+    if !result.converged() {
+        eprintln!("non-convergence: no equilibrium certified within the round cap");
+        std::process::exit(1);
+    }
 }
 
 fn poa_cmd(game: &Game) {
@@ -158,8 +272,8 @@ fn poa_cmd(game: &Game) {
         },
     );
     if !run.converged() {
-        println!("dynamics did not converge (no FIP — try another seed)");
-        return;
+        eprintln!("dynamics did not converge (no FIP — try another seed)");
+        std::process::exit(1);
     }
     let eq = gncg_core::cost::social_cost(game, &run.profile);
     let opt = if game.n() <= 7 {
@@ -168,9 +282,19 @@ fn poa_cmd(game: &Game) {
         gncg_solvers::opt_heuristic::social_optimum_heuristic(game, 40).cost
     };
     println!("equilibrium cost: {eq:.4}");
-    println!("optimum cost:     {opt:.4} ({})", if game.n() <= 7 { "exact" } else { "heuristic upper bound" });
+    println!(
+        "optimum cost:     {opt:.4} ({})",
+        if game.n() <= 7 {
+            "exact"
+        } else {
+            "heuristic upper bound"
+        }
+    );
     println!("ratio:            {:.4}", eq / opt);
-    println!("(α+2)/2 bound:    {:.4}", gncg_core::poa::metric_upper_bound(game.alpha()));
+    println!(
+        "(α+2)/2 bound:    {:.4}",
+        gncg_core::poa::metric_upper_bound(game.alpha())
+    );
 }
 
 fn opt_cmd(game: &Game) {
@@ -180,25 +304,33 @@ fn opt_cmd(game: &Game) {
         println!("edges: {:?}", opt.edges);
     } else {
         let opt = gncg_solvers::opt_heuristic::social_optimum_heuristic(game, 60);
-        println!("heuristic optimum cost: {:.4} ({} rounds)", opt.cost, opt.rounds);
+        println!(
+            "heuristic optimum cost: {:.4} ({} rounds)",
+            opt.cost, opt.rounds
+        );
         println!("edges: {:?}", opt.edges);
     }
 }
 
 fn landscape_cmd(game: &Game) {
     if game.n() > 6 {
-        eprintln!("landscape enumeration needs --n ≤ 6");
-        std::process::exit(2);
+        invalid("landscape enumeration needs --n ≤ 6");
     }
     let land = gncg_solvers::stability::enumerate_equilibria(game);
     let opt = gncg_solvers::opt_exact::social_optimum(game);
     println!("connected networks inspected: {}", land.networks);
     println!("networks admitting a NE:      {}", land.count);
-    match (land.price_of_stability(opt.cost), land.price_of_anarchy(opt.cost)) {
+    match (
+        land.price_of_stability(opt.cost),
+        land.price_of_anarchy(opt.cost),
+    ) {
         (Some(pos), Some(poa)) => {
             println!("exact PoS: {pos:.4}");
             println!("exact PoA: {poa:.4}");
-            println!("(α+2)/2:   {:.4}", gncg_core::poa::metric_upper_bound(game.alpha()));
+            println!(
+                "(α+2)/2:   {:.4}",
+                gncg_core::poa::metric_upper_bound(game.alpha())
+            );
         }
         _ => println!("no pure Nash equilibrium exists on this instance"),
     }
@@ -211,7 +343,7 @@ fn analyze_cmd(game: &Game, opts: &Options) {
         &DynamicsConfig {
             rule: opts.rule,
             scheduler: Scheduler::RoundRobin,
-            max_rounds: 1000,
+            max_rounds: opts.max_rounds,
             record_trace: false,
         },
     );
@@ -242,9 +374,16 @@ fn analyze_cmd(game: &Game, opts: &Options) {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: gncg <simulate|poa|opt|landscape|analyze> \
-         [--host unit|onetwo|tree|r2|metric|general|grid|clusters] \
-         [--n N] [--alpha A] [--seed S] [--rule br|greedy|add]"
+        "usage: gncg <simulate|poa|opt|landscape|analyze|grid|resume|list-factories>\n\
+         \n\
+         instance commands: [--host <key>] [--n N] [--alpha A] [--seed S]\n\
+         \x20                  [--rule br|greedy|add] [--max-rounds R]\n\
+         grid:  --out results.jsonl [--hosts k1,k2] [--n n1,n2] [--alpha a1,a2]\n\
+         \x20      [--rules r1,r2] [--scheds rr,random,maxgain]\n\
+         \x20      [--seeds s1,s2 | --seed-count K] [--max-rounds R] [--base-seed S]\n\
+         resume: --out results.jsonl   (spec is read back from the manifest)\n\
+         \n\
+         host keys: `gncg list-factories`"
     );
     std::process::exit(2);
 }

@@ -1,0 +1,259 @@
+//! The batch grid runner: shards a [`ScenarioSpec`] over the rayon pool
+//! and streams results to JSONL with kill-safe resume.
+//!
+//! # File layout
+//!
+//! `run_grid(spec, "results.jsonl", …)` writes
+//!
+//! * `results.jsonl` — one [`CellResult::to_jsonl`] line per cell, in
+//!   **cell-index order** (waves of shards complete in parallel, but
+//!   lines are only ever appended in order), and
+//! * `results.manifest` — the spec serialized by
+//!   [`ScenarioSpec::to_manifest`], written before the first cell.
+//!
+//! Because lines land strictly in cell order, a killed run leaves a clean
+//! prefix of the full output (plus at most one partial line, which resume
+//! truncates). Resuming re-derives the cell list from the manifest-checked
+//! spec, skips the cells already on disk, and appends the rest — the
+//! final file is byte-identical to an uninterrupted run, which the golden
+//! determinism suite asserts.
+
+use std::fs;
+use std::io::{BufRead as _, BufReader, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use crate::scenario::{shard_size, Cell, CellResult, ScenarioSpec};
+
+/// Aggregate outcome of a [`run_grid`] call.
+#[derive(Clone, Debug)]
+pub struct GridSummary {
+    /// Cells in the spec.
+    pub total: usize,
+    /// Cells already on disk (resume) and skipped.
+    pub skipped: usize,
+    /// Cells executed by this call.
+    pub ran: usize,
+    /// Of the executed cells, how many converged.
+    pub converged: usize,
+    /// Wall-clock seconds spent executing cells.
+    pub wall_secs: f64,
+    /// The JSONL output path.
+    pub out: PathBuf,
+}
+
+/// The manifest path that belongs to a JSONL output path.
+pub fn manifest_path(out: &Path) -> PathBuf {
+    out.with_extension("manifest")
+}
+
+/// Runs `spec`, streaming results to `out` (and its sidecar manifest).
+///
+/// With `resume = false` any previous output at `out` is overwritten.
+/// With `resume = true` the on-disk manifest must match `spec` exactly
+/// (byte equality of [`ScenarioSpec::to_manifest`]); completed cells are
+/// skipped, a trailing partial line is truncated away, and execution
+/// continues from the first missing cell.
+pub fn run_grid(spec: &ScenarioSpec, out: &Path, resume: bool) -> Result<GridSummary, String> {
+    spec.validate()?;
+    let cells = spec.expand();
+    let manifest = spec.to_manifest();
+    let manifest_file = manifest_path(out);
+
+    let completed = if resume {
+        let on_disk = fs::read_to_string(&manifest_file)
+            .map_err(|e| format!("cannot read manifest {}: {e}", manifest_file.display()))?;
+        if on_disk != manifest {
+            return Err(format!(
+                "manifest {} does not match the spec — refusing to resume a different grid",
+                manifest_file.display()
+            ));
+        }
+        clean_prefix_len(out, &cells)?
+    } else {
+        if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+            fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+        fs::write(&manifest_file, &manifest)
+            .map_err(|e| format!("cannot write manifest {}: {e}", manifest_file.display()))?;
+        fs::write(out, "").map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+        0
+    };
+
+    let remaining = &cells[completed..];
+    let file = fs::OpenOptions::new()
+        .append(true)
+        .open(out)
+        .map_err(|e| format!("cannot open {} for append: {e}", out.display()))?;
+    let mut writer = BufWriter::new(file);
+
+    let started = Instant::now();
+    let mut ran = 0usize;
+    let mut converged = 0usize;
+    // Waves bound how much output can sit in memory before it is flushed:
+    // each wave fans its shards over the rayon pool (one Runner — hence
+    // one reusable Engine — per shard), then appends its lines in order.
+    let shard = shard_size(cells.len());
+    let wave = (shard * rayon::current_num_threads().max(1)).max(1);
+    for wave_cells in remaining.chunks(wave) {
+        let results = crate::scenario::run_shards(wave_cells, shard);
+        for r in &results {
+            writeln!(writer, "{}", r.to_jsonl())
+                .map_err(|e| format!("write to {} failed: {e}", out.display()))?;
+            ran += 1;
+            if r.outcome == "converged" {
+                converged += 1;
+            }
+        }
+        writer
+            .flush()
+            .map_err(|e| format!("flush of {} failed: {e}", out.display()))?;
+    }
+
+    Ok(GridSummary {
+        total: cells.len(),
+        skipped: completed,
+        ran,
+        converged,
+        wall_secs: started.elapsed().as_secs_f64(),
+        out: out.to_path_buf(),
+    })
+}
+
+/// Counts the clean line prefix of an existing JSONL output (lines that
+/// are newline-terminated and carry the expected cell index), truncating
+/// any partial or out-of-place tail so appending continues the prefix.
+fn clean_prefix_len(out: &Path, cells: &[Cell]) -> Result<usize, String> {
+    let file = match fs::File::open(out) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            fs::write(out, "").map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+            return Ok(0);
+        }
+        Err(e) => return Err(format!("cannot read {}: {e}", out.display())),
+    };
+    let total_bytes = file
+        .metadata()
+        .map_err(|e| format!("cannot stat {}: {e}", out.display()))?
+        .len();
+    // Scan line by line (O(1) memory — a resumable grid can be huge),
+    // accumulating the byte length of the clean, in-order prefix.
+    let mut reader = BufReader::new(file);
+    let mut line = String::new();
+    let mut completed = 0usize;
+    let mut clean_bytes = 0u64;
+    loop {
+        line.clear();
+        let read = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("cannot read {}: {e}", out.display()))?;
+        if read == 0 || !line.ends_with('\n') {
+            break; // EOF or a torn final line.
+        }
+        if completed >= cells.len()
+            || CellResult::cell_index_of_line(line.trim_end()) != Some(completed)
+        {
+            break;
+        }
+        completed += 1;
+        clean_bytes += read as u64;
+    }
+    if clean_bytes != total_bytes {
+        // Drop the partial/foreign tail left by a killed run.
+        fs::OpenOptions::new()
+            .write(true)
+            .open(out)
+            .and_then(|f| f.set_len(clean_bytes))
+            .map_err(|e| format!("cannot truncate {}: {e}", out.display()))?;
+    }
+    Ok(completed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{RuleSpec, SchedSpec};
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "grid-test".into(),
+            hosts: vec!["unit".into(), "onetwo".into()],
+            ns: vec![5],
+            alphas: vec![0.5, 2.0],
+            rules: vec![RuleSpec::Greedy],
+            schedulers: vec![SchedSpec::RoundRobin],
+            seeds: vec![0, 1],
+            max_rounds: 200,
+            base_seed: 3,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        // Per-process dir: concurrent test invocations must not share
+        // output files (the assertions compare exact bytes).
+        let dir = std::env::temp_dir().join(format!("gncg-grid-unit-tests-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn fresh_run_writes_all_cells_and_manifest() {
+        let out = tmp("fresh.jsonl");
+        let s = spec();
+        let summary = run_grid(&s, &out, false).unwrap();
+        assert_eq!(summary.total, 8);
+        assert_eq!(summary.ran, 8);
+        assert_eq!(summary.skipped, 0);
+        let text = fs::read_to_string(&out).unwrap();
+        assert_eq!(text.lines().count(), 8);
+        let manifest = fs::read_to_string(manifest_path(&out)).unwrap();
+        assert_eq!(manifest, s.to_manifest());
+    }
+
+    #[test]
+    fn resume_with_mismatched_manifest_is_refused() {
+        let out = tmp("mismatch.jsonl");
+        run_grid(&spec(), &out, false).unwrap();
+        let mut other = spec();
+        other.base_seed = 99;
+        let err = run_grid(&other, &out, true).unwrap_err();
+        assert!(err.contains("refusing to resume"), "{err}");
+    }
+
+    #[test]
+    fn resume_from_partial_reproduces_uninterrupted_bytes() {
+        let out_full = tmp("full.jsonl");
+        let out_part = tmp("partial.jsonl");
+        let s = spec();
+        run_grid(&s, &out_full, false).unwrap();
+        run_grid(&s, &out_part, false).unwrap();
+        // Simulate a kill: keep 3 complete lines plus a torn 4th.
+        let text = fs::read_to_string(&out_part).unwrap();
+        let cut: usize = text.lines().take(3).map(|l| l.len() + 1).sum::<usize>() + 7;
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&out_part)
+            .and_then(|f| f.set_len(cut as u64))
+            .unwrap();
+        let summary = run_grid(&s, &out_part, true).unwrap();
+        assert_eq!(summary.skipped, 3);
+        assert_eq!(summary.ran, 5);
+        assert_eq!(
+            fs::read_to_string(&out_part).unwrap(),
+            fs::read_to_string(&out_full).unwrap(),
+            "resumed output must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn resume_of_complete_run_is_a_no_op() {
+        let out = tmp("complete.jsonl");
+        let s = spec();
+        run_grid(&s, &out, false).unwrap();
+        let before = fs::read_to_string(&out).unwrap();
+        let summary = run_grid(&s, &out, true).unwrap();
+        assert_eq!(summary.ran, 0);
+        assert_eq!(summary.skipped, 8);
+        assert_eq!(fs::read_to_string(&out).unwrap(), before);
+    }
+}

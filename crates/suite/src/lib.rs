@@ -1,55 +1,51 @@
 //! # gncg-suite
 //!
-//! Shared helpers for the repo-level integration tests (`tests/`) and
-//! runnable examples (`examples/`). The heavy lifting lives in the other
-//! crates; this crate only provides convenience constructors used across
-//! the suite.
+//! The orchestration layer: scenario grids, the batch JSONL runner, and
+//! shared helpers for the repo-level integration tests (`tests/`), the
+//! runnable examples (`examples/`), and the `gncg` CLI. The heavy lifting
+//! lives in the other crates; this crate turns them into one declarative
+//! pipeline:
+//!
+//! * [`scenario`] — [`scenario::ScenarioSpec`] grids (host factory × n ×
+//!   α × rule × scheduler × seed), deterministic per-cell seeds, the
+//!   engine-reusing [`scenario::Runner`], serializable
+//!   [`scenario::CellResult`]s,
+//! * [`grid`] — the sharded batch runner streaming ordered JSONL with a
+//!   resume manifest.
+
+pub mod grid;
+pub mod scenario;
 
 use gncg_core::{Game, Profile};
-use gncg_dynamics::{DynamicsConfig, ResponseRule, RunResult, Scheduler};
+use gncg_dynamics::{ResponseRule, RunResult};
+
+pub use scenario::{dynamics_from, dynamics_from_star};
 
 /// Runs capped exact-best-response dynamics from a star start and returns
 /// the result. Convergence means the final profile is a certified NE.
 pub fn br_dynamics_from_star(game: &Game, center: u32, max_rounds: usize) -> RunResult {
-    gncg_dynamics::run(
+    dynamics_from(
         game,
         Profile::star(game.n(), center),
-        &DynamicsConfig {
-            rule: ResponseRule::ExactBestResponse,
-            scheduler: Scheduler::RoundRobin,
-            max_rounds,
-            record_trace: false,
-        },
+        ResponseRule::ExactBestResponse,
+        max_rounds,
     )
 }
 
 /// Runs capped greedy dynamics (add/delete/swap) from a star start.
 /// Convergence means the final profile is a Greedy Equilibrium.
 pub fn greedy_dynamics_from_star(game: &Game, center: u32, max_rounds: usize) -> RunResult {
-    gncg_dynamics::run(
+    dynamics_from(
         game,
         Profile::star(game.n(), center),
-        &DynamicsConfig {
-            rule: ResponseRule::BestGreedyMove,
-            scheduler: Scheduler::RoundRobin,
-            max_rounds,
-            record_trace: false,
-        },
+        ResponseRule::BestGreedyMove,
+        max_rounds,
     )
 }
 
 /// Runs add-only dynamics from a given profile (converges to an AE).
 pub fn add_only_dynamics(game: &Game, start: Profile, max_rounds: usize) -> RunResult {
-    gncg_dynamics::run(
-        game,
-        start,
-        &DynamicsConfig {
-            rule: ResponseRule::AddOnly,
-            scheduler: Scheduler::RoundRobin,
-            max_rounds,
-            record_trace: false,
-        },
-    )
+    dynamics_from(game, start, ResponseRule::AddOnly, max_rounds)
 }
 
 #[cfg(test)]

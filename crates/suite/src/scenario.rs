@@ -1,0 +1,753 @@
+//! The scenario subsystem: declarative experiment grids from host factory
+//! to per-cell results.
+//!
+//! A [`ScenarioSpec`] names a grid of cells — the cross product
+//! `host factory × n × α × response rule × scheduler × seed` — and
+//! expands it into a deterministic list of [`Cell`]s, each with its own
+//! derived seed. A [`Runner`] executes cells on a long-lived
+//! [`gncg_dynamics::Engine`] (scratch reused across cells instead of
+//! reallocated per run) and produces serializable [`CellResult`]s.
+//!
+//! Determinism contract: equal specs expand to equal cell lists, equal
+//! cells produce equal results, and [`CellResult::to_jsonl`] emits a
+//! byte-stable line — so an interrupted grid run resumed from disk is
+//! byte-identical to an uninterrupted one (see [`crate::grid`]). Wall
+//! times are measured ([`CellResult::wall_micros`]) but deliberately
+//! **excluded** from the JSONL line for exactly this reason.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use gncg_core::{cost, equilibrium, Game, NodeId, Profile};
+use gncg_dynamics::{DynamicsConfig, Engine, Outcome, ResponseRule, RunResult, Scheduler};
+
+/// JSONL schema version emitted by [`CellResult::to_jsonl`] consumers
+/// (bumped when the line format changes incompatibly).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// splitmix64 — the per-cell seed derivation. Statistically independent
+/// outputs for sequential inputs; stable across platforms and releases.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A response rule axis value, with its stable spec/JSONL name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuleSpec {
+    /// Exact best response (`br`).
+    Br,
+    /// Best greedy move (`greedy`).
+    Greedy,
+    /// Best single addition (`add`).
+    Add,
+}
+
+impl RuleSpec {
+    /// Every rule, in canonical order.
+    pub const ALL: [RuleSpec; 3] = [RuleSpec::Br, RuleSpec::Greedy, RuleSpec::Add];
+
+    /// The stable name used in specs, CLI flags, and JSONL.
+    pub fn key(self) -> &'static str {
+        match self {
+            RuleSpec::Br => "br",
+            RuleSpec::Greedy => "greedy",
+            RuleSpec::Add => "add",
+        }
+    }
+
+    /// Parses a stable name.
+    pub fn parse(s: &str) -> Result<RuleSpec, String> {
+        RuleSpec::ALL
+            .into_iter()
+            .find(|r| r.key() == s)
+            .ok_or_else(|| format!("unknown rule '{s}' (use br|greedy|add)"))
+    }
+
+    /// The dynamics-engine rule.
+    pub fn rule(self) -> ResponseRule {
+        match self {
+            RuleSpec::Br => ResponseRule::ExactBestResponse,
+            RuleSpec::Greedy => ResponseRule::BestGreedyMove,
+            RuleSpec::Add => ResponseRule::AddOnly,
+        }
+    }
+}
+
+/// A scheduler axis value, with its stable spec/JSONL name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedSpec {
+    /// Round robin (`rr`).
+    RoundRobin,
+    /// Fresh random permutation per round (`random`); the RNG seed is
+    /// derived from the cell seed.
+    Random,
+    /// Largest-improvement-first (`maxgain`).
+    MaxGain,
+}
+
+impl SchedSpec {
+    /// Every scheduler, in canonical order.
+    pub const ALL: [SchedSpec; 3] = [SchedSpec::RoundRobin, SchedSpec::Random, SchedSpec::MaxGain];
+
+    /// The stable name used in specs, CLI flags, and JSONL.
+    pub fn key(self) -> &'static str {
+        match self {
+            SchedSpec::RoundRobin => "rr",
+            SchedSpec::Random => "random",
+            SchedSpec::MaxGain => "maxgain",
+        }
+    }
+
+    /// Parses a stable name.
+    pub fn parse(s: &str) -> Result<SchedSpec, String> {
+        SchedSpec::ALL
+            .into_iter()
+            .find(|r| r.key() == s)
+            .ok_or_else(|| format!("unknown scheduler '{s}' (use rr|random|maxgain)"))
+    }
+
+    /// The dynamics-engine scheduler for a cell (the random scheduler's
+    /// permutation stream is derived from, but distinct from, the cell's
+    /// host seed).
+    pub fn scheduler(self, cell_seed: u64) -> Scheduler {
+        match self {
+            SchedSpec::RoundRobin => Scheduler::RoundRobin,
+            SchedSpec::Random => Scheduler::RandomOrder {
+                seed: splitmix64(cell_seed ^ 0x5C5C_5C5C_5C5C_5C5C),
+            },
+            SchedSpec::MaxGain => Scheduler::MaxGain,
+        }
+    }
+}
+
+/// A declarative experiment grid: the cross product of its axes.
+///
+/// Expansion order is fixed (hosts, then `n`s, then αs, then rules, then
+/// schedulers, then seeds, innermost last) and each cell receives a
+/// deterministic seed derived from `base_seed` and its index, so the same
+/// spec always reproduces the same cells bit for bit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Human-readable grid name (recorded in the manifest).
+    pub name: String,
+    /// Host factory keys (see `gncg_metrics::factory`).
+    pub hosts: Vec<String>,
+    /// Agent counts.
+    pub ns: Vec<usize>,
+    /// Edge-price parameters α.
+    pub alphas: Vec<f64>,
+    /// Response rules.
+    pub rules: Vec<RuleSpec>,
+    /// Schedulers.
+    pub schedulers: Vec<SchedSpec>,
+    /// Instance seeds (the raw axis values; per-cell seeds are derived).
+    pub seeds: Vec<u64>,
+    /// Round cap per cell.
+    pub max_rounds: usize,
+    /// Master seed mixed into every derived cell seed.
+    pub base_seed: u64,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            name: "grid".into(),
+            hosts: vec!["r2".into()],
+            ns: vec![8],
+            alphas: vec![1.0],
+            rules: vec![RuleSpec::Greedy],
+            schedulers: vec![SchedSpec::RoundRobin],
+            seeds: vec![0],
+            max_rounds: 1_000,
+            base_seed: 0,
+        }
+    }
+}
+
+/// One expanded grid cell: a fully specified dynamics run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cell {
+    /// Position in the expansion (also the JSONL line position).
+    pub index: usize,
+    /// Host factory key.
+    pub host: String,
+    /// Agent count.
+    pub n: usize,
+    /// Edge price.
+    pub alpha: f64,
+    /// Response rule.
+    pub rule: RuleSpec,
+    /// Scheduler.
+    pub scheduler: SchedSpec,
+    /// The raw seed-axis value.
+    pub seed: u64,
+    /// Derived deterministic seed (host construction + scheduler RNG).
+    pub cell_seed: u64,
+    /// Round cap.
+    pub max_rounds: usize,
+}
+
+impl ScenarioSpec {
+    /// Number of cells the spec expands to.
+    pub fn cell_count(&self) -> usize {
+        self.hosts.len()
+            * self.ns.len()
+            * self.alphas.len()
+            * self.rules.len()
+            * self.schedulers.len()
+            * self.seeds.len()
+    }
+
+    /// Checks the spec is runnable and manifest-safe: every axis
+    /// non-empty, every host key registered, positive round cap, finite
+    /// αs, and a name the line-oriented manifest can round-trip.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cell_count() == 0 {
+            return Err("spec expands to 0 cells (every axis must be non-empty)".into());
+        }
+        if self.max_rounds == 0 {
+            return Err("max_rounds must be positive".into());
+        }
+        if self.name.contains(['\n', '\r']) {
+            return Err(
+                "spec name must not contain line breaks (manifest is line-oriented)".into(),
+            );
+        }
+        for key in &self.hosts {
+            gncg_metrics::factory::lookup(key)?;
+        }
+        for &n in &self.ns {
+            if n < 2 {
+                return Err(format!("n = {n} is below the 2-agent minimum"));
+            }
+        }
+        for &alpha in &self.alphas {
+            if !alpha.is_finite() {
+                return Err(format!(
+                    "alpha = {alpha} is not finite (JSONL cells could not round-trip it)"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands the grid into its deterministic cell list.
+    pub fn expand(&self) -> Vec<Cell> {
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for host in &self.hosts {
+            for &n in &self.ns {
+                for &alpha in &self.alphas {
+                    for &rule in &self.rules {
+                        for &scheduler in &self.schedulers {
+                            for &seed in &self.seeds {
+                                let index = cells.len();
+                                // Mix the seed axis in separately from the
+                                // index so permuting other axes never
+                                // aliases two cells onto one stream.
+                                let cell_seed =
+                                    splitmix64(self.base_seed ^ splitmix64(index as u64) ^ seed);
+                                cells.push(Cell {
+                                    index,
+                                    host: host.clone(),
+                                    n,
+                                    alpha,
+                                    rule,
+                                    scheduler,
+                                    seed,
+                                    cell_seed,
+                                    max_rounds: self.max_rounds,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Serializes the spec as the resume manifest (stable `key=value`
+    /// lines; [`ScenarioSpec::from_manifest`] round-trips it exactly).
+    pub fn to_manifest(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("schema={SCHEMA_VERSION}\n"));
+        s.push_str(&format!("name={}\n", self.name));
+        s.push_str(&format!("hosts={}\n", self.hosts.join(",")));
+        s.push_str(&format!(
+            "ns={}\n",
+            self.ns
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+        s.push_str(&format!(
+            "alphas={}\n",
+            self.alphas
+                .iter()
+                .map(|a| format!("{a:?}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+        s.push_str(&format!(
+            "rules={}\n",
+            self.rules
+                .iter()
+                .map(|r| r.key())
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+        s.push_str(&format!(
+            "schedulers={}\n",
+            self.schedulers
+                .iter()
+                .map(|r| r.key())
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+        s.push_str(&format!(
+            "seeds={}\n",
+            self.seeds
+                .iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+        s.push_str(&format!("max_rounds={}\n", self.max_rounds));
+        s.push_str(&format!("base_seed={}\n", self.base_seed));
+        s
+    }
+
+    /// Parses a manifest produced by [`ScenarioSpec::to_manifest`].
+    pub fn from_manifest(text: &str) -> Result<ScenarioSpec, String> {
+        let mut spec = ScenarioSpec {
+            name: String::new(),
+            hosts: Vec::new(),
+            ns: Vec::new(),
+            alphas: Vec::new(),
+            rules: Vec::new(),
+            schedulers: Vec::new(),
+            seeds: Vec::new(),
+            max_rounds: 0,
+            base_seed: 0,
+        };
+        for raw in text.lines() {
+            // Trim only line endings and for blank/comment detection; the
+            // *value* is kept verbatim so names round-trip exactly.
+            let line = raw.trim_end_matches('\r');
+            if line.trim().is_empty() || line.trim_start().starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("manifest line without '=': {line}"))?;
+            fn list<T, E: std::fmt::Display>(
+                value: &str,
+                parse: impl Fn(&str) -> Result<T, E>,
+            ) -> Result<Vec<T>, String> {
+                value
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| parse(s.trim()).map_err(|e| e.to_string()))
+                    .collect()
+            }
+            match key.trim() {
+                "schema" => {
+                    let v: u32 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| "bad schema version".to_string())?;
+                    if v != SCHEMA_VERSION {
+                        return Err(format!(
+                            "manifest schema {v} unsupported (this build speaks {SCHEMA_VERSION})"
+                        ));
+                    }
+                }
+                "name" => spec.name = value.to_string(),
+                "hosts" => spec.hosts = list(value, |s| Ok::<_, String>(s.to_string()))?,
+                "ns" => spec.ns = list(value, str::parse::<usize>)?,
+                "alphas" => spec.alphas = list(value, str::parse::<f64>)?,
+                "rules" => spec.rules = list(value, RuleSpec::parse)?,
+                "schedulers" => spec.schedulers = list(value, SchedSpec::parse)?,
+                "seeds" => spec.seeds = list(value, str::parse::<u64>)?,
+                "max_rounds" => {
+                    spec.max_rounds = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| "bad max_rounds".to_string())?
+                }
+                "base_seed" => {
+                    spec.base_seed = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| "bad base_seed".to_string())?
+                }
+                other => return Err(format!("unknown manifest key '{other}'")),
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// Serializable result of one cell: what the JSONL stream carries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellResult {
+    /// Cell index within the spec expansion.
+    pub cell: usize,
+    /// Host factory key.
+    pub host: String,
+    /// Agent count.
+    pub n: usize,
+    /// Edge price.
+    pub alpha: f64,
+    /// Response rule.
+    pub rule: RuleSpec,
+    /// Scheduler.
+    pub scheduler: SchedSpec,
+    /// Raw seed-axis value.
+    pub seed: u64,
+    /// `"converged"`, `"cycle"`, or `"max_rounds"`.
+    pub outcome: &'static str,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Applied moves.
+    pub moves: usize,
+    /// Social cost of the final profile (`None` when disconnected —
+    /// serialized as JSON `null`).
+    pub social_cost: Option<f64>,
+    /// Whether the final profile was explicitly re-certified as an
+    /// equilibrium of the rule's class (NE / GE / AE).
+    pub certified: bool,
+    /// Wall-clock microseconds for the cell — **not serialized**: the
+    /// JSONL stream is byte-reproducible across runs and resumes, which
+    /// timing data would break. Aggregate timing is reported by the grid
+    /// summary instead.
+    pub wall_micros: u128,
+}
+
+/// Formats an `Option<f64>` losslessly for JSON (`{:?}` is the shortest
+/// round-trip float representation; disconnected costs become `null`).
+fn json_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:?}"),
+        _ => "null".into(),
+    }
+}
+
+impl CellResult {
+    /// One JSONL line (no trailing newline). Field order is fixed;
+    /// floats use the shortest round-trip representation; wall time is
+    /// excluded (see [`CellResult::wall_micros`]).
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"cell\":{},\"host\":\"{}\",\"n\":{},\"alpha\":{},\"rule\":\"{}\",\"scheduler\":\"{}\",\"seed\":{},\"outcome\":\"{}\",\"rounds\":{},\"moves\":{},\"social_cost\":{},\"certified\":{}}}",
+            self.cell,
+            self.host,
+            self.n,
+            json_f64(Some(self.alpha)),
+            self.rule.key(),
+            self.scheduler.key(),
+            self.seed,
+            self.outcome,
+            self.rounds,
+            self.moves,
+            json_f64(self.social_cost),
+            self.certified,
+        )
+    }
+
+    /// Extracts the cell index from a [`CellResult::to_jsonl`] line
+    /// (`None` for malformed/foreign lines) — the resume scanner.
+    pub fn cell_index_of_line(line: &str) -> Option<usize> {
+        let rest = line.strip_prefix("{\"cell\":")?;
+        let end = rest.find(',')?;
+        rest[..end].parse().ok()
+    }
+}
+
+/// Executes cells on a long-lived [`Engine`]: scratch (cached network,
+/// warm distance vectors, cycle-detector map) is reused across cells.
+/// One `Runner` per worker shard.
+#[derive(Debug, Default)]
+pub struct Runner {
+    engine: Engine,
+}
+
+impl Runner {
+    /// A fresh runner.
+    pub fn new() -> Self {
+        Runner::default()
+    }
+
+    /// Runs one cell, returning the full run alongside the serializable
+    /// result (consumers that need the final profile — diameters,
+    /// stretch factors — use this; the grid streamer uses
+    /// [`Runner::run_cell`]).
+    pub fn run_cell_full(&mut self, cell: &Cell) -> (CellResult, Game, RunResult) {
+        let host = gncg_metrics::factory::build_host(&cell.host, cell.n, cell.cell_seed)
+            .expect("spec validated before expansion");
+        let game = Game::new(host, cell.alpha);
+        let cfg = DynamicsConfig {
+            rule: cell.rule.rule(),
+            scheduler: cell.scheduler.scheduler(cell.cell_seed),
+            max_rounds: cell.max_rounds,
+            record_trace: false,
+        };
+        let started = Instant::now();
+        let result = self.engine.run(&game, Profile::star(game.n(), 0), &cfg);
+        let wall_micros = started.elapsed().as_micros();
+        let social = cost::social_cost(&game, &result.profile);
+        let certified = result.converged()
+            && match cell.rule {
+                RuleSpec::Br => equilibrium::is_nash_equilibrium(&game, &result.profile),
+                RuleSpec::Greedy => equilibrium::is_greedy_equilibrium(&game, &result.profile),
+                RuleSpec::Add => equilibrium::is_add_only_equilibrium(&game, &result.profile),
+            };
+        let outcome = match result.outcome {
+            Outcome::Converged { .. } => "converged",
+            Outcome::Cycle { .. } => "cycle",
+            Outcome::MaxRoundsReached => "max_rounds",
+        };
+        let cell_result = CellResult {
+            cell: cell.index,
+            host: cell.host.clone(),
+            n: cell.n,
+            alpha: cell.alpha,
+            rule: cell.rule,
+            scheduler: cell.scheduler,
+            seed: cell.seed,
+            outcome,
+            rounds: result.rounds,
+            moves: result.moves,
+            social_cost: social.is_finite().then_some(social),
+            certified,
+            wall_micros,
+        };
+        (cell_result, game, result)
+    }
+
+    /// Runs one cell for its serializable result.
+    pub fn run_cell(&mut self, cell: &Cell) -> CellResult {
+        self.run_cell_full(cell).0
+    }
+}
+
+/// Runs every cell of `spec` in-memory (sharded over the rayon pool, one
+/// [`Runner`] per shard), returning results in cell order — the
+/// programmatic twin of the JSONL streamer in [`crate::grid`].
+pub fn run_cells(spec: &ScenarioSpec) -> Result<Vec<CellResult>, String> {
+    spec.validate()?;
+    Ok(run_cell_slice(&spec.expand()))
+}
+
+/// Runs an explicit cell list sharded over the rayon pool, preserving
+/// order. Shards are contiguous so each worker's [`Engine`] sees similar
+/// consecutive cells (better scratch reuse than striping).
+pub fn run_cell_slice(cells: &[Cell]) -> Vec<CellResult> {
+    run_shards(cells, shard_size(cells.len()))
+}
+
+/// [`run_cell_slice`] with an explicit shard size — the one sharding
+/// pipeline (one [`Runner`] per contiguous shard, results re-flattened
+/// in cell order) shared with the JSONL wave runner in [`crate::grid`].
+pub(crate) fn run_shards(cells: &[Cell], shard: usize) -> Vec<CellResult> {
+    use rayon::prelude::*;
+    let shards: Vec<&[Cell]> = cells.chunks(shard.max(1)).collect();
+    shards
+        .into_par_iter()
+        .map(|shard| {
+            let mut runner = Runner::new();
+            shard.iter().map(|c| runner.run_cell(c)).collect::<Vec<_>>()
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Cells per worker shard: enough to amortize engine scratch, few enough
+/// to spread over the pool.
+pub(crate) fn shard_size(total: usize) -> usize {
+    let workers = rayon::current_num_threads().max(1);
+    total.div_ceil(workers * 4).clamp(1, 64)
+}
+
+/// Convenience: run capped dynamics from a star on an ad-hoc game (the
+/// shared wiring every driver historically re-implemented).
+pub fn dynamics_from_star(game: &Game, rule: ResponseRule, max_rounds: usize) -> RunResult {
+    Engine::new().run(
+        game,
+        Profile::star(game.n(), 0),
+        &DynamicsConfig {
+            rule,
+            scheduler: Scheduler::RoundRobin,
+            max_rounds,
+            record_trace: false,
+        },
+    )
+}
+
+/// Convenience: run capped dynamics from an explicit start profile.
+pub fn dynamics_from(
+    game: &Game,
+    start: Profile,
+    rule: ResponseRule,
+    max_rounds: usize,
+) -> RunResult {
+    Engine::new().run(
+        game,
+        start,
+        &DynamicsConfig {
+            rule,
+            scheduler: Scheduler::RoundRobin,
+            max_rounds,
+            record_trace: false,
+        },
+    )
+}
+
+/// The strategy sets bought in a profile, as a canonical edge list —
+/// shared by drivers that print equilibrium networks.
+pub fn bought_edges(profile: &Profile) -> Vec<(NodeId, NodeId)> {
+    let mut edges: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+    for (u, v) in profile.edges() {
+        edges.insert((u.min(v), u.max(v)));
+    }
+    edges.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "tiny".into(),
+            hosts: vec!["unit".into(), "onetwo".into()],
+            ns: vec![5],
+            alphas: vec![0.5, 2.0],
+            rules: vec![RuleSpec::Greedy],
+            schedulers: vec![SchedSpec::RoundRobin],
+            seeds: vec![0, 1],
+            max_rounds: 200,
+            base_seed: 7,
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_indexed() {
+        let spec = tiny_spec();
+        let a = spec.expand();
+        let b = spec.expand();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), spec.cell_count());
+        for (i, cell) in a.iter().enumerate() {
+            assert_eq!(cell.index, i);
+        }
+        // Distinct cells get distinct derived seeds.
+        let mut seeds: Vec<u64> = a.iter().map(|c| c.cell_seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), a.len());
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let spec = tiny_spec();
+        let text = spec.to_manifest();
+        let back = ScenarioSpec::from_manifest(&text).unwrap();
+        assert_eq!(spec, back);
+        assert_eq!(back.to_manifest(), text);
+    }
+
+    #[test]
+    fn manifest_round_trips_name_with_edge_whitespace() {
+        let mut spec = tiny_spec();
+        spec.name = " padded name ".into();
+        let back = ScenarioSpec::from_manifest(&spec.to_manifest()).unwrap();
+        assert_eq!(back.name, spec.name, "values must not be trimmed");
+    }
+
+    #[test]
+    fn validate_rejects_manifest_breaking_specs() {
+        let mut spec = tiny_spec();
+        spec.name = "two\nlines".into();
+        assert!(spec.validate().unwrap_err().contains("line breaks"));
+        let mut spec = tiny_spec();
+        spec.alphas = vec![f64::INFINITY];
+        assert!(spec.validate().unwrap_err().contains("not finite"));
+        let mut spec = tiny_spec();
+        spec.alphas = vec![f64::NAN];
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn manifest_rejects_unknown_host_and_schema() {
+        let mut spec = tiny_spec();
+        spec.hosts = vec!["bogus".into()];
+        assert!(spec.validate().is_err());
+        let bad = "schema=99\n";
+        assert!(ScenarioSpec::from_manifest(bad)
+            .unwrap_err()
+            .contains("schema"));
+    }
+
+    #[test]
+    fn jsonl_line_round_trips_cell_index() {
+        let spec = tiny_spec();
+        // Cells 0..4 are the `unit` block (2 alphas × 2 seeds); cell 4 is
+        // the first `onetwo` cell.
+        let cell = &spec.expand()[4];
+        let mut runner = Runner::new();
+        let res = runner.run_cell(cell);
+        let line = res.to_jsonl();
+        assert_eq!(CellResult::cell_index_of_line(&line), Some(4));
+        assert!(line.contains("\"host\":\"onetwo\""));
+        assert!(!line.contains("wall"), "wall time must stay out of JSONL");
+    }
+
+    #[test]
+    fn run_cells_is_deterministic_and_ordered() {
+        let spec = tiny_spec();
+        let a = run_cells(&spec).unwrap();
+        let b = run_cells(&spec).unwrap();
+        assert_eq!(a.len(), spec.cell_count());
+        for (i, r) in a.iter().enumerate() {
+            assert_eq!(r.cell, i);
+        }
+        let lines_a: Vec<String> = a.iter().map(CellResult::to_jsonl).collect();
+        let lines_b: Vec<String> = b.iter().map(CellResult::to_jsonl).collect();
+        assert_eq!(lines_a, lines_b, "JSONL must be byte-stable across runs");
+    }
+
+    #[test]
+    fn converged_unit_cells_certify() {
+        let spec = ScenarioSpec {
+            hosts: vec!["unit".into()],
+            ns: vec![6],
+            alphas: vec![2.0],
+            seeds: vec![0],
+            ..ScenarioSpec::default()
+        };
+        let results = run_cells(&spec).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].outcome, "converged");
+        assert!(results[0].certified);
+        assert!(results[0].social_cost.is_some());
+    }
+
+    #[test]
+    fn scheduler_seed_differs_from_host_seed() {
+        // The random scheduler must not consume the host's seed stream.
+        let s = SchedSpec::Random.scheduler(42);
+        match s {
+            Scheduler::RandomOrder { seed } => assert_ne!(seed, 42),
+            other => panic!("expected RandomOrder, got {other:?}"),
+        }
+    }
+}

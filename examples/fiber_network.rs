@@ -17,7 +17,7 @@ fn main() {
     // A stylized country: one hub city, a coastal arc, and an inland
     // cluster.
     let cities = PointSet::planar(&[
-        (5.0, 5.0),  // hub
+        (5.0, 5.0), // hub
         (0.0, 0.0),
         (1.0, 8.0),
         (2.5, 9.5),

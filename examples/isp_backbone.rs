@@ -9,9 +9,9 @@
 //! cargo run --release -p gncg-suite --example isp_backbone
 //! ```
 
+use gncg_constructions::star_tree;
 use gncg_core::cost::social_cost;
 use gncg_core::equilibrium::is_nash_equilibrium;
-use gncg_constructions::star_tree;
 
 fn main() {
     let alpha = 6.0;
@@ -30,14 +30,26 @@ fn main() {
     );
 
     // The adversarial family: how bad can selfish stability get?
-    println!("\nworst-case family (Thm 15 / Fig 6): ratio → (α+2)/2 = {}", (alpha + 2.0) / 2.0);
-    println!("{:>6} | {:>10} | {:>10} | {:>8}", "n", "NE cost", "OPT cost", "ratio");
+    println!(
+        "\nworst-case family (Thm 15 / Fig 6): ratio → (α+2)/2 = {}",
+        (alpha + 2.0) / 2.0
+    );
+    println!(
+        "{:>6} | {:>10} | {:>10} | {:>8}",
+        "n", "NE cost", "OPT cost", "ratio"
+    );
     println!("{}", "-".repeat(42));
     for n in [4, 8, 16, 32] {
         let g = star_tree::game(n, alpha);
         let ne = social_cost(&g, &star_tree::ne_profile(n));
         let opt = social_cost(&g, &star_tree::opt_profile(n));
-        println!("{:>6} | {:>10.2} | {:>10.2} | {:>8.4}", n, ne, opt, ne / opt);
+        println!(
+            "{:>6} | {:>10.2} | {:>10.2} | {:>8.4}",
+            n,
+            ne,
+            opt,
+            ne / opt
+        );
     }
     println!(
         "\nclosed form at n = 10^6: {:.6}",

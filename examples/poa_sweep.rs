@@ -1,19 +1,65 @@
 //! Price-of-Anarchy sweep: measured equilibrium/optimum ratios across α
-//! and model variants, printed as a plot-ready table. Runs the sweeps in
-//! parallel on the rayon pool.
+//! and model variants, printed as a plot-ready table.
+//!
+//! The sweep is one declarative [`ScenarioSpec`] grid (host factory × α),
+//! sharded over the rayon pool with one engine-reusing [`Runner`] per
+//! shard — the same pipeline `gncg grid` streams to JSONL.
 //!
 //! ```text
 //! cargo run --release -p gncg-suite --example poa_sweep
 //! ```
 
-use gncg_core::cost::social_cost;
-use gncg_core::{Game, Profile};
-use gncg_dynamics::{DynamicsConfig, ResponseRule, Scheduler};
+use std::collections::HashMap;
+
+use gncg_suite::scenario::{Cell, RuleSpec, Runner, ScenarioSpec, SchedSpec};
 use rayon::prelude::*;
 
 fn main() {
     let alphas = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let hosts = ["onetwo", "tree", "r2"];
     let n = 7;
+
+    let spec = ScenarioSpec {
+        name: "poa-sweep".into(),
+        hosts: hosts.iter().map(|s| s.to_string()).collect(),
+        ns: vec![n],
+        alphas: alphas.to_vec(),
+        rules: vec![RuleSpec::Br],
+        schedulers: vec![SchedSpec::RoundRobin],
+        seeds: vec![3],
+        max_rounds: 300,
+        base_seed: 3,
+    };
+
+    // NE/OPT needs the heuristic optimum alongside each equilibrium, so
+    // run cells for their games and final costs: contiguous shards fan
+    // out on the pool, one engine-reusing Runner per shard.
+    let cells = spec.expand();
+    let shards: Vec<&[Cell]> = cells.chunks(alphas.len()).collect();
+    let ratios: HashMap<(String, u64), Option<f64>> = shards
+        .into_par_iter()
+        .map(|shard| {
+            let mut runner = Runner::new();
+            shard
+                .iter()
+                .map(|cell| {
+                    let (res, game, _run) = runner.run_cell_full(cell);
+                    let ratio = match (res.outcome, res.social_cost) {
+                        ("converged", Some(eq)) => {
+                            let opt =
+                                gncg_solvers::opt_heuristic::social_optimum_heuristic(&game, 40);
+                            Some(eq / opt.cost)
+                        }
+                        _ => None,
+                    };
+                    ((cell.host.clone(), cell.alpha.to_bits()), ratio)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flatten()
+        .collect();
 
     println!("measured NE/OPT ratios (n = {n}, best-found equilibria)");
     println!(
@@ -21,32 +67,19 @@ fn main() {
         "α", "1-2", "tree", "R²", "(α+2)/2"
     );
     println!("{}", "-".repeat(56));
-
-    let rows: Vec<String> = alphas
-        .par_iter()
-        .map(|&alpha| {
-            let r12 = measured_ratio(gncg_metrics::onetwo::random(n, 0.4, 3), alpha);
-            let rtree = measured_ratio(
-                gncg_metrics::treemetric::random_tree(n, 1.0, 4.0, 3).metric_closure(),
-                alpha,
-            );
-            let rr2 = measured_ratio(
-                gncg_metrics::euclidean::PointSet::random(n, 2, 10.0, 3)
-                    .host_matrix(gncg_metrics::euclidean::Norm::L2),
-                alpha,
-            );
-            format!(
-                "{:>6.2} | {:>9} | {:>9} | {:>9} | {:>11.3}",
-                alpha,
-                fmt(r12),
-                fmt(rtree),
-                fmt(rr2),
-                (alpha + 2.0) / 2.0
-            )
-        })
-        .collect();
-    for r in rows {
-        println!("{r}");
+    for alpha in alphas {
+        let cols: Vec<String> = hosts
+            .iter()
+            .map(|h| fmt(ratios[&(h.to_string(), alpha.to_bits())]))
+            .collect();
+        println!(
+            "{:>6.2} | {:>9} | {:>9} | {:>9} | {:>11.3}",
+            alpha,
+            cols[0],
+            cols[1],
+            cols[2],
+            (alpha + 2.0) / 2.0
+        );
     }
 
     println!("\nlower-bound families (closed forms, n → ∞):");
@@ -64,25 +97,6 @@ fn main() {
             gncg_core::poa::rd_pnorm_lower_bound(alpha),
         );
     }
-}
-
-fn measured_ratio(host: gncg_graph::SymMatrix, alpha: f64) -> Option<f64> {
-    let game = Game::new(host, alpha);
-    let run = gncg_dynamics::run(
-        &game,
-        Profile::star(game.n(), 0),
-        &DynamicsConfig {
-            rule: ResponseRule::ExactBestResponse,
-            scheduler: Scheduler::RoundRobin,
-            max_rounds: 300,
-            record_trace: false,
-        },
-    );
-    if !run.converged() {
-        return None;
-    }
-    let opt = gncg_solvers::opt_heuristic::social_optimum_heuristic(&game, 40);
-    Some(social_cost(&game, &run.profile) / opt.cost)
 }
 
 fn fmt(r: Option<f64>) -> String {

@@ -27,7 +27,10 @@ fn main() {
             "tree",
             gncg_metrics::treemetric::random_tree(5, 1.0, 3.0, 3).metric_closure(),
         ),
-        ("metric", gncg_metrics::arbitrary::random_metric(5, 1.0, 4.0, 3)),
+        (
+            "metric",
+            gncg_metrics::arbitrary::random_metric(5, 1.0, 4.0, 3),
+        ),
         ("general", gncg_metrics::arbitrary::random(5, 0.5, 6.0, 3)),
     ] {
         for alpha in [0.5, 1.0, 3.0] {

@@ -1,58 +1,66 @@
-//! Quickstart: build a geometric host, run best-response dynamics, and
-//! compare the reached equilibrium with the social optimum.
+//! Quickstart: build a geometric host through the factory registry, run
+//! best-response dynamics on the scenario engine, and compare the reached
+//! equilibrium with the social optimum.
 //!
 //! ```text
 //! cargo run --release -p gncg-suite --example quickstart
 //! ```
 
 use gncg_core::cost::social_cost;
-use gncg_core::{Game, Profile};
-use gncg_dynamics::{DynamicsConfig, ResponseRule, Scheduler};
-use gncg_metrics::euclidean::{Norm, PointSet};
+use gncg_suite::scenario::{RuleSpec, Runner, ScenarioSpec, SchedSpec};
 
 fn main() {
-    // Six agents at random positions in the unit square — think of ISPs
-    // placing fiber between cities. (Six keeps the *exact* social-optimum
-    // search below instant; see `fiber_network` for larger instances with
-    // the heuristic optimum.)
-    let points = PointSet::random(6, 2, 1.0, 42);
-    let alpha = 1.5; // price per unit of fiber relative to usage cost
-    let game = Game::new(points.host_matrix(Norm::L2), alpha);
+    // One cell of a scenario grid: six agents at random positions in the
+    // plane — think of ISPs placing fiber between cities. (Six keeps the
+    // *exact* social-optimum search below instant; see `fiber_network`
+    // for larger instances with the heuristic optimum.) The same spec,
+    // with more axis values, is what `gncg grid` shards to JSONL.
+    let spec = ScenarioSpec {
+        name: "quickstart".into(),
+        hosts: vec!["r2".into()], // points in the plane under the 2-norm
+        ns: vec![6],
+        alphas: vec![1.5], // price per unit of fiber relative to usage cost
+        rules: vec![RuleSpec::Br],
+        schedulers: vec![SchedSpec::RoundRobin],
+        seeds: vec![42],
+        max_rounds: 200,
+        base_seed: 42,
+    };
+    let cell = &spec.expand()[0];
+
+    let mut runner = Runner::new();
+    let (result, game, run) = runner.run_cell_full(cell);
 
     println!("GNCG quickstart: n = {}, α = {}", game.n(), game.alpha());
-    println!("host is metric: {}\n", game.is_metric());
-
-    // Start from a star and let agents play exact best responses.
-    let result = gncg_dynamics::run(
-        &game,
-        Profile::star(game.n(), 0),
-        &DynamicsConfig {
-            rule: ResponseRule::ExactBestResponse,
-            scheduler: Scheduler::RoundRobin,
-            max_rounds: 200,
-            record_trace: true,
-        },
+    println!(
+        "host factory:   {} (metric: {})\n",
+        cell.host,
+        game.is_metric()
     );
 
-    println!("dynamics outcome: {:?}", result.outcome);
+    println!(
+        "dynamics outcome: {} (rounds {})",
+        result.outcome, result.rounds
+    );
     println!("applied moves:    {}", result.moves);
 
-    let eq_cost = social_cost(&game, &result.profile);
+    let eq_cost = social_cost(&game, &run.profile);
     let opt = gncg_solvers::opt_exact::social_optimum(&game);
     println!("\nequilibrium network:");
-    for (u, v) in result.profile.edges() {
+    for (u, v) in gncg_suite::scenario::bought_edges(&run.profile) {
         println!("  {u} — {v}  (w = {:.3})", game.w(u, v));
     }
     println!("\nsocial cost (equilibrium): {eq_cost:.3}");
     println!("social cost (optimum):     {:.3}", opt.cost);
-    println!("price of anarchy (this instance ≥): {:.4}", eq_cost / opt.cost);
+    println!(
+        "price of anarchy (this instance ≥): {:.4}",
+        eq_cost / opt.cost
+    );
     println!(
         "paper bound (α+2)/2:               {:.4}",
-        gncg_core::poa::metric_upper_bound(alpha)
+        gncg_core::poa::metric_upper_bound(game.alpha())
     );
 
-    if result.converged() {
-        let is_ne = gncg_core::equilibrium::is_nash_equilibrium(&game, &result.profile);
-        println!("\ncertified Nash equilibrium: {is_ne}");
-    }
+    println!("\ncertified Nash equilibrium: {}", result.certified);
+    println!("as a JSONL grid line:\n  {}", result.to_jsonl());
 }

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 verification flow: lint clean, build, test.
+# Tier-1 verification flow: format, lint clean, build, test, and a smoke
+# run of the scenario grid pipeline.
 #
-# `cargo clippy -- -D warnings` runs first so a lint regression fails the
-# flow before the (longer) build + test steps.
+# `cargo fmt --check` and `cargo clippy -- -D warnings` run first so a
+# style or lint regression fails the flow before the (longer) build +
+# test steps.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check" >&2
+cargo fmt --check
 
 echo "== cargo clippy (deny warnings)" >&2
 cargo clippy --workspace --all-targets -- -D warnings
@@ -15,3 +20,23 @@ cargo build --release
 
 echo "== cargo test" >&2
 cargo test -q
+
+echo "== gncg grid smoke (4 cells, n ≤ 8)" >&2
+rm -f target/tier1-grid.jsonl target/tier1-grid.manifest
+./target/release/gncg grid \
+  --out target/tier1-grid.jsonl \
+  --name tier1-smoke \
+  --hosts unit,onetwo --n 6 --alpha 1.0,2.0 \
+  --rules greedy --seed-count 1 --max-rounds 200
+lines=$(wc -l < target/tier1-grid.jsonl)
+if [ "$lines" -ne 4 ]; then
+  echo "tier-1 grid smoke: expected 4 JSONL lines, got $lines" >&2
+  exit 1
+fi
+# Resuming a complete grid must be a no-op that leaves the bytes alone.
+cp target/tier1-grid.jsonl target/tier1-grid.jsonl.orig
+./target/release/gncg resume --out target/tier1-grid.jsonl
+cmp target/tier1-grid.jsonl target/tier1-grid.jsonl.orig
+rm -f target/tier1-grid.jsonl.orig
+
+echo "tier-1 OK" >&2

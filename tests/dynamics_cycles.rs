@@ -47,9 +47,8 @@ fn convergence_statistics() {
         max_rounds: 400,
         record_trace: false,
     };
-    let points = gncg_dynamics::parallel::sweep(&hosts, &[0.5, 1.0, 2.0], &cfg, |_, n| {
-        Profile::star(n, 0)
-    });
+    let points =
+        gncg_dynamics::parallel::sweep(&hosts, &[0.5, 1.0, 2.0], &cfg, |_, n| Profile::star(n, 0));
     assert_eq!(points.len(), 12);
     for p in &points {
         match p.result.outcome {

@@ -42,7 +42,10 @@ fn simultaneous_terminates_and_certifies() {
     );
     match sim.outcome {
         SimOutcome::Converged { .. } => {
-            assert!(gncg_core::equilibrium::is_greedy_equilibrium(&game, &sim.profile));
+            assert!(gncg_core::equilibrium::is_greedy_equilibrium(
+                &game,
+                &sim.profile
+            ));
         }
         SimOutcome::Cycle { recurrence } => {
             assert!(recurrence.period() >= 1);

@@ -1,10 +1,10 @@
 //! Experiment E21 and general-host checks (Section 4, Theorem 20).
 
+use gncg_constructions::three_cycle;
 use gncg_core::cost::social_cost;
 use gncg_core::equilibrium::is_nash_equilibrium;
 use gncg_core::poa;
 use gncg_core::Game;
-use gncg_constructions::three_cycle;
 
 /// Theorem 20's technique gap: σ = ((α+2)/2)² on the heavy pair while the
 /// true ratio is (α+2)/2 — across an α grid.
@@ -12,7 +12,10 @@ use gncg_constructions::three_cycle;
 fn theorem20_gap_instance_grid() {
     for alpha in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
         let g = three_cycle::game(alpha);
-        assert!(is_nash_equilibrium(&g, &three_cycle::ne_profile()), "α={alpha}");
+        assert!(
+            is_nash_equilibrium(&g, &three_cycle::ne_profile()),
+            "α={alpha}"
+        );
         let r = social_cost(&g, &three_cycle::ne_profile())
             / social_cost(&g, &three_cycle::opt_profile());
         assert!((r - three_cycle::true_ratio(alpha)).abs() < 1e-9);

@@ -17,7 +17,10 @@ fn hosts(n: usize) -> Vec<(&'static str, gncg_graph::SymMatrix)> {
             gncg_metrics::euclidean::PointSet::random(n, 2, 10.0, 7)
                 .host_matrix(gncg_metrics::euclidean::Norm::L2),
         ),
-        ("metric", gncg_metrics::arbitrary::random_metric(n, 1.0, 5.0, 7)),
+        (
+            "metric",
+            gncg_metrics::arbitrary::random_metric(n, 1.0, 5.0, 7),
+        ),
     ]
 }
 
@@ -113,10 +116,9 @@ fn lemma1_mechanism_on_unstable_profile() {
     // A long path on the unit metric at small α has stretch n−1 > α+1 and
     // indeed admits improving additions.
     let game = Game::new(gncg_metrics::unit::unit_host(7), 0.5);
-    let path = Profile::from_owned_edges(
-        7,
-        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)],
-    );
+    let path = Profile::from_owned_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
     assert!(!spanner_props::satisfies_lemma1(&game, &path));
-    assert!(!gncg_core::equilibrium::is_add_only_equilibrium(&game, &path));
+    assert!(!gncg_core::equilibrium::is_add_only_equilibrium(
+        &game, &path
+    ));
 }

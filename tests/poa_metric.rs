@@ -1,9 +1,9 @@
 //! Experiment E03: the tight PoA of the M–GNCG (Theorem 1 + Theorem 15).
 
+use gncg_constructions::star_tree;
 use gncg_core::cost::social_cost;
 use gncg_core::poa;
 use gncg_core::Game;
-use gncg_constructions::star_tree;
 
 /// Upper bound (Theorem 1): every certified NE reached by dynamics on
 /// random metric hosts respects cost(NE)/cost(OPT) ≤ (α+2)/2.
@@ -18,7 +18,10 @@ fn theorem1_upper_bound_on_random_metrics() {
                 continue;
             }
             // Converged exact-BR dynamics ⇒ certified NE.
-            assert!(gncg_core::equilibrium::is_nash_equilibrium(&game, &run.profile));
+            assert!(gncg_core::equilibrium::is_nash_equilibrium(
+                &game,
+                &run.profile
+            ));
             let opt = gncg_solvers::opt_exact::social_optimum(&game);
             let r = social_cost(&game, &run.profile) / opt.cost;
             assert!(

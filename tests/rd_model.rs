@@ -63,9 +63,11 @@ fn theorem19_dimension_sweep() {
     let mut prev = 0.0;
     for d in [1, 2, 3, 4] {
         let g = cp::game(d, alpha);
-        let measured =
-            social_cost(&g, &cp::ne_profile(d)) / social_cost(&g, &cp::opt_profile(d));
-        assert!((measured - poa::l1_lower_bound(alpha, d)).abs() < 1e-9, "d={d}");
+        let measured = social_cost(&g, &cp::ne_profile(d)) / social_cost(&g, &cp::opt_profile(d));
+        assert!(
+            (measured - poa::l1_lower_bound(alpha, d)).abs() < 1e-9,
+            "d={d}"
+        );
         assert!(measured > prev);
         prev = measured;
     }

@@ -74,10 +74,7 @@ fn conjecture1_l2_cycle() {
         .expect("the seed-4 L2 instance has a certified cycle");
     let (seed, cycle) = found;
     assert_eq!(seed, 4);
-    let game = Game::new(
-        PointSet::random(8, 2, 4.0, seed).host_matrix(Norm::L2),
-        1.0,
-    );
+    let game = Game::new(PointSet::random(8, 2, 4.0, seed).host_matrix(Norm::L2), 1.0);
     assert!(certify_improving_cycle(&game, &cycle));
     assert!(cycle.len() >= 2);
 }

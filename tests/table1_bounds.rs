@@ -12,7 +12,10 @@ use gncg_core::{Game, Profile};
 fn row_ncg_equilibria_exist() {
     for alpha in [1.0, 2.0, 10.0] {
         let game = Game::new(gncg_metrics::unit::unit_host(7), alpha);
-        assert!(is_nash_equilibrium(&game, &Profile::star(7, 0)), "α={alpha}");
+        assert!(
+            is_nash_equilibrium(&game, &Profile::star(7, 0)),
+            "α={alpha}"
+        );
     }
 }
 
@@ -138,11 +141,7 @@ fn row_metric_approximate_ne_exist() {
         let host = gncg_metrics::arbitrary::random_metric(6, 1.0, 3.0, seed);
         for alpha in [0.5, 1.5] {
             let game = Game::new(host.clone(), alpha);
-            let run = gncg_suite::add_only_dynamics(
-                &game,
-                Profile::star(6, 0),
-                500,
-            );
+            let run = gncg_suite::add_only_dynamics(&game, Profile::star(6, 0), 500);
             assert!(run.converged());
             let factor = gncg_core::equilibrium::nash_approximation_factor(&game, &run.profile);
             assert!(

@@ -59,10 +59,7 @@ fn theorem13_gadget_second_instance() {
     use gncg_constructions::sc_tree_gadget::{GadgetParams, ScTreeGadget};
     use gncg_solvers::set_cover::{exact_min_cover, SetCoverInstance};
     // U = {0..4}, min cover = 2 ({0,1,2} and {3,4} say).
-    let inst = SetCoverInstance::new(
-        5,
-        vec![vec![0, 1, 2], vec![2, 3], vec![3, 4], vec![0, 4]],
-    );
+    let inst = SetCoverInstance::new(5, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4], vec![0, 4]]);
     let g = ScTreeGadget::new(inst, GadgetParams::default_for(5));
     let game = g.game();
     let br = gncg_core::response::exact_best_response(&game, &g.profile(), g.u());

@@ -57,8 +57,7 @@ fn umfl_mapping_faithfulness() {
         // Map the agent's current strategy to facility indices: forced-open
         // (edges towards the agent) plus its own purchases.
         let others: Vec<u32> = (0..6).filter(|&v| v != agent).collect();
-        let mut sol: std::collections::BTreeSet<usize> =
-            inst.forced_open.iter().copied().collect();
+        let mut sol: std::collections::BTreeSet<usize> = inst.forced_open.iter().copied().collect();
         for (i, &v) in others.iter().enumerate() {
             if p.owns(agent, v) {
                 sol.insert(i);
@@ -99,5 +98,8 @@ fn umfl_response_dynamics() {
         }
     }
     let factor = nash_approximation_factor(&game, &p);
-    assert!(factor <= 3.0 + 1e-9, "UMFL-stable profile has factor {factor}");
+    assert!(
+        factor <= 3.0 + 1e-9,
+        "UMFL-stable profile has factor {factor}"
+    );
 }
