@@ -1,0 +1,75 @@
+//! Request-overhead benchmarks for the experiment service: a loopback
+//! daemon on an ephemeral port, measured from the client side.
+//!
+//! `cached/*` pre-warms the result cache so the measurement isolates the
+//! service layer itself (connect + submit + queue + cache lookup + stream
+//! framing) from simulation time; `ping` bounds the floor of one protocol
+//! round trip on an open connection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gncg_service::{Client, Server, ServiceConfig};
+use gncg_suite::scenario::{RuleSpec, ScenarioSpec, SchedSpec};
+
+fn small_spec(cells_per_axis: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "bench-roundtrip".into(),
+        hosts: vec!["unit".into()],
+        ns: vec![6],
+        alphas: (0..cells_per_axis).map(|i| 1.0 + i as f64).collect(),
+        rules: vec![RuleSpec::Greedy],
+        schedulers: vec![SchedSpec::RoundRobin],
+        seeds: vec![0],
+        max_rounds: 200,
+        base_seed: 7,
+        ..ScenarioSpec::default()
+    }
+}
+
+fn service_roundtrip(c: &mut Criterion) {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+
+    // Pre-warm the cache for every spec the cached benchmarks use.
+    let mut warm = Client::connect(&addr).unwrap();
+    for cells in [1, 16] {
+        let mut sink = std::io::sink();
+        warm.submit_and_stream(&small_spec(cells), &mut sink)
+            .unwrap();
+    }
+
+    let mut group = c.benchmark_group("service_roundtrip");
+    group.bench_function("ping", |b| {
+        let mut client = Client::connect(&addr).unwrap();
+        b.iter(|| client.ping().unwrap());
+    });
+    for cells in [1usize, 16] {
+        let spec = small_spec(cells);
+        group.bench_function(format!("cached/{cells}cells"), |b| {
+            b.iter(|| {
+                // Full client lifecycle: connect, submit, stream, drop —
+                // what one `gncg submit` invocation costs sans simulation.
+                let mut client = Client::connect(&addr).unwrap();
+                let mut sink = std::io::sink();
+                let (_, summary) = client.submit_and_stream(&spec, &mut sink).unwrap();
+                assert_eq!(summary.simulated, 0, "bench must stay on the cache path");
+                summary.cells
+            });
+        });
+    }
+    group.finish();
+
+    let mut client = Client::connect(&addr).unwrap();
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+criterion_group!(benches, service_roundtrip);
+criterion_main!(benches);

@@ -517,7 +517,12 @@ fn e14_fig5_cycle() -> Vec<Check> {
         certify_improving_cycle, fig5_game, find_improving_move_cycle,
     };
     let game = fig5_game(1.0);
-    let cycle = find_improving_move_cycle(&game, 16, 60_000);
+    // Multi-seed restarts (the same sweep `probe_cycles` uses): the walk
+    // is a randomized search, so any single seed can miss the cycling
+    // region — with the current shim RNG the first certified cycle (a
+    // length-4 improving-move cycle, matching the paper's Figure 5) shows
+    // up at seed 13.
+    let cycle = (0..24u64).find_map(|seed| find_improving_move_cycle(&game, seed, 30_000));
     let (found, len, certified) = match &cycle {
         Some(c) => (true, c.len(), certify_improving_cycle(&game, c)),
         None => (false, 0, false),
@@ -829,14 +834,29 @@ fn e28_one_inf_row() -> Vec<Check> {
     // random connected 1-∞ hosts never use forbidden edges and their
     // measured ratios stay far below both the ⁵√α shape's scale and the
     // general bound.
+    //
+    // Dynamics start from the MST over *finite* host edges, not a star: a
+    // star center may only reach some agents through forbidden (w = ∞)
+    // edges, and an agent stuck on one cannot improve away from it (both
+    // keeping it and dropping it cost ∞ — f64 has no strict improvement
+    // between infinities), so star starts leave ∞-cost artifacts that say
+    // nothing about the model. In Demaine et al.'s model agents only ever
+    // buy buyable edges; the finite-MST start is the faithful embedding.
     let mut max_ratio: f64 = 0.0;
     let mut eqs = 0;
     let mut forbidden_used = false;
     for seed in 0..4u64 {
         let host = gncg_metrics::oneinf::random_connected(7, 0.3, seed);
+        let mst = gncg_graph::mst::prim_complete(&host);
+        assert!(
+            mst.iter().all(|&(_, _, w)| w.is_finite()),
+            "random_connected guarantees a finite spanning tree"
+        );
+        let owned: Vec<(u32, u32)> = mst.iter().map(|&(u, v, _)| (u, v)).collect();
         for alpha in [1.0, 4.0, 16.0] {
             let game = Game::new(host.clone(), alpha);
-            let run = dynamics_from_star(&game, ResponseRule::ExactBestResponse, 200);
+            let start = Profile::from_owned_edges(7, &owned);
+            let run = gncg_suite::dynamics_from(&game, start, ResponseRule::ExactBestResponse, 200);
             if !run.converged() {
                 continue;
             }
@@ -905,6 +925,7 @@ fn e24_convergence() -> Vec<Check> {
         seeds: (0..6).collect(),
         max_rounds: 400,
         base_seed: 24,
+        ..ScenarioSpec::default()
     };
     let results = gncg_suite::scenario::run_cells(&spec).expect("valid spec");
     let converged = results.iter().filter(|r| r.outcome == "converged").count();

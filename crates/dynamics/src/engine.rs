@@ -336,6 +336,27 @@ impl Engine {
         Engine::default()
     }
 
+    /// The engine's [`EvalContext`]. After [`Engine::run`] returns, the
+    /// context still holds the *final* profile's network and whatever
+    /// warm distance vectors the run left valid — callers can certify
+    /// stability of the returned profile incrementally (see
+    /// [`agent_is_stable_given_current`]) without rebuilding anything.
+    pub fn context_mut(&mut self) -> &mut EvalContext {
+        &mut self.ctx
+    }
+
+    /// Drops run-specific state (the cycle-detector map, the cached
+    /// network and its warm vectors) while keeping every allocation, so a
+    /// long-lived worker — e.g. a service worker thread holding one
+    /// engine across *jobs*, not just across the cells of one batch —
+    /// releases references into the last job's data without paying the
+    /// scratch allocations again on the next one.
+    pub fn recycle(&mut self) {
+        self.detector.clear();
+        self.ctx.network = AdjacencyList::default();
+        self.ctx.valid.fill(false);
+    }
+
     /// Runs the dynamics from `start` on `game`.
     pub fn run(&mut self, game: &Game, start: Profile, cfg: &DynamicsConfig) -> RunResult {
         let n = game.n();
@@ -477,6 +498,25 @@ fn improving_change(
         )
         .map(|(m, c)| (m.apply(u, profile.strategy(u)), current, c)),
     }
+}
+
+/// Whether agent `u` has **no** improving change under `rule`, evaluated
+/// incrementally against `ctx`'s cached network and warm distance vectors
+/// (the same `*_given_current` entry points the run loop itself uses).
+/// `ctx` must describe `profile`'s network — e.g. the context of the
+/// [`Engine`] that just produced `profile`, via [`Engine::context_mut`] —
+/// so certification costs one warm-vector read plus one deviation scan
+/// instead of a from-scratch network build and Dijkstra per agent.
+pub fn agent_is_stable_given_current(
+    game: &Game,
+    profile: &Profile,
+    ctx: &mut EvalContext,
+    u: NodeId,
+    rule: ResponseRule,
+) -> bool {
+    ctx.ensure_warm(u);
+    let current = ctx.current_cost(game, profile, u);
+    improving_change(game, profile, ctx, u, rule, current).is_none()
 }
 
 /// The agent with the largest improvement under `rule` together with the
@@ -766,6 +806,63 @@ mod tests {
         p.set_strategy(0, [3, 4].into_iter().collect());
         ctx.apply_strategy_change(&game, &p, 0, &old);
         assert!(ctx.network().has_edge(0, 2), "co-owned edge must survive");
+    }
+
+    #[test]
+    fn incremental_stability_check_agrees_with_full_certificates() {
+        let host = gncg_metrics::arbitrary::random_metric(7, 1.0, 3.0, 21);
+        let game = Game::new(host, 1.4);
+        let mut engine = Engine::new();
+        let r = engine.run(&game, Profile::star(7, 0), &DynamicsConfig::default());
+        assert!(r.converged());
+        // Every agent of a converged greedy run is incrementally stable,
+        // matching the from-scratch certificate.
+        let ctx = engine.context_mut();
+        let all_stable = (0..7u32).all(|u| {
+            agent_is_stable_given_current(&game, &r.profile, ctx, u, ResponseRule::BestGreedyMove)
+        });
+        assert!(all_stable);
+        assert!(gncg_core::equilibrium::is_greedy_equilibrium(
+            &game, &r.profile
+        ));
+        // On an arbitrary profile the incremental verdict agrees with the
+        // full one agent by agent, for every rule.
+        let probe = Profile::star(7, 3);
+        for rule in [
+            ResponseRule::ExactBestResponse,
+            ResponseRule::BestGreedyMove,
+            ResponseRule::AddOnly,
+        ] {
+            let mut ctx = EvalContext::new(&game, &probe);
+            let incremental =
+                (0..7u32).all(|u| agent_is_stable_given_current(&game, &probe, &mut ctx, u, rule));
+            let full = match rule {
+                ResponseRule::ExactBestResponse => {
+                    gncg_core::equilibrium::is_nash_equilibrium(&game, &probe)
+                }
+                ResponseRule::BestGreedyMove => {
+                    gncg_core::equilibrium::is_greedy_equilibrium(&game, &probe)
+                }
+                ResponseRule::AddOnly => {
+                    gncg_core::equilibrium::is_add_only_equilibrium(&game, &probe)
+                }
+            };
+            assert_eq!(incremental, full, "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn recycled_engine_matches_fresh_runs() {
+        let mut engine = Engine::new();
+        let a = Game::new(gncg_metrics::arbitrary::random_metric(6, 1.0, 3.0, 5), 1.1);
+        let b = Game::new(gncg_metrics::arbitrary::random_metric(8, 1.0, 2.5, 6), 2.3);
+        let cfg = DynamicsConfig::default();
+        engine.run(&a, Profile::star(6, 0), &cfg);
+        engine.recycle();
+        let reused = engine.run(&b, Profile::star(8, 0), &cfg);
+        let fresh = run(&b, Profile::star(8, 0), &cfg);
+        assert_eq!(reused.profile, fresh.profile);
+        assert_eq!(reused.moves, fresh.moves);
     }
 
     #[test]

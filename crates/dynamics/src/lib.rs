@@ -21,5 +21,6 @@ pub mod stats;
 pub mod trace;
 
 pub use engine::{
-    run, DynamicsConfig, Engine, EvalContext, Outcome, ResponseRule, RunResult, Scheduler,
+    agent_is_stable_given_current, run, DynamicsConfig, Engine, EvalContext, Outcome, ResponseRule,
+    RunResult, Scheduler,
 };

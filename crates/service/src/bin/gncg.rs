@@ -1,4 +1,4 @@
-//! `gncg` — command-line front end for the library.
+//! `gncg` — command-line front end for the library and the service.
 //!
 //! ```text
 //! gncg simulate  --host <key> --n <n> --alpha <α> [--seed <s>] [--rule br|greedy|add] [--max-rounds <r>]
@@ -9,20 +9,30 @@
 //! gncg grid      --out <file.jsonl> [--name <s>] [--hosts k1,k2] [--n n1,n2]
 //!                [--alpha a1,a2] [--rules r1,r2] [--scheds s1,s2]
 //!                [--seeds s1,s2 | --seed-count k] [--max-rounds <r>] [--base-seed <s>]
+//!                [--certify full|sampled|off]
 //! gncg resume    --out <file.jsonl>
+//! gncg serve     [--addr host:port] [--workers k] [--queue-cap n] [--cache <file>]
+//! gncg submit    --addr host:port --out <file.jsonl> [grid flags as above]
+//! gncg status    --addr host:port [--job <id>]
+//! gncg cancel    --addr host:port --job <id>
+//! gncg shutdown  --addr host:port
 //! gncg list-factories
 //! ```
 //!
 //! Host keys come from the `gncg_metrics::factory` registry
-//! (`gncg list-factories` prints them). Exit codes: `0` success, `1`
-//! non-convergence (so dynamics commands are scriptable from CI), `2`
-//! invalid arguments or I/O failure.
+//! (`gncg list-factories` prints them). The service commands speak the
+//! newline-delimited JSON protocol documented in `gncg_service::protocol`
+//! (and README.md); `gncg submit` writes JSONL byte-identical to what the
+//! offline `gncg grid` writes for the same spec. Exit codes: `0` success,
+//! `1` non-convergence (so dynamics commands are scriptable from CI), `2`
+//! invalid arguments, I/O failure, or a daemon-reported error.
 
 use gncg_core::{Game, Profile};
 use gncg_dynamics::{DynamicsConfig, ResponseRule, Scheduler};
 use gncg_graph::SymMatrix;
+use gncg_service::{Client, Server, ServiceConfig};
 use gncg_suite::grid::{manifest_path, run_grid, GridSummary};
-use gncg_suite::scenario::{RuleSpec, ScenarioSpec, SchedSpec};
+use gncg_suite::scenario::{CertifyMode, RuleSpec, ScenarioSpec, SchedSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +44,11 @@ fn main() {
         "list-factories" => list_factories(),
         "grid" => grid_cmd(&args[1..]),
         "resume" => resume_cmd(&args[1..]),
+        "serve" => serve_cmd(&args[1..]),
+        "submit" => submit_cmd(&args[1..]),
+        "status" => status_cmd(&args[1..]),
+        "cancel" => cancel_cmd(&args[1..]),
+        "shutdown" => shutdown_cmd(&args[1..]),
         "simulate" | "poa" | "opt" | "landscape" | "analyze" => {
             let opts = Options::parse(&args[1..]);
             let host = opts.build_host();
@@ -129,10 +144,16 @@ fn list_factories() {
     }
 }
 
-/// Parses `gncg grid` flags into a [`ScenarioSpec`] plus the output path.
-fn parse_grid_spec(args: &[String]) -> (ScenarioSpec, std::path::PathBuf) {
+/// Parses `gncg grid` / `gncg submit` flags into a [`ScenarioSpec`], the
+/// output path, and (when `allow_addr` — the `submit` form) the daemon
+/// address.
+fn parse_grid_spec(
+    args: &[String],
+    allow_addr: bool,
+) -> (ScenarioSpec, std::path::PathBuf, Option<String>) {
     let mut spec = ScenarioSpec::default();
     let mut out: Option<std::path::PathBuf> = None;
+    let mut addr: Option<String> = None;
     fn split_list<T>(value: &str, parse: impl Fn(&str) -> T) -> Vec<T> {
         value
             .split(',')
@@ -148,6 +169,7 @@ fn parse_grid_spec(args: &[String]) -> (ScenarioSpec, std::path::PathBuf) {
                 .clone()
         };
         match flag.as_str() {
+            "--addr" if allow_addr => addr = Some(value()),
             "--out" => out = Some(value().into()),
             "--name" => spec.name = value(),
             "--hosts" => spec.hosts = split_list(&value(), str::to_string),
@@ -178,14 +200,17 @@ fn parse_grid_spec(args: &[String]) -> (ScenarioSpec, std::path::PathBuf) {
             "--base-seed" => {
                 spec.base_seed = parse_or_exit(&value(), "--base-seed takes an integer")
             }
+            "--certify" => {
+                spec.certify = CertifyMode::parse(&value()).unwrap_or_else(|e| invalid(e))
+            }
             other => invalid(format_args!("unknown flag: {other}")),
         }
     }
-    let out = out.unwrap_or_else(|| invalid("grid requires --out <file.jsonl>"));
+    let out = out.unwrap_or_else(|| invalid("grid/submit require --out <file.jsonl>"));
     if let Err(e) = spec.validate() {
         invalid(e);
     }
-    (spec, out)
+    (spec, out, addr)
 }
 
 fn print_summary(s: &GridSummary) {
@@ -198,7 +223,7 @@ fn print_summary(s: &GridSummary) {
 }
 
 fn grid_cmd(args: &[String]) {
-    let (spec, out) = parse_grid_spec(args);
+    let (spec, out, _) = parse_grid_spec(args, false);
     match run_grid(&spec, &out, false) {
         Ok(summary) => print_summary(&summary),
         Err(e) => invalid(e),
@@ -229,6 +254,169 @@ fn resume_cmd(args: &[String]) {
         Ok(summary) => print_summary(&summary),
         Err(e) => invalid(e),
     }
+}
+
+// ---- service commands ---------------------------------------------------
+
+/// Default daemon address for the service subcommands.
+const DEFAULT_ADDR: &str = "127.0.0.1:7421";
+
+/// Parses `--addr`/`--job` style flags shared by the thin service
+/// commands (`status`, `cancel`, `shutdown`, `serve` extras).
+struct ServiceFlags {
+    addr: String,
+    job: Option<u64>,
+    workers: usize,
+    queue_cap: usize,
+    cache: Option<std::path::PathBuf>,
+}
+
+impl ServiceFlags {
+    /// Parses the flags in `allowed` (every other flag — including the
+    /// ones *other* service commands take — exits 2, matching the strict
+    /// flag handling of the rest of the CLI).
+    fn parse(args: &[String], allowed: &[&str]) -> ServiceFlags {
+        let mut f = ServiceFlags {
+            addr: DEFAULT_ADDR.into(),
+            job: None,
+            workers: 0,
+            queue_cap: ServiceConfig::default().queue_cap,
+            cache: None,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .unwrap_or_else(|| invalid(format_args!("missing value for {flag}")))
+                    .clone()
+            };
+            if !allowed.contains(&flag.as_str()) {
+                invalid(format_args!("unknown flag: {flag}"));
+            }
+            match flag.as_str() {
+                "--addr" => f.addr = value(),
+                "--job" => f.job = Some(parse_or_exit(&value(), "--job takes an integer")),
+                "--workers" => f.workers = parse_or_exit(&value(), "--workers takes an integer"),
+                "--queue-cap" => {
+                    f.queue_cap = parse_or_exit(&value(), "--queue-cap takes an integer")
+                }
+                "--cache" => f.cache = Some(value().into()),
+                other => invalid(format_args!("unknown flag: {other}")),
+            }
+        }
+        f
+    }
+}
+
+fn connect_or_exit(addr: &str) -> Client {
+    Client::connect(addr).unwrap_or_else(|e| invalid(e))
+}
+
+fn serve_cmd(args: &[String]) {
+    let f = ServiceFlags::parse(args, &["--addr", "--workers", "--queue-cap", "--cache"]);
+    let server = Server::start(
+        &f.addr,
+        ServiceConfig {
+            workers: f.workers,
+            queue_cap: f.queue_cap,
+            cache_path: f.cache,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| invalid(e));
+    // The "listening" line is the readiness signal scripts wait for.
+    println!("gncg_service listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.wait();
+    println!("gncg_service stopped");
+}
+
+fn submit_cmd(args: &[String]) {
+    let (spec, out, addr) = parse_grid_spec(args, true);
+    let addr = addr.unwrap_or_else(|| DEFAULT_ADDR.into());
+    let mut client = connect_or_exit(&addr);
+    let started = std::time::Instant::now();
+    let ack = client.submit(&spec).unwrap_or_else(|e| invalid(e));
+    // Stream into a sibling temp file and rename only on success: neither
+    // a refused submission nor a mid-stream failure (cancel, daemon
+    // shutdown, network drop) may destroy an existing results file.
+    let tmp = out.with_extension("jsonl.partial");
+    let file = std::fs::File::create(&tmp)
+        .unwrap_or_else(|e| invalid(format_args!("cannot create {}: {e}", tmp.display())));
+    let mut writer = std::io::BufWriter::new(file);
+    let streamed = client.stream_to(ack.job, &mut writer);
+    use std::io::Write as _;
+    let flushed = writer.flush();
+    let summary = match (streamed, flushed) {
+        (Ok(summary), Ok(())) => summary,
+        (Err(e), _) => {
+            let _ = std::fs::remove_file(&tmp);
+            invalid(e);
+        }
+        (_, Err(e)) => {
+            let _ = std::fs::remove_file(&tmp);
+            invalid(format_args!("cannot flush {}: {e}", tmp.display()));
+        }
+    };
+    std::fs::rename(&tmp, &out).unwrap_or_else(|e| {
+        invalid(format_args!(
+            "cannot move {} into place: {e}",
+            tmp.display()
+        ))
+    });
+    println!(
+        "submit: job {} on {addr}: {} cells ({} cache hits, {} simulated) in {:.2}s",
+        ack.job,
+        summary.cells,
+        summary.cache_hits,
+        summary.simulated,
+        started.elapsed().as_secs_f64()
+    );
+    println!("results: {}", out.display());
+}
+
+fn status_cmd(args: &[String]) {
+    let f = ServiceFlags::parse(args, &["--addr", "--job"]);
+    let mut client = connect_or_exit(&f.addr);
+    match f.job {
+        Some(job) => {
+            let s = client.job_status(job).unwrap_or_else(|e| invalid(e));
+            println!(
+                "job {}: {} ({}/{} cells, {} cache hits, {} simulated)",
+                s.job, s.state, s.done, s.total, s.cache_hits, s.simulated
+            );
+        }
+        None => {
+            let s = client.daemon_status().unwrap_or_else(|e| invalid(e));
+            println!(
+                "daemon {}: {} jobs held ({} active), {} done / {} canceled since start",
+                f.addr, s.jobs, s.active, s.done, s.canceled
+            );
+            println!(
+                "cache: {} entries, {} hits, {} misses",
+                s.cache_entries, s.cache_hits, s.cache_misses
+            );
+            println!("workers: {}, queue cap: {}", s.workers, s.queue_cap);
+        }
+    }
+}
+
+fn cancel_cmd(args: &[String]) {
+    let f = ServiceFlags::parse(args, &["--addr", "--job"]);
+    let job = f
+        .job
+        .unwrap_or_else(|| invalid("cancel requires --job <id>"));
+    let mut client = connect_or_exit(&f.addr);
+    let state = client.cancel(job).unwrap_or_else(|e| invalid(e));
+    println!("job {job}: {state}");
+}
+
+fn shutdown_cmd(args: &[String]) {
+    let f = ServiceFlags::parse(args, &["--addr"]);
+    let mut client = connect_or_exit(&f.addr);
+    client.shutdown().unwrap_or_else(|e| invalid(e));
+    println!("daemon {} shutting down", f.addr);
 }
 
 fn simulate(game: &Game, opts: &Options) {
@@ -374,14 +562,22 @@ fn analyze_cmd(game: &Game, opts: &Options) {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: gncg <simulate|poa|opt|landscape|analyze|grid|resume|list-factories>\n\
+        "usage: gncg <simulate|poa|opt|landscape|analyze|grid|resume|serve|submit|status|cancel|shutdown|list-factories>\n\
          \n\
          instance commands: [--host <key>] [--n N] [--alpha A] [--seed S]\n\
          \x20                  [--rule br|greedy|add] [--max-rounds R]\n\
          grid:  --out results.jsonl [--hosts k1,k2] [--n n1,n2] [--alpha a1,a2]\n\
          \x20      [--rules r1,r2] [--scheds rr,random,maxgain]\n\
          \x20      [--seeds s1,s2 | --seed-count K] [--max-rounds R] [--base-seed S]\n\
+         \x20      [--certify full|sampled|off]\n\
          resume: --out results.jsonl   (spec is read back from the manifest)\n\
+         \n\
+         service (newline-delimited JSON over TCP, see README):\n\
+         serve:    [--addr 127.0.0.1:7421] [--workers K] [--queue-cap N] [--cache file]\n\
+         submit:   --addr host:port --out results.jsonl [grid flags]\n\
+         status:   --addr host:port [--job ID]\n\
+         cancel:   --addr host:port --job ID\n\
+         shutdown: --addr host:port\n\
          \n\
          host keys: `gncg list-factories`"
     );

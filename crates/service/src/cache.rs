@@ -1,0 +1,221 @@
+//! The content-addressed result cache.
+//!
+//! Keyed by [`cell_digest`](gncg_suite::scenario::cell_digest) — the
+//! splitmix64 digest over every result-determining cell field — the cache
+//! stores each cell's JSONL line with its positional `cell` index
+//! stripped, so the same simulated cell can be served into *any* job at
+//! *any* position by re-stamping the index. Because cell runs are
+//! deterministic, a cache hit is byte-identical to a re-simulation.
+//!
+//! With a backing file the cache is also persistent: every insert appends
+//! one `g1 <16-hex-digest> <line-rest>` record (flushed immediately — a
+//! killed daemon loses at most the entry being written), and startup
+//! replays the file into memory, skipping torn or foreign lines the same
+//! way the grid resume scanner does.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+
+use gncg_suite::scenario::CellResult;
+
+/// On-disk record tag (bumped if the record format ever changes).
+const TAG: &str = "g1";
+
+/// A memory (and optionally disk) result cache.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    map: HashMap<u64, String>,
+    file: Option<BufWriter<fs::File>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Splits a [`CellResult::to_jsonl`] line into its positional prefix and
+/// its content rest: `{"cell":17,"host":…}` → rest `,"host":…}`. The rest
+/// is what the cache stores.
+pub fn line_rest(line: &str) -> Result<&str, String> {
+    let comma = line
+        .find(',')
+        .ok_or_else(|| format!("not a cell line: {line}"))?;
+    if !line.starts_with("{\"cell\":") {
+        return Err(format!("not a cell line: {line}"));
+    }
+    Ok(&line[comma..])
+}
+
+/// Re-stamps a stored rest with a positional index — the exact inverse of
+/// [`line_rest`].
+pub fn stamp_line(index: usize, rest: &str) -> String {
+    format!("{{\"cell\":{index}{rest}")
+}
+
+impl ResultCache {
+    /// An in-memory cache.
+    pub fn in_memory() -> Self {
+        ResultCache::default()
+    }
+
+    /// A cache backed by `path`: existing records are replayed into
+    /// memory, new inserts are appended.
+    pub fn open(path: &Path) -> Result<Self, String> {
+        let mut map = HashMap::new();
+        match fs::read_to_string(path) {
+            Ok(text) => {
+                for line in text.lines() {
+                    // Torn tail or foreign line: skip, never fail startup.
+                    let mut parts = line.splitn(3, ' ');
+                    let (tag, digest, rest) = (parts.next(), parts.next(), parts.next());
+                    if tag != Some(TAG) {
+                        continue;
+                    }
+                    if let (Some(digest), Some(rest)) = (digest, rest) {
+                        if let Ok(d) = u64::from_str_radix(digest, 16) {
+                            if rest.starts_with(',') && rest.ends_with('}') {
+                                map.insert(d, rest.to_string());
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("cannot read cache {}: {e}", path.display())),
+        }
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open cache {}: {e}", path.display()))?;
+        Ok(ResultCache {
+            map,
+            file: Some(BufWriter::new(file)),
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// Looks up a digest, counting the hit/miss. A hit returns the stored
+    /// line rest (see [`stamp_line`]).
+    pub fn lookup(&mut self, digest: u64) -> Option<String> {
+        match self.map.get(&digest) {
+            Some(rest) => {
+                self.hits += 1;
+                Some(rest.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly simulated result under `digest` (appending to
+    /// the backing file, if any). Re-inserting an existing digest is a
+    /// no-op: determinism makes both values byte-identical.
+    ///
+    /// The memory entry always lands. A disk-append failure (volume
+    /// full, file deleted) must not disable caching: it is reported once
+    /// and the backing file is dropped — the daemon degrades to a
+    /// memory-only cache instead of silently re-simulating everything.
+    pub fn insert(&mut self, digest: u64, result: &CellResult) -> Result<(), String> {
+        let line = result.to_jsonl();
+        let rest = line_rest(&line)?;
+        if self.map.contains_key(&digest) {
+            return Ok(());
+        }
+        self.map.insert(digest, rest.to_string());
+        if let Some(f) = self.file.as_mut() {
+            if let Err(e) = writeln!(f, "{TAG} {digest:016x} {rest}").and_then(|()| f.flush()) {
+                eprintln!("gncg_service: cache file append failed ({e}); continuing memory-only");
+                self.file = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups served from memory so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gncg_suite::scenario::{cell_digest, Runner, ScenarioSpec};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gncg-cache-tests-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn stamp_inverts_rest() {
+        let spec = ScenarioSpec::default();
+        let cell = &spec.expand()[0];
+        let line = Runner::new().run_cell(cell).to_jsonl();
+        let rest = line_rest(&line).unwrap();
+        assert_eq!(stamp_line(cell.index, rest), line);
+        assert!(stamp_line(999, rest).starts_with("{\"cell\":999,"));
+    }
+
+    #[test]
+    fn memory_cache_hits_after_insert() {
+        let spec = ScenarioSpec::default();
+        let cell = &spec.expand()[0];
+        let result = Runner::new().run_cell(cell);
+        let d = cell_digest(cell);
+        let mut cache = ResultCache::in_memory();
+        assert!(cache.lookup(d).is_none());
+        cache.insert(d, &result).unwrap();
+        let rest = cache.lookup(d).unwrap();
+        assert_eq!(stamp_line(cell.index, &rest), result.to_jsonl());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn disk_cache_survives_reopen_and_skips_torn_tail() {
+        let path = tmp("persist.cache");
+        let _ = fs::remove_file(&path);
+        let spec = ScenarioSpec {
+            alphas: vec![0.5, 2.0],
+            ..ScenarioSpec::default()
+        };
+        let cells = spec.expand();
+        let mut runner = Runner::new();
+        let results: Vec<_> = cells.iter().map(|c| runner.run_cell(c)).collect();
+        {
+            let mut cache = ResultCache::open(&path).unwrap();
+            for (c, r) in cells.iter().zip(&results) {
+                cache.insert(cell_digest(c), r).unwrap();
+            }
+        }
+        // Simulate a kill mid-append: add a torn record.
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("g1 00ff");
+        fs::write(&path, &text).unwrap();
+        let mut cache = ResultCache::open(&path).unwrap();
+        assert_eq!(cache.len(), cells.len());
+        for (c, r) in cells.iter().zip(&results) {
+            let rest = cache.lookup(cell_digest(c)).expect("replayed entry");
+            assert_eq!(stamp_line(c.index, &rest), r.to_jsonl());
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! The protocol client: a blocking line-oriented wrapper around one TCP
+//! connection, used by the `gncg submit`/`status`/`shutdown` subcommands,
+//! the integration tests, and the `service_roundtrip` benchmark.
+
+use std::io::{BufRead as _, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+use gncg_suite::scenario::ScenarioSpec;
+
+use crate::json::{parse, Value};
+use crate::protocol::{is_control_line, Request};
+
+/// Acknowledgement of a `submit`.
+#[derive(Clone, Copy, Debug)]
+pub struct SubmitAck {
+    /// The assigned job id.
+    pub job: u64,
+    /// Cells the job expands to.
+    pub cells: usize,
+}
+
+/// One job's status snapshot.
+#[derive(Clone, Debug)]
+pub struct JobStatus {
+    /// The job id.
+    pub job: u64,
+    /// `queued`, `running`, `done`, or `canceled`.
+    pub state: String,
+    /// Cells finished.
+    pub done: usize,
+    /// Cells total.
+    pub total: usize,
+    /// Finished cells served from the result cache.
+    pub cache_hits: usize,
+    /// Finished cells actually simulated.
+    pub simulated: usize,
+}
+
+/// Daemon-wide status snapshot.
+#[derive(Clone, Debug)]
+pub struct DaemonStatus {
+    /// Jobs currently in the table (active + retained finished).
+    pub jobs: usize,
+    /// Jobs queued or running.
+    pub active: usize,
+    /// Jobs completed since startup.
+    pub done: u64,
+    /// Jobs canceled since startup.
+    pub canceled: u64,
+    /// Result-cache entries held.
+    pub cache_entries: usize,
+    /// Cache lookups that hit, since startup.
+    pub cache_hits: u64,
+    /// Cache lookups that missed, since startup.
+    pub cache_misses: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Active-job cap.
+    pub queue_cap: usize,
+}
+
+/// Result of draining one `stream` response.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamSummary {
+    /// Cell lines received.
+    pub cells: usize,
+    /// Of those, how many the daemon served from its cache.
+    pub cache_hits: usize,
+    /// Of those, how many the daemon simulated.
+    pub simulated: usize,
+}
+
+/// A connected protocol client.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        // See the accept loop: line-oriented RPC needs TCP_NODELAY or
+        // Nagle + delayed ACK costs ~40 ms per consecutive small write.
+        let _ = stream.set_nodelay(true);
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone connection: {e}"))?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), String> {
+        writeln!(self.writer, "{}", req.to_line())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))
+    }
+
+    fn read_raw_line(&mut self) -> Result<String, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("connection closed by daemon".into()),
+            Ok(_) => Ok(line.trim_end_matches(['\n', '\r']).to_string()),
+            Err(e) => Err(format!("read failed: {e}")),
+        }
+    }
+
+    /// Reads one *control* line and returns its object if `ok`.
+    fn read_control(&mut self) -> Result<Value, String> {
+        let line = self.read_raw_line()?;
+        let v = parse(&line).map_err(|e| format!("bad control line '{line}': {e}"))?;
+        match v.get("ok").and_then(Value::as_bool) {
+            Some(true) => Ok(v),
+            Some(false) => Err(v
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unspecified daemon error")
+                .to_string()),
+            None => Err(format!("line without ok member: {line}")),
+        }
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Value, String> {
+        self.send(req)?;
+        self.read_control()
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), String> {
+        self.roundtrip(&Request::Ping).map(|_| ())
+    }
+
+    /// Submits a grid; the daemon starts executing immediately.
+    pub fn submit(&mut self, spec: &ScenarioSpec) -> Result<SubmitAck, String> {
+        let v = self.roundtrip(&Request::Submit(spec.clone()))?;
+        Ok(SubmitAck {
+            job: need_u64(&v, "job")?,
+            cells: need_u64(&v, "cells")? as usize,
+        })
+    }
+
+    /// One job's status.
+    pub fn job_status(&mut self, job: u64) -> Result<JobStatus, String> {
+        let v = self.roundtrip(&Request::Status { job: Some(job) })?;
+        Ok(JobStatus {
+            job,
+            state: v
+                .get("state")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            done: need_u64(&v, "done")? as usize,
+            total: need_u64(&v, "total")? as usize,
+            cache_hits: need_u64(&v, "cache_hits")? as usize,
+            simulated: need_u64(&v, "simulated")? as usize,
+        })
+    }
+
+    /// Daemon-wide status.
+    pub fn daemon_status(&mut self) -> Result<DaemonStatus, String> {
+        let v = self.roundtrip(&Request::Status { job: None })?;
+        Ok(DaemonStatus {
+            jobs: need_u64(&v, "jobs")? as usize,
+            active: need_u64(&v, "active")? as usize,
+            done: need_u64(&v, "done")?,
+            canceled: need_u64(&v, "canceled")?,
+            cache_entries: need_u64(&v, "cache_entries")? as usize,
+            cache_hits: need_u64(&v, "cache_hits")?,
+            cache_misses: need_u64(&v, "cache_misses")?,
+            workers: need_u64(&v, "workers")? as usize,
+            queue_cap: need_u64(&v, "queue_cap")? as usize,
+        })
+    }
+
+    /// Cancels a job; returns its resulting state.
+    pub fn cancel(&mut self, job: u64) -> Result<String, String> {
+        let v = self.roundtrip(&Request::Cancel { job })?;
+        Ok(v.get("state")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown")
+            .to_string())
+    }
+
+    /// Streams a job's cell lines into `out` (each line `\n`-terminated —
+    /// the file `out` accumulates is byte-identical to the offline
+    /// `gncg grid` output for the same spec), blocking until the job
+    /// finishes or fails.
+    pub fn stream_to(&mut self, job: u64, out: &mut dyn Write) -> Result<StreamSummary, String> {
+        self.send(&Request::Stream { job })?;
+        let header = self.read_control()?;
+        let expected = need_u64(&header, "cells")? as usize;
+        let mut cells = 0usize;
+        loop {
+            let line = self.read_raw_line()?;
+            if is_control_line(&line) {
+                let v = parse(&line).map_err(|e| format!("bad control line: {e}"))?;
+                if v.get("ok").and_then(Value::as_bool) == Some(false) {
+                    return Err(v
+                        .get("error")
+                        .and_then(Value::as_str)
+                        .unwrap_or("stream aborted")
+                        .to_string());
+                }
+                if cells != expected {
+                    return Err(format!("stream ended after {cells}/{expected} cells"));
+                }
+                return Ok(StreamSummary {
+                    cells,
+                    cache_hits: need_u64(&v, "cache_hits")? as usize,
+                    simulated: need_u64(&v, "simulated")? as usize,
+                });
+            }
+            writeln!(out, "{line}").map_err(|e| format!("cannot write cell line: {e}"))?;
+            cells += 1;
+        }
+    }
+
+    /// Submits and streams in one call — the `gncg submit` command.
+    pub fn submit_and_stream(
+        &mut self,
+        spec: &ScenarioSpec,
+        out: &mut dyn Write,
+    ) -> Result<(SubmitAck, StreamSummary), String> {
+        let ack = self.submit(spec)?;
+        let summary = self.stream_to(ack.job, out)?;
+        Ok((ack, summary))
+    }
+
+    /// Asks the daemon to shut down.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.roundtrip(&Request::Shutdown).map(|_| ())
+    }
+}
+
+fn need_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("daemon response missing \"{key}\""))
+}

@@ -1,0 +1,32 @@
+//! # gncg-service
+//!
+//! The batch-experiment service: a hermetic, std-only daemon (TCP +
+//! threads, no new dependencies) that accepts, schedules, caches, and
+//! streams GNCG scenario-grid jobs, plus the line-protocol client the
+//! `gncg` CLI's `serve`/`submit`/`status`/`shutdown` subcommands speak.
+//!
+//! * [`protocol`] — the newline-delimited JSON wire format (request
+//!   grammar, framing, spec serialization),
+//! * [`server`] — the daemon: bounded job queue, worker pool of
+//!   engine-reusing [`gncg_suite::scenario::Runner`]s (scratch hot across
+//!   jobs), ordered streaming,
+//! * [`cache`] — the content-addressed result cache (splitmix64 cell
+//!   digests → JSONL line rests; memory, optionally disk-backed),
+//! * [`client`] — the blocking client,
+//! * [`json`] — the minimal JSON layer everything above parses with.
+//!
+//! The determinism contract the whole stack inherits from
+//! [`gncg_suite::scenario`]: for the same [`ScenarioSpec`]
+//! (`gncg_suite::scenario::ScenarioSpec`), streaming a submitted job
+//! yields bytes identical to the offline `gncg grid` file, and
+//! re-submitting completes entirely from cache — asserted end-to-end by
+//! `tests/loopback.rs`.
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, DaemonStatus, JobStatus, StreamSummary, SubmitAck};
+pub use server::{Server, ServiceConfig};

@@ -1,0 +1,659 @@
+//! The batch-experiment daemon.
+//!
+//! Std-only by design (a `TcpListener`, an accept thread, one handler
+//! thread per connection, a fixed worker pool — no async runtime, no new
+//! dependencies, consistent with the `crates/compat` shim policy):
+//!
+//! * **Job queue** — `submit` expands a validated [`ScenarioSpec`] into
+//!   its deterministic cells and enqueues one work item per cell. The
+//!   queue is bounded in *jobs*: at most `queue_cap` jobs may be active
+//!   (queued or running) at once; further submissions are refused with an
+//!   error response instead of buffering without limit.
+//! * **Worker pool** — `workers` threads, each owning one engine-reusing
+//!   [`Runner`] for its entire lifetime, so scratch (cached network, warm
+//!   distance vectors, cycle-detector map) stays hot **across jobs**, not
+//!   just across the cells of one batch ([`Runner::recycle`] drops
+//!   references into a finished job's data at job boundaries without
+//!   releasing the allocations).
+//! * **Result cache** — before simulating, a worker looks the cell up by
+//!   its content digest ([`cell_digest`]); hits are served from the
+//!   [`ResultCache`] (memory, optionally disk-backed) and re-stamped with
+//!   the job's cell index. Determinism makes a hit byte-identical to a
+//!   re-simulation, which the loopback integration tests assert.
+//! * **Streaming** — `stream` sends a job's results as raw JSONL lines in
+//!   cell order (blocking on not-yet-finished cells), framed by control
+//!   lines; the cell bytes equal the offline `gncg grid` file bytes.
+//!
+//! Completed jobs are retained for `retain` further completions and then
+//! pruned oldest-first (streams in progress pin their job), so a
+//! long-running daemon's job table stays bounded; the result cache is
+//! what persists.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead as _, BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use gncg_suite::scenario::{cell_digest, Cell, Runner, ScenarioSpec};
+use gncg_suite::sink::JsonlSink;
+
+use crate::cache::{stamp_line, ResultCache};
+use crate::protocol::{error_line, Request};
+
+/// Daemon tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads (0 → one per available core).
+    pub workers: usize,
+    /// Maximum jobs active (queued or running) at once; submissions
+    /// beyond the cap are refused.
+    pub queue_cap: usize,
+    /// Finished jobs retained (oldest pruned first).
+    pub retain: usize,
+    /// Maximum cells a single submitted grid may expand to; larger (or
+    /// overflowing) specs are refused before anything is allocated.
+    pub max_job_cells: usize,
+    /// Optional persistent cache file.
+    pub cache_path: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            queue_cap: 64,
+            retain: 256,
+            max_job_cells: 1 << 20,
+            cache_path: None,
+        }
+    }
+}
+
+/// A job's lifecycle state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Canceled,
+}
+
+impl JobState {
+    fn key(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Canceled => "canceled",
+        }
+    }
+
+    fn finished(self) -> bool {
+        matches!(self, JobState::Done | JobState::Canceled)
+    }
+}
+
+#[derive(Debug)]
+struct Job {
+    cells: Vec<Cell>,
+    /// Finished lines, in cell order (`None` until the cell lands).
+    lines: Vec<Option<String>>,
+    state: JobState,
+    done: usize,
+    cache_hits: usize,
+    simulated: usize,
+    /// Streams currently reading this job (pinned jobs are never pruned).
+    pinned: usize,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    done_jobs: u64,
+    canceled_jobs: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    jobs: BTreeMap<u64, Job>,
+    queue: VecDeque<(u64, usize)>,
+    next_job: u64,
+    active_jobs: usize,
+    cache: ResultCache,
+    counters: Counters,
+    shutting_down: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    inner: Mutex<Inner>,
+    /// Signals workers: queue non-empty or shutdown.
+    work: Condvar,
+    /// Signals streamers/waiters: a result landed or a job changed state.
+    progress: Condvar,
+    cfg: ServiceConfig,
+    workers: usize,
+    addr: SocketAddr,
+}
+
+/// A running daemon (listener + workers). Dropping the handle does *not*
+/// stop the daemon; call [`Server::shutdown`] (or send the protocol
+/// `shutdown` op) and then [`Server::wait`].
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// the accept loop and worker pool.
+    pub fn start(addr: &str, cfg: ServiceConfig) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?;
+        let workers = if cfg.workers > 0 {
+            cfg.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        let cache = match &cfg.cache_path {
+            Some(p) => ResultCache::open(p)?,
+            None => ResultCache::in_memory(),
+        };
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                jobs: BTreeMap::new(),
+                queue: VecDeque::new(),
+                next_job: 1,
+                active_jobs: 0,
+                cache,
+                counters: Counters::default(),
+                shutting_down: false,
+            }),
+            work: Condvar::new(),
+            progress: Condvar::new(),
+            cfg,
+            workers,
+            addr: local,
+        });
+
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gncg-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(|e| format!("cannot spawn worker: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("gncg-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .map_err(|e| format!("cannot spawn accept loop: {e}"))?;
+
+        Ok(Server {
+            shared,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Initiates shutdown: stop accepting, wake every waiter, let
+    /// workers finish their in-flight cell and exit. Idempotent.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Blocks until the accept loop and every worker have exited
+    /// (i.e. until a shutdown — via [`Server::shutdown`] or the protocol
+    /// op — has completed).
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn initiate_shutdown(shared: &Shared) {
+    {
+        let mut g = shared.inner.lock().unwrap();
+        if g.shutting_down {
+            return;
+        }
+        g.shutting_down = true;
+    }
+    shared.work.notify_all();
+    shared.progress.notify_all();
+    // Unblock the accept loop with a throwaway connection. A wildcard
+    // bind (0.0.0.0 / ::) is not itself connectable on every platform —
+    // poke the loopback of the same family instead.
+    let mut poke = shared.addr;
+    if poke.ip().is_unspecified() {
+        poke.set_ip(match poke.ip() {
+            std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    let _ = TcpStream::connect_timeout(&poke, std::time::Duration::from_secs(1));
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let conn = listener.accept();
+        if shared.inner.lock().unwrap().shutting_down {
+            return;
+        }
+        match conn {
+            Ok((stream, _)) => {
+                // Request/response lines are tiny; without TCP_NODELAY the
+                // Nagle/delayed-ACK interaction stalls every second small
+                // write by ~40 ms, dwarfing the actual request cost (the
+                // `service_roundtrip` bench guards this).
+                let _ = stream.set_nodelay(true);
+                let shared = Arc::clone(shared);
+                // Handler threads are detached: they end when their client
+                // disconnects (or after serving `shutdown`), and the shared
+                // state is kept alive by their Arc.
+                let _ = std::thread::Builder::new()
+                    .name("gncg-conn".into())
+                    .spawn(move || handle_connection(stream, &shared));
+            }
+            Err(_) => {
+                // Transient accept failure (fd exhaustion, aborted
+                // handshake): back off briefly instead of spinning a core
+                // on the immediate retry.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+// ---- worker pool --------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    let mut runner = Runner::new();
+    let mut last_job: Option<u64> = None;
+    let mut g = shared.inner.lock().unwrap();
+    loop {
+        // Pop the next runnable item (skipping canceled jobs), serving
+        // cache hits inline under the lock — a hit is a map lookup plus a
+        // string stamp, far cheaper than a wake cycle. A long run of hits
+        // (a big fully-cached job being replayed) periodically releases
+        // the mutex so submit/status/stream calls stay responsive.
+        let mut inline_hits = 0usize;
+        let (job_id, idx, cell) = loop {
+            if g.shutting_down {
+                return;
+            }
+            if inline_hits >= 128 {
+                inline_hits = 0;
+                drop(g);
+                g = shared.inner.lock().unwrap();
+            }
+            match g.queue.pop_front() {
+                Some((job_id, idx)) => {
+                    let Some(job) = g.jobs.get(&job_id) else {
+                        continue;
+                    };
+                    if job.state == JobState::Canceled {
+                        continue;
+                    }
+                    let cell = job.cells[idx].clone();
+                    let digest = cell_digest(&cell);
+                    if let Some(rest) = g.cache.lookup(digest) {
+                        record_line(&mut g, shared, job_id, idx, stamp_line(idx, &rest), true);
+                        inline_hits += 1;
+                        continue;
+                    }
+                    let job = g.jobs.get_mut(&job_id).expect("checked above");
+                    job.state = JobState::Running;
+                    break (job_id, idx, cell);
+                }
+                None => g = shared.work.wait(g).unwrap(),
+            }
+        };
+        drop(g);
+
+        if last_job.is_some_and(|j| j != job_id) {
+            // Job boundary: release the previous job's data, keep scratch.
+            runner.recycle();
+        }
+        last_job = Some(job_id);
+        let result = runner.run_cell(&cell);
+
+        g = shared.inner.lock().unwrap();
+        let _ = g.cache.insert(cell_digest(&cell), &result);
+        // The job may have been canceled (or pruned) while we simulated;
+        // the cache insert above still makes the work reusable.
+        if g.jobs
+            .get(&job_id)
+            .is_some_and(|j| j.state != JobState::Canceled)
+        {
+            record_line(&mut g, shared, job_id, idx, result.to_jsonl(), false);
+        }
+    }
+}
+
+/// Records a finished line into its job slot, updating completion
+/// bookkeeping and waking streamers.
+fn record_line(
+    g: &mut MutexGuard<'_, Inner>,
+    shared: &Shared,
+    job_id: u64,
+    idx: usize,
+    line: String,
+    from_cache: bool,
+) {
+    let Some(job) = g.jobs.get_mut(&job_id) else {
+        return;
+    };
+    debug_assert!(job.lines[idx].is_none(), "cell {idx} recorded twice");
+    job.lines[idx] = Some(line);
+    job.done += 1;
+    if from_cache {
+        job.cache_hits += 1;
+    } else {
+        job.simulated += 1;
+    }
+    if job.done == job.cells.len() {
+        job.state = JobState::Done;
+        g.active_jobs -= 1;
+        g.counters.done_jobs += 1;
+    }
+    shared.progress.notify_all();
+}
+
+// ---- connection handling ------------------------------------------------
+
+/// Longest accepted request line. Real requests are well under 1 MiB
+/// (the spec object is the only unbounded member); the cap keeps one
+/// misbehaving client from growing the line buffer without limit.
+const MAX_REQUEST_LINE: u64 = 1 << 20;
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Bounded read: Take caps how much one line may buffer. A line
+        // that fills the cap without a newline is oversized — reject and
+        // drop the connection (resynchronizing mid-stream is hopeless).
+        match std::io::Read::take(&mut reader, MAX_REQUEST_LINE).read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client gone
+            Ok(n) => {
+                if n as u64 == MAX_REQUEST_LINE && !line.ends_with('\n') {
+                    let _ = write_line(&mut writer, &error_line("request line too long"));
+                    return;
+                }
+            }
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let reply_and_continue = match Request::parse_line(trimmed) {
+            Err(e) => write_line(&mut writer, &error_line(&e)),
+            Ok(Request::Ping) => write_line(&mut writer, "{\"ok\":true,\"pong\":true}"),
+            Ok(Request::Submit(spec)) => {
+                let resp = submit(shared, spec);
+                write_line(&mut writer, &resp)
+            }
+            Ok(Request::Status { job }) => {
+                let resp = status(shared, job);
+                write_line(&mut writer, &resp)
+            }
+            Ok(Request::Cancel { job }) => {
+                let resp = cancel(shared, job);
+                write_line(&mut writer, &resp)
+            }
+            Ok(Request::Stream { job }) => stream_job(shared, &mut writer, job),
+            Ok(Request::Shutdown) => {
+                let _ = write_line(&mut writer, "{\"ok\":true,\"shutdown\":true}");
+                initiate_shutdown(shared);
+                return;
+            }
+        };
+        if reply_and_continue.is_err() {
+            return; // write side gone
+        }
+    }
+}
+
+fn write_line(writer: &mut impl std::io::Write, line: &str) -> Result<(), ()> {
+    writeln!(writer, "{line}")
+        .and_then(|()| writer.flush())
+        .map_err(|_| ())
+}
+
+fn submit(shared: &Shared, spec: ScenarioSpec) -> String {
+    // Size-check the grid *before* expanding anything: specs arrive from
+    // the network, and an overflowing or absurd cross product must be
+    // refused, not allocated (MAX_REQUEST_LINE bounds bytes; this bounds
+    // the multiplicative blow-up a small request can describe).
+    let total = match spec.checked_cell_count() {
+        Some(t) if t <= shared.cfg.max_job_cells => t,
+        _ => {
+            return error_line(&format!(
+                "job too large (spec expands beyond the {}-cell cap)",
+                shared.cfg.max_job_cells
+            ));
+        }
+    };
+    let cells = spec.expand();
+    debug_assert_eq!(cells.len(), total);
+    let mut g = shared.inner.lock().unwrap();
+    if g.shutting_down {
+        return error_line("daemon is shutting down");
+    }
+    if g.active_jobs >= shared.cfg.queue_cap {
+        return error_line(&format!(
+            "job queue full ({} active jobs, cap {})",
+            g.active_jobs, shared.cfg.queue_cap
+        ));
+    }
+    prune_finished(&mut g, shared.cfg.retain);
+    let job_id = g.next_job;
+    g.next_job += 1;
+    g.jobs.insert(
+        job_id,
+        Job {
+            lines: vec![None; total],
+            cells,
+            state: JobState::Queued,
+            done: 0,
+            cache_hits: 0,
+            simulated: 0,
+            pinned: 0,
+        },
+    );
+    g.active_jobs += 1;
+    for idx in 0..total {
+        g.queue.push_back((job_id, idx));
+    }
+    drop(g);
+    shared.work.notify_all();
+    format!("{{\"ok\":true,\"job\":{job_id},\"cells\":{total}}}")
+}
+
+/// Drops the oldest finished, unpinned jobs once more than `retain`
+/// finished jobs are held (active jobs never count against the cap and
+/// are never pruned).
+fn prune_finished(g: &mut MutexGuard<'_, Inner>, retain: usize) {
+    let mut finished = g.jobs.values().filter(|j| j.state.finished()).count();
+    while finished > retain {
+        let victim = g
+            .jobs
+            .iter()
+            .find(|(_, j)| j.state.finished() && j.pinned == 0)
+            .map(|(&id, _)| id);
+        match victim {
+            Some(id) => {
+                g.jobs.remove(&id);
+                finished -= 1;
+            }
+            None => return,
+        }
+    }
+}
+
+fn status(shared: &Shared, job: Option<u64>) -> String {
+    let g = shared.inner.lock().unwrap();
+    match job {
+        Some(id) => match g.jobs.get(&id) {
+            None => error_line(&format!("unknown job {id}")),
+            Some(j) => format!(
+                "{{\"ok\":true,\"job\":{id},\"state\":\"{}\",\"done\":{},\"total\":{},\"cache_hits\":{},\"simulated\":{}}}",
+                j.state.key(),
+                j.done,
+                j.cells.len(),
+                j.cache_hits,
+                j.simulated,
+            ),
+        },
+        None => format!(
+            "{{\"ok\":true,\"jobs\":{},\"active\":{},\"done\":{},\"canceled\":{},\"cache_entries\":{},\"cache_hits\":{},\"cache_misses\":{},\"workers\":{},\"queue_cap\":{}}}",
+            g.jobs.len(),
+            g.active_jobs,
+            g.counters.done_jobs,
+            g.counters.canceled_jobs,
+            g.cache.len(),
+            g.cache.hits(),
+            g.cache.misses(),
+            shared.workers,
+            shared.cfg.queue_cap,
+        ),
+    }
+}
+
+fn cancel(shared: &Shared, job_id: u64) -> String {
+    let mut g = shared.inner.lock().unwrap();
+    let Some(job) = g.jobs.get_mut(&job_id) else {
+        return error_line(&format!("unknown job {job_id}"));
+    };
+    let state = if job.state.finished() {
+        job.state // terminal: cancel is a no-op
+    } else {
+        job.state = JobState::Canceled;
+        g.queue.retain(|&(j, _)| j != job_id);
+        g.active_jobs -= 1;
+        g.counters.canceled_jobs += 1;
+        shared.progress.notify_all();
+        JobState::Canceled
+    };
+    format!(
+        "{{\"ok\":true,\"job\":{job_id},\"state\":\"{}\"}}",
+        state.key()
+    )
+}
+
+/// Streams a job's cell lines in order, blocking on unfinished cells.
+/// Uses the shared [`JsonlSink`] byte layer, so streamed cell bytes are
+/// defined by the same code path as the offline grid file's.
+fn stream_job(shared: &Shared, writer: &mut BufWriter<TcpStream>, job_id: u64) -> Result<(), ()> {
+    let total = {
+        let mut g = shared.inner.lock().unwrap();
+        match g.jobs.get_mut(&job_id) {
+            None => {
+                return write_line(writer, &error_line(&format!("unknown job {job_id}")));
+            }
+            Some(j) => {
+                j.pinned += 1;
+                j.cells.len()
+            }
+        }
+    };
+    let result = stream_pinned(shared, writer, job_id, total);
+    let mut g = shared.inner.lock().unwrap();
+    if let Some(j) = g.jobs.get_mut(&job_id) {
+        j.pinned -= 1;
+    }
+    result
+}
+
+fn stream_pinned(
+    shared: &Shared,
+    writer: &mut BufWriter<TcpStream>,
+    job_id: u64,
+    total: usize,
+) -> Result<(), ()> {
+    write_line(
+        writer,
+        &format!("{{\"ok\":true,\"job\":{job_id},\"cells\":{total}}}"),
+    )?;
+    for idx in 0..total {
+        let line = {
+            let mut g = shared.inner.lock().unwrap();
+            let mut waited = false;
+            loop {
+                let Some(job) = g.jobs.get(&job_id) else {
+                    drop(g);
+                    return write_line(writer, &error_line("job pruned mid-stream"));
+                };
+                if let Some(line) = &job.lines[idx] {
+                    break line.clone();
+                }
+                if job.state == JobState::Canceled {
+                    drop(g);
+                    return write_line(writer, &error_line("job canceled"));
+                }
+                if g.shutting_down {
+                    drop(g);
+                    return write_line(writer, &error_line("daemon is shutting down"));
+                }
+                if !waited {
+                    // About to block on an unfinished cell: push the lines
+                    // buffered so far to the client first, so progress is
+                    // visible while the job computes. Already-available
+                    // lines are *not* flushed per line — a finished or
+                    // cached job streams in one buffered burst (the footer
+                    // write flushes) instead of one syscall per cell.
+                    waited = true;
+                    drop(g);
+                    if writer.flush().is_err() {
+                        return Err(());
+                    }
+                    g = shared.inner.lock().unwrap();
+                    continue;
+                }
+                g = shared.progress.wait(g).unwrap();
+            }
+        };
+        // A fresh zero-cost sink wrapper per line: the byte format stays
+        // single-sourced in `JsonlSink` without holding a borrow across
+        // the control-line early returns above.
+        if JsonlSink::new(&mut *writer).emit_line(&line).is_err() {
+            return Err(());
+        }
+    }
+    let (hits, simulated) = {
+        let g = shared.inner.lock().unwrap();
+        match g.jobs.get(&job_id) {
+            Some(j) => (j.cache_hits, j.simulated),
+            None => (0, 0),
+        }
+    };
+    write_line(
+        writer,
+        &format!("{{\"ok\":true,\"done\":true,\"cache_hits\":{hits},\"simulated\":{simulated}}}"),
+    )
+}

@@ -19,11 +19,12 @@
 //! determinism suite asserts.
 
 use std::fs;
-use std::io::{BufRead as _, BufReader, BufWriter, Write as _};
+use std::io::{BufRead as _, BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use crate::scenario::{shard_size, Cell, CellResult, ScenarioSpec};
+use crate::sink::{CellSink, JsonlSink};
 
 /// Aggregate outcome of a [`run_grid`] call.
 #[derive(Clone, Debug)]
@@ -85,39 +86,45 @@ pub fn run_grid(spec: &ScenarioSpec, out: &Path, resume: bool) -> Result<GridSum
         .append(true)
         .open(out)
         .map_err(|e| format!("cannot open {} for append: {e}", out.display()))?;
-    let mut writer = BufWriter::new(file);
+    let mut sink = JsonlSink::new(BufWriter::new(file));
 
     let started = Instant::now();
-    let mut ran = 0usize;
-    let mut converged = 0usize;
-    // Waves bound how much output can sit in memory before it is flushed:
-    // each wave fans its shards over the rayon pool (one Runner — hence
-    // one reusable Engine — per shard), then appends its lines in order.
-    let shard = shard_size(cells.len());
-    let wave = (shard * rayon::current_num_threads().max(1)).max(1);
-    for wave_cells in remaining.chunks(wave) {
-        let results = crate::scenario::run_shards(wave_cells, shard);
-        for r in &results {
-            writeln!(writer, "{}", r.to_jsonl())
-                .map_err(|e| format!("write to {} failed: {e}", out.display()))?;
-            ran += 1;
-            if r.outcome == "converged" {
-                converged += 1;
-            }
-        }
-        writer
-            .flush()
-            .map_err(|e| format!("flush of {} failed: {e}", out.display()))?;
-    }
+    let converged = stream_cells(remaining, &mut sink)?;
 
     Ok(GridSummary {
         total: cells.len(),
         skipped: completed,
-        ran,
+        ran: remaining.len(),
         converged,
         wall_secs: started.elapsed().as_secs_f64(),
         out: out.to_path_buf(),
     })
+}
+
+/// Runs `cells` in waves over the rayon pool and emits every result, in
+/// cell order, into `sink` — the shared streaming core of the `grid`
+/// command and any other ordered-JSONL producer. Returns how many of the
+/// executed cells converged.
+///
+/// Waves bound how much output can sit in memory before it is flushed:
+/// each wave fans its shards over the pool (one engine-reusing
+/// [`crate::scenario::Runner`] per shard), then emits its lines in order
+/// and flushes the sink.
+pub fn stream_cells(cells: &[Cell], sink: &mut impl CellSink) -> Result<usize, String> {
+    let mut converged = 0usize;
+    let shard = shard_size(cells.len());
+    let wave = (shard * rayon::current_num_threads().max(1)).max(1);
+    for wave_cells in cells.chunks(wave) {
+        let results = crate::scenario::run_shards(wave_cells, shard);
+        for r in &results {
+            sink.emit(r)?;
+            if r.outcome == "converged" {
+                converged += 1;
+            }
+        }
+        sink.flush()?;
+    }
+    Ok(converged)
 }
 
 /// Counts the clean line prefix of an existing JSONL output (lines that
@@ -172,7 +179,7 @@ fn clean_prefix_len(out: &Path, cells: &[Cell]) -> Result<usize, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{RuleSpec, SchedSpec};
+    use crate::scenario::{CertifyMode, RuleSpec, SchedSpec};
 
     fn spec() -> ScenarioSpec {
         ScenarioSpec {
@@ -185,6 +192,7 @@ mod tests {
             seeds: vec![0, 1],
             max_rounds: 200,
             base_seed: 3,
+            certify: CertifyMode::Full,
         }
     }
 

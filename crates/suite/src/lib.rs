@@ -11,10 +11,14 @@
 //!   engine-reusing [`scenario::Runner`], serializable
 //!   [`scenario::CellResult`]s,
 //! * [`grid`] — the sharded batch runner streaming ordered JSONL with a
-//!   resume manifest.
+//!   resume manifest,
+//! * [`sink`] — the [`sink::CellSink`] byte-format layer every ordered
+//!   result stream (grid files, the experiment service's socket streams)
+//!   writes through.
 
 pub mod grid;
 pub mod scenario;
+pub mod sink;
 
 use gncg_core::{Game, Profile};
 use gncg_dynamics::{ResponseRule, RunResult};

@@ -27,7 +27,7 @@ pub const SCHEMA_VERSION: u32 = 1;
 
 /// splitmix64 — the per-cell seed derivation. Statistically independent
 /// outputs for sequential inputs; stable across platforms and releases.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -124,6 +124,45 @@ impl SchedSpec {
     }
 }
 
+/// How a converged cell's final profile is re-certified as an equilibrium
+/// of its rule's class (the JSONL `certified` field).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CertifyMode {
+    /// Full per-agent best responses from scratch (`full`) — the
+    /// historical behavior and the default.
+    #[default]
+    Full,
+    /// A deterministic ⌈√n⌉-agent sample checked incrementally against
+    /// the engine's warm context (`sampled`): a cheap spot-check for
+    /// large-n grids. `certified:true` then means "no sampled agent can
+    /// improve", not a full certificate.
+    Sampled,
+    /// No certification (`off`): `certified` is always `false`.
+    Off,
+}
+
+impl CertifyMode {
+    /// Every mode, in canonical order.
+    pub const ALL: [CertifyMode; 3] = [CertifyMode::Full, CertifyMode::Sampled, CertifyMode::Off];
+
+    /// The stable name used in specs, CLI flags, and manifests.
+    pub fn key(self) -> &'static str {
+        match self {
+            CertifyMode::Full => "full",
+            CertifyMode::Sampled => "sampled",
+            CertifyMode::Off => "off",
+        }
+    }
+
+    /// Parses a stable name.
+    pub fn parse(s: &str) -> Result<CertifyMode, String> {
+        CertifyMode::ALL
+            .into_iter()
+            .find(|m| m.key() == s)
+            .ok_or_else(|| format!("unknown certify mode '{s}' (use full|sampled|off)"))
+    }
+}
+
 /// A declarative experiment grid: the cross product of its axes.
 ///
 /// Expansion order is fixed (hosts, then `n`s, then αs, then rules, then
@@ -150,6 +189,10 @@ pub struct ScenarioSpec {
     pub max_rounds: usize,
     /// Master seed mixed into every derived cell seed.
     pub base_seed: u64,
+    /// How converged cells are re-certified (affects the JSONL
+    /// `certified` field, so it is part of the spec identity and the
+    /// resume manifest).
+    pub certify: CertifyMode,
 }
 
 impl Default for ScenarioSpec {
@@ -164,6 +207,7 @@ impl Default for ScenarioSpec {
             seeds: vec![0],
             max_rounds: 1_000,
             base_seed: 0,
+            certify: CertifyMode::Full,
         }
     }
 }
@@ -189,10 +233,15 @@ pub struct Cell {
     pub cell_seed: u64,
     /// Round cap.
     pub max_rounds: usize,
+    /// Certification mode (inherited from the spec).
+    pub certify: CertifyMode,
 }
 
 impl ScenarioSpec {
-    /// Number of cells the spec expands to.
+    /// Number of cells the spec expands to. Panics on overflow in debug;
+    /// validated specs are always in range ([`ScenarioSpec::validate`]
+    /// rejects specs whose product overflows via
+    /// [`ScenarioSpec::checked_cell_count`]).
     pub fn cell_count(&self) -> usize {
         self.hosts.len()
             * self.ns.len()
@@ -202,12 +251,34 @@ impl ScenarioSpec {
             * self.seeds.len()
     }
 
+    /// [`ScenarioSpec::cell_count`] with overflow detection — what
+    /// consumers of *untrusted* specs (the service's `submit` handler)
+    /// check before expanding anything.
+    pub fn checked_cell_count(&self) -> Option<usize> {
+        [
+            self.hosts.len(),
+            self.ns.len(),
+            self.alphas.len(),
+            self.rules.len(),
+            self.schedulers.len(),
+            self.seeds.len(),
+        ]
+        .into_iter()
+        .try_fold(1usize, usize::checked_mul)
+    }
+
     /// Checks the spec is runnable and manifest-safe: every axis
     /// non-empty, every host key registered, positive round cap, finite
     /// αs, and a name the line-oriented manifest can round-trip.
     pub fn validate(&self) -> Result<(), String> {
-        if self.cell_count() == 0 {
-            return Err("spec expands to 0 cells (every axis must be non-empty)".into());
+        match self.checked_cell_count() {
+            Some(0) => {
+                return Err("spec expands to 0 cells (every axis must be non-empty)".into());
+            }
+            None => {
+                return Err("spec cell count overflows (axes are implausibly large)".into());
+            }
+            Some(_) => {}
         }
         if self.max_rounds == 0 {
             return Err("max_rounds must be positive".into());
@@ -260,6 +331,7 @@ impl ScenarioSpec {
                                     seed,
                                     cell_seed,
                                     max_rounds: self.max_rounds,
+                                    certify: self.certify,
                                 });
                             }
                         }
@@ -319,6 +391,7 @@ impl ScenarioSpec {
         ));
         s.push_str(&format!("max_rounds={}\n", self.max_rounds));
         s.push_str(&format!("base_seed={}\n", self.base_seed));
+        s.push_str(&format!("certify={}\n", self.certify.key()));
         s
     }
 
@@ -334,6 +407,7 @@ impl ScenarioSpec {
             seeds: Vec::new(),
             max_rounds: 0,
             base_seed: 0,
+            certify: CertifyMode::Full,
         };
         for raw in text.lines() {
             // Trim only line endings and for blank/comment detection; the
@@ -386,6 +460,9 @@ impl ScenarioSpec {
                         .parse()
                         .map_err(|_| "bad base_seed".to_string())?
                 }
+                // Absent in pre-certify manifests: the default (full)
+                // matches what those grids ran with.
+                "certify" => spec.certify = CertifyMode::parse(value.trim())?,
                 other => return Err(format!("unknown manifest key '{other}'")),
             }
         }
@@ -503,10 +580,30 @@ impl Runner {
         let wall_micros = started.elapsed().as_micros();
         let social = cost::social_cost(&game, &result.profile);
         let certified = result.converged()
-            && match cell.rule {
-                RuleSpec::Br => equilibrium::is_nash_equilibrium(&game, &result.profile),
-                RuleSpec::Greedy => equilibrium::is_greedy_equilibrium(&game, &result.profile),
-                RuleSpec::Add => equilibrium::is_add_only_equilibrium(&game, &result.profile),
+            && match cell.certify {
+                CertifyMode::Off => false,
+                CertifyMode::Full => match cell.rule {
+                    RuleSpec::Br => equilibrium::is_nash_equilibrium(&game, &result.profile),
+                    RuleSpec::Greedy => equilibrium::is_greedy_equilibrium(&game, &result.profile),
+                    RuleSpec::Add => equilibrium::is_add_only_equilibrium(&game, &result.profile),
+                },
+                CertifyMode::Sampled => {
+                    // Spot-check a deterministic ⌈√n⌉-agent sample against
+                    // the engine's post-run context: the network and warm
+                    // vectors already describe the final profile, so each
+                    // check reuses the `*_given_current` entry points
+                    // instead of a from-scratch build + Dijkstra.
+                    let ctx = self.engine.context_mut();
+                    sampled_agents(cell.n, cell.cell_seed).into_iter().all(|u| {
+                        gncg_dynamics::agent_is_stable_given_current(
+                            &game,
+                            &result.profile,
+                            ctx,
+                            u,
+                            cell.rule.rule(),
+                        )
+                    })
+                }
             };
         let outcome = match result.outcome {
             Outcome::Converged { .. } => "converged",
@@ -535,6 +632,56 @@ impl Runner {
     pub fn run_cell(&mut self, cell: &Cell) -> CellResult {
         self.run_cell_full(cell).0
     }
+
+    /// Releases references into the last cell's data while keeping the
+    /// engine's scratch allocations — what a long-lived service worker
+    /// calls at a job boundary (see [`gncg_dynamics::Engine::recycle`]).
+    pub fn recycle(&mut self) {
+        self.engine.recycle();
+    }
+}
+
+/// The deterministic ⌈√n⌉-agent sample [`CertifyMode::Sampled`] checks:
+/// distinct agents drawn from a splitmix64 stream seeded by the cell seed
+/// (disjoint from the host-construction and scheduler streams).
+fn sampled_agents(n: usize, cell_seed: u64) -> Vec<NodeId> {
+    // ⌈√n⌉ exactly (isqrt floors): the documented sample size.
+    let root = n.isqrt();
+    let k = (root + usize::from(root * root < n)).max(2).min(n);
+    let mut chosen: BTreeSet<NodeId> = BTreeSet::new();
+    let mut x = cell_seed ^ 0xA5A5_A5A5_A5A5_A5A5;
+    while chosen.len() < k {
+        x = splitmix64(x);
+        chosen.insert((x % n as u64) as NodeId);
+    }
+    chosen.into_iter().collect()
+}
+
+/// Content address of a cell: a splitmix64-chained digest over **every**
+/// field that determines its result bytes (host key, n, α bits, rule,
+/// scheduler, raw seed, derived cell seed, round cap, certify mode —
+/// everything except the positional `index`, which callers re-stamp when
+/// serving a cached line). Equal digests ⇒ byte-identical
+/// [`CellResult::to_jsonl`] output up to the `cell` field, which is what
+/// the service's result cache keys on.
+pub fn cell_digest(cell: &Cell) -> u64 {
+    let mut h: u64 = 0x6763_6763_6E63_6731; // "gcgcncg1": domain tag
+    let mut mix = |word: u64| h = splitmix64(h ^ word);
+    mix(cell.host.len() as u64);
+    for chunk in cell.host.as_bytes().chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        mix(u64::from_le_bytes(w));
+    }
+    mix(cell.n as u64);
+    mix(cell.alpha.to_bits());
+    mix(cell.rule as u64);
+    mix(cell.scheduler as u64);
+    mix(cell.seed);
+    mix(cell.cell_seed);
+    mix(cell.max_rounds as u64);
+    mix(cell.certify as u64);
+    h
 }
 
 /// Runs every cell of `spec` in-memory (sharded over the rayon pool, one
@@ -636,6 +783,7 @@ mod tests {
             seeds: vec![0, 1],
             max_rounds: 200,
             base_seed: 7,
+            certify: CertifyMode::Full,
         }
     }
 
@@ -739,6 +887,149 @@ mod tests {
         assert_eq!(results[0].outcome, "converged");
         assert!(results[0].certified);
         assert!(results[0].social_cost.is_some());
+    }
+
+    #[test]
+    fn certify_modes_parse_and_manifest_round_trips() {
+        for mode in CertifyMode::ALL {
+            assert_eq!(CertifyMode::parse(mode.key()).unwrap(), mode);
+        }
+        assert!(CertifyMode::parse("bogus").is_err());
+        let mut spec = tiny_spec();
+        spec.certify = CertifyMode::Sampled;
+        let back = ScenarioSpec::from_manifest(&spec.to_manifest()).unwrap();
+        assert_eq!(back, spec);
+        // Pre-certify manifests (no certify line) default to full — the
+        // mode those grids actually ran with.
+        let legacy: String = tiny_spec()
+            .to_manifest()
+            .lines()
+            .filter(|l| !l.starts_with("certify="))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let parsed = ScenarioSpec::from_manifest(&legacy).unwrap();
+        assert_eq!(parsed.certify, CertifyMode::Full);
+    }
+
+    #[test]
+    fn sampled_and_off_certification_behave() {
+        let converged_spec = |certify| ScenarioSpec {
+            hosts: vec!["unit".into()],
+            ns: vec![9],
+            alphas: vec![2.0],
+            seeds: vec![0],
+            certify,
+            ..ScenarioSpec::default()
+        };
+        let full = &run_cells(&converged_spec(CertifyMode::Full)).unwrap()[0];
+        let sampled = &run_cells(&converged_spec(CertifyMode::Sampled)).unwrap()[0];
+        let off = &run_cells(&converged_spec(CertifyMode::Off)).unwrap()[0];
+        assert_eq!(full.outcome, "converged");
+        assert!(full.certified, "full certificate on a converged GE");
+        assert!(sampled.certified, "a sample of a GE is stable");
+        assert!(!off.certified, "off never certifies");
+        // Certification never perturbs the dynamics: all other fields equal.
+        assert_eq!(full.rounds, sampled.rounds);
+        assert_eq!(full.moves, off.moves);
+        assert_eq!(full.social_cost, sampled.social_cost);
+        assert_eq!(full.social_cost, off.social_cost);
+    }
+
+    #[test]
+    fn sampled_agent_set_is_deterministic_and_sized() {
+        let a = sampled_agents(100, 42);
+        let b = sampled_agents(100, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10, "⌈√100⌉ agents");
+        assert!(a.iter().all(|&u| (u as usize) < 100));
+        assert_ne!(sampled_agents(100, 43), a, "sample tracks the cell seed");
+        assert_eq!(sampled_agents(2, 7).len(), 2, "small n keeps the floor");
+        assert_eq!(sampled_agents(10, 1).len(), 4, "⌈√10⌉ = 4, not ⌊√10⌋");
+    }
+
+    #[test]
+    fn validate_rejects_overflowing_cell_counts() {
+        // Six 2048-long axes: the cross product is 2^66, which must be
+        // refused by checked arithmetic before anything tries to expand.
+        let spec = ScenarioSpec {
+            name: "bomb".into(),
+            hosts: vec!["unit".into(); 2048],
+            ns: vec![5; 2048],
+            alphas: vec![1.0; 2048],
+            rules: vec![RuleSpec::Greedy; 2048],
+            schedulers: vec![SchedSpec::RoundRobin; 2048],
+            seeds: vec![0; 2048],
+            max_rounds: 10,
+            base_seed: 0,
+            certify: CertifyMode::Full,
+        };
+        assert_eq!(spec.checked_cell_count(), None);
+        assert!(spec.validate().unwrap_err().contains("overflows"));
+    }
+
+    #[test]
+    fn cell_digest_is_stable_and_collision_free_across_grid() {
+        let spec = tiny_spec();
+        let a = spec.expand();
+        let b = spec.expand();
+        let mut digests: Vec<u64> = a.iter().map(cell_digest).collect();
+        assert_eq!(
+            digests,
+            b.iter().map(cell_digest).collect::<Vec<_>>(),
+            "digest must be a pure function of the cell"
+        );
+        digests.sort_unstable();
+        digests.dedup();
+        assert_eq!(digests.len(), a.len(), "distinct cells, distinct digests");
+        // Every result-determining field moves the digest.
+        let base = a[0].clone();
+        let variants = [
+            Cell {
+                host: "r2".into(),
+                ..base.clone()
+            },
+            Cell {
+                n: base.n + 1,
+                ..base.clone()
+            },
+            Cell {
+                alpha: base.alpha + 0.5,
+                ..base.clone()
+            },
+            Cell {
+                rule: RuleSpec::Add,
+                ..base.clone()
+            },
+            Cell {
+                scheduler: SchedSpec::MaxGain,
+                ..base.clone()
+            },
+            Cell {
+                seed: base.seed ^ 1,
+                ..base.clone()
+            },
+            Cell {
+                cell_seed: base.cell_seed ^ 1,
+                ..base.clone()
+            },
+            Cell {
+                max_rounds: base.max_rounds + 1,
+                ..base.clone()
+            },
+            Cell {
+                certify: CertifyMode::Off,
+                ..base.clone()
+            },
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(cell_digest(v), cell_digest(&base), "variant {i}");
+        }
+        // The positional index is *not* part of the address.
+        let moved = Cell {
+            index: base.index + 7,
+            ..base.clone()
+        };
+        assert_eq!(cell_digest(&moved), cell_digest(&base));
     }
 
     #[test]

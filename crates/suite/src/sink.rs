@@ -1,0 +1,126 @@
+//! Result sinks: the one place cell results turn into bytes.
+//!
+//! Every consumer that emits a stream of [`CellResult`]s — the `gncg
+//! grid` JSONL file writer, the experiment service streaming results over
+//! a socket, in-memory collectors in tests — goes through the
+//! [`CellSink`] trait, so the byte format (one [`CellResult::to_jsonl`]
+//! line per cell, `\n`-terminated, in cell order) is defined exactly
+//! once. Two streams fed the same results are byte-identical no matter
+//! which sink they went through — the loopback determinism contract the
+//! service's integration tests assert.
+
+use std::io::Write;
+
+use crate::scenario::CellResult;
+
+/// A destination for an ordered stream of cell results.
+pub trait CellSink {
+    /// Emits one result. Implementations must preserve arrival order.
+    fn emit(&mut self, result: &CellResult) -> Result<(), String>;
+
+    /// Makes everything emitted so far durable/visible (no-op by
+    /// default; buffered writers override).
+    fn flush(&mut self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// The JSONL byte format: one [`CellResult::to_jsonl`] line per emit,
+/// `\n`-terminated, over any [`Write`] — a `BufWriter<File>` for the
+/// `grid` command, a `TcpStream` for the service, a `Vec<u8>` in tests.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    lines: usize,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer, lines: 0 }
+    }
+
+    /// Lines emitted so far.
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Unwraps the inner writer (without flushing).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+
+    /// Writes one pre-serialized JSONL line (no trailing newline in
+    /// `line`). The service's cache-hit path serves stored lines without
+    /// re-serializing a [`CellResult`]; going through the sink keeps the
+    /// byte format single-sourced.
+    pub fn emit_line(&mut self, line: &str) -> Result<(), String> {
+        writeln!(self.writer, "{line}").map_err(|e| format!("jsonl write failed: {e}"))?;
+        self.lines += 1;
+        Ok(())
+    }
+}
+
+impl<W: Write> CellSink for JsonlSink<W> {
+    fn emit(&mut self, result: &CellResult) -> Result<(), String> {
+        self.emit_line(&result.to_jsonl())
+    }
+
+    fn flush(&mut self) -> Result<(), String> {
+        self.writer
+            .flush()
+            .map_err(|e| format!("jsonl flush failed: {e}"))
+    }
+}
+
+/// Collects results in memory (tests and programmatic consumers).
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// The collected results, in emission order.
+    pub results: Vec<CellResult>,
+}
+
+impl CellSink for CollectSink {
+    fn emit(&mut self, result: &CellResult) -> Result<(), String> {
+        self.results.push(result.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Runner, ScenarioSpec};
+
+    #[test]
+    fn jsonl_sink_bytes_equal_direct_serialization() {
+        let spec = ScenarioSpec::default();
+        let cells = spec.expand();
+        let mut runner = Runner::new();
+        let results: Vec<CellResult> = cells.iter().map(|c| runner.run_cell(c)).collect();
+
+        let mut sink = JsonlSink::new(Vec::<u8>::new());
+        let mut collect = CollectSink::default();
+        for r in &results {
+            sink.emit(r).unwrap();
+            collect.emit(r).unwrap();
+        }
+        sink.flush().unwrap();
+        assert_eq!(sink.lines(), results.len());
+        let expected: String = results.iter().map(|r| r.to_jsonl() + "\n").collect();
+        assert_eq!(String::from_utf8(sink.into_inner()).unwrap(), expected);
+        assert_eq!(collect.results, results);
+    }
+
+    #[test]
+    fn emit_line_and_emit_agree() {
+        let spec = ScenarioSpec::default();
+        let cell = &spec.expand()[0];
+        let r = Runner::new().run_cell(cell);
+        let mut a = JsonlSink::new(Vec::<u8>::new());
+        let mut b = JsonlSink::new(Vec::<u8>::new());
+        a.emit(&r).unwrap();
+        b.emit_line(&r.to_jsonl()).unwrap();
+        assert_eq!(a.into_inner(), b.into_inner());
+    }
+}

@@ -29,6 +29,7 @@ fn main() {
         seeds: vec![3],
         max_rounds: 300,
         base_seed: 3,
+        ..ScenarioSpec::default()
     };
 
     // NE/OPT needs the heuristic optimum alongside each equilibrium, so

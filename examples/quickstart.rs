@@ -25,6 +25,7 @@ fn main() {
         seeds: vec![42],
         max_rounds: 200,
         base_seed: 42,
+        ..ScenarioSpec::default()
     };
     let cell = &spec.expand()[0];
 

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Snapshot the hot-path benchmarks into BENCH_hotpath.json.
 #
-# Runs the criterion benches `best_response`, `apsp`, and `dynamics`
-# (via the hermetic criterion shim in crates/compat/criterion, which
-# appends one JSON line per benchmark under target/criterion-lite/),
+# Runs the criterion benches `best_response`, `apsp`, `dynamics`, and
+# `service_roundtrip` (via the hermetic criterion shim in
+# crates/compat/criterion, which appends one JSON line per benchmark
+# under target/criterion-lite/),
 # then aggregates medians — plus the tracked derived figure
 # `incremental_speedup_n14` = exact_bnb_reference/14 ÷ exact_bnb/14 —
 # into BENCH_hotpath.json at the repo root, so every PR leaves a perf
@@ -21,7 +22,7 @@ export CRITERION_LITE_OUT="$OUT_DIR"
 rm -rf "$OUT_DIR"
 mkdir -p "$OUT_DIR"
 
-for bench in best_response apsp dynamics; do
+for bench in best_response apsp dynamics service_roundtrip; do
     echo "== cargo bench --bench $bench" >&2
     cargo bench -p gncg-bench --bench "$bench" >&2
 done

@@ -39,4 +39,41 @@ cp target/tier1-grid.jsonl target/tier1-grid.jsonl.orig
 cmp target/tier1-grid.jsonl target/tier1-grid.jsonl.orig
 rm -f target/tier1-grid.jsonl.orig
 
+echo "== gncg service smoke (serve → submit ×2 → shutdown)" >&2
+SERVICE_ADDR=127.0.0.1:47421
+rm -f target/tier1-serve.log target/tier1-submit-a.jsonl target/tier1-submit-b.jsonl
+./target/release/gncg serve --addr "$SERVICE_ADDR" --workers 2 \
+  > target/tier1-serve.log 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  grep -q "listening" target/tier1-serve.log 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "listening" target/tier1-serve.log || {
+  echo "tier-1 service smoke: daemon never came up" >&2
+  exit 1
+}
+# Same 4-cell spec as the offline smoke above: the streamed bytes must be
+# byte-identical to the offline grid output.
+submit_smoke() {
+  ./target/release/gncg submit --addr "$SERVICE_ADDR" \
+    --out "$1" \
+    --name tier1-smoke \
+    --hosts unit,onetwo --n 6 --alpha 1.0,2.0 \
+    --rules greedy --seed-count 1 --max-rounds 200
+}
+submit_smoke target/tier1-submit-a.jsonl
+cmp target/tier1-submit-a.jsonl target/tier1-grid.jsonl
+# The second submission must complete entirely from the result cache.
+second=$(submit_smoke target/tier1-submit-b.jsonl)
+cmp target/tier1-submit-b.jsonl target/tier1-grid.jsonl
+echo "$second" | grep -q "4 cache hits, 0 simulated" || {
+  echo "tier-1 service smoke: second submit not served from cache: $second" >&2
+  exit 1
+}
+./target/release/gncg shutdown --addr "$SERVICE_ADDR"
+wait "$SERVE_PID"
+trap - EXIT
+
 echo "tier-1 OK" >&2

@@ -1,16 +1,16 @@
 //! Integration tests of the scenario subsystem: golden determinism of the
-//! JSONL grid stream (two runs, and resume-from-partial, byte-identical),
-//! registry/direct host equivalence for every factory key, and the `gncg`
-//! CLI's grid/resume/exit-code contract.
+//! JSONL grid stream (two runs, and resume-from-partial, byte-identical)
+//! and registry/direct host equivalence for every factory key. The `gncg`
+//! CLI's contract tests live in `crates/service/tests/cli.rs` (the binary
+//! moved into the service crate).
 
 use std::fs;
 use std::path::PathBuf;
-use std::process::Command;
 
 use proptest::prelude::*;
 
-use gncg_suite::grid::{manifest_path, run_grid};
-use gncg_suite::scenario::{CellResult, RuleSpec, ScenarioSpec, SchedSpec};
+use gncg_suite::grid::run_grid;
+use gncg_suite::scenario::{CellResult, CertifyMode, RuleSpec, ScenarioSpec, SchedSpec};
 
 fn tmp_dir() -> PathBuf {
     let dir = std::env::temp_dir().join(format!("gncg-scenario-tests-{}", std::process::id()));
@@ -31,6 +31,7 @@ fn golden_spec() -> ScenarioSpec {
         seeds: vec![0, 1],
         max_rounds: 300,
         base_seed: 99,
+        certify: CertifyMode::Full,
     }
 }
 
@@ -139,126 +140,4 @@ proptest! {
             prop_assert!(host.is_nonnegative());
         }
     }
-}
-
-// ---- CLI contract -------------------------------------------------------
-
-fn gncg() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_gncg"))
-}
-
-#[test]
-fn cli_grid_then_resume_round_trips() {
-    let dir = tmp_dir();
-    let out = dir.join("cli.jsonl");
-    let status = gncg()
-        .args([
-            "grid",
-            "--out",
-            out.to_str().unwrap(),
-            "--hosts",
-            "unit,onetwo",
-            "--n",
-            "6",
-            "--alpha",
-            "1.0,2.0",
-            "--rules",
-            "greedy",
-            "--seed-count",
-            "2",
-            "--max-rounds",
-            "200",
-        ])
-        .status()
-        .unwrap();
-    assert!(status.success());
-    let text = fs::read_to_string(&out).unwrap();
-    assert_eq!(text.lines().count(), 8);
-    assert!(manifest_path(&out).exists());
-
-    // Truncate to a prefix and resume via the CLI: identical final bytes.
-    let cut: usize = text.lines().take(3).map(|l| l.len() + 1).sum();
-    fs::OpenOptions::new()
-        .write(true)
-        .open(&out)
-        .and_then(|f| f.set_len(cut as u64))
-        .unwrap();
-    let status = gncg()
-        .args(["resume", "--out", out.to_str().unwrap()])
-        .status()
-        .unwrap();
-    assert!(status.success());
-    assert_eq!(fs::read_to_string(&out).unwrap(), text);
-}
-
-#[test]
-fn cli_exit_codes_are_scriptable() {
-    // Invalid args → 2.
-    for args in [
-        vec!["simulate", "--host", "bogus"],
-        vec!["simulate", "--n", "not-a-number"],
-        vec!["simulate", "--unknown-flag"],
-        vec!["frobnicate"],
-        vec!["grid", "--hosts", "unit"], // missing --out
-        vec![],
-    ] {
-        let out = gncg().args(&args).output().unwrap();
-        assert_eq!(out.status.code(), Some(2), "args {args:?}");
-    }
-    // Non-convergence → 1 (α < 1 unit dynamics cannot finish in 1 round).
-    let out = gncg()
-        .args([
-            "simulate",
-            "--host",
-            "unit",
-            "--n",
-            "6",
-            "--alpha",
-            "0.4",
-            "--max-rounds",
-            "1",
-        ])
-        .output()
-        .unwrap();
-    assert_eq!(out.status.code(), Some(1));
-    // Convergence → 0.
-    let out = gncg()
-        .args(["simulate", "--host", "unit", "--n", "6", "--alpha", "2.0"])
-        .output()
-        .unwrap();
-    assert_eq!(out.status.code(), Some(0));
-    // list-factories prints every registry key.
-    let out = gncg().arg("list-factories").output().unwrap();
-    assert!(out.status.success());
-    let text = String::from_utf8(out.stdout).unwrap();
-    for key in gncg_metrics::factory::keys() {
-        assert!(text.contains(key), "missing factory {key}");
-    }
-}
-
-#[test]
-fn cli_resume_refuses_broken_manifest() {
-    // The CLI rebuilds the spec from the manifest, so a *valid* edited
-    // manifest is (by construction) self-consistent; the mismatch guard
-    // for explicit specs is covered at the library level. What the CLI
-    // must catch is an unparsable or missing manifest: exit 2.
-    let dir = tmp_dir();
-    let out = dir.join("foreign.jsonl");
-    run_grid(&golden_spec(), &out, false).unwrap();
-    let manifest = manifest_path(&out);
-    let mut text = fs::read_to_string(&manifest).unwrap();
-    text = text.replace("max_rounds=", "max_rounds=not-a-number; was ");
-    fs::write(&manifest, text).unwrap();
-    let out_cmd = gncg()
-        .args(["resume", "--out", out.to_str().unwrap()])
-        .output()
-        .unwrap();
-    assert_eq!(out_cmd.status.code(), Some(2));
-
-    let missing = dir.join("never-ran.jsonl");
-    let out_cmd = gncg()
-        .args(["resume", "--out", missing.to_str().unwrap()])
-        .output()
-        .unwrap();
-    assert_eq!(out_cmd.status.code(), Some(2));
 }
