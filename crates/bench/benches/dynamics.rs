@@ -1,11 +1,17 @@
 //! Scheduler ablation (E24): convergence cost of response dynamics under
-//! round-robin, random, and max-gain activation — and the sequential vs
-//! parallel sweep throughput used by the harness.
+//! round-robin, random, and max-gain activation — the sequential vs
+//! parallel sweep throughput used by the harness — and the swap-heavy
+//! warm-vector maintenance ablation (`dynamics_swap_heavy`): the
+//! deletion-tolerant `DynamicSssp` repair vs the historical
+//! invalidate-and-redo baseline. `scripts/bench_snapshot.sh` derives the
+//! tracked `swap_heavy_speedup_n20` figure from the
+//! `dynamics_swap_heavy` pair.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use gncg_core::Profile;
-use gncg_dynamics::{DynamicsConfig, ResponseRule, Scheduler};
+use gncg_core::{Game, NodeId, Profile};
+use gncg_dynamics::{DynamicsConfig, EvalContext, RemovalPolicy, ResponseRule, Scheduler};
+use gncg_suite::scenario::ScenarioSpec;
 
 fn bench_schedulers(c: &mut Criterion) {
     let host = gncg_metrics::arbitrary::random_metric(10, 1.0, 4.0, 5);
@@ -60,5 +66,85 @@ fn bench_sweep_parallelism(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers, bench_sweep_parallelism);
+/// Replays a deterministic swap-heavy strategy-change script through an
+/// [`EvalContext`] with every distance vector warm — the exact subsystem
+/// the removal policy changes. Each leaf agent buys a shortcut, swaps it
+/// twice, then deletes it (the churn the `swap_heavy` grid's α band
+/// produces); after every applied change the context re-warms all
+/// vectors, as the MaxGain pre-pass does each round. Under
+/// [`RemovalPolicy::Invalidate`] every removal-bearing change costs `n`
+/// fresh Dijkstras; under [`RemovalPolicy::DynamicSssp`] each vector is
+/// repaired in place. Returns a distance checksum so the work is not
+/// optimized away.
+fn replay_swap_script(game: &Game, policy: RemovalPolicy) -> f64 {
+    let n = game.n();
+    let mut profile = Profile::star(n, 0);
+    let mut ctx = EvalContext::new(game, &profile);
+    ctx.set_removal_policy(policy);
+    ctx.ensure_all_warm();
+    let mut checksum = 0.0;
+    for u in 1..n as NodeId {
+        // Three distinct shortcut targets for u, none of them the star
+        // center (those edges exist) and none of them u itself.
+        let pick = |k: u32| -> NodeId {
+            let t = 1 + (u + k) % (n as NodeId - 1);
+            if t == u {
+                1 + (u + k + 1) % (n as NodeId - 1)
+            } else {
+                t
+            }
+        };
+        let (t1, t2, t3) = (pick(1), pick(5), pick(9));
+        let steps: [&[NodeId]; 4] = [&[t1], &[t2], &[t3], &[]];
+        for step in steps {
+            let old = profile.strategy(u).clone();
+            profile.set_strategy(u, step.iter().copied().collect());
+            ctx.apply_strategy_change(game, &profile, u, &old);
+            ctx.ensure_all_warm();
+            checksum += ctx.distance_sum(u);
+        }
+    }
+    checksum
+}
+
+fn bench_swap_heavy(c: &mut Criterion) {
+    // Hosts drawn from the swap-heavy preset grid: one cell per host
+    // family (r2 / grid / clusters at n = 20, the α = 4 column).
+    let spec = ScenarioSpec::swap_heavy();
+    let games: Vec<Game> = spec
+        .expand()
+        .iter()
+        .filter(|cell| cell.alpha == 4.0 && cell.seed == 0)
+        .map(|cell| {
+            let host = gncg_metrics::factory::build_host(&cell.host, cell.n, cell.cell_seed)
+                .expect("preset hosts are registered");
+            Game::new(host, cell.alpha)
+        })
+        .collect();
+    assert_eq!(games.len(), 3);
+    let n = games[0].n();
+    let mut group = c.benchmark_group("dynamics_swap_heavy");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("dynamic", RemovalPolicy::DynamicSssp),
+        ("invalidate", RemovalPolicy::Invalidate),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, n), &policy, |b, &p| {
+            b.iter(|| {
+                games
+                    .iter()
+                    .map(|game| replay_swap_script(game, p))
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedulers,
+    bench_sweep_parallelism,
+    bench_swap_heavy
+);
 criterion_main!(benches);

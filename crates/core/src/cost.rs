@@ -8,7 +8,7 @@ use std::collections::BTreeSet;
 
 use gncg_graph::apsp::apsp_parallel;
 use gncg_graph::dijkstra::{dijkstra, dijkstra_with_extra};
-use gncg_graph::{AdjacencyList, NodeId};
+use gncg_graph::{AdjacencyList, NetworkDelta, NodeId};
 
 use crate::{Game, Profile};
 
@@ -69,11 +69,19 @@ pub fn base_graph_without(game: &Game, profile: &Profile, u: NodeId) -> Adjacenc
 
 /// [`base_graph_without`] when the built network is already at hand —
 /// avoids rebuilding `G(s)` from scratch just to strip one agent's edges.
+/// The strip is expressed as a [`NetworkDelta`] of removals, the same
+/// batched edge-change description the dynamics engine's move
+/// application flows through.
 pub fn base_graph_from(network: &AdjacencyList, profile: &Profile, u: NodeId) -> AdjacencyList {
-    let mut g = network.clone();
+    let mut delta = NetworkDelta::new();
     for (a, b) in profile.sole_owned_edges(u) {
-        g.remove_edge(a, b);
+        let w = network
+            .edge_weight(a, b)
+            .expect("sole-owned edge must be in the built network");
+        delta.remove(a, b, w);
     }
+    let mut g = network.clone();
+    delta.apply_to(&mut g);
     g
 }
 

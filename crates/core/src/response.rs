@@ -15,7 +15,7 @@
 //! agent's distance vector *incrementally* along the DFS: including
 //! candidate edge `(u, v)` can only decrease distances, so the include
 //! branch relaxes outward from `v` through an
-//! [`IncrementalSssp`](gncg_graph::IncrementalSssp) undo log and restores
+//! [`DynamicSssp`] undo log and restores
 //! the exact previous vector on backtrack. Consequences:
 //!
 //! * **every partial set is fully priced for free** — the live vector *is*
@@ -50,8 +50,8 @@
 //! suffix-min table (`via`), making the bound `O(n)` per node.
 //!
 //! Costs are **bit-identical** to the reference engine on any instance
-//! whose distinct candidate subsets are not tied within [`EPS`]
-//! (`gncg_graph::EPS`): the incremental vector equals a from-scratch
+//! whose distinct candidate subsets are not tied within
+//! [`EPS`](gncg_graph::EPS): the incremental vector equals a from-scratch
 //! Dijkstra's exactly (both take exact minima over the same sets of path
 //! prefix sums — see `gncg_graph::csr`), and both sum it in index order.
 //! On adversarial sub-`EPS` near-ties the engines may legitimately settle
@@ -63,7 +63,7 @@
 
 use std::collections::BTreeSet;
 
-use gncg_graph::{strictly_less, AdjacencyList, Csr, DijkstraScratch, IncrementalSssp, NodeId};
+use gncg_graph::{strictly_less, AdjacencyList, Csr, DijkstraScratch, DynamicSssp, NodeId};
 
 use crate::cost::{
     agent_cost_in, base_graph_from, base_graph_without, candidate_cost, CostBreakdown,
@@ -112,7 +112,7 @@ struct BrSearch<'g> {
 
 /// Mutable per-branch state (per worker in the parallel search).
 struct BrWorker {
-    inc: IncrementalSssp,
+    inc: DynamicSssp,
     chosen: Vec<NodeId>,
     /// Membership bitmap of `chosen` (indexed by node id): evaluation sums
     /// edge weights in ascending id order, matching the `BTreeSet`
@@ -126,7 +126,7 @@ struct BrWorker {
 impl BrWorker {
     fn fresh(search: &BrSearch<'_>, current: f64, current_set: &BTreeSet<NodeId>) -> Self {
         let mut worker = BrWorker {
-            inc: IncrementalSssp::new(),
+            inc: DynamicSssp::new(),
             chosen: Vec::with_capacity(search.candidates.len()),
             in_set: vec![false; search.n],
             best_cost: current,

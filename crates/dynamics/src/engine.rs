@@ -27,17 +27,23 @@
 //! Every activation needs the built network `G(s)` and the activated
 //! agent's current cost. The engine maintains one [`EvalContext`]:
 //!
-//! * the network is built once at the start and every accepted move is
-//!   applied to it as *edge deltas* (the changed agent's dropped edges
-//!   leave unless co-owned, its new edges enter unless already present);
+//! * every accepted move is expressed as a [`NetworkDelta`] — the changed
+//!   agent's dropped edges become removals unless co-owned, its new edges
+//!   become insertions unless already present — and
+//!   [`EvalContext::apply_delta`] is the **single way network state
+//!   changes**: it stages the delta one edge at a time through the cached
+//!   network;
 //! * the context keeps **per-agent distance vectors warm across rounds**:
 //!   an agent's current distance cost is read from its warm vector
 //!   instead of the per-activation base Dijkstra the engine historically
-//!   ran. Accepted moves that only *insert* edges are applied to every
-//!   warm vector as decrease-only relaxations
-//!   ([`IncrementalSssp::relax_insert`]); moves that remove an edge
-//!   invalidate the vectors (deletions can lengthen distances), and each
-//!   vector is lazily recomputed on its owner's next activation.
+//!   ran. Each staged insertion is a decrease-only relaxation
+//!   ([`DynamicSssp::relax_insert`]); each staged removal is a
+//!   Ramalingam–Reps affected-region repair
+//!   ([`DynamicSssp::remove_edge`]) — so warm vectors now survive moves
+//!   of **every** kind (add, delete, swap), where removals historically
+//!   invalidated all of them. The invalidate-and-redo behavior survives
+//!   as [`RemovalPolicy::Invalidate`], the measured baseline of the
+//!   `dynamics_swap_heavy` bench.
 //!
 //! The context is behaviorally invisible — `debug_assert`s re-derive the
 //! network from the profile and every valid warm vector from a fresh
@@ -54,7 +60,7 @@ use rand::SeedableRng;
 
 use gncg_core::response::{best_move_among_given_current, exact_best_response_given_current};
 use gncg_core::{Game, Move, NodeId, Profile};
-use gncg_graph::{AdjacencyList, DijkstraScratch, IncrementalSssp};
+use gncg_graph::{AdjacencyList, DijkstraScratch, DynamicSssp, NetworkDelta};
 
 use crate::cycle::{CycleDetector, Recurrence};
 use crate::trace::{Trace, TraceEntry};
@@ -156,6 +162,23 @@ impl RunResult {
 /// before and after it.
 type Change = (std::collections::BTreeSet<NodeId>, f64, f64);
 
+/// How [`EvalContext::apply_delta`] treats warm distance vectors when a
+/// delta removes edges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RemovalPolicy {
+    /// Repair every warm vector in place through the removal
+    /// ([`DynamicSssp::remove_edge`], Ramalingam–Reps affected-region
+    /// re-relaxation) — the default: vectors stay warm through moves of
+    /// every kind.
+    #[default]
+    DynamicSssp,
+    /// The historical behavior: any removal invalidates every warm vector
+    /// (each is lazily recomputed by a fresh Dijkstra on its owner's next
+    /// activation). Kept as the measured invalidate-and-redo baseline of
+    /// the `dynamics_swap_heavy` bench; results are identical either way.
+    Invalidate,
+}
+
 /// The built network `G(s)` plus per-agent warm distance vectors, cached
 /// across a run and maintained under strategy changes (see the module
 /// docs for the delta/warm invariants).
@@ -164,11 +187,15 @@ pub struct EvalContext {
     network: AdjacencyList,
     /// Warm per-agent distance vectors (`warm[u]` from source `u` in the
     /// current network); entry `u` is meaningful only when `valid[u]`.
-    warm: Vec<IncrementalSssp>,
+    warm: Vec<DynamicSssp>,
     valid: Vec<bool>,
     /// Scratch for (re)computing a warm vector from scratch.
     scratch: DijkstraScratch,
     dist_buf: Vec<f64>,
+    /// Reusable edge-delta buffer for [`EvalContext::apply_strategy_change`].
+    delta: NetworkDelta,
+    /// Warm-vector treatment on removals (survives [`EvalContext::reset`]).
+    policy: RemovalPolicy,
 }
 
 impl EvalContext {
@@ -186,7 +213,7 @@ impl EvalContext {
         self.network = profile.build_network(game);
         let n = game.n();
         if self.warm.len() < n {
-            self.warm.resize_with(n, IncrementalSssp::new);
+            self.warm.resize_with(n, DynamicSssp::new);
         }
         self.valid.clear();
         self.valid.resize(n, false);
@@ -198,8 +225,22 @@ impl EvalContext {
         &self.network
     }
 
+    /// Sets the warm-vector removal policy (see [`RemovalPolicy`]).
+    /// Benchmarks use this to measure the invalidate-and-redo baseline;
+    /// production callers keep the default.
+    pub fn set_removal_policy(&mut self, policy: RemovalPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active removal policy.
+    pub fn removal_policy(&self) -> RemovalPolicy {
+        self.policy
+    }
+
     /// Makes agent `u`'s warm distance vector valid (fresh Dijkstra when
-    /// it was invalidated by an edge-removing move or never computed).
+    /// it was never computed this run — or, under
+    /// [`RemovalPolicy::Invalidate`], invalidated by an edge-removing
+    /// move; the default policy keeps vectors warm through removals).
     pub fn ensure_warm(&mut self, u: NodeId) {
         if self.valid[u as usize] {
             return;
@@ -254,13 +295,15 @@ impl EvalContext {
         gncg_core::cost::edge_cost(game, profile, u) + self.distance_sum(u)
     }
 
-    /// Applies agent `u`'s strategy change as edge deltas. `profile` must
-    /// already hold `u`'s *new* strategy; `old` is the strategy it
-    /// replaced. An edge leaves only when its other endpoint does not also
-    /// own it, and enters only when it is not already present.
+    /// Applies agent `u`'s strategy change by expressing it as a
+    /// [`NetworkDelta`] and routing it through
+    /// [`EvalContext::apply_delta`]. `profile` must already hold `u`'s
+    /// *new* strategy; `old` is the strategy it replaced. An edge leaves
+    /// only when its other endpoint does not also own it, and enters only
+    /// when it is not already present.
     ///
-    /// Warm vectors survive insert-only changes (decrease-only
-    /// relaxation); any removal invalidates them all.
+    /// Warm vectors survive changes of **every** kind: insertions relax
+    /// decrease-only, removals repair in place (see [`RemovalPolicy`]).
     pub fn apply_strategy_change(
         &mut self,
         game: &Game,
@@ -269,35 +312,24 @@ impl EvalContext {
         old: &std::collections::BTreeSet<NodeId>,
     ) {
         let new = profile.strategy(u);
-        let mut removed_any = false;
+        let mut delta = std::mem::take(&mut self.delta);
+        delta.clear();
         for &v in old.difference(new) {
             if !profile.owns(v, u) {
-                self.network.remove_edge(u, v);
-                removed_any = true;
+                let w = self
+                    .network
+                    .edge_weight(u, v)
+                    .expect("dropped strategy edge must be in the cached network");
+                delta.remove(u, v, w);
             }
         }
-        let mut inserted: Vec<(NodeId, f64)> = Vec::new();
         for &v in new.difference(old) {
             if !self.network.has_edge(u, v) {
-                let w = game.w(u, v);
-                self.network.add_edge(u, v, w);
-                inserted.push((v, w));
+                delta.insert(u, v, game.w(u, v));
             }
         }
-        if removed_any {
-            self.valid.fill(false);
-        } else if !inserted.is_empty() {
-            // Decrease-only delta: relax each new edge into every warm
-            // vector against the live network (which already holds all of
-            // them — the relax_insert contract).
-            for (inc, &valid) in self.warm.iter_mut().zip(self.valid.iter()) {
-                if valid {
-                    for &(v, w) in &inserted {
-                        inc.relax_insert(&self.network, u, v, w);
-                    }
-                }
-            }
-        }
+        self.apply_delta(&delta);
+        self.delta = delta;
         #[cfg(debug_assertions)]
         {
             let rebuilt = profile.build_network(game);
@@ -314,6 +346,51 @@ impl EvalContext {
                         fresh.as_slice(),
                         "warm distance vector of agent {x} drifted from a fresh Dijkstra"
                     );
+                }
+            }
+        }
+    }
+
+    /// Applies a [`NetworkDelta`] to the cached network and every warm
+    /// distance vector — the single mutation path of the context.
+    ///
+    /// Changes are staged **one edge at a time** (removals first, then
+    /// insertions — the same order as [`NetworkDelta::apply_to`]): the
+    /// network takes the edge change, then each valid vector is updated
+    /// against the network in exactly its post-change state, which is
+    /// what makes both [`DynamicSssp::remove_edge`] and
+    /// [`DynamicSssp::relax_insert`] exact. Under
+    /// [`RemovalPolicy::Invalidate`] removals instead flag every vector
+    /// for lazy recomputation (the historical baseline).
+    ///
+    /// Degenerate changes follow [`NetworkDelta::apply_to`]'s semantics
+    /// exactly: removing an absent edge and re-inserting a present one
+    /// are no-ops — for the network *and* the warm vectors, which must
+    /// never be "repaired" for a change that did not happen.
+    pub fn apply_delta(&mut self, delta: &NetworkDelta) {
+        for &(a, b, w) in delta.removes() {
+            if !self.network.remove_edge(a, b) {
+                continue;
+            }
+            match self.policy {
+                RemovalPolicy::Invalidate => self.valid.fill(false),
+                RemovalPolicy::DynamicSssp => {
+                    for (inc, &valid) in self.warm.iter_mut().zip(self.valid.iter()) {
+                        if valid {
+                            inc.remove_edge(&self.network, a, b, w);
+                        }
+                    }
+                }
+            }
+        }
+        for &(a, b, w) in delta.inserts() {
+            if self.network.has_edge(a, b) {
+                continue;
+            }
+            self.network.add_edge(a, b, w);
+            for (inc, &valid) in self.warm.iter_mut().zip(self.valid.iter()) {
+                if valid {
+                    inc.relax_insert(&self.network, a, b, w);
                 }
             }
         }
@@ -759,23 +836,80 @@ mod tests {
     }
 
     #[test]
-    fn removal_invalidates_then_recomputes() {
+    fn removal_keeps_vectors_exact_under_both_policies() {
+        for policy in [RemovalPolicy::DynamicSssp, RemovalPolicy::Invalidate] {
+            let game = unit_game(5, 2.0);
+            let mut p = Profile::star(5, 0);
+            let mut ctx = EvalContext::new(&game, &p);
+            ctx.set_removal_policy(policy);
+            for u in 0..5u32 {
+                ctx.ensure_warm(u);
+            }
+            // Agent 0 drops (0,1), buys nothing new for 1 — a removal.
+            let old = p.strategy(0).clone();
+            p.set_strategy(0, [2, 3, 4].into_iter().collect());
+            ctx.apply_strategy_change(&game, &p, 0, &old);
+            // Dynamic: vectors were repaired in place. Invalidate: they
+            // were flagged and ensure_warm recomputes. Either way the
+            // costs must match a from-scratch evaluation bitwise.
+            let network = p.build_network(&game);
+            for u in 0..5u32 {
+                ctx.ensure_warm(u);
+                let expected = gncg_core::cost::agent_cost_in(&game, &p, &network, u).total();
+                assert_eq!(
+                    ctx.current_cost(&game, &p, u),
+                    expected,
+                    "agent {u} under {policy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_deltas_are_noops() {
+        // apply_delta shares NetworkDelta::apply_to's semantics: removing
+        // an absent edge / re-inserting a present one touch nothing —
+        // network, warm vectors, and costs all stay exact.
         let game = unit_game(5, 2.0);
-        let mut p = Profile::star(5, 0);
+        let p = Profile::star(5, 0);
         let mut ctx = EvalContext::new(&game, &p);
         for u in 0..5u32 {
             ctx.ensure_warm(u);
         }
-        // Swap: agent 0 drops (0,1), buys nothing new for 1 — a removal.
-        let old = p.strategy(0).clone();
-        p.set_strategy(0, [2, 3, 4].into_iter().collect());
-        ctx.apply_strategy_change(&game, &p, 0, &old);
-        // Vectors were invalidated; ensure_warm must restore exactness.
+        let m_before = ctx.network().m();
+        let mut delta = gncg_graph::NetworkDelta::new();
+        delta.remove(1, 2, 1.0); // absent
+        delta.insert(0, 1, 1.0); // already present
+        ctx.apply_delta(&delta);
+        assert_eq!(ctx.network().m(), m_before);
         let network = p.build_network(&game);
         for u in 0..5u32 {
-            ctx.ensure_warm(u);
             let expected = gncg_core::cost::agent_cost_in(&game, &p, &network, u).total();
             assert_eq!(ctx.current_cost(&game, &p, u), expected, "agent {u}");
+        }
+    }
+
+    #[test]
+    fn swap_heavy_run_matches_across_policies() {
+        // High-α greedy dynamics (swap/delete-heavy rounds): the dynamic
+        // removal policy must reproduce the invalidate-and-redo baseline
+        // move for move and bit for bit.
+        for seed in 0..3u64 {
+            let host = gncg_metrics::arbitrary::random_metric(9, 1.0, 4.0, seed);
+            let game = Game::new(host, 6.0);
+            let cfg = DynamicsConfig {
+                max_rounds: 400,
+                ..Default::default()
+            };
+            let mut baseline = Engine::new();
+            baseline
+                .context_mut()
+                .set_removal_policy(RemovalPolicy::Invalidate);
+            let a = baseline.run(&game, Profile::star(9, 0), &cfg);
+            let b = Engine::new().run(&game, Profile::star(9, 0), &cfg);
+            assert_eq!(a.profile, b.profile, "seed {seed}");
+            assert_eq!(a.moves, b.moves);
+            assert_eq!(a.outcome, b.outcome);
         }
     }
 

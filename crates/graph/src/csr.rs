@@ -12,17 +12,22 @@
 //! * [`DijkstraScratch`] — generation-stamped dist array + a drained,
 //!   reused binary heap: repeated SSSP calls allocate nothing after the
 //!   first (the stamp bump replaces the `O(n)` re-initialisation),
-//! * [`IncrementalSssp`] — a distance vector maintained under **edge
-//!   insertions** with an undo log, the engine under the incremental
-//!   best-response branch-and-bound in `gncg_core::response`.
+//! * [`DynamicSssp`] — a distance vector maintained under edge
+//!   **insertions** (undo-logged [`DynamicSssp::add_edge`] for the
+//!   best-response branch-and-bound in `gncg_core::response`, permanent
+//!   [`DynamicSssp::relax_insert`] for committed moves) *and* edge
+//!   **removals** ([`DynamicSssp::remove_edge`], Ramalingam–Reps-style
+//!   affected-region re-relaxation) — the engine under both the
+//!   incremental best-response search and the dynamics engine's warm
+//!   per-agent distance vectors, which survive moves of every kind.
 //!
 //! # Invariants of the undo-log relaxation
 //!
-//! [`IncrementalSssp`] exploits that inserting an edge can only *decrease*
-//! shortest-path distances. [`IncrementalSssp::add_edge`] seeds a Dijkstra
+//! [`DynamicSssp`] exploits that inserting an edge can only *decrease*
+//! shortest-path distances. [`DynamicSssp::add_edge`] seeds a Dijkstra
 //! relaxation from the improved endpoint and records every decreased
 //! `(node, old_dist)` pair in a frame of the undo log;
-//! [`IncrementalSssp::undo`] replays the frame in reverse, restoring the
+//! [`DynamicSssp::undo`] replays the frame in reverse, restoring the
 //! pre-insertion vector exactly (bitwise: restores are copies of the old
 //! values, not recomputations). Between `add_edge`/`undo` pairs the vector
 //! always equals what a from-scratch Dijkstra on the current edge set
@@ -30,6 +35,25 @@
 //! left-to-right path prefix sums, so equal values — not merely
 //! approximately equal ones — are guaranteed, which is what lets the
 //! incremental branch-and-bound certify bit-identical costs.
+//!
+//! # Invariants of the deletion update
+//!
+//! Removing an edge can only *increase* distances, which no decrease-only
+//! relaxation can express; historically that invalidated every warm
+//! vector. [`DynamicSssp::remove_edge`] instead repairs the vector in
+//! place, Ramalingam–Reps style: identify the **affected region** (nodes
+//! whose every equality-supported shortest path ran through the removed
+//! edge, discovered in increasing-distance order so support decisions are
+//! final when taken), re-seed each affected node from its unaffected
+//! neighbors, and re-run Dijkstra *inside the region only*. Unaffected
+//! nodes keep their old bits (their supporting path still exists, so the
+//! new minimum equals the old one exactly); affected nodes are recomputed
+//! as exact minima over left-to-right path prefix sums of the new graph —
+//! so the repaired vector is bitwise what a fresh Dijkstra would produce,
+//! at a cost proportional to the affected region instead of the graph.
+//! Positive edge weights are required (support chains must strictly
+//! increase in distance); every host family in this workspace satisfies
+//! that.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -334,21 +358,30 @@ impl ScratchRelax<'_> {
     }
 }
 
-/// A single-source distance vector maintained under edge insertions, with
-/// an undo log for exact backtracking — the workhorse of the incremental
-/// best-response search.
+/// A single-source distance vector maintained under edge insertions
+/// (undo-logged or permanent) **and** edge removals — the workhorse of
+/// both the incremental best-response search and the dynamics engine's
+/// warm per-agent distance vectors.
 ///
-/// See the module docs for the relaxation/undo invariants.
+/// See the module docs for the relaxation/undo and deletion invariants.
 #[derive(Debug, Default)]
-pub struct IncrementalSssp {
+pub struct DynamicSssp {
     source: NodeId,
     dist: Vec<f64>,
     undo: Vec<(NodeId, f64)>,
     frames: Vec<usize>,
     heap: BinaryHeap<HeapEntry>,
+    /// Scratch of [`DynamicSssp::remove_edge`]: the affected-region node
+    /// list and its membership bitmap (cleared after every removal).
+    affected: Vec<NodeId>,
+    affected_mark: Vec<bool>,
 }
 
-impl IncrementalSssp {
+/// The historical name of [`DynamicSssp`], kept while the engine handled
+/// insertions only.
+pub type IncrementalSssp = DynamicSssp;
+
+impl DynamicSssp {
     /// A fresh engine.
     pub fn new() -> Self {
         Self::default()
@@ -404,7 +437,7 @@ impl IncrementalSssp {
     /// recording an undo frame — the "committed move" update of the
     /// dynamics engine's warm per-agent distance vectors.
     ///
-    /// Unlike [`IncrementalSssp::add_edge`], the inserted edge need *not*
+    /// Unlike [`DynamicSssp::add_edge`], the inserted edge need *not*
     /// be incident to the source. The different contract that makes this
     /// sound: `g` must be the **live graph already containing `(a, b)`**
     /// (and every other current edge). Relaxation then propagates through
@@ -416,9 +449,9 @@ impl IncrementalSssp {
     /// here. Multiple insertions may be applied one at a time in any
     /// order, provided `g` already holds all of them.
     ///
-    /// Not undoable: on edge *deletions* the caller must re-seed with
-    /// [`IncrementalSssp::reset_from`] (deletions can increase distances,
-    /// which no decrease-only relaxation can express).
+    /// Not undoable. Edge *deletions* have their own in-place update —
+    /// [`DynamicSssp::remove_edge`] — so callers no longer re-seed with
+    /// [`DynamicSssp::reset_from`] when an edge leaves.
     pub fn relax_insert<G: EdgeSource>(&mut self, g: &G, a: NodeId, b: NodeId, w: f64) {
         self.heap.clear();
         for (from, to) in [(a, b), (b, a)] {
@@ -450,7 +483,7 @@ impl IncrementalSssp {
     ///
     /// `g` must be the same base graph the vector was built from, and
     /// **every inserted edge must be incident to the source** passed to
-    /// [`IncrementalSssp::reset_from`] (enforced by a `debug_assert`).
+    /// [`DynamicSssp::reset_from`] (enforced by a `debug_assert`).
     /// Under that contract, relaxing over `g` alone is exact: previously
     /// inserted edges are all incident to the source, a shortest path
     /// never re-enters its source, so no improved path can traverse them
@@ -462,7 +495,7 @@ impl IncrementalSssp {
     pub fn add_edge<G: EdgeSource>(&mut self, g: &G, a: NodeId, b: NodeId, w: f64) {
         debug_assert!(
             a == self.source || b == self.source,
-            "IncrementalSssp::add_edge: edge ({a}, {b}) is not incident to source {}",
+            "DynamicSssp::add_edge: edge ({a}, {b}) is not incident to source {}",
             self.source
         );
         self.frames.push(self.undo.len());
@@ -488,9 +521,9 @@ impl IncrementalSssp {
     }
 }
 
-/// Borrow adapter for [`IncrementalSssp::relax_insert`]: lowers distances
+/// Borrow adapter for [`DynamicSssp::relax_insert`]: lowers distances
 /// without touching the undo log (committed updates are permanent).
-struct UnloggedRelax<'a>(&'a mut IncrementalSssp);
+struct UnloggedRelax<'a>(&'a mut DynamicSssp);
 
 impl UnloggedRelax<'_> {
     #[inline]
@@ -503,7 +536,7 @@ impl UnloggedRelax<'_> {
 }
 
 /// Borrow adapter mirroring [`ScratchRelax`] for the incremental engine.
-struct IncRelax<'a>(&'a mut IncrementalSssp);
+struct IncRelax<'a>(&'a mut DynamicSssp);
 
 impl IncRelax<'_> {
     #[inline]
@@ -514,8 +547,8 @@ impl IncRelax<'_> {
     }
 }
 
-impl IncrementalSssp {
-    /// Reverts the most recent [`IncrementalSssp::add_edge`] frame,
+impl DynamicSssp {
+    /// Reverts the most recent [`DynamicSssp::add_edge`] frame,
     /// restoring the exact previous vector.
     ///
     /// # Panics
@@ -525,6 +558,142 @@ impl IncrementalSssp {
         while self.undo.len() > mark {
             let (v, old) = self.undo.pop().expect("undo log underflow");
             self.dist[v as usize] = old;
+        }
+    }
+
+    /// Whether `v` currently has *support*: a neighbor `x` in `g`, itself
+    /// outside the affected set, whose distance plus the edge weight
+    /// reproduces `dist[v]` bitwise. Supported nodes keep their exact
+    /// value through the removal (the supporting path still exists).
+    fn has_support<G: EdgeSource>(&self, g: &G, v: NodeId) -> bool {
+        let dv = self.dist[v as usize];
+        let mut supported = false;
+        g.for_each_neighbor(v, |x, wxv| {
+            if supported || self.affected_mark[x as usize] {
+                return;
+            }
+            let dx = self.dist[x as usize];
+            if dx.is_finite() && dx + wxv == dv {
+                supported = true;
+            }
+        });
+        supported
+    }
+
+    /// Applies the removal of undirected edge `(a, b)` (previous weight
+    /// `w`) as an in-place Ramalingam–Reps repair — the "committed move"
+    /// counterpart of [`DynamicSssp::relax_insert`] for edge deletions.
+    ///
+    /// Contract: `g` must be the **live graph with `(a, b)` already
+    /// removed** (and in exactly its current state otherwise), the vector
+    /// must be exact for `g ∪ {(a, b, w)}`, all edge weights must be
+    /// positive, and no undo frames may be open (the frames' recorded
+    /// values would describe the pre-removal graph). Batches stage one
+    /// edge at a time: remove from the graph, then repair each vector,
+    /// then move to the next edge.
+    ///
+    /// After the call the vector is bitwise what a fresh Dijkstra from the
+    /// source on `g` would produce (see the module docs for why), at a
+    /// cost proportional to the affected region — `O(1)` when the removed
+    /// edge was on no shortest path, which is the common case in dynamics
+    /// rounds.
+    pub fn remove_edge<G: EdgeSource>(&mut self, g: &G, a: NodeId, b: NodeId, w: f64) {
+        debug_assert!(
+            self.frames.is_empty(),
+            "remove_edge with open undo frames would corrupt the log"
+        );
+        debug_assert!(w > 0.0, "remove_edge requires positive edge weights");
+        let (da, db) = (self.dist[a as usize], self.dist[b as usize]);
+        // O(1) short-circuit: the removed edge supported neither endpoint,
+        // so no node's equality-support chain ran through it.
+        let edge_supported_an_endpoint =
+            (da.is_finite() && da + w == db) || (db.is_finite() && db + w == da);
+        if !edge_supported_an_endpoint {
+            return;
+        }
+        let n = g.num_nodes();
+        if self.affected_mark.len() < n {
+            self.affected_mark.resize(n, false);
+        }
+        self.affected.clear();
+        self.heap.clear();
+        // Phase 1 — affected-region discovery in increasing-distance
+        // order. Positive weights make support chains strictly increasing,
+        // so when a candidate pops, every affected node of smaller
+        // distance is already marked and its support verdict is final.
+        for v in [b, a] {
+            if v != self.source && self.dist[v as usize].is_finite() {
+                self.heap.push(HeapEntry {
+                    dist: self.dist[v as usize],
+                    node: v,
+                });
+            }
+        }
+        while let Some(HeapEntry { dist: d, node: v }) = self.heap.pop() {
+            if self.affected_mark[v as usize] || d != self.dist[v as usize] {
+                continue; // duplicate candidate entry
+            }
+            if self.has_support(g, v) {
+                continue;
+            }
+            self.affected_mark[v as usize] = true;
+            self.affected.push(v);
+            // Every node this one was supporting becomes a candidate.
+            let dv = self.dist[v as usize];
+            let (dist, heap, mark, source) =
+                (&self.dist, &mut self.heap, &self.affected_mark, self.source);
+            g.for_each_neighbor(v, |x, wvx| {
+                let dx = dist[x as usize];
+                if x != source && !mark[x as usize] && dx.is_finite() && dv + wvx == dx {
+                    heap.push(HeapEntry { dist: dx, node: x });
+                }
+            });
+        }
+        // Phase 2 — re-seed every affected node from its unaffected
+        // neighbors, then Dijkstra inside the region only.
+        self.heap.clear();
+        for i in 0..self.affected.len() {
+            let v = self.affected[i];
+            let mut best = f64::INFINITY;
+            let (dist, mark) = (&self.dist, &self.affected_mark);
+            g.for_each_neighbor(v, |x, wxv| {
+                if mark[x as usize] {
+                    return;
+                }
+                let dx = dist[x as usize];
+                if dx.is_finite() {
+                    let nd = dx + wxv;
+                    if nd < best {
+                        best = nd;
+                    }
+                }
+            });
+            self.dist[v as usize] = best;
+            if best.is_finite() {
+                self.heap.push(HeapEntry {
+                    dist: best,
+                    node: v,
+                });
+            }
+        }
+        while let Some(HeapEntry { dist: d, node: u }) = self.heap.pop() {
+            if d > self.dist[u as usize] {
+                continue;
+            }
+            let (dist, heap, mark) = (&mut self.dist, &mut self.heap, &self.affected_mark);
+            g.for_each_neighbor(u, |v, wuv| {
+                if !mark[v as usize] {
+                    return; // unaffected nodes are already exact
+                }
+                let nd = d + wuv;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(HeapEntry { dist: nd, node: v });
+                }
+            });
+        }
+        for &v in &self.affected {
+            self.affected_mark[v as usize] = false;
         }
     }
 }
@@ -740,6 +909,110 @@ mod tests {
         live.add_edge(0, 3, 0.5);
         inc.relax_insert(&live, 0, 3, 0.5);
         assert_eq!(inc.depth(), 0, "relax_insert must not open undo frames");
+    }
+
+    #[test]
+    fn remove_edge_matches_fresh_dijkstra_for_any_source() {
+        // Remove each edge of the diamond in turn, for every source: the
+        // repaired vector must equal a fresh Dijkstra bitwise.
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        for source in 0..4u32 {
+            for &(a, b, w) in &edges {
+                let d0 = dijkstra(&g, source);
+                let mut live = g.clone();
+                live.remove_edge(a, b);
+                let mut inc = DynamicSssp::new();
+                inc.reset_from(source, &d0);
+                inc.remove_edge(&live, a, b, w);
+                assert_eq!(
+                    inc.dist(),
+                    dijkstra(&live, source).as_slice(),
+                    "source {source}, removed ({a}, {b})"
+                );
+                assert_eq!(inc.depth(), 0, "removal must not open undo frames");
+            }
+        }
+    }
+
+    #[test]
+    fn remove_edge_handles_disconnection() {
+        // Removing the bridge leaves {2, 3} unreachable from 0: their
+        // repaired distances must be ∞, others untouched.
+        let mut g = AdjacencyList::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(2, 3, 1.0);
+        let d0 = dijkstra(&g, 0);
+        let mut inc = DynamicSssp::new();
+        inc.reset_from(0, &d0);
+        let mut live = g.clone();
+        live.remove_edge(1, 2);
+        inc.remove_edge(&live, 1, 2, 2.0);
+        assert_eq!(
+            inc.dist(),
+            &[0.0, 1.0, f64::INFINITY, f64::INFINITY],
+            "disconnected tail must read ∞"
+        );
+        assert_eq!(inc.dist(), dijkstra(&live, 0).as_slice());
+    }
+
+    #[test]
+    fn remove_edge_off_shortest_path_is_a_cheap_noop() {
+        // The heavy (0, 2) edge supports nobody from source 0 (0→2 goes
+        // via 1, 3): removal must leave the vector bitwise untouched.
+        let g = diamond();
+        let d0 = dijkstra(&g, 0);
+        let mut inc = DynamicSssp::new();
+        inc.reset_from(0, &d0);
+        let mut live = g.clone();
+        live.remove_edge(0, 2);
+        inc.remove_edge(&live, 0, 2, 3.0);
+        assert_eq!(inc.dist(), d0.as_slice());
+        assert_eq!(inc.dist(), dijkstra(&live, 0).as_slice());
+    }
+
+    #[test]
+    fn remove_then_insert_composes_like_a_swap() {
+        // A committed swap = remove_edge + relax_insert staged one edge at
+        // a time against the live graph; the vector must track both.
+        let g = diamond();
+        for source in 0..4u32 {
+            let mut inc = DynamicSssp::new();
+            inc.reset_from(source, &dijkstra(&g, source));
+            let mut live = g.clone();
+            live.remove_edge(0, 1);
+            inc.remove_edge(&live, 0, 1, 1.0);
+            assert_eq!(inc.dist(), dijkstra(&live, source).as_slice());
+            live.add_edge(0, 3, 0.25);
+            inc.relax_insert(&live, 0, 3, 0.25);
+            assert_eq!(
+                inc.dist(),
+                dijkstra(&live, source).as_slice(),
+                "source {source}"
+            );
+        }
+    }
+
+    #[test]
+    fn remove_edge_repairs_multi_hop_affected_regions() {
+        // Path 0-1-2-3-4 plus a long detour 0-4: removing (1, 2) affects
+        // {2, 3} from source 0 and must re-route them through the detour.
+        let mut g = AdjacencyList::new(5);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 4, 1.0);
+        g.add_edge(0, 4, 10.0);
+        let d0 = dijkstra(&g, 0);
+        let mut inc = DynamicSssp::new();
+        inc.reset_from(0, &d0);
+        let mut live = g.clone();
+        live.remove_edge(1, 2);
+        inc.remove_edge(&live, 1, 2, 1.0);
+        assert_eq!(inc.dist(), dijkstra(&live, 0).as_slice());
+        assert_eq!(inc.dist()[2], 12.0);
+        assert_eq!(inc.dist()[3], 11.0);
     }
 
     #[test]

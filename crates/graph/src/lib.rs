@@ -11,8 +11,12 @@
 //! * [`SymMatrix`] — dense symmetric `f64` weight storage for host graphs,
 //! * [`AdjacencyList`] — sparse built networks `G(s)`,
 //! * [`csr`] — CSR graph snapshots, the allocation-free
-//!   [`DijkstraScratch`], and the undo-logged [`IncrementalSssp`] engine
-//!   under the incremental best-response search,
+//!   [`DijkstraScratch`], and the [`DynamicSssp`] engine (undo-logged
+//!   insertions plus Ramalingam–Reps deletion repair) under the
+//!   incremental best-response search and the dynamics engine's warm
+//!   distance vectors,
+//! * [`delta`] — [`NetworkDelta`], the batched edge-change description
+//!   every network mutation flows through,
 //! * [`dijkstra`] / [`apsp`] — single-source and (rayon-parallel) all-pairs
 //!   shortest paths, running on the scratch engine,
 //! * [`mst`] — Prim/Kruskal minimum spanning trees,
@@ -28,6 +32,7 @@ pub mod adjacency;
 pub mod apsp;
 pub mod bfs;
 pub mod csr;
+pub mod delta;
 pub mod dijkstra;
 pub mod matrix;
 pub mod mst;
@@ -39,7 +44,8 @@ pub mod unionfind;
 
 pub use adjacency::AdjacencyList;
 pub use apsp::DistanceMatrix;
-pub use csr::{Csr, DijkstraScratch, EdgeSource, IncrementalSssp};
+pub use csr::{Csr, DijkstraScratch, DynamicSssp, EdgeSource, IncrementalSssp};
+pub use delta::NetworkDelta;
 pub use matrix::SymMatrix;
 pub use tree::WeightedTree;
 

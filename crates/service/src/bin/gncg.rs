@@ -11,7 +11,7 @@
 //!                [--seeds s1,s2 | --seed-count k] [--max-rounds <r>] [--base-seed <s>]
 //!                [--certify full|sampled|off]
 //! gncg resume    --out <file.jsonl>
-//! gncg serve     [--addr host:port] [--workers k] [--queue-cap n] [--cache <file>]
+//! gncg serve     [--addr host:port] [--workers k] [--queue-cap n] [--cache <file>] [--cache-max <entries>]
 //! gncg submit    --addr host:port --out <file.jsonl> [grid flags as above]
 //! gncg status    --addr host:port [--job <id>]
 //! gncg cancel    --addr host:port --job <id>
@@ -269,6 +269,7 @@ struct ServiceFlags {
     workers: usize,
     queue_cap: usize,
     cache: Option<std::path::PathBuf>,
+    cache_max: Option<usize>,
 }
 
 impl ServiceFlags {
@@ -282,6 +283,7 @@ impl ServiceFlags {
             workers: 0,
             queue_cap: ServiceConfig::default().queue_cap,
             cache: None,
+            cache_max: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -301,6 +303,15 @@ impl ServiceFlags {
                     f.queue_cap = parse_or_exit(&value(), "--queue-cap takes an integer")
                 }
                 "--cache" => f.cache = Some(value().into()),
+                "--cache-max" => {
+                    let max: usize = parse_or_exit(&value(), "--cache-max takes an entry count");
+                    if max == 0 {
+                        invalid(
+                            "--cache-max must be at least 1 (omit the flag for an unbounded cache)",
+                        );
+                    }
+                    f.cache_max = Some(max);
+                }
                 other => invalid(format_args!("unknown flag: {other}")),
             }
         }
@@ -313,13 +324,23 @@ fn connect_or_exit(addr: &str) -> Client {
 }
 
 fn serve_cmd(args: &[String]) {
-    let f = ServiceFlags::parse(args, &["--addr", "--workers", "--queue-cap", "--cache"]);
+    let f = ServiceFlags::parse(
+        args,
+        &[
+            "--addr",
+            "--workers",
+            "--queue-cap",
+            "--cache",
+            "--cache-max",
+        ],
+    );
     let server = Server::start(
         &f.addr,
         ServiceConfig {
             workers: f.workers,
             queue_cap: f.queue_cap,
             cache_path: f.cache,
+            cache_max: f.cache_max,
             ..ServiceConfig::default()
         },
     )
@@ -573,7 +594,7 @@ fn usage_and_exit() -> ! {
          resume: --out results.jsonl   (spec is read back from the manifest)\n\
          \n\
          service (newline-delimited JSON over TCP, see README):\n\
-         serve:    [--addr 127.0.0.1:7421] [--workers K] [--queue-cap N] [--cache file]\n\
+         serve:    [--addr 127.0.0.1:7421] [--workers K] [--queue-cap N] [--cache file] [--cache-max E]\n\
          submit:   --addr host:port --out results.jsonl [grid flags]\n\
          status:   --addr host:port [--job ID]\n\
          cancel:   --addr host:port --job ID\n\

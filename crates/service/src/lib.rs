@@ -16,8 +16,9 @@
 //! * [`json`] — the minimal JSON layer everything above parses with.
 //!
 //! The determinism contract the whole stack inherits from
-//! [`gncg_suite::scenario`]: for the same [`ScenarioSpec`]
-//! (`gncg_suite::scenario::ScenarioSpec`), streaming a submitted job
+//! [`gncg_suite::scenario`]: for the same
+//! [`ScenarioSpec`](gncg_suite::scenario::ScenarioSpec), streaming a
+//! submitted job
 //! yields bytes identical to the offline `gncg grid` file, and
 //! re-submitting completes entirely from cache — asserted end-to-end by
 //! `tests/loopback.rs`.

@@ -57,6 +57,10 @@ pub struct ServiceConfig {
     pub max_job_cells: usize,
     /// Optional persistent cache file.
     pub cache_path: Option<PathBuf>,
+    /// Maximum result-cache entries held in memory (`None` = unbounded).
+    /// When set, least-recently-used entries are evicted and the disk
+    /// file (if any) is compacted to the cap at startup.
+    pub cache_max: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -67,6 +71,7 @@ impl Default for ServiceConfig {
             retain: 256,
             max_job_cells: 1 << 20,
             cache_path: None,
+            cache_max: None,
         }
     }
 }
@@ -163,8 +168,8 @@ impl Server {
                 .unwrap_or(1)
         };
         let cache = match &cfg.cache_path {
-            Some(p) => ResultCache::open(p)?,
-            None => ResultCache::in_memory(),
+            Some(p) => ResultCache::open_with(p, cfg.cache_max)?,
+            None => ResultCache::in_memory_with(cfg.cache_max),
         };
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {

@@ -5,8 +5,11 @@
 # `service_roundtrip` (via the hermetic criterion shim in
 # crates/compat/criterion, which appends one JSON line per benchmark
 # under target/criterion-lite/),
-# then aggregates medians — plus the tracked derived figure
-# `incremental_speedup_n14` = exact_bnb_reference/14 ÷ exact_bnb/14 —
+# then aggregates medians — plus the tracked derived figures
+# `incremental_speedup_n14` = exact_bnb_reference/14 ÷ exact_bnb/14 and
+# `swap_heavy_speedup_n20` = dynamics_swap_heavy/invalidate/20 ÷
+# dynamics_swap_heavy/dynamic/20 (warm-vector maintenance under
+# swap-heavy moves: Ramalingam–Reps repair vs invalidate-and-redo) —
 # into BENCH_hotpath.json at the repo root, so every PR leaves a perf
 # trajectory point behind.
 #
@@ -47,9 +50,14 @@ ref = medians.get("best_response/exact_bnb_reference/14")
 inc = medians.get("best_response/exact_bnb/14")
 if ref and inc:
     snapshot["incremental_speedup_n14"] = round(ref / inc, 2)
+redo = medians.get("dynamics_swap_heavy/invalidate/20")
+dyn = medians.get("dynamics_swap_heavy/dynamic/20")
+if redo and dyn:
+    snapshot["swap_heavy_speedup_n20"] = round(redo / dyn, 2)
 
 dest.write_text(json.dumps(snapshot, indent=2) + "\n")
 print(f"wrote {dest} ({len(medians)} benchmarks)")
-if "incremental_speedup_n14" in snapshot:
-    print(f"incremental_speedup_n14 = {snapshot['incremental_speedup_n14']}x")
+for fig in ("incremental_speedup_n14", "swap_heavy_speedup_n20"):
+    if fig in snapshot:
+        print(f"{fig} = {snapshot[fig]}x")
 PY

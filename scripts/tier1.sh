@@ -15,6 +15,9 @@ cargo fmt --check
 echo "== cargo clippy (deny warnings)" >&2
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (deny warnings)" >&2
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo build --release" >&2
 cargo build --release
 

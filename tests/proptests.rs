@@ -168,4 +168,84 @@ proptest! {
         let d = gncg_graph::apsp::apsp_sequential(&g);
         prop_assert!(d.diameter() <= 2.0 + 1e-9);
     }
+
+    /// Random interleaved insert / remove / swap sequences over every
+    /// registered factory host: a [`gncg_graph::DynamicSssp`] per source
+    /// must equal a fresh Dijkstra **bitwise at every step** (the
+    /// deletion-tolerant warm-update contract of the dynamics engine),
+    /// and neither `relax_insert` nor `remove_edge` may touch the undo
+    /// log.
+    #[test]
+    fn dynamic_sssp_tracks_fresh_dijkstra_under_interleaved_ops(
+        ops in proptest::collection::vec(0u64..(1u64 << 62), 16),
+        seed in 0u64..1_000,
+    ) {
+        use gncg_graph::DynamicSssp;
+        let n = 8usize;
+        for key in gncg_metrics::factory::keys() {
+            let host = gncg_metrics::factory::build_host(key, n, seed).unwrap();
+            // Start from the star every grid cell starts from, skipping
+            // forbidden (∞-weight) host edges like the game layer does.
+            let mut g = AdjacencyList::new(n);
+            for v in 1..n as u32 {
+                let w = host.get(0, v);
+                if w.is_finite() {
+                    g.add_edge(0, v, w);
+                }
+            }
+            let mut trackers: Vec<DynamicSssp> = (0..n as u32)
+                .map(|s| {
+                    let mut t = DynamicSssp::new();
+                    t.reset_from(s, &gncg_graph::dijkstra::dijkstra(&g, s));
+                    t
+                })
+                .collect();
+            for &op in &ops {
+                let kind = op % 3; // 0 = insert, 1 = remove, 2 = swap
+                if kind >= 1 {
+                    // Removal leg (remove and swap). Disconnection is
+                    // allowed: ∞ distances must round-trip too.
+                    let edges: Vec<_> = g.edges().collect();
+                    if !edges.is_empty() {
+                        let (a, b, w) = edges[(op / 3) as usize % edges.len()];
+                        g.remove_edge(a, b);
+                        for t in &mut trackers {
+                            t.remove_edge(&g, a, b, w);
+                        }
+                    }
+                }
+                if kind == 0 || kind == 2 {
+                    // Insertion leg (insert and swap), staged after the
+                    // removal exactly like EvalContext::apply_delta.
+                    let mut candidates = Vec::new();
+                    for u in 0..n as u32 {
+                        for v in (u + 1)..n as u32 {
+                            if !g.has_edge(u, v) && host.get(u, v).is_finite() {
+                                candidates.push((u, v));
+                            }
+                        }
+                    }
+                    if !candidates.is_empty() {
+                        let (u, v) = candidates[(op / 7) as usize % candidates.len()];
+                        let w = host.get(u, v);
+                        g.add_edge(u, v, w);
+                        for t in &mut trackers {
+                            t.relax_insert(&g, u, v, w);
+                        }
+                    }
+                }
+                for (s, t) in trackers.iter().enumerate() {
+                    let fresh = gncg_graph::dijkstra::dijkstra(&g, s as u32);
+                    prop_assert_eq!(
+                        t.dist(),
+                        fresh.as_slice(),
+                        "host '{}' source {}",
+                        key,
+                        s
+                    );
+                    prop_assert_eq!(t.depth(), 0, "undo-log depth must stay 0");
+                }
+            }
+        }
+    }
 }
