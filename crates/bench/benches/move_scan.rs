@@ -1,0 +1,64 @@
+//! The per-activation candidate-move scan ablation (`move_scan`): full
+//! greedy dynamics replayed on the swap-heavy preset hosts under the
+//! speculative warm-vector scan ([`ScanPolicy::SpeculativeDelta`] —
+//! apply each candidate's edge delta to the warm vector, read the sum,
+//! roll back) vs the historical masked-from-scratch-Dijkstra-per-
+//! candidate baseline ([`ScanPolicy::MaskedDijkstra`]). Both policies
+//! choose identical moves, so the runs do identical game-level work and
+//! the ratio isolates the scan. `scripts/bench_snapshot.sh` derives the
+//! tracked `move_scan_speedup_n20` figure from this pair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gncg_core::{Game, Profile};
+use gncg_dynamics::{DynamicsConfig, Engine, ResponseRule, ScanPolicy, Scheduler};
+use gncg_suite::scenario::ScenarioSpec;
+
+fn bench_move_scan(c: &mut Criterion) {
+    // Hosts drawn from the swap-heavy preset grid: one cell per host
+    // family (r2 / grid / clusters at n = 20, the α = 4 column) — the
+    // regime where deletes and swaps make up about half the applied
+    // moves, so the scan prices the full add/delete/swap vocabulary.
+    let spec = ScenarioSpec::swap_heavy();
+    let games: Vec<Game> = spec
+        .expand()
+        .iter()
+        .filter(|cell| cell.alpha == 4.0 && cell.seed == 0)
+        .map(|cell| {
+            let host = gncg_metrics::factory::build_host(&cell.host, cell.n, cell.cell_seed)
+                .expect("preset hosts are registered");
+            Game::new(host, cell.alpha)
+        })
+        .collect();
+    assert_eq!(games.len(), 3);
+    let n = games[0].n();
+    let cfg = DynamicsConfig {
+        rule: ResponseRule::BestGreedyMove,
+        scheduler: Scheduler::RoundRobin,
+        max_rounds: 500,
+        record_trace: false,
+    };
+    let mut group = c.benchmark_group("move_scan");
+    group.sample_size(10);
+    for (name, scan) in [
+        ("speculative", ScanPolicy::SpeculativeDelta),
+        ("masked", ScanPolicy::MaskedDijkstra),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, n), &scan, |b, &s| {
+            b.iter(|| {
+                let mut moves = 0usize;
+                for game in &games {
+                    let mut engine = Engine::new();
+                    engine.context_mut().set_scan_policy(s);
+                    let r = engine.run(game, Profile::star(n, 0), &cfg);
+                    moves += r.moves;
+                }
+                moves
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_move_scan);
+criterion_main!(benches);

@@ -63,7 +63,9 @@
 
 use std::collections::BTreeSet;
 
-use gncg_graph::{strictly_less, AdjacencyList, Csr, DijkstraScratch, DynamicSssp, NodeId};
+use gncg_graph::{
+    strictly_less, AdjacencyList, Csr, DijkstraScratch, DynamicSssp, MaskedEdges, NodeId,
+};
 
 use crate::cost::{
     agent_cost_in, base_graph_from, base_graph_without, candidate_cost, CostBreakdown,
@@ -583,6 +585,12 @@ pub fn best_move_among_in_costed(
 /// [`best_move_among_in_costed`] with the agent's current cost supplied
 /// by the caller (see [`exact_best_response_given_current`] for the
 /// contract on `current`).
+///
+/// Prices every candidate with a masked from-scratch Dijkstra
+/// ([`candidate_cost`]) — the historical scan, kept as the equivalence
+/// **oracle** and measured baseline of the speculative scan
+/// ([`best_move_among_speculative`]), which produces bitwise-identical
+/// choices and totals off a warm distance vector.
 pub fn best_move_among_given_current(
     game: &Game,
     profile: &Profile,
@@ -603,6 +611,215 @@ pub fn best_move_among_given_current(
         }
     }
     best
+}
+
+/// [`best_move_among_given_current`] evaluated **speculatively** against
+/// the agent's warm distance vector instead of one masked Dijkstra per
+/// candidate.
+///
+/// `warm` must hold the agent's exact distance vector in `network`
+/// (source `agent`, bitwise what a fresh Dijkstra produces — e.g. the
+/// dynamics engine's warm per-agent vector), and `current` the agent's
+/// exact current total cost. Each single-edge candidate is priced by the
+/// speculation-frame lifecycle of `gncg_graph::csr`:
+///
+/// 1. **apply** — open a frame and stage the move's network-level edge
+///    delta on the vector: a dropped sole-owned edge is a logged
+///    Ramalingam–Reps repair over a [`MaskedEdges`] view of `network`
+///    (the graph itself is never mutated), a genuinely new edge is a
+///    logged source-incident relaxation;
+/// 2. **read** — the candidate's distance cost is the warm sum, in the
+///    same index order the oracle sums its Dijkstra vector, and its edge
+///    cost re-accumulates in ascending node-id order, matching
+///    [`candidate_cost`]'s `BTreeSet` iteration bit for bit;
+/// 3. **rollback** — the frame restores the pre-move vector bitwise, so
+///    the next candidate starts from the same warm state.
+///
+/// Degenerate deltas (dropping a co-owned edge, gaining an
+/// already-present one) change no distances and read the current sum
+/// directly. [`Move::Replace`] candidates are not single-edge deltas and
+/// fall back to the oracle's [`candidate_cost`] pricing.
+///
+/// Returns exactly what [`best_move_among_given_current`] returns — the
+/// same chosen move and the same cost bits (debug-asserted against the
+/// oracle, alongside the bitwise restoration of `warm`).
+///
+/// Every move must be *valid for `profile`* in the [`Move::apply`] sense
+/// (deletes and swap-drops name owned edges, adds and swap-gains name
+/// non-owned ones) — the shape [`Move::greedy_moves`] /
+/// [`Move::add_moves`] enumerate. The oracle enforces this with
+/// assertions inside `Move::apply`; this path relies on it (an invalid
+/// move may panic on a missing network edge or price the edge term
+/// differently from a set-based candidate).
+pub fn best_move_among_speculative(
+    game: &Game,
+    profile: &Profile,
+    network: &AdjacencyList,
+    warm: &mut DynamicSssp,
+    agent: NodeId,
+    current: f64,
+    moves: &[Move],
+) -> Option<(Move, f64)> {
+    #[cfg(debug_assertions)]
+    let before: Vec<f64> = warm.dist().to_vec();
+    let own = profile.strategy(agent);
+    let alpha = game.alpha();
+    // Replace moves price through the oracle path; its base graph is
+    // derived at most once.
+    let mut base: Option<AdjacencyList> = None;
+    let mut best: Option<(Move, f64)> = None;
+    let update = |m: &Move, c: f64, best: &mut Option<(Move, f64)>| {
+        let incumbent = best.as_ref().map_or(current, |&(_, b)| b);
+        if strictly_less(c, incumbent) {
+            *best = Some((m.clone(), c));
+        }
+    };
+    let mut i = 0;
+    while i < moves.len() {
+        // Consecutive swaps dropping the same sole-owned edge (the shape
+        // `Move::greedy_moves` enumerates) share one removal repair:
+        // frames nest, so the dropped edge is repaired once in an outer
+        // frame and each add target is an inner insert + rollback —
+        // `k` removals for `k·(n−1−k)` swap candidates, not one each.
+        if let Move::Swap(d, _) = moves[i] {
+            if !profile.owns(d, agent) {
+                let run = moves[i..]
+                    .iter()
+                    .take_while(|m| matches!(m, Move::Swap(dd, _) if *dd == d))
+                    .count();
+                let w = network
+                    .edge_weight(agent, d)
+                    .expect("sole-owned strategy edge must be in the network");
+                let mask = [(agent, d)];
+                let view = MaskedEdges::new(network, &mask);
+                warm.begin_speculation();
+                warm.remove_edge(&view, agent, d, w);
+                for m in &moves[i..i + run] {
+                    let &Move::Swap(_, a) = m else { unreachable!() };
+                    let dist = if network.has_edge(agent, a) {
+                        warm.sum() // gained edge already present: no delta
+                    } else {
+                        warm.begin_speculation();
+                        warm.speculate_insert(&view, agent, a, game.w(agent, a));
+                        let s = warm.sum();
+                        warm.rollback();
+                        s
+                    };
+                    let c = alpha * candidate_edge_sum(game, agent, own, m) + dist;
+                    update(m, c, &mut best);
+                }
+                warm.rollback();
+                i += run;
+                continue;
+            }
+        }
+        let m = &moves[i];
+        let c = match m {
+            Move::Replace(cand) => {
+                let base = base.get_or_insert_with(|| base_graph_from(network, profile, agent));
+                candidate_cost(game, base, agent, cand).total()
+            }
+            _ => {
+                let dist = speculative_distance_sum(game, profile, network, warm, agent, m);
+                alpha * candidate_edge_sum(game, agent, own, m) + dist
+            }
+        };
+        update(m, c, &mut best);
+        i += 1;
+    }
+    #[cfg(debug_assertions)]
+    {
+        debug_assert!(
+            warm.dist() == before.as_slice() && warm.depth() == 0 && warm.speculation_depth() == 0,
+            "speculative scan must leave the warm vector bitwise untouched"
+        );
+        let oracle = best_move_among_given_current(game, profile, network, agent, current, moves);
+        debug_assert_eq!(
+            best, oracle,
+            "speculative scan drifted from the masked-Dijkstra oracle"
+        );
+    }
+    best
+}
+
+/// The distance cost of single-edge move `m`, read off `warm` after
+/// speculatively applying the move's network-level edge delta (an owned
+/// edge leaves the network only when the other endpoint does not also own
+/// it; a new edge enters only when not already present — the same rules
+/// the dynamics engine applies to committed moves).
+fn speculative_distance_sum(
+    game: &Game,
+    profile: &Profile,
+    network: &AdjacencyList,
+    warm: &mut DynamicSssp,
+    agent: NodeId,
+    m: &Move,
+) -> f64 {
+    let (dropped, gained) = match *m {
+        Move::Add(v) => (None, Some(v)),
+        Move::Delete(v) => (Some(v), None),
+        Move::Swap(d, a) => (Some(d), Some(a)),
+        Move::Replace(_) => unreachable!("Replace moves are priced by the oracle path"),
+    };
+    let dropped = dropped.filter(|&v| !profile.owns(v, agent));
+    let gained = gained.filter(|&v| !network.has_edge(agent, v));
+    if dropped.is_none() && gained.is_none() {
+        // Degenerate delta: the network (hence the vector) is unchanged.
+        return warm.sum();
+    }
+    let mask_buf;
+    let mask: &[(NodeId, NodeId)] = match dropped {
+        Some(v) => {
+            mask_buf = [(agent, v)];
+            &mask_buf
+        }
+        None => &[],
+    };
+    let view = MaskedEdges::new(network, mask);
+    warm.begin_speculation();
+    if let Some(v) = dropped {
+        let w = network
+            .edge_weight(agent, v)
+            .expect("sole-owned strategy edge must be in the network");
+        warm.remove_edge(&view, agent, v, w);
+    }
+    if let Some(v) = gained {
+        warm.speculate_insert(&view, agent, v, game.w(agent, v));
+    }
+    let sum = warm.sum();
+    warm.rollback();
+    sum
+}
+
+/// `Σ w(agent, x)` over the candidate set `m` produces from `own`,
+/// accumulated in ascending node-id order — the `BTreeSet` iteration
+/// order [`candidate_cost`]'s edge term uses, so totals agree bitwise
+/// (f64 addition is order-sensitive).
+fn candidate_edge_sum(game: &Game, agent: NodeId, own: &BTreeSet<NodeId>, m: &Move) -> f64 {
+    let (drop, add) = match *m {
+        Move::Add(v) => (None, Some(v)),
+        Move::Delete(v) => (Some(v), None),
+        Move::Swap(d, a) => (Some(d), Some(a)),
+        Move::Replace(_) => unreachable!("Replace moves are priced by the oracle path"),
+    };
+    let mut sum = 0.0;
+    let mut pending = add;
+    for &x in own {
+        if Some(x) == drop {
+            continue;
+        }
+        if let Some(a) = pending {
+            if a < x {
+                sum += game.w(agent, a);
+                pending = None;
+            }
+        }
+        sum += game.w(agent, x);
+    }
+    if let Some(a) = pending {
+        sum += game.w(agent, a);
+    }
+    sum
 }
 
 /// Prices an explicit move without applying it.
@@ -761,6 +978,71 @@ mod tests {
         p2.buy(1, 2);
         let real = crate::cost::agent_cost(&game, &p2, 1).total();
         assert!(gncg_graph::approx_eq(predicted, real));
+    }
+
+    #[test]
+    fn speculative_scan_matches_oracle_bitwise() {
+        // Every greedy move of every agent, across α regimes, with a
+        // co-owned edge in play: the speculative scan must return exactly
+        // the oracle's chosen move and cost bits, and leave the warm
+        // vector untouched.
+        for seed in 0..4u64 {
+            let host = gncg_metrics::arbitrary::random_metric(8, 1.0, 4.0, seed);
+            for alpha in [0.3, 1.5, 6.0] {
+                let game = Game::new(host.clone(), alpha);
+                let mut p = Profile::star(8, (seed % 8) as NodeId);
+                p.buy(2, 5);
+                if !p.owns(5, 2) {
+                    p.buy(5, 2); // co-owned: its Delete is a degenerate delta
+                }
+                let network = p.build_network(&game);
+                for agent in 0..8u32 {
+                    let moves = Move::greedy_moves(&p, agent);
+                    let current = agent_cost_in(&game, &p, &network, agent).total();
+                    let mut warm = DynamicSssp::new();
+                    warm.reset_from(agent, &gncg_graph::dijkstra::dijkstra(&network, agent));
+                    let spec = best_move_among_speculative(
+                        &game, &p, &network, &mut warm, agent, current, &moves,
+                    );
+                    let oracle =
+                        best_move_among_given_current(&game, &p, &network, agent, current, &moves);
+                    assert_eq!(spec, oracle, "seed {seed} α {alpha} agent {agent}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_scan_handles_disconnection_both_ways() {
+        // Deleting a bridge prices candidates at ∞; an isolated agent
+        // prices its current cost at ∞. Both must match the oracle.
+        let game = unit_game(4, 0.1);
+        let p = Profile::from_owned_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let network = p.build_network(&game);
+        for agent in 0..4u32 {
+            let moves = Move::greedy_moves(&p, agent);
+            let current = agent_cost_in(&game, &p, &network, agent).total();
+            let mut warm = DynamicSssp::new();
+            warm.reset_from(agent, &gncg_graph::dijkstra::dijkstra(&network, agent));
+            let spec =
+                best_move_among_speculative(&game, &p, &network, &mut warm, agent, current, &moves);
+            let oracle = best_move_among_given_current(&game, &p, &network, agent, current, &moves);
+            assert_eq!(spec, oracle, "agent {agent}");
+        }
+        // Isolated agent 3: every distance but its own is ∞.
+        let mut q = Profile::empty(4);
+        q.buy(0, 1);
+        q.buy(1, 2);
+        let network = q.build_network(&game);
+        let moves = Move::greedy_moves(&q, 3);
+        let current = agent_cost_in(&game, &q, &network, 3).total();
+        assert!(current.is_infinite());
+        let mut warm = DynamicSssp::new();
+        warm.reset_from(3, &gncg_graph::dijkstra::dijkstra(&network, 3));
+        let spec = best_move_among_speculative(&game, &q, &network, &mut warm, 3, current, &moves);
+        let oracle = best_move_among_given_current(&game, &q, &network, 3, current, &moves);
+        assert_eq!(spec, oracle);
+        assert!(spec.is_some(), "connecting must improve on ∞");
     }
 
     #[test]

@@ -39,11 +39,20 @@
 //!   ran. Each staged insertion is a decrease-only relaxation
 //!   ([`DynamicSssp::relax_insert`]); each staged removal is a
 //!   Ramalingam–Reps affected-region repair
-//!   ([`DynamicSssp::remove_edge`]) — so warm vectors now survive moves
-//!   of **every** kind (add, delete, swap), where removals historically
+//!   ([`DynamicSssp::remove_edges`], a delta's removals batched into one
+//!   affected-region pass) — so warm vectors now survive moves of
+//!   **every** kind (add, delete, swap), where removals historically
 //!   invalidated all of them. The invalidate-and-redo behavior survives
 //!   as [`RemovalPolicy::Invalidate`], the measured baseline of the
-//!   `dynamics_swap_heavy` bench.
+//!   `dynamics_swap_heavy` bench;
+//! * the greedy rules' per-activation **candidate-move scan** prices each
+//!   candidate *speculatively against the activated agent's warm vector*
+//!   (apply the move's edge delta inside a speculation frame, read the
+//!   cost off the warm sum, roll back —
+//!   [`best_move_among_speculative`]), instead of the historical masked
+//!   from-scratch Dijkstra per candidate. The masked scan survives as
+//!   [`ScanPolicy::MaskedDijkstra`], the equivalence oracle and measured
+//!   baseline of the `move_scan` bench.
 //!
 //! The context is behaviorally invisible — `debug_assert`s re-derive the
 //! network from the profile and every valid warm vector from a fresh
@@ -58,7 +67,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use gncg_core::response::{best_move_among_given_current, exact_best_response_given_current};
+use gncg_core::response::{
+    best_move_among_given_current, best_move_among_speculative, exact_best_response_given_current,
+};
 use gncg_core::{Game, Move, NodeId, Profile};
 use gncg_graph::{AdjacencyList, DijkstraScratch, DynamicSssp, NetworkDelta};
 
@@ -167,9 +178,9 @@ type Change = (std::collections::BTreeSet<NodeId>, f64, f64);
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum RemovalPolicy {
     /// Repair every warm vector in place through the removal
-    /// ([`DynamicSssp::remove_edge`], Ramalingam–Reps affected-region
-    /// re-relaxation) — the default: vectors stay warm through moves of
-    /// every kind.
+    /// ([`DynamicSssp::remove_edges`], Ramalingam–Reps affected-region
+    /// re-relaxation, all of a delta's removals in one pass) — the
+    /// default: vectors stay warm through moves of every kind.
     #[default]
     DynamicSssp,
     /// The historical behavior: any removal invalidates every warm vector
@@ -177,6 +188,23 @@ pub enum RemovalPolicy {
     /// activation). Kept as the measured invalidate-and-redo baseline of
     /// the `dynamics_swap_heavy` bench; results are identical either way.
     Invalidate,
+}
+
+/// How the per-activation candidate-move scan of the greedy rules prices
+/// each candidate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScanPolicy {
+    /// Price each candidate by speculatively applying its edge delta to
+    /// the activated agent's warm distance vector and rolling it back
+    /// ([`best_move_among_speculative`]) — the default. Chosen moves and
+    /// totals are bit-identical to the masked baseline.
+    #[default]
+    SpeculativeDelta,
+    /// The historical scan: one masked from-scratch Dijkstra per
+    /// candidate ([`best_move_among_given_current`]). Kept as the
+    /// equivalence oracle and the measured baseline of the `move_scan`
+    /// bench.
+    MaskedDijkstra,
 }
 
 /// The built network `G(s)` plus per-agent warm distance vectors, cached
@@ -194,8 +222,14 @@ pub struct EvalContext {
     dist_buf: Vec<f64>,
     /// Reusable edge-delta buffer for [`EvalContext::apply_strategy_change`].
     delta: NetworkDelta,
+    /// Reusable actually-removed buffer for [`EvalContext::apply_delta`]'s
+    /// batched warm-vector repair.
+    removed_buf: Vec<(NodeId, NodeId, f64)>,
     /// Warm-vector treatment on removals (survives [`EvalContext::reset`]).
     policy: RemovalPolicy,
+    /// Candidate-move pricing of the greedy scan (survives
+    /// [`EvalContext::reset`]).
+    scan: ScanPolicy,
 }
 
 impl EvalContext {
@@ -235,6 +269,26 @@ impl EvalContext {
     /// The active removal policy.
     pub fn removal_policy(&self) -> RemovalPolicy {
         self.policy
+    }
+
+    /// Sets the candidate-move scan policy (see [`ScanPolicy`]).
+    /// Benchmarks use this to measure the masked-Dijkstra baseline;
+    /// production callers keep the default.
+    pub fn set_scan_policy(&mut self, scan: ScanPolicy) {
+        self.scan = scan;
+    }
+
+    /// The active scan policy.
+    pub fn scan_policy(&self) -> ScanPolicy {
+        self.scan
+    }
+
+    /// The cached network together with agent `u`'s warm distance vector,
+    /// mutably — the split borrow the speculative move scan works on.
+    /// Requires a prior [`EvalContext::ensure_warm`] for `u`.
+    fn network_and_warm(&mut self, u: NodeId) -> (&AdjacencyList, &mut DynamicSssp) {
+        debug_assert!(self.valid[u as usize], "network_and_warm on a cold vector");
+        (&self.network, &mut self.warm[u as usize])
     }
 
     /// Makes agent `u`'s warm distance vector valid (fresh Dijkstra when
@@ -354,11 +408,14 @@ impl EvalContext {
     /// Applies a [`NetworkDelta`] to the cached network and every warm
     /// distance vector — the single mutation path of the context.
     ///
-    /// Changes are staged **one edge at a time** (removals first, then
-    /// insertions — the same order as [`NetworkDelta::apply_to`]): the
-    /// network takes the edge change, then each valid vector is updated
-    /// against the network in exactly its post-change state, which is
-    /// what makes both [`DynamicSssp::remove_edge`] and
+    /// Removals are applied to the network first (as in
+    /// [`NetworkDelta::apply_to`]) and then repaired into each valid
+    /// vector as **one batched affected-region pass**
+    /// ([`DynamicSssp::remove_edges`]) — overlapping removal regions are
+    /// discovered once per delta instead of once per edge. Insertions are
+    /// then staged one edge at a time: the network takes the edge, then
+    /// each valid vector relaxes against the network in exactly its
+    /// post-change state, which is what makes
     /// [`DynamicSssp::relax_insert`] exact. Under
     /// [`RemovalPolicy::Invalidate`] removals instead flag every vector
     /// for lazy recomputation (the historical baseline).
@@ -368,21 +425,26 @@ impl EvalContext {
     /// are no-ops — for the network *and* the warm vectors, which must
     /// never be "repaired" for a change that did not happen.
     pub fn apply_delta(&mut self, delta: &NetworkDelta) {
+        let mut removed = std::mem::take(&mut self.removed_buf);
+        removed.clear();
         for &(a, b, w) in delta.removes() {
-            if !self.network.remove_edge(a, b) {
-                continue;
+            if self.network.remove_edge(a, b) {
+                removed.push((a, b, w));
             }
+        }
+        if !removed.is_empty() {
             match self.policy {
                 RemovalPolicy::Invalidate => self.valid.fill(false),
                 RemovalPolicy::DynamicSssp => {
                     for (inc, &valid) in self.warm.iter_mut().zip(self.valid.iter()) {
                         if valid {
-                            inc.remove_edge(&self.network, a, b, w);
+                            inc.remove_edges(&self.network, &removed);
                         }
                     }
                 }
             }
         }
+        self.removed_buf = removed;
         for &(a, b, w) in delta.inserts() {
             if self.network.has_edge(a, b) {
                 continue;
@@ -464,10 +526,11 @@ impl Engine {
                     v.into_iter().map(|u| (u, None)).collect()
                 }
                 Scheduler::MaxGain => {
-                    // The parallel scan reads warm sums immutably: warm
-                    // every vector up front (itself pool-parallel).
+                    // The parallel scan works on disjoint warm vectors
+                    // (one per agent): warm every vector up front (itself
+                    // pool-parallel).
                     self.ctx.ensure_all_warm();
-                    match max_gain_change(game, &profile, &self.ctx, cfg.rule) {
+                    match max_gain_change(game, &profile, &mut self.ctx, cfg.rule) {
                         Some((u, change)) => vec![(u, Some(change))],
                         None => Vec::new(),
                     }
@@ -479,7 +542,17 @@ impl Engine {
                     None => {
                         self.ctx.ensure_warm(u);
                         let current = self.ctx.current_cost(game, &profile, u);
-                        improving_change(game, &profile, &self.ctx, u, cfg.rule, current)
+                        let speculative = self.ctx.scan_policy() == ScanPolicy::SpeculativeDelta;
+                        let (network, warm) = self.ctx.network_and_warm(u);
+                        improving_change(
+                            game,
+                            &profile,
+                            network,
+                            speculative.then_some(warm),
+                            u,
+                            cfg.rule,
+                            current,
+                        )
                     }
                 };
                 if let Some((new_strategy, before, after)) = change {
@@ -536,45 +609,43 @@ pub fn run(game: &Game, start: Profile, cfg: &DynamicsConfig) -> RunResult {
 }
 
 /// The improving change of `u` under `rule`, with costs before/after,
-/// evaluated against the context's cached network. `current` is `u`'s
-/// current total cost (read off the context's warm vector by the caller).
+/// evaluated against the cached `network`. `current` is `u`'s current
+/// total cost (read off its warm vector by the caller).
+///
+/// This is the **unified move scan**: the greedy rules price their
+/// candidate moves speculatively against `warm` when it is supplied
+/// ([`ScanPolicy::SpeculativeDelta`] — the warm vector is borrowed
+/// mutably for apply → read → rollback and comes back bitwise
+/// untouched), and fall back to the masked-Dijkstra oracle when it is
+/// not ([`ScanPolicy::MaskedDijkstra`]). Both paths choose the same move
+/// at the same cost bits. The exact-best-response rule has its own
+/// incremental engine and ignores `warm`.
 fn improving_change(
     game: &Game,
     profile: &Profile,
-    ctx: &EvalContext,
+    network: &AdjacencyList,
+    warm: Option<&mut DynamicSssp>,
     u: NodeId,
     rule: ResponseRule,
     current: f64,
 ) -> Option<Change> {
-    let network = ctx.network();
-    match rule {
+    let moves = match rule {
         ResponseRule::ExactBestResponse => {
             let br = exact_best_response_given_current(game, profile, network, u, current);
-            if br.improves() {
+            return if br.improves() {
                 Some((br.strategy, br.current_cost, br.cost))
             } else {
                 None
-            }
+            };
         }
-        ResponseRule::BestGreedyMove => best_move_among_given_current(
-            game,
-            profile,
-            network,
-            u,
-            current,
-            &Move::greedy_moves(profile, u),
-        )
-        .map(|(m, c)| (m.apply(u, profile.strategy(u)), current, c)),
-        ResponseRule::AddOnly => best_move_among_given_current(
-            game,
-            profile,
-            network,
-            u,
-            current,
-            &Move::add_moves(profile, u),
-        )
-        .map(|(m, c)| (m.apply(u, profile.strategy(u)), current, c)),
+        ResponseRule::BestGreedyMove => Move::greedy_moves(profile, u),
+        ResponseRule::AddOnly => Move::add_moves(profile, u),
+    };
+    match warm {
+        Some(warm) => best_move_among_speculative(game, profile, network, warm, u, current, &moves),
+        None => best_move_among_given_current(game, profile, network, u, current, &moves),
     }
+    .map(|(m, c)| (m.apply(u, profile.strategy(u)), current, c))
 }
 
 /// Whether agent `u` has **no** improving change under `rule`, evaluated
@@ -593,27 +664,58 @@ pub fn agent_is_stable_given_current(
 ) -> bool {
     ctx.ensure_warm(u);
     let current = ctx.current_cost(game, profile, u);
-    improving_change(game, profile, ctx, u, rule, current).is_none()
+    let speculative = ctx.scan_policy() == ScanPolicy::SpeculativeDelta;
+    let (network, warm) = ctx.network_and_warm(u);
+    improving_change(
+        game,
+        profile,
+        network,
+        speculative.then_some(warm),
+        u,
+        rule,
+        current,
+    )
+    .is_none()
 }
 
 /// The agent with the largest improvement under `rule` together with the
 /// improving change itself, so the caller never recomputes it. The scan
-/// over agents fans out on the rayon pool reading the context (and its
-/// pre-warmed distance vectors) immutably; the reduction is deterministic
-/// (max gain, ties to the smaller agent id), so the schedule matches the
+/// over agents fans out on the rayon pool, each worker borrowing exactly
+/// its agent's (pre-warmed) distance vector mutably for the speculative
+/// apply → read → rollback cycle; the reduction is deterministic (max
+/// gain, ties to the smaller agent id), so the schedule matches the
 /// sequential scan exactly.
 fn max_gain_change(
     game: &Game,
     profile: &Profile,
-    ctx: &EvalContext,
+    ctx: &mut EvalContext,
     rule: ResponseRule,
 ) -> Option<(NodeId, Change)> {
     use rayon::prelude::*;
-    let winner = (0..game.n() as NodeId)
-        .into_par_iter()
-        .filter_map(|u| {
-            let current = ctx.current_cost(game, profile, u);
-            improving_change(game, profile, ctx, u, rule, current).map(|(s, before, after)| {
+    let n = game.n();
+    debug_assert!(
+        ctx.valid[..n].iter().all(|&v| v),
+        "max_gain_change requires a prior ensure_all_warm"
+    );
+    let network = &ctx.network;
+    let speculative = ctx.scan == ScanPolicy::SpeculativeDelta;
+    let winner = ctx.warm[..n]
+        .par_chunks_mut(1)
+        .enumerate()
+        .filter_map(|(u, slot)| {
+            let u = u as NodeId;
+            let warm = &mut slot[0];
+            let current = gncg_core::cost::edge_cost(game, profile, u) + warm.sum();
+            improving_change(
+                game,
+                profile,
+                network,
+                speculative.then_some(warm),
+                u,
+                rule,
+                current,
+            )
+            .map(|(s, before, after)| {
                 let gain = if before.is_infinite() && after.is_finite() {
                     f64::INFINITY
                 } else {
@@ -910,6 +1012,92 @@ mod tests {
             assert_eq!(a.profile, b.profile, "seed {seed}");
             assert_eq!(a.moves, b.moves);
             assert_eq!(a.outcome, b.outcome);
+        }
+    }
+
+    #[test]
+    fn scan_policies_agree_move_for_move() {
+        // Full runs under the speculative scan must reproduce the
+        // masked-Dijkstra baseline bit for bit — profile, move count,
+        // outcome — across rules, schedulers, and α regimes. (Each
+        // speculative activation is additionally oracle-checked by a
+        // debug assertion inside best_move_among_speculative.)
+        for seed in 0..3u64 {
+            let host = gncg_metrics::arbitrary::random_metric(9, 1.0, 4.0, seed);
+            for alpha in [0.4, 1.5, 6.0] {
+                let game = Game::new(host.clone(), alpha);
+                for rule in [ResponseRule::BestGreedyMove, ResponseRule::AddOnly] {
+                    for scheduler in [
+                        Scheduler::RoundRobin,
+                        Scheduler::MaxGain,
+                        Scheduler::RandomOrder { seed: 7 },
+                    ] {
+                        let cfg = DynamicsConfig {
+                            rule,
+                            scheduler,
+                            max_rounds: 400,
+                            ..Default::default()
+                        };
+                        let mut masked = Engine::new();
+                        masked
+                            .context_mut()
+                            .set_scan_policy(ScanPolicy::MaskedDijkstra);
+                        let a = masked.run(&game, Profile::star(9, 0), &cfg);
+                        let b = Engine::new().run(&game, Profile::star(9, 0), &cfg);
+                        assert_eq!(
+                            a.profile, b.profile,
+                            "seed {seed} α {alpha} {rule:?} {scheduler:?}"
+                        );
+                        assert_eq!(a.moves, b.moves);
+                        assert_eq!(a.outcome, b.outcome);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stability_check_agrees_across_scan_policies() {
+        let host = gncg_metrics::arbitrary::random_metric(7, 1.0, 3.0, 33);
+        let game = Game::new(host, 1.8);
+        let probe = Profile::star(7, 2);
+        for rule in [ResponseRule::BestGreedyMove, ResponseRule::AddOnly] {
+            let mut spec_ctx = EvalContext::new(&game, &probe);
+            let mut masked_ctx = EvalContext::new(&game, &probe);
+            masked_ctx.set_scan_policy(ScanPolicy::MaskedDijkstra);
+            for u in 0..7u32 {
+                assert_eq!(
+                    agent_is_stable_given_current(&game, &probe, &mut spec_ctx, u, rule),
+                    agent_is_stable_given_current(&game, &probe, &mut masked_ctx, u, rule),
+                    "agent {u} {rule:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_edge_replace_batches_removals_exactly() {
+        // A BR-style Replace dropping several edges at once exercises the
+        // batched remove_edges path in apply_delta; every warm vector
+        // must stay bitwise exact (also debug-asserted inside
+        // apply_strategy_change).
+        let game = unit_game(7, 5.0);
+        let mut p = Profile::star(7, 0);
+        p.buy(0, 2); // no-op (already owned) guard: keep profile valid
+        let mut ctx = EvalContext::new(&game, &p);
+        for u in 0..7u32 {
+            ctx.ensure_warm(u);
+        }
+        // Agent 0 drops three leaves and keeps the rest: three removals
+        // in one delta.
+        let old = p.strategy(0).clone();
+        p.set_strategy(0, [1, 2, 3].into_iter().collect());
+        ctx.apply_strategy_change(&game, &p, 0, &old);
+        let network = p.build_network(&game);
+        for u in 0..7u32 {
+            ctx.ensure_warm(u);
+            let expected = gncg_core::cost::agent_cost_in(&game, &p, &network, u).total();
+            assert_eq!(ctx.current_cost(&game, &p, u), expected, "agent {u}");
         }
     }
 

@@ -22,5 +22,5 @@ pub mod trace;
 
 pub use engine::{
     agent_is_stable_given_current, run, DynamicsConfig, Engine, EvalContext, Outcome,
-    RemovalPolicy, ResponseRule, RunResult, Scheduler,
+    RemovalPolicy, ResponseRule, RunResult, ScanPolicy, Scheduler,
 };

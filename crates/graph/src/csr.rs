@@ -17,9 +17,36 @@
 //!   best-response branch-and-bound in `gncg_core::response`, permanent
 //!   [`DynamicSssp::relax_insert`] for committed moves) *and* edge
 //!   **removals** ([`DynamicSssp::remove_edge`], Ramalingam–Reps-style
-//!   affected-region re-relaxation) — the engine under both the
-//!   incremental best-response search and the dynamics engine's warm
-//!   per-agent distance vectors, which survive moves of every kind.
+//!   affected-region re-relaxation; [`DynamicSssp::remove_edges`] batches
+//!   several removals into one affected-region pass) — the engine under
+//!   both the incremental best-response search and the dynamics engine's
+//!   warm per-agent distance vectors, which survive moves of every kind,
+//! * [`MaskedEdges`] — a zero-copy [`EdgeSource`] view with a few edges
+//!   hidden, so a *speculative* removal can be priced against a graph
+//!   that is never actually mutated.
+//!
+//! # Speculation frames
+//!
+//! The per-activation candidate-move scan in `gncg_core::response` prices
+//! every candidate move by *applying* its edge delta to the agent's warm
+//! vector, reading the distance sum, and *rolling the vector back* —
+//! instead of pricing the candidate with a fresh masked Dijkstra. The
+//! frame API makes every mutation kind revertible:
+//!
+//! 1. [`DynamicSssp::begin_speculation`] opens a frame;
+//! 2. inside the frame, [`DynamicSssp::remove_edge`] /
+//!    [`DynamicSssp::remove_edges`] log every overwritten `(node, old)`
+//!    pair (outside a frame they stay unlogged, as committed updates),
+//!    and [`DynamicSssp::speculate_insert`] relaxes a source-incident
+//!    insertion with the same logging;
+//! 3. [`DynamicSssp::rollback`] replays the frame in reverse, restoring
+//!    the pre-speculation vector **bitwise** (restores are copies of the
+//!    old values, never recomputations) and leaving both log depths
+//!    exactly where they were.
+//!
+//! Speculation frames and [`DynamicSssp::add_edge`] insertion frames must
+//! not interleave (debug-asserted): the branch-and-bound and the move
+//! scan each own their vector exclusively while searching.
 //!
 //! # Invariants of the undo-log relaxation
 //!
@@ -197,6 +224,45 @@ impl EdgeSource for Csr {
     }
 }
 
+/// A borrowed [`EdgeSource`] view with the edges in `masked` (unordered
+/// pairs) hidden — the graph state a *speculative* edge removal relaxes
+/// over, without mutating the underlying graph. The mask is intended to
+/// be tiny (a move drops at most one edge), so membership is a linear
+/// scan.
+#[derive(Clone, Copy, Debug)]
+pub struct MaskedEdges<'a, G> {
+    inner: &'a G,
+    masked: &'a [(NodeId, NodeId)],
+}
+
+impl<'a, G: EdgeSource> MaskedEdges<'a, G> {
+    /// Wraps `inner`, hiding every pair in `masked` (either orientation).
+    pub fn new(inner: &'a G, masked: &'a [(NodeId, NodeId)]) -> Self {
+        MaskedEdges { inner, masked }
+    }
+}
+
+impl<G: EdgeSource> EdgeSource for MaskedEdges<'_, G> {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    #[inline]
+    fn for_each_neighbor<F: FnMut(NodeId, f64)>(&self, u: NodeId, mut f: F) {
+        self.inner.for_each_neighbor(u, |v, w| {
+            if self
+                .masked
+                .iter()
+                .any(|&(a, b)| (a == u && b == v) || (a == v && b == u))
+            {
+                return;
+            }
+            f(v, w);
+        });
+    }
+}
+
 /// Reusable Dijkstra state: after the first call on a given size, running
 /// an SSSP allocates nothing.
 ///
@@ -370,8 +436,12 @@ pub struct DynamicSssp {
     dist: Vec<f64>,
     undo: Vec<(NodeId, f64)>,
     frames: Vec<usize>,
+    /// Open speculation frames: marks into `undo` (see the module docs).
+    /// While non-empty, removal repairs log every distance overwrite so
+    /// [`DynamicSssp::rollback`] can restore the vector bitwise.
+    spec_marks: Vec<usize>,
     heap: BinaryHeap<HeapEntry>,
-    /// Scratch of [`DynamicSssp::remove_edge`]: the affected-region node
+    /// Scratch of [`DynamicSssp::remove_edges`]: the affected-region node
     /// list and its membership bitmap (cleared after every removal).
     affected: Vec<NodeId>,
     affected_mark: Vec<bool>,
@@ -395,6 +465,7 @@ impl DynamicSssp {
         self.dist.extend_from_slice(d0);
         self.undo.clear();
         self.frames.clear();
+        self.spec_marks.clear();
         self.heap.clear();
     }
 
@@ -419,6 +490,19 @@ impl DynamicSssp {
     #[inline]
     pub fn depth(&self) -> usize {
         self.frames.len()
+    }
+
+    /// Number of open (un-rolled-back) speculation frames.
+    #[inline]
+    pub fn speculation_depth(&self) -> usize {
+        self.spec_marks.len()
+    }
+
+    /// Whether a speculation frame is open (removal repairs then log
+    /// their overwrites for [`DynamicSssp::rollback`]).
+    #[inline]
+    fn speculating(&self) -> bool {
+        !self.spec_marks.is_empty()
     }
 
     #[inline]
@@ -453,6 +537,10 @@ impl DynamicSssp {
     /// [`DynamicSssp::remove_edge`] — so callers no longer re-seed with
     /// [`DynamicSssp::reset_from`] when an edge leaves.
     pub fn relax_insert<G: EdgeSource>(&mut self, g: &G, a: NodeId, b: NodeId, w: f64) {
+        debug_assert!(
+            self.spec_marks.is_empty(),
+            "relax_insert inside a speculation frame would be unrevertible"
+        );
         self.heap.clear();
         for (from, to) in [(a, b), (b, a)] {
             let df = self.dist[from as usize];
@@ -494,11 +582,39 @@ impl DynamicSssp {
     /// silently leaving stale distances.
     pub fn add_edge<G: EdgeSource>(&mut self, g: &G, a: NodeId, b: NodeId, w: f64) {
         debug_assert!(
-            a == self.source || b == self.source,
-            "DynamicSssp::add_edge: edge ({a}, {b}) is not incident to source {}",
-            self.source
+            self.spec_marks.is_empty(),
+            "add_edge frames must not interleave with speculation frames"
         );
         self.frames.push(self.undo.len());
+        self.relax_insert_logged(g, a, b, w);
+    }
+
+    /// Applies a *speculative* edge insertion inside an open speculation
+    /// frame: the same source-incident logged relaxation as
+    /// [`DynamicSssp::add_edge`], but recorded into the current frame
+    /// (rolled back together with any preceding speculative removal)
+    /// instead of opening an insertion frame of its own.
+    ///
+    /// Same correctness contract as [`DynamicSssp::add_edge`]: `g` must be
+    /// the graph the vector is currently exact for (e.g. the
+    /// [`MaskedEdges`] view a preceding speculative removal relaxed over)
+    /// and the edge must be incident to the source.
+    pub fn speculate_insert<G: EdgeSource>(&mut self, g: &G, a: NodeId, b: NodeId, w: f64) {
+        debug_assert!(
+            !self.spec_marks.is_empty(),
+            "speculate_insert outside a speculation frame"
+        );
+        self.relax_insert_logged(g, a, b, w);
+    }
+
+    /// The shared undo-logged insertion relaxation of
+    /// [`DynamicSssp::add_edge`] and [`DynamicSssp::speculate_insert`].
+    fn relax_insert_logged<G: EdgeSource>(&mut self, g: &G, a: NodeId, b: NodeId, w: f64) {
+        debug_assert!(
+            a == self.source || b == self.source,
+            "DynamicSssp logged insertion: edge ({a}, {b}) is not incident to source {}",
+            self.source
+        );
         self.heap.clear();
         for (from, to) in [(a, b), (b, a)] {
             let df = self.dist[from as usize];
@@ -561,6 +677,37 @@ impl DynamicSssp {
         }
     }
 
+    /// Opens a speculation frame: until the matching
+    /// [`DynamicSssp::rollback`], removal repairs log every distance
+    /// overwrite and insertions go through
+    /// [`DynamicSssp::speculate_insert`], so the whole frame is
+    /// revertible. Frames nest; they must not interleave with
+    /// [`DynamicSssp::add_edge`] insertion frames (debug-asserted).
+    pub fn begin_speculation(&mut self) {
+        debug_assert!(
+            self.frames.is_empty(),
+            "speculation frames must not interleave with add_edge frames"
+        );
+        self.spec_marks.push(self.undo.len());
+    }
+
+    /// Reverts the most recent speculation frame, restoring the exact
+    /// pre-[`DynamicSssp::begin_speculation`] vector (bitwise: restores
+    /// are copies of the logged old values).
+    ///
+    /// # Panics
+    /// Panics when no speculation frame is open.
+    pub fn rollback(&mut self) {
+        let mark = self
+            .spec_marks
+            .pop()
+            .expect("rollback without an open speculation frame");
+        while self.undo.len() > mark {
+            let (v, old) = self.undo.pop().expect("undo log underflow");
+            self.dist[v as usize] = old;
+        }
+    }
+
     /// Whether `v` currently has *support*: a neighbor `x` in `g`, itself
     /// outside the affected set, whose distance plus the edge weight
     /// reproduces `dist[v]` bitwise. Supported nodes keep their exact
@@ -587,10 +734,10 @@ impl DynamicSssp {
     /// Contract: `g` must be the **live graph with `(a, b)` already
     /// removed** (and in exactly its current state otherwise), the vector
     /// must be exact for `g ∪ {(a, b, w)}`, all edge weights must be
-    /// positive, and no undo frames may be open (the frames' recorded
-    /// values would describe the pre-removal graph). Batches stage one
-    /// edge at a time: remove from the graph, then repair each vector,
-    /// then move to the next edge.
+    /// positive, and no insertion frames may be open (the frames'
+    /// recorded values would describe the pre-removal graph). Multi-edge
+    /// deltas should go through [`DynamicSssp::remove_edges`], which
+    /// repairs the union of the affected regions in one pass.
     ///
     /// After the call the vector is bitwise what a fresh Dijkstra from the
     /// source on `g` would produce (see the module docs for why), at a
@@ -598,17 +745,52 @@ impl DynamicSssp {
     /// edge was on no shortest path, which is the common case in dynamics
     /// rounds.
     pub fn remove_edge<G: EdgeSource>(&mut self, g: &G, a: NodeId, b: NodeId, w: f64) {
+        self.remove_edges(g, &[(a, b, w)]);
+    }
+
+    /// Applies the removal of **several** undirected edges as one
+    /// affected-region pass — same contract as
+    /// [`DynamicSssp::remove_edge`] with "the edge" replaced by "every
+    /// edge in `removed`": `g` must be the live graph with *all* of them
+    /// already removed, and the vector must be exact for `g ∪ removed`.
+    ///
+    /// Batching matters when removals overlap: staging a multi-edge
+    /// delta one edge at a time re-discovers (and re-repairs) any region
+    /// the edges share once per edge, while the batch discovers it once.
+    /// The result is still bitwise what a fresh Dijkstra on `g` would
+    /// produce — both the staged and the batched repair end on exactly
+    /// that vector.
+    ///
+    /// Inside a speculation frame every overwritten distance is logged so
+    /// [`DynamicSssp::rollback`] restores the vector exactly; outside one
+    /// the repair is permanent (the committed-move path).
+    pub fn remove_edges<G: EdgeSource>(&mut self, g: &G, removed: &[(NodeId, NodeId, f64)]) {
         debug_assert!(
             self.frames.is_empty(),
-            "remove_edge with open undo frames would corrupt the log"
+            "remove_edges with open undo frames would corrupt the log"
         );
-        debug_assert!(w > 0.0, "remove_edge requires positive edge weights");
-        let (da, db) = (self.dist[a as usize], self.dist[b as usize]);
-        // O(1) short-circuit: the removed edge supported neither endpoint,
-        // so no node's equality-support chain ran through it.
-        let edge_supported_an_endpoint =
-            (da.is_finite() && da + w == db) || (db.is_finite() && db + w == da);
-        if !edge_supported_an_endpoint {
+        self.heap.clear();
+        // Seed phase — per edge, the O(1) short-circuit: an edge that
+        // supported neither endpoint carried no node's equality-support
+        // chain, so it seeds nothing. A batch of such edges exits here.
+        for &(a, b, w) in removed {
+            debug_assert!(w > 0.0, "remove_edges requires positive edge weights");
+            let (da, db) = (self.dist[a as usize], self.dist[b as usize]);
+            let edge_supported_an_endpoint =
+                (da.is_finite() && da + w == db) || (db.is_finite() && db + w == da);
+            if !edge_supported_an_endpoint {
+                continue;
+            }
+            for v in [b, a] {
+                if v != self.source && self.dist[v as usize].is_finite() {
+                    self.heap.push(HeapEntry {
+                        dist: self.dist[v as usize],
+                        node: v,
+                    });
+                }
+            }
+        }
+        if self.heap.is_empty() {
             return;
         }
         let n = g.num_nodes();
@@ -616,19 +798,10 @@ impl DynamicSssp {
             self.affected_mark.resize(n, false);
         }
         self.affected.clear();
-        self.heap.clear();
         // Phase 1 — affected-region discovery in increasing-distance
         // order. Positive weights make support chains strictly increasing,
         // so when a candidate pops, every affected node of smaller
         // distance is already marked and its support verdict is final.
-        for v in [b, a] {
-            if v != self.source && self.dist[v as usize].is_finite() {
-                self.heap.push(HeapEntry {
-                    dist: self.dist[v as usize],
-                    node: v,
-                });
-            }
-        }
         while let Some(HeapEntry { dist: d, node: v }) = self.heap.pop() {
             if self.affected_mark[v as usize] || d != self.dist[v as usize] {
                 continue; // duplicate candidate entry
@@ -650,7 +823,9 @@ impl DynamicSssp {
             });
         }
         // Phase 2 — re-seed every affected node from its unaffected
-        // neighbors, then Dijkstra inside the region only.
+        // neighbors, then Dijkstra inside the region only. Inside a
+        // speculation frame every overwrite logs the old value first.
+        let log = self.speculating();
         self.heap.clear();
         for i in 0..self.affected.len() {
             let v = self.affected[i];
@@ -668,6 +843,9 @@ impl DynamicSssp {
                     }
                 }
             });
+            if log {
+                self.undo.push((v, self.dist[v as usize]));
+            }
             self.dist[v as usize] = best;
             if best.is_finite() {
                 self.heap.push(HeapEntry {
@@ -680,13 +858,21 @@ impl DynamicSssp {
             if d > self.dist[u as usize] {
                 continue;
             }
-            let (dist, heap, mark) = (&mut self.dist, &mut self.heap, &self.affected_mark);
+            let (dist, heap, mark, undo) = (
+                &mut self.dist,
+                &mut self.heap,
+                &self.affected_mark,
+                &mut self.undo,
+            );
             g.for_each_neighbor(u, |v, wuv| {
                 if !mark[v as usize] {
                     return; // unaffected nodes are already exact
                 }
                 let nd = d + wuv;
                 if nd < dist[v as usize] {
+                    if log {
+                        undo.push((v, dist[v as usize]));
+                    }
                     dist[v as usize] = nd;
                     heap.push(HeapEntry { dist: nd, node: v });
                 }
@@ -1013,6 +1199,174 @@ mod tests {
         assert_eq!(inc.dist(), dijkstra(&live, 0).as_slice());
         assert_eq!(inc.dist()[2], 12.0);
         assert_eq!(inc.dist()[3], 11.0);
+    }
+
+    #[test]
+    fn masked_view_hides_edges_both_ways() {
+        let g = diamond();
+        let mask = [(1u32, 0u32)];
+        let view = MaskedEdges::new(&g, &mask);
+        assert_eq!(view.num_nodes(), 4);
+        let mut seen = Vec::new();
+        view.for_each_neighbor(0, |v, w| seen.push((v, w)));
+        assert_eq!(seen, vec![(2, 3.0)], "masked edge hidden from 0's list");
+        seen.clear();
+        view.for_each_neighbor(1, |v, w| seen.push((v, w)));
+        assert_eq!(seen, vec![(3, 1.0)], "…and from 1's list");
+        // A masked Dijkstra equals a Dijkstra on the really-removed graph.
+        let mut live = g.clone();
+        live.remove_edge(0, 1);
+        let mut scratch = DijkstraScratch::new();
+        scratch.run(&view, 0, &[]);
+        assert_eq!(scratch.to_vec(4), dijkstra(&live, 0));
+    }
+
+    #[test]
+    fn speculative_remove_rolls_back_bitwise() {
+        // For every source and every edge: speculative removal over a
+        // masked view must equal a fresh Dijkstra on the removed graph,
+        // and rollback must restore the original vector bitwise with
+        // both log depths at zero.
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        for source in 0..4u32 {
+            let d0 = dijkstra(&g, source);
+            let mut inc = DynamicSssp::new();
+            inc.reset_from(source, &d0);
+            for &(a, b, w) in &edges {
+                let mask = [(a, b)];
+                let view = MaskedEdges::new(&g, &mask);
+                let mut live = g.clone();
+                live.remove_edge(a, b);
+                inc.begin_speculation();
+                inc.remove_edge(&view, a, b, w);
+                assert_eq!(
+                    inc.dist(),
+                    dijkstra(&live, source).as_slice(),
+                    "source {source}, removed ({a}, {b})"
+                );
+                inc.rollback();
+                assert_eq!(inc.dist(), d0.as_slice(), "rollback must restore bits");
+                assert_eq!((inc.depth(), inc.speculation_depth()), (0, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_swap_composes_remove_and_insert_in_one_frame() {
+        // Swap from source 0: drop (0, 1), gain (0, 3) — one frame, one
+        // rollback. The mid-frame vector must match a fresh Dijkstra on
+        // the swapped graph.
+        let g = diamond();
+        let d0 = dijkstra(&g, 0);
+        let mut inc = DynamicSssp::new();
+        inc.reset_from(0, &d0);
+        let mask = [(0u32, 1u32)];
+        let view = MaskedEdges::new(&g, &mask);
+        let mut swapped = g.clone();
+        swapped.remove_edge(0, 1);
+        swapped.add_edge(0, 3, 0.25);
+        inc.begin_speculation();
+        inc.remove_edge(&view, 0, 1, 1.0);
+        inc.speculate_insert(&view, 0, 3, 0.25);
+        assert_eq!(inc.dist(), dijkstra(&swapped, 0).as_slice());
+        inc.rollback();
+        assert_eq!(inc.dist(), d0.as_slice());
+        assert_eq!((inc.depth(), inc.speculation_depth()), (0, 0));
+    }
+
+    #[test]
+    fn speculative_disconnection_rolls_back() {
+        // Removing the only edge into a tail makes it unreachable (∞);
+        // rollback must restore the finite distances bitwise.
+        let mut g = AdjacencyList::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(2, 3, 1.0);
+        let d0 = dijkstra(&g, 0);
+        let mut inc = DynamicSssp::new();
+        inc.reset_from(0, &d0);
+        let mask = [(1u32, 2u32)];
+        let view = MaskedEdges::new(&g, &mask);
+        inc.begin_speculation();
+        inc.remove_edge(&view, 1, 2, 2.0);
+        assert_eq!(inc.dist(), &[0.0, 1.0, f64::INFINITY, f64::INFINITY]);
+        inc.rollback();
+        assert_eq!(inc.dist(), d0.as_slice());
+    }
+
+    #[test]
+    fn batched_removals_match_staged_removals() {
+        // Remove every pair of edges from a 5-cycle + chords, both staged
+        // (edge by edge) and batched (one pass): the vectors must agree
+        // bitwise with a fresh Dijkstra, for every source.
+        let g = AdjacencyList::from_edges(
+            5,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 0, 1.0),
+                (0, 2, 1.5),
+                (1, 3, 2.5),
+            ],
+        );
+        let edges: Vec<_> = g.edges().collect();
+        for i in 0..edges.len() {
+            for j in (i + 1)..edges.len() {
+                let pair = [edges[i], edges[j]];
+                let mut live = g.clone();
+                for &(a, b, _) in &pair {
+                    live.remove_edge(a, b);
+                }
+                for source in 0..5u32 {
+                    let mut batched = DynamicSssp::new();
+                    batched.reset_from(source, &dijkstra(&g, source));
+                    batched.remove_edges(&live, &pair);
+                    let fresh = dijkstra(&live, source);
+                    assert_eq!(
+                        batched.dist(),
+                        fresh.as_slice(),
+                        "batched: source {source}, removed {pair:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_removal_rolls_back_inside_a_speculation() {
+        let g = AdjacencyList::from_edges(
+            5,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 0, 5.0),
+            ],
+        );
+        let d0 = dijkstra(&g, 0);
+        let mut inc = DynamicSssp::new();
+        inc.reset_from(0, &d0);
+        let removed = [(1u32, 2u32, 1.0), (3u32, 4u32, 1.0)];
+        let mask = [(1u32, 2u32), (3u32, 4u32)];
+        let view = MaskedEdges::new(&g, &mask);
+        let mut live = g.clone();
+        live.remove_edge(1, 2);
+        live.remove_edge(3, 4);
+        inc.begin_speculation();
+        inc.remove_edges(&view, &removed);
+        assert_eq!(inc.dist(), dijkstra(&live, 0).as_slice());
+        inc.rollback();
+        assert_eq!(inc.dist(), d0.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "rollback without an open speculation frame")]
+    fn rollback_without_frame_panics() {
+        DynamicSssp::new().rollback();
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! gncg resume    --out <file.jsonl>
 //! gncg serve     [--addr host:port] [--workers k] [--queue-cap n] [--cache <file>] [--cache-max <entries>]
 //! gncg submit    --addr host:port --out <file.jsonl> [grid flags as above]
+//! gncg tail      --addr host:port --job <id> --out <file.jsonl>
 //! gncg status    --addr host:port [--job <id>]
 //! gncg cancel    --addr host:port --job <id>
 //! gncg shutdown  --addr host:port
@@ -46,6 +47,7 @@ fn main() {
         "resume" => resume_cmd(&args[1..]),
         "serve" => serve_cmd(&args[1..]),
         "submit" => submit_cmd(&args[1..]),
+        "tail" => tail_cmd(&args[1..]),
         "status" => status_cmd(&args[1..]),
         "cancel" => cancel_cmd(&args[1..]),
         "shutdown" => shutdown_cmd(&args[1..]),
@@ -266,6 +268,7 @@ const DEFAULT_ADDR: &str = "127.0.0.1:7421";
 struct ServiceFlags {
     addr: String,
     job: Option<u64>,
+    out: Option<std::path::PathBuf>,
     workers: usize,
     queue_cap: usize,
     cache: Option<std::path::PathBuf>,
@@ -280,6 +283,7 @@ impl ServiceFlags {
         let mut f = ServiceFlags {
             addr: DEFAULT_ADDR.into(),
             job: None,
+            out: None,
             workers: 0,
             queue_cap: ServiceConfig::default().queue_cap,
             cache: None,
@@ -298,6 +302,7 @@ impl ServiceFlags {
             match flag.as_str() {
                 "--addr" => f.addr = value(),
                 "--job" => f.job = Some(parse_or_exit(&value(), "--job takes an integer")),
+                "--out" => f.out = Some(value().into()),
                 "--workers" => f.workers = parse_or_exit(&value(), "--workers takes an integer"),
                 "--queue-cap" => {
                     f.queue_cap = parse_or_exit(&value(), "--queue-cap takes an integer")
@@ -353,23 +358,24 @@ fn serve_cmd(args: &[String]) {
     println!("gncg_service stopped");
 }
 
-fn submit_cmd(args: &[String]) {
-    let (spec, out, addr) = parse_grid_spec(args, true);
-    let addr = addr.unwrap_or_else(|| DEFAULT_ADDR.into());
-    let mut client = connect_or_exit(&addr);
-    let started = std::time::Instant::now();
-    let ack = client.submit(&spec).unwrap_or_else(|e| invalid(e));
-    // Stream into a sibling temp file and rename only on success: neither
-    // a refused submission nor a mid-stream failure (cancel, daemon
-    // shutdown, network drop) may destroy an existing results file.
+/// Streams daemon results into `out` **atomically**: write to a sibling
+/// `.partial` temp file, rename into place only on success — neither a
+/// refused submission nor a mid-stream failure (cancel, daemon shutdown,
+/// network drop) may destroy an existing results file. Shared by the
+/// `submit` and `tail` commands so the write discipline stays single-
+/// sourced; exits 2 on any failure.
+fn write_results_atomically(
+    out: &std::path::Path,
+    produce: impl FnOnce(&mut dyn std::io::Write) -> Result<gncg_service::StreamSummary, String>,
+) -> gncg_service::StreamSummary {
     let tmp = out.with_extension("jsonl.partial");
     let file = std::fs::File::create(&tmp)
         .unwrap_or_else(|e| invalid(format_args!("cannot create {}: {e}", tmp.display())));
     let mut writer = std::io::BufWriter::new(file);
-    let streamed = client.stream_to(ack.job, &mut writer);
+    let produced = produce(&mut writer);
     use std::io::Write as _;
     let flushed = writer.flush();
-    let summary = match (streamed, flushed) {
+    let summary = match (produced, flushed) {
         (Ok(summary), Ok(())) => summary,
         (Err(e), _) => {
             let _ = std::fs::remove_file(&tmp);
@@ -380,15 +386,47 @@ fn submit_cmd(args: &[String]) {
             invalid(format_args!("cannot flush {}: {e}", tmp.display()));
         }
     };
-    std::fs::rename(&tmp, &out).unwrap_or_else(|e| {
+    std::fs::rename(&tmp, out).unwrap_or_else(|e| {
         invalid(format_args!(
             "cannot move {} into place: {e}",
             tmp.display()
         ))
     });
+    summary
+}
+
+fn submit_cmd(args: &[String]) {
+    let (spec, out, addr) = parse_grid_spec(args, true);
+    let addr = addr.unwrap_or_else(|| DEFAULT_ADDR.into());
+    let mut client = connect_or_exit(&addr);
+    let started = std::time::Instant::now();
+    let ack = client.submit(&spec).unwrap_or_else(|e| invalid(e));
+    let summary = write_results_atomically(&out, |w| client.stream_to(ack.job, w));
     println!(
         "submit: job {} on {addr}: {} cells ({} cache hits, {} simulated) in {:.2}s",
         ack.job,
+        summary.cells,
+        summary.cache_hits,
+        summary.simulated,
+        started.elapsed().as_secs_f64()
+    );
+    println!("results: {}", out.display());
+}
+
+fn tail_cmd(args: &[String]) {
+    let f = ServiceFlags::parse(args, &["--addr", "--job", "--out"]);
+    let job = f.job.unwrap_or_else(|| invalid("tail requires --job <id>"));
+    let out = f
+        .out
+        .unwrap_or_else(|| invalid("tail requires --out <file.jsonl>"));
+    let mut client = connect_or_exit(&f.addr);
+    let started = std::time::Instant::now();
+    // The client re-sorts on receipt, so the renamed file is in cell
+    // order, byte-identical to a `stream`.
+    let summary = write_results_atomically(&out, |w| client.tail_to(job, w));
+    println!(
+        "tail: job {job} on {}: {} cells ({} cache hits, {} simulated) in {:.2}s",
+        f.addr,
         summary.cells,
         summary.cache_hits,
         summary.simulated,
@@ -583,7 +621,7 @@ fn analyze_cmd(game: &Game, opts: &Options) {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: gncg <simulate|poa|opt|landscape|analyze|grid|resume|serve|submit|status|cancel|shutdown|list-factories>\n\
+        "usage: gncg <simulate|poa|opt|landscape|analyze|grid|resume|serve|submit|tail|status|cancel|shutdown|list-factories>\n\
          \n\
          instance commands: [--host <key>] [--n N] [--alpha A] [--seed S]\n\
          \x20                  [--rule br|greedy|add] [--max-rounds R]\n\
@@ -596,6 +634,7 @@ fn usage_and_exit() -> ! {
          service (newline-delimited JSON over TCP, see README):\n\
          serve:    [--addr 127.0.0.1:7421] [--workers K] [--queue-cap N] [--cache file] [--cache-max E]\n\
          submit:   --addr host:port --out results.jsonl [grid flags]\n\
+         tail:     --addr host:port --job ID --out results.jsonl  (lines as they finish, re-sorted)\n\
          status:   --addr host:port [--job ID]\n\
          cancel:   --addr host:port --job ID\n\
          shutdown: --addr host:port\n\

@@ -219,6 +219,57 @@ impl Client {
         }
     }
 
+    /// Drains one `tail` response into `out`: cell lines arrive in
+    /// **completion order** (whatever order the daemon's workers finish
+    /// them in) and are re-sorted by their `cell` index on receipt, so
+    /// the file `out` accumulates is byte-identical to what
+    /// [`Client::stream_to`] produces. The contiguous cell-order prefix
+    /// is written as it forms — `out` grows while a wide grid lands
+    /// across many workers, and client memory is bounded by the
+    /// out-of-order window, not the job.
+    pub fn tail_to(&mut self, job: u64, out: &mut dyn Write) -> Result<StreamSummary, String> {
+        use std::cmp::Reverse;
+        self.send(&Request::Tail { job })?;
+        let header = self.read_control()?;
+        let expected = need_u64(&header, "cells")? as usize;
+        let mut pending: std::collections::BinaryHeap<Reverse<(usize, String)>> =
+            std::collections::BinaryHeap::new();
+        let mut next = 0usize;
+        let mut received = 0usize;
+        loop {
+            let line = self.read_raw_line()?;
+            if is_control_line(&line) {
+                let v = parse(&line).map_err(|e| format!("bad control line: {e}"))?;
+                if v.get("ok").and_then(Value::as_bool) == Some(false) {
+                    return Err(v
+                        .get("error")
+                        .and_then(Value::as_str)
+                        .unwrap_or("tail aborted")
+                        .to_string());
+                }
+                if received != expected || next != expected {
+                    return Err(format!(
+                        "tail ended after {received}/{expected} cells ({next} written)"
+                    ));
+                }
+                return Ok(StreamSummary {
+                    cells: received,
+                    cache_hits: need_u64(&v, "cache_hits")? as usize,
+                    simulated: need_u64(&v, "simulated")? as usize,
+                });
+            }
+            let idx = gncg_suite::scenario::CellResult::cell_index_of_line(&line)
+                .ok_or_else(|| format!("tail line without a cell index: {line}"))?;
+            received += 1;
+            pending.push(Reverse((idx, line)));
+            while pending.peek().is_some_and(|Reverse((idx, _))| *idx == next) {
+                let Reverse((_, l)) = pending.pop().expect("peeked entry");
+                writeln!(out, "{l}").map_err(|e| format!("cannot write cell line: {e}"))?;
+                next += 1;
+            }
+        }
+    }
+
     /// Submits and streams in one call — the `gncg submit` command.
     pub fn submit_and_stream(
         &mut self,

@@ -20,6 +20,7 @@
 //! {"op":"status"}
 //! {"op":"status","job":1}
 //! {"op":"stream","job":1}
+//! {"op":"tail","job":1}
 //! {"op":"cancel","job":1}
 //! {"op":"ping"}
 //! {"op":"shutdown"}
@@ -46,6 +47,12 @@
 //! {"ok":true,"shutdown":true}                        // shutdown
 //! {"ok":false,"error":"..."}                         // any failure
 //! ```
+//!
+//! `tail` shares `stream`'s framing (header, raw cell lines, footer) but
+//! sends each cell line **as soon as it finishes**, in completion order
+//! rather than cell order — the op for watching a wide grid land across
+//! many workers. Every cell line carries its `"cell"` index, so clients
+//! re-sort on receipt; the re-sorted bytes equal a `stream` response's.
 
 use gncg_suite::scenario::{CertifyMode, RuleSpec, ScenarioSpec, SchedSpec};
 
@@ -64,6 +71,12 @@ pub enum Request {
     /// Stream a job's cell results in cell order.
     Stream {
         /// The job to stream.
+        job: u64,
+    },
+    /// Stream a job's cell results as they finish (completion order; the
+    /// client re-sorts by each line's `cell` index).
+    Tail {
+        /// The job to tail.
         job: u64,
     },
     /// Cancel a job (pending cells are discarded; completed cells stay
@@ -102,6 +115,9 @@ impl Request {
             "stream" => Ok(Request::Stream {
                 job: job(true)?.unwrap(),
             }),
+            "tail" => Ok(Request::Tail {
+                job: job(true)?.unwrap(),
+            }),
             "cancel" => Ok(Request::Cancel {
                 job: job(true)?.unwrap(),
             }),
@@ -120,6 +136,7 @@ impl Request {
             Request::Status { job: Some(j) } => format!("{{\"op\":\"status\",\"job\":{j}}}"),
             Request::Status { job: None } => "{\"op\":\"status\"}".into(),
             Request::Stream { job } => format!("{{\"op\":\"stream\",\"job\":{job}}}"),
+            Request::Tail { job } => format!("{{\"op\":\"tail\",\"job\":{job}}}"),
             Request::Cancel { job } => format!("{{\"op\":\"cancel\",\"job\":{job}}}"),
             Request::Ping => "{\"op\":\"ping\"}".into(),
             Request::Shutdown => "{\"op\":\"shutdown\"}".into(),
@@ -307,6 +324,7 @@ mod tests {
             Request::Status { job: None },
             Request::Status { job: Some(3) },
             Request::Stream { job: 9 },
+            Request::Tail { job: 9 },
             Request::Cancel { job: u64::MAX },
             Request::Ping,
             Request::Shutdown,
@@ -323,6 +341,7 @@ mod tests {
             "{}",
             r#"{"op":"frobnicate"}"#,
             r#"{"op":"stream"}"#,
+            r#"{"op":"tail"}"#,
             r#"{"op":"cancel","job":"one"}"#,
             r#"{"op":"submit"}"#,
             r#"{"op":"submit","spec":{"hosts":["bogus-factory"]}}"#,

@@ -105,6 +105,10 @@ struct Job {
     cells: Vec<Cell>,
     /// Finished lines, in cell order (`None` until the cell lands).
     lines: Vec<Option<String>>,
+    /// Cell indices in **completion order** — what `tail` streams drain
+    /// (each tail keeps a cursor into this log, so a wakeup costs only
+    /// the newly landed cells, never a rescan of the whole job).
+    finished: Vec<usize>,
     state: JobState,
     done: usize,
     cache_hits: usize,
@@ -370,6 +374,7 @@ fn record_line(
     };
     debug_assert!(job.lines[idx].is_none(), "cell {idx} recorded twice");
     job.lines[idx] = Some(line);
+    job.finished.push(idx);
     job.done += 1;
     if from_cache {
         job.cache_hits += 1;
@@ -431,7 +436,8 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 let resp = cancel(shared, job);
                 write_line(&mut writer, &resp)
             }
-            Ok(Request::Stream { job }) => stream_job(shared, &mut writer, job),
+            Ok(Request::Stream { job }) => stream_job(shared, &mut writer, job, false),
+            Ok(Request::Tail { job }) => stream_job(shared, &mut writer, job, true),
             Ok(Request::Shutdown) => {
                 let _ = write_line(&mut writer, "{\"ok\":true,\"shutdown\":true}");
                 initiate_shutdown(shared);
@@ -483,6 +489,7 @@ fn submit(shared: &Shared, spec: ScenarioSpec) -> String {
         job_id,
         Job {
             lines: vec![None; total],
+            finished: Vec::with_capacity(total),
             cells,
             state: JobState::Queued,
             done: 0,
@@ -571,10 +578,17 @@ fn cancel(shared: &Shared, job_id: u64) -> String {
     )
 }
 
-/// Streams a job's cell lines in order, blocking on unfinished cells.
-/// Uses the shared [`JsonlSink`] byte layer, so streamed cell bytes are
+/// Streams a job's cell lines — in cell order (`stream`, blocking on
+/// unfinished cells) or in completion order (`tail`, each line sent as
+/// soon as it lands; clients re-sort by the line's `cell` index). Both
+/// use the shared [`JsonlSink`] byte layer, so streamed cell bytes are
 /// defined by the same code path as the offline grid file's.
-fn stream_job(shared: &Shared, writer: &mut BufWriter<TcpStream>, job_id: u64) -> Result<(), ()> {
+fn stream_job(
+    shared: &Shared,
+    writer: &mut BufWriter<TcpStream>,
+    job_id: u64,
+    tail: bool,
+) -> Result<(), ()> {
     let total = {
         let mut g = shared.inner.lock().unwrap();
         match g.jobs.get_mut(&job_id) {
@@ -587,7 +601,11 @@ fn stream_job(shared: &Shared, writer: &mut BufWriter<TcpStream>, job_id: u64) -
             }
         }
     };
-    let result = stream_pinned(shared, writer, job_id, total);
+    let result = if tail {
+        tail_pinned(shared, writer, job_id, total)
+    } else {
+        stream_pinned(shared, writer, job_id, total)
+    };
     let mut g = shared.inner.lock().unwrap();
     if let Some(j) = g.jobs.get_mut(&job_id) {
         j.pinned -= 1;
@@ -647,6 +665,82 @@ fn stream_pinned(
         // single-sourced in `JsonlSink` without holding a borrow across
         // the control-line early returns above.
         if JsonlSink::new(&mut *writer).emit_line(&line).is_err() {
+            return Err(());
+        }
+    }
+    let (hits, simulated) = {
+        let g = shared.inner.lock().unwrap();
+        match g.jobs.get(&job_id) {
+            Some(j) => (j.cache_hits, j.simulated),
+            None => (0, 0),
+        }
+    };
+    write_line(
+        writer,
+        &format!("{{\"ok\":true,\"done\":true,\"cache_hits\":{hits},\"simulated\":{simulated}}}"),
+    )
+}
+
+/// The `tail` body: drains the job's completion-order log from a
+/// per-stream cursor — each wakeup clones only the newly landed lines
+/// (never a rescan of the whole job) — and flushes per batch, blocking
+/// on the progress condvar while nothing new is available. Wide grids on
+/// many workers thus become visible as they complete instead of
+/// head-of-line blocking on cell 0.
+fn tail_pinned(
+    shared: &Shared,
+    writer: &mut BufWriter<TcpStream>,
+    job_id: u64,
+    total: usize,
+) -> Result<(), ()> {
+    write_line(
+        writer,
+        &format!("{{\"ok\":true,\"job\":{job_id},\"cells\":{total}}}"),
+    )?;
+    let mut cursor = 0usize;
+    while cursor < total {
+        // Collect the next batch of fresh lines under the lock; emit and
+        // flush outside it.
+        let batch: Vec<String> = {
+            let mut g = shared.inner.lock().unwrap();
+            loop {
+                let Some(job) = g.jobs.get(&job_id) else {
+                    drop(g);
+                    return write_line(writer, &error_line("job pruned mid-stream"));
+                };
+                // Drain landed lines before reporting cancellation, so a
+                // canceled job yields everything it finished — the same
+                // deliver-then-error behavior `stream` has.
+                if cursor < job.finished.len() {
+                    break job.finished[cursor..]
+                        .iter()
+                        .map(|&idx| {
+                            job.lines[idx]
+                                .clone()
+                                .expect("completion log entries always have a line")
+                        })
+                        .collect();
+                }
+                if job.state == JobState::Canceled {
+                    drop(g);
+                    return write_line(writer, &error_line("job canceled"));
+                }
+                if g.shutting_down {
+                    drop(g);
+                    return write_line(writer, &error_line("daemon is shutting down"));
+                }
+                g = shared.progress.wait(g).unwrap();
+            }
+        };
+        for line in &batch {
+            if JsonlSink::new(&mut *writer).emit_line(line).is_err() {
+                return Err(());
+            }
+        }
+        cursor += batch.len();
+        // Flush per batch: tailing exists to show progress while the job
+        // computes, so lines must not sit in the buffer until the footer.
+        if writer.flush().is_err() {
             return Err(());
         }
     }

@@ -140,6 +140,8 @@ fn cli_exit_codes_are_scriptable() {
         vec!["submit", "--out", "x.jsonl", "--addr", "127.0.0.1:1"], // nothing listening
         vec!["status", "--addr", "127.0.0.1:1"], // nothing listening
         vec!["cancel", "--addr", "127.0.0.1:1"], // missing --job (checked first)
+        vec!["tail", "--addr", "127.0.0.1:1", "--out", "x.jsonl"], // missing --job
+        vec!["tail", "--addr", "127.0.0.1:1", "--job", "1"], // missing --out
         vec![],
     ] {
         let out = gncg().args(&args).output().unwrap();
@@ -174,6 +176,53 @@ fn cli_exit_codes_are_scriptable() {
     for key in gncg_metrics::factory::keys() {
         assert!(text.contains(key), "missing factory {key}");
     }
+}
+
+#[test]
+fn cli_tail_writes_cell_ordered_bytes() {
+    // `gncg tail` against a live daemon: the re-sorted file must equal
+    // the offline grid bytes for the same spec.
+    use gncg_service::{Client, Server, ServiceConfig};
+    let dir = tmp_dir();
+    let spec = golden_spec();
+    let offline = dir.join("tail-offline.jsonl");
+    run_grid(&spec, &offline, false).unwrap();
+
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let ack = client.submit(&spec).unwrap();
+
+    let out = dir.join("tail-cli.jsonl");
+    let _ = fs::remove_file(&out);
+    let run = gncg()
+        .args([
+            "tail",
+            "--addr",
+            &addr,
+            "--job",
+            &ack.job.to_string(),
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(run.status.success(), "{run:?}");
+    assert_eq!(
+        fs::read_to_string(&out).unwrap(),
+        fs::read_to_string(&offline).unwrap(),
+        "tailed bytes must equal the offline grid file after re-sorting"
+    );
+
+    client.shutdown().unwrap();
+    server.wait();
 }
 
 #[test]

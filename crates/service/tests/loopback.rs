@@ -90,6 +90,85 @@ fn submit_matches_offline_grid_and_resubmit_is_all_cache_hits() {
 }
 
 #[test]
+fn tail_resorts_to_stream_identical_bytes() {
+    let (server, addr) = start_server(ServiceConfig {
+        workers: 4,
+        ..ServiceConfig::default()
+    });
+    let s = spec();
+    let total = s.cell_count();
+
+    // Offline reference bytes.
+    let offline = tmp_dir().join("tail-offline.jsonl");
+    run_grid(&s, &offline, false).unwrap();
+    let reference = fs::read_to_string(&offline).unwrap();
+
+    // Tail a job submitted moments earlier: lines arrive as workers
+    // finish them (any order), the client re-sorts — final bytes equal
+    // the in-order stream's, which equal the offline grid file's.
+    let mut client = Client::connect(&addr).unwrap();
+    let ack = client.submit(&s).unwrap();
+    let mut tailed = Vec::new();
+    let sum = client.tail_to(ack.job, &mut tailed).unwrap();
+    assert_eq!(sum.cells, total);
+    assert_eq!(sum.cache_hits + sum.simulated, total);
+    assert_eq!(String::from_utf8(tailed).unwrap(), reference);
+
+    // Tailing the finished job again replays every line (already landed,
+    // one burst) with identical bytes; so does a plain stream.
+    let mut again = Vec::new();
+    client.tail_to(ack.job, &mut again).unwrap();
+    assert_eq!(String::from_utf8(again).unwrap(), reference);
+    let mut streamed = Vec::new();
+    client.stream_to(ack.job, &mut streamed).unwrap();
+    assert_eq!(String::from_utf8(streamed).unwrap(), reference);
+
+    // Unknown jobs get a clean protocol error.
+    let mut sink = Vec::new();
+    assert!(client.tail_to(999, &mut sink).is_err());
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn cache_counters_accumulate_for_the_daemon_lifetime() {
+    let (server, addr) = start_server(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::connect(&addr).unwrap();
+    let small = ScenarioSpec {
+        hosts: vec!["unit".into()],
+        ns: vec![5],
+        alphas: vec![0.5, 2.0],
+        schedulers: vec![SchedSpec::RoundRobin],
+        seeds: vec![0, 1],
+        ..spec()
+    };
+    let total = small.cell_count();
+
+    // Cold daemon: every lookup misses.
+    let mut sink = Vec::new();
+    client.submit_and_stream(&small, &mut sink).unwrap();
+    let st1 = client.daemon_status().unwrap();
+    assert_eq!(st1.cache_hits, 0, "cold cache cannot hit");
+    assert_eq!(st1.cache_misses, total as u64);
+    assert_eq!(st1.cache_entries, total);
+
+    // Re-submission: the same lookups now hit; both counters keep
+    // accumulating across jobs — they are daemon-lifetime, not per-job.
+    let mut sink = Vec::new();
+    client.submit_and_stream(&small, &mut sink).unwrap();
+    let st2 = client.daemon_status().unwrap();
+    assert_eq!(st2.cache_hits, total as u64);
+    assert_eq!(st2.cache_misses, total as u64, "misses never reset");
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
 fn overlapping_grids_share_the_cache() {
     let (server, addr) = start_server(ServiceConfig {
         workers: 2,

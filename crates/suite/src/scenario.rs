@@ -19,7 +19,9 @@ use std::collections::BTreeSet;
 use std::time::Instant;
 
 use gncg_core::{cost, equilibrium, Game, NodeId, Profile};
-use gncg_dynamics::{DynamicsConfig, Engine, Outcome, ResponseRule, RunResult, Scheduler};
+use gncg_dynamics::{
+    DynamicsConfig, Engine, Outcome, ResponseRule, RunResult, ScanPolicy, Scheduler,
+};
 
 /// JSONL schema version emitted by [`CellResult::to_jsonl`] consumers
 /// (bumped when the line format changes incompatibly).
@@ -663,6 +665,15 @@ impl Runner {
     pub fn recycle(&mut self) {
         self.engine.recycle();
     }
+
+    /// Sets the engine's candidate-move [`ScanPolicy`] for every
+    /// subsequent cell (it survives per-cell context resets). Cell
+    /// results are byte-identical under either policy; the `move_scan`
+    /// bench uses this to measure the masked-Dijkstra baseline against
+    /// the default speculative scan.
+    pub fn set_scan_policy(&mut self, scan: ScanPolicy) {
+        self.engine.context_mut().set_scan_policy(scan);
+    }
 }
 
 /// The deterministic ⌈√n⌉-agent sample [`CertifyMode::Sampled`] checks:
@@ -1054,6 +1065,19 @@ mod tests {
             ..base.clone()
         };
         assert_eq!(cell_digest(&moved), cell_digest(&base));
+    }
+
+    #[test]
+    fn scan_policies_produce_identical_cell_bytes() {
+        // A swap-heavy cell (the removal-richest regime) run under the
+        // speculative scan and the masked-Dijkstra baseline must emit
+        // byte-identical JSONL lines.
+        let cell = &ScenarioSpec::swap_heavy().expand()[4];
+        let speculative = Runner::new().run_cell(cell).to_jsonl();
+        let mut masked_runner = Runner::new();
+        masked_runner.set_scan_policy(ScanPolicy::MaskedDijkstra);
+        let masked = masked_runner.run_cell(cell).to_jsonl();
+        assert_eq!(speculative, masked);
     }
 
     #[test]

@@ -6,10 +6,13 @@
 # crates/compat/criterion, which appends one JSON line per benchmark
 # under target/criterion-lite/),
 # then aggregates medians — plus the tracked derived figures
-# `incremental_speedup_n14` = exact_bnb_reference/14 ÷ exact_bnb/14 and
+# `incremental_speedup_n14` = exact_bnb_reference/14 ÷ exact_bnb/14,
 # `swap_heavy_speedup_n20` = dynamics_swap_heavy/invalidate/20 ÷
 # dynamics_swap_heavy/dynamic/20 (warm-vector maintenance under
-# swap-heavy moves: Ramalingam–Reps repair vs invalidate-and-redo) —
+# swap-heavy moves: Ramalingam–Reps repair vs invalidate-and-redo), and
+# `move_scan_speedup_n20` = move_scan/masked/20 ÷ move_scan/speculative/20
+# (the per-activation candidate-move scan: speculative warm-vector
+# deltas vs one masked Dijkstra per candidate) —
 # into BENCH_hotpath.json at the repo root, so every PR leaves a perf
 # trajectory point behind.
 #
@@ -25,7 +28,7 @@ export CRITERION_LITE_OUT="$OUT_DIR"
 rm -rf "$OUT_DIR"
 mkdir -p "$OUT_DIR"
 
-for bench in best_response apsp dynamics service_roundtrip; do
+for bench in best_response apsp dynamics move_scan service_roundtrip; do
     echo "== cargo bench --bench $bench" >&2
     cargo bench -p gncg-bench --bench "$bench" >&2
 done
@@ -54,10 +57,14 @@ redo = medians.get("dynamics_swap_heavy/invalidate/20")
 dyn = medians.get("dynamics_swap_heavy/dynamic/20")
 if redo and dyn:
     snapshot["swap_heavy_speedup_n20"] = round(redo / dyn, 2)
+masked = medians.get("move_scan/masked/20")
+spec = medians.get("move_scan/speculative/20")
+if masked and spec:
+    snapshot["move_scan_speedup_n20"] = round(masked / spec, 2)
 
 dest.write_text(json.dumps(snapshot, indent=2) + "\n")
 print(f"wrote {dest} ({len(medians)} benchmarks)")
-for fig in ("incremental_speedup_n14", "swap_heavy_speedup_n20"):
+for fig in ("incremental_speedup_n14", "swap_heavy_speedup_n20", "move_scan_speedup_n20"):
     if fig in snapshot:
         print(f"{fig} = {snapshot[fig]}x")
 PY

@@ -24,6 +24,20 @@ cargo build --release
 echo "== cargo test" >&2
 cargo test -q
 
+echo "== cargo bench smoke (compile all, 1-sample run of the tracked set)" >&2
+# Benches are compiled by clippy but never executed by `cargo test`, so a
+# runtime regression (a panicked setup assert, a changed bench id) rots
+# silently. Compile every bench target, then run the benches
+# bench_snapshot.sh tracks with one tiny sample each (the untracked
+# solver benches cost minutes per iteration — compile-only for those).
+cargo bench -p gncg-bench --no-run
+for bench in best_response apsp dynamics move_scan service_roundtrip; do
+  CRITERION_LITE_SAMPLES=1 CRITERION_LITE_SAMPLE_MS=1 \
+    CRITERION_LITE_OUT=target/criterion-smoke \
+    cargo bench -p gncg-bench --bench "$bench" >/dev/null
+done
+rm -rf target/criterion-smoke
+
 echo "== gncg grid smoke (4 cells, n ≤ 8)" >&2
 rm -f target/tier1-grid.jsonl target/tier1-grid.manifest
 ./target/release/gncg grid \
@@ -41,6 +55,19 @@ cp target/tier1-grid.jsonl target/tier1-grid.jsonl.orig
 ./target/release/gncg resume --out target/tier1-grid.jsonl
 cmp target/tier1-grid.jsonl target/tier1-grid.jsonl.orig
 rm -f target/tier1-grid.jsonl.orig
+
+echo "== swap-heavy grid vs committed golden (36 cells, n = 20)" >&2
+# The removal-richest regime (≈ half the applied moves delete or swap
+# edges) byte-compared against the committed pre-speculation golden:
+# warm-vector repairs and the speculative move scan must never move a
+# result byte.
+rm -f target/tier1-swap-heavy.jsonl target/tier1-swap-heavy.manifest
+./target/release/gncg grid \
+  --out target/tier1-swap-heavy.jsonl \
+  --name swap-heavy \
+  --hosts r2,grid,clusters --n 20 --alpha 2.0,4.0,8.0 \
+  --rules greedy --scheds rr --seeds 0,1,2,3 --max-rounds 500 --base-seed 0
+cmp target/tier1-swap-heavy.jsonl tests/golden/swap_heavy_n20.jsonl
 
 echo "== gncg service smoke (serve → submit ×2 → shutdown)" >&2
 SERVICE_ADDR=127.0.0.1:47421

@@ -169,6 +169,66 @@ proptest! {
         prop_assert!(d.diameter() <= 2.0 + 1e-9);
     }
 
+    /// The speculative move scan must agree with the masked-Dijkstra
+    /// oracle **bitwise** — same chosen move, same priced total — at
+    /// every activation of a random improving-move sequence over every
+    /// factory host, under both greedy rules; and every scan must leave
+    /// the warm vector bitwise untouched with both log depths at zero
+    /// (the speculation-frame rollback contract).
+    #[test]
+    fn speculative_move_scan_matches_masked_oracle(
+        agents in proptest::collection::vec(0u32..8, 10),
+        seed in 0u64..500,
+        greedy in proptest::bool::ANY,
+    ) {
+        use gncg_core::response::{best_move_among_given_current, best_move_among_speculative};
+        use gncg_core::Move;
+        use gncg_graph::DynamicSssp;
+        let n = 8usize;
+        let alpha = [0.4, 1.5, 6.0][(seed % 3) as usize];
+        for key in gncg_metrics::factory::keys() {
+            let host = gncg_metrics::factory::build_host(key, n, seed).unwrap();
+            let game = Game::new(host, alpha);
+            let mut p = Profile::star(n, 0);
+            for &u in &agents {
+                let network = p.build_network(&game);
+                let moves = if greedy {
+                    Move::greedy_moves(&p, u)
+                } else {
+                    Move::add_moves(&p, u)
+                };
+                let current = gncg_core::cost::agent_cost_in(&game, &p, &network, u).total();
+                let mut warm = DynamicSssp::new();
+                warm.reset_from(u, &gncg_graph::dijkstra::dijkstra(&network, u));
+                let before = warm.dist().to_vec();
+                let spec = best_move_among_speculative(
+                    &game, &p, &network, &mut warm, u, current, &moves,
+                );
+                let oracle =
+                    best_move_among_given_current(&game, &p, &network, u, current, &moves);
+                prop_assert_eq!(&spec, &oracle, "host '{}' agent {}", key, u);
+                prop_assert!(
+                    warm.dist() == before.as_slice(),
+                    "host '{}' agent {}: rollback must restore the vector bitwise",
+                    key,
+                    u
+                );
+                prop_assert_eq!(
+                    (warm.depth(), warm.speculation_depth()),
+                    (0, 0),
+                    "both log depths must return to zero"
+                );
+                // Walk the dynamics forward: apply the chosen move so
+                // later activations scan evolving profiles (including
+                // removal-bearing ones under the greedy rule).
+                if let Some((m, _)) = spec {
+                    let next = m.apply(u, p.strategy(u));
+                    p.set_strategy(u, next);
+                }
+            }
+        }
+    }
+
     /// Random interleaved insert / remove / swap sequences over every
     /// registered factory host: a [`gncg_graph::DynamicSssp`] per source
     /// must equal a fresh Dijkstra **bitwise at every step** (the
