@@ -12,11 +12,14 @@
 //!                [--certify full|sampled|off]
 //! gncg resume    --out <file.jsonl>
 //! gncg serve     [--addr host:port] [--workers k] [--queue-cap n] [--cache <file>] [--cache-max <entries>]
+//!                [--journal <file>] [--read-timeout-ms <ms>] [--write-timeout-ms <ms>]
 //! gncg submit    --addr host:port --out <file.jsonl> [grid flags as above]
-//! gncg tail      --addr host:port --job <id> --out <file.jsonl>
+//!                [--deadline-ms <ms>] [--retries <k>] [--timeout-ms <ms>]
+//! gncg tail      --addr host:port --job <id> --out <file.jsonl> [--retries <k>] [--timeout-ms <ms>]
+//! gncg ping      [--addr host:port] [--wait-ms <ms>]
 //! gncg status    --addr host:port [--job <id>]
 //! gncg cancel    --addr host:port --job <id>
-//! gncg shutdown  --addr host:port
+//! gncg shutdown  --addr host:port [--drain]
 //! gncg list-factories
 //! ```
 //!
@@ -31,7 +34,7 @@
 use gncg_core::{Game, Profile};
 use gncg_dynamics::{DynamicsConfig, ResponseRule, Scheduler};
 use gncg_graph::SymMatrix;
-use gncg_service::{Client, Server, ServiceConfig};
+use gncg_service::{Client, RetryPolicy, Server, ServiceConfig};
 use gncg_suite::grid::{manifest_path, run_grid, GridSummary};
 use gncg_suite::scenario::{CertifyMode, RuleSpec, ScenarioSpec, SchedSpec};
 
@@ -48,6 +51,7 @@ fn main() {
         "serve" => serve_cmd(&args[1..]),
         "submit" => submit_cmd(&args[1..]),
         "tail" => tail_cmd(&args[1..]),
+        "ping" => ping_cmd(&args[1..]),
         "status" => status_cmd(&args[1..]),
         "cancel" => cancel_cmd(&args[1..]),
         "shutdown" => shutdown_cmd(&args[1..]),
@@ -146,16 +150,30 @@ fn list_factories() {
     }
 }
 
-/// Parses `gncg grid` / `gncg submit` flags into a [`ScenarioSpec`], the
-/// output path, and (when `allow_addr` — the `submit` form) the daemon
-/// address.
-fn parse_grid_spec(
-    args: &[String],
-    allow_addr: bool,
-) -> (ScenarioSpec, std::path::PathBuf, Option<String>) {
+/// Parsed `gncg grid` / `gncg submit` arguments: the spec, the output
+/// path, and — for the service-backed `submit` form — the daemon
+/// address plus the deadline/retry knobs.
+struct GridCli {
+    spec: ScenarioSpec,
+    out: std::path::PathBuf,
+    addr: Option<String>,
+    /// `--deadline-ms`: wall-clock budget the daemon enforces on the job.
+    deadline_ms: Option<u64>,
+    /// `--retries`: additional attempts after a transport failure.
+    retries: u32,
+    /// `--timeout-ms`: per-read timeout on each attempt's connection.
+    timeout_ms: Option<u64>,
+}
+
+/// Parses `gncg grid` / `gncg submit` flags (the service-only flags are
+/// accepted only when `allow_addr` — the `submit` form).
+fn parse_grid_spec(args: &[String], allow_addr: bool) -> GridCli {
     let mut spec = ScenarioSpec::default();
     let mut out: Option<std::path::PathBuf> = None;
     let mut addr: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut retries: u32 = 0;
+    let mut timeout_ms: Option<u64> = None;
     fn split_list<T>(value: &str, parse: impl Fn(&str) -> T) -> Vec<T> {
         value
             .split(',')
@@ -172,6 +190,15 @@ fn parse_grid_spec(
         };
         match flag.as_str() {
             "--addr" if allow_addr => addr = Some(value()),
+            "--deadline-ms" if allow_addr => {
+                deadline_ms = Some(parse_or_exit(&value(), "--deadline-ms takes milliseconds"))
+            }
+            "--retries" if allow_addr => {
+                retries = parse_or_exit(&value(), "--retries takes an integer")
+            }
+            "--timeout-ms" if allow_addr => {
+                timeout_ms = Some(parse_or_exit(&value(), "--timeout-ms takes milliseconds"))
+            }
             "--out" => out = Some(value().into()),
             "--name" => spec.name = value(),
             "--hosts" => spec.hosts = split_list(&value(), str::to_string),
@@ -212,7 +239,14 @@ fn parse_grid_spec(
     if let Err(e) = spec.validate() {
         invalid(e);
     }
-    (spec, out, addr)
+    GridCli {
+        spec,
+        out,
+        addr,
+        deadline_ms,
+        retries,
+        timeout_ms,
+    }
 }
 
 fn print_summary(s: &GridSummary) {
@@ -225,7 +259,7 @@ fn print_summary(s: &GridSummary) {
 }
 
 fn grid_cmd(args: &[String]) {
-    let (spec, out, _) = parse_grid_spec(args, false);
+    let GridCli { spec, out, .. } = parse_grid_spec(args, false);
     match run_grid(&spec, &out, false) {
         Ok(summary) => print_summary(&summary),
         Err(e) => invalid(e),
@@ -273,6 +307,13 @@ struct ServiceFlags {
     queue_cap: usize,
     cache: Option<std::path::PathBuf>,
     cache_max: Option<usize>,
+    journal: Option<std::path::PathBuf>,
+    read_timeout_ms: u64,
+    write_timeout_ms: u64,
+    wait_ms: Option<u64>,
+    retries: u32,
+    timeout_ms: Option<u64>,
+    drain: bool,
 }
 
 impl ServiceFlags {
@@ -280,14 +321,22 @@ impl ServiceFlags {
     /// ones *other* service commands take — exits 2, matching the strict
     /// flag handling of the rest of the CLI).
     fn parse(args: &[String], allowed: &[&str]) -> ServiceFlags {
+        let defaults = ServiceConfig::default();
         let mut f = ServiceFlags {
             addr: DEFAULT_ADDR.into(),
             job: None,
             out: None,
             workers: 0,
-            queue_cap: ServiceConfig::default().queue_cap,
+            queue_cap: defaults.queue_cap,
             cache: None,
             cache_max: None,
+            journal: None,
+            read_timeout_ms: defaults.read_timeout_ms,
+            write_timeout_ms: defaults.write_timeout_ms,
+            wait_ms: None,
+            retries: 0,
+            timeout_ms: None,
+            drain: false,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -301,6 +350,23 @@ impl ServiceFlags {
             }
             match flag.as_str() {
                 "--addr" => f.addr = value(),
+                "--drain" => f.drain = true,
+                "--journal" => f.journal = Some(value().into()),
+                "--read-timeout-ms" => {
+                    f.read_timeout_ms =
+                        parse_or_exit(&value(), "--read-timeout-ms takes milliseconds (0 = none)")
+                }
+                "--write-timeout-ms" => {
+                    f.write_timeout_ms =
+                        parse_or_exit(&value(), "--write-timeout-ms takes milliseconds (0 = none)")
+                }
+                "--wait-ms" => {
+                    f.wait_ms = Some(parse_or_exit(&value(), "--wait-ms takes milliseconds"))
+                }
+                "--retries" => f.retries = parse_or_exit(&value(), "--retries takes an integer"),
+                "--timeout-ms" => {
+                    f.timeout_ms = Some(parse_or_exit(&value(), "--timeout-ms takes milliseconds"))
+                }
                 "--job" => f.job = Some(parse_or_exit(&value(), "--job takes an integer")),
                 "--out" => f.out = Some(value().into()),
                 "--workers" => f.workers = parse_or_exit(&value(), "--workers takes an integer"),
@@ -337,6 +403,9 @@ fn serve_cmd(args: &[String]) {
             "--queue-cap",
             "--cache",
             "--cache-max",
+            "--journal",
+            "--read-timeout-ms",
+            "--write-timeout-ms",
         ],
     );
     let server = Server::start(
@@ -346,6 +415,9 @@ fn serve_cmd(args: &[String]) {
             queue_cap: f.queue_cap,
             cache_path: f.cache,
             cache_max: f.cache_max,
+            journal_path: f.journal,
+            read_timeout_ms: f.read_timeout_ms,
+            write_timeout_ms: f.write_timeout_ms,
             ..ServiceConfig::default()
         },
     )
@@ -358,50 +430,70 @@ fn serve_cmd(args: &[String]) {
     println!("gncg_service stopped");
 }
 
-/// Streams daemon results into `out` **atomically**: write to a sibling
-/// `.partial` temp file, rename into place only on success — neither a
-/// refused submission nor a mid-stream failure (cancel, daemon shutdown,
-/// network drop) may destroy an existing results file. Shared by the
-/// `submit` and `tail` commands so the write discipline stays single-
-/// sourced; exits 2 on any failure.
-fn write_results_atomically(
+/// Streams daemon results into `out` **atomically and with retries**:
+/// each attempt connects fresh, writes to a sibling `.partial` temp file
+/// (truncated per attempt, so a torn earlier attempt never leaks bytes
+/// into a later one), and only a fully successful attempt is renamed
+/// into place — neither a refused submission nor a mid-stream failure
+/// (cancel, daemon crash, network drop) may destroy an existing results
+/// file. Shared by the `submit` and `tail` commands so the write and
+/// retry disciplines stay single-sourced; exits 2 once the policy is
+/// exhausted.
+fn stream_results_atomically<T>(
     out: &std::path::Path,
-    produce: impl FnOnce(&mut dyn std::io::Write) -> Result<gncg_service::StreamSummary, String>,
-) -> gncg_service::StreamSummary {
+    addr: &str,
+    policy: RetryPolicy,
+    mut produce: impl FnMut(&mut Client, &mut dyn std::io::Write) -> Result<T, String>,
+) -> T {
     let tmp = out.with_extension("jsonl.partial");
-    let file = std::fs::File::create(&tmp)
-        .unwrap_or_else(|e| invalid(format_args!("cannot create {}: {e}", tmp.display())));
-    let mut writer = std::io::BufWriter::new(file);
-    let produced = produce(&mut writer);
-    use std::io::Write as _;
-    let flushed = writer.flush();
-    let summary = match (produced, flushed) {
-        (Ok(summary), Ok(())) => summary,
-        (Err(e), _) => {
+    let result = policy.run(addr, |client| {
+        use std::io::Write as _;
+        // Local filesystem failures are not transport errors: they
+        // abort the retry loop immediately.
+        let file = std::fs::File::create(&tmp)
+            .map_err(|e| format!("cannot create {}: {e}", tmp.display()))?;
+        let mut writer = std::io::BufWriter::new(file);
+        let value = produce(client, &mut writer)?;
+        writer
+            .flush()
+            .map_err(|e| format!("cannot flush {}: {e}", tmp.display()))?;
+        Ok(value)
+    });
+    match result {
+        Ok(value) => {
+            std::fs::rename(&tmp, out).unwrap_or_else(|e| {
+                invalid(format_args!(
+                    "cannot move {} into place: {e}",
+                    tmp.display()
+                ))
+            });
+            value
+        }
+        Err(e) => {
             let _ = std::fs::remove_file(&tmp);
             invalid(e);
         }
-        (_, Err(e)) => {
-            let _ = std::fs::remove_file(&tmp);
-            invalid(format_args!("cannot flush {}: {e}", tmp.display()));
-        }
-    };
-    std::fs::rename(&tmp, out).unwrap_or_else(|e| {
-        invalid(format_args!(
-            "cannot move {} into place: {e}",
-            tmp.display()
-        ))
-    });
-    summary
+    }
 }
 
 fn submit_cmd(args: &[String]) {
-    let (spec, out, addr) = parse_grid_spec(args, true);
-    let addr = addr.unwrap_or_else(|| DEFAULT_ADDR.into());
-    let mut client = connect_or_exit(&addr);
+    let cli = parse_grid_spec(args, true);
+    let addr = cli.addr.clone().unwrap_or_else(|| DEFAULT_ADDR.into());
+    let policy = RetryPolicy {
+        retries: cli.retries,
+        timeout_ms: cli.timeout_ms,
+        ..RetryPolicy::default()
+    };
     let started = std::time::Instant::now();
-    let ack = client.submit(&spec).unwrap_or_else(|e| invalid(e));
-    let summary = write_results_atomically(&out, |w| client.stream_to(ack.job, w));
+    // Submit and stream are retried as one unit: re-submitting after a
+    // transport failure is safe because the daemon dedupes every cell by
+    // content digest — the retry re-acknowledges (a new job id, the same
+    // bytes) instead of re-simulating.
+    let (ack, summary) = stream_results_atomically(&cli.out, &addr, policy, |client, w| {
+        let ack = client.submit_with_deadline(&cli.spec, cli.deadline_ms)?;
+        let summary = client.stream_to(ack.job, w)?;
+        Ok((ack, summary))
+    });
     println!(
         "submit: job {} on {addr}: {} cells ({} cache hits, {} simulated) in {:.2}s",
         ack.job,
@@ -410,20 +502,31 @@ fn submit_cmd(args: &[String]) {
         summary.simulated,
         started.elapsed().as_secs_f64()
     );
-    println!("results: {}", out.display());
+    println!("results: {}", cli.out.display());
 }
 
 fn tail_cmd(args: &[String]) {
-    let f = ServiceFlags::parse(args, &["--addr", "--job", "--out"]);
+    let f = ServiceFlags::parse(
+        args,
+        &["--addr", "--job", "--out", "--retries", "--timeout-ms"],
+    );
     let job = f.job.unwrap_or_else(|| invalid("tail requires --job <id>"));
     let out = f
         .out
         .unwrap_or_else(|| invalid("tail requires --out <file.jsonl>"));
-    let mut client = connect_or_exit(&f.addr);
+    let policy = RetryPolicy {
+        retries: f.retries,
+        timeout_ms: f.timeout_ms,
+        ..RetryPolicy::default()
+    };
     let started = std::time::Instant::now();
     // The client re-sorts on receipt, so the renamed file is in cell
-    // order, byte-identical to a `stream`.
-    let summary = write_results_atomically(&out, |w| client.tail_to(job, w));
+    // order, byte-identical to a `stream`. Tail retries reconnect and
+    // re-tail from the start — results are immutable once recorded, so
+    // a retried tail returns the same bytes (and a journal-replaying
+    // daemon keeps the job id across restarts).
+    let summary =
+        stream_results_atomically(&out, &f.addr, policy, |client, w| client.tail_to(job, w));
     println!(
         "tail: job {job} on {}: {} cells ({} cache hits, {} simulated) in {:.2}s",
         f.addr,
@@ -433,6 +536,21 @@ fn tail_cmd(args: &[String]) {
         started.elapsed().as_secs_f64()
     );
     println!("results: {}", out.display());
+}
+
+fn ping_cmd(args: &[String]) {
+    let f = ServiceFlags::parse(args, &["--addr", "--wait-ms"]);
+    match f.wait_ms {
+        // `--wait-ms N`: poll until the daemon answers — the readiness
+        // gate scripts use after spawning `serve` instead of sleeping.
+        Some(wait_ms) => {
+            gncg_service::client::wait_for_daemon(&f.addr, wait_ms).unwrap_or_else(|e| invalid(e))
+        }
+        None => connect_or_exit(&f.addr)
+            .ping()
+            .unwrap_or_else(|e| invalid(e)),
+    }
+    println!("daemon {} is up", f.addr);
 }
 
 fn status_cmd(args: &[String]) {
@@ -449,13 +567,32 @@ fn status_cmd(args: &[String]) {
         None => {
             let s = client.daemon_status().unwrap_or_else(|e| invalid(e));
             println!(
-                "daemon {}: {} jobs held ({} active), {} done / {} canceled since start",
-                f.addr, s.jobs, s.active, s.done, s.canceled
+                "daemon {}: {} jobs held ({} active{}), {} done / {} canceled / {} expired since start",
+                f.addr,
+                s.jobs,
+                s.active,
+                if s.draining { ", draining" } else { "" },
+                s.done,
+                s.canceled,
+                s.expired,
             );
             println!(
-                "cache: {} entries, {} hits, {} misses",
-                s.cache_entries, s.cache_hits, s.cache_misses
+                "cache: {} entries, {} hits, {} misses{}",
+                s.cache_entries,
+                s.cache_hits,
+                s.cache_misses,
+                if s.cache_degraded {
+                    format!(" (DEGRADED: {} disk errors, memory-only)", s.cache_errors)
+                } else {
+                    String::new()
+                },
             );
+            if s.journal_errors > 0 {
+                println!(
+                    "journal: DEGRADED ({} append errors; accepted jobs no longer crash-durable)",
+                    s.journal_errors
+                );
+            }
             println!("workers: {}, queue cap: {}", s.workers, s.queue_cap);
         }
     }
@@ -472,10 +609,19 @@ fn cancel_cmd(args: &[String]) {
 }
 
 fn shutdown_cmd(args: &[String]) {
-    let f = ServiceFlags::parse(args, &["--addr"]);
+    let f = ServiceFlags::parse(args, &["--addr", "--drain"]);
     let mut client = connect_or_exit(&f.addr);
-    client.shutdown().unwrap_or_else(|e| invalid(e));
-    println!("daemon {} shutting down", f.addr);
+    if f.drain {
+        let active = client.shutdown_drain().unwrap_or_else(|e| invalid(e));
+        println!(
+            "daemon {} draining ({active} active job{} to finish)",
+            f.addr,
+            if active == 1 { "" } else { "s" }
+        );
+    } else {
+        client.shutdown().unwrap_or_else(|e| invalid(e));
+        println!("daemon {} shutting down", f.addr);
+    }
 }
 
 fn simulate(game: &Game, opts: &Options) {
@@ -633,11 +779,14 @@ fn usage_and_exit() -> ! {
          \n\
          service (newline-delimited JSON over TCP, see README):\n\
          serve:    [--addr 127.0.0.1:7421] [--workers K] [--queue-cap N] [--cache file] [--cache-max E]\n\
+         \x20         [--journal file] [--read-timeout-ms MS] [--write-timeout-ms MS]\n\
          submit:   --addr host:port --out results.jsonl [grid flags]\n\
-         tail:     --addr host:port --job ID --out results.jsonl  (lines as they finish, re-sorted)\n\
+         \x20         [--deadline-ms MS] [--retries K] [--timeout-ms MS]\n\
+         tail:     --addr host:port --job ID --out results.jsonl [--retries K] [--timeout-ms MS]\n\
+         ping:     [--addr host:port] [--wait-ms MS]  (poll until the daemon is up)\n\
          status:   --addr host:port [--job ID]\n\
          cancel:   --addr host:port --job ID\n\
-         shutdown: --addr host:port\n\
+         shutdown: --addr host:port [--drain]  (--drain: finish active jobs first)\n\
          \n\
          host keys: `gncg list-factories`"
     );

@@ -53,6 +53,10 @@ pub struct ResultCache {
     file: Option<BufWriter<fs::File>>,
     hits: u64,
     misses: u64,
+    /// Disk appends that failed (each drops the backing file — see
+    /// [`ResultCache::insert`] — so today this is 0 or 1; kept as a
+    /// counter so `status` reporting stays stable if that changes).
+    append_errors: u64,
 }
 
 /// Splits a [`CellResult::to_jsonl`] line into its positional prefix and
@@ -221,9 +225,13 @@ impl ResultCache {
             return Ok(());
         }
         if let Some(f) = self.file.as_mut() {
-            if let Err(e) = writeln!(f, "{TAG} {digest:016x} {rest}").and_then(|()| f.flush()) {
+            let written = crate::failpoint::check("cache.append")
+                .and_then(|()| writeln!(f, "{TAG} {digest:016x} {rest}"))
+                .and_then(|()| f.flush());
+            if let Err(e) = written {
                 eprintln!("gncg_service: cache file append failed ({e}); continuing memory-only");
                 self.file = None;
+                self.append_errors += 1;
             }
         }
         Ok(())
@@ -247,6 +255,18 @@ impl ResultCache {
     /// Lookups that missed so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Whether the cache lost its backing file to a disk-append failure
+    /// and is now serving from memory only (`status` reports this as
+    /// `cache_degraded`).
+    pub fn degraded(&self) -> bool {
+        self.append_errors > 0
+    }
+
+    /// Disk-append failures so far.
+    pub fn append_errors(&self) -> u64 {
+        self.append_errors
     }
 }
 
@@ -363,6 +383,26 @@ mod tests {
         assert_eq!(again.len(), 2);
         assert!(again.lookup(items[0].0).is_some());
         assert_eq!(fs::read_to_string(&path).unwrap(), compacted);
+    }
+
+    #[test]
+    fn disk_append_failure_degrades_to_memory_only() {
+        let path = tmp("degrade.cache");
+        let _ = fs::remove_file(&path);
+        let items = cells_and_results(2);
+        let mut cache = ResultCache::open(&path).unwrap();
+        assert!(!cache.degraded());
+        crate::failpoint::arm("cache.append", crate::failpoint::Action::Err, 1);
+        cache.insert(items[0].0, &items[0].2).unwrap();
+        crate::failpoint::disarm("cache.append");
+        assert!(cache.degraded());
+        assert_eq!(cache.append_errors(), 1);
+        // Memory still serves, and later inserts neither write nor
+        // re-count.
+        assert!(cache.lookup(items[0].0).is_some());
+        cache.insert(items[1].0, &items[1].2).unwrap();
+        assert_eq!(cache.append_errors(), 1);
+        assert_eq!(fs::read_to_string(&path).unwrap(), "");
     }
 
     #[test]

@@ -1,6 +1,25 @@
 //! The protocol client: a blocking line-oriented wrapper around one TCP
 //! connection, used by the `gncg submit`/`status`/`shutdown` subcommands,
 //! the integration tests, and the `service_roundtrip` benchmark.
+//!
+//! # Error taxonomy and retries
+//!
+//! Client errors stay plain `String`s, but **transport** failures —
+//! connect refused, timeouts, the daemon vanishing mid-response — are
+//! tagged with a `transport:` prefix ([`is_transport_error`]). The
+//! distinction is what makes retrying safe to automate: a transport
+//! error means the *channel* failed and the operation may be retried
+//! against a (possibly restarted) daemon, while an untagged error is the
+//! daemon *answering* with a refusal — retrying would just repeat it.
+//!
+//! [`RetryPolicy`] packages the loop: reconnect per attempt, jittered
+//! exponential backoff between attempts, retry only on transport
+//! errors. Every protocol op is idempotent under it: `ping`/`status`
+//! trivially, `stream`/`tail` because results are immutable once
+//! recorded, and `submit` because `cell_digest`
+//! (`gncg_suite::scenario::cell_digest`) dedupes re-submitted cells via
+//! the result cache (a retried submit re-acknowledges cheaply and
+//! byte-identically).
 
 use std::io::{BufRead as _, BufReader, BufWriter, Write};
 use std::net::TcpStream;
@@ -9,6 +28,13 @@ use gncg_suite::scenario::ScenarioSpec;
 
 use crate::json::{parse, Value};
 use crate::protocol::{is_control_line, Request};
+
+/// Whether a client error is a transport failure (connection, timeout,
+/// torn response) — retryable — as opposed to a daemon refusal, which
+/// retrying would only repeat.
+pub fn is_transport_error(err: &str) -> bool {
+    err.starts_with("transport:")
+}
 
 /// Acknowledgement of a `submit`.
 #[derive(Clone, Copy, Debug)]
@@ -47,12 +73,25 @@ pub struct DaemonStatus {
     pub done: u64,
     /// Jobs canceled since startup.
     pub canceled: u64,
+    /// Jobs expired (deadline exceeded) since startup.
+    pub expired: u64,
     /// Result-cache entries held.
     pub cache_entries: usize,
     /// Cache lookups that hit, since startup.
     pub cache_hits: u64,
     /// Cache lookups that missed, since startup.
     pub cache_misses: u64,
+    /// Whether the result cache lost its backing file to a disk-append
+    /// failure and now serves from memory only.
+    pub cache_degraded: bool,
+    /// Cache disk-append failures since startup.
+    pub cache_errors: u64,
+    /// Journal append failures since startup (non-zero means accepted
+    /// jobs are no longer crash-durable).
+    pub journal_errors: u64,
+    /// Whether the daemon is draining (`shutdown --drain` received;
+    /// active jobs finishing, new submits refused).
+    pub draining: bool,
     /// Worker threads.
     pub workers: usize,
     /// Active-job cap.
@@ -80,14 +119,30 @@ pub struct Client {
 impl Client {
     /// Connects to a daemon.
     pub fn connect(addr: &str) -> Result<Client, String> {
-        let stream =
-            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        Client::connect_with(addr, None)
+    }
+
+    /// Connects with an optional per-read timeout. The timeout is
+    /// opt-in because `stream`/`tail` responses legitimately block for
+    /// as long as the job computes — set it for control-plane calls (or
+    /// pass a bound generous enough for the expected compute).
+    ///
+    /// Writes always carry a generous timeout: a client write only
+    /// blocks when the daemon has stopped reading entirely, and hanging
+    /// forever on a dead peer is the failure mode this PR removes.
+    pub fn connect_with(addr: &str, read_timeout_ms: Option<u64>) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| format!("transport: cannot connect to {addr}: {e}"))?;
         // See the accept loop: line-oriented RPC needs TCP_NODELAY or
         // Nagle + delayed ACK costs ~40 ms per consecutive small write.
         let _ = stream.set_nodelay(true);
+        if let Some(ms) = read_timeout_ms.filter(|&ms| ms > 0) {
+            let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(ms)));
+        }
+        let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(60)));
         let read_half = stream
             .try_clone()
-            .map_err(|e| format!("cannot clone connection: {e}"))?;
+            .map_err(|e| format!("transport: cannot clone connection: {e}"))?;
         Ok(Client {
             reader: BufReader::new(read_half),
             writer: BufWriter::new(stream),
@@ -97,15 +152,15 @@ impl Client {
     fn send(&mut self, req: &Request) -> Result<(), String> {
         writeln!(self.writer, "{}", req.to_line())
             .and_then(|()| self.writer.flush())
-            .map_err(|e| format!("send failed: {e}"))
+            .map_err(|e| format!("transport: send failed: {e}"))
     }
 
     fn read_raw_line(&mut self) -> Result<String, String> {
         let mut line = String::new();
         match self.reader.read_line(&mut line) {
-            Ok(0) => Err("connection closed by daemon".into()),
+            Ok(0) => Err("transport: connection closed by daemon".into()),
             Ok(_) => Ok(line.trim_end_matches(['\n', '\r']).to_string()),
-            Err(e) => Err(format!("read failed: {e}")),
+            Err(e) => Err(format!("transport: read failed: {e}")),
         }
     }
 
@@ -136,7 +191,21 @@ impl Client {
 
     /// Submits a grid; the daemon starts executing immediately.
     pub fn submit(&mut self, spec: &ScenarioSpec) -> Result<SubmitAck, String> {
-        let v = self.roundtrip(&Request::Submit(spec.clone()))?;
+        self.submit_with_deadline(spec, None)
+    }
+
+    /// Submits a grid with an optional wall-clock deadline (milliseconds
+    /// from acceptance): the daemon expires the job — state `expired`,
+    /// streams receive an error footer — if it overruns.
+    pub fn submit_with_deadline(
+        &mut self,
+        spec: &ScenarioSpec,
+        deadline_ms: Option<u64>,
+    ) -> Result<SubmitAck, String> {
+        let v = self.roundtrip(&Request::Submit {
+            spec: spec.clone(),
+            deadline_ms,
+        })?;
         Ok(SubmitAck {
             job: need_u64(&v, "job")?,
             cells: need_u64(&v, "cells")? as usize,
@@ -168,9 +237,14 @@ impl Client {
             active: need_u64(&v, "active")? as usize,
             done: need_u64(&v, "done")?,
             canceled: need_u64(&v, "canceled")?,
+            expired: need_u64(&v, "expired")?,
             cache_entries: need_u64(&v, "cache_entries")? as usize,
             cache_hits: need_u64(&v, "cache_hits")?,
             cache_misses: need_u64(&v, "cache_misses")?,
+            cache_degraded: need_bool(&v, "cache_degraded")?,
+            cache_errors: need_u64(&v, "cache_errors")?,
+            journal_errors: need_u64(&v, "journal_errors")?,
+            draining: need_bool(&v, "draining")?,
             workers: need_u64(&v, "workers")? as usize,
             queue_cap: need_u64(&v, "queue_cap")? as usize,
         })
@@ -281,14 +355,133 @@ impl Client {
         Ok((ack, summary))
     }
 
-    /// Asks the daemon to shut down.
+    /// Asks the daemon to shut down after in-flight cells settle
+    /// (queued work is dropped; journaled jobs replay on restart).
     pub fn shutdown(&mut self) -> Result<(), String> {
-        self.roundtrip(&Request::Shutdown).map(|_| ())
+        self.roundtrip(&Request::Shutdown { drain: false })
+            .map(|_| ())
     }
+
+    /// Asks the daemon to drain: finish every active job (each bounded
+    /// by its own deadline) and then exit, refusing new submits in the
+    /// meantime. Returns how many jobs were active when draining began.
+    pub fn shutdown_drain(&mut self) -> Result<u64, String> {
+        let v = self.roundtrip(&Request::Shutdown { drain: true })?;
+        need_u64(&v, "active")
+    }
+}
+
+/// Polls `addr` until the daemon answers a ping or `wait_ms` elapses —
+/// the `gncg ping --wait-ms` primitive scripts use instead of racing a
+/// freshly spawned `serve` with sleeps.
+pub fn wait_for_daemon(addr: &str, wait_ms: u64) -> Result<(), String> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(wait_ms);
+    loop {
+        let err = match Client::connect(addr).and_then(|mut c| c.ping()) {
+            Ok(()) => return Ok(()),
+            Err(e) => e,
+        };
+        if std::time::Instant::now() >= deadline {
+            return Err(format!(
+                "daemon at {addr} not up within {wait_ms} ms: {err}"
+            ));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+}
+
+/// The retry loop for idempotent operations: reconnect per attempt,
+/// jittered exponential backoff between attempts, retry only on
+/// [`is_transport_error`] failures (daemon refusals surface
+/// immediately).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = one attempt, no retry).
+    pub retries: u32,
+    /// Base backoff; attempt `k` sleeps `base << k` (capped at 5 s)
+    /// plus up to half that again in deterministic jitter, so a fleet
+    /// of clients retrying the same dead daemon doesn't reconnect in
+    /// lockstep.
+    pub backoff_base_ms: u64,
+    /// Per-read timeout for each attempt's connection (`None` = block;
+    /// see [`Client::connect_with`]).
+    pub timeout_ms: Option<u64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 0,
+            backoff_base_ms: 100,
+            timeout_ms: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Runs `op` against a fresh connection to `addr`, retrying
+    /// transport failures up to `retries` times. `op` must be
+    /// idempotent — every protocol op is (see the module docs) —
+    /// because a transport error leaves unknown how much of the
+    /// previous attempt the daemon processed.
+    pub fn run<T>(
+        &self,
+        addr: &str,
+        mut op: impl FnMut(&mut Client) -> Result<T, String>,
+    ) -> Result<T, String> {
+        let mut attempt = 0u32;
+        loop {
+            let err = match Client::connect_with(addr, self.timeout_ms) {
+                Ok(mut client) => match op(&mut client) {
+                    Ok(v) => return Ok(v),
+                    Err(e) if is_transport_error(&e) => e,
+                    Err(e) => return Err(e),
+                },
+                Err(e) => e,
+            };
+            if attempt >= self.retries {
+                return Err(if self.retries > 0 {
+                    format!("{err} (after {} attempts)", self.retries + 1)
+                } else {
+                    err
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(self.backoff_ms(attempt)));
+            attempt += 1;
+        }
+    }
+
+    /// Backoff for attempt `k`: exponential, capped, plus deterministic
+    /// splitmix jitter in `[0, delay/2)`.
+    fn backoff_ms(&self, attempt: u32) -> u64 {
+        let base = self
+            .backoff_base_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(5_000);
+        let jitter_span = (base / 2).max(1);
+        let seed = u64::from(std::process::id()) ^ (u64::from(attempt) << 32);
+        base + splitmix64(seed) % jitter_span
+    }
+}
+
+/// The same mixer the scenario layer seeds cells with — enough entropy
+/// to decorrelate retry storms without a rand dependency.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 fn need_u64(v: &Value, key: &str) -> Result<u64, String> {
     v.get(key)
         .and_then(Value::as_u64)
+        .ok_or_else(|| format!("daemon response missing \"{key}\""))
+}
+
+fn need_bool(v: &Value, key: &str) -> Result<bool, String> {
+    v.get(key)
+        .and_then(Value::as_bool)
         .ok_or_else(|| format!("daemon response missing \"{key}\""))
 }

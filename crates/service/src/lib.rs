@@ -12,7 +12,12 @@
 //!   jobs), ordered streaming,
 //! * [`cache`] — the content-addressed result cache (splitmix64 cell
 //!   digests → JSONL line rests; memory, optionally disk-backed),
-//! * [`client`] — the blocking client,
+//! * [`journal`] — the job write-ahead log: accepted submits are fsync'd
+//!   before acknowledgement and replayed after a crash,
+//! * [`client`] — the blocking client, with a retry/backoff layer for
+//!   idempotent operations ([`RetryPolicy`]),
+//! * [`failpoint`] — deterministic fault injection for the chaos suite
+//!   (compiled to nothing without the `failpoints` feature),
 //! * [`json`] — the minimal JSON layer everything above parses with.
 //!
 //! The determinism contract the whole stack inherits from
@@ -25,9 +30,11 @@
 
 pub mod cache;
 pub mod client;
+pub mod failpoint;
+pub mod journal;
 pub mod json;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, DaemonStatus, JobStatus, StreamSummary, SubmitAck};
+pub use client::{Client, DaemonStatus, JobStatus, RetryPolicy, StreamSummary, SubmitAck};
 pub use server::{Server, ServiceConfig};

@@ -24,11 +24,21 @@
 //! {"op":"cancel","job":1}
 //! {"op":"ping"}
 //! {"op":"shutdown"}
+//! {"op":"shutdown","drain":true}
 //! ```
 //!
 //! Spec members mirror [`ScenarioSpec`]; absent members take the spec
 //! defaults ([`ScenarioSpec::default`]), so `{"op":"submit","spec":{}}`
-//! is a valid one-cell submission.
+//! is a valid one-cell submission. A submit may additionally carry
+//! `"deadline_ms":N` — a wall-clock budget for the whole job, after
+//! which the daemon expires it (state `"expired"`, streams receive an
+//! error footer). The deadline lives in the *protocol*, not the spec:
+//! it does not participate in `cell_digest`
+//! (`gncg_suite::scenario::cell_digest`), manifests, or result bytes.
+//!
+//! `shutdown` with `"drain":true` finishes the active jobs (each still
+//! bounded by its own deadline) before exiting, refusing new submits in
+//! the meantime; without it the daemon stops after in-flight cells only.
 //!
 //! # Responses
 //!
@@ -62,7 +72,13 @@ use crate::json::{escape, parse, Value};
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Submit a scenario grid as a new job.
-    Submit(ScenarioSpec),
+    Submit {
+        /// The grid to run.
+        spec: ScenarioSpec,
+        /// Optional wall-clock budget for the whole job, in
+        /// milliseconds from acceptance; overrunning jobs are expired.
+        deadline_ms: Option<u64>,
+    },
     /// Job status (`job` set) or daemon-wide status (`job` absent).
     Status {
         /// The job to report on, if any.
@@ -88,7 +104,12 @@ pub enum Request {
     /// Liveness probe.
     Ping,
     /// Stop accepting connections and exit once in-flight work settles.
-    Shutdown,
+    Shutdown {
+        /// With `drain`, finish every active job (bounded by job
+        /// deadlines) before exiting instead of dropping the queue; new
+        /// submits are refused while draining.
+        drain: bool,
+    },
 }
 
 impl Request {
@@ -109,7 +130,14 @@ impl Request {
         match op {
             "submit" => {
                 let spec = v.get("spec").ok_or("submit requires a \"spec\" member")?;
-                Ok(Request::Submit(spec_from_value(spec)?))
+                let deadline_ms = match v.get("deadline_ms") {
+                    Some(d) => Some(d.as_u64().ok_or("\"deadline_ms\" must be a u64")?),
+                    None => None,
+                };
+                Ok(Request::Submit {
+                    spec: spec_from_value(spec)?,
+                    deadline_ms,
+                })
             }
             "status" => Ok(Request::Status { job: job(false)? }),
             "stream" => Ok(Request::Stream {
@@ -122,7 +150,13 @@ impl Request {
                 job: job(true)?.unwrap(),
             }),
             "ping" => Ok(Request::Ping),
-            "shutdown" => Ok(Request::Shutdown),
+            "shutdown" => {
+                let drain = match v.get("drain") {
+                    Some(d) => d.as_bool().ok_or("\"drain\" must be a boolean")?,
+                    None => false,
+                };
+                Ok(Request::Shutdown { drain })
+            }
             other => Err(format!("unknown op '{other}'")),
         }
     }
@@ -130,16 +164,27 @@ impl Request {
     /// Serializes the request as its wire line (no trailing newline).
     pub fn to_line(&self) -> String {
         match self {
-            Request::Submit(spec) => {
+            Request::Submit {
+                spec,
+                deadline_ms: None,
+            } => {
                 format!("{{\"op\":\"submit\",\"spec\":{}}}", spec_to_json(spec))
             }
+            Request::Submit {
+                spec,
+                deadline_ms: Some(ms),
+            } => format!(
+                "{{\"op\":\"submit\",\"spec\":{},\"deadline_ms\":{ms}}}",
+                spec_to_json(spec)
+            ),
             Request::Status { job: Some(j) } => format!("{{\"op\":\"status\",\"job\":{j}}}"),
             Request::Status { job: None } => "{\"op\":\"status\"}".into(),
             Request::Stream { job } => format!("{{\"op\":\"stream\",\"job\":{job}}}"),
             Request::Tail { job } => format!("{{\"op\":\"tail\",\"job\":{job}}}"),
             Request::Cancel { job } => format!("{{\"op\":\"cancel\",\"job\":{job}}}"),
             Request::Ping => "{\"op\":\"ping\"}".into(),
-            Request::Shutdown => "{\"op\":\"shutdown\"}".into(),
+            Request::Shutdown { drain: false } => "{\"op\":\"shutdown\"}".into(),
+            Request::Shutdown { drain: true } => "{\"op\":\"shutdown\",\"drain\":true}".into(),
         }
     }
 }
@@ -291,14 +336,30 @@ mod tests {
         // manifest-legal name for the validated round trip…
         let mut legal = s.clone();
         legal.name = "wire name".into();
-        let line = Request::Submit(legal.clone()).to_line();
-        match Request::parse_line(&line).unwrap() {
-            Request::Submit(back) => assert_eq!(back, legal),
-            other => panic!("wrong request {other:?}"),
+        for deadline_ms in [None, Some(1500u64), Some(u64::MAX)] {
+            let line = Request::Submit {
+                spec: legal.clone(),
+                deadline_ms,
+            }
+            .to_line();
+            match Request::parse_line(&line).unwrap() {
+                Request::Submit {
+                    spec: back,
+                    deadline_ms: back_deadline,
+                } => {
+                    assert_eq!(back, legal);
+                    assert_eq!(back_deadline, deadline_ms);
+                }
+                other => panic!("wrong request {other:?}"),
+            }
         }
         // …and check raw escaping survives parse → spec (validation
         // rejects the newline, which is itself the right behavior).
-        let raw = Request::Submit(s).to_line();
+        let raw = Request::Submit {
+            spec: s,
+            deadline_ms: None,
+        }
+        .to_line();
         assert!(Request::parse_line(&raw).is_err(), "newline names invalid");
     }
 
@@ -306,7 +367,10 @@ mod tests {
     fn sparse_spec_takes_defaults() {
         let line = r#"{"op":"submit","spec":{"hosts":["unit"],"ns":[4]}}"#;
         match Request::parse_line(line).unwrap() {
-            Request::Submit(spec) => {
+            Request::Submit {
+                spec,
+                deadline_ms: None,
+            } => {
                 assert_eq!(spec.hosts, vec!["unit".to_string()]);
                 assert_eq!(spec.ns, vec![4]);
                 let d = ScenarioSpec::default();
@@ -327,7 +391,8 @@ mod tests {
             Request::Tail { job: 9 },
             Request::Cancel { job: u64::MAX },
             Request::Ping,
-            Request::Shutdown,
+            Request::Shutdown { drain: false },
+            Request::Shutdown { drain: true },
         ] {
             assert_eq!(Request::parse_line(&req.to_line()).unwrap(), req);
         }
@@ -347,6 +412,9 @@ mod tests {
             r#"{"op":"submit","spec":{"hosts":["bogus-factory"]}}"#,
             r#"{"op":"submit","spec":{"ns":[0]}}"#,
             r#"{"op":"submit","spec":{"alphas":[]}}"#,
+            r#"{"op":"submit","spec":{},"deadline_ms":"soon"}"#,
+            r#"{"op":"submit","spec":{},"deadline_ms":-5}"#,
+            r#"{"op":"shutdown","drain":"yes"}"#,
         ] {
             assert!(Request::parse_line(bad).is_err(), "{bad:?}");
         }

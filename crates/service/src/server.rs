@@ -40,6 +40,8 @@ use gncg_suite::scenario::{cell_digest, Cell, Runner, ScenarioSpec};
 use gncg_suite::sink::JsonlSink;
 
 use crate::cache::{stamp_line, ResultCache};
+use crate::failpoint;
+use crate::journal::Journal;
 use crate::protocol::{error_line, Request};
 
 /// Daemon tuning knobs.
@@ -61,6 +63,20 @@ pub struct ServiceConfig {
     /// When set, least-recently-used entries are evicted and the disk
     /// file (if any) is compacted to the cap at startup.
     pub cache_max: Option<usize>,
+    /// Optional job journal (write-ahead log): accepted submits are
+    /// fsync'd here before acknowledgement and unfinished jobs are
+    /// replayed (re-enqueued under their original ids) on restart.
+    pub journal_path: Option<PathBuf>,
+    /// Per-connection read timeout in milliseconds (0 = none). This is
+    /// an *idle* bound — a client that sends nothing for this long (or
+    /// a half-open connection whose peer silently died) is dropped; it
+    /// never interrupts an in-progress stream, where the server only
+    /// writes.
+    pub read_timeout_ms: u64,
+    /// Per-connection write timeout in milliseconds (0 = none). Bounds
+    /// how long one blocked write to a slow (or stalled) reader may
+    /// hold a handler thread and its pinned job.
+    pub write_timeout_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -72,6 +88,9 @@ impl Default for ServiceConfig {
             max_job_cells: 1 << 20,
             cache_path: None,
             cache_max: None,
+            journal_path: None,
+            read_timeout_ms: 600_000,
+            write_timeout_ms: 60_000,
         }
     }
 }
@@ -83,6 +102,8 @@ enum JobState {
     Running,
     Done,
     Canceled,
+    /// The job's wall-clock deadline passed before it finished.
+    Expired,
 }
 
 impl JobState {
@@ -92,11 +113,25 @@ impl JobState {
             JobState::Running => "running",
             JobState::Done => "done",
             JobState::Canceled => "canceled",
+            JobState::Expired => "expired",
         }
     }
 
     fn finished(self) -> bool {
-        matches!(self, JobState::Done | JobState::Canceled)
+        matches!(
+            self,
+            JobState::Done | JobState::Canceled | JobState::Expired
+        )
+    }
+
+    /// The error message streams report when a job ends in this state
+    /// without delivering every cell.
+    fn abort_reason(self) -> &'static str {
+        match self {
+            JobState::Canceled => "job canceled",
+            JobState::Expired => "job deadline exceeded",
+            _ => "job aborted",
+        }
     }
 }
 
@@ -115,12 +150,17 @@ struct Job {
     simulated: usize,
     /// Streams currently reading this job (pinned jobs are never pruned).
     pinned: usize,
+    /// Wall-clock instant after which the job expires (`None` = no
+    /// deadline). Checked lazily at worker pops, stream waits, and
+    /// status calls — cells are never interrupted mid-simulation.
+    deadline: Option<std::time::Instant>,
 }
 
 #[derive(Debug, Default)]
 struct Counters {
     done_jobs: u64,
     canceled_jobs: u64,
+    expired_jobs: u64,
 }
 
 #[derive(Debug)]
@@ -129,9 +169,17 @@ struct Inner {
     queue: VecDeque<(u64, usize)>,
     next_job: u64,
     active_jobs: usize,
+    /// Active jobs carrying a deadline — the lazy expiry scan early-outs
+    /// when this is zero, so deadline-free workloads pay nothing.
+    deadline_jobs: usize,
     cache: ResultCache,
+    journal: Journal,
     counters: Counters,
     shutting_down: bool,
+    /// Draining (`shutdown --drain`): active jobs run to completion
+    /// (bounded by their deadlines) but new submits are refused; the
+    /// last job to finish initiates the actual shutdown.
+    draining: bool,
 }
 
 #[derive(Debug)]
@@ -175,16 +223,72 @@ impl Server {
             Some(p) => ResultCache::open_with(p, cfg.cache_max)?,
             None => ResultCache::in_memory_with(cfg.cache_max),
         };
+        let (journal, replayed, max_journal_job) = match &cfg.journal_path {
+            Some(p) => Journal::open(p)?,
+            None => (Journal::disabled(), Vec::new(), 0),
+        };
+        let mut inner = Inner {
+            jobs: BTreeMap::new(),
+            queue: VecDeque::new(),
+            next_job: max_journal_job + 1,
+            active_jobs: 0,
+            deadline_jobs: 0,
+            cache,
+            journal,
+            counters: Counters::default(),
+            shutting_down: false,
+            draining: false,
+        };
+        // Re-enqueue journaled jobs that never reached a terminal state,
+        // under their original ids — a client whose `tail --job N`
+        // connection died with the old process reconnects and finds its
+        // job again. Replay happens before the workers spawn, so the
+        // replayed queue order (submit order) is what they see first.
+        let replayed_count = replayed.len();
+        for job in replayed {
+            let total = match job.spec.checked_cell_count() {
+                Some(t) if t <= cfg.max_job_cells => t,
+                // The cell cap shrank across the restart: drop the job
+                // (recording the drop so the next replay skips it too)
+                // rather than refusing to start.
+                _ => {
+                    eprintln!(
+                        "gncg_service: journaled job {} exceeds the {}-cell cap; dropping",
+                        job.job, cfg.max_job_cells
+                    );
+                    inner.journal.record_cancel(job.job);
+                    continue;
+                }
+            };
+            let cells = job.spec.expand();
+            let deadline = arm_deadline(job.deadline_ms);
+            if deadline.is_some() {
+                inner.deadline_jobs += 1;
+            }
+            inner.jobs.insert(
+                job.job,
+                Job {
+                    lines: vec![None; total],
+                    finished: Vec::with_capacity(total),
+                    cells,
+                    state: JobState::Queued,
+                    done: 0,
+                    cache_hits: 0,
+                    simulated: 0,
+                    pinned: 0,
+                    deadline,
+                },
+            );
+            inner.active_jobs += 1;
+            for idx in 0..total {
+                inner.queue.push_back((job.job, idx));
+            }
+        }
+        if replayed_count > 0 {
+            eprintln!("gncg_service: replayed {replayed_count} unfinished job(s) from the journal");
+        }
         let shared = Arc::new(Shared {
-            inner: Mutex::new(Inner {
-                jobs: BTreeMap::new(),
-                queue: VecDeque::new(),
-                next_job: 1,
-                active_jobs: 0,
-                cache,
-                counters: Counters::default(),
-                shutting_down: false,
-            }),
+            inner: Mutex::new(inner),
             work: Condvar::new(),
             progress: Condvar::new(),
             cfg,
@@ -239,19 +343,34 @@ impl Server {
     }
 }
 
+/// Converts a submit's millisecond budget into the absolute expiry
+/// instant. A budget too large to represent is no deadline at all.
+fn arm_deadline(deadline_ms: Option<u64>) -> Option<std::time::Instant> {
+    deadline_ms
+        .and_then(|ms| std::time::Instant::now().checked_add(std::time::Duration::from_millis(ms)))
+}
+
 fn initiate_shutdown(shared: &Shared) {
-    {
-        let mut g = shared.inner.lock().unwrap();
-        if g.shutting_down {
-            return;
-        }
-        g.shutting_down = true;
+    let mut g = shared.inner.lock().unwrap();
+    initiate_shutdown_locked(&mut g, shared);
+}
+
+/// The body of shutdown initiation, callable with the state lock held
+/// (drain completion discovers "last job finished" under the lock).
+/// Idempotent.
+fn initiate_shutdown_locked(g: &mut Inner, shared: &Shared) {
+    if g.shutting_down {
+        return;
     }
+    g.shutting_down = true;
     shared.work.notify_all();
     shared.progress.notify_all();
     // Unblock the accept loop with a throwaway connection. A wildcard
     // bind (0.0.0.0 / ::) is not itself connectable on every platform —
-    // poke the loopback of the same family instead.
+    // poke the loopback of the same family instead. (Safe under the
+    // lock: the TCP handshake completes in the kernel's backlog without
+    // the accept thread running, so this never waits on a thread that
+    // could be waiting on us.)
     let mut poke = shared.addr;
     if poke.ip().is_unspecified() {
         poke.set_ip(match poke.ip() {
@@ -262,6 +381,41 @@ fn initiate_shutdown(shared: &Shared) {
     let _ = TcpStream::connect_timeout(&poke, std::time::Duration::from_secs(1));
 }
 
+/// If draining and the last active job just finished, shut down.
+fn check_drain(g: &mut Inner, shared: &Shared) {
+    if g.draining && g.active_jobs == 0 {
+        initiate_shutdown_locked(g, shared);
+    }
+}
+
+/// Expires every active job whose deadline has passed: the job's queued
+/// cells are discarded, streams are woken to report the expiry, and the
+/// journal records it. Cells already being simulated are never
+/// interrupted (their results land in the cache; the job stays expired).
+fn expire_overdue(g: &mut Inner, shared: &Shared) {
+    if g.deadline_jobs == 0 {
+        return;
+    }
+    let now = std::time::Instant::now();
+    let overdue: Vec<u64> = g
+        .jobs
+        .iter()
+        .filter(|(_, j)| !j.state.finished() && j.deadline.is_some_and(|d| d <= now))
+        .map(|(&id, _)| id)
+        .collect();
+    for id in overdue {
+        let job = g.jobs.get_mut(&id).expect("collected above");
+        job.state = JobState::Expired;
+        g.queue.retain(|&(j, _)| j != id);
+        g.active_jobs -= 1;
+        g.deadline_jobs -= 1;
+        g.counters.expired_jobs += 1;
+        g.journal.record_expire(id);
+        shared.progress.notify_all();
+    }
+    check_drain(g, shared);
+}
+
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     loop {
         let conn = listener.accept();
@@ -270,11 +424,30 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         }
         match conn {
             Ok((stream, _)) => {
+                // Injected accept-time failure: the client sees an
+                // immediate disconnect — the shape a crash between
+                // accept and first read leaves behind.
+                if failpoint::check("accept.conn").is_err() {
+                    continue;
+                }
                 // Request/response lines are tiny; without TCP_NODELAY the
                 // Nagle/delayed-ACK interaction stalls every second small
                 // write by ~40 ms, dwarfing the actual request cost (the
                 // `service_roundtrip` bench guards this).
                 let _ = stream.set_nodelay(true);
+                // Hang protection on both directions (see the config
+                // docs: read = idle/half-open bound, write = slow-reader
+                // bound; neither interrupts a healthy stream).
+                if shared.cfg.read_timeout_ms > 0 {
+                    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(
+                        shared.cfg.read_timeout_ms,
+                    )));
+                }
+                if shared.cfg.write_timeout_ms > 0 {
+                    let _ = stream.set_write_timeout(Some(std::time::Duration::from_millis(
+                        shared.cfg.write_timeout_ms,
+                    )));
+                }
                 let shared = Arc::clone(shared);
                 // Handler threads are detached: they end when their client
                 // disconnects (or after serving `shutdown`), and the shared
@@ -315,18 +488,21 @@ fn worker_loop(shared: &Shared) {
                 drop(g);
                 g = shared.inner.lock().unwrap();
             }
+            expire_overdue(&mut g, shared);
             match g.queue.pop_front() {
                 Some((job_id, idx)) => {
                     let Some(job) = g.jobs.get(&job_id) else {
                         continue;
                     };
-                    if job.state == JobState::Canceled {
+                    if job.state.finished() {
+                        // Canceled or expired while queued: skip.
                         continue;
                     }
                     let cell = job.cells[idx].clone();
                     let digest = cell_digest(&cell);
                     if let Some(rest) = g.cache.lookup(digest) {
                         record_line(&mut g, shared, job_id, idx, stamp_line(idx, &rest), true);
+                        check_drain(&mut g, shared);
                         inline_hits += 1;
                         continue;
                     }
@@ -344,23 +520,28 @@ fn worker_loop(shared: &Shared) {
             runner.recycle();
         }
         last_job = Some(job_id);
+        // `worker.cell` is the per-simulated-cell injection site: `abort`
+        // here is the canonical kill-mid-job (the chaos suite's crash
+        // scenario); an injected error or delay just perturbs timing —
+        // the cell still runs, because cells cannot fail.
+        let _ = failpoint::check("worker.cell");
         let result = runner.run_cell(&cell);
 
         g = shared.inner.lock().unwrap();
         let _ = g.cache.insert(cell_digest(&cell), &result);
-        // The job may have been canceled (or pruned) while we simulated;
-        // the cache insert above still makes the work reusable.
-        if g.jobs
-            .get(&job_id)
-            .is_some_and(|j| j.state != JobState::Canceled)
-        {
+        // The job may have been canceled/expired (or pruned) while we
+        // simulated; the cache insert above still makes the work
+        // reusable.
+        if g.jobs.get(&job_id).is_some_and(|j| !j.state.finished()) {
             record_line(&mut g, shared, job_id, idx, result.to_jsonl(), false);
+            check_drain(&mut g, shared);
         }
     }
 }
 
 /// Records a finished line into its job slot, updating completion
-/// bookkeeping and waking streamers.
+/// bookkeeping and waking streamers. Callers follow up with
+/// [`check_drain`] — a completion here may have been the drain's last.
 fn record_line(
     g: &mut MutexGuard<'_, Inner>,
     shared: &Shared,
@@ -383,8 +564,13 @@ fn record_line(
     }
     if job.done == job.cells.len() {
         job.state = JobState::Done;
+        let had_deadline = job.deadline.is_some();
         g.active_jobs -= 1;
+        if had_deadline {
+            g.deadline_jobs -= 1;
+        }
         g.counters.done_jobs += 1;
+        g.journal.record_done(job_id);
     }
     shared.progress.notify_all();
 }
@@ -424,8 +610,8 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         let reply_and_continue = match Request::parse_line(trimmed) {
             Err(e) => write_line(&mut writer, &error_line(&e)),
             Ok(Request::Ping) => write_line(&mut writer, "{\"ok\":true,\"pong\":true}"),
-            Ok(Request::Submit(spec)) => {
-                let resp = submit(shared, spec);
+            Ok(Request::Submit { spec, deadline_ms }) => {
+                let resp = submit(shared, spec, deadline_ms);
                 write_line(&mut writer, &resp)
             }
             Ok(Request::Status { job }) => {
@@ -438,9 +624,29 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             }
             Ok(Request::Stream { job }) => stream_job(shared, &mut writer, job, false),
             Ok(Request::Tail { job }) => stream_job(shared, &mut writer, job, true),
-            Ok(Request::Shutdown) => {
+            Ok(Request::Shutdown { drain: false }) => {
                 let _ = write_line(&mut writer, "{\"ok\":true,\"shutdown\":true}");
                 initiate_shutdown(shared);
+                return;
+            }
+            Ok(Request::Shutdown { drain: true }) => {
+                let active = {
+                    let mut g = shared.inner.lock().unwrap();
+                    g.draining = true;
+                    g.active_jobs
+                };
+                // Reply *before* checking for drain completion: at zero
+                // active jobs check_drain shuts the process down, and an
+                // exiting process races this (detached) handler thread's
+                // reply flush.
+                let _ = write_line(
+                    &mut writer,
+                    &format!(
+                        "{{\"ok\":true,\"shutdown\":true,\"draining\":true,\"active\":{active}}}"
+                    ),
+                );
+                let mut g = shared.inner.lock().unwrap();
+                check_drain(&mut g, shared);
                 return;
             }
         };
@@ -456,7 +662,7 @@ fn write_line(writer: &mut impl std::io::Write, line: &str) -> Result<(), ()> {
         .map_err(|_| ())
 }
 
-fn submit(shared: &Shared, spec: ScenarioSpec) -> String {
+fn submit(shared: &Shared, spec: ScenarioSpec, deadline_ms: Option<u64>) -> String {
     // Size-check the grid *before* expanding anything: specs arrive from
     // the network, and an overflowing or absurd cross product must be
     // refused, not allocated (MAX_REQUEST_LINE bounds bytes; this bounds
@@ -476,6 +682,9 @@ fn submit(shared: &Shared, spec: ScenarioSpec) -> String {
     if g.shutting_down {
         return error_line("daemon is shutting down");
     }
+    if g.draining {
+        return error_line("daemon is draining (shutdown in progress)");
+    }
     if g.active_jobs >= shared.cfg.queue_cap {
         return error_line(&format!(
             "job queue full ({} active jobs, cap {})",
@@ -485,6 +694,13 @@ fn submit(shared: &Shared, spec: ScenarioSpec) -> String {
     prune_finished(&mut g, shared.cfg.retain);
     let job_id = g.next_job;
     g.next_job += 1;
+    // Write-ahead: the submit record is fsync'd *before* the client sees
+    // the acknowledgement, so every acknowledged job survives a crash.
+    // (The fsync runs under the state lock — submits are rare next to
+    // cell completions, and ordering the journal identically to the job
+    // table is what makes replay trivially correct.)
+    g.journal.record_submit(job_id, deadline_ms, &spec);
+    let deadline = arm_deadline(deadline_ms);
     g.jobs.insert(
         job_id,
         Job {
@@ -496,9 +712,13 @@ fn submit(shared: &Shared, spec: ScenarioSpec) -> String {
             cache_hits: 0,
             simulated: 0,
             pinned: 0,
+            deadline,
         },
     );
     g.active_jobs += 1;
+    if deadline.is_some() {
+        g.deadline_jobs += 1;
+    }
     for idx in 0..total {
         g.queue.push_back((job_id, idx));
     }
@@ -529,7 +749,10 @@ fn prune_finished(g: &mut MutexGuard<'_, Inner>, retain: usize) {
 }
 
 fn status(shared: &Shared, job: Option<u64>) -> String {
-    let g = shared.inner.lock().unwrap();
+    let mut g = shared.inner.lock().unwrap();
+    // Lazy expiry: a status probe observes deadlines promptly even when
+    // every worker is deep in a long simulation.
+    expire_overdue(&mut g, shared);
     match job {
         Some(id) => match g.jobs.get(&id) {
             None => error_line(&format!("unknown job {id}")),
@@ -543,14 +766,19 @@ fn status(shared: &Shared, job: Option<u64>) -> String {
             ),
         },
         None => format!(
-            "{{\"ok\":true,\"jobs\":{},\"active\":{},\"done\":{},\"canceled\":{},\"cache_entries\":{},\"cache_hits\":{},\"cache_misses\":{},\"workers\":{},\"queue_cap\":{}}}",
+            "{{\"ok\":true,\"jobs\":{},\"active\":{},\"done\":{},\"canceled\":{},\"expired\":{},\"cache_entries\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_degraded\":{},\"cache_errors\":{},\"journal_errors\":{},\"draining\":{},\"workers\":{},\"queue_cap\":{}}}",
             g.jobs.len(),
             g.active_jobs,
             g.counters.done_jobs,
             g.counters.canceled_jobs,
+            g.counters.expired_jobs,
             g.cache.len(),
             g.cache.hits(),
             g.cache.misses(),
+            g.cache.degraded(),
+            g.cache.append_errors(),
+            g.journal.append_errors(),
+            g.draining,
             shared.workers,
             shared.cfg.queue_cap,
         ),
@@ -566,10 +794,17 @@ fn cancel(shared: &Shared, job_id: u64) -> String {
         job.state // terminal: cancel is a no-op
     } else {
         job.state = JobState::Canceled;
+        let had_deadline = job.deadline.is_some();
         g.queue.retain(|&(j, _)| j != job_id);
         g.active_jobs -= 1;
+        if had_deadline {
+            g.deadline_jobs -= 1;
+        }
         g.counters.canceled_jobs += 1;
+        g.journal.record_cancel(job_id);
         shared.progress.notify_all();
+        // Canceling the drain's last active job completes the drain.
+        check_drain(&mut g, shared);
         JobState::Canceled
     };
     format!(
@@ -635,9 +870,10 @@ fn stream_pinned(
                 if let Some(line) = &job.lines[idx] {
                     break line.clone();
                 }
-                if job.state == JobState::Canceled {
+                if matches!(job.state, JobState::Canceled | JobState::Expired) {
+                    let reason = job.state.abort_reason();
                     drop(g);
-                    return write_line(writer, &error_line("job canceled"));
+                    return write_line(writer, &error_line(reason));
                 }
                 if g.shutting_down {
                     drop(g);
@@ -658,13 +894,25 @@ fn stream_pinned(
                     g = shared.inner.lock().unwrap();
                     continue;
                 }
-                g = shared.progress.wait(g).unwrap();
+                // A bounded wait (not a bare block): the periodic wakeup
+                // runs the lazy deadline scan, so an overrunning job
+                // expires even while every worker simulates elsewhere.
+                g = shared
+                    .progress
+                    .wait_timeout(g, std::time::Duration::from_millis(100))
+                    .unwrap()
+                    .0;
+                expire_overdue(&mut g, shared);
             }
         };
         // A fresh zero-cost sink wrapper per line: the byte format stays
         // single-sourced in `JsonlSink` without holding a borrow across
-        // the control-line early returns above.
-        if JsonlSink::new(&mut *writer).emit_line(&line).is_err() {
+        // the control-line early returns above. The `stream.write`
+        // failpoint stands in for a write that times out on a stalled
+        // reader: the handler gives up and drops the connection.
+        if failpoint::check("stream.write").is_err()
+            || JsonlSink::new(&mut *writer).emit_line(&line).is_err()
+        {
             return Err(());
         }
     }
@@ -721,19 +969,29 @@ fn tail_pinned(
                         })
                         .collect();
                 }
-                if job.state == JobState::Canceled {
+                if matches!(job.state, JobState::Canceled | JobState::Expired) {
+                    let reason = job.state.abort_reason();
                     drop(g);
-                    return write_line(writer, &error_line("job canceled"));
+                    return write_line(writer, &error_line(reason));
                 }
                 if g.shutting_down {
                     drop(g);
                     return write_line(writer, &error_line("daemon is shutting down"));
                 }
-                g = shared.progress.wait(g).unwrap();
+                // Bounded wait; see `stream_pinned` — the wakeup drives
+                // the lazy deadline scan.
+                g = shared
+                    .progress
+                    .wait_timeout(g, std::time::Duration::from_millis(100))
+                    .unwrap()
+                    .0;
+                expire_overdue(&mut g, shared);
             }
         };
         for line in &batch {
-            if JsonlSink::new(&mut *writer).emit_line(line).is_err() {
+            if failpoint::check("stream.write").is_err()
+                || JsonlSink::new(&mut *writer).emit_line(line).is_err()
+            {
                 return Err(());
             }
         }

@@ -1,0 +1,424 @@
+//! Chaos suite: crash, fault, and timeout scenarios for the daemon.
+//!
+//! Each test drives a *specific* failure — a `kill -9` mid-job, a torn
+//! journal tail, a failing disk append, a dying stream reader, a
+//! half-open connection, an expired deadline — and asserts the two
+//! recovery guarantees the service makes:
+//!
+//! 1. **No lies**: failures surface as clean `{"ok":false,...}` error
+//!    frames or tagged `transport:` errors, never hangs or torn output
+//!    files.
+//! 2. **No drift**: whatever survives (journal replay, cache, retried
+//!    tails) reproduces the *byte-identical* JSONL an offline
+//!    `gncg grid` run would have produced.
+//!
+//! Tests that arm fault-injection sites need the library built with
+//! `--features failpoints` (the registry is process-global, so every
+//! test here serializes on [`fp_lock`] to keep armed sites from leaking
+//! across concurrently running tests).
+
+use std::fs;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use gncg_service::{Client, Server, ServiceConfig};
+use gncg_suite::grid::run_grid;
+use gncg_suite::scenario::{CertifyMode, RuleSpec, ScenarioSpec, SchedSpec};
+
+/// Serializes every chaos test: the failpoint registry is one global
+/// table, so a site armed by one test must never fire inside another
+/// test's daemon.
+fn fp_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gncg-chaos-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "chaos".into(),
+        hosts: vec!["unit".into(), "onetwo".into()],
+        ns: vec![5, 6],
+        alphas: vec![0.5, 2.0],
+        rules: vec![RuleSpec::Greedy],
+        schedulers: vec![SchedSpec::RoundRobin],
+        seeds: vec![0, 1],
+        max_rounds: 200,
+        base_seed: 7,
+        certify: CertifyMode::Full,
+    }
+}
+
+fn offline_reference(dir: &Path, s: &ScenarioSpec) -> String {
+    let path = dir.join("offline.jsonl");
+    run_grid(s, &path, false).unwrap();
+    fs::read_to_string(&path).unwrap()
+}
+
+fn start(cfg: ServiceConfig) -> (Server, String) {
+    let server = Server::start("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+/// A queued job whose deadline has already passed is expired — the
+/// stream returns one clean error frame naming the deadline, the
+/// daemon counts it, and the daemon stays fully healthy.
+#[test]
+fn deadline_expiry_is_a_clean_error_frame_not_a_hang() {
+    let _g = fp_lock();
+    let (server, addr) = start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+
+    let mut client = Client::connect(&addr).unwrap();
+    // Occupy the single worker so the deadline job cannot start
+    // instantly, then submit with an already-elapsed deadline.
+    let blocker = client.submit(&spec()).unwrap();
+    let mut doomed = spec();
+    doomed.base_seed = 8; // distinct digests: no cache short-circuit
+    let ack = client.submit_with_deadline(&doomed, Some(0)).unwrap();
+
+    let mut sink = Vec::new();
+    let err = client
+        .stream_to(ack.job, &mut sink)
+        .expect_err("expired job must not stream");
+    assert!(
+        err.contains("deadline"),
+        "error frame should name the deadline, got: {err}"
+    );
+    assert!(
+        sink.is_empty(),
+        "no cell bytes may precede the error frame for a never-started job"
+    );
+
+    // The daemon is healthy: the blocker still finishes and status
+    // reports exactly one expiry.
+    let mut client2 = Client::connect(&addr).unwrap();
+    let mut out = Vec::new();
+    let sum = client2.tail_to(blocker.job, &mut out).unwrap();
+    assert_eq!(sum.cells, spec().cell_count());
+    let status = client2.daemon_status().unwrap();
+    assert_eq!(status.expired, 1);
+    assert!(!status.draining);
+    server.shutdown();
+}
+
+/// A journal whose tail was torn mid-write (crash during append) is
+/// replayed up to the last intact record; the torn bytes are discarded
+/// by startup compaction and the daemon serves correct results.
+#[test]
+fn torn_journal_tail_is_skipped_and_compacted_away() {
+    let _g = fp_lock();
+    let dir = tmp_dir("torn");
+    let journal = dir.join("jobs.journal");
+    let reference = offline_reference(&dir, &spec());
+
+    // Season the journal with one completed job, then shut down.
+    {
+        let (server, addr) = start(ServiceConfig {
+            workers: 2,
+            journal_path: Some(journal.clone()),
+            ..ServiceConfig::default()
+        });
+        let mut client = Client::connect(&addr).unwrap();
+        let (_, sum) = client.submit_and_stream(&spec(), &mut Vec::new()).unwrap();
+        assert_eq!(sum.cells, spec().cell_count());
+        server.shutdown();
+    }
+
+    // Tear the tail: a record cut off mid-spec, missing the " ;" marker
+    // — exactly what a crash mid-append leaves behind.
+    let mut torn = fs::read_to_string(&journal).unwrap();
+    torn.push_str("jl1 submit 99 - {\"name\":\"half-writ");
+    fs::write(&journal, torn).unwrap();
+
+    // Restart: the torn record is ignored (job 99 never existed), fresh
+    // submissions work, and compaction rewrote the file without it.
+    let (server, addr) = start(ServiceConfig {
+        workers: 2,
+        journal_path: Some(journal.clone()),
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::connect(&addr).unwrap();
+    let mut bytes = Vec::new();
+    let (ack, sum) = client.submit_and_stream(&spec(), &mut bytes).unwrap();
+    assert!(ack.job < 99, "torn submit must not advance the job counter");
+    assert_eq!(sum.cells, spec().cell_count());
+    assert_eq!(String::from_utf8(bytes).unwrap(), reference);
+    assert!(
+        !fs::read_to_string(&journal).unwrap().contains("half-writ"),
+        "startup compaction must drop the torn tail"
+    );
+    server.shutdown();
+}
+
+/// A half-open connection (peer sent part of a line and went silent) is
+/// dropped by the server's read timeout instead of pinning a handler
+/// thread forever.
+#[test]
+fn half_open_connection_is_dropped_by_read_timeout() {
+    let _g = fp_lock();
+    let (server, addr) = start(ServiceConfig {
+        workers: 1,
+        read_timeout_ms: 200,
+        ..ServiceConfig::default()
+    });
+
+    let mut stale = TcpStream::connect(&addr).unwrap();
+    stale.write_all(b"{\"op\":\"stat").unwrap(); // never finishes the line
+    stale
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let started = Instant::now();
+    let mut buf = [0u8; 64];
+    // The server hangs up on us (EOF) or resets; either way the read
+    // resolves long before our own 5 s guard.
+    let dropped = matches!(stale.read(&mut buf), Ok(0) | Err(_));
+    assert!(dropped, "server must drop the half-open connection");
+    assert!(
+        started.elapsed() < Duration::from_secs(4),
+        "drop must come from the server's read timeout, not our guard"
+    );
+
+    // The accept loop is unharmed.
+    let mut client = Client::connect(&addr).unwrap();
+    client.ping().unwrap();
+    server.shutdown();
+}
+
+#[cfg(feature = "failpoints")]
+mod failpoints {
+    use super::*;
+    use gncg_service::failpoint;
+    use gncg_service::{client::wait_for_daemon, RetryPolicy};
+    use std::process::{Child, Command, Stdio};
+
+    /// Resets the global failpoint table on drop so a panicking test
+    /// cannot leave sites armed for the next one.
+    struct FpReset;
+    impl Drop for FpReset {
+        fn drop(&mut self) {
+            failpoint::reset();
+        }
+    }
+
+    /// Spawns `gncg serve` with the given extra args and environment,
+    /// returning the child and the address it bound (parsed from the
+    /// readiness line on stdout, which is redirected to `log`).
+    fn spawn_serve(dir: &Path, tag: &str, args: &[&str], env: &[(&str, &str)]) -> (Child, String) {
+        let log = dir.join(format!("{tag}.log"));
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_gncg"));
+        cmd.arg("serve")
+            .args(["--addr", "127.0.0.1:0"])
+            .args(args)
+            .stdout(Stdio::from(fs::File::create(&log).unwrap()))
+            .stderr(Stdio::from(
+                fs::File::create(dir.join(format!("{tag}.err"))).unwrap(),
+            ));
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        let child = cmd.spawn().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Ok(text) = fs::read_to_string(&log) {
+                if let Some(line) = text.lines().find(|l| l.contains("listening on ")) {
+                    let addr = line.rsplit("listening on ").next().unwrap().trim();
+                    return (child, addr.to_string());
+                }
+            }
+            assert!(Instant::now() < deadline, "daemon never became ready");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// The flagship crash drill: a daemon is killed (process abort, the
+    /// deterministic `kill -9`) partway through simulating a journaled
+    /// job. A restarted daemon replays the journal, re-runs the job
+    /// under its original id, and a retried tail produces bytes
+    /// identical to the offline grid.
+    #[test]
+    fn kill_nine_mid_job_replays_journal_and_completes_identically() {
+        let _g = fp_lock();
+        let dir = tmp_dir("kill9");
+        let reference = offline_reference(&dir, &spec());
+        let journal = dir.join("jobs.journal");
+        let cache = dir.join("results.cache");
+        let svc_args = [
+            "--workers",
+            "1",
+            "--journal",
+            journal.to_str().unwrap(),
+            "--cache",
+            cache.to_str().unwrap(),
+        ];
+
+        // First incarnation dies at its 3rd simulated cell.
+        let (mut child, addr) = spawn_serve(
+            &dir,
+            "first",
+            &svc_args,
+            &[("GNCG_FAILPOINTS", "worker.cell=abort@3")],
+        );
+        wait_for_daemon(&addr, 5_000).unwrap();
+        let mut client = Client::connect(&addr).unwrap();
+        let ack = client.submit(&spec()).unwrap();
+        let err = client
+            .stream_to(ack.job, &mut Vec::new())
+            .expect_err("daemon aborts mid-job");
+        assert!(
+            gncg_service::client::is_transport_error(&err),
+            "a dead daemon is a transport error, got: {err}"
+        );
+        let _ = child.wait(); // aborted itself
+
+        // Second incarnation: replay from the journal, no faults.
+        let (mut child2, addr2) = spawn_serve(&dir, "second", &svc_args, &[]);
+        wait_for_daemon(&addr2, 5_000).unwrap();
+        let mut client2 = Client::connect(&addr2).unwrap();
+        let mut bytes = Vec::new();
+        let sum = client2
+            .tail_to(ack.job, &mut bytes)
+            .expect("replayed job keeps its original id");
+        assert_eq!(sum.cells, spec().cell_count());
+        assert_eq!(
+            String::from_utf8(bytes).unwrap(),
+            reference,
+            "post-crash tail must be byte-identical to the offline grid"
+        );
+        assert!(
+            sum.cache_hits >= 2,
+            "cells simulated before the crash come back as cache hits, got {}",
+            sum.cache_hits
+        );
+        let status = client2.daemon_status().unwrap();
+        assert_eq!(status.done, 1);
+        client2.shutdown().unwrap();
+        let _ = child2.wait();
+    }
+
+    /// Disk appends failing under the daemon (full disk, yanked volume)
+    /// degrade the cache and journal to memory-only operation: results
+    /// stay correct, and `status` surfaces the degradation.
+    #[test]
+    fn disk_append_failure_degrades_and_is_surfaced_in_status() {
+        let _g = fp_lock();
+        let _r = FpReset;
+        let dir = tmp_dir("degrade");
+        let reference = offline_reference(&dir, &spec());
+        let (server, addr) = start(ServiceConfig {
+            workers: 2,
+            cache_path: Some(dir.join("results.cache")),
+            journal_path: Some(dir.join("jobs.journal")),
+            ..ServiceConfig::default()
+        });
+
+        failpoint::arm("cache.append", failpoint::Action::Err, 1);
+        failpoint::arm("journal.append", failpoint::Action::Err, 1);
+        let mut client = Client::connect(&addr).unwrap();
+        let mut bytes = Vec::new();
+        let (_, sum) = client.submit_and_stream(&spec(), &mut bytes).unwrap();
+        assert_eq!(sum.cells, spec().cell_count());
+        assert_eq!(String::from_utf8(bytes).unwrap(), reference);
+
+        let status = client.daemon_status().unwrap();
+        assert!(status.cache_degraded, "cache must report degradation");
+        assert_eq!(status.cache_errors, 1);
+        assert_eq!(status.journal_errors, 1);
+
+        // Memory-side caching still works: a resubmit is all hits.
+        let mut again = Vec::new();
+        let (_, sum2) = client.submit_and_stream(&spec(), &mut again).unwrap();
+        assert_eq!(sum2.cache_hits, spec().cell_count());
+        assert_eq!(String::from_utf8(again).unwrap(), reference);
+        server.shutdown();
+    }
+
+    /// `shutdown --drain` lets active jobs finish (the daemon exits
+    /// only once they have) while refusing anything new. A delay
+    /// failpoint pins the worker mid-cell so the drain window is open
+    /// deterministically.
+    #[test]
+    fn drain_refuses_new_submits_and_exits_after_active_jobs_finish() {
+        let _g = fp_lock();
+        let _r = FpReset;
+        let (server, addr) = start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        failpoint::arm("worker.cell", failpoint::Action::Delay(400), 1);
+
+        let mut client = Client::connect(&addr).unwrap();
+        let _ack = client.submit(&spec()).unwrap();
+        let active = client.shutdown_drain().unwrap();
+        assert_eq!(active, 1, "the delayed job is still active at drain time");
+
+        let err = Client::connect(&addr)
+            .and_then(|mut c| c.submit(&spec()))
+            .expect_err("a draining daemon refuses new submissions");
+        assert!(err.contains("draining"), "{err}");
+
+        // Returns only once the drained job finished and the daemon
+        // shut itself down; a hang here means drain never completed.
+        server.wait();
+    }
+
+    /// A stream writer that dies mid-job (slow or vanished reader) only
+    /// loses that one connection: the job completes, and the client's
+    /// retry layer re-tails it to byte-identical output.
+    #[test]
+    fn dying_stream_reader_is_survived_and_retry_re_tails() {
+        let _g = fp_lock();
+        let _r = FpReset;
+        let dir = tmp_dir("stream");
+        let reference = offline_reference(&dir, &spec());
+        let (server, addr) = start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+
+        let mut client = Client::connect(&addr).unwrap();
+        let ack = client.submit(&spec()).unwrap();
+
+        // The 2nd cell line written to any stream fails.
+        failpoint::arm("stream.write", failpoint::Action::Err, 2);
+        let policy = RetryPolicy {
+            retries: 2,
+            backoff_base_ms: 10,
+            timeout_ms: None,
+        };
+        let mut bytes = Vec::new();
+        let sum = policy
+            .run(&addr, |c| {
+                bytes.clear(); // fresh attempt, no torn prefix
+                c.tail_to(ack.job, &mut bytes)
+            })
+            .expect("retry must recover from one injected stream fault");
+        assert_eq!(sum.cells, spec().cell_count());
+        assert_eq!(
+            String::from_utf8(bytes).unwrap(),
+            reference,
+            "retried tail must be byte-identical to the offline grid"
+        );
+        // Attempt one wrote cell 1 then hit the fault (2 hits); the
+        // clean retry wrote every cell (cell_count more).
+        assert_eq!(
+            failpoint::hits("stream.write"),
+            spec().cell_count() as u64 + 2
+        );
+        server.shutdown();
+    }
+}

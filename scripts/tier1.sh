@@ -76,14 +76,7 @@ rm -f target/tier1-serve.log target/tier1-submit-a.jsonl target/tier1-submit-b.j
   > target/tier1-serve.log 2>&1 &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
-for _ in $(seq 1 100); do
-  grep -q "listening" target/tier1-serve.log 2>/dev/null && break
-  sleep 0.1
-done
-grep -q "listening" target/tier1-serve.log || {
-  echo "tier-1 service smoke: daemon never came up" >&2
-  exit 1
-}
+./target/release/gncg ping --addr "$SERVICE_ADDR" --wait-ms 10000
 # Same 4-cell spec as the offline smoke above: the streamed bytes must be
 # byte-identical to the offline grid output.
 submit_smoke() {
@@ -102,8 +95,55 @@ echo "$second" | grep -q "4 cache hits, 0 simulated" || {
   echo "tier-1 service smoke: second submit not served from cache: $second" >&2
   exit 1
 }
-./target/release/gncg shutdown --addr "$SERVICE_ADDR"
+# Graceful exit: --drain finishes anything active (nothing, here) and
+# refuses new work before the daemon stops itself.
+./target/release/gncg shutdown --addr "$SERVICE_ADDR" --drain
 wait "$SERVE_PID"
+trap - EXIT
+
+echo "== chaos suite (fault injection, --features failpoints)" >&2
+cargo test -q -p gncg-service --features failpoints --test chaos
+
+echo "== chaos smoke (kill -9 mid-job → restart → journal replay → byte-diff)" >&2
+# The debug binary built with --features failpoints carries the fault
+# registry; GNCG_FAILPOINTS aborts the daemon at its 2nd simulated cell
+# — a deterministic kill -9 mid-job. The release binary stays fault-free.
+cargo build -q -p gncg-service --features failpoints
+CHAOS_ADDR=127.0.0.1:47423
+CHAOS_DIR=target/tier1-chaos
+rm -rf "$CHAOS_DIR" && mkdir -p "$CHAOS_DIR"
+chaos_submit() {
+  ./target/debug/gncg submit --addr "$CHAOS_ADDR" \
+    --out "$1" \
+    --name tier1-smoke \
+    --hosts unit,onetwo --n 6 --alpha 1.0,2.0 \
+    --rules greedy --seed-count 1 --max-rounds 200
+}
+GNCG_FAILPOINTS="worker.cell=abort@2" ./target/debug/gncg serve \
+  --addr "$CHAOS_ADDR" --workers 1 \
+  --journal "$CHAOS_DIR/jobs.journal" --cache "$CHAOS_DIR/results.cache" \
+  > "$CHAOS_DIR/serve-crash.log" 2>&1 &
+CHAOS_PID=$!
+trap 'kill -9 "$CHAOS_PID" 2>/dev/null || true' EXIT
+./target/debug/gncg ping --addr "$CHAOS_ADDR" --wait-ms 10000
+if chaos_submit "$CHAOS_DIR/doomed.jsonl"; then
+  echo "tier-1 chaos smoke: submit survived a daemon that aborts mid-job" >&2
+  exit 1
+fi
+wait "$CHAOS_PID" 2>/dev/null || true # died by its own abort
+# Restart fault-free on the same journal: the unfinished job replays
+# under its original id and a retried tail yields the offline bytes.
+./target/debug/gncg serve --addr "$CHAOS_ADDR" --workers 1 \
+  --journal "$CHAOS_DIR/jobs.journal" --cache "$CHAOS_DIR/results.cache" \
+  > "$CHAOS_DIR/serve-replay.log" 2>&1 &
+CHAOS_PID=$!
+trap 'kill -9 "$CHAOS_PID" 2>/dev/null || true' EXIT
+./target/debug/gncg ping --addr "$CHAOS_ADDR" --wait-ms 10000
+./target/debug/gncg tail --addr "$CHAOS_ADDR" --job 1 \
+  --out "$CHAOS_DIR/replayed.jsonl" --retries 2 --timeout-ms 30000
+cmp "$CHAOS_DIR/replayed.jsonl" target/tier1-grid.jsonl
+./target/debug/gncg shutdown --addr "$CHAOS_ADDR" --drain
+wait "$CHAOS_PID" 2>/dev/null || true
 trap - EXIT
 
 echo "tier-1 OK" >&2
