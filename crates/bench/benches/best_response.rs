@@ -5,7 +5,12 @@
 //! (Cor. 1, Thms 13/16) predict and the payoff of incremental delta
 //! evaluation. `scripts/bench_snapshot.sh` derives the tracked
 //! `incremental_speedup_n14` figure from the `exact_bnb` /
-//! `exact_bnb_reference` pair at n = 14.
+//! `exact_bnb_reference` pair at n = 14, and asserts
+//! `exact_bnb_parallel` never regresses past `exact_bnb` at any measured
+//! n. The n = 20 point crosses the parallel engine's sequential cutoff
+//! ([`gncg_core::response::MIN_PARALLEL_CANDIDATES`]), so the split
+//! search itself — not just the cutoff's sequential fallback — is in the
+//! tracked set.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -18,7 +23,7 @@ fn instance(n: usize) -> (Game, Profile) {
 
 fn bench_best_response(c: &mut Criterion) {
     let mut group = c.benchmark_group("best_response");
-    for n in [8usize, 12, 14, 16] {
+    for n in [8usize, 12, 14, 16, 20] {
         let (game, profile) = instance(n);
         group.bench_with_input(BenchmarkId::new("exact_bnb", n), &n, |b, _| {
             b.iter(|| gncg_core::response::exact_best_response(&game, &profile, 1))

@@ -5,13 +5,16 @@
 //! deletion-tolerant `DynamicSssp` repair vs the historical
 //! invalidate-and-redo baseline. `scripts/bench_snapshot.sh` derives the
 //! tracked `swap_heavy_speedup_n20` figure from the
-//! `dynamics_swap_heavy` pair.
+//! `dynamics_swap_heavy` pair; the pool ablations `maxgain_scan` and
+//! `grid_wall` (each run once on the work-stealing pool and once inside
+//! [`rayon::with_sequential`]) feed the tracked
+//! `maxgain_parallel_speedup_n20` and `grid_wall_speedup` figures.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use gncg_core::{Game, NodeId, Profile};
 use gncg_dynamics::{DynamicsConfig, EvalContext, RemovalPolicy, ResponseRule, Scheduler};
-use gncg_suite::scenario::ScenarioSpec;
+use gncg_suite::scenario::{run_cell_slice, ScenarioSpec};
 
 fn bench_schedulers(c: &mut Criterion) {
     let host = gncg_metrics::arbitrary::random_metric(10, 1.0, 4.0, 5);
@@ -141,10 +144,64 @@ fn bench_swap_heavy(c: &mut Criterion) {
     group.finish();
 }
 
+/// MaxGain rounds at n = 20: every round warms all 20 distance vectors
+/// and scans every agent's best move, both fanned over the rayon pool.
+/// The pair prices that fan-out against the same run forced inline via
+/// [`rayon::with_sequential`] — determinism guarantees the two arms
+/// compute byte-identical results, so the delta is pure pool overhead
+/// (or speedup). `scripts/bench_snapshot.sh` derives
+/// `maxgain_parallel_speedup_n20` from it.
+fn bench_maxgain_scan(c: &mut Criterion) {
+    let n = 20usize;
+    let host = gncg_metrics::arbitrary::random_metric(n, 1.0, 4.0, 7);
+    let game = Game::new(host, 2.0);
+    let cfg = DynamicsConfig {
+        rule: ResponseRule::BestGreedyMove,
+        scheduler: Scheduler::MaxGain,
+        max_rounds: 300,
+        record_trace: false,
+    };
+    let mut group = c.benchmark_group("maxgain_scan");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+        b.iter(|| rayon::with_sequential(|| gncg_dynamics::run(&game, Profile::star(n, 0), &cfg)))
+    });
+    group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, _| {
+        b.iter(|| gncg_dynamics::run(&game, Profile::star(n, 0), &cfg))
+    });
+    group.finish();
+}
+
+/// Grid wall clock: a 12-cell swap-heavy slice through the real cell
+/// runner ([`run_cell_slice`], the same sharded pipeline the JSONL
+/// streamer waves over), on the pool vs forced inline. This is the
+/// figure the whole parallelism stack exists to move;
+/// `scripts/bench_snapshot.sh` derives `grid_wall_speedup` from it.
+fn bench_grid_wall(c: &mut Criterion) {
+    // Two α bands × three host families × two seeds at n = 20.
+    let cells: Vec<_> = ScenarioSpec::swap_heavy()
+        .expand()
+        .into_iter()
+        .filter(|cell| cell.alpha != 4.0 && cell.seed < 2)
+        .collect();
+    assert_eq!(cells.len(), 12);
+    let mut group = c.benchmark_group("grid_wall");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("sequential", "12cells"), &(), |b, _| {
+        b.iter(|| rayon::with_sequential(|| run_cell_slice(&cells)))
+    });
+    group.bench_with_input(BenchmarkId::new("parallel", "12cells"), &(), |b, _| {
+        b.iter(|| run_cell_slice(&cells))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_schedulers,
     bench_sweep_parallelism,
-    bench_swap_heavy
+    bench_swap_heavy,
+    bench_maxgain_scan,
+    bench_grid_wall
 );
 criterion_main!(benches);

@@ -1,108 +1,553 @@
-//! Hermetic stand-in for `rayon`: the same parallel-iterator API surface
-//! the workspace uses, executed sequentially.
+//! Hermetic stand-in for `rayon`: the parallel-iterator API surface the
+//! workspace uses, executed on a real work-stealing thread pool — with
+//! **bitwise-deterministic results at every thread count**.
 //!
-//! The build environment is offline and single-core, so a real thread pool
-//! buys nothing; this shim keeps every `into_par_iter()` call site
-//! source-compatible (including rayon-specific signatures like
-//! `reduce(identity, op)`) while compiling to plain iterator loops. If the
-//! workspace ever moves to a networked multi-core environment, deleting
-//! `crates/compat/rayon` and pointing the workspace dependency at the real
-//! crate is the only change needed.
+//! The pool (internals in `pool.rs`) is a lazily-initialized global
+//! set of std threads sized by `--threads` / `GNCG_THREADS` /
+//! available cores, with per-worker deques, stealing, panic propagation,
+//! and a recursive [`join`]. The iterator layer on top never lets the
+//! *schedule* reach the *numbers*:
+//!
+//! * every operation splits its index space into chunks whose boundaries
+//!   depend **only on the length** (`len.div_ceil(128)` items per chunk,
+//!   never on the thread count or what was stolen);
+//! * each chunk folds sequentially in index order;
+//! * chunk partials combine left-to-right in chunk order.
+//!
+//! So f64 reductions associate identically at `GNCG_THREADS=1` and `=N`,
+//! and grid JSONL bytes / `cell_digest` values are thread-count-invariant
+//! — the byte-diff determinism harness stays the regression oracle.
+//! [`with_sequential`] suppresses the fan-out (same chunks, same combine
+//! order) so benches can measure sequential baselines against the live
+//! pool in one process.
+//!
+//! Differences from real rayon, beyond the guarantee above: conversions
+//! exist only for the types the workspace fans out over (integer ranges,
+//! `Vec<T: Copy>`, slices, `chunks_mut`), closures need `Fn + Sync`
+//! (not `FnMut`), and `enumerate` is only available before filtering.
+//! Swapping in the real crate remains a one-line workspace change — at
+//! the price of losing bitwise determinism in any non-associative
+//! reduction.
 
-/// A "parallel" iterator: a newtype over a sequential iterator exposing
-/// rayon's method names and signatures.
-pub struct ParIter<I>(I);
+mod pool;
 
-impl<I: Iterator> ParIter<I> {
+pub use pool::{configure_num_threads, current_num_threads, join, with_sequential, MAX_THREADS};
+
+use std::cmp::Ordering as CmpOrdering;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Most chunks any single parallel operation splits into. Bounds
+/// scheduling overhead for long inputs while keeping short inputs
+/// (`len ≤ 128` — every per-agent scan in the workspace) at one item
+/// per chunk, where the chunked fold *is* the sequential fold.
+const MAX_CHUNKS: usize = 128;
+
+/// Items per chunk for an input of `len` — a function of `len` alone,
+/// which is what makes every result thread-count-invariant.
+fn chunk_size(len: usize) -> usize {
+    len.div_ceil(MAX_CHUNKS).max(1)
+}
+
+/// A splittable source of items, indexable by ordinal position.
+///
+/// Contract: a consumer runs each ordinal in `0..len()` exactly once
+/// across all `run_range` calls of one pass; ranges passed to concurrent
+/// calls are disjoint. (`ChunksMut` relies on this for `&mut`
+/// disjointness.)
+pub trait Producer: Sync {
+    /// The item type produced.
+    type Item: Send;
+    /// Whether ordinal positions survive to the items (true until a
+    /// `filter`/`filter_map` drops items); `enumerate` requires it.
+    const EXACT: bool;
+    /// Number of ordinal positions (item count only when `EXACT`).
+    fn len(&self) -> usize;
+    /// Whether there are no positions.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Feeds the items at ordinals `start..end`, in order, to `f`.
+    fn run_range<F: FnMut(Self::Item)>(&self, start: usize, end: usize, f: F);
+}
+
+/// Runs `leaf` over every chunk of `producer`'s index space on the pool
+/// and returns the per-chunk results **in chunk order** — the one
+/// scheduling primitive every consumer below goes through.
+fn map_chunks<P, R, L>(producer: &P, leaf: L) -> Vec<R>
+where
+    P: Producer,
+    R: Send,
+    L: Fn(usize, usize) -> R + Sync,
+{
+    let len = producer.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let size = chunk_size(len);
+    let nchunks = len.div_ceil(size);
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(nchunks, || None);
+    {
+        let slots = SendPtr(out.as_mut_ptr());
+        pool::run_indexed(nchunks, &|ci| {
+            let start = ci * size;
+            let end = len.min(start + size);
+            let r = leaf(start, end);
+            // SAFETY: each chunk index is visited exactly once, slots are
+            // disjoint, and the overwritten value is the pre-filled `None`
+            // (nothing to drop).
+            unsafe { slots.get().add(ci).write(Some(r)) };
+        });
+    }
+    out.into_iter()
+        .map(|r| r.expect("chunk result missing"))
+        .collect()
+}
+
+/// Raw pointer that crosses threads (the chunk-slot base; disjointness
+/// is established by the caller).
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the
+    /// `Sync` wrapper, not the bare pointer.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// A parallel iterator: a [`Producer`] plus the consuming methods.
+pub struct ParIter<P>(P);
+
+impl<P: Producer> ParIter<P> {
     /// Maps each item.
-    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
+    pub fn map<U, F>(self, f: F) -> ParIter<Map<P, F>>
+    where
+        U: Send,
+        F: Fn(P::Item) -> U + Sync,
+    {
+        ParIter(Map { base: self.0, f })
     }
 
     /// Filters items.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-        ParIter(self.0.filter(f))
+    pub fn filter<F>(self, f: F) -> ParIter<Filter<P, F>>
+    where
+        F: Fn(&P::Item) -> bool + Sync,
+    {
+        ParIter(Filter { base: self.0, f })
     }
 
     /// Filter + map in one pass.
-    pub fn filter_map<U, F: FnMut(I::Item) -> Option<U>>(
-        self,
-        f: F,
-    ) -> ParIter<std::iter::FilterMap<I, F>> {
-        ParIter(self.0.filter_map(f))
+    pub fn filter_map<U, F>(self, f: F) -> ParIter<FilterMap<P, F>>
+    where
+        U: Send,
+        F: Fn(P::Item) -> Option<U> + Sync,
+    {
+        ParIter(FilterMap { base: self.0, f })
     }
 
-    /// Pairs each item with its index.
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
-    }
-
-    /// Whether `f` holds for every item.
-    pub fn all<F: FnMut(I::Item) -> bool>(mut self, f: F) -> bool {
-        self.0.all(f)
-    }
-
-    /// Whether `f` holds for any item.
-    pub fn any<F: FnMut(I::Item) -> bool>(mut self, f: F) -> bool {
-        self.0.any(f)
+    /// Pairs each item with its index. Only available while positions
+    /// are exact (before any `filter`/`filter_map`), where the index is
+    /// well-defined regardless of how chunks were scheduled.
+    pub fn enumerate(self) -> ParIter<Enumerate<P>> {
+        assert!(
+            P::EXACT,
+            "enumerate after a filtering adapter is not supported by the rayon shim"
+        );
+        ParIter(Enumerate { base: self.0 })
     }
 
     /// Runs `f` on every item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
-    }
-
-    /// rayon's per-worker-state `for_each`: `init` builds mutable state
-    /// reused across the items a worker processes. Sequentially that is
-    /// one `init()` for all items — the same amortization real rayon
-    /// achieves with one state per worker thread.
-    pub fn for_each_init<S, INIT, F>(self, init: INIT, mut f: F)
+    pub fn for_each<F>(self, f: F)
     where
-        INIT: Fn() -> S,
-        F: FnMut(&mut S, I::Item),
+        F: Fn(P::Item) + Sync,
     {
-        let mut state = init();
-        self.0.for_each(|item| f(&mut state, item));
+        let p = self.0;
+        map_chunks(&p, |start, end| p.run_range(start, end, &f));
     }
 
-    /// Collects into any `FromIterator` container.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
-    }
-
-    /// rayon-style reduce: folds with `op` from `identity()`.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// rayon's per-worker-state `for_each`: `init` builds mutable
+    /// scratch state shared by the items of one chunk (one `init()` per
+    /// chunk — scratch never carries data *between* items, so chunk
+    /// granularity cannot affect results).
+    pub fn for_each_init<S, INIT, F>(self, init: INIT, f: F)
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, P::Item) + Sync,
     {
-        self.0.fold(identity(), op)
+        let p = self.0;
+        map_chunks(&p, |start, end| {
+            let mut state = init();
+            p.run_range(start, end, |item| f(&mut state, item));
+        });
     }
 
-    /// Sums the items.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
+    /// Whether `f` holds for every item. Early-stops (other chunks stop
+    /// evaluating `f` once a violation is found) — sound because a
+    /// boolean conjunction is order-independent.
+    pub fn all<F>(self, f: F) -> bool
+    where
+        F: Fn(P::Item) -> bool + Sync,
+    {
+        let p = self.0;
+        let failed = AtomicBool::new(false);
+        map_chunks(&p, |start, end| {
+            if failed.load(Ordering::Relaxed) {
+                return;
+            }
+            p.run_range(start, end, |item| {
+                if !failed.load(Ordering::Relaxed) && !f(item) {
+                    failed.store(true, Ordering::Relaxed);
+                }
+            });
+        });
+        !failed.load(Ordering::Relaxed)
     }
 
-    /// Minimum by a comparator.
-    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
-        self,
-        f: F,
-    ) -> Option<I::Item> {
-        self.0.min_by(f)
+    /// Whether `f` holds for any item (early-stopping, like `all`).
+    pub fn any<F>(self, f: F) -> bool
+    where
+        F: Fn(P::Item) -> bool + Sync,
+    {
+        let p = self.0;
+        let found = AtomicBool::new(false);
+        map_chunks(&p, |start, end| {
+            if found.load(Ordering::Relaxed) {
+                return;
+            }
+            p.run_range(start, end, |item| {
+                if !found.load(Ordering::Relaxed) && f(item) {
+                    found.store(true, Ordering::Relaxed);
+                }
+            });
+        });
+        found.load(Ordering::Relaxed)
     }
 
-    /// Maximum by a comparator.
-    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
-        self,
-        f: F,
-    ) -> Option<I::Item> {
-        self.0.max_by(f)
+    /// Collects into any `FromIterator` container, preserving item order
+    /// (chunk buffers concatenate in chunk order).
+    pub fn collect<C: FromIterator<P::Item>>(self) -> C {
+        let p = self.0;
+        let parts: Vec<Vec<P::Item>> = map_chunks(&p, |start, end| {
+            let mut buf = Vec::new();
+            p.run_range(start, end, |item| buf.push(item));
+            buf
+        });
+        parts.into_iter().flatten().collect()
     }
 
-    /// Number of items.
+    /// rayon-style reduce: each chunk folds from `identity()` in index
+    /// order, then partials fold from `identity()` left-to-right in
+    /// chunk order — one fixed association per input length.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
+    where
+        ID: Fn() -> P::Item + Sync,
+        OP: Fn(P::Item, P::Item) -> P::Item + Sync,
+    {
+        let p = self.0;
+        let parts: Vec<P::Item> = map_chunks(&p, |start, end| {
+            let mut acc = Some(identity());
+            p.run_range(start, end, |item| {
+                let folded = op(acc.take().expect("reduce accumulator"), item);
+                acc = Some(folded);
+            });
+            acc.expect("reduce accumulator")
+        });
+        parts.into_iter().fold(identity(), &op)
+    }
+
+    /// Sums the items (chunk sums combine in chunk order).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
+    {
+        let p = self.0;
+        let parts: Vec<S> = map_chunks(&p, |start, end| {
+            let mut buf = Vec::new();
+            p.run_range(start, end, |item| buf.push(item));
+            buf.into_iter().sum()
+        });
+        parts.into_iter().sum()
+    }
+
+    /// Minimum by a comparator; ties keep the earliest item, matching
+    /// `Iterator::min_by`.
+    pub fn min_by<F>(self, f: F) -> Option<P::Item>
+    where
+        F: Fn(&P::Item, &P::Item) -> CmpOrdering + Sync,
+    {
+        let p = self.0;
+        let parts: Vec<Option<P::Item>> = map_chunks(&p, |start, end| {
+            let mut best: Option<P::Item> = None;
+            p.run_range(start, end, |item| {
+                best = Some(match best.take() {
+                    None => item,
+                    Some(b) if f(&item, &b) == CmpOrdering::Less => item,
+                    Some(b) => b,
+                });
+            });
+            best
+        });
+        let mut out: Option<P::Item> = None;
+        for part in parts.into_iter().flatten() {
+            out = Some(match out.take() {
+                None => part,
+                Some(b) if f(&part, &b) == CmpOrdering::Less => part,
+                Some(b) => b,
+            });
+        }
+        out
+    }
+
+    /// Maximum by a comparator; ties keep the latest item, matching
+    /// `Iterator::max_by`.
+    pub fn max_by<F>(self, f: F) -> Option<P::Item>
+    where
+        F: Fn(&P::Item, &P::Item) -> CmpOrdering + Sync,
+    {
+        let p = self.0;
+        let parts: Vec<Option<P::Item>> = map_chunks(&p, |start, end| {
+            let mut best: Option<P::Item> = None;
+            p.run_range(start, end, |item| {
+                best = Some(match best.take() {
+                    None => item,
+                    Some(b) if f(&item, &b) != CmpOrdering::Less => item,
+                    Some(b) => b,
+                });
+            });
+            best
+        });
+        let mut out: Option<P::Item> = None;
+        for part in parts.into_iter().flatten() {
+            out = Some(match out.take() {
+                None => part,
+                Some(b) if f(&part, &b) != CmpOrdering::Less => part,
+                Some(b) => b,
+            });
+        }
+        out
+    }
+
+    /// Number of items (counted, so it is exact after filtering too).
     pub fn count(self) -> usize {
-        self.0.count()
+        let p = self.0;
+        let parts: Vec<usize> = map_chunks(&p, |start, end| {
+            let mut c = 0usize;
+            p.run_range(start, end, |_| c += 1);
+            c
+        });
+        parts.into_iter().sum()
+    }
+}
+
+/// Mapping adapter (see [`ParIter::map`]).
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> Producer for Map<P, F>
+where
+    P: Producer,
+    U: Send,
+    F: Fn(P::Item) -> U + Sync,
+{
+    type Item = U;
+    const EXACT: bool = P::EXACT;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn run_range<G: FnMut(U)>(&self, start: usize, end: usize, mut g: G) {
+        self.base.run_range(start, end, |item| g((self.f)(item)));
+    }
+}
+
+/// Filtering adapter (see [`ParIter::filter`]).
+pub struct Filter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F> Producer for Filter<P, F>
+where
+    P: Producer,
+    F: Fn(&P::Item) -> bool + Sync,
+{
+    type Item = P::Item;
+    const EXACT: bool = false;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn run_range<G: FnMut(P::Item)>(&self, start: usize, end: usize, mut g: G) {
+        self.base.run_range(start, end, |item| {
+            if (self.f)(&item) {
+                g(item)
+            }
+        });
+    }
+}
+
+/// Filter-mapping adapter (see [`ParIter::filter_map`]).
+pub struct FilterMap<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> Producer for FilterMap<P, F>
+where
+    P: Producer,
+    U: Send,
+    F: Fn(P::Item) -> Option<U> + Sync,
+{
+    type Item = U;
+    const EXACT: bool = false;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn run_range<G: FnMut(U)>(&self, start: usize, end: usize, mut g: G) {
+        self.base.run_range(start, end, |item| {
+            if let Some(mapped) = (self.f)(item) {
+                g(mapped)
+            }
+        });
+    }
+}
+
+/// Enumerating adapter (see [`ParIter::enumerate`]): ordinal positions
+/// become the indices, which is why it requires an `EXACT` upstream.
+pub struct Enumerate<P> {
+    base: P,
+}
+
+impl<P: Producer> Producer for Enumerate<P> {
+    type Item = (usize, P::Item);
+    const EXACT: bool = P::EXACT;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn run_range<G: FnMut((usize, P::Item))>(&self, start: usize, end: usize, mut g: G) {
+        let mut i = start;
+        self.base.run_range(start, end, |item| {
+            g((i, item));
+            i += 1;
+        });
+    }
+}
+
+/// Producer over an integer range.
+pub struct RangeProducer<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_producer {
+    ($t:ty) => {
+        impl Producer for RangeProducer<$t> {
+            type Item = $t;
+            const EXACT: bool = true;
+            fn len(&self) -> usize {
+                self.len
+            }
+            fn run_range<F: FnMut($t)>(&self, start: usize, end: usize, mut f: F) {
+                for i in start..end {
+                    f(self.start + i as $t);
+                }
+            }
+        }
+
+        impl prelude::IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Producer = RangeProducer<$t>;
+            fn into_par_iter(self) -> ParIter<RangeProducer<$t>> {
+                ParIter(RangeProducer {
+                    start: self.start,
+                    len: (self.end.max(self.start) - self.start) as usize,
+                })
+            }
+        }
+    };
+}
+
+impl_range_producer!(u32);
+impl_range_producer!(u64);
+impl_range_producer!(usize);
+
+/// Producer that copies items out of an owned `Vec` (the shim supports
+/// `Vec` fan-out for `Copy` items, which every call site uses; non-copy
+/// fan-out goes through slices or ranges).
+pub struct VecProducer<T>(Vec<T>);
+
+impl<T: Copy + Send + Sync> Producer for VecProducer<T> {
+    type Item = T;
+    const EXACT: bool = true;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn run_range<F: FnMut(T)>(&self, start: usize, end: usize, mut f: F) {
+        for &item in &self.0[start..end] {
+            f(item);
+        }
+    }
+}
+
+impl<T: Copy + Send + Sync> prelude::IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Producer = VecProducer<T>;
+    fn into_par_iter(self) -> ParIter<VecProducer<T>> {
+        ParIter(VecProducer(self))
+    }
+}
+
+/// Producer over shared slice references.
+pub struct SliceProducer<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    const EXACT: bool = true;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn run_range<F: FnMut(&'a T)>(&self, start: usize, end: usize, mut f: F) {
+        for item in &self.0[start..end] {
+            f(item);
+        }
+    }
+}
+
+/// Producer over disjoint mutable chunks of one slice (rayon writes rows
+/// of a flat buffer this way). Ordinal `i` is chunk `i`; the consumer
+/// contract (each ordinal exactly once, concurrent ranges disjoint) is
+/// what makes handing out `&mut` sound.
+pub struct ChunksMut<'a, T> {
+    base: *mut T,
+    len: usize,
+    size: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: chunks are disjoint per the Producer contract, and `T: Send`
+// lets each chunk be mutated from whichever thread runs its ordinal.
+unsafe impl<T: Send> Sync for ChunksMut<'_, T> {}
+unsafe impl<T: Send> Send for ChunksMut<'_, T> {}
+
+impl<'a, T: Send> Producer for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    const EXACT: bool = true;
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+    fn run_range<F: FnMut(&'a mut [T])>(&self, start: usize, end: usize, mut f: F) {
+        for ci in start..end {
+            let off = ci * self.size;
+            let clen = self.size.min(self.len - off);
+            // SAFETY: in-bounds (ci < len()), and no other ordinal covers
+            // these elements (disjoint chunks + each ordinal run once).
+            let chunk = unsafe { std::slice::from_raw_parts_mut(self.base.add(off), clen) };
+            f(chunk);
+        }
     }
 }
 
@@ -111,76 +556,71 @@ pub mod prelude {
 
     pub use super::ParIter;
 
-    /// Conversion into a parallel iterator (sequential here).
+    /// Conversion into a parallel iterator.
     pub trait IntoParallelIterator {
-        /// Underlying iterator type.
-        type Iter: Iterator<Item = Self::Item>;
         /// Item type.
-        type Item;
+        type Item: Send;
+        /// The producer driving the iteration.
+        type Producer: super::Producer<Item = Self::Item>;
         /// Converts into a parallel iterator.
-        fn into_par_iter(self) -> ParIter<Self::Iter>;
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
-        type Item = I::Item;
-        fn into_par_iter(self) -> ParIter<I::IntoIter> {
-            ParIter(self.into_iter())
-        }
+        fn into_par_iter(self) -> ParIter<Self::Producer>;
     }
 
     /// `par_iter` on shared slices.
-    pub trait ParallelSlice<T> {
+    pub trait ParallelSlice<T: Sync> {
         /// Parallel iterator over references.
-        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+        fn par_iter(&self) -> ParIter<super::SliceProducer<'_, T>>;
     }
 
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
-            ParIter(self.iter())
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> ParIter<super::SliceProducer<'_, T>> {
+            ParIter(super::SliceProducer(self))
         }
     }
 
     /// `par_chunks_mut` on mutable slices: disjoint chunks, processed in
-    /// place (rayon writes rows of a flat buffer this way).
-    pub trait ParallelSliceMut<T> {
-        /// Parallel iterator over disjoint mutable chunks of size `size`.
-        fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    /// place.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel iterator over disjoint mutable chunks of size `size`
+        /// (the last chunk may be shorter). Panics if `size == 0`.
+        fn par_chunks_mut(&mut self, size: usize) -> ParIter<super::ChunksMut<'_, T>>;
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-            ParIter(self.chunks_mut(size))
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> ParIter<super::ChunksMut<'_, T>> {
+            assert!(size > 0, "chunk size must be non-zero");
+            ParIter(super::ChunksMut {
+                base: self.as_mut_ptr(),
+                len: self.len(),
+                size,
+                _marker: std::marker::PhantomData,
+            })
         }
     }
-}
-
-/// Runs two closures (sequentially here) and returns both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
-}
-
-/// Number of pool threads (1: this shim is sequential).
-pub fn current_num_threads() -> usize {
-    1
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
 
+    /// Requests a 4-thread pool so the tests below genuinely exercise
+    /// stealing even on a single-core runner. First resolution wins
+    /// process-wide; every assertion here is valid at any thread count
+    /// (including 1), so a lost race only loses coverage, not soundness.
+    fn setup() {
+        let _ = super::configure_num_threads(4);
+    }
+
     #[test]
     fn map_collect() {
+        setup();
         let v: Vec<u32> = (0u32..5).into_par_iter().map(|x| x * 2).collect();
         assert_eq!(v, vec![0, 2, 4, 6, 8]);
     }
 
     #[test]
     fn rayon_style_reduce() {
+        setup();
         let m = (0..10u32)
             .into_par_iter()
             .map(|x| x as f64)
@@ -190,6 +630,7 @@ mod tests {
 
     #[test]
     fn all_and_filter_map() {
+        setup();
         assert!((0..5u32).into_par_iter().all(|x| x < 5));
         let odd: Vec<u32> = (0..9u32)
             .into_par_iter()
@@ -200,6 +641,7 @@ mod tests {
 
     #[test]
     fn par_chunks_mut_writes_rows() {
+        setup();
         let mut buf = vec![0u32; 12];
         buf.par_chunks_mut(4).enumerate().for_each(|(i, row)| {
             for (j, x) in row.iter_mut().enumerate() {
@@ -211,8 +653,180 @@ mod tests {
 
     #[test]
     fn join_runs_both() {
+        setup();
         let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
         assert_eq!(a, 2);
         assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn nested_join_tree_sum() {
+        setup();
+        // A 2^12-leaf recursive join: exercises deque push/steal/reclaim
+        // at every depth. The sum is schedule-independent arithmetic.
+        fn tree_sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 1 {
+                return lo;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = super::join(|| tree_sum(lo, mid), || tree_sum(mid, hi));
+            a + b
+        }
+        assert_eq!(tree_sum(0, 4096), 4096 * 4095 / 2);
+    }
+
+    #[test]
+    fn join_propagates_panic_from_b() {
+        setup();
+        let r = std::panic::catch_unwind(|| {
+            super::join(|| 1, || -> u32 { panic!("boom-b") });
+        });
+        let payload = r.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "boom-b");
+        // The pool stays usable afterwards.
+        let (a, b) = super::join(|| 2, || 3);
+        assert_eq!((a, b), (2, 3));
+    }
+
+    #[test]
+    fn join_propagates_panic_from_a() {
+        setup();
+        let r = std::panic::catch_unwind(|| {
+            super::join(|| -> u32 { panic!("boom-a") }, || 1);
+        });
+        assert!(r.is_err());
+        let (a, b) = super::join(|| 4, || 5);
+        assert_eq!((a, b), (4, 5));
+    }
+
+    #[test]
+    fn for_each_panic_propagates_and_pool_survives() {
+        setup();
+        let r = std::panic::catch_unwind(|| {
+            (0..64u32).into_par_iter().for_each(|x| {
+                if x == 33 {
+                    panic!("item panic");
+                }
+            });
+        });
+        assert!(r.is_err());
+        let n: usize = (0..64u32).into_par_iter().map(|_| 1usize).count();
+        assert_eq!(n, 64);
+    }
+
+    #[test]
+    fn par_chunks_mut_disjoint_coverage() {
+        setup();
+        // Every element written exactly once, chunk sizes that don't
+        // divide the length, across many rounds (steal schedules vary).
+        for round in 0..50usize {
+            let len = 97 + round;
+            let size = 1 + round % 7;
+            let mut buf = vec![u32::MAX; len];
+            buf.par_chunks_mut(size)
+                .enumerate()
+                .for_each(|(ci, chunk)| {
+                    for (j, x) in chunk.iter_mut().enumerate() {
+                        assert_eq!(*x, u32::MAX, "element written twice");
+                        *x = (ci * size + j) as u32;
+                    }
+                });
+            for (i, &x) in buf.iter().enumerate() {
+                assert_eq!(x as usize, i, "element missed or misrouted");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_bitwise_equals_sequential() {
+        setup();
+        // The determinism contract, in-process: parallel execution and
+        // `with_sequential` produce bit-identical f64 reductions and
+        // identically ordered collects.
+        let vals: Vec<f64> = (0..1000u32).map(|i| (i as f64).sin() * 1e3).collect();
+        let par_sum: f64 = {
+            let v = vals.clone();
+            (0..v.len()).into_par_iter().map(|i| v[i] / 3.0).sum()
+        };
+        let seq_sum: f64 = super::with_sequential(|| {
+            let v = vals.clone();
+            (0..v.len()).into_par_iter().map(|i| v[i] / 3.0).sum()
+        });
+        assert_eq!(par_sum.to_bits(), seq_sum.to_bits());
+
+        let par_max = (0..1000usize)
+            .into_par_iter()
+            .map(|i| vals[i])
+            .reduce(|| f64::NEG_INFINITY, f64::max);
+        let seq_max = super::with_sequential(|| {
+            (0..1000usize)
+                .into_par_iter()
+                .map(|i| vals[i])
+                .reduce(|| f64::NEG_INFINITY, f64::max)
+        });
+        assert_eq!(par_max.to_bits(), seq_max.to_bits());
+
+        let par_collect: Vec<usize> = (0..500usize).into_par_iter().map(|i| i * 7).collect();
+        assert_eq!(par_collect, (0..500).map(|i| i * 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn external_threads_share_the_pool() {
+        setup();
+        // Several non-pool threads drive parallel work concurrently; all
+        // inject into the same global pool and help while waiting.
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let s: u64 = (0..10_000u64).into_par_iter().map(|x| x + t).sum();
+                    s
+                })
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            let expect = 10_000u64 * 9_999 / 2 + 10_000 * t as u64;
+            assert_eq!(h.join().unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn min_max_by_match_iterator_semantics() {
+        setup();
+        // Ties: min keeps the earliest, max keeps the latest — exactly
+        // `Iterator::{min_by, max_by}`.
+        let keys = [3u32, 1, 4, 1, 5, 9, 2, 6, 5, 9];
+        let par_min = (0..keys.len())
+            .into_par_iter()
+            .map(|i| (keys[i], i))
+            .min_by(|a, b| a.0.cmp(&b.0));
+        let par_max = (0..keys.len())
+            .into_par_iter()
+            .map(|i| (keys[i], i))
+            .max_by(|a, b| a.0.cmp(&b.0));
+        let seq_min = keys
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, k)| (k, i))
+            .min_by(|a, b| a.0.cmp(&b.0));
+        let seq_max = keys
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, k)| (k, i))
+            .max_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(par_min, seq_min);
+        assert_eq!(par_max, seq_max);
+    }
+
+    #[test]
+    fn slice_par_iter_and_any() {
+        setup();
+        let v: Vec<u32> = (0..300).collect();
+        let total: u32 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 300 * 299 / 2);
+        assert!(v.par_iter().any(|&x| x == 299));
+        assert!(!v.par_iter().any(|&x| x > 299));
     }
 }

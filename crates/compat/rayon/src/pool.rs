@@ -1,0 +1,440 @@
+//! The work-stealing thread pool under the `rayon` shim.
+//!
+//! A lazily-initialized global pool of `std::thread` workers, each owning
+//! a deque of type-erased stack jobs. Owners push to the *back* of their
+//! own deque and reclaim from the back (LIFO: the deepest, smallest
+//! tasks); thieves steal from the *front* (FIFO: the shallowest, largest
+//! tasks) — the classic work-first discipline. Threads that are not pool
+//! workers (the main thread, service workers) inject into a shared queue
+//! and help execute jobs while they block on their own results, so every
+//! caller of a parallel operation is itself an executor.
+//!
+//! # Thread count
+//!
+//! The pool size is resolved once per process, in priority order:
+//! [`configure_num_threads`] (the `--threads` CLI flags) >
+//! `GNCG_THREADS` > [`std::thread::available_parallelism`]. A resolved
+//! count of 1 means no pool is ever spawned — every parallel entry point
+//! degrades to an inline sequential loop. The pool spawns `count - 1`
+//! workers: the caller of a parallel region participates, so `count`
+//! threads compute.
+//!
+//! # Panic propagation
+//!
+//! Jobs run under `catch_unwind`; the payload is carried back through the
+//! job's latch and re-thrown on the thread that called [`join`] — a panic
+//! in a stolen closure surfaces in the caller exactly as it would have
+//! sequentially, and the pool stays usable.
+//!
+//! # Safety
+//!
+//! Jobs borrow the stack frame of the [`join`] call that created them
+//! (`StackJob` erases the lifetime). This is sound because `join` never
+//! returns — not even by unwinding — before the job has either been
+//! reclaimed unexecuted or run to completion by its thief, so the
+//! borrowed frame outlives every access.
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Fat-finger guard on `GNCG_THREADS` / `--threads`, not a tuning knob.
+pub const MAX_THREADS: usize = 1024;
+
+/// Thread count requested programmatically (0 = unset).
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+/// The count every parallel decision uses, fixed at first resolution.
+static RESOLVED: OnceLock<usize> = OnceLock::new();
+/// The global pool (spawned on first parallel execution, count ≥ 2).
+static GLOBAL: OnceLock<&'static Pool> = OnceLock::new();
+
+thread_local! {
+    /// `Some(i)` on pool worker `i`; `None` on external threads.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Depth of [`with_sequential`] scopes on this thread.
+    static SEQUENTIAL_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+fn resolve_thread_count() -> usize {
+    let configured = CONFIGURED.load(Ordering::SeqCst);
+    if configured > 0 {
+        return configured.min(MAX_THREADS);
+    }
+    if let Ok(v) = std::env::var("GNCG_THREADS") {
+        match v.trim().parse::<usize>() {
+            Ok(n) if (1..=MAX_THREADS).contains(&n) => return n,
+            _ => eprintln!(
+                "rayon shim: ignoring invalid GNCG_THREADS={v:?} (want 1..={MAX_THREADS})"
+            ),
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Number of threads parallel operations distribute over (callers
+/// included). Resolves — and from then on pins — the count.
+pub fn current_num_threads() -> usize {
+    *RESOLVED.get_or_init(resolve_thread_count)
+}
+
+/// Requests `n` pool threads. Must be called before the first parallel
+/// operation (or [`current_num_threads`] call) resolves the count;
+/// afterwards only a request for the already-resolved count succeeds.
+/// Takes precedence over `GNCG_THREADS`.
+pub fn configure_num_threads(n: usize) -> Result<(), String> {
+    if n == 0 || n > MAX_THREADS {
+        return Err(format!(
+            "thread count must be in 1..={MAX_THREADS} (got {n})"
+        ));
+    }
+    CONFIGURED.store(n, Ordering::SeqCst);
+    let resolved = current_num_threads();
+    if resolved == n {
+        Ok(())
+    } else {
+        Err(format!(
+            "thread count already resolved to {resolved}; cannot change it to {n}"
+        ))
+    }
+}
+
+/// Whether parallel entry points on this thread must run inline: inside a
+/// [`with_sequential`] scope, or process-wide when the pool size is 1.
+pub(crate) fn sequential_mode() -> bool {
+    SEQUENTIAL_DEPTH.with(|d| d.get() > 0) || current_num_threads() == 1
+}
+
+/// Runs `f` with every parallel operation on this thread executing
+/// inline, sequentially — same chunk boundaries, same combine order,
+/// bitwise-identical results; only the worker fan-out is suppressed.
+/// Nests. (Shim-specific: the parallelism-ablation benches use this to
+/// measure sequential baselines against the live pool in one process.)
+pub fn with_sequential<R>(f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            SEQUENTIAL_DEPTH.with(|d| d.set(d.get() - 1));
+        }
+    }
+    SEQUENTIAL_DEPTH.with(|d| d.set(d.get() + 1));
+    let _guard = Guard;
+    f()
+}
+
+/// A type-erased pointer to a [`StackJob`] queued for execution.
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// SAFETY: the pointed-to StackJob is Sync-accessible (one thief at a
+// time, handed over through the Mutex-protected queues) and outlives the
+// ref (see the module-level safety note).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    fn same(&self, other: &JobRef) -> bool {
+        std::ptr::eq(self.data, other.data)
+    }
+}
+
+/// Completion flag a job's owner blocks on, with help-while-waiting.
+struct Latch {
+    done: AtomicBool,
+    mu: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch {
+            done: AtomicBool::new(false),
+            mu: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn set(&self) {
+        self.done.store(true, Ordering::Release);
+        // Lock-then-notify so a waiter between its probe and its wait
+        // cannot miss the wakeup.
+        let mut flag = self.mu.lock().unwrap();
+        *flag = true;
+        drop(flag);
+        self.cv.notify_all();
+    }
+
+    fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+/// A `join` partner living on the owner's stack: the closure going in,
+/// the result (or panic payload) coming out, and the latch that
+/// synchronizes the hand-back.
+struct StackJob<B, RB> {
+    latch: Latch,
+    body: UnsafeCell<Option<B>>,
+    outcome: UnsafeCell<Option<std::thread::Result<RB>>>,
+}
+
+// SAFETY: body/outcome are accessed by exactly one executor (owner or
+// thief — the queues hand the job to at most one), and the latch orders
+// the executor's writes before the owner's reads.
+unsafe impl<B: Send, RB: Send> Sync for StackJob<B, RB> {}
+
+impl<B: FnOnce() -> RB, RB> StackJob<B, RB> {
+    fn new(body: B) -> Self {
+        StackJob {
+            latch: Latch::new(),
+            body: UnsafeCell::new(Some(body)),
+            outcome: UnsafeCell::new(None),
+        }
+    }
+
+    fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            exec: exec_stack_job::<B, RB>,
+        }
+    }
+
+    fn take_outcome(self) -> std::thread::Result<RB> {
+        self.outcome
+            .into_inner()
+            .expect("stack job finished without an outcome")
+    }
+}
+
+unsafe fn exec_stack_job<B: FnOnce() -> RB, RB>(data: *const ()) {
+    let job = &*(data as *const StackJob<B, RB>);
+    let body = (*job.body.get()).take().expect("stack job executed twice");
+    let result = panic::catch_unwind(AssertUnwindSafe(body));
+    *job.outcome.get() = Some(result);
+    job.latch.set();
+}
+
+/// The pool: per-worker deques, an injector for external threads, and
+/// the idle-sleep machinery.
+struct Pool {
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Jobs sitting in any queue (not: currently executing).
+    pending: AtomicUsize,
+    idle_mu: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| {
+        // `count` threads compute: the blocked caller helps, so spawn
+        // `count - 1` dedicated workers.
+        let workers = current_num_threads().saturating_sub(1).max(1);
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            pending: AtomicUsize::new(0),
+            idle_mu: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        }));
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("gncg-rayon-{i}"))
+                .spawn(move || pool.worker_loop(i))
+                .expect("cannot spawn pool worker");
+        }
+        pool
+    })
+}
+
+impl Pool {
+    /// Queues `jref`: workers push (and later reclaim) at the back of
+    /// their own deque, external threads go through the injector.
+    fn push(&self, jref: JobRef) {
+        {
+            let mut q = match WORKER_INDEX.with(Cell::get) {
+                Some(i) => self.deques[i].lock(),
+                None => self.injector.lock(),
+            }
+            .unwrap();
+            q.push_back(jref);
+        }
+        self.pending.fetch_add(1, Ordering::Release);
+        // Lock-then-notify pairs with the worker's check-then-wait.
+        let _idle = self.idle_mu.lock().unwrap();
+        self.idle_cv.notify_one();
+    }
+
+    /// Removes `jref` from the queue it was pushed to, if no thief took
+    /// it. LIFO discipline makes it the backmost surviving entry.
+    fn try_remove(&self, jref: JobRef) -> bool {
+        let removed = {
+            let mut q = match WORKER_INDEX.with(Cell::get) {
+                Some(i) => self.deques[i].lock(),
+                None => self.injector.lock(),
+            }
+            .unwrap();
+            match q.iter().rposition(|j| j.same(&jref)) {
+                Some(pos) => {
+                    q.remove(pos);
+                    true
+                }
+                None => false,
+            }
+        };
+        if removed {
+            self.pending.fetch_sub(1, Ordering::Release);
+        }
+        removed
+    }
+
+    /// Dequeues one job: own deque back (workers), then steal other
+    /// deques front, then the injector front.
+    fn find_work(&self) -> Option<JobRef> {
+        if self.pending.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let me = WORKER_INDEX.with(Cell::get);
+        if let Some(i) = me {
+            if let Some(j) = self.deques[i].lock().unwrap().pop_back() {
+                self.pending.fetch_sub(1, Ordering::Release);
+                return Some(j);
+            }
+        }
+        let n = self.deques.len();
+        let start = me.map_or(0, |i| i + 1);
+        for k in 0..n {
+            let i = (start + k) % n;
+            if Some(i) == me {
+                continue;
+            }
+            if let Some(j) = self.deques[i].lock().unwrap().pop_front() {
+                self.pending.fetch_sub(1, Ordering::Release);
+                return Some(j);
+            }
+        }
+        if let Some(j) = self.injector.lock().unwrap().pop_front() {
+            self.pending.fetch_sub(1, Ordering::Release);
+            return Some(j);
+        }
+        None
+    }
+
+    fn execute(&self, jref: JobRef) {
+        unsafe { (jref.exec)(jref.data) }
+    }
+
+    /// The owner's blocking point: executes queued jobs until `latch`
+    /// fires — a thread waiting on a stolen job is still an executor.
+    fn wait_until(&self, latch: &Latch) {
+        loop {
+            if latch.probe() {
+                return;
+            }
+            if let Some(j) = self.find_work() {
+                self.execute(j);
+                continue;
+            }
+            let flag = latch.mu.lock().unwrap();
+            if !*flag {
+                // Timed: new stealable work does not signal this latch.
+                drop(self.cv_wait(&latch.cv, flag, Duration::from_micros(500)));
+            }
+        }
+    }
+
+    fn cv_wait<'a, T>(
+        &self,
+        cv: &Condvar,
+        guard: std::sync::MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> std::sync::MutexGuard<'a, T> {
+        let (g, _timeout) = cv.wait_timeout(guard, dur).unwrap();
+        g
+    }
+
+    fn worker_loop(&'static self, idx: usize) {
+        WORKER_INDEX.with(|w| w.set(Some(idx)));
+        loop {
+            if let Some(j) = self.find_work() {
+                self.execute(j);
+                continue;
+            }
+            let idle = self.idle_mu.lock().unwrap();
+            if self.pending.load(Ordering::Acquire) == 0 {
+                // Timed as a backstop; the push-side notify is the wakeup.
+                drop(self.cv_wait(&self.idle_cv, idle, Duration::from_millis(50)));
+            }
+        }
+    }
+}
+
+/// Runs both closures and returns both results: `a` inline on the
+/// calling thread while `b` sits in this thread's deque, stealable by
+/// any idle worker. If nobody stole `b`, the caller reclaims and runs it
+/// inline — the recursive building block every parallel iterator
+/// splits through. Panics from either side propagate to the caller
+/// (after both sides have completed, so borrowed frames stay live).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    if sequential_mode() {
+        return (a(), b());
+    }
+    let pool = global();
+    let job = StackJob::new(b);
+    pool.push(job.as_job_ref());
+    let ra = panic::catch_unwind(AssertUnwindSafe(a));
+    if pool.try_remove(job.as_job_ref()) {
+        unsafe { exec_stack_job::<B, RB>(job.as_job_ref().data) }
+    } else {
+        pool.wait_until(&job.latch);
+    }
+    let rb = job.take_outcome();
+    match ra {
+        Ok(ra) => match rb {
+            Ok(rb) => (ra, rb),
+            Err(p) => panic::resume_unwind(p),
+        },
+        // `a`'s panic wins (it would have fired first sequentially).
+        Err(p) => panic::resume_unwind(p),
+    }
+}
+
+/// Executes `leaf(0..count)` with a deterministic recursive index-range
+/// split: leaves run in parallel on the pool, panics propagate, and the
+/// call blocks until every leaf has run. The split tree depends only on
+/// `count`, never on the thread count or the steal schedule.
+pub(crate) fn run_indexed(count: usize, leaf: &(dyn Fn(usize) + Sync)) {
+    if count == 0 {
+        return;
+    }
+    if sequential_mode() || count == 1 {
+        for i in 0..count {
+            leaf(i);
+        }
+        return;
+    }
+    split_indexed(0, count, leaf);
+}
+
+fn split_indexed(lo: usize, hi: usize, leaf: &(dyn Fn(usize) + Sync)) {
+    if hi - lo == 1 {
+        leaf(lo);
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    join(
+        || split_indexed(lo, mid, leaf),
+        || split_indexed(mid, hi, leaf),
+    );
+}

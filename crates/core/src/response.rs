@@ -299,6 +299,13 @@ pub fn exact_best_response_given_current(
     }
 }
 
+/// Fewest candidates (`n − 1`) for which [`exact_best_response_parallel`]
+/// actually splits. Below this the whole pruned DFS is tens of
+/// microseconds, so per-subtree incumbent re-seeding plus spawn overhead
+/// outweigh any core the split could recruit (`BENCH_hotpath.json`
+/// measured the split 15–30% *slower* at n = 12–16).
+pub const MIN_PARALLEL_CANDIDATES: usize = 18;
+
 /// Rayon-parallel exact best response: the include/exclude tree is split
 /// at the first `SPLIT_DEPTH` candidate decisions into `2^SPLIT_DEPTH`
 /// independent subtree searches that run on the rayon pool, each with its
@@ -306,12 +313,14 @@ pub fn exact_best_response_given_current(
 /// global optimum. Produces exactly the same *cost* as
 /// [`exact_best_response`] (the strategy may differ among ties).
 ///
-/// The crossover where the split pays off only exists with a real thread
-/// pool: under the sequential rayon shim (`crates/compat/rayon`) the
-/// split is pure overhead — each subtree re-seeds its incumbent from the
-/// current cost instead of sharing the global one, so prefer
-/// [`exact_best_response`] there (the bench `best_response.rs` and
-/// `BENCH_hotpath.json` quantify the gap).
+/// Splitting has a real cost even on a real pool: each subtree re-seeds
+/// its incumbent from the agent's current cost instead of sharing the
+/// global one, so the split prices leaves the shared-incumbent DFS would
+/// have pruned. Below [`MIN_PARALLEL_CANDIDATES`] candidates — or when
+/// the pool has a single thread — that overhead cannot be bought back,
+/// and this function runs the plain [`exact_best_response`] search
+/// inline, making it never slower than the sequential solver
+/// (`bench_snapshot.sh` asserts the relation at every measured `n`).
 pub fn exact_best_response_parallel(game: &Game, profile: &Profile, agent: NodeId) -> BestResponse {
     use rayon::prelude::*;
     const SPLIT_DEPTH: usize = 4;
@@ -320,7 +329,7 @@ pub fn exact_best_response_parallel(game: &Game, profile: &Profile, agent: NodeI
     // The candidate count is n − 1; check it before paying for the search
     // state (the via table costs n Dijkstras) the sequential path would
     // rebuild anyway.
-    if game.n().saturating_sub(1) <= SPLIT_DEPTH {
+    if game.n().saturating_sub(1) < MIN_PARALLEL_CANDIDATES || rayon::current_num_threads() == 1 {
         return exact_best_response_in(game, profile, &network, agent);
     }
     let current = agent_cost_in(game, profile, &network, agent).total();

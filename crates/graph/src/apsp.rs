@@ -129,7 +129,9 @@ pub fn apsp_sequential(g: &AdjacencyList) -> DistanceMatrix {
 /// pool overhead.
 pub fn apsp_parallel(g: &AdjacencyList) -> DistanceMatrix {
     let n = g.n();
-    if n < 64 {
+    // Small graphs and single-thread pools both pay fan-out bookkeeping
+    // for nothing; the one-scratch sequential loop is strictly better.
+    if n < 64 || rayon::current_num_threads() == 1 {
         return apsp_sequential(g);
     }
     apsp_parallel_forced(g)
@@ -144,8 +146,8 @@ pub fn apsp_parallel_forced(g: &AdjacencyList) -> DistanceMatrix {
     }
     let csr = Csr::from_adjacency(g);
     let mut d = vec![f64::INFINITY; n * n];
-    // for_each_init: one scratch per worker (one total under the
-    // sequential shim), reused across that worker's rows.
+    // for_each_init: one scratch per chunk of rows, reused across the
+    // chunk, regardless of which pool thread runs it.
     d.par_chunks_mut(n)
         .enumerate()
         .for_each_init(DijkstraScratch::new, |scratch, (u, row)| {

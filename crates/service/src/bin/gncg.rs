@@ -9,10 +9,10 @@
 //! gncg grid      --out <file.jsonl> [--name <s>] [--hosts k1,k2] [--n n1,n2]
 //!                [--alpha a1,a2] [--rules r1,r2] [--scheds s1,s2]
 //!                [--seeds s1,s2 | --seed-count k] [--max-rounds <r>] [--base-seed <s>]
-//!                [--certify full|sampled|off]
-//! gncg resume    --out <file.jsonl>
-//! gncg serve     [--addr host:port] [--workers k] [--queue-cap n] [--cache <file>] [--cache-max <entries>]
-//!                [--journal <file>] [--read-timeout-ms <ms>] [--write-timeout-ms <ms>]
+//!                [--certify full|sampled|off] [--threads <k>]
+//! gncg resume    --out <file.jsonl> [--threads <k>]
+//! gncg serve     [--addr host:port] [--workers k] [--threads k] [--queue-cap n] [--cache <file>]
+//!                [--cache-max <entries>] [--journal <file>] [--read-timeout-ms <ms>] [--write-timeout-ms <ms>]
 //! gncg submit    --addr host:port --out <file.jsonl> [grid flags as above]
 //!                [--deadline-ms <ms>] [--retries <k>] [--timeout-ms <ms>]
 //! gncg tail      --addr host:port --job <id> --out <file.jsonl> [--retries <k>] [--timeout-ms <ms>]
@@ -163,6 +163,18 @@ struct GridCli {
     retries: u32,
     /// `--timeout-ms`: per-read timeout on each attempt's connection.
     timeout_ms: Option<u64>,
+    /// `--threads` (local `grid` form only): compute-pool size.
+    threads: Option<usize>,
+}
+
+/// Applies `--threads` before any parallel work resolves the pool size.
+/// Results are bitwise-identical at every thread count, so this is purely
+/// a throughput knob; it overrides `GNCG_THREADS`.
+fn apply_threads(threads: Option<usize>) {
+    if let Some(t) = threads {
+        rayon::configure_num_threads(t)
+            .unwrap_or_else(|e| invalid(format_args!("cannot apply --threads: {e}")));
+    }
 }
 
 /// Parses `gncg grid` / `gncg submit` flags (the service-only flags are
@@ -174,6 +186,7 @@ fn parse_grid_spec(args: &[String], allow_addr: bool) -> GridCli {
     let mut deadline_ms: Option<u64> = None;
     let mut retries: u32 = 0;
     let mut timeout_ms: Option<u64> = None;
+    let mut threads: Option<usize> = None;
     fn split_list<T>(value: &str, parse: impl Fn(&str) -> T) -> Vec<T> {
         value
             .split(',')
@@ -198,6 +211,11 @@ fn parse_grid_spec(args: &[String], allow_addr: bool) -> GridCli {
             }
             "--timeout-ms" if allow_addr => {
                 timeout_ms = Some(parse_or_exit(&value(), "--timeout-ms takes milliseconds"))
+            }
+            // Local compute only: a submitted grid runs on the daemon,
+            // whose pool is sized by `serve --threads`.
+            "--threads" if !allow_addr => {
+                threads = Some(parse_or_exit(&value(), "--threads takes a thread count"))
             }
             "--out" => out = Some(value().into()),
             "--name" => spec.name = value(),
@@ -246,6 +264,7 @@ fn parse_grid_spec(args: &[String], allow_addr: bool) -> GridCli {
         deadline_ms,
         retries,
         timeout_ms,
+        threads,
     }
 }
 
@@ -259,7 +278,10 @@ fn print_summary(s: &GridSummary) {
 }
 
 fn grid_cmd(args: &[String]) {
-    let GridCli { spec, out, .. } = parse_grid_spec(args, false);
+    let GridCli {
+        spec, out, threads, ..
+    } = parse_grid_spec(args, false);
+    apply_threads(threads);
     match run_grid(&spec, &out, false) {
         Ok(summary) => print_summary(&summary),
         Err(e) => invalid(e),
@@ -270,14 +292,17 @@ fn resume_cmd(args: &[String]) {
     let mut out: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| invalid(format_args!("missing value for {flag}")))
+                .clone()
+        };
         match flag.as_str() {
-            "--out" => {
-                out = Some(
-                    it.next()
-                        .unwrap_or_else(|| invalid("missing value for --out"))
-                        .into(),
-                )
-            }
+            "--out" => out = Some(value().into()),
+            "--threads" => apply_threads(Some(parse_or_exit(
+                &value(),
+                "--threads takes a thread count",
+            ))),
             other => invalid(format_args!("unknown flag: {other}")),
         }
     }
@@ -304,6 +329,7 @@ struct ServiceFlags {
     job: Option<u64>,
     out: Option<std::path::PathBuf>,
     workers: usize,
+    threads: usize,
     queue_cap: usize,
     cache: Option<std::path::PathBuf>,
     cache_max: Option<usize>,
@@ -327,6 +353,7 @@ impl ServiceFlags {
             job: None,
             out: None,
             workers: 0,
+            threads: 0,
             queue_cap: defaults.queue_cap,
             cache: None,
             cache_max: None,
@@ -370,6 +397,9 @@ impl ServiceFlags {
                 "--job" => f.job = Some(parse_or_exit(&value(), "--job takes an integer")),
                 "--out" => f.out = Some(value().into()),
                 "--workers" => f.workers = parse_or_exit(&value(), "--workers takes an integer"),
+                "--threads" => {
+                    f.threads = parse_or_exit(&value(), "--threads takes a thread count")
+                }
                 "--queue-cap" => {
                     f.queue_cap = parse_or_exit(&value(), "--queue-cap takes an integer")
                 }
@@ -400,6 +430,7 @@ fn serve_cmd(args: &[String]) {
         &[
             "--addr",
             "--workers",
+            "--threads",
             "--queue-cap",
             "--cache",
             "--cache-max",
@@ -412,6 +443,7 @@ fn serve_cmd(args: &[String]) {
         &f.addr,
         ServiceConfig {
             workers: f.workers,
+            threads: f.threads,
             queue_cap: f.queue_cap,
             cache_path: f.cache,
             cache_max: f.cache_max,
@@ -593,7 +625,10 @@ fn status_cmd(args: &[String]) {
                     s.journal_errors
                 );
             }
-            println!("workers: {}, queue cap: {}", s.workers, s.queue_cap);
+            println!(
+                "workers: {}, pool threads: {}, queue cap: {}",
+                s.workers, s.threads, s.queue_cap
+            );
         }
     }
 }
@@ -774,12 +809,13 @@ fn usage_and_exit() -> ! {
          grid:  --out results.jsonl [--hosts k1,k2] [--n n1,n2] [--alpha a1,a2]\n\
          \x20      [--rules r1,r2] [--scheds rr,random,maxgain]\n\
          \x20      [--seeds s1,s2 | --seed-count K] [--max-rounds R] [--base-seed S]\n\
-         \x20      [--certify full|sampled|off]\n\
-         resume: --out results.jsonl   (spec is read back from the manifest)\n\
+         \x20      [--certify full|sampled|off] [--threads K]\n\
+         resume: --out results.jsonl [--threads K]   (spec is read back from the manifest)\n\
          \n\
          service (newline-delimited JSON over TCP, see README):\n\
-         serve:    [--addr 127.0.0.1:7421] [--workers K] [--queue-cap N] [--cache file] [--cache-max E]\n\
-         \x20         [--journal file] [--read-timeout-ms MS] [--write-timeout-ms MS]\n\
+         serve:    [--addr 127.0.0.1:7421] [--workers K] [--threads K] [--queue-cap N]\n\
+         \x20         [--cache file] [--cache-max E] [--journal file]\n\
+         \x20         [--read-timeout-ms MS] [--write-timeout-ms MS]\n\
          submit:   --addr host:port --out results.jsonl [grid flags]\n\
          \x20         [--deadline-ms MS] [--retries K] [--timeout-ms MS]\n\
          tail:     --addr host:port --job ID --out results.jsonl [--retries K] [--timeout-ms MS]\n\

@@ -94,6 +94,8 @@ pub struct DaemonStatus {
     pub draining: bool,
     /// Worker threads.
     pub workers: usize,
+    /// Compute-pool threads (the rayon shim's within-cell fan-out).
+    pub threads: usize,
     /// Active-job cap.
     pub queue_cap: usize,
 }
@@ -246,6 +248,7 @@ impl Client {
             journal_errors: need_u64(&v, "journal_errors")?,
             draining: need_bool(&v, "draining")?,
             workers: need_u64(&v, "workers")? as usize,
+            threads: need_u64(&v, "threads")? as usize,
             queue_cap: need_u64(&v, "queue_cap")? as usize,
         })
     }

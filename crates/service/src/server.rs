@@ -14,7 +14,11 @@
 //!   distance vectors, cycle-detector map) stays hot **across jobs**, not
 //!   just across the cells of one batch ([`Runner::recycle`] drops
 //!   references into a finished job's data at job boundaries without
-//!   releasing the allocations).
+//!   releasing the allocations). Within a cell, the engine's own fan-out
+//!   (APSP, MaxGain scans, BnB splits) runs on the shared rayon-shim
+//!   compute pool (`--threads` / `GNCG_THREADS`) — workers scale across
+//!   cells, the pool scales inside one, and both produce byte-identical
+//!   results at any setting.
 //! * **Result cache** — before simulating, a worker looks the cell up by
 //!   its content digest ([`cell_digest`]); hits are served from the
 //!   [`ResultCache`] (memory, optionally disk-backed) and re-stamped with
@@ -47,8 +51,16 @@ use crate::protocol::{error_line, Request};
 /// Daemon tuning knobs.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
-    /// Worker threads (0 → one per available core).
+    /// Worker threads (0 → one per available core). Workers parallelize
+    /// *across* cells; `threads` parallelizes *within* one (both draw on
+    /// the same cores, so on a saturated daemon prefer many workers over
+    /// many pool threads).
     pub workers: usize,
+    /// Compute-pool threads for the rayon shim (the within-cell fan-out:
+    /// APSP, MaxGain scans, BnB splits). 0 → leave the pool at its
+    /// `GNCG_THREADS` / available-core default. Results are
+    /// bitwise-identical at every setting; this is a throughput knob.
+    pub threads: usize,
     /// Maximum jobs active (queued or running) at once; submissions
     /// beyond the cap are refused.
     pub queue_cap: usize,
@@ -83,6 +95,7 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             workers: 0,
+            threads: 0,
             queue_cap: 64,
             retain: 256,
             max_job_cells: 1 << 20,
@@ -208,6 +221,12 @@ impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
     /// the accept loop and worker pool.
     pub fn start(addr: &str, cfg: ServiceConfig) -> Result<Server, String> {
+        if cfg.threads > 0 {
+            // Must win the race against any earlier pool use: the global
+            // thread count is fixed at first resolution.
+            rayon::configure_num_threads(cfg.threads)
+                .map_err(|e| format!("cannot apply --threads: {e}"))?;
+        }
         let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
         let local = listener
             .local_addr()
@@ -766,7 +785,7 @@ fn status(shared: &Shared, job: Option<u64>) -> String {
             ),
         },
         None => format!(
-            "{{\"ok\":true,\"jobs\":{},\"active\":{},\"done\":{},\"canceled\":{},\"expired\":{},\"cache_entries\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_degraded\":{},\"cache_errors\":{},\"journal_errors\":{},\"draining\":{},\"workers\":{},\"queue_cap\":{}}}",
+            "{{\"ok\":true,\"jobs\":{},\"active\":{},\"done\":{},\"canceled\":{},\"expired\":{},\"cache_entries\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_degraded\":{},\"cache_errors\":{},\"journal_errors\":{},\"draining\":{},\"workers\":{},\"threads\":{},\"queue_cap\":{}}}",
             g.jobs.len(),
             g.active_jobs,
             g.counters.done_jobs,
@@ -780,6 +799,7 @@ fn status(shared: &Shared, job: Option<u64>) -> String {
             g.journal.append_errors(),
             g.draining,
             shared.workers,
+            rayon::current_num_threads(),
             shared.cfg.queue_cap,
         ),
     }

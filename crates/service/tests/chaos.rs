@@ -275,14 +275,30 @@ mod failpoints {
         );
         wait_for_daemon(&addr, 5_000).unwrap();
         let mut client = Client::connect(&addr).unwrap();
-        let ack = client.submit(&spec()).unwrap();
-        let err = client
-            .stream_to(ack.job, &mut Vec::new())
-            .expect_err("daemon aborts mid-job");
-        assert!(
-            gncg_service::client::is_transport_error(&err),
-            "a dead daemon is a transport error, got: {err}"
-        );
+        // With one worker and microsecond cells, the abort can outrun
+        // the submit ack's flush: the job is journaled and enqueued
+        // before the ack is written (worker.cell only fires on enqueued
+        // work), so a transport error here still means the job — the
+        // first on a fresh journal, id 1 — is safely on disk.
+        let job = match client.submit(&spec()) {
+            Ok(ack) => {
+                let err = client
+                    .stream_to(ack.job, &mut Vec::new())
+                    .expect_err("daemon aborts mid-job");
+                assert!(
+                    gncg_service::client::is_transport_error(&err),
+                    "a dead daemon is a transport error, got: {err}"
+                );
+                ack.job
+            }
+            Err(err) => {
+                assert!(
+                    gncg_service::client::is_transport_error(&err),
+                    "a dead daemon is a transport error, got: {err}"
+                );
+                1
+            }
+        };
         let _ = child.wait(); // aborted itself
 
         // Second incarnation: replay from the journal, no faults.
@@ -291,7 +307,7 @@ mod failpoints {
         let mut client2 = Client::connect(&addr2).unwrap();
         let mut bytes = Vec::new();
         let sum = client2
-            .tail_to(ack.job, &mut bytes)
+            .tail_to(job, &mut bytes)
             .expect("replayed job keeps its original id");
         assert_eq!(sum.cells, spec().cell_count());
         assert_eq!(

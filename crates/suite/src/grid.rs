@@ -113,7 +113,9 @@ pub fn run_grid(spec: &ScenarioSpec, out: &Path, resume: bool) -> Result<GridSum
 pub fn stream_cells(cells: &[Cell], sink: &mut impl CellSink) -> Result<usize, String> {
     let mut converged = 0usize;
     let shard = shard_size(cells.len());
-    let wave = (shard * rayon::current_num_threads().max(1)).max(1);
+    // One shard per pool thread per wave keeps every thread busy while
+    // bounding buffered output to one wave of results.
+    let wave = (shard * rayon::current_num_threads()).max(1);
     for wave_cells in cells.chunks(wave) {
         let results = crate::scenario::run_shards(wave_cells, shard);
         for r in &results {

@@ -755,7 +755,9 @@ pub(crate) fn run_shards(cells: &[Cell], shard: usize) -> Vec<CellResult> {
 /// Cells per worker shard: enough to amortize engine scratch, few enough
 /// to spread over the pool.
 pub(crate) fn shard_size(total: usize) -> usize {
-    let workers = rayon::current_num_threads().max(1);
+    // Live pool size (≥ 1 by construction): ~4 shards per pool thread
+    // balances steal granularity against engine-scratch reuse.
+    let workers = rayon::current_num_threads();
     total.div_ceil(workers * 4).clamp(1, 64)
 }
 

@@ -12,9 +12,19 @@
 # swap-heavy moves: Ramalingam–Reps repair vs invalidate-and-redo), and
 # `move_scan_speedup_n20` = move_scan/masked/20 ÷ move_scan/speculative/20
 # (the per-activation candidate-move scan: speculative warm-vector
-# deltas vs one masked Dijkstra per candidate) —
+# deltas vs one masked Dijkstra per candidate), and the pool ablations
+# `apsp_parallel_speedup_n256`, `maxgain_parallel_speedup_n20`, and
+# `grid_wall_speedup` (each a sequential ÷ pool-parallel pair; ≈ 1.0 on
+# a single-core runner, > 1 with real cores) —
 # into BENCH_hotpath.json at the repo root, so every PR leaves a perf
 # trajectory point behind.
+#
+# Also asserts the exact_bnb_parallel sequential cutoff holds: averaged
+# (geometric mean) over the measured sizes, the parallel entry point must
+# not cost more than 1.2× the sequential solver (below the cutoff it *is*
+# the sequential solver plus one branch; above it, losing to sequential
+# means the split is mis-sized). The figure lands in the snapshot as
+# `bnb_parallel_overhead_geomean`.
 #
 # Knobs: CRITERION_LITE_SAMPLES (default 10 per group),
 #        CRITERION_LITE_SAMPLE_MS (default 20 ms per sample).
@@ -34,7 +44,7 @@ for bench in best_response apsp dynamics move_scan service_roundtrip; do
 done
 
 python3 - "$OUT_DIR" "$REPO_ROOT/BENCH_hotpath.json" <<'PY'
-import json, pathlib, sys, datetime
+import json, math, pathlib, sys, datetime
 
 out_dir, dest = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
 medians = {}
@@ -61,10 +71,51 @@ masked = medians.get("move_scan/masked/20")
 spec = medians.get("move_scan/speculative/20")
 if masked and spec:
     snapshot["move_scan_speedup_n20"] = round(masked / spec, 2)
+for fig, seq, par in (
+    ("apsp_parallel_speedup_n256", "apsp/sequential/256", "apsp/parallel/256"),
+    ("maxgain_parallel_speedup_n20", "maxgain_scan/sequential/20", "maxgain_scan/parallel/20"),
+    ("grid_wall_speedup", "grid_wall/sequential/12cells", "grid_wall/parallel/12cells"),
+):
+    s, p = medians.get(seq), medians.get(par)
+    if s and p:
+        snapshot[fig] = round(s / p, 2)
+
+# Cutoff guard: averaged over every measured n, the parallel BnB entry
+# point must not lose to the sequential solver. Below the cutoff the two
+# arms run identical code, so single-point gaps are scheduler noise
+# (±25% has been observed on a loaded single-core runner); the geometric
+# mean across sizes averages that out while still catching the
+# structural regression the cutoff fixed (unconditional splitting
+# measured ~1.27x geomean before MIN_PARALLEL_CANDIDATES existed).
+TOLERANCE = 1.20
+ratios = {}
+for name, par_ns in medians.items():
+    prefix = "best_response/exact_bnb_parallel/"
+    if name.startswith(prefix):
+        n = name[len(prefix):]
+        seq_ns = medians.get(f"best_response/exact_bnb/{n}")
+        if seq_ns:
+            ratios[n] = par_ns / seq_ns
+if ratios:
+    geomean = math.exp(sum(map(math.log, ratios.values())) / len(ratios))
+    snapshot["bnb_parallel_overhead_geomean"] = round(geomean, 2)
+    if geomean > TOLERANCE:
+        per_n = ", ".join(f"n={n}: {r:.2f}x" for n, r in sorted(ratios.items()))
+        sys.exit(
+            f"exact_bnb_parallel cutoff regression: geomean {geomean:.2f}x > "
+            f"{TOLERANCE}x vs exact_bnb ({per_n})"
+        )
 
 dest.write_text(json.dumps(snapshot, indent=2) + "\n")
 print(f"wrote {dest} ({len(medians)} benchmarks)")
-for fig in ("incremental_speedup_n14", "swap_heavy_speedup_n20", "move_scan_speedup_n20"):
+for fig in (
+    "incremental_speedup_n14",
+    "swap_heavy_speedup_n20",
+    "move_scan_speedup_n20",
+    "apsp_parallel_speedup_n256",
+    "maxgain_parallel_speedup_n20",
+    "grid_wall_speedup",
+):
     if fig in snapshot:
         print(f"{fig} = {snapshot[fig]}x")
 PY

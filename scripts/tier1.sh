@@ -24,6 +24,11 @@ cargo build --release
 echo "== cargo test" >&2
 cargo test -q
 
+echo "== rayon shim under an oversubscribed pool (GNCG_THREADS=4)" >&2
+# The pool tests must pass at a thread count above the core count: steals
+# and panic propagation still have to behave when workers outnumber CPUs.
+GNCG_THREADS=4 cargo test -q -p rayon
+
 echo "== cargo bench smoke (compile all, 1-sample run of the tracked set)" >&2
 # Benches are compiled by clippy but never executed by `cargo test`, so a
 # runtime regression (a panicked setup assert, a changed bench id) rots
@@ -59,15 +64,20 @@ rm -f target/tier1-grid.jsonl.orig
 echo "== swap-heavy grid vs committed golden (36 cells, n = 20)" >&2
 # The removal-richest regime (≈ half the applied moves delete or swap
 # edges) byte-compared against the committed pre-speculation golden:
-# warm-vector repairs and the speculative move scan must never move a
-# result byte.
-rm -f target/tier1-swap-heavy.jsonl target/tier1-swap-heavy.manifest
-./target/release/gncg grid \
-  --out target/tier1-swap-heavy.jsonl \
-  --name swap-heavy \
-  --hosts r2,grid,clusters --n 20 --alpha 2.0,4.0,8.0 \
-  --rules greedy --scheds rr --seeds 0,1,2,3 --max-rounds 500 --base-seed 0
-cmp target/tier1-swap-heavy.jsonl tests/golden/swap_heavy_n20.jsonl
+# warm-vector repairs, the speculative move scan, and the work-stealing
+# pool must never move a result byte. Run once pinned to one thread and
+# once on the default pool — both must equal the golden exactly.
+swap_heavy_grid() {
+  rm -f target/tier1-swap-heavy.jsonl target/tier1-swap-heavy.manifest
+  ./target/release/gncg grid \
+    --out target/tier1-swap-heavy.jsonl \
+    --name swap-heavy \
+    --hosts r2,grid,clusters --n 20 --alpha 2.0,4.0,8.0 \
+    --rules greedy --scheds rr --seeds 0,1,2,3 --max-rounds 500 --base-seed 0
+  cmp target/tier1-swap-heavy.jsonl tests/golden/swap_heavy_n20.jsonl
+}
+GNCG_THREADS=1 swap_heavy_grid
+(unset GNCG_THREADS && swap_heavy_grid)
 
 echo "== gncg service smoke (serve → submit ×2 → shutdown)" >&2
 SERVICE_ADDR=127.0.0.1:47421
