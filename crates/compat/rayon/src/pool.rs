@@ -32,7 +32,10 @@
 //! (`StackJob` erases the lifetime). This is sound because `join` never
 //! returns — not even by unwinding — before the job has either been
 //! reclaimed unexecuted or run to completion by its thief, so the
-//! borrowed frame outlives every access.
+//! borrowed frame outlives every access. The job's latch is itself part
+//! of that frame, so the completion signal is a single atomic store —
+//! the executor's last access to the job — and the sleep/wake pair the
+//! owner blocks on lives in the `'static` pool, never in the job.
 
 use std::cell::{Cell, UnsafeCell};
 use std::collections::VecDeque;
@@ -145,29 +148,29 @@ impl JobRef {
 }
 
 /// Completion flag a job's owner blocks on, with help-while-waiting.
+///
+/// Deliberately just an atomic: the latch lives inside the job on the
+/// owner's stack, and the owner is free to return from `wait_until` (and
+/// drop that frame) the instant it observes `done`. The sleep/wake
+/// machinery therefore lives in the `'static` [`Pool`]
+/// (`latch_mu`/`latch_cv`), never in the latch itself.
 struct Latch {
     done: AtomicBool,
-    mu: Mutex<bool>,
-    cv: Condvar,
 }
 
 impl Latch {
     fn new() -> Latch {
         Latch {
             done: AtomicBool::new(false),
-            mu: Mutex::new(false),
-            cv: Condvar::new(),
         }
     }
 
+    /// Marks the job complete. This store must be the executor's **last
+    /// access** to the job's memory (rayon's "set is the last action"
+    /// rule): the owner may free the frame concurrently with anything
+    /// the executor does afterwards. Wakeups go through the pool.
     fn set(&self) {
         self.done.store(true, Ordering::Release);
-        // Lock-then-notify so a waiter between its probe and its wait
-        // cannot miss the wakeup.
-        let mut flag = self.mu.lock().unwrap();
-        *flag = true;
-        drop(flag);
-        self.cv.notify_all();
     }
 
     fn probe(&self) -> bool {
@@ -217,7 +220,14 @@ unsafe fn exec_stack_job<B: FnOnce() -> RB, RB>(data: *const ()) {
     let body = (*job.body.get()).take().expect("stack job executed twice");
     let result = panic::catch_unwind(AssertUnwindSafe(body));
     *job.outcome.get() = Some(result);
+    // After this store the owner may return from `wait_until` and drop
+    // the job's frame at any moment — `job` must not be touched again.
     job.latch.set();
+    // The wakeup goes through pool-owned ('static) state. Lock-then-
+    // notify so a waiter between its probe and its wait cannot miss it.
+    let pool = global();
+    drop(pool.latch_mu.lock().unwrap());
+    pool.latch_cv.notify_all();
 }
 
 /// The pool: per-worker deques, an injector for external threads, and
@@ -229,6 +239,12 @@ struct Pool {
     pending: AtomicUsize,
     idle_mu: Mutex<()>,
     idle_cv: Condvar,
+    /// Owners blocked in [`Pool::wait_until`] sleep here; executors
+    /// signal completion through this pair *after* the latch store, so
+    /// the wake side never touches a job's (stack-allocated) memory.
+    /// Shared by all waiters: each wakeup re-probes its own latch.
+    latch_mu: Mutex<()>,
+    latch_cv: Condvar,
 }
 
 fn global() -> &'static Pool {
@@ -242,6 +258,8 @@ fn global() -> &'static Pool {
             pending: AtomicUsize::new(0),
             idle_mu: Mutex::new(()),
             idle_cv: Condvar::new(),
+            latch_mu: Mutex::new(()),
+            latch_cv: Condvar::new(),
         }));
         for i in 0..workers {
             std::thread::Builder::new()
@@ -341,10 +359,14 @@ impl Pool {
                 self.execute(j);
                 continue;
             }
-            let flag = latch.mu.lock().unwrap();
-            if !*flag {
-                // Timed: new stealable work does not signal this latch.
-                drop(self.cv_wait(&latch.cv, flag, Duration::from_micros(500)));
+            let sync = self.latch_mu.lock().unwrap();
+            // Re-probe under the lock: pairs with the executor's
+            // store-then-lock-then-notify, so the completion cannot
+            // slip between this check and the wait.
+            if !latch.probe() {
+                // Timed: new stealable work does not signal this latch,
+                // and the condvar is shared by all waiting owners.
+                drop(self.cv_wait(&self.latch_cv, sync, Duration::from_micros(500)));
             }
         }
     }

@@ -296,6 +296,19 @@ mod failpoints {
                     gncg_service::client::is_transport_error(&err),
                     "a dead daemon is a transport error, got: {err}"
                 );
+                // The abort failpoint only fires on enqueued work, which
+                // is journaled before the ack — so a submit that died
+                // mid-transport must still have put job 1 on disk. Check
+                // that here: if the transport error instead came from a
+                // connect/write failure before the daemon journaled, the
+                // tail below would fail with an unrelated "unknown job"
+                // error instead of naming the broken invariant.
+                let text = std::fs::read_to_string(&journal).unwrap_or_default();
+                assert!(
+                    text.lines().any(|l| l.starts_with("jl1 submit 1 ")),
+                    "submit died before job 1 was journaled — the \
+                     journal-before-ack invariant is broken; journal: {text:?}"
+                );
                 1
             }
         };
