@@ -34,7 +34,7 @@ fn bench_schedulers(c: &mut Criterion) {
                         rule: ResponseRule::BestGreedyMove,
                         scheduler: s,
                         max_rounds: 300,
-                        record_trace: false,
+                        ..DynamicsConfig::default()
                     },
                 )
             })
@@ -52,7 +52,7 @@ fn bench_sweep_parallelism(c: &mut Criterion) {
         rule: ResponseRule::BestGreedyMove,
         scheduler: Scheduler::RoundRobin,
         max_rounds: 200,
-        record_trace: false,
+        ..DynamicsConfig::default()
     };
     let mut group = c.benchmark_group("sweep");
     group.sample_size(10);
@@ -159,7 +159,7 @@ fn bench_maxgain_scan(c: &mut Criterion) {
         rule: ResponseRule::BestGreedyMove,
         scheduler: Scheduler::MaxGain,
         max_rounds: 300,
-        record_trace: false,
+        ..DynamicsConfig::default()
     };
     let mut group = c.benchmark_group("maxgain_scan");
     group.sample_size(10);
@@ -196,12 +196,40 @@ fn bench_grid_wall(c: &mut Criterion) {
     group.finish();
 }
 
+/// The regret meter's price at n = 20: the same round-robin greedy run
+/// with the meter off vs on (one extra speculative pricing scan per
+/// round, the pass MaxGain already runs to pick a winner).
+/// `scripts/bench_snapshot.sh` derives `regret_meter_overhead_n20`
+/// (on ÷ off wall time) from this pair.
+fn bench_regret_meter(c: &mut Criterion) {
+    let n = 20usize;
+    let host = gncg_metrics::arbitrary::random_metric(n, 1.0, 4.0, 7);
+    let game = Game::new(host, 2.0);
+    let cfg = |meter: bool| DynamicsConfig {
+        rule: ResponseRule::BestGreedyMove,
+        scheduler: Scheduler::RoundRobin,
+        max_rounds: 300,
+        regret_meter: meter,
+        ..DynamicsConfig::default()
+    };
+    let mut group = c.benchmark_group("regret_meter");
+    group.sample_size(10);
+    for (name, meter) in [("off", false), ("on", true)] {
+        let cfg = cfg(meter);
+        group.bench_with_input(BenchmarkId::new(name, n), &(), |b, _| {
+            b.iter(|| gncg_dynamics::run(&game, Profile::star(n, 0), &cfg))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_schedulers,
     bench_sweep_parallelism,
     bench_swap_heavy,
     bench_maxgain_scan,
-    bench_grid_wall
+    bench_grid_wall,
+    bench_regret_meter
 );
 criterion_main!(benches);

@@ -36,7 +36,7 @@ fn bench_move_scan(c: &mut Criterion) {
         rule: ResponseRule::BestGreedyMove,
         scheduler: Scheduler::RoundRobin,
         max_rounds: 500,
-        record_trace: false,
+        ..DynamicsConfig::default()
     };
     let mut group = c.benchmark_group("move_scan");
     group.sample_size(10);

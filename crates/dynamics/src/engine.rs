@@ -114,6 +114,17 @@ pub struct DynamicsConfig {
     pub max_rounds: usize,
     /// Whether to record a [`Trace`].
     pub record_trace: bool,
+    /// Whether to record the per-round max-regret series
+    /// ([`RunResult::regret_series`]) via a [`RegretMeter`] scan after
+    /// each round. Off by default: the scan is behaviorally invisible
+    /// (warm vectors equal fresh Dijkstras bitwise and speculation rolls
+    /// back exactly), but it costs one all-agent pricing pass per round.
+    pub regret_meter: bool,
+    /// Checkpoint cadence in rounds: every `k`-th completed round (and
+    /// the final round of the run) a [`Checkpoint`] of the full engine
+    /// state is captured into [`RunResult::checkpoints`]. `0` disables
+    /// checkpointing (the default).
+    pub checkpoint_every: usize,
 }
 
 impl Default for DynamicsConfig {
@@ -123,6 +134,8 @@ impl Default for DynamicsConfig {
             scheduler: Scheduler::RoundRobin,
             max_rounds: 1_000,
             record_trace: false,
+            regret_meter: false,
+            checkpoint_every: 0,
         }
     }
 }
@@ -160,12 +173,145 @@ pub struct RunResult {
     pub moves: usize,
     /// Optional per-move trace.
     pub trace: Option<Trace>,
+    /// Per-round max regret ([`DynamicsConfig::regret_meter`]): entry `r`
+    /// is the largest cost improvement any agent could still realize
+    /// under the run's rule at the end of round `r`. `0.0` certifies an
+    /// equilibrium w.r.t. the rule's move space, so on a converged run
+    /// the final entry is exactly `0.0`.
+    pub regret_series: Option<Vec<f64>>,
+    /// Engine-state snapshots ([`DynamicsConfig::checkpoint_every`]), in
+    /// round order.
+    pub checkpoints: Option<Vec<Checkpoint>>,
 }
 
 impl RunResult {
     /// Whether the run ended in a certified equilibrium.
     pub fn converged(&self) -> bool {
         matches!(self.outcome, Outcome::Converged { .. })
+    }
+}
+
+/// A serialized snapshot of engine state at the end of a round — the
+/// unit of the trace time-travel layer: checkpoints ride inside the
+/// cell's JSONL line through every sink/stream layer, and `gncg explore`
+/// replays them (list per-agent cost/regret, diff strategies between
+/// rounds) without re-running the dynamics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Checkpoint {
+    /// The (0-based) round this snapshot closes.
+    pub round: usize,
+    /// Every agent's strategy, as a sorted owned-endpoint list.
+    pub strategies: Vec<Vec<NodeId>>,
+    /// Every agent's total cost `α·w(u, S_u) + d_G(u, V)`.
+    pub costs: Vec<f64>,
+    /// Every agent's regret under the run's rule (see [`RegretMeter`]).
+    pub regrets: Vec<f64>,
+}
+
+impl Checkpoint {
+    /// Captures the current engine state. `meter` must have been
+    /// [`RegretMeter::measure`]d against the same `(game, profile, ctx,
+    /// rule)` — the capture reuses its per-agent regrets and the warm
+    /// vectors the scan left behind.
+    fn capture(
+        round: usize,
+        game: &Game,
+        profile: &Profile,
+        ctx: &EvalContext,
+        meter: &RegretMeter,
+    ) -> Checkpoint {
+        let n = game.n();
+        Checkpoint {
+            round,
+            strategies: (0..n as NodeId)
+                .map(|u| profile.strategy(u).iter().copied().collect())
+                .collect(),
+            costs: (0..n as NodeId)
+                .map(|u| ctx.current_cost(game, profile, u))
+                .collect(),
+            regrets: meter.regrets().to_vec(),
+        }
+    }
+}
+
+/// The streaming max-regret meter: prices every agent's best available
+/// improvement off the warm distance vectors in one speculative-delta
+/// scan (the same pricing pass [`Scheduler::MaxGain`] runs to pick a
+/// winner, kept whole instead of reduced), so "how far from equilibrium
+/// is this profile" costs one parallel scan per round instead of `n`
+/// from-scratch best responses. A max of `0.0` certifies an equilibrium
+/// with respect to the rule's move space.
+#[derive(Clone, Debug, Default)]
+pub struct RegretMeter {
+    regrets: Vec<f64>,
+}
+
+impl RegretMeter {
+    /// A fresh meter (scratch grows on first measure).
+    pub fn new() -> Self {
+        RegretMeter::default()
+    }
+
+    /// Recomputes every agent's regret for `profile` under `rule` and
+    /// returns the maximum. An agent's regret is its current cost minus
+    /// the best cost any single `rule`-move reaches (`f64::INFINITY` when
+    /// a move first makes the cost finite; `0.0` when no move improves).
+    /// The scan is bitwise deterministic at every thread count and leaves
+    /// `ctx` behaviorally untouched: it warms every vector (warm vectors
+    /// equal fresh Dijkstras bitwise) and rolls every speculation back.
+    pub fn measure(
+        &mut self,
+        game: &Game,
+        profile: &Profile,
+        ctx: &mut EvalContext,
+        rule: ResponseRule,
+    ) -> f64 {
+        use rayon::prelude::*;
+        ctx.ensure_all_warm();
+        let n = game.n();
+        let network = &ctx.network;
+        let speculative = ctx.scan == ScanPolicy::SpeculativeDelta;
+        self.regrets = ctx.warm[..n]
+            .par_chunks_mut(1)
+            .enumerate()
+            .map(|(u, slot)| {
+                let u = u as NodeId;
+                let warm = &mut slot[0];
+                let current = gncg_core::cost::edge_cost(game, profile, u) + warm.sum();
+                match improving_change(
+                    game,
+                    profile,
+                    network,
+                    speculative.then_some(warm),
+                    u,
+                    rule,
+                    current,
+                ) {
+                    Some((_, before, after)) => {
+                        if before.is_infinite() && after.is_finite() {
+                            f64::INFINITY
+                        } else {
+                            before - after
+                        }
+                    }
+                    None => 0.0,
+                }
+            })
+            .collect();
+        self.max()
+    }
+
+    /// The per-agent regrets of the last [`RegretMeter::measure`].
+    pub fn regrets(&self) -> &[f64] {
+        &self.regrets
+    }
+
+    /// The maximum regret of the last measure (`0.0` when never measured
+    /// or when no agent improves — a certified equilibrium).
+    pub fn max(&self) -> f64 {
+        // Sequential fold in index order: deterministic at any thread
+        // count, and `max` so an INFINITY entry dominates.
+        self.regrets.iter().copied().fold(0.0, f64::max)
     }
 }
 
@@ -512,6 +658,11 @@ impl Engine {
         } else {
             None
         };
+        // One meter serves both observability features: the per-round
+        // series takes its max, checkpoint frames take the whole vector.
+        let mut meter = (cfg.regret_meter || cfg.checkpoint_every > 0).then(RegretMeter::new);
+        let mut regret_series: Option<Vec<f64>> = cfg.regret_meter.then(Vec::new);
+        let mut checkpoints: Option<Vec<Checkpoint>> = (cfg.checkpoint_every > 0).then(Vec::new);
         let mut moves = 0usize;
 
         for round in 0..cfg.max_rounds {
@@ -571,13 +722,37 @@ impl Engine {
                         });
                     }
                     if let Some(rec) = self.detector.observe(&profile) {
+                        // A recurrence aborts mid-round: the series and
+                        // checkpoints cover the completed rounds only.
                         return RunResult {
                             profile,
                             outcome: Outcome::Cycle { recurrence: rec },
                             rounds: round + 1,
                             moves,
                             trace,
+                            regret_series,
+                            checkpoints,
                         };
+                    }
+                }
+            }
+            if let Some(m) = meter.as_mut() {
+                // End-of-round observability hook. The final round of a
+                // run is always checkpointed (a silent round or the cap),
+                // so `explore` can land on the terminal state.
+                let last = !moved_this_round || round + 1 == cfg.max_rounds;
+                let frame_due =
+                    cfg.checkpoint_every > 0 && (last || (round + 1) % cfg.checkpoint_every == 0);
+                if cfg.regret_meter || frame_due {
+                    let max = m.measure(game, &profile, &mut self.ctx, cfg.rule);
+                    if let Some(series) = regret_series.as_mut() {
+                        series.push(max);
+                    }
+                    if frame_due {
+                        checkpoints
+                            .as_mut()
+                            .expect("checkpoint vec allocated when cadence > 0")
+                            .push(Checkpoint::capture(round, game, &profile, &self.ctx, m));
                     }
                 }
             }
@@ -588,6 +763,8 @@ impl Engine {
                     rounds: round + 1,
                     moves,
                     trace,
+                    regret_series,
+                    checkpoints,
                 };
             }
         }
@@ -597,6 +774,8 @@ impl Engine {
             rounds: cfg.max_rounds,
             moves,
             trace,
+            regret_series,
+            checkpoints,
         }
     }
 }
@@ -1185,6 +1364,128 @@ mod tests {
         let fresh = run(&b, Profile::star(8, 0), &cfg);
         assert_eq!(reused.profile, fresh.profile);
         assert_eq!(reused.moves, fresh.moves);
+    }
+
+    #[test]
+    fn regret_meter_is_behaviorally_invisible() {
+        // Meter + checkpoints on must reproduce the plain run bit for bit
+        // (the scan only warms vectors — bitwise-equal to fresh Dijkstras
+        // — and rolls every speculation back).
+        for seed in 0..3u64 {
+            let host = gncg_metrics::arbitrary::random_metric(8, 1.0, 4.0, seed);
+            let game = Game::new(host, 2.0);
+            for scheduler in [Scheduler::RoundRobin, Scheduler::MaxGain] {
+                let plain_cfg = DynamicsConfig {
+                    scheduler,
+                    max_rounds: 300,
+                    ..Default::default()
+                };
+                let metered_cfg = DynamicsConfig {
+                    regret_meter: true,
+                    checkpoint_every: 2,
+                    ..plain_cfg
+                };
+                let plain = run(&game, Profile::star(8, 0), &plain_cfg);
+                let metered = run(&game, Profile::star(8, 0), &metered_cfg);
+                assert_eq!(plain.profile, metered.profile, "seed {seed} {scheduler:?}");
+                assert_eq!(plain.outcome, metered.outcome);
+                assert_eq!(plain.moves, metered.moves);
+                assert!(plain.regret_series.is_none() && plain.checkpoints.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn converged_run_ends_with_exactly_zero_regret() {
+        for seed in 0..4u64 {
+            let host = gncg_metrics::arbitrary::random_metric(7, 1.0, 3.0, seed);
+            let game = Game::new(host, 1.5);
+            let r = run(
+                &game,
+                Profile::star(7, 0),
+                &DynamicsConfig {
+                    regret_meter: true,
+                    max_rounds: 400,
+                    ..Default::default()
+                },
+            );
+            let series = r.regret_series.as_ref().expect("meter on");
+            assert_eq!(series.len(), r.rounds, "one entry per completed round");
+            if r.converged() {
+                assert_eq!(series.last(), Some(&0.0), "silent round certifies NE");
+            }
+            // Regrets are never negative: an improving change improves.
+            assert!(series.iter().all(|&g| g >= 0.0));
+        }
+    }
+
+    #[test]
+    fn checkpoints_follow_the_cadence_and_include_the_final_round() {
+        let game = unit_game(6, 0.4); // add-heavy: several rounds of moves
+        let r = run(
+            &game,
+            Profile::star(6, 0),
+            &DynamicsConfig {
+                rule: ResponseRule::AddOnly,
+                checkpoint_every: 1,
+                ..Default::default()
+            },
+        );
+        assert!(r.converged());
+        let frames = r.checkpoints.as_ref().expect("checkpoints on");
+        assert_eq!(frames.len(), r.rounds, "cadence 1 → one frame per round");
+        let last = frames.last().unwrap();
+        assert_eq!(last.round + 1, r.rounds);
+        // The final frame snapshots the returned profile exactly, with
+        // all-zero regrets (it is the certified equilibrium).
+        for (u, s) in last.strategies.iter().enumerate() {
+            let expected: Vec<NodeId> = r.profile.strategy(u as NodeId).iter().copied().collect();
+            assert_eq!(s, &expected, "agent {u}");
+        }
+        assert!(last.regrets.iter().all(|&g| g == 0.0));
+        let network = r.profile.build_network(&game);
+        for u in 0..6u32 {
+            let expected = gncg_core::cost::agent_cost_in(&game, &r.profile, &network, u).total();
+            assert_eq!(last.costs[u as usize], expected, "agent {u} cost");
+        }
+        // A sparser cadence keeps every k-th frame plus the final one.
+        let sparse = run(
+            &game,
+            Profile::star(6, 0),
+            &DynamicsConfig {
+                rule: ResponseRule::AddOnly,
+                checkpoint_every: 2,
+                ..Default::default()
+            },
+        );
+        let sparse_frames = sparse.checkpoints.unwrap();
+        assert!(sparse_frames
+            .iter()
+            .all(|f| (f.round + 1) % 2 == 0 || f.round + 1 == sparse.rounds));
+        assert_eq!(sparse_frames.last().unwrap().round + 1, sparse.rounds);
+    }
+
+    #[test]
+    fn meter_agrees_with_stability_certificates() {
+        // max regret 0.0 ⇔ every agent is stable under the rule.
+        let host = gncg_metrics::arbitrary::random_metric(7, 1.0, 3.0, 11);
+        let game = Game::new(host, 1.8);
+        for rule in [
+            ResponseRule::ExactBestResponse,
+            ResponseRule::BestGreedyMove,
+            ResponseRule::AddOnly,
+        ] {
+            for probe in [Profile::star(7, 0), Profile::star(7, 3)] {
+                let mut ctx = EvalContext::new(&game, &probe);
+                let mut meter = RegretMeter::new();
+                let max = meter.measure(&game, &probe, &mut ctx, rule);
+                let mut cert_ctx = EvalContext::new(&game, &probe);
+                let all_stable = (0..7u32)
+                    .all(|u| agent_is_stable_given_current(&game, &probe, &mut cert_ctx, u, rule));
+                assert_eq!(max == 0.0, all_stable, "{rule:?}");
+                assert_eq!(meter.regrets().len(), 7);
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,6 @@ pub mod stats;
 pub mod trace;
 
 pub use engine::{
-    agent_is_stable_given_current, run, DynamicsConfig, Engine, EvalContext, Outcome,
-    RemovalPolicy, ResponseRule, RunResult, ScanPolicy, Scheduler,
+    agent_is_stable_given_current, run, Checkpoint, DynamicsConfig, Engine, EvalContext, Outcome,
+    RegretMeter, RemovalPolicy, ResponseRule, RunResult, ScanPolicy, Scheduler,
 };

@@ -99,7 +99,7 @@ mod tests {
             rule: ResponseRule::BestGreedyMove,
             scheduler: Scheduler::RoundRobin,
             max_rounds: 300,
-            record_trace: false,
+            ..DynamicsConfig::default()
         }
     }
 

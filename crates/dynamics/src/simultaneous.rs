@@ -180,7 +180,7 @@ mod tests {
                 rule: ResponseRule::BestGreedyMove,
                 scheduler: crate::engine::Scheduler::RoundRobin,
                 max_rounds: 300,
-                record_trace: false,
+                ..crate::engine::DynamicsConfig::default()
             },
         );
         assert!(seq.converged());

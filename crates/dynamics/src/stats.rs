@@ -129,7 +129,7 @@ mod tests {
             rule: ResponseRule::BestGreedyMove,
             scheduler: Scheduler::RoundRobin,
             max_rounds: 200,
-            record_trace: false,
+            ..DynamicsConfig::default()
         };
         let points = crate::parallel::sweep(&hosts, &[1.0, 2.0], &cfg, |_, n| Profile::star(n, 0));
         let s = summarize(&points);

@@ -48,6 +48,34 @@ impl Trace {
             .iter()
             .all(|e| gncg_graph::strictly_less(e.cost_after, e.cost_before))
     }
+
+    /// Rounds covered by the trace: `last round + 1` (rounds are 0-based),
+    /// `0` for an empty trace. Silent rounds at the tail of a run record
+    /// no entries, so this can undercount the run's round total.
+    pub fn rounds(&self) -> usize {
+        self.entries.iter().map(|e| e.round + 1).max().unwrap_or(0)
+    }
+
+    /// The largest single-move improvement applied in each round, `0.0`
+    /// for rounds without entries — the applied-move lower bound on the
+    /// [`crate::engine::RegretMeter`]'s *available*-improvement series
+    /// (the meter prices moves not taken; this aggregates moves taken).
+    pub fn max_improvement_by_round(&self) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.rounds()];
+        for e in &self.entries {
+            out[e.round] = out[e.round].max(e.improvement());
+        }
+        out
+    }
+
+    /// Applied moves per round (`0` for rounds without entries).
+    pub fn moves_by_round(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.rounds()];
+        for e in &self.entries {
+            out[e.round] += 1;
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -92,5 +120,27 @@ mod tests {
         });
         assert!(!t.all_improving());
         assert_eq!(t.moves(), 2);
+    }
+
+    #[test]
+    fn per_round_aggregation() {
+        let mut t = Trace::default();
+        assert_eq!(t.rounds(), 0);
+        assert!(t.max_improvement_by_round().is_empty());
+        assert!(t.moves_by_round().is_empty());
+        for (round, agent, before, after) in [(0, 0, 5.0, 4.0), (0, 1, 9.0, 5.5), (2, 2, 4.0, 3.0)]
+        {
+            t.entries.push(TraceEntry {
+                round,
+                agent,
+                cost_before: before,
+                cost_after: after,
+                strategy_size: 1,
+            });
+        }
+        assert_eq!(t.rounds(), 3);
+        // Round 1 is silent: zero moves, zero improvement.
+        assert_eq!(t.max_improvement_by_round(), vec![3.5, 0.0, 1.0]);
+        assert_eq!(t.moves_by_round(), vec![2, 0, 1]);
     }
 }

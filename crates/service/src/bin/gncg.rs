@@ -9,7 +9,8 @@
 //! gncg grid      --out <file.jsonl> [--name <s>] [--hosts k1,k2] [--n n1,n2]
 //!                [--alpha a1,a2] [--rules r1,r2] [--scheds s1,s2]
 //!                [--seeds s1,s2 | --seed-count k] [--max-rounds <r>] [--base-seed <s>]
-//!                [--certify full|sampled|off] [--threads <k>]
+//!                [--certify full|sampled|off] [--regret-meter] [--checkpoint-every <k>]
+//!                [--threads <k>]
 //! gncg resume    --out <file.jsonl> [--threads <k>]
 //! gncg serve     [--addr host:port] [--workers k] [--threads k] [--queue-cap n] [--cache <file>]
 //!                [--cache-max <entries>] [--journal <file>] [--read-timeout-ms <ms>] [--write-timeout-ms <ms>]
@@ -18,6 +19,8 @@
 //! gncg tail      --addr host:port --job <id> --out <file.jsonl> [--retries <k>] [--timeout-ms <ms>]
 //! gncg ping      [--addr host:port] [--wait-ms <ms>]
 //! gncg status    --addr host:port [--job <id>]
+//! gncg explore   --addr host:port --job <id> [--cell <c>] [--round <r>] [--diff <r2>]
+//! gncg metrics   [--addr host:port]
 //! gncg cancel    --addr host:port --job <id>
 //! gncg shutdown  --addr host:port [--drain]
 //! gncg list-factories
@@ -34,6 +37,7 @@
 use gncg_core::{Game, Profile};
 use gncg_dynamics::{DynamicsConfig, ResponseRule, Scheduler};
 use gncg_graph::SymMatrix;
+use gncg_service::json::Value;
 use gncg_service::{Client, RetryPolicy, Server, ServiceConfig};
 use gncg_suite::grid::{manifest_path, run_grid, GridSummary};
 use gncg_suite::scenario::{CertifyMode, RuleSpec, ScenarioSpec, SchedSpec};
@@ -53,6 +57,8 @@ fn main() {
         "tail" => tail_cmd(&args[1..]),
         "ping" => ping_cmd(&args[1..]),
         "status" => status_cmd(&args[1..]),
+        "explore" => explore_cmd(&args[1..]),
+        "metrics" => metrics_cmd(&args[1..]),
         "cancel" => cancel_cmd(&args[1..]),
         "shutdown" => shutdown_cmd(&args[1..]),
         "simulate" | "poa" | "opt" | "landscape" | "analyze" => {
@@ -250,6 +256,11 @@ fn parse_grid_spec(args: &[String], allow_addr: bool) -> GridCli {
             "--certify" => {
                 spec.certify = CertifyMode::parse(&value()).unwrap_or_else(|e| invalid(e))
             }
+            "--regret-meter" => spec.regret_meter = true,
+            "--checkpoint-every" => {
+                spec.checkpoint_every =
+                    parse_or_exit(&value(), "--checkpoint-every takes a round count")
+            }
             other => invalid(format_args!("unknown flag: {other}")),
         }
     }
@@ -340,6 +351,9 @@ struct ServiceFlags {
     retries: u32,
     timeout_ms: Option<u64>,
     drain: bool,
+    cell: Option<u64>,
+    round: Option<usize>,
+    diff: Option<usize>,
 }
 
 impl ServiceFlags {
@@ -364,6 +378,9 @@ impl ServiceFlags {
             retries: 0,
             timeout_ms: None,
             drain: false,
+            cell: None,
+            round: None,
+            diff: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -395,6 +412,9 @@ impl ServiceFlags {
                     f.timeout_ms = Some(parse_or_exit(&value(), "--timeout-ms takes milliseconds"))
                 }
                 "--job" => f.job = Some(parse_or_exit(&value(), "--job takes an integer")),
+                "--cell" => f.cell = Some(parse_or_exit(&value(), "--cell takes a cell index")),
+                "--round" => f.round = Some(parse_or_exit(&value(), "--round takes a round")),
+                "--diff" => f.diff = Some(parse_or_exit(&value(), "--diff takes a round")),
                 "--out" => f.out = Some(value().into()),
                 "--workers" => f.workers = parse_or_exit(&value(), "--workers takes an integer"),
                 "--threads" => {
@@ -598,39 +618,229 @@ fn status_cmd(args: &[String]) {
         }
         None => {
             let s = client.daemon_status().unwrap_or_else(|e| invalid(e));
+            // One line on a healthy daemon: uptime, then every job state.
             println!(
-                "daemon {}: {} jobs held ({} active{}), {} done / {} canceled / {} expired since start",
+                "daemon {}: up {:.1}s{}, {} jobs held ({} queued, {} running), {} done / {} canceled / {} expired since start, cache {} entries ({} hits, {} misses), {} workers",
                 f.addr,
+                s.uptime_ms as f64 / 1000.0,
+                if s.draining { " (draining)" } else { "" },
                 s.jobs,
-                s.active,
-                if s.draining { ", draining" } else { "" },
+                s.queued,
+                s.active.saturating_sub(s.queued),
                 s.done,
                 s.canceled,
                 s.expired,
-            );
-            println!(
-                "cache: {} entries, {} hits, {} misses{}",
                 s.cache_entries,
                 s.cache_hits,
                 s.cache_misses,
-                if s.cache_degraded {
-                    format!(" (DEGRADED: {} disk errors, memory-only)", s.cache_errors)
-                } else {
-                    String::new()
-                },
+                s.workers,
             );
+            if s.cache_degraded {
+                println!(
+                    "cache: DEGRADED ({} disk errors, memory-only)",
+                    s.cache_errors
+                );
+            }
             if s.journal_errors > 0 {
                 println!(
                     "journal: DEGRADED ({} append errors; accepted jobs no longer crash-durable)",
                     s.journal_errors
                 );
             }
-            println!(
-                "workers: {}, pool threads: {}, queue cap: {}",
-                s.workers, s.threads, s.queue_cap
-            );
         }
     }
+}
+
+/// One checkpoint frame parsed back out of a cell's JSONL line. Costs
+/// and regrets may be `null` on the wire (infinite while the network is
+/// still disconnected); those parse to `f64::INFINITY`.
+struct Frame {
+    round: usize,
+    strategies: Vec<Vec<usize>>,
+    costs: Vec<f64>,
+    regrets: Vec<f64>,
+}
+
+impl Frame {
+    fn from_json(v: &Value) -> Option<Frame> {
+        let nums = |key: &str| -> Option<Vec<f64>> {
+            Some(
+                v.get(key)?
+                    .as_arr()?
+                    .iter()
+                    .map(|x| x.as_f64().unwrap_or(f64::INFINITY))
+                    .collect(),
+            )
+        };
+        Some(Frame {
+            round: v.get("round")?.as_usize()?,
+            strategies: v
+                .get("strategies")?
+                .as_arr()?
+                .iter()
+                .map(|s| Some(s.as_arr()?.iter().filter_map(Value::as_usize).collect()))
+                .collect::<Option<_>>()?,
+            costs: nums("costs")?,
+            regrets: nums("regrets")?,
+        })
+    }
+}
+
+/// `inf` for absent/non-finite values (JSONL encodes them as `null`).
+fn fmt_cost(x: Option<f64>) -> String {
+    match x {
+        Some(v) if v.is_finite() => format!("{v:.4}"),
+        _ => "inf".into(),
+    }
+}
+
+fn explore_cmd(args: &[String]) {
+    let f = ServiceFlags::parse(args, &["--addr", "--job", "--cell", "--round", "--diff"]);
+    let job = f
+        .job
+        .unwrap_or_else(|| invalid("explore requires --job <id>"));
+    let cell = f.cell.unwrap_or(0);
+    let mut client = connect_or_exit(&f.addr);
+    let line = client.explore(job, cell).unwrap_or_else(|e| invalid(e));
+    let v = gncg_service::json::parse(&line).unwrap_or_else(|e| {
+        invalid(format_args!(
+            "daemon returned an unparseable cell line: {e}"
+        ))
+    });
+    let text = |k: &str| v.get(k).and_then(Value::as_str).unwrap_or("?").to_string();
+    let num = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+    println!(
+        "job {job} cell {cell}: {} n={} alpha={} rule={} sched={} seed={} -> {} in {} rounds ({} moves)",
+        text("host"),
+        num("n"),
+        fmt_cost(v.get("alpha").and_then(Value::as_f64)),
+        text("rule"),
+        text("scheduler"),
+        num("seed"),
+        text("outcome"),
+        num("rounds"),
+        num("moves"),
+    );
+    if let Some(series) = v.get("max_regret").and_then(Value::as_arr) {
+        println!(
+            "max-regret series: {} rounds metered, final {}",
+            series.len(),
+            fmt_cost(series.last().and_then(Value::as_f64)),
+        );
+    }
+    let frames: Vec<Frame> = match v.get("checkpoints").and_then(Value::as_arr) {
+        Some(arr) => arr.iter().filter_map(Frame::from_json).collect(),
+        None => invalid(format_args!(
+            "job {job} cell {cell} recorded no checkpoints — submit with --checkpoint-every <k>"
+        )),
+    };
+    let pick = |want: usize| -> &Frame {
+        frames
+            .iter()
+            .find(|fr| fr.round == want)
+            .unwrap_or_else(|| {
+                let avail: Vec<String> = frames.iter().map(|fr| fr.round.to_string()).collect();
+                invalid(format_args!(
+                    "no checkpoint at round {want}; available rounds: {}",
+                    avail.join(", ")
+                ))
+            })
+    };
+    let frame = match f.round {
+        Some(r) => pick(r),
+        None => frames
+            .last()
+            .unwrap_or_else(|| invalid("cell recorded an empty checkpoint list")),
+    };
+    println!(
+        "round {} ({} agents, max regret {}):",
+        frame.round,
+        frame.strategies.len(),
+        fmt_cost(Some(frame.regrets.iter().copied().fold(0.0, f64::max))),
+    );
+    println!("  agent        cost      regret  strategy");
+    for (a, s) in frame.strategies.iter().enumerate() {
+        println!(
+            "  {:>5}  {:>10}  {:>10}  {:?}",
+            a,
+            fmt_cost(frame.costs.get(a).copied()),
+            fmt_cost(frame.regrets.get(a).copied()),
+            s,
+        );
+    }
+    if let Some(r2) = f.diff {
+        let to = pick(r2);
+        println!(
+            "strategy diff, round {} -> round {}:",
+            frame.round, to.round
+        );
+        let mut changed = 0;
+        for a in 0..frame.strategies.len().min(to.strategies.len()) {
+            let before = &frame.strategies[a];
+            let after = &to.strategies[a];
+            let added: Vec<usize> = after
+                .iter()
+                .copied()
+                .filter(|x| !before.contains(x))
+                .collect();
+            let dropped: Vec<usize> = before
+                .iter()
+                .copied()
+                .filter(|x| !after.contains(x))
+                .collect();
+            if added.is_empty() && dropped.is_empty() {
+                continue;
+            }
+            changed += 1;
+            println!("  agent {a}: buys {added:?}, drops {dropped:?}");
+        }
+        if changed == 0 {
+            println!("  (no agent changed its strategy)");
+        }
+    }
+}
+
+fn metrics_cmd(args: &[String]) {
+    let f = ServiceFlags::parse(args, &["--addr"]);
+    let mut client = connect_or_exit(&f.addr);
+    let m = client.metrics().unwrap_or_else(|e| invalid(e));
+    let num = |k: &str| m.get(k).and_then(Value::as_u64).unwrap_or(0);
+    let ratio = |k: &str| m.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+    println!(
+        "daemon {}: up {:.1}s, {} workers ({:.1}% busy), queue depth {}, {} active jobs",
+        f.addr,
+        num("uptime_ms") as f64 / 1000.0,
+        num("workers"),
+        ratio("worker_busy_fraction") * 100.0,
+        num("queue_depth"),
+        num("active_jobs"),
+    );
+    println!(
+        "work: {} jobs submitted, {} cells simulated, {} cells from cache",
+        num("jobs_submitted"),
+        num("cells_simulated"),
+        num("cells_from_cache"),
+    );
+    println!(
+        "cache: {} entries, {} hits, {} misses (hit ratio {:.2})",
+        num("cache_entries"),
+        num("cache_hits"),
+        num("cache_misses"),
+        ratio("cache_hit_ratio"),
+    );
+    let histogram = |key: &str, label: &str| {
+        if let Some(h) = m.get(key) {
+            let hnum = |k: &str| h.get(k).and_then(Value::as_u64).unwrap_or(0);
+            println!(
+                "{label}: {} observed, p50 <= {}us, p99 <= {}us",
+                hnum("count"),
+                hnum("p50_us"),
+                hnum("p99_us"),
+            );
+        }
+    };
+    histogram("job_wall_us", "job wall time");
+    histogram("journal_fsync_us", "journal fsync");
 }
 
 fn cancel_cmd(args: &[String]) {
@@ -667,7 +877,7 @@ fn simulate(game: &Game, opts: &Options) {
             rule: opts.rule,
             scheduler: Scheduler::RoundRobin,
             max_rounds: opts.max_rounds,
-            record_trace: false,
+            ..DynamicsConfig::default()
         },
     );
     println!("outcome: {:?}", result.outcome);
@@ -696,7 +906,7 @@ fn poa_cmd(game: &Game) {
             rule: ResponseRule::BestGreedyMove,
             scheduler: Scheduler::RoundRobin,
             max_rounds: 1000,
-            record_trace: false,
+            ..DynamicsConfig::default()
         },
     );
     if !run.converged() {
@@ -772,7 +982,7 @@ fn analyze_cmd(game: &Game, opts: &Options) {
             rule: opts.rule,
             scheduler: Scheduler::RoundRobin,
             max_rounds: opts.max_rounds,
-            record_trace: false,
+            ..DynamicsConfig::default()
         },
     );
     let report = gncg_core::analysis::analyze(game, &run.profile);
@@ -802,14 +1012,15 @@ fn analyze_cmd(game: &Game, opts: &Options) {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: gncg <simulate|poa|opt|landscape|analyze|grid|resume|serve|submit|tail|status|cancel|shutdown|list-factories>\n\
+        "usage: gncg <simulate|poa|opt|landscape|analyze|grid|resume|serve|submit|tail|status|explore|metrics|cancel|shutdown|list-factories>\n\
          \n\
          instance commands: [--host <key>] [--n N] [--alpha A] [--seed S]\n\
          \x20                  [--rule br|greedy|add] [--max-rounds R]\n\
          grid:  --out results.jsonl [--hosts k1,k2] [--n n1,n2] [--alpha a1,a2]\n\
          \x20      [--rules r1,r2] [--scheds rr,random,maxgain]\n\
          \x20      [--seeds s1,s2 | --seed-count K] [--max-rounds R] [--base-seed S]\n\
-         \x20      [--certify full|sampled|off] [--threads K]\n\
+         \x20      [--certify full|sampled|off] [--regret-meter] [--checkpoint-every K]\n\
+         \x20      [--threads K]\n\
          resume: --out results.jsonl [--threads K]   (spec is read back from the manifest)\n\
          \n\
          service (newline-delimited JSON over TCP, see README):\n\
@@ -821,6 +1032,9 @@ fn usage_and_exit() -> ! {
          tail:     --addr host:port --job ID --out results.jsonl [--retries K] [--timeout-ms MS]\n\
          ping:     [--addr host:port] [--wait-ms MS]  (poll until the daemon is up)\n\
          status:   --addr host:port [--job ID]\n\
+         explore:  --addr host:port --job ID [--cell C] [--round R] [--diff R2]\n\
+         \x20         (replay a checkpoint: per-agent cost/regret, strategy diffs)\n\
+         metrics:  [--addr host:port]  (runtime counters, gauges, latency histograms)\n\
          cancel:   --addr host:port --job ID\n\
          shutdown: --addr host:port [--drain]  (--drain: finish active jobs first)\n\
          \n\

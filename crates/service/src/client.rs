@@ -65,10 +65,15 @@ pub struct JobStatus {
 /// Daemon-wide status snapshot.
 #[derive(Clone, Debug)]
 pub struct DaemonStatus {
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
     /// Jobs currently in the table (active + retained finished).
     pub jobs: usize,
     /// Jobs queued or running.
     pub active: usize,
+    /// Of the active jobs, how many are still queued (no cell has
+    /// started).
+    pub queued: usize,
     /// Jobs completed since startup.
     pub done: u64,
     /// Jobs canceled since startup.
@@ -235,8 +240,10 @@ impl Client {
     pub fn daemon_status(&mut self) -> Result<DaemonStatus, String> {
         let v = self.roundtrip(&Request::Status { job: None })?;
         Ok(DaemonStatus {
+            uptime_ms: need_u64(&v, "uptime_ms")?,
             jobs: need_u64(&v, "jobs")? as usize,
             active: need_u64(&v, "active")? as usize,
+            queued: need_u64(&v, "queued")? as usize,
             done: need_u64(&v, "done")?,
             canceled: need_u64(&v, "canceled")?,
             expired: need_u64(&v, "expired")?,
@@ -251,6 +258,26 @@ impl Client {
             threads: need_u64(&v, "threads")? as usize,
             queue_cap: need_u64(&v, "queue_cap")? as usize,
         })
+    }
+
+    /// Fetches one finished cell's result line (the exact bytes `stream`
+    /// would carry for it) — the `gncg explore` primitive. Errors on
+    /// unknown jobs, out-of-range indices, and unfinished cells.
+    pub fn explore(&mut self, job: u64, cell: u64) -> Result<String, String> {
+        let v = self.roundtrip(&Request::Explore { job, cell })?;
+        v.get("line")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| "daemon response missing \"line\"".to_string())
+    }
+
+    /// Fetches the daemon's runtime metrics snapshot as its parsed JSON
+    /// object (see [`crate::metrics`] for the members).
+    pub fn metrics(&mut self) -> Result<Value, String> {
+        let v = self.roundtrip(&Request::Metrics)?;
+        v.get("metrics")
+            .cloned()
+            .ok_or_else(|| "daemon response missing \"metrics\"".to_string())
     }
 
     /// Cancels a job; returns its resulting state.

@@ -16,6 +16,9 @@
 //!   before acknowledgement and replayed after a crash,
 //! * [`client`] — the blocking client, with a retry/backoff layer for
 //!   idempotent operations ([`RetryPolicy`]),
+//! * [`metrics`] — the zero-dependency runtime metrics registry
+//!   (counters, gauges, power-of-two latency histograms) behind the
+//!   `metrics` op,
 //! * [`failpoint`] — deterministic fault injection for the chaos suite
 //!   (compiled to nothing without the `failpoints` feature),
 //! * [`json`] — the minimal JSON layer everything above parses with.
@@ -33,6 +36,7 @@ pub mod client;
 pub mod failpoint;
 pub mod journal;
 pub mod json;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 

@@ -1,0 +1,326 @@
+//! Zero-dependency runtime metrics for the daemon.
+//!
+//! A tiny registry in the std-only spirit of the rest of the service: no
+//! metrics crate, no exporter thread — just atomics the hot paths bump
+//! without taking the state lock, snapshotted on demand into one JSON
+//! object by the protocol's `metrics` op (`gncg metrics` pretty-prints
+//! it).
+//!
+//! Three shapes:
+//!
+//! * **Counters** — monotone event totals ([`Counter`]): submits, cells
+//!   simulated, cells served from cache, worker busy-time.
+//! * **Histograms** — power-of-two microsecond buckets ([`Histogram`]):
+//!   per-job wall time and journal fsync latency. Bucket `i` counts
+//!   observations in `(2^(i-1), 2^i]` µs, so the full `u64` range fits in
+//!   [`Histogram::BUCKETS`] slots and recording is a couple of atomic
+//!   adds — cheap enough for the submit path that fsyncs under the state
+//!   lock.
+//! * **Gauges** — instantaneous values (queue depth, active jobs, cache
+//!   ratio, busy fraction) that already live in the daemon's state; the
+//!   snapshot computes them at read time instead of duplicating them
+//!   here ([`Metrics::snapshot_json`] takes them as [`Gauges`]).
+//!
+//! None of this participates in result bytes: metrics are process-local
+//! wall-clock observations, exactly the data the JSONL determinism
+//! contract keeps *out* of cell lines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone event counter. Relaxed ordering throughout: totals are
+/// read for reporting, never for synchronization.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` events.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A latency histogram over power-of-two microsecond buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    buckets: [AtomicU64; Histogram::BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket count: bucket `i` spans `(2^(i-1), 2^i]` µs (bucket 0 is
+    /// `[0, 1]` µs), and 2^63 µs is ~292k years — the last bucket is an
+    /// overflow catch-all in name only.
+    pub const BUCKETS: usize = 64;
+
+    /// Records one observation of `us` microseconds.
+    pub fn observe_us(&self, us: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        // ceil(log2(us)) puts us exactly in the (2^(i-1), 2^i] bucket.
+        let idx = match us {
+            0 | 1 => 0,
+            _ => (u64::BITS - (us - 1).leading_zeros()) as usize,
+        };
+        self.buckets[idx.min(Histogram::BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an elapsed [`std::time::Duration`].
+    pub fn observe(&self, elapsed: std::time::Duration) {
+        self.observe_us(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound (µs) of the bucket holding quantile `q` (in `[0, 1]`)
+    /// — an over-estimate by at most 2×, which is the resolution latency
+    /// reporting needs. `0` when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i == 0 {
+                    1
+                } else {
+                    1u64 << (i - 1).min(62) << 1
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    /// The non-empty buckets as `(upper_bound_us, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| {
+                    let le = if i == 0 {
+                        1
+                    } else {
+                        1u64 << (i - 1).min(62) << 1
+                    };
+                    (le, n)
+                })
+            })
+            .collect()
+    }
+
+    /// One JSON object: count, sum, quantile estimates, and the
+    /// non-empty `[upper_bound_us, count]` buckets.
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(le, n)| format!("[{le},{n}]"))
+            .collect();
+        format!(
+            "{{\"count\":{},\"sum_us\":{},\"p50_us\":{},\"p99_us\":{},\"buckets\":[{}]}}",
+            self.count(),
+            self.sum_us(),
+            self.quantile_us(0.50),
+            self.quantile_us(0.99),
+            buckets.join(","),
+        )
+    }
+}
+
+/// The daemon's metric set. One instance per [`crate::server::Server`]
+/// (never a global static: loopback tests run several daemons in one
+/// process, and their numbers must not bleed into each other).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Jobs accepted by `submit` (journal replays included).
+    pub jobs_submitted: Counter,
+    /// Cells actually simulated by a worker.
+    pub cells_simulated: Counter,
+    /// Cells served from the result cache.
+    pub cells_from_cache: Counter,
+    /// Microseconds workers spent simulating cells (the busy-fraction
+    /// numerator; the denominator is `uptime × workers`).
+    pub worker_busy_us: Counter,
+    /// Wall time from job acceptance to its last cell landing.
+    pub job_wall: Histogram,
+    /// Journal fsync latency on the submit path.
+    pub journal_fsync: Histogram,
+}
+
+/// Instantaneous values owned by the daemon state, passed in at snapshot
+/// time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Gauges {
+    /// Process uptime, in milliseconds.
+    pub uptime_ms: u64,
+    /// Cells currently waiting in the work queue.
+    pub queue_depth: usize,
+    /// Jobs queued or running.
+    pub active_jobs: usize,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Result-cache entries held.
+    pub cache_entries: usize,
+    /// Result-cache lookup hits.
+    pub cache_hits: u64,
+    /// Result-cache lookup misses.
+    pub cache_misses: u64,
+}
+
+impl Metrics {
+    /// The registry snapshot as one JSON object (the `metrics` op's
+    /// `"metrics"` member). Key order is fixed; ratios are rounded to
+    /// stay shortest-form floats.
+    pub fn snapshot_json(&self, g: &Gauges) -> String {
+        let ratio = |num: u64, den: u64| -> f64 {
+            if den == 0 {
+                0.0
+            } else {
+                (num as f64 / den as f64 * 1e4).round() / 1e4
+            }
+        };
+        let lookups = g.cache_hits + g.cache_misses;
+        let busy_budget_us = g.uptime_ms.saturating_mul(1_000) * g.workers.max(1) as u64;
+        format!(
+            "{{\"uptime_ms\":{},\"queue_depth\":{},\"active_jobs\":{},\"workers\":{},\"jobs_submitted\":{},\"cells_simulated\":{},\"cells_from_cache\":{},\"worker_busy_fraction\":{:?},\"cache_entries\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_ratio\":{:?},\"job_wall_us\":{},\"journal_fsync_us\":{}}}",
+            g.uptime_ms,
+            g.queue_depth,
+            g.active_jobs,
+            g.workers,
+            self.jobs_submitted.get(),
+            self.cells_simulated.get(),
+            self.cells_from_cache.get(),
+            ratio(self.worker_busy_us.get().min(busy_budget_us), busy_budget_us),
+            g.cache_entries,
+            g.cache_hits,
+            g.cache_misses,
+            ratio(g.cache_hits, lookups),
+            self.job_wall.to_json(),
+            self.journal_fsync.to_json(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = Counter::default();
+        assert_eq!(c.get(), 0);
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_are_power_of_two_upper_bounds() {
+        let h = Histogram::default();
+        for us in [0, 1, 2, 3, 4, 100, 1_000_000] {
+            h.observe_us(us);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum_us(), 1_000_110);
+        let buckets = h.nonzero_buckets();
+        // 0 and 1 land in le=1; 2 in le=2; 3 and 4 in le=4; 100 in
+        // le=128; 1_000_000 in le=2^20.
+        assert_eq!(
+            buckets,
+            vec![(1, 2), (2, 1), (4, 2), (128, 1), (1 << 20, 1)]
+        );
+        // Quantiles report bucket upper bounds: p50 (4th of 7) is le=4.
+        assert_eq!(h.quantile_us(0.5), 4);
+        assert_eq!(h.quantile_us(1.0), 1 << 20);
+        assert_eq!(Histogram::default().quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn extreme_observations_stay_in_range() {
+        let h = Histogram::default();
+        h.observe_us(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.nonzero_buckets().len(), 1);
+        assert!(h.quantile_us(0.5) > 0);
+    }
+
+    #[test]
+    fn snapshot_is_valid_json_with_fixed_keys() {
+        let m = Metrics::default();
+        m.jobs_submitted.add(2);
+        m.cells_simulated.add(5);
+        m.job_wall.observe_us(1500);
+        let g = Gauges {
+            uptime_ms: 10_000,
+            queue_depth: 3,
+            active_jobs: 1,
+            workers: 2,
+            cache_entries: 7,
+            cache_hits: 3,
+            cache_misses: 9,
+        };
+        let json = m.snapshot_json(&g);
+        let v = crate::json::parse(&json).expect("snapshot must be parseable");
+        assert_eq!(
+            v.get("uptime_ms").and_then(crate::json::Value::as_u64),
+            Some(10_000)
+        );
+        assert_eq!(
+            v.get("queue_depth").and_then(crate::json::Value::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            v.get("jobs_submitted").and_then(crate::json::Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            v.get("cache_hit_ratio")
+                .and_then(crate::json::Value::as_f64),
+            Some(0.25)
+        );
+        let wall = v.get("job_wall_us").expect("histogram member");
+        assert_eq!(
+            wall.get("count").and_then(crate::json::Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            wall.get("p50_us").and_then(crate::json::Value::as_u64),
+            Some(2048)
+        );
+        // An idle daemon reports a zero busy fraction, not NaN.
+        assert_eq!(
+            v.get("worker_busy_fraction")
+                .and_then(crate::json::Value::as_f64),
+            Some(0.0)
+        );
+    }
+}

@@ -22,6 +22,8 @@
 //! {"op":"stream","job":1}
 //! {"op":"tail","job":1}
 //! {"op":"cancel","job":1}
+//! {"op":"explore","job":1,"cell":0}
+//! {"op":"metrics"}
 //! {"op":"ping"}
 //! {"op":"shutdown"}
 //! {"op":"shutdown","drain":true}
@@ -53,10 +55,18 @@
 //!                                                    // then 8 raw cell lines,
 //! {"ok":true,"done":true,"cache_hits":8,"simulated":0} // stream footer
 //! {"ok":true,"job":1,"state":"canceled"}             // cancel
+//! {"ok":true,"job":1,"cell":0,"line":"{\"cell\":0,…}"} // explore
+//! {"ok":true,"metrics":{…}}                          // metrics
 //! {"ok":true,"pong":true}                            // ping
 //! {"ok":true,"shutdown":true}                        // shutdown
 //! {"ok":false,"error":"..."}                         // any failure
 //! ```
+//!
+//! `explore` fetches one **finished** cell's result line (the same bytes
+//! a `stream` would carry for it) as an escaped string inside a control
+//! line — the random-access twin of `stream` that the `gncg explore`
+//! checkpoint inspector is built on. `metrics` returns the daemon's
+//! runtime metrics registry snapshot ([`crate::metrics`]).
 //!
 //! `tail` shares `stream`'s framing (header, raw cell lines, footer) but
 //! sends each cell line **as soon as it finishes**, in completion order
@@ -101,6 +111,15 @@ pub enum Request {
         /// The job to cancel.
         job: u64,
     },
+    /// Fetch one finished cell's result line by (job, cell index).
+    Explore {
+        /// The job holding the cell.
+        job: u64,
+        /// The cell index within the job's expansion.
+        cell: u64,
+    },
+    /// Daemon runtime metrics snapshot.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Stop accepting connections and exit once in-flight work settles.
@@ -149,6 +168,15 @@ impl Request {
             "cancel" => Ok(Request::Cancel {
                 job: job(true)?.unwrap(),
             }),
+            "explore" => Ok(Request::Explore {
+                job: job(true)?.unwrap(),
+                cell: v
+                    .get("cell")
+                    .ok_or("explore requires a \"cell\" member")?
+                    .as_u64()
+                    .ok_or("\"cell\" must be a u64")?,
+            }),
+            "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
             "shutdown" => {
                 let drain = match v.get("drain") {
@@ -182,6 +210,10 @@ impl Request {
             Request::Stream { job } => format!("{{\"op\":\"stream\",\"job\":{job}}}"),
             Request::Tail { job } => format!("{{\"op\":\"tail\",\"job\":{job}}}"),
             Request::Cancel { job } => format!("{{\"op\":\"cancel\",\"job\":{job}}}"),
+            Request::Explore { job, cell } => {
+                format!("{{\"op\":\"explore\",\"job\":{job},\"cell\":{cell}}}")
+            }
+            Request::Metrics => "{\"op\":\"metrics\"}".into(),
             Request::Ping => "{\"op\":\"ping\"}".into(),
             Request::Shutdown { drain: false } => "{\"op\":\"shutdown\"}".into(),
             Request::Shutdown { drain: true } => "{\"op\":\"shutdown\",\"drain\":true}".into(),
@@ -196,7 +228,7 @@ pub fn spec_to_json(spec: &ScenarioSpec) -> String {
         let quoted: Vec<String> = xs.iter().map(|s| format!("\"{}\"", escape(s))).collect();
         format!("[{}]", quoted.join(","))
     };
-    format!(
+    let mut base = format!(
         "{{\"name\":\"{}\",\"hosts\":{},\"ns\":[{}],\"alphas\":[{}],\"rules\":{},\"schedulers\":{},\"seeds\":[{}],\"max_rounds\":{},\"base_seed\":{},\"certify\":\"{}\"}}",
         escape(&spec.name),
         strings(&spec.hosts),
@@ -226,7 +258,21 @@ pub fn spec_to_json(spec: &ScenarioSpec) -> String {
         spec.max_rounds,
         spec.base_seed,
         spec.certify.key(),
-    )
+    );
+    // Observability members ride along only when non-default, so
+    // meter-off submits keep their historical wire bytes (mirrors the
+    // manifest's schema gating).
+    if spec.observability_on() {
+        base.truncate(base.len() - 1);
+        if spec.regret_meter {
+            base.push_str(",\"regret_meter\":true");
+        }
+        if spec.checkpoint_every != 0 {
+            base.push_str(&format!(",\"checkpoint_every\":{}", spec.checkpoint_every));
+        }
+        base.push('}');
+    }
+    base
 }
 
 /// Builds a [`ScenarioSpec`] from the protocol's `"spec"` object. Absent
@@ -294,6 +340,14 @@ pub fn spec_from_value(v: &Value) -> Result<ScenarioSpec, String> {
     if let Some(x) = v.get("certify") {
         spec.certify = CertifyMode::parse(x.as_str().ok_or("\"certify\" must be a string")?)?;
     }
+    if let Some(x) = v.get("regret_meter") {
+        spec.regret_meter = x.as_bool().ok_or("\"regret_meter\" must be a boolean")?;
+    }
+    if let Some(x) = v.get("checkpoint_every") {
+        spec.checkpoint_every = x
+            .as_usize()
+            .ok_or("\"checkpoint_every\" must be an integer")?;
+    }
     spec.validate()?;
     Ok(spec)
 }
@@ -326,6 +380,7 @@ mod tests {
             max_rounds: 250,
             base_seed: 17,
             certify: CertifyMode::Sampled,
+            ..ScenarioSpec::default()
         }
     }
 
@@ -390,6 +445,8 @@ mod tests {
             Request::Stream { job: 9 },
             Request::Tail { job: 9 },
             Request::Cancel { job: u64::MAX },
+            Request::Explore { job: 2, cell: 17 },
+            Request::Metrics,
             Request::Ping,
             Request::Shutdown { drain: false },
             Request::Shutdown { drain: true },
@@ -408,6 +465,9 @@ mod tests {
             r#"{"op":"stream"}"#,
             r#"{"op":"tail"}"#,
             r#"{"op":"cancel","job":"one"}"#,
+            r#"{"op":"explore"}"#,
+            r#"{"op":"explore","job":1}"#,
+            r#"{"op":"explore","job":1,"cell":"zero"}"#,
             r#"{"op":"submit"}"#,
             r#"{"op":"submit","spec":{"hosts":["bogus-factory"]}}"#,
             r#"{"op":"submit","spec":{"ns":[0]}}"#,
@@ -417,6 +477,28 @@ mod tests {
             r#"{"op":"shutdown","drain":"yes"}"#,
         ] {
             assert!(Request::parse_line(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn observability_members_round_trip_and_stay_off_the_default_wire() {
+        // Default (meter-off) specs keep their historical wire bytes.
+        let off = spec_to_json(&ScenarioSpec::default());
+        assert!(!off.contains("regret_meter"));
+        assert!(!off.contains("checkpoint_every"));
+        // Meter-on specs round-trip through submit exactly.
+        let mut on = spec();
+        on.name = "wire name".into();
+        on.regret_meter = true;
+        on.checkpoint_every = 25;
+        let line = Request::Submit {
+            spec: on.clone(),
+            deadline_ms: None,
+        }
+        .to_line();
+        match Request::parse_line(&line).unwrap() {
+            Request::Submit { spec: back, .. } => assert_eq!(back, on),
+            other => panic!("wrong request {other:?}"),
         }
     }
 

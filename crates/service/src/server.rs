@@ -46,6 +46,7 @@ use gncg_suite::sink::JsonlSink;
 use crate::cache::{stamp_line, ResultCache};
 use crate::failpoint;
 use crate::journal::Journal;
+use crate::metrics::{Gauges, Metrics};
 use crate::protocol::{error_line, Request};
 
 /// Daemon tuning knobs.
@@ -167,6 +168,8 @@ struct Job {
     /// deadline). Checked lazily at worker pops, stream waits, and
     /// status calls — cells are never interrupted mid-simulation.
     deadline: Option<std::time::Instant>,
+    /// Acceptance instant — the job wall-time histogram's start mark.
+    created: std::time::Instant,
 }
 
 #[derive(Debug, Default)]
@@ -205,6 +208,11 @@ struct Shared {
     cfg: ServiceConfig,
     workers: usize,
     addr: SocketAddr,
+    /// Daemon start instant (status `uptime_ms`, busy-fraction budget).
+    started: std::time::Instant,
+    /// Runtime metrics registry (per-daemon, never global: loopback
+    /// tests run several daemons in one process).
+    metrics: Metrics,
 }
 
 /// A running daemon (listener + workers). Dropping the handle does *not*
@@ -296,6 +304,7 @@ impl Server {
                     simulated: 0,
                     pinned: 0,
                     deadline,
+                    created: std::time::Instant::now(),
                 },
             );
             inner.active_jobs += 1;
@@ -313,7 +322,10 @@ impl Server {
             cfg,
             workers,
             addr: local,
+            started: std::time::Instant::now(),
+            metrics: Metrics::default(),
         });
+        shared.metrics.jobs_submitted.add(replayed_count as u64);
 
         let worker_handles = (0..workers)
             .map(|i| {
@@ -520,6 +532,7 @@ fn worker_loop(shared: &Shared) {
                     let cell = job.cells[idx].clone();
                     let digest = cell_digest(&cell);
                     if let Some(rest) = g.cache.lookup(digest) {
+                        shared.metrics.cells_from_cache.add(1);
                         record_line(&mut g, shared, job_id, idx, stamp_line(idx, &rest), true);
                         check_drain(&mut g, shared);
                         inline_hits += 1;
@@ -544,7 +557,13 @@ fn worker_loop(shared: &Shared) {
         // scenario); an injected error or delay just perturbs timing —
         // the cell still runs, because cells cannot fail.
         let _ = failpoint::check("worker.cell");
+        let busy = std::time::Instant::now();
         let result = runner.run_cell(&cell);
+        shared
+            .metrics
+            .worker_busy_us
+            .add(u64::try_from(busy.elapsed().as_micros()).unwrap_or(u64::MAX));
+        shared.metrics.cells_simulated.add(1);
 
         g = shared.inner.lock().unwrap();
         let _ = g.cache.insert(cell_digest(&cell), &result);
@@ -583,6 +602,7 @@ fn record_line(
     }
     if job.done == job.cells.len() {
         job.state = JobState::Done;
+        shared.metrics.job_wall.observe(job.created.elapsed());
         let had_deadline = job.deadline.is_some();
         g.active_jobs -= 1;
         if had_deadline {
@@ -639,6 +659,14 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             }
             Ok(Request::Cancel { job }) => {
                 let resp = cancel(shared, job);
+                write_line(&mut writer, &resp)
+            }
+            Ok(Request::Explore { job, cell }) => {
+                let resp = explore(shared, job, cell);
+                write_line(&mut writer, &resp)
+            }
+            Ok(Request::Metrics) => {
+                let resp = metrics_snapshot(shared);
                 write_line(&mut writer, &resp)
             }
             Ok(Request::Stream { job }) => stream_job(shared, &mut writer, job, false),
@@ -718,7 +746,10 @@ fn submit(shared: &Shared, spec: ScenarioSpec, deadline_ms: Option<u64>) -> Stri
     // (The fsync runs under the state lock — submits are rare next to
     // cell completions, and ordering the journal identically to the job
     // table is what makes replay trivially correct.)
+    let fsync = std::time::Instant::now();
     g.journal.record_submit(job_id, deadline_ms, &spec);
+    shared.metrics.journal_fsync.observe(fsync.elapsed());
+    shared.metrics.jobs_submitted.add(1);
     let deadline = arm_deadline(deadline_ms);
     g.jobs.insert(
         job_id,
@@ -732,6 +763,7 @@ fn submit(shared: &Shared, spec: ScenarioSpec, deadline_ms: Option<u64>) -> Stri
             simulated: 0,
             pinned: 0,
             deadline,
+            created: std::time::Instant::now(),
         },
     );
     g.active_jobs += 1;
@@ -785,9 +817,14 @@ fn status(shared: &Shared, job: Option<u64>) -> String {
             ),
         },
         None => format!(
-            "{{\"ok\":true,\"jobs\":{},\"active\":{},\"done\":{},\"canceled\":{},\"expired\":{},\"cache_entries\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_degraded\":{},\"cache_errors\":{},\"journal_errors\":{},\"draining\":{},\"workers\":{},\"threads\":{},\"queue_cap\":{}}}",
+            "{{\"ok\":true,\"uptime_ms\":{},\"jobs\":{},\"active\":{},\"queued\":{},\"done\":{},\"canceled\":{},\"expired\":{},\"cache_entries\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_degraded\":{},\"cache_errors\":{},\"journal_errors\":{},\"draining\":{},\"workers\":{},\"threads\":{},\"queue_cap\":{}}}",
+            uptime_ms(shared),
             g.jobs.len(),
             g.active_jobs,
+            g.jobs
+                .values()
+                .filter(|j| j.state == JobState::Queued)
+                .count(),
             g.counters.done_jobs,
             g.counters.canceled_jobs,
             g.counters.expired_jobs,
@@ -803,6 +840,60 @@ fn status(shared: &Shared, job: Option<u64>) -> String {
             shared.cfg.queue_cap,
         ),
     }
+}
+
+/// Milliseconds since the daemon started.
+fn uptime_ms(shared: &Shared) -> u64 {
+    u64::try_from(shared.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+/// The `explore` op: fetch one finished cell's result line — the same
+/// bytes `stream` would carry for it — escaped into a control line. The
+/// random-access read under `gncg explore`'s checkpoint inspection;
+/// unfinished cells are an error rather than a blocking wait (explore is
+/// for poking at results, not for following a live job).
+fn explore(shared: &Shared, job_id: u64, cell: u64) -> String {
+    let g = shared.inner.lock().unwrap();
+    let Some(job) = g.jobs.get(&job_id) else {
+        return error_line(&format!("unknown job {job_id}"));
+    };
+    let Ok(idx) = usize::try_from(cell) else {
+        return error_line(&format!("cell {cell} out of range"));
+    };
+    match job.lines.get(idx) {
+        None => error_line(&format!(
+            "cell {cell} out of range (job {job_id} has {} cells)",
+            job.lines.len()
+        )),
+        Some(None) => error_line(&format!(
+            "cell {cell} of job {job_id} has not finished (job is {})",
+            job.state.key()
+        )),
+        Some(Some(line)) => format!(
+            "{{\"ok\":true,\"job\":{job_id},\"cell\":{cell},\"line\":\"{}\"}}",
+            crate::json::escape(line)
+        ),
+    }
+}
+
+/// The `metrics` op: snapshot the registry plus the state-owned gauges.
+fn metrics_snapshot(shared: &Shared) -> String {
+    let mut g = shared.inner.lock().unwrap();
+    expire_overdue(&mut g, shared);
+    let gauges = Gauges {
+        uptime_ms: uptime_ms(shared),
+        queue_depth: g.queue.len(),
+        active_jobs: g.active_jobs,
+        workers: shared.workers,
+        cache_entries: g.cache.len(),
+        cache_hits: g.cache.hits(),
+        cache_misses: g.cache.misses(),
+    };
+    drop(g);
+    format!(
+        "{{\"ok\":true,\"metrics\":{}}}",
+        shared.metrics.snapshot_json(&gauges)
+    )
 }
 
 fn cancel(shared: &Shared, job_id: u64) -> String {

@@ -57,6 +57,7 @@ fn spec() -> ScenarioSpec {
         max_rounds: 200,
         base_seed: 7,
         certify: CertifyMode::Full,
+        ..ScenarioSpec::default()
     }
 }
 

@@ -32,6 +32,7 @@ fn spec() -> ScenarioSpec {
         max_rounds: 200,
         base_seed: 11,
         certify: CertifyMode::Full,
+        ..ScenarioSpec::default()
     }
 }
 

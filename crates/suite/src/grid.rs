@@ -195,6 +195,7 @@ mod tests {
             max_rounds: 200,
             base_seed: 3,
             certify: CertifyMode::Full,
+            ..ScenarioSpec::default()
         }
     }
 

@@ -20,12 +20,18 @@ use std::time::Instant;
 
 use gncg_core::{cost, equilibrium, Game, NodeId, Profile};
 use gncg_dynamics::{
-    DynamicsConfig, Engine, Outcome, ResponseRule, RunResult, ScanPolicy, Scheduler,
+    Checkpoint, DynamicsConfig, Engine, Outcome, ResponseRule, RunResult, ScanPolicy, Scheduler,
 };
 
 /// JSONL schema version emitted by [`CellResult::to_jsonl`] consumers
 /// (bumped when the line format changes incompatibly).
 pub const SCHEMA_VERSION: u32 = 1;
+
+/// Schema version of lines carrying the opt-in observability fields
+/// (`max_regret` / `checkpoints`). Emitted in the manifest only when a
+/// spec turns those fields on, so meter-off grids keep their historical
+/// schema-1 bytes exactly.
+pub const SCHEMA_VERSION_OBSERVABILITY: u32 = 2;
 
 /// splitmix64 — the per-cell seed derivation. Statistically independent
 /// outputs for sequential inputs; stable across platforms and releases.
@@ -195,6 +201,14 @@ pub struct ScenarioSpec {
     /// `certified` field, so it is part of the spec identity and the
     /// resume manifest).
     pub certify: CertifyMode,
+    /// Stream the per-round max-regret series in every cell line
+    /// (schema 2; off by default — meter-off grids keep their schema-1
+    /// bytes exactly).
+    pub regret_meter: bool,
+    /// Record a full state checkpoint (strategies, costs, regrets) every
+    /// k completed rounds plus the final round; `0` disables (the
+    /// default). Non-zero turns the cell lines into schema 2.
+    pub checkpoint_every: usize,
 }
 
 impl Default for ScenarioSpec {
@@ -210,6 +224,8 @@ impl Default for ScenarioSpec {
             max_rounds: 1_000,
             base_seed: 0,
             certify: CertifyMode::Full,
+            regret_meter: false,
+            checkpoint_every: 0,
         }
     }
 }
@@ -234,7 +250,14 @@ impl ScenarioSpec {
             max_rounds: 500,
             base_seed: 0,
             certify: CertifyMode::Full,
+            ..ScenarioSpec::default()
         }
+    }
+
+    /// Whether any opt-in observability output is on — the schema-2
+    /// trigger for manifests, cell lines, and digests.
+    pub fn observability_on(&self) -> bool {
+        self.regret_meter || self.checkpoint_every != 0
     }
 }
 
@@ -261,6 +284,10 @@ pub struct Cell {
     pub max_rounds: usize,
     /// Certification mode (inherited from the spec).
     pub certify: CertifyMode,
+    /// Stream the per-round max-regret series (inherited from the spec).
+    pub regret_meter: bool,
+    /// Checkpoint cadence in rounds, `0` = off (inherited from the spec).
+    pub checkpoint_every: usize,
 }
 
 impl ScenarioSpec {
@@ -358,6 +385,8 @@ impl ScenarioSpec {
                                     cell_seed,
                                     max_rounds: self.max_rounds,
                                     certify: self.certify,
+                                    regret_meter: self.regret_meter,
+                                    checkpoint_every: self.checkpoint_every,
                                 });
                             }
                         }
@@ -372,7 +401,15 @@ impl ScenarioSpec {
     /// lines; [`ScenarioSpec::from_manifest`] round-trips it exactly).
     pub fn to_manifest(&self) -> String {
         let mut s = String::new();
-        s.push_str(&format!("schema={SCHEMA_VERSION}\n"));
+        // Meter-off specs keep emitting schema 1 byte for byte; only
+        // opted-in observability bumps the version (and appends its keys
+        // below), so historical manifests never change under this build.
+        let schema = if self.observability_on() {
+            SCHEMA_VERSION_OBSERVABILITY
+        } else {
+            SCHEMA_VERSION
+        };
+        s.push_str(&format!("schema={schema}\n"));
         s.push_str(&format!("name={}\n", self.name));
         s.push_str(&format!("hosts={}\n", self.hosts.join(",")));
         s.push_str(&format!(
@@ -418,6 +455,12 @@ impl ScenarioSpec {
         s.push_str(&format!("max_rounds={}\n", self.max_rounds));
         s.push_str(&format!("base_seed={}\n", self.base_seed));
         s.push_str(&format!("certify={}\n", self.certify.key()));
+        if self.regret_meter {
+            s.push_str("regret_meter=true\n");
+        }
+        if self.checkpoint_every != 0 {
+            s.push_str(&format!("checkpoint_every={}\n", self.checkpoint_every));
+        }
         s
     }
 
@@ -434,6 +477,8 @@ impl ScenarioSpec {
             max_rounds: 0,
             base_seed: 0,
             certify: CertifyMode::Full,
+            regret_meter: false,
+            checkpoint_every: 0,
         };
         for raw in text.lines() {
             // Trim only line endings and for blank/comment detection; the
@@ -461,9 +506,10 @@ impl ScenarioSpec {
                         .trim()
                         .parse()
                         .map_err(|_| "bad schema version".to_string())?;
-                    if v != SCHEMA_VERSION {
+                    if v != SCHEMA_VERSION && v != SCHEMA_VERSION_OBSERVABILITY {
                         return Err(format!(
-                            "manifest schema {v} unsupported (this build speaks {SCHEMA_VERSION})"
+                            "manifest schema {v} unsupported (this build speaks \
+                             {SCHEMA_VERSION} and {SCHEMA_VERSION_OBSERVABILITY})"
                         ));
                     }
                 }
@@ -489,6 +535,20 @@ impl ScenarioSpec {
                 // Absent in pre-certify manifests: the default (full)
                 // matches what those grids ran with.
                 "certify" => spec.certify = CertifyMode::parse(value.trim())?,
+                // Absent in schema-1 manifests: both default to off,
+                // matching what those grids ran with.
+                "regret_meter" => {
+                    spec.regret_meter = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| "bad regret_meter (use true|false)".to_string())?
+                }
+                "checkpoint_every" => {
+                    spec.checkpoint_every = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| "bad checkpoint_every".to_string())?
+                }
                 other => return Err(format!("unknown manifest key '{other}'")),
             }
         }
@@ -526,6 +586,15 @@ pub struct CellResult {
     /// Whether the final profile was explicitly re-certified as an
     /// equilibrium of the rule's class (NE / GE / AE).
     pub certified: bool,
+    /// Per-round max-regret series ([`Cell::regret_meter`]): after round
+    /// r, the largest cost improvement any agent could still realize
+    /// under the cell's rule (`0.0` on the final round of every converged
+    /// cell). `None` when the meter is off — the field is then absent
+    /// from the JSONL line, keeping schema-1 bytes unchanged.
+    pub max_regret: Option<Vec<f64>>,
+    /// Checkpoint frames every [`Cell::checkpoint_every`] rounds plus the
+    /// final round; `None` when checkpoints are off.
+    pub checkpoints: Option<Vec<Checkpoint>>,
     /// Wall-clock microseconds for the cell — **not serialized**: the
     /// JSONL stream is byte-reproducible across runs and resumes, which
     /// timing data would break. Aggregate timing is reported by the grid
@@ -542,12 +611,24 @@ fn json_f64(v: Option<f64>) -> String {
     }
 }
 
+/// Joins floats as a JSON array body (infinities serialize as `null`).
+fn json_f64_array(xs: &[f64]) -> String {
+    xs.iter()
+        .map(|&x| json_f64(Some(x)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 impl CellResult {
     /// One JSONL line (no trailing newline). Field order is fixed;
     /// floats use the shortest round-trip representation; wall time is
-    /// excluded (see [`CellResult::wall_micros`]).
+    /// excluded (see [`CellResult::wall_micros`]). The schema-2
+    /// observability fields (`max_regret`, `checkpoints`) are appended
+    /// strictly after every schema-1 field and only when present, so a
+    /// meter-off line is byte-identical to the historical format and a
+    /// meter-on line is the meter-off line plus a suffix.
     pub fn to_jsonl(&self) -> String {
-        format!(
+        let mut line = format!(
             "{{\"cell\":{},\"host\":\"{}\",\"n\":{},\"alpha\":{},\"rule\":\"{}\",\"scheduler\":\"{}\",\"seed\":{},\"outcome\":\"{}\",\"rounds\":{},\"moves\":{},\"social_cost\":{},\"certified\":{}}}",
             self.cell,
             self.host,
@@ -561,7 +642,45 @@ impl CellResult {
             self.moves,
             json_f64(self.social_cost),
             self.certified,
-        )
+        );
+        if self.max_regret.is_some() || self.checkpoints.is_some() {
+            line.pop();
+            if let Some(series) = &self.max_regret {
+                line.push_str(",\"max_regret\":[");
+                line.push_str(&json_f64_array(series));
+                line.push(']');
+            }
+            if let Some(frames) = &self.checkpoints {
+                line.push_str(",\"checkpoints\":[");
+                for (i, f) in frames.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    line.push_str(&format!("{{\"round\":{},\"strategies\":[", f.round));
+                    for (u, s) in f.strategies.iter().enumerate() {
+                        if u > 0 {
+                            line.push(',');
+                        }
+                        line.push('[');
+                        line.push_str(
+                            &s.iter()
+                                .map(|v| v.to_string())
+                                .collect::<Vec<_>>()
+                                .join(","),
+                        );
+                        line.push(']');
+                    }
+                    line.push_str(&format!(
+                        "],\"costs\":[{}],\"regrets\":[{}]}}",
+                        json_f64_array(&f.costs),
+                        json_f64_array(&f.regrets),
+                    ));
+                }
+                line.push(']');
+            }
+            line.push('}');
+        }
+        line
     }
 
     /// Extracts the cell index from a [`CellResult::to_jsonl`] line
@@ -599,7 +718,9 @@ impl Runner {
             rule: cell.rule.rule(),
             scheduler: cell.scheduler.scheduler(cell.cell_seed),
             max_rounds: cell.max_rounds,
-            record_trace: false,
+            regret_meter: cell.regret_meter,
+            checkpoint_every: cell.checkpoint_every,
+            ..DynamicsConfig::default()
         };
         let started = Instant::now();
         let result = self.engine.run(&game, Profile::star(game.n(), 0), &cfg);
@@ -649,6 +770,8 @@ impl Runner {
             moves: result.moves,
             social_cost: social.is_finite().then_some(social),
             certified,
+            max_regret: result.regret_series.clone(),
+            checkpoints: result.checkpoints.clone(),
             wall_micros,
         };
         (cell_result, game, result)
@@ -716,6 +839,14 @@ pub fn cell_digest(cell: &Cell) -> u64 {
     mix(cell.cell_seed);
     mix(cell.max_rounds as u64);
     mix(cell.certify as u64);
+    // Observability fields join the digest only when non-default, so
+    // every pre-observability digest (and any cached line keyed on one)
+    // is unchanged by this build.
+    if cell.regret_meter || cell.checkpoint_every != 0 {
+        mix(0x6F62_7332_6763_6763); // "obs2gcgc": sub-domain tag
+        mix(cell.regret_meter as u64);
+        mix(cell.checkpoint_every as u64);
+    }
     h
 }
 
@@ -771,7 +902,7 @@ pub fn dynamics_from_star(game: &Game, rule: ResponseRule, max_rounds: usize) ->
             rule,
             scheduler: Scheduler::RoundRobin,
             max_rounds,
-            record_trace: false,
+            ..DynamicsConfig::default()
         },
     )
 }
@@ -790,7 +921,7 @@ pub fn dynamics_from(
             rule,
             scheduler: Scheduler::RoundRobin,
             max_rounds,
-            record_trace: false,
+            ..DynamicsConfig::default()
         },
     )
 }
@@ -820,7 +951,7 @@ mod tests {
             seeds: vec![0, 1],
             max_rounds: 200,
             base_seed: 7,
-            certify: CertifyMode::Full,
+            ..ScenarioSpec::default()
         }
     }
 
@@ -998,7 +1129,7 @@ mod tests {
             seeds: vec![0; 2048],
             max_rounds: 10,
             base_seed: 0,
-            certify: CertifyMode::Full,
+            ..ScenarioSpec::default()
         };
         assert_eq!(spec.checked_cell_count(), None);
         assert!(spec.validate().unwrap_err().contains("overflows"));
@@ -1057,6 +1188,14 @@ mod tests {
                 certify: CertifyMode::Off,
                 ..base.clone()
             },
+            Cell {
+                regret_meter: true,
+                ..base.clone()
+            },
+            Cell {
+                checkpoint_every: 3,
+                ..base.clone()
+            },
         ];
         for (i, v) in variants.iter().enumerate() {
             assert_ne!(cell_digest(v), cell_digest(&base), "variant {i}");
@@ -1090,6 +1229,64 @@ mod tests {
         // The preset must round-trip through the manifest like any spec.
         let back = ScenarioSpec::from_manifest(&spec.to_manifest()).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn observability_manifest_and_schema_gating() {
+        // Meter-off specs emit the historical schema-1 manifest bytes.
+        let text = tiny_spec().to_manifest();
+        assert!(text.starts_with("schema=1\n"));
+        assert!(!text.contains("regret_meter"));
+        assert!(!text.contains("checkpoint_every"));
+        // Opted-in observability bumps to schema 2 and round-trips.
+        let mut on = tiny_spec();
+        on.regret_meter = true;
+        on.checkpoint_every = 5;
+        let text_on = on.to_manifest();
+        assert!(text_on.starts_with("schema=2\n"));
+        assert!(text_on.contains("regret_meter=true\n"));
+        assert!(text_on.contains("checkpoint_every=5\n"));
+        let back = ScenarioSpec::from_manifest(&text_on).unwrap();
+        assert_eq!(back, on);
+        assert_eq!(back.to_manifest(), text_on);
+    }
+
+    #[test]
+    fn meter_on_line_extends_the_meter_off_line() {
+        let spec_off = ScenarioSpec {
+            hosts: vec!["unit".into()],
+            ns: vec![6],
+            alphas: vec![2.0],
+            ..ScenarioSpec::default()
+        };
+        let mut spec_on = spec_off.clone();
+        spec_on.regret_meter = true;
+        spec_on.checkpoint_every = 2;
+        let off = &run_cells(&spec_off).unwrap()[0];
+        let on = &run_cells(&spec_on).unwrap()[0];
+        assert!(off.max_regret.is_none() && off.checkpoints.is_none());
+        let line_off = off.to_jsonl();
+        let line_on = on.to_jsonl();
+        assert!(
+            line_on.starts_with(&line_off[..line_off.len() - 1]),
+            "schema 2 appends fields, never rewrites schema-1 bytes"
+        );
+        assert!(line_on.contains(",\"max_regret\":["));
+        assert!(line_on.contains(",\"checkpoints\":[{\"round\":"));
+        assert_eq!(CellResult::cell_index_of_line(&line_on), Some(0));
+        // The meter never perturbs the dynamics themselves.
+        assert_eq!(off.rounds, on.rounds);
+        assert_eq!(off.moves, on.moves);
+        assert_eq!(off.social_cost, on.social_cost);
+        // A converged cell ends at exactly zero regret, and its final
+        // checkpoint is the terminal round with all agents stable.
+        assert_eq!(on.outcome, "converged");
+        let series = on.max_regret.as_ref().unwrap();
+        assert_eq!(series.len(), on.rounds);
+        assert_eq!(series.last(), Some(&0.0));
+        let last = on.checkpoints.as_ref().unwrap().last().unwrap();
+        assert_eq!(last.round + 1, on.rounds);
+        assert!(last.regrets.iter().all(|&r| r == 0.0));
     }
 
     #[test]

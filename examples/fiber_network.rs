@@ -45,7 +45,7 @@ fn main() {
                 rule: ResponseRule::BestGreedyMove,
                 scheduler: Scheduler::RoundRobin,
                 max_rounds: 500,
-                record_trace: false,
+                ..DynamicsConfig::default()
             },
         );
         let g = run.profile.build_network(&game);

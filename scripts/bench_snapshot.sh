@@ -15,7 +15,10 @@
 # deltas vs one masked Dijkstra per candidate), and the pool ablations
 # `apsp_parallel_speedup_n256`, `maxgain_parallel_speedup_n20`, and
 # `grid_wall_speedup` (each a sequential ÷ pool-parallel pair; ≈ 1.0 on
-# a single-core runner, > 1 with real cores) —
+# a single-core runner, > 1 with real cores), and
+# `regret_meter_overhead_n20` = regret_meter/on/20 ÷ regret_meter/off/20
+# (the streaming max-regret meter's per-round pricing scan; ≥ 1.0, the
+# price of equilibrium-quality observability) —
 # into BENCH_hotpath.json at the repo root, so every PR leaves a perf
 # trajectory point behind.
 #
@@ -71,6 +74,10 @@ masked = medians.get("move_scan/masked/20")
 spec = medians.get("move_scan/speculative/20")
 if masked and spec:
     snapshot["move_scan_speedup_n20"] = round(masked / spec, 2)
+meter_on = medians.get("regret_meter/on/20")
+meter_off = medians.get("regret_meter/off/20")
+if meter_on and meter_off:
+    snapshot["regret_meter_overhead_n20"] = round(meter_on / meter_off, 2)
 for fig, seq, par in (
     ("apsp_parallel_speedup_n256", "apsp/sequential/256", "apsp/parallel/256"),
     ("maxgain_parallel_speedup_n20", "maxgain_scan/sequential/20", "maxgain_scan/parallel/20"),
@@ -112,6 +119,7 @@ for fig in (
     "incremental_speedup_n14",
     "swap_heavy_speedup_n20",
     "move_scan_speedup_n20",
+    "regret_meter_overhead_n20",
     "apsp_parallel_speedup_n256",
     "maxgain_parallel_speedup_n20",
     "grid_wall_speedup",

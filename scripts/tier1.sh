@@ -79,9 +79,38 @@ swap_heavy_grid() {
 GNCG_THREADS=1 swap_heavy_grid
 (unset GNCG_THREADS && swap_heavy_grid)
 
+echo "== observability smoke (meter + checkpoints, byte-stable across thread counts)" >&2
+# The streamed max-regret series and checkpoint frames are part of the
+# determinism contract: the same metered grid must produce identical
+# bytes at 1, 2, and 4 pool threads (GNCG_THREADS is read at pool init,
+# so each run gets its own process).
+meter_grid() {
+  rm -f "target/tier1-meter-$1.jsonl" "target/tier1-meter-$1.manifest"
+  GNCG_THREADS="$1" ./target/release/gncg grid \
+    --out "target/tier1-meter-$1.jsonl" \
+    --name tier1-meter \
+    --hosts unit,onetwo --n 6 --alpha 1.0,2.0 \
+    --rules greedy --seed-count 1 --max-rounds 200 \
+    --regret-meter --checkpoint-every 1
+}
+meter_grid 1
+meter_grid 2
+meter_grid 4
+cmp target/tier1-meter-1.jsonl target/tier1-meter-2.jsonl
+cmp target/tier1-meter-1.jsonl target/tier1-meter-4.jsonl
+grep -q '"max_regret":\[' target/tier1-meter-1.jsonl
+grep -q '"checkpoints":\[{"round":' target/tier1-meter-1.jsonl
+# Every converged cell must end at a regret of exactly 0.0.
+if grep '"outcome":"converged"' target/tier1-meter-1.jsonl | grep -v '"max_regret":\[.*,0\.0\]' \
+   | grep -v '"max_regret":\[0\.0\]' | grep -q .; then
+  echo "tier-1 observability smoke: a converged cell ended at nonzero regret" >&2
+  exit 1
+fi
+
 echo "== gncg service smoke (serve → submit ×2 → shutdown)" >&2
 SERVICE_ADDR=127.0.0.1:47421
-rm -f target/tier1-serve.log target/tier1-submit-a.jsonl target/tier1-submit-b.jsonl
+rm -f target/tier1-serve.log target/tier1-submit-a.jsonl target/tier1-submit-b.jsonl \
+  target/tier1-submit-meter.jsonl
 ./target/release/gncg serve --addr "$SERVICE_ADDR" --workers 2 \
   > target/tier1-serve.log 2>&1 &
 SERVE_PID=$!
@@ -103,6 +132,41 @@ second=$(submit_smoke target/tier1-submit-b.jsonl)
 cmp target/tier1-submit-b.jsonl target/tier1-grid.jsonl
 echo "$second" | grep -q "4 cache hits, 0 simulated" || {
   echo "tier-1 service smoke: second submit not served from cache: $second" >&2
+  exit 1
+}
+# Observability read-side against the live daemon: a metered job, then
+# explore (checkpoint replay + strategy diff), metrics, and the one-line
+# status summary.
+meter_submit=$(./target/release/gncg submit --addr "$SERVICE_ADDR" \
+  --out target/tier1-submit-meter.jsonl \
+  --name tier1-meter \
+  --hosts unit,onetwo --n 6 --alpha 1.0,2.0 \
+  --rules greedy --seed-count 1 --max-rounds 200 \
+  --regret-meter --checkpoint-every 1)
+cmp target/tier1-submit-meter.jsonl target/tier1-meter-1.jsonl
+meter_job=$(echo "$meter_submit" | sed -n 's/^submit: job \([0-9]*\).*/\1/p')
+explore_out=$(./target/release/gncg explore --addr "$SERVICE_ADDR" \
+  --job "$meter_job" --cell 0 --diff 0)
+echo "$explore_out" | grep -q "max regret" || {
+  echo "tier-1 observability smoke: explore printed no regret: $explore_out" >&2
+  exit 1
+}
+echo "$explore_out" | grep -q "strategy diff" || {
+  echo "tier-1 observability smoke: explore printed no diff: $explore_out" >&2
+  exit 1
+}
+metrics_out=$(./target/release/gncg metrics --addr "$SERVICE_ADDR")
+echo "$metrics_out" | grep -q "cells simulated" || {
+  echo "tier-1 observability smoke: metrics printed no counters: $metrics_out" >&2
+  exit 1
+}
+status_out=$(./target/release/gncg status --addr "$SERVICE_ADDR")
+if [ "$(echo "$status_out" | wc -l)" -ne 1 ]; then
+  echo "tier-1 observability smoke: status is not one line: $status_out" >&2
+  exit 1
+fi
+echo "$status_out" | grep -q "up .*queued.*running.*done" || {
+  echo "tier-1 observability smoke: status misses a job state: $status_out" >&2
   exit 1
 }
 # Graceful exit: --drain finishes anything active (nothing, here) and

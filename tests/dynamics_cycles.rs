@@ -45,7 +45,7 @@ fn convergence_statistics() {
         rule: ResponseRule::BestGreedyMove,
         scheduler: Scheduler::RoundRobin,
         max_rounds: 400,
-        record_trace: false,
+        ..DynamicsConfig::default()
     };
     let points =
         gncg_dynamics::parallel::sweep(&hosts, &[0.5, 1.0, 2.0], &cfg, |_, n| Profile::star(n, 0));

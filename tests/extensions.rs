@@ -136,7 +136,7 @@ fn sweep_summary_invariants() {
         rule: ResponseRule::BestGreedyMove,
         scheduler: Scheduler::RoundRobin,
         max_rounds: 300,
-        record_trace: false,
+        ..DynamicsConfig::default()
     };
     let points =
         gncg_dynamics::parallel::sweep(&hosts, &[1.0, 2.0], &cfg, |_, n| Profile::star(n, 0));

@@ -32,6 +32,7 @@ fn golden_spec() -> ScenarioSpec {
         max_rounds: 300,
         base_seed: 99,
         certify: CertifyMode::Full,
+        ..ScenarioSpec::default()
     }
 }
 
