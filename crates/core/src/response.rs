@@ -110,6 +110,9 @@ struct BrSearch<'g> {
     /// `via[idx·n + x] = min_{i ≥ idx} (cand_w[i] + d_{B*}(candidates[i], x))`,
     /// with row `len` all-∞ (no candidates left).
     via: Vec<f64>,
+    /// The host's weight class, installed as the bucket-queue hint on
+    /// every SSSP engine this search spawns ([`Game::weight_class`]).
+    weight_class: Option<(f64, f64)>,
 }
 
 /// Mutable per-branch state (per worker in the parallel search).
@@ -135,6 +138,7 @@ impl BrWorker {
             best_set: current_set.clone(),
             evaluated: 0,
         };
+        worker.inc.set_weight_class(search.weight_class);
         worker.inc.reset_from(search.agent, &search.d0);
         worker
     }
@@ -148,8 +152,10 @@ impl<'g> BrSearch<'g> {
         candidates.sort_by(|&a, &b| game.w(agent, a).total_cmp(&game.w(agent, b)));
         let cand_w: Vec<f64> = candidates.iter().map(|&v| game.w(agent, v)).collect();
 
+        let weight_class = game.weight_class();
         let csr = Csr::from_adjacency(base);
         let mut scratch = DijkstraScratch::new();
+        scratch.set_weight_class(weight_class);
         scratch.run(&csr, agent, &[]);
         let d0 = scratch.to_vec(n);
 
@@ -183,6 +189,7 @@ impl<'g> BrSearch<'g> {
             cand_w,
             d0,
             via,
+            weight_class,
         }
     }
 
@@ -660,6 +667,10 @@ pub fn best_move_among_given_current(
 /// assertions inside `Move::apply`; this path relies on it (an invalid
 /// move may panic on a missing network edge or price the edge term
 /// differently from a set-based candidate).
+///
+/// This entry point always prices with [`SpeculativePricing::FullSum`];
+/// [`best_move_among_speculative_priced`] exposes the bounded-horizon
+/// [`SpeculativePricing::RegionDelta`] policy.
 pub fn best_move_among_speculative(
     game: &Game,
     profile: &Profile,
@@ -669,8 +680,81 @@ pub fn best_move_among_speculative(
     current: f64,
     moves: &[Move],
 ) -> Option<(Move, f64)> {
+    best_move_among_speculative_priced(
+        game,
+        profile,
+        network,
+        warm,
+        agent,
+        current,
+        moves,
+        SpeculativePricing::FullSum,
+    )
+}
+
+/// How the speculative move scan reads a candidate's distance cost off
+/// the warm vector.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpeculativePricing {
+    /// Re-sum the whole `n`-length vector per candidate — `O(n)` per
+    /// move, bitwise-identical to the masked-Dijkstra oracle, the
+    /// policy every pre-existing golden was recorded under.
+    #[default]
+    FullSum,
+    /// Bounded-horizon pricing: one full sum per scan, then each
+    /// candidate is priced as `sum₀ + Σ_{v touched} (dist(v) − dist₀(v))`
+    /// over the speculation undo log, with the speculative relaxation
+    /// itself truncated after [`PRICE_HORIZON`] settled nodes — `O(horizon)`
+    /// per move instead of the `O(n)` re-sum *or* the `Θ(n)` exact region
+    /// repair a good candidate edge floods through a mid-run network.
+    /// Truncated prices are sound upper bounds (the abandoned frontier
+    /// keeps its valid pre-insert distances), so ranking is approximate;
+    /// the winner is re-priced with the horizon cleared and an exact full
+    /// sum (and re-gated against `current`) before being returned, so
+    /// the *reported* move cost is always oracle-exact. A candidate whose
+    /// upper bound never beats the incumbent can be missed — a distinct
+    /// deterministic dynamics, not a bitwise re-expression of
+    /// [`Self::FullSum`] — which is why it is opt-in, participates in
+    /// scenario digests, and carries its own goldens. Below `n ≈
+    /// PRICE_HORIZON` the truncation can never trigger and only sub-ulp
+    /// delta re-association separates the two policies.
+    RegionDelta,
+}
+
+/// Settle budget of [`SpeculativePricing::RegionDelta`]'s per-candidate
+/// speculative relaxations (see [`DynamicSssp::set_price_horizon`]). A
+/// fixed constant of the policy — it shapes which moves the bounded
+/// dynamics chooses, so tuning it is a byte-stream-breaking change.
+pub const PRICE_HORIZON: usize = 16;
+
+/// [`best_move_among_speculative`] with an explicit pricing policy —
+/// see [`SpeculativePricing`] for the contract of each mode.
+#[allow(clippy::too_many_arguments)]
+pub fn best_move_among_speculative_priced(
+    game: &Game,
+    profile: &Profile,
+    network: &AdjacencyList,
+    warm: &mut DynamicSssp,
+    agent: NodeId,
+    current: f64,
+    moves: &[Move],
+    pricing: SpeculativePricing,
+) -> Option<(Move, f64)> {
     #[cfg(debug_assertions)]
     let before: Vec<f64> = warm.dist().to_vec();
+    // One O(n) sum for the whole scan under RegionDelta; FullSum keeps
+    // its historical lazy reads (degenerate deltas only).
+    let sum0 = match pricing {
+        SpeculativePricing::FullSum => 0.0,
+        SpeculativePricing::RegionDelta => warm.sum(),
+    };
+    // Bounded horizon: candidate relaxations settle at most PRICE_HORIZON
+    // nodes (upper-bound prices); cleared again before the winner's exact
+    // re-price below. Only speculation frames consult the budget, so a
+    // stray setting could never leak into committed repairs.
+    if pricing == SpeculativePricing::RegionDelta {
+        warm.set_price_horizon(Some(PRICE_HORIZON));
+    }
     let own = profile.strategy(agent);
     let alpha = game.alpha();
     // Replace moves price through the oracle path; its base graph is
@@ -701,16 +785,22 @@ pub fn best_move_among_speculative(
                     .expect("sole-owned strategy edge must be in the network");
                 let mask = [(agent, d)];
                 let view = MaskedEdges::new(network, &mask);
+                // The mark is taken before the outer removal frame, so a
+                // RegionDelta price covers the removal repair *and* the
+                // inner insert in one undo-log suffix.
+                let mark = warm.undo_len();
                 warm.begin_speculation();
                 warm.remove_edge(&view, agent, d, w);
                 for m in &moves[i..i + run] {
                     let &Move::Swap(_, a) = m else { unreachable!() };
                     let dist = if network.has_edge(agent, a) {
-                        warm.sum() // gained edge already present: no delta
+                        // Gained edge already present: the removal repair
+                        // is the whole delta.
+                        frame_price(warm, pricing, sum0, mark)
                     } else {
                         warm.begin_speculation();
                         warm.speculate_insert(&view, agent, a, game.w(agent, a));
-                        let s = warm.sum();
+                        let s = frame_price(warm, pricing, sum0, mark);
                         warm.rollback();
                         s
                     };
@@ -729,12 +819,39 @@ pub fn best_move_among_speculative(
                 candidate_cost(game, base, agent, cand).total()
             }
             _ => {
-                let dist = speculative_distance_sum(game, profile, network, warm, agent, m);
+                let dist =
+                    speculative_distance_sum(game, profile, network, warm, agent, m, pricing, sum0);
                 alpha * candidate_edge_sum(game, agent, own, m) + dist
             }
         };
         update(m, c, &mut best);
         i += 1;
+    }
+    // RegionDelta ranked the candidates on approximate prices; the
+    // reported cost must be oracle-exact, so the winner is re-priced
+    // with a full sum and re-gated against `current` (a sub-ulp
+    // "improvement" that was an artifact of delta re-association must
+    // not be reported as improving).
+    if pricing == SpeculativePricing::RegionDelta {
+        warm.set_price_horizon(None);
+        best = best.and_then(|(m, c)| match m {
+            // Replace moves were priced exactly by the oracle path.
+            Move::Replace(_) => strictly_less(c, current).then_some((m, c)),
+            _ => {
+                let dist = speculative_distance_sum(
+                    game,
+                    profile,
+                    network,
+                    warm,
+                    agent,
+                    &m,
+                    SpeculativePricing::FullSum,
+                    0.0,
+                );
+                let exact = alpha * candidate_edge_sum(game, agent, own, &m) + dist;
+                strictly_less(exact, current).then_some((m, exact))
+            }
+        });
     }
     #[cfg(debug_assertions)]
     {
@@ -742,13 +859,57 @@ pub fn best_move_among_speculative(
             warm.dist() == before.as_slice() && warm.depth() == 0 && warm.speculation_depth() == 0,
             "speculative scan must leave the warm vector bitwise untouched"
         );
-        let oracle = best_move_among_given_current(game, profile, network, agent, current, moves);
-        debug_assert_eq!(
-            best, oracle,
-            "speculative scan drifted from the masked-Dijkstra oracle"
-        );
+        match pricing {
+            SpeculativePricing::FullSum => {
+                let oracle =
+                    best_move_among_given_current(game, profile, network, agent, current, moves);
+                debug_assert_eq!(
+                    best, oracle,
+                    "speculative scan drifted from the masked-Dijkstra oracle"
+                );
+            }
+            SpeculativePricing::RegionDelta => {
+                // The chosen move may legitimately differ from FullSum on
+                // sub-ulp ties, but the reported cost of whatever *was*
+                // chosen must be bitwise what the oracle prices it at.
+                if let Some((m, c)) = &best {
+                    let oracle = best_move_among_given_current(
+                        game,
+                        profile,
+                        network,
+                        agent,
+                        current,
+                        std::slice::from_ref(m),
+                    );
+                    debug_assert_eq!(
+                        oracle,
+                        Some((m.clone(), *c)),
+                        "region-delta winner's exact re-price drifted from the oracle"
+                    );
+                }
+            }
+        }
     }
     best
+}
+
+/// Reads the current candidate's distance cost off an open speculation
+/// frame according to the pricing policy. `mark` is the undo-log length
+/// from just before the frame (chain) opened; `sum0` the pre-scan full
+/// sum (RegionDelta only). A non-finite delta price (∞ − ∞ churn from
+/// disconnections) falls back to the exact full sum for that candidate.
+fn frame_price(warm: &mut DynamicSssp, pricing: SpeculativePricing, sum0: f64, mark: usize) -> f64 {
+    match pricing {
+        SpeculativePricing::FullSum => warm.sum(),
+        SpeculativePricing::RegionDelta => {
+            let p = sum0 + warm.delta_sum_since(mark);
+            if p.is_finite() {
+                p
+            } else {
+                warm.sum()
+            }
+        }
+    }
 }
 
 /// The distance cost of single-edge move `m`, read off `warm` after
@@ -756,6 +917,7 @@ pub fn best_move_among_speculative(
 /// edge leaves the network only when the other endpoint does not also own
 /// it; a new edge enters only when not already present — the same rules
 /// the dynamics engine applies to committed moves).
+#[allow(clippy::too_many_arguments)]
 fn speculative_distance_sum(
     game: &Game,
     profile: &Profile,
@@ -763,6 +925,8 @@ fn speculative_distance_sum(
     warm: &mut DynamicSssp,
     agent: NodeId,
     m: &Move,
+    pricing: SpeculativePricing,
+    sum0: f64,
 ) -> f64 {
     let (dropped, gained) = match *m {
         Move::Add(v) => (None, Some(v)),
@@ -773,8 +937,12 @@ fn speculative_distance_sum(
     let dropped = dropped.filter(|&v| !profile.owns(v, agent));
     let gained = gained.filter(|&v| !network.has_edge(agent, v));
     if dropped.is_none() && gained.is_none() {
-        // Degenerate delta: the network (hence the vector) is unchanged.
-        return warm.sum();
+        // Degenerate delta: the network (hence the vector) is unchanged,
+        // so the pre-scan sum *is* the exact price under either policy.
+        return match pricing {
+            SpeculativePricing::FullSum => warm.sum(),
+            SpeculativePricing::RegionDelta => sum0,
+        };
     }
     let mask_buf;
     let mask: &[(NodeId, NodeId)] = match dropped {
@@ -785,6 +953,7 @@ fn speculative_distance_sum(
         None => &[],
     };
     let view = MaskedEdges::new(network, mask);
+    let mark = warm.undo_len();
     warm.begin_speculation();
     if let Some(v) = dropped {
         let w = network
@@ -795,7 +964,7 @@ fn speculative_distance_sum(
     if let Some(v) = gained {
         warm.speculate_insert(&view, agent, v, game.w(agent, v));
     }
-    let sum = warm.sum();
+    let sum = frame_price(warm, pricing, sum0, mark);
     warm.rollback();
     sum
 }
@@ -1019,6 +1188,95 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn region_delta_pricing_matches_oracle_on_clear_instances() {
+        // On hosts whose move costs are separated far beyond an ulp, the
+        // bounded-horizon policy must choose the oracle's move and report
+        // the oracle's exact cost bits — with and without the bucket-queue
+        // weight-class hint installed on the warm vector.
+        for seed in 0..4u64 {
+            let host = gncg_metrics::arbitrary::random_metric(8, 1.0, 4.0, seed);
+            for alpha in [0.3, 1.5, 6.0] {
+                let game = Game::new(host.clone(), alpha);
+                let mut p = Profile::star(8, (seed % 8) as NodeId);
+                p.buy(2, 5);
+                if !p.owns(5, 2) {
+                    p.buy(5, 2);
+                }
+                let network = p.build_network(&game);
+                for agent in 0..8u32 {
+                    let moves = Move::greedy_moves(&p, agent);
+                    let current = agent_cost_in(&game, &p, &network, agent).total();
+                    let mut warm = DynamicSssp::new();
+                    warm.set_weight_class(game.weight_class());
+                    warm.reset_from(agent, &gncg_graph::dijkstra::dijkstra(&network, agent));
+                    let rd = best_move_among_speculative_priced(
+                        &game,
+                        &p,
+                        &network,
+                        &mut warm,
+                        agent,
+                        current,
+                        &moves,
+                        SpeculativePricing::RegionDelta,
+                    );
+                    let oracle =
+                        best_move_among_given_current(&game, &p, &network, agent, current, &moves);
+                    assert_eq!(rd, oracle, "seed {seed} α {alpha} agent {agent}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_delta_pricing_survives_disconnection() {
+        // ∞ churn in the undo log makes the delta price non-finite; the
+        // per-candidate fallback must recover the exact full sum.
+        let game = unit_game(4, 0.1);
+        let p = Profile::from_owned_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let network = p.build_network(&game);
+        for agent in 0..4u32 {
+            let moves = Move::greedy_moves(&p, agent);
+            let current = agent_cost_in(&game, &p, &network, agent).total();
+            let mut warm = DynamicSssp::new();
+            warm.reset_from(agent, &gncg_graph::dijkstra::dijkstra(&network, agent));
+            let rd = best_move_among_speculative_priced(
+                &game,
+                &p,
+                &network,
+                &mut warm,
+                agent,
+                current,
+                &moves,
+                SpeculativePricing::RegionDelta,
+            );
+            let oracle = best_move_among_given_current(&game, &p, &network, agent, current, &moves);
+            assert_eq!(rd, oracle, "agent {agent}");
+        }
+        // Isolated agent: the pre-scan sum is ∞ (sum0 itself non-finite).
+        let mut q = Profile::empty(4);
+        q.buy(0, 1);
+        q.buy(1, 2);
+        let network = q.build_network(&game);
+        let moves = Move::greedy_moves(&q, 3);
+        let current = agent_cost_in(&game, &q, &network, 3).total();
+        let mut warm = DynamicSssp::new();
+        warm.reset_from(3, &gncg_graph::dijkstra::dijkstra(&network, 3));
+        let rd = best_move_among_speculative_priced(
+            &game,
+            &q,
+            &network,
+            &mut warm,
+            3,
+            current,
+            &moves,
+            SpeculativePricing::RegionDelta,
+        );
+        let oracle = best_move_among_given_current(&game, &q, &network, 3, current, &moves);
+        assert_eq!(rd, oracle);
+        assert!(rd.is_some(), "connecting must improve on ∞");
     }
 
     #[test]

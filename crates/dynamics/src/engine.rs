@@ -36,8 +36,11 @@
 //! * the context keeps **per-agent distance vectors warm across rounds**:
 //!   an agent's current distance cost is read from its warm vector
 //!   instead of the per-activation base Dijkstra the engine historically
-//!   ran. Each staged insertion is a decrease-only relaxation
-//!   ([`DynamicSssp::relax_insert`]); each staged removal is a
+//!   ran. Committed insertions are *logged* and replayed into a vector as
+//!   one batched decrease-only relaxation when that vector is next read
+//!   ([`DynamicSssp::relax_inserts`] — lazy sync, which keeps an
+//!   add-heavy round `Θ(n²)` where eager per-move repair was `Θ(n³)`);
+//!   each staged removal is a
 //!   Ramalingam–Reps affected-region repair
 //!   ([`DynamicSssp::remove_edges`], a delta's removals batched into one
 //!   affected-region pass) — so warm vectors now survive moves of
@@ -49,7 +52,7 @@
 //!   candidate *speculatively against the activated agent's warm vector*
 //!   (apply the move's edge delta inside a speculation frame, read the
 //!   cost off the warm sum, roll back —
-//!   [`best_move_among_speculative`]), instead of the historical masked
+//!   [`best_move_among_speculative_priced`]), instead of the historical masked
 //!   from-scratch Dijkstra per candidate. The masked scan survives as
 //!   [`ScanPolicy::MaskedDijkstra`], the equivalence oracle and measured
 //!   baseline of the `move_scan` bench.
@@ -68,7 +71,8 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use gncg_core::response::{
-    best_move_among_given_current, best_move_among_speculative, exact_best_response_given_current,
+    best_move_among_given_current, best_move_among_speculative_priced,
+    exact_best_response_given_current, SpeculativePricing,
 };
 use gncg_core::{Game, Move, NodeId, Profile};
 use gncg_graph::{AdjacencyList, DijkstraScratch, DynamicSssp, NetworkDelta};
@@ -271,6 +275,7 @@ impl RegretMeter {
         let n = game.n();
         let network = &ctx.network;
         let speculative = ctx.scan == ScanPolicy::SpeculativeDelta;
+        let pricing = ctx.pricing;
         self.regrets = ctx.warm[..n]
             .par_chunks_mut(1)
             .enumerate()
@@ -286,6 +291,7 @@ impl RegretMeter {
                     u,
                     rule,
                     current,
+                    pricing,
                 ) {
                     Some((_, before, after)) => {
                         if before.is_infinite() && after.is_finite() {
@@ -342,7 +348,7 @@ pub enum RemovalPolicy {
 pub enum ScanPolicy {
     /// Price each candidate by speculatively applying its edge delta to
     /// the activated agent's warm distance vector and rolling it back
-    /// ([`best_move_among_speculative`]) — the default. Chosen moves and
+    /// ([`best_move_among_speculative_priced`]) — the default. Chosen moves and
     /// totals are bit-identical to the masked baseline.
     #[default]
     SpeculativeDelta,
@@ -363,6 +369,16 @@ pub struct EvalContext {
     /// current network); entry `u` is meaningful only when `valid[u]`.
     warm: Vec<DynamicSssp>,
     valid: Vec<bool>,
+    /// Append-only log of this run's committed edge insertions. Committed
+    /// inserts are *not* eagerly relaxed into every warm vector (early in
+    /// a run a single good edge improves `Θ(n)` distances in `Θ(n)`
+    /// vectors — eager repair makes a round `Θ(n³)`); they are replayed
+    /// into a vector in one batched pass when that vector is next read.
+    insert_log: Vec<(NodeId, NodeId, f64)>,
+    /// `synced[u]`: how many `insert_log` entries `warm[u]` already
+    /// reflects. A vector is current iff `valid[u] && synced[u] ==
+    /// insert_log.len()` — what [`EvalContext::ensure_warm`] establishes.
+    synced: Vec<usize>,
     /// Scratch for (re)computing a warm vector from scratch.
     scratch: DijkstraScratch,
     dist_buf: Vec<f64>,
@@ -376,6 +392,13 @@ pub struct EvalContext {
     /// Candidate-move pricing of the greedy scan (survives
     /// [`EvalContext::reset`]).
     scan: ScanPolicy,
+    /// How the speculative scan reads candidate distance costs
+    /// ([`SpeculativePricing`]; survives [`EvalContext::reset`]).
+    pricing: SpeculativePricing,
+    /// The game's host weight class, installed as the bucket-queue hint
+    /// on the context's scratch and every warm vector at
+    /// [`EvalContext::reset`] (`Game::weight_class`).
+    weight_class: Option<(f64, f64)>,
 }
 
 impl EvalContext {
@@ -395,8 +418,19 @@ impl EvalContext {
         if self.warm.len() < n {
             self.warm.resize_with(n, DynamicSssp::new);
         }
+        // (Re)install the game's weight class as the bucket-queue hint:
+        // the context may be re-targeted at a different game, so the
+        // hint must never leak across runs.
+        self.weight_class = game.weight_class();
+        self.scratch.set_weight_class(self.weight_class);
+        for warm in &mut self.warm[..n] {
+            warm.set_weight_class(self.weight_class);
+        }
         self.valid.clear();
         self.valid.resize(n, false);
+        self.insert_log.clear();
+        self.synced.clear();
+        self.synced.resize(n, 0);
     }
 
     /// The current network.
@@ -429,29 +463,79 @@ impl EvalContext {
         self.scan
     }
 
+    /// Sets the speculative scan's candidate pricing policy (see
+    /// [`SpeculativePricing`]). [`SpeculativePricing::RegionDelta`] is a
+    /// distinct deterministic policy — sub-ulp ties may resolve
+    /// differently — so it participates in scenario digests and carries
+    /// its own goldens; the default keeps every pre-existing byte
+    /// stream.
+    pub fn set_pricing(&mut self, pricing: SpeculativePricing) {
+        self.pricing = pricing;
+    }
+
+    /// The active candidate pricing policy.
+    pub fn pricing(&self) -> SpeculativePricing {
+        self.pricing
+    }
+
+    /// Bytes resident in the warm-vector machinery: every per-agent
+    /// [`DynamicSssp`] plus the shared Dijkstra scratch — the dominant
+    /// per-context memory at large `n` (each warm vector holds `Θ(n)`
+    /// floats). Capacity-based, so it reports what the allocator holds,
+    /// not what the current run touches.
+    pub fn warm_resident_bytes(&self) -> usize {
+        self.warm
+            .iter()
+            .map(DynamicSssp::resident_bytes)
+            .sum::<usize>()
+            + self.insert_log.capacity() * std::mem::size_of::<(NodeId, NodeId, f64)>()
+            + self.synced.capacity() * std::mem::size_of::<usize>()
+    }
+
     /// The cached network together with agent `u`'s warm distance vector,
     /// mutably — the split borrow the speculative move scan works on.
     /// Requires a prior [`EvalContext::ensure_warm`] for `u`.
     fn network_and_warm(&mut self, u: NodeId) -> (&AdjacencyList, &mut DynamicSssp) {
-        debug_assert!(self.valid[u as usize], "network_and_warm on a cold vector");
+        debug_assert!(
+            self.valid[u as usize] && self.synced[u as usize] == self.insert_log.len(),
+            "network_and_warm on a cold or unsynced vector"
+        );
         (&self.network, &mut self.warm[u as usize])
     }
 
-    /// Makes agent `u`'s warm distance vector valid (fresh Dijkstra when
-    /// it was never computed this run — or, under
+    /// Makes agent `u`'s warm distance vector current: a fresh Dijkstra
+    /// when it was never computed this run (or, under
     /// [`RemovalPolicy::Invalidate`], invalidated by an edge-removing
-    /// move; the default policy keeps vectors warm through removals).
+    /// move), otherwise one batched replay of whatever committed edge
+    /// insertions landed since the vector was last read
+    /// ([`DynamicSssp::relax_inserts`] over the pending `insert_log`
+    /// suffix).
     pub fn ensure_warm(&mut self, u: NodeId) {
-        if self.valid[u as usize] {
+        let i = u as usize;
+        if !self.valid[i] {
+            let n = self.network.n();
+            self.scratch.run(&self.network, u, &[]);
+            self.dist_buf.clear();
+            self.dist_buf.resize(n, f64::INFINITY);
+            self.scratch.write_distances(&mut self.dist_buf);
+            self.warm[i].reset_from(u, &self.dist_buf);
+            self.valid[i] = true;
+            self.synced[i] = self.insert_log.len();
             return;
         }
-        let n = self.network.n();
-        self.scratch.run(&self.network, u, &[]);
-        self.dist_buf.clear();
-        self.dist_buf.resize(n, f64::INFINITY);
-        self.scratch.write_distances(&mut self.dist_buf);
-        self.warm[u as usize].reset_from(u, &self.dist_buf);
-        self.valid[u as usize] = true;
+        if self.synced[i] < self.insert_log.len() {
+            self.warm[i].relax_inserts(&self.network, &self.insert_log[self.synced[i]..]);
+            self.synced[i] = self.insert_log.len();
+            #[cfg(debug_assertions)]
+            {
+                let fresh = gncg_graph::dijkstra::dijkstra(&self.network, u);
+                debug_assert_eq!(
+                    self.warm[i].dist(),
+                    fresh.as_slice(),
+                    "lazily synced warm vector of agent {u} drifted from a fresh Dijkstra"
+                );
+            }
+        }
     }
 
     /// Warms every agent's distance vector, fanning the cold recomputes
@@ -463,10 +547,20 @@ impl EvalContext {
         let n = self.network.n();
         let network = &self.network;
         let valid = &self.valid;
+        let class = self.weight_class;
+        let log = &self.insert_log;
+        let synced = &self.synced;
         self.warm[..n].par_chunks_mut(1).enumerate().for_each_init(
-            || (DijkstraScratch::new(), Vec::new()),
+            || {
+                let mut scratch = DijkstraScratch::new();
+                scratch.set_weight_class(class);
+                (scratch, Vec::new())
+            },
             |(scratch, buf): &mut (DijkstraScratch, Vec<f64>), (u, slot)| {
                 if valid[u] {
+                    if synced[u] < log.len() {
+                        slot[0].relax_inserts(network, &log[synced[u]..]);
+                    }
                     return;
                 }
                 scratch.run(network, u as NodeId, &[]);
@@ -477,13 +571,18 @@ impl EvalContext {
             },
         );
         self.valid[..n].fill(true);
+        let len = self.insert_log.len();
+        self.synced[..n].fill(len);
     }
 
     /// Agent `u`'s distance cost `d_G(u, V)` read off its warm vector.
     /// Requires a prior [`EvalContext::ensure_warm`] for `u`.
     #[inline]
     pub fn distance_sum(&self, u: NodeId) -> f64 {
-        debug_assert!(self.valid[u as usize], "distance_sum on a cold vector");
+        debug_assert!(
+            self.valid[u as usize] && self.synced[u as usize] == self.insert_log.len(),
+            "distance_sum on a cold or unsynced vector"
+        );
         self.warm[u as usize].sum()
     }
 
@@ -502,8 +601,10 @@ impl EvalContext {
     /// only when its other endpoint does not also own it, and enters only
     /// when it is not already present.
     ///
-    /// Warm vectors survive changes of **every** kind: insertions relax
-    /// decrease-only, removals repair in place (see [`RemovalPolicy`]).
+    /// Warm vectors survive changes of **every** kind: insertions are
+    /// logged for batched lazy replay on each vector's next read,
+    /// removals repair in place (see [`RemovalPolicy`] and
+    /// [`EvalContext::apply_delta`]).
     pub fn apply_strategy_change(
         &mut self,
         game: &Game,
@@ -538,8 +639,18 @@ impl EvalContext {
             a.sort_by_key(|e| (e.0, e.1));
             b.sort_by_key(|e| (e.0, e.1));
             debug_assert_eq!(a, b, "EvalContext delta drifted from the rebuilt network");
-            for (x, (inc, &valid)) in self.warm.iter().zip(self.valid.iter()).enumerate() {
-                if valid {
+            // Vectors with pending inserts are stale *by design*; the
+            // fresh-Dijkstra oracle runs at sync time instead (see
+            // [`EvalContext::ensure_warm`]), which also checks the ones
+            // that are current here.
+            for (x, ((inc, &valid), &synced)) in self
+                .warm
+                .iter()
+                .zip(self.valid.iter())
+                .zip(self.synced.iter())
+                .enumerate()
+            {
+                if valid && synced == self.insert_log.len() {
                     let fresh = gncg_graph::dijkstra::dijkstra(&self.network, x as NodeId);
                     debug_assert_eq!(
                         inc.dist(),
@@ -551,26 +662,55 @@ impl EvalContext {
         }
     }
 
-    /// Applies a [`NetworkDelta`] to the cached network and every warm
-    /// distance vector — the single mutation path of the context.
+    /// Applies a [`NetworkDelta`] to the cached network and the warm
+    /// distance vectors — the single mutation path of the context.
     ///
-    /// Removals are applied to the network first (as in
-    /// [`NetworkDelta::apply_to`]) and then repaired into each valid
-    /// vector as **one batched affected-region pass**
-    /// ([`DynamicSssp::remove_edges`]) — overlapping removal regions are
-    /// discovered once per delta instead of once per edge. Insertions are
-    /// then staged one edge at a time: the network takes the edge, then
-    /// each valid vector relaxes against the network in exactly its
-    /// post-change state, which is what makes
-    /// [`DynamicSssp::relax_insert`] exact. Under
-    /// [`RemovalPolicy::Invalidate`] removals instead flag every vector
-    /// for lazy recomputation (the historical baseline).
+    /// **Insertions are lazy.** A committed insert goes into the network
+    /// and onto the `insert_log`; no vector is touched. Each vector
+    /// replays its pending log suffix in one batched
+    /// [`DynamicSssp::relax_inserts`] pass when it is next read
+    /// ([`EvalContext::ensure_warm`]). Early in a run a single committed
+    /// edge improves `Θ(n)` distances in `Θ(n)` vectors, so the eager
+    /// per-move repair this replaces made an add-heavy round `Θ(n³)`;
+    /// batched lazy sync settles each improved node once per *read*
+    /// instead of once per improving edge, and both schedules end on the
+    /// same exact — hence bitwise-identical — fixpoint.
+    ///
+    /// **Removals are eager** (they cannot be replayed decrease-only).
+    /// Every valid vector is first synced to the pre-removal network —
+    /// the exactness contract of [`DynamicSssp::remove_edges`] — then the
+    /// edges leave the network and each vector takes one batched
+    /// affected-region repair. Under [`RemovalPolicy::Invalidate`]
+    /// removals instead flag every vector for lazy recomputation (the
+    /// historical baseline).
     ///
     /// Degenerate changes follow [`NetworkDelta::apply_to`]'s semantics
     /// exactly: removing an absent edge and re-inserting a present one
     /// are no-ops — for the network *and* the warm vectors, which must
     /// never be "repaired" for a change that did not happen.
     pub fn apply_delta(&mut self, delta: &NetworkDelta) {
+        let will_remove = delta
+            .removes()
+            .iter()
+            .any(|&(a, b, _)| self.network.has_edge(a, b));
+        if will_remove && self.policy == RemovalPolicy::DynamicSssp {
+            // Bring every valid vector up to the pre-removal network:
+            // remove_edges requires the vector to be exact for the graph
+            // the edge is leaving, and pending inserts replay against a
+            // network that must still hold the edges about to go.
+            let log = &self.insert_log;
+            for ((inc, &valid), synced) in self
+                .warm
+                .iter_mut()
+                .zip(self.valid.iter())
+                .zip(self.synced.iter_mut())
+            {
+                if valid && *synced < log.len() {
+                    inc.relax_inserts(&self.network, &log[*synced..]);
+                    *synced = log.len();
+                }
+            }
+        }
         let mut removed = std::mem::take(&mut self.removed_buf);
         removed.clear();
         for &(a, b, w) in delta.removes() {
@@ -596,11 +736,7 @@ impl EvalContext {
                 continue;
             }
             self.network.add_edge(a, b, w);
-            for (inc, &valid) in self.warm.iter_mut().zip(self.valid.iter()) {
-                if valid {
-                    inc.relax_insert(&self.network, a, b, w);
-                }
-            }
+            self.insert_log.push((a, b, w));
         }
     }
 }
@@ -630,6 +766,13 @@ impl Engine {
         &mut self.ctx
     }
 
+    /// Bytes resident in this engine's warm-vector machinery
+    /// ([`EvalContext::warm_resident_bytes`]) — the figure the service's
+    /// `warm_resident_bytes` gauge reports.
+    pub fn warm_resident_bytes(&self) -> usize {
+        self.ctx.warm_resident_bytes()
+    }
+
     /// Drops run-specific state (the cycle-detector map, the cached
     /// network and its warm vectors) while keeping every allocation, so a
     /// long-lived worker — e.g. a service worker thread holding one
@@ -640,6 +783,7 @@ impl Engine {
         self.detector.clear();
         self.ctx.network = AdjacencyList::default();
         self.ctx.valid.fill(false);
+        self.ctx.insert_log.clear();
     }
 
     /// Runs the dynamics from `start` on `game`.
@@ -694,6 +838,7 @@ impl Engine {
                         self.ctx.ensure_warm(u);
                         let current = self.ctx.current_cost(game, &profile, u);
                         let speculative = self.ctx.scan_policy() == ScanPolicy::SpeculativeDelta;
+                        let pricing = self.ctx.pricing();
                         let (network, warm) = self.ctx.network_and_warm(u);
                         improving_change(
                             game,
@@ -703,6 +848,7 @@ impl Engine {
                             u,
                             cfg.rule,
                             current,
+                            pricing,
                         )
                     }
                 };
@@ -799,6 +945,7 @@ pub fn run(game: &Game, start: Profile, cfg: &DynamicsConfig) -> RunResult {
 /// not ([`ScanPolicy::MaskedDijkstra`]). Both paths choose the same move
 /// at the same cost bits. The exact-best-response rule has its own
 /// incremental engine and ignores `warm`.
+#[allow(clippy::too_many_arguments)]
 fn improving_change(
     game: &Game,
     profile: &Profile,
@@ -807,6 +954,7 @@ fn improving_change(
     u: NodeId,
     rule: ResponseRule,
     current: f64,
+    pricing: SpeculativePricing,
 ) -> Option<Change> {
     let moves = match rule {
         ResponseRule::ExactBestResponse => {
@@ -821,7 +969,9 @@ fn improving_change(
         ResponseRule::AddOnly => Move::add_moves(profile, u),
     };
     match warm {
-        Some(warm) => best_move_among_speculative(game, profile, network, warm, u, current, &moves),
+        Some(warm) => best_move_among_speculative_priced(
+            game, profile, network, warm, u, current, &moves, pricing,
+        ),
         None => best_move_among_given_current(game, profile, network, u, current, &moves),
     }
     .map(|(m, c)| (m.apply(u, profile.strategy(u)), current, c))
@@ -844,6 +994,7 @@ pub fn agent_is_stable_given_current(
     ctx.ensure_warm(u);
     let current = ctx.current_cost(game, profile, u);
     let speculative = ctx.scan_policy() == ScanPolicy::SpeculativeDelta;
+    let pricing = ctx.pricing();
     let (network, warm) = ctx.network_and_warm(u);
     improving_change(
         game,
@@ -853,6 +1004,7 @@ pub fn agent_is_stable_given_current(
         u,
         rule,
         current,
+        pricing,
     )
     .is_none()
 }
@@ -873,11 +1025,13 @@ fn max_gain_change(
     use rayon::prelude::*;
     let n = game.n();
     debug_assert!(
-        ctx.valid[..n].iter().all(|&v| v),
+        ctx.valid[..n].iter().all(|&v| v)
+            && ctx.synced[..n].iter().all(|&s| s == ctx.insert_log.len()),
         "max_gain_change requires a prior ensure_all_warm"
     );
     let network = &ctx.network;
     let speculative = ctx.scan == ScanPolicy::SpeculativeDelta;
+    let pricing = ctx.pricing;
     let winner = ctx.warm[..n]
         .par_chunks_mut(1)
         .enumerate()
@@ -893,6 +1047,7 @@ fn max_gain_change(
                 u,
                 rule,
                 current,
+                pricing,
             )
             .map(|(s, before, after)| {
                 let gain = if before.is_infinite() && after.is_finite() {
@@ -1111,6 +1266,10 @@ mod tests {
         ctx.apply_strategy_change(&game, &p, 1, &old);
         let network = p.build_network(&game);
         for u in 0..6u32 {
+            // Committed inserts sync lazily: a read is ensure_warm + read
+            // (the pending-log replay happens here, and its debug oracle
+            // re-checks the synced vector against a fresh Dijkstra).
+            ctx.ensure_warm(u);
             let expected = gncg_core::cost::agent_cost_in(&game, &p, &network, u).total();
             assert_eq!(ctx.current_cost(&game, &p, u), expected, "agent {u}");
         }

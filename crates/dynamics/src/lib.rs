@@ -24,3 +24,4 @@ pub use engine::{
     agent_is_stable_given_current, run, Checkpoint, DynamicsConfig, Engine, EvalContext, Outcome,
     RegretMeter, RemovalPolicy, ResponseRule, RunResult, ScanPolicy, Scheduler,
 };
+pub use gncg_core::{SpeculativePricing, PRICE_HORIZON};

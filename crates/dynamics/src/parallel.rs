@@ -4,10 +4,10 @@
 
 use rayon::prelude::*;
 
-use gncg_core::{Game, Profile};
+use gncg_core::{Game, Profile, SpeculativePricing};
 use gncg_graph::SymMatrix;
 
-use crate::engine::{run, DynamicsConfig, RunResult};
+use crate::engine::{run, DynamicsConfig, Engine, RunResult};
 
 /// One point of a sweep.
 #[derive(Clone, Debug)]
@@ -41,6 +41,43 @@ where
             let game = Game::new(hosts[i].clone(), alpha);
             let start = start_of(i, game.n());
             let result = run(&game, start, cfg);
+            let social_cost = gncg_core::cost::social_cost(&game, &result.profile);
+            SweepPoint {
+                alpha,
+                instance: i,
+                result,
+                social_cost,
+            }
+        })
+        .collect()
+}
+
+/// [`sweep`] with an explicit speculative-pricing policy
+/// ([`SpeculativePricing`]): each job's engine runs with `pricing`
+/// installed, so a whole α/seed grid can run bounded-horizon
+/// ([`SpeculativePricing::RegionDelta`]) pricing — still bitwise
+/// deterministic at every thread count, under that policy's own byte
+/// stream (sub-ulp ties may resolve differently from the default).
+pub fn sweep_priced<F>(
+    hosts: &[SymMatrix],
+    alphas: &[f64],
+    cfg: &DynamicsConfig,
+    pricing: SpeculativePricing,
+    start_of: F,
+) -> Vec<SweepPoint>
+where
+    F: Fn(usize, usize) -> Profile + Sync,
+{
+    let jobs: Vec<(usize, f64)> = (0..hosts.len())
+        .flat_map(|i| alphas.iter().map(move |&a| (i, a)))
+        .collect();
+    jobs.into_par_iter()
+        .map(|(i, alpha)| {
+            let game = Game::new(hosts[i].clone(), alpha);
+            let start = start_of(i, game.n());
+            let mut engine = Engine::new();
+            engine.context_mut().set_pricing(pricing);
+            let result = engine.run(&game, start, cfg);
             let social_cost = gncg_core::cost::social_cost(&game, &result.profile);
             SweepPoint {
                 alpha,
@@ -118,6 +155,52 @@ mod tests {
             assert_eq!(p.instance, s.instance);
             assert_eq!(p.result.profile, s.result.profile);
             assert_eq!(p.social_cost, s.social_cost);
+        }
+    }
+
+    #[test]
+    fn priced_sweep_is_deterministic_per_policy() {
+        let hosts: Vec<SymMatrix> = (0..2)
+            .map(|s| gncg_metrics::arbitrary::random_metric(6, 1.0, 3.0, s + 10))
+            .collect();
+        let alphas = [0.5, 2.0];
+        // FullSum through the priced entry point is the plain sweep.
+        let full = sweep_priced(
+            &hosts,
+            &alphas,
+            &cfg(),
+            SpeculativePricing::FullSum,
+            |_, n| Profile::star(n, 0),
+        );
+        let plain = sweep(&hosts, &alphas, &cfg(), |_, n| Profile::star(n, 0));
+        for (a, b) in full.iter().zip(&plain) {
+            assert_eq!(a.result.profile, b.result.profile);
+            assert_eq!(a.social_cost, b.social_cost);
+        }
+        // RegionDelta parallel matches its own sequential replay bitwise.
+        let rd = sweep_priced(
+            &hosts,
+            &alphas,
+            &cfg(),
+            SpeculativePricing::RegionDelta,
+            |_, n| Profile::star(n, 0),
+        );
+        let mut engine = Engine::new();
+        engine
+            .context_mut()
+            .set_pricing(SpeculativePricing::RegionDelta);
+        let mut k = 0;
+        for host in &hosts {
+            for &alpha in &alphas {
+                let game = Game::new(host.clone(), alpha);
+                let result = engine.run(&game, Profile::star(game.n(), 0), &cfg());
+                assert_eq!(rd[k].result.profile, result.profile);
+                assert_eq!(
+                    rd[k].social_cost,
+                    gncg_core::cost::social_cost(&game, &result.profile)
+                );
+                k += 1;
+            }
         }
     }
 

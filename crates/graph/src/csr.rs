@@ -81,6 +81,44 @@
 //! Positive edge weights are required (support chains must strictly
 //! increase in distance); every host family in this workspace satisfies
 //! that.
+//!
+//! # The bucket-queue engine and weight-class hints
+//!
+//! Both engines default to a binary heap, but callers that know the
+//! weight class of the graph they relax over — `[wmin, wmax]` bounds
+//! covering every edge weight, with `wmin > 0` — can install it via
+//! [`DijkstraScratch::set_weight_class`] /
+//! [`DynamicSssp::set_weight_class`]. When the class is *integer-ish*
+//! (`wmax / wmin` small, as the metric host factories produce), the
+//! engines switch to a Dial-style **bucket queue**: a circular window of
+//! `ceil(wmax / wmin) + 2` buckets of width `Δ = wmin`, scanned in
+//! ascending order, each bucket drained to a fixpoint before advancing.
+//! That replaces the `O(log n)` heap churn per relaxation with `O(1)`
+//! pushes — the difference that lets scenario grids scale to n ∈
+//! {1024, 4096}.
+//!
+//! The bucket scan is **bitwise-equal** to the heap scan, and in debug
+//! builds every bucket run re-runs its heap ancestor and asserts exact
+//! equality. The argument: draining a bucket to a fixpoint is a
+//! decrease-only label-correcting relaxation, every tentative value is a
+//! left-to-right `f64` prefix sum of a real path, and the fixpoint of
+//! such a relaxation is unique — the exact minimum over the same set of
+//! path sums the heap scan minimizes over. Intra-bucket processing order
+//! therefore cannot leak into the result, and a weight outside the
+//! declared class degrades only performance (an entry may be scanned
+//! before it is final and re-scanned later), never correctness. Classes
+//! whose window would exceed [`BUCKET_RING_CAP`] buckets fall back to the
+//! heap, as does everything when no hint is installed — which keeps the
+//! free functions in [`crate::dijkstra`] (including the
+//! `dijkstra_reference` oracle) on the independent heap path.
+//!
+//! The affected-region *discovery* of [`DynamicSssp::remove_edges`]
+//! deliberately stays on the heap even with a hint installed: its
+//! support verdicts are final only when candidates pop in strictly
+//! increasing distance order, an ordering a bucket can violate for two
+//! nodes Δ apart in adversarial half-ulp cases. Only the order-free
+//! fixpoint scans — [`DijkstraScratch::run`]/[`DijkstraScratch::run_masked`]
+//! and the phase-2 region re-relaxation — take the bucket path.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -263,6 +301,28 @@ impl<G: EdgeSource> EdgeSource for MaskedEdges<'_, G> {
     }
 }
 
+/// Largest circular bucket window either engine will allocate; weight
+/// classes needing more (`wmax / wmin` too large to be integer-ish) fall
+/// back to the binary heap.
+pub const BUCKET_RING_CAP: usize = 4096;
+
+/// Validates a weight-class hint and derives the bucket geometry:
+/// `Δ = wmin` and the circular window length `ceil(wmax / Δ) + 2` (one
+/// slot past the farthest reachable relative bucket, plus one of rounding
+/// slack — see the module docs). `None` when the hint is absent,
+/// degenerate (`wmin ≤ 0`, `wmax` non-finite or below `wmin`), or needs
+/// a window beyond [`BUCKET_RING_CAP`].
+fn bucket_ring(class: Option<(f64, f64)>) -> Option<(f64, usize)> {
+    let (wmin, wmax) = class?;
+    // `wmin > 0.0` is false for NaN, so a NaN bound is rejected too.
+    let valid = wmin > 0.0 && wmax.is_finite() && wmax >= wmin;
+    if !valid {
+        return None;
+    }
+    let ring = (wmax / wmin).ceil() as usize + 2;
+    (ring <= BUCKET_RING_CAP).then_some((wmin, ring))
+}
+
 /// Reusable Dijkstra state: after the first call on a given size, running
 /// an SSSP allocates nothing.
 ///
@@ -270,12 +330,21 @@ impl<G: EdgeSource> EdgeSource for MaskedEdges<'_, G> {
 /// and an entry is valid only when its stamp matches, so starting a run is
 /// `O(1)` instead of an `O(n)` fill. The heap is drained by the algorithm
 /// itself (only improving entries are pushed) and its buffer is reused.
-#[derive(Debug, Default)]
+///
+/// With a weight-class hint installed
+/// ([`DijkstraScratch::set_weight_class`]) runs go through the
+/// bitwise-equal bucket-queue scan instead of the heap (module docs).
+#[derive(Clone, Debug, Default)]
 pub struct DijkstraScratch {
     dist: Vec<f64>,
     stamp: Vec<u32>,
     generation: u32,
     heap: BinaryHeap<HeapEntry>,
+    /// `[wmin, wmax]` bounds on every weight the next runs will relax,
+    /// or `None` for the heap path.
+    weight_class: Option<(f64, f64)>,
+    /// The bucket ring (reused across runs; drained empty by each run).
+    buckets: Vec<Vec<(NodeId, f64)>>,
 }
 
 impl DijkstraScratch {
@@ -329,6 +398,16 @@ impl DijkstraScratch {
         }
     }
 
+    /// Installs (or clears, with `None`) the weight-class hint: `[wmin,
+    /// wmax]` bounds covering every edge weight subsequent runs relax,
+    /// `wmin > 0`. A valid, integer-ish hint routes runs through the
+    /// bucket-queue scan; conservative bounds only cost performance, and
+    /// the result is bitwise-identical either way (module docs). The hint
+    /// is sticky across runs until replaced.
+    pub fn set_weight_class(&mut self, class: Option<(f64, f64)>) {
+        self.weight_class = class;
+    }
+
     /// Runs Dijkstra from `source` on `g` with virtual undirected `extra`
     /// edges overlaid. Distances are read back via
     /// [`DijkstraScratch::dist`], [`DijkstraScratch::write_distances`], or
@@ -340,6 +419,38 @@ impl DijkstraScratch {
     /// [`DijkstraScratch::run`] with edges in `removed` (unordered pairs)
     /// skipped — the "agent drops its own edges" evaluation.
     pub fn run_masked<G: EdgeSource>(
+        &mut self,
+        g: &G,
+        source: NodeId,
+        removed: &[(NodeId, NodeId)],
+        extra: &[(NodeId, NodeId, f64)],
+    ) {
+        match bucket_ring(self.weight_class) {
+            Some((delta, ring)) => {
+                self.run_masked_buckets(g, source, removed, extra, delta, ring);
+                #[cfg(debug_assertions)]
+                {
+                    // Oracle: re-run the heap ancestor (begin() bumps the
+                    // generation, isolating the second run) and demand
+                    // exact equality. The heap result is left as the
+                    // final state — the two are equal anyway.
+                    let n = g.num_nodes();
+                    let from_buckets = self.to_vec(n);
+                    self.run_masked_heap(g, source, removed, extra);
+                    assert_eq!(
+                        from_buckets,
+                        self.to_vec(n),
+                        "bucket-queue SSSP diverged from the heap oracle"
+                    );
+                }
+            }
+            None => self.run_masked_heap(g, source, removed, extra),
+        }
+    }
+
+    /// The heap-Dijkstra ancestor of [`DijkstraScratch::run_masked`] —
+    /// the no-hint path and the debug oracle of the bucket scan.
+    fn run_masked_heap<G: EdgeSource>(
         &mut self,
         g: &G,
         source: NodeId,
@@ -384,6 +495,71 @@ impl DijkstraScratch {
         }
     }
 
+    /// The Dial-style bucket-queue scan (module docs): buckets of width
+    /// `delta` in a circular window of `ring` slots, scanned in ascending
+    /// order, each bucket drained to a fixpoint before advancing.
+    fn run_masked_buckets<G: EdgeSource>(
+        &mut self,
+        g: &G,
+        source: NodeId,
+        removed: &[(NodeId, NodeId)],
+        extra: &[(NodeId, NodeId, f64)],
+        delta: f64,
+        ring: usize,
+    ) {
+        self.begin(g.num_nodes());
+        if self.buckets.len() < ring {
+            self.buckets.resize_with(ring, Vec::new);
+        }
+        self.improve(source, 0.0);
+        self.buckets[0].push((source, 0.0));
+        let mut pending = 1usize;
+        let mut cur = 0u64; // absolute (unwrapped) bucket index
+        let is_removed = |u: NodeId, v: NodeId| {
+            removed
+                .iter()
+                .any(|&(a, b)| (a == u && b == v) || (a == v && b == u))
+        };
+        while pending > 0 {
+            let slot = (cur % ring as u64) as usize;
+            while let Some((u, d)) = self.buckets[slot].pop() {
+                pending -= 1;
+                if d > self.dist(u) {
+                    continue; // superseded entry
+                }
+                let mut this = BucketRelax {
+                    scratch: self,
+                    delta,
+                    ring,
+                    pending: &mut pending,
+                };
+                g.for_each_neighbor(u, |v, w| {
+                    if !removed.is_empty() && is_removed(u, v) {
+                        return;
+                    }
+                    this.relax(v, d + w);
+                });
+                for &(a, b, w) in extra {
+                    let v = if a == u {
+                        b
+                    } else if b == u {
+                        a
+                    } else {
+                        continue;
+                    };
+                    let mut this = BucketRelax {
+                        scratch: self,
+                        delta,
+                        ring,
+                        pending: &mut pending,
+                    };
+                    this.relax(v, d + w);
+                }
+            }
+            cur += 1;
+        }
+    }
+
     /// Copies the distances of the last run into `out` (any length:
     /// unreached or out-of-range nodes get `∞`).
     pub fn write_distances(&self, out: &mut [f64]) {
@@ -424,13 +600,37 @@ impl ScratchRelax<'_> {
     }
 }
 
+/// [`ScratchRelax`]'s bucket-queue sibling: improvements are filed into
+/// the ring slot of their bucket (`floor(nd / Δ) mod ring`) instead of
+/// the heap. `improve` returning `true` guarantees `nd` is finite, so
+/// the `f64 → u64` cast below is exact up to saturation — and a
+/// saturated (or otherwise early) slot only causes a pre-final scan that
+/// the fixpoint re-scans, never a wrong result (module docs).
+struct BucketRelax<'a> {
+    scratch: &'a mut DijkstraScratch,
+    delta: f64,
+    ring: usize,
+    pending: &'a mut usize,
+}
+
+impl BucketRelax<'_> {
+    #[inline]
+    fn relax(&mut self, v: NodeId, nd: f64) {
+        if self.scratch.improve(v, nd) {
+            let slot = ((nd / self.delta) as u64 % self.ring as u64) as usize;
+            self.scratch.buckets[slot].push((v, nd));
+            *self.pending += 1;
+        }
+    }
+}
+
 /// A single-source distance vector maintained under edge insertions
 /// (undo-logged or permanent) **and** edge removals — the workhorse of
 /// both the incremental best-response search and the dynamics engine's
 /// warm per-agent distance vectors.
 ///
 /// See the module docs for the relaxation/undo and deletion invariants.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct DynamicSssp {
     source: NodeId,
     dist: Vec<f64>,
@@ -445,6 +645,21 @@ pub struct DynamicSssp {
     /// list and its membership bitmap (cleared after every removal).
     affected: Vec<NodeId>,
     affected_mark: Vec<bool>,
+    /// Weight-class hint for the phase-2 region relaxation (see
+    /// [`DynamicSssp::set_weight_class`]); sticky across
+    /// [`DynamicSssp::reset_from`].
+    weight_class: Option<(f64, f64)>,
+    /// Bucket ring of the phase-2 region relaxation (reused, drained).
+    buckets: Vec<Vec<(NodeId, f64)>>,
+    /// First-entry dedup stamps of [`DynamicSssp::delta_sum_since`]:
+    /// `delta_epoch[v] == delta_epoch_counter` marks `v` as already
+    /// accounted in the current call.
+    delta_epoch: Vec<u64>,
+    delta_epoch_counter: u64,
+    /// Settle budget for *speculative* insert relaxations (see
+    /// [`DynamicSssp::set_price_horizon`]); `None` relaxes to the exact
+    /// fixpoint. Never applies outside a speculation frame.
+    price_horizon: Option<usize>,
 }
 
 /// The historical name of [`DynamicSssp`], kept while the engine handled
@@ -469,6 +684,56 @@ impl DynamicSssp {
         self.heap.clear();
     }
 
+    /// Installs (or clears, with `None`) the weight-class hint: `[wmin,
+    /// wmax]` bounds covering every edge weight subsequent repairs relax,
+    /// `wmin > 0`. Routes the phase-2 region relaxation of
+    /// [`DynamicSssp::remove_edges`] through the bucket-queue scan
+    /// (bitwise-identical to the heap either way — module docs). Sticky
+    /// across [`DynamicSssp::reset_from`], so engines hint once per
+    /// graph, not once per reset.
+    pub fn set_weight_class(&mut self, class: Option<(f64, f64)>) {
+        self.weight_class = class;
+    }
+
+    /// Installs (or clears, with `None`) the bounded-horizon settle
+    /// budget for **speculative** insert relaxations: once a
+    /// [`DynamicSssp::speculate_insert`] has settled `cap` nodes, the
+    /// remaining frontier is abandoned. The truncated vector is a sound
+    /// **upper bound** on the true post-insert distances (decrease-only
+    /// relaxation stopped early never under-shoots), every overwrite is
+    /// still undo-logged, and [`DynamicSssp::rollback`] restores the
+    /// exact pre-frame vector — so a pricing scan can rank candidates on
+    /// `O(horizon)` work per move and re-price its winner exactly with
+    /// the budget cleared.
+    ///
+    /// The budget never applies to committed updates
+    /// ([`DynamicSssp::relax_insert`], [`DynamicSssp::relax_inserts`],
+    /// [`DynamicSssp::add_edge`]) or to removal repairs, which must stay
+    /// exact. Sticky across [`DynamicSssp::reset_from`], like the
+    /// weight-class hint.
+    pub fn set_price_horizon(&mut self, cap: Option<usize>) {
+        self.price_horizon = cap;
+    }
+
+    /// Approximate resident heap footprint of this vector's buffers, in
+    /// bytes (capacities, not lengths — what the allocator actually
+    /// holds). Feeds the service's warm-vector memory gauge.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.dist.capacity() * size_of::<f64>()
+            + self.undo.capacity() * size_of::<(NodeId, f64)>()
+            + (self.frames.capacity() + self.spec_marks.capacity()) * size_of::<usize>()
+            + self.heap.capacity() * size_of::<HeapEntry>()
+            + self.affected.capacity() * size_of::<NodeId>()
+            + self.affected_mark.capacity()
+            + self.delta_epoch.capacity() * size_of::<u64>()
+            + self
+                .buckets
+                .iter()
+                .map(|b| b.capacity() * size_of::<(NodeId, f64)>())
+                .sum::<usize>()
+    }
+
     /// The current distance vector.
     #[inline]
     pub fn dist(&self) -> &[f64] {
@@ -482,6 +747,46 @@ impl DynamicSssp {
         let mut s = 0.0;
         for &d in &self.dist {
             s += d;
+        }
+        s
+    }
+
+    /// Current undo-log length — a mark for
+    /// [`DynamicSssp::delta_sum_since`]. Take it *before* opening the
+    /// speculation frame whose distance churn you want to price.
+    #[inline]
+    pub fn undo_len(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Sum of `dist[v] − original[v]` over every node whose distance was
+    /// overwritten (and logged) since undo-log position `mark`, where
+    /// `original[v]` is the node's *first* logged value after the mark —
+    /// its distance when the mark was taken. Each node contributes once,
+    /// in the (deterministic) order of its first log entry, so the result
+    /// is a deterministic function of the logged churn: the
+    /// bounded-horizon pricing's `O(region)` substitute for a full `O(n)`
+    /// [`DynamicSssp::sum`] re-scan. The first-entry dedup is an
+    /// epoch-stamped linear pass — no sort, no allocation — because this
+    /// runs once per priced candidate on the scan's hottest path.
+    ///
+    /// Only *logged* overwrites are visible — the mark must cover
+    /// speculation-frame mutations only (unlogged committed repairs
+    /// between the mark and the read would go unaccounted).
+    pub fn delta_sum_since(&mut self, mark: usize) -> f64 {
+        self.delta_epoch_counter += 1;
+        let epoch = self.delta_epoch_counter;
+        if self.delta_epoch.len() < self.dist.len() {
+            self.delta_epoch.resize(self.dist.len(), 0);
+        }
+        let mut s = 0.0;
+        for i in mark..self.undo.len() {
+            let (v, original) = self.undo[i];
+            let stamp = &mut self.delta_epoch[v as usize];
+            if *stamp != epoch {
+                *stamp = epoch;
+                s += self.dist[v as usize] - original;
+            }
         }
         s
     }
@@ -563,6 +868,47 @@ impl DynamicSssp {
         }
     }
 
+    /// [`DynamicSssp::relax_insert`] for a *batch* of edge insertions in
+    /// one multi-seed heap drain: every edge's endpoint improvements are
+    /// seeded together, then the affected region settles once.
+    ///
+    /// Same contract as [`DynamicSssp::relax_insert`]: `g` must be the
+    /// live graph already containing every edge of `edges` (and all other
+    /// current edges), weights positive, no speculation frame open. The
+    /// result is the same exact — hence bitwise-identical — fixpoint the
+    /// one-at-a-time replay reaches, but a node improved by `k` of the
+    /// batched edges is settled once instead of up to `k` times, which is
+    /// what makes a lazily synced warm vector `O(batch + region)` per
+    /// sync instead of `O(batch × region)`.
+    pub fn relax_inserts<G: EdgeSource>(&mut self, g: &G, edges: &[(NodeId, NodeId, f64)]) {
+        debug_assert!(
+            self.spec_marks.is_empty(),
+            "relax_inserts inside a speculation frame would be unrevertible"
+        );
+        self.heap.clear();
+        for &(a, b, w) in edges {
+            for (from, to) in [(a, b), (b, a)] {
+                let df = self.dist[from as usize];
+                if df.is_finite() {
+                    let nd = df + w;
+                    if nd < self.dist[to as usize] {
+                        self.dist[to as usize] = nd;
+                        self.heap.push(HeapEntry { dist: nd, node: to });
+                    }
+                }
+            }
+        }
+        while let Some(HeapEntry { dist: d, node: u }) = self.heap.pop() {
+            if d > self.dist[u as usize] {
+                continue;
+            }
+            let mut this = UnloggedRelax(self);
+            g.for_each_neighbor(u, |v, wuv| {
+                this.relax(v, d + wuv);
+            });
+        }
+    }
+
     /// Inserts undirected edge `(a, b)` of weight `w` on top of `g` and
     /// relaxes every distance it improves, recording the changes as one
     /// undo frame.
@@ -609,12 +955,22 @@ impl DynamicSssp {
 
     /// The shared undo-logged insertion relaxation of
     /// [`DynamicSssp::add_edge`] and [`DynamicSssp::speculate_insert`].
+    /// Inside a speculation frame an installed
+    /// [`DynamicSssp::set_price_horizon`] budget truncates the drain
+    /// after `cap` settled nodes (upper-bound vector, exact rollback);
+    /// committed insertion frames always run to the exact fixpoint.
     fn relax_insert_logged<G: EdgeSource>(&mut self, g: &G, a: NodeId, b: NodeId, w: f64) {
         debug_assert!(
             a == self.source || b == self.source,
             "DynamicSssp logged insertion: edge ({a}, {b}) is not incident to source {}",
             self.source
         );
+        let cap = if self.speculating() {
+            self.price_horizon.unwrap_or(usize::MAX)
+        } else {
+            usize::MAX
+        };
+        let mut settled = 0usize;
         self.heap.clear();
         for (from, to) in [(a, b), (b, a)] {
             let df = self.dist[from as usize];
@@ -629,6 +985,15 @@ impl DynamicSssp {
             if d > self.dist[u as usize] {
                 continue;
             }
+            if settled >= cap {
+                // Horizon reached: abandon the frontier. Every overwrite
+                // so far is logged, so the frame still rolls back exactly;
+                // the stale heap is cleared by the next relaxation's
+                // entry. Distances beyond the horizon keep their (valid,
+                // merely loose) pre-insert values.
+                break;
+            }
+            settled += 1;
             let mut this = IncRelax(self);
             g.for_each_neighbor(u, |v, wuv| {
                 this.relax(v, d + wuv);
@@ -844,6 +1209,10 @@ impl DynamicSssp {
                 }
             });
             if log {
+                // Logged before any region relaxation touches `v`, so the
+                // frame's first entry per node is its pre-removal value —
+                // the reverse undo replay ends there regardless of what
+                // order the relaxation below overwrites in.
                 self.undo.push((v, self.dist[v as usize]));
             }
             self.dist[v as usize] = best;
@@ -854,6 +1223,33 @@ impl DynamicSssp {
                 });
             }
         }
+        match bucket_ring(self.weight_class) {
+            Some((delta, ring)) => {
+                #[cfg(debug_assertions)]
+                let expected = {
+                    // Oracle: a clone (same seeds, same region state)
+                    // repaired by the heap ancestor must agree bitwise.
+                    let mut oracle = self.clone();
+                    oracle.region_relax_heap(g, false);
+                    oracle.dist
+                };
+                self.region_relax_buckets(g, log, delta, ring);
+                #[cfg(debug_assertions)]
+                assert_eq!(
+                    self.dist, expected,
+                    "bucket-queue region repair diverged from the heap oracle"
+                );
+            }
+            None => self.region_relax_heap(g, log),
+        }
+        for &v in &self.affected {
+            self.affected_mark[v as usize] = false;
+        }
+    }
+
+    /// The heap ancestor of the phase-2 region relaxation: drains the
+    /// re-seed queue in `self.heap`, relaxing only into affected nodes.
+    fn region_relax_heap<G: EdgeSource>(&mut self, g: &G, log: bool) {
         while let Some(HeapEntry { dist: d, node: u }) = self.heap.pop() {
             if d > self.dist[u as usize] {
                 continue;
@@ -878,8 +1274,56 @@ impl DynamicSssp {
                 }
             });
         }
-        for &v in &self.affected {
-            self.affected_mark[v as usize] = false;
+    }
+
+    /// Bucket-queue sibling of [`DynamicSssp::region_relax_heap`]: moves
+    /// the re-seed queue into the ring (the window starts at the earliest
+    /// seed's bucket) and scans buckets in ascending order, each drained
+    /// to a fixpoint. Seeds wider apart than the window merely wrap and
+    /// get pre-final scans that the fixpoint re-scans — correctness never
+    /// depends on the window fitting (module docs).
+    fn region_relax_buckets<G: EdgeSource>(&mut self, g: &G, log: bool, delta: f64, ring: usize) {
+        if self.buckets.len() < ring {
+            self.buckets.resize_with(ring, Vec::new);
+        }
+        let mut pending = 0usize;
+        let mut cur = u64::MAX;
+        while let Some(HeapEntry { dist: d, node: v }) = self.heap.pop() {
+            let b = (d / delta) as u64;
+            cur = cur.min(b);
+            self.buckets[(b % ring as u64) as usize].push((v, d));
+            pending += 1;
+        }
+        while pending > 0 {
+            let slot = (cur % ring as u64) as usize;
+            while let Some((u, d)) = self.buckets[slot].pop() {
+                pending -= 1;
+                if d > self.dist[u as usize] {
+                    continue; // superseded entry
+                }
+                let (dist, buckets, mark, undo) = (
+                    &mut self.dist,
+                    &mut self.buckets,
+                    &self.affected_mark,
+                    &mut self.undo,
+                );
+                g.for_each_neighbor(u, |v, wuv| {
+                    if !mark[v as usize] {
+                        return; // unaffected nodes are already exact
+                    }
+                    let nd = d + wuv;
+                    if nd < dist[v as usize] {
+                        if log {
+                            undo.push((v, dist[v as usize]));
+                        }
+                        dist[v as usize] = nd;
+                        let s = ((nd / delta) as u64 % ring as u64) as usize;
+                        buckets[s].push((v, nd));
+                        pending += 1;
+                    }
+                });
+            }
+            cur += 1;
         }
     }
 }
@@ -1367,6 +1811,124 @@ mod tests {
     #[should_panic(expected = "rollback without an open speculation frame")]
     fn rollback_without_frame_panics() {
         DynamicSssp::new().rollback();
+    }
+
+    #[test]
+    fn bucket_scratch_matches_heap_scratch_bitwise() {
+        // Same graph, every source, with and without the hint: the two
+        // engines must agree exactly (the debug oracle re-checks this
+        // inside every hinted run as well).
+        let g = diamond();
+        let c = Csr::from_adjacency(&g);
+        let mut heap = DijkstraScratch::new();
+        let mut bucket = DijkstraScratch::new();
+        bucket.set_weight_class(Some((1.0, 3.0)));
+        for s in 0..4u32 {
+            heap.run(&c, s, &[]);
+            bucket.run(&c, s, &[]);
+            assert_eq!(heap.to_vec(4), bucket.to_vec(4), "source {s}");
+            heap.run_masked(&g, s, &[(0, 1)], &[(0, 3, 0.5)]);
+            bucket.run_masked(&g, s, &[(0, 1)], &[(0, 3, 0.5)]);
+            assert_eq!(heap.to_vec(4), bucket.to_vec(4), "masked+extra, source {s}");
+        }
+    }
+
+    #[test]
+    fn bucket_scratch_survives_weights_outside_the_declared_class() {
+        // A too-narrow hint (declared wmax below the real one, and an
+        // extra edge below wmin) must still produce the exact result:
+        // mis-bucketed entries get pre-final scans the fixpoint redoes.
+        let g = diamond(); // weights 1.0 and 3.0
+        let mut bucket = DijkstraScratch::new();
+        bucket.set_weight_class(Some((1.0, 1.5)));
+        let mut heap = DijkstraScratch::new();
+        for s in 0..4u32 {
+            bucket.run(&g, s, &[(1, 2, 0.125)]);
+            heap.run(&g, s, &[(1, 2, 0.125)]);
+            assert_eq!(bucket.to_vec(4), heap.to_vec(4), "source {s}");
+        }
+    }
+
+    #[test]
+    fn degenerate_weight_class_hints_fall_back_to_the_heap() {
+        // wmin ≤ 0, non-finite wmax, inverted bounds, and a window past
+        // BUCKET_RING_CAP must all run (on the heap) and stay exact.
+        let g = diamond();
+        let fresh = dijkstra(&g, 0);
+        for class in [
+            Some((0.0, 3.0)),
+            Some((-1.0, 3.0)),
+            Some((1.0, f64::INFINITY)),
+            Some((3.0, 1.0)),
+            Some((1e-9, 3.0)), // ring would be ~3e9 ≫ cap
+            None,
+        ] {
+            let mut s = DijkstraScratch::new();
+            s.set_weight_class(class);
+            s.run(&g, 0, &[]);
+            assert_eq!(s.to_vec(4), fresh, "class {class:?}");
+        }
+    }
+
+    #[test]
+    fn bucket_region_repair_matches_heap_and_rolls_back() {
+        // remove_edges with a hint installed: repaired vector must equal
+        // a fresh Dijkstra, and a speculative repair must roll back
+        // bitwise — for every source and edge.
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        for source in 0..4u32 {
+            let d0 = dijkstra(&g, source);
+            for &(a, b, w) in &edges {
+                let mut live = g.clone();
+                live.remove_edge(a, b);
+                let mut inc = DynamicSssp::new();
+                inc.set_weight_class(Some((1.0, 3.0)));
+                inc.reset_from(source, &d0);
+                inc.remove_edge(&live, a, b, w);
+                assert_eq!(
+                    inc.dist(),
+                    dijkstra(&live, source).as_slice(),
+                    "committed: source {source}, removed ({a}, {b})"
+                );
+
+                let mask = [(a, b)];
+                let view = MaskedEdges::new(&g, &mask);
+                inc.reset_from(source, &d0);
+                inc.begin_speculation();
+                inc.remove_edge(&view, a, b, w);
+                assert_eq!(inc.dist(), dijkstra(&live, source).as_slice());
+                inc.rollback();
+                assert_eq!(inc.dist(), d0.as_slice(), "rollback must restore bits");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_sum_since_prices_frame_churn_exactly() {
+        // sum-before + delta must reproduce what the region actually
+        // changed: compare against the definitionally-exact per-node
+        // recomputation (ascending ids, same accumulation order).
+        let g = diamond();
+        let d0 = dijkstra(&g, 0);
+        let mut inc = DynamicSssp::new();
+        inc.reset_from(0, &d0);
+        let mark = inc.undo_len();
+        let mask = [(0u32, 1u32)];
+        let view = MaskedEdges::new(&g, &mask);
+        inc.begin_speculation();
+        inc.remove_edge(&view, 0, 1, 1.0);
+        inc.speculate_insert(&view, 0, 3, 0.25);
+        let mut expected = 0.0;
+        for (v, &orig) in d0.iter().enumerate() {
+            if inc.dist()[v] != orig {
+                expected += inc.dist()[v] - orig;
+            }
+        }
+        assert_eq!(inc.delta_sum_since(mark), expected);
+        inc.rollback();
+        assert_eq!(inc.delta_sum_since(mark), 0.0, "empty log sums to zero");
+        assert!(inc.resident_bytes() > 0);
     }
 
     #[test]

@@ -9,6 +9,13 @@
 //! Only materializing the returned `Vec<f64>` allocates; callers on the
 //! hottest paths (APSP, best-response search) use the scratch API directly
 //! and skip even that.
+//!
+//! The thread-local scratch here carries **no weight-class hint**, so
+//! every free function — and [`dijkstra_reference`] in particular — runs
+//! the binary-heap engine, never the bucket queue. That keeps this module
+//! an independent ancestor for the bucket-queue equivalence tests: hinted
+//! scratches elsewhere are debug-asserted against exactly this path (see
+//! [`crate::csr`]'s module docs).
 
 use std::cell::RefCell;
 

@@ -9,8 +9,8 @@
 //! gncg grid      --out <file.jsonl> [--name <s>] [--hosts k1,k2] [--n n1,n2]
 //!                [--alpha a1,a2] [--rules r1,r2] [--scheds s1,s2]
 //!                [--seeds s1,s2 | --seed-count k] [--max-rounds <r>] [--base-seed <s>]
-//!                [--certify full|sampled|off] [--regret-meter] [--checkpoint-every <k>]
-//!                [--threads <k>]
+//!                [--preset swap-heavy|large-n] [--certify full|sampled|off] [--horizon]
+//!                [--regret-meter] [--checkpoint-every <k>] [--threads <k>]
 //! gncg resume    --out <file.jsonl> [--threads <k>]
 //! gncg serve     [--addr host:port] [--workers k] [--threads k] [--queue-cap n] [--cache <file>]
 //!                [--cache-max <entries>] [--journal <file>] [--read-timeout-ms <ms>] [--write-timeout-ms <ms>]
@@ -253,9 +253,21 @@ fn parse_grid_spec(args: &[String], allow_addr: bool) -> GridCli {
             "--base-seed" => {
                 spec.base_seed = parse_or_exit(&value(), "--base-seed takes an integer")
             }
+            // Presets replace the whole spec, so they belong *before* any
+            // per-axis override on the command line.
+            "--preset" => {
+                spec = match value().as_str() {
+                    "swap-heavy" => ScenarioSpec::swap_heavy(),
+                    "large-n" => ScenarioSpec::large_n(),
+                    other => invalid(format_args!(
+                        "unknown preset '{other}' (use swap-heavy|large-n)"
+                    )),
+                }
+            }
             "--certify" => {
                 spec.certify = CertifyMode::parse(&value()).unwrap_or_else(|e| invalid(e))
             }
+            "--horizon" => spec.horizon_pricing = true,
             "--regret-meter" => spec.regret_meter = true,
             "--checkpoint-every" => {
                 spec.checkpoint_every =
@@ -841,6 +853,10 @@ fn metrics_cmd(args: &[String]) {
     };
     histogram("job_wall_us", "job wall time");
     histogram("journal_fsync_us", "journal fsync");
+    println!(
+        "warm vectors: peak {} bytes resident per worker engine",
+        num("warm_resident_bytes_peak"),
+    );
 }
 
 fn cancel_cmd(args: &[String]) {
@@ -1019,8 +1035,8 @@ fn usage_and_exit() -> ! {
          grid:  --out results.jsonl [--hosts k1,k2] [--n n1,n2] [--alpha a1,a2]\n\
          \x20      [--rules r1,r2] [--scheds rr,random,maxgain]\n\
          \x20      [--seeds s1,s2 | --seed-count K] [--max-rounds R] [--base-seed S]\n\
-         \x20      [--certify full|sampled|off] [--regret-meter] [--checkpoint-every K]\n\
-         \x20      [--threads K]\n\
+         \x20      [--preset swap-heavy|large-n] [--certify full|sampled|off] [--horizon]\n\
+         \x20      [--regret-meter] [--checkpoint-every K] [--threads K]\n\
          resume: --out results.jsonl [--threads K]   (spec is read back from the manifest)\n\
          \n\
          service (newline-delimited JSON over TCP, see README):\n\

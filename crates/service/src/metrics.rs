@@ -44,6 +44,26 @@ impl Counter {
     }
 }
 
+/// A high-water-mark gauge: records the maximum value ever observed
+/// (`fetch_max`, relaxed — reporting only, like [`Counter`]). Used for
+/// the warm-vector resident-bytes peak: at n = 4096 the warm distance
+/// vectors are the daemon's dominant allocation, and the peak is the
+/// number capacity planning needs.
+#[derive(Debug, Default)]
+pub struct Peak(AtomicU64);
+
+impl Peak {
+    /// Folds one observation into the running maximum.
+    pub fn record(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The largest value recorded so far (0 before any observation).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// A latency histogram over power-of-two microsecond buckets.
 #[derive(Debug)]
 pub struct Histogram {
@@ -174,6 +194,10 @@ pub struct Metrics {
     pub job_wall: Histogram,
     /// Journal fsync latency on the submit path.
     pub journal_fsync: Histogram,
+    /// Peak bytes resident in any worker engine's warm distance vectors
+    /// after a cell (per-worker peak, not a sum — workers don't share
+    /// engines, and the largest single engine bounds per-worker memory).
+    pub warm_resident_bytes: Peak,
 }
 
 /// Instantaneous values owned by the daemon state, passed in at snapshot
@@ -211,7 +235,7 @@ impl Metrics {
         let lookups = g.cache_hits + g.cache_misses;
         let busy_budget_us = g.uptime_ms.saturating_mul(1_000) * g.workers.max(1) as u64;
         format!(
-            "{{\"uptime_ms\":{},\"queue_depth\":{},\"active_jobs\":{},\"workers\":{},\"jobs_submitted\":{},\"cells_simulated\":{},\"cells_from_cache\":{},\"worker_busy_fraction\":{:?},\"cache_entries\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_ratio\":{:?},\"job_wall_us\":{},\"journal_fsync_us\":{}}}",
+            "{{\"uptime_ms\":{},\"queue_depth\":{},\"active_jobs\":{},\"workers\":{},\"jobs_submitted\":{},\"cells_simulated\":{},\"cells_from_cache\":{},\"worker_busy_fraction\":{:?},\"cache_entries\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_ratio\":{:?},\"job_wall_us\":{},\"journal_fsync_us\":{},\"warm_resident_bytes_peak\":{}}}",
             g.uptime_ms,
             g.queue_depth,
             g.active_jobs,
@@ -226,6 +250,7 @@ impl Metrics {
             ratio(g.cache_hits, lookups),
             self.job_wall.to_json(),
             self.journal_fsync.to_json(),
+            self.warm_resident_bytes.get(),
         )
     }
 }
@@ -274,11 +299,23 @@ mod tests {
     }
 
     #[test]
+    fn peak_keeps_the_maximum() {
+        let p = Peak::default();
+        assert_eq!(p.get(), 0);
+        p.record(10);
+        p.record(3);
+        assert_eq!(p.get(), 10);
+        p.record(11);
+        assert_eq!(p.get(), 11);
+    }
+
+    #[test]
     fn snapshot_is_valid_json_with_fixed_keys() {
         let m = Metrics::default();
         m.jobs_submitted.add(2);
         m.cells_simulated.add(5);
         m.job_wall.observe_us(1500);
+        m.warm_resident_bytes.record(4096);
         let g = Gauges {
             uptime_ms: 10_000,
             queue_depth: 3,
@@ -321,6 +358,11 @@ mod tests {
             v.get("worker_busy_fraction")
                 .and_then(crate::json::Value::as_f64),
             Some(0.0)
+        );
+        assert_eq!(
+            v.get("warm_resident_bytes_peak")
+                .and_then(crate::json::Value::as_u64),
+            Some(4096)
         );
     }
 }

@@ -259,16 +259,19 @@ pub fn spec_to_json(spec: &ScenarioSpec) -> String {
         spec.base_seed,
         spec.certify.key(),
     );
-    // Observability members ride along only when non-default, so
-    // meter-off submits keep their historical wire bytes (mirrors the
-    // manifest's schema gating).
-    if spec.observability_on() {
+    // Opt-in members ride along only when non-default, so default
+    // submits keep their historical wire bytes (mirrors the manifest's
+    // schema gating).
+    if spec.observability_on() || spec.horizon_pricing {
         base.truncate(base.len() - 1);
         if spec.regret_meter {
             base.push_str(",\"regret_meter\":true");
         }
         if spec.checkpoint_every != 0 {
             base.push_str(&format!(",\"checkpoint_every\":{}", spec.checkpoint_every));
+        }
+        if spec.horizon_pricing {
+            base.push_str(",\"horizon_pricing\":true");
         }
         base.push('}');
     }
@@ -347,6 +350,9 @@ pub fn spec_from_value(v: &Value) -> Result<ScenarioSpec, String> {
         spec.checkpoint_every = x
             .as_usize()
             .ok_or("\"checkpoint_every\" must be an integer")?;
+    }
+    if let Some(x) = v.get("horizon_pricing") {
+        spec.horizon_pricing = x.as_bool().ok_or("\"horizon_pricing\" must be a boolean")?;
     }
     spec.validate()?;
     Ok(spec)
@@ -486,11 +492,34 @@ mod tests {
         let off = spec_to_json(&ScenarioSpec::default());
         assert!(!off.contains("regret_meter"));
         assert!(!off.contains("checkpoint_every"));
+        assert!(!off.contains("horizon_pricing"));
         // Meter-on specs round-trip through submit exactly.
         let mut on = spec();
         on.name = "wire name".into();
         on.regret_meter = true;
         on.checkpoint_every = 25;
+        on.horizon_pricing = true;
+        let line = Request::Submit {
+            spec: on.clone(),
+            deadline_ms: None,
+        }
+        .to_line();
+        match Request::parse_line(&line).unwrap() {
+            Request::Submit { spec: back, .. } => assert_eq!(back, on),
+            other => panic!("wrong request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn horizon_pricing_rides_the_wire_without_observability() {
+        // Regression: a horizon-on spec with the observability members
+        // off must still carry the flag, or the daemon silently prices
+        // the whole grid under full sums.
+        let mut on = spec();
+        on.name = "wire name".into();
+        on.horizon_pricing = true;
+        assert!(!on.observability_on());
+        assert!(spec_to_json(&on).contains("\"horizon_pricing\":true"));
         let line = Request::Submit {
             spec: on.clone(),
             deadline_ms: None,

@@ -564,6 +564,10 @@ fn worker_loop(shared: &Shared) {
             .worker_busy_us
             .add(u64::try_from(busy.elapsed().as_micros()).unwrap_or(u64::MAX));
         shared.metrics.cells_simulated.add(1);
+        shared
+            .metrics
+            .warm_resident_bytes
+            .record(runner.warm_resident_bytes() as u64);
 
         g = shared.inner.lock().unwrap();
         let _ = g.cache.insert(cell_digest(&cell), &result);

@@ -23,7 +23,7 @@ use std::io::{BufRead as _, BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use crate::scenario::{shard_size, Cell, CellResult, ScenarioSpec};
+use crate::scenario::{work_shards, Cell, CellResult, ScenarioSpec};
 use crate::sink::{CellSink, JsonlSink};
 
 /// Aggregate outcome of a [`run_grid`] call.
@@ -112,12 +112,15 @@ pub fn run_grid(spec: &ScenarioSpec, out: &Path, resume: bool) -> Result<GridSum
 /// and flushes the sink.
 pub fn stream_cells(cells: &[Cell], sink: &mut impl CellSink) -> Result<usize, String> {
     let mut converged = 0usize;
-    let shard = shard_size(cells.len());
-    // One shard per pool thread per wave keeps every thread busy while
-    // bounding buffered output to one wave of results.
-    let wave = (shard * rayon::current_num_threads()).max(1);
-    for wave_cells in cells.chunks(wave) {
-        let results = crate::scenario::run_shards(wave_cells, shard);
+    // Shards are cut by *estimated work*, not cell count, over the whole
+    // list — on a mixed-n grid an n = 4096 cell gets a (near-)singleton
+    // shard instead of anchoring a 64-cell one. Waves then group a pool's
+    // worth of shards, which bounds buffered output to one wave of
+    // results while keeping every thread busy.
+    let shards = work_shards(cells);
+    let wave = (rayon::current_num_threads() * 4).max(1);
+    for wave_shards in shards.chunks(wave) {
+        let results = crate::scenario::run_sharded(wave_shards);
         for r in &results {
             sink.emit(r)?;
             if r.outcome == "converged" {

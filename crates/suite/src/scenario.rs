@@ -21,6 +21,7 @@ use std::time::Instant;
 use gncg_core::{cost, equilibrium, Game, NodeId, Profile};
 use gncg_dynamics::{
     Checkpoint, DynamicsConfig, Engine, Outcome, ResponseRule, RunResult, ScanPolicy, Scheduler,
+    SpeculativePricing,
 };
 
 /// JSONL schema version emitted by [`CellResult::to_jsonl`] consumers
@@ -209,6 +210,13 @@ pub struct ScenarioSpec {
     /// k completed rounds plus the final round; `0` disables (the
     /// default). Non-zero turns the cell lines into schema 2.
     pub checkpoint_every: usize,
+    /// Price speculative candidates with the bounded-horizon region-delta
+    /// policy ([`SpeculativePricing::RegionDelta`]) instead of the full
+    /// O(n) sum — the policy that makes 10³–10⁴-node cells feasible.
+    /// A deterministic policy of its own (sub-ulp ties may resolve
+    /// differently from full-sum pricing), so it is part of the spec
+    /// identity; off by default, keeping historical grids byte-identical.
+    pub horizon_pricing: bool,
 }
 
 impl Default for ScenarioSpec {
@@ -226,6 +234,7 @@ impl Default for ScenarioSpec {
             certify: CertifyMode::Full,
             regret_meter: false,
             checkpoint_every: 0,
+            horizon_pricing: false,
         }
     }
 }
@@ -250,6 +259,33 @@ impl ScenarioSpec {
             max_rounds: 500,
             base_seed: 0,
             certify: CertifyMode::Full,
+            ..ScenarioSpec::default()
+        }
+    }
+
+    /// The large-n preset grid: 10³–10⁴ agents on the integer-grid host
+    /// (unit spacing ⇒ the bucket-queue SSSP core's ideal weight class)
+    /// with bounded-horizon pricing and sampled certification. The rule
+    /// is add-only: with horizon pricing an add scan prices each
+    /// candidate by its (tiny, metric-host) relax region, keeping a
+    /// round near O(n²) — whereas a greedy swap scan re-floods the
+    /// agent's disconnected warm vector per candidate, Θ(n) each, which
+    /// is Θ(n³) per round and infeasible at n = 4096. Round cap is
+    /// deliberately small: these cells measure large-n throughput, not
+    /// convergence, and their byte streams are still fully deterministic.
+    pub fn large_n() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "large-n".into(),
+            hosts: vec!["grid".into()],
+            ns: vec![1024, 4096],
+            alphas: vec![4.0],
+            rules: vec![RuleSpec::Add],
+            schedulers: vec![SchedSpec::RoundRobin],
+            seeds: vec![0],
+            max_rounds: 3,
+            base_seed: 0,
+            certify: CertifyMode::Sampled,
+            horizon_pricing: true,
             ..ScenarioSpec::default()
         }
     }
@@ -288,6 +324,8 @@ pub struct Cell {
     pub regret_meter: bool,
     /// Checkpoint cadence in rounds, `0` = off (inherited from the spec).
     pub checkpoint_every: usize,
+    /// Bounded-horizon speculative pricing (inherited from the spec).
+    pub horizon_pricing: bool,
 }
 
 impl ScenarioSpec {
@@ -387,6 +425,7 @@ impl ScenarioSpec {
                                     certify: self.certify,
                                     regret_meter: self.regret_meter,
                                     checkpoint_every: self.checkpoint_every,
+                                    horizon_pricing: self.horizon_pricing,
                                 });
                             }
                         }
@@ -461,6 +500,13 @@ impl ScenarioSpec {
         if self.checkpoint_every != 0 {
             s.push_str(&format!("checkpoint_every={}\n", self.checkpoint_every));
         }
+        // Emitted only when on: historical (full-sum) manifests keep
+        // their exact bytes, and pre-horizon builds reject a key they
+        // cannot honor instead of silently re-running with the wrong
+        // pricing policy.
+        if self.horizon_pricing {
+            s.push_str("horizon_pricing=true\n");
+        }
         s
     }
 
@@ -479,6 +525,7 @@ impl ScenarioSpec {
             certify: CertifyMode::Full,
             regret_meter: false,
             checkpoint_every: 0,
+            horizon_pricing: false,
         };
         for raw in text.lines() {
             // Trim only line endings and for blank/comment detection; the
@@ -548,6 +595,14 @@ impl ScenarioSpec {
                         .trim()
                         .parse()
                         .map_err(|_| "bad checkpoint_every".to_string())?
+                }
+                // Absent in pre-horizon manifests: full-sum pricing is
+                // what those grids ran with.
+                "horizon_pricing" => {
+                    spec.horizon_pricing = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| "bad horizon_pricing (use true|false)".to_string())?
                 }
                 other => return Err(format!("unknown manifest key '{other}'")),
             }
@@ -722,6 +777,16 @@ impl Runner {
             checkpoint_every: cell.checkpoint_every,
             ..DynamicsConfig::default()
         };
+        // The pricing policy is sticky on the context, so every cell must
+        // set it explicitly — a full-sum cell after a horizon cell would
+        // otherwise inherit the wrong byte stream.
+        self.engine
+            .context_mut()
+            .set_pricing(if cell.horizon_pricing {
+                SpeculativePricing::RegionDelta
+            } else {
+                SpeculativePricing::FullSum
+            });
         let started = Instant::now();
         let result = self.engine.run(&game, Profile::star(game.n(), 0), &cfg);
         let wall_micros = started.elapsed().as_micros();
@@ -797,6 +862,13 @@ impl Runner {
     pub fn set_scan_policy(&mut self, scan: ScanPolicy) {
         self.engine.context_mut().set_scan_policy(scan);
     }
+
+    /// Bytes resident in the engine's warm distance vectors after the
+    /// last cell — the figure the service's `warm_resident_bytes` peak
+    /// gauge records per job.
+    pub fn warm_resident_bytes(&self) -> usize {
+        self.engine.warm_resident_bytes()
+    }
 }
 
 /// The deterministic ⌈√n⌉-agent sample [`CertifyMode::Sampled`] checks:
@@ -847,6 +919,11 @@ pub fn cell_digest(cell: &Cell) -> u64 {
         mix(cell.regret_meter as u64);
         mix(cell.checkpoint_every as u64);
     }
+    // Same gating for the pricing policy: only horizon cells mix the tag,
+    // so every full-sum digest (and cached line keyed on one) survives.
+    if cell.horizon_pricing {
+        mix(0x686F_727A_6763_6763); // "horzgcgc": sub-domain tag
+    }
     h
 }
 
@@ -862,17 +939,16 @@ pub fn run_cells(spec: &ScenarioSpec) -> Result<Vec<CellResult>, String> {
 /// order. Shards are contiguous so each worker's [`Engine`] sees similar
 /// consecutive cells (better scratch reuse than striping).
 pub fn run_cell_slice(cells: &[Cell]) -> Vec<CellResult> {
-    run_shards(cells, shard_size(cells.len()))
+    run_sharded(&work_shards(cells))
 }
 
-/// [`run_cell_slice`] with an explicit shard size — the one sharding
-/// pipeline (one [`Runner`] per contiguous shard, results re-flattened
-/// in cell order) shared with the JSONL wave runner in [`crate::grid`].
-pub(crate) fn run_shards(cells: &[Cell], shard: usize) -> Vec<CellResult> {
+/// Runs pre-cut contiguous shards over the rayon pool — the one sharding
+/// pipeline (one [`Runner`] per shard, results re-flattened in cell
+/// order) shared with the JSONL wave runner in [`crate::grid`].
+pub(crate) fn run_sharded(shards: &[&[Cell]]) -> Vec<CellResult> {
     use rayon::prelude::*;
-    let shards: Vec<&[Cell]> = cells.chunks(shard.max(1)).collect();
     shards
-        .into_par_iter()
+        .par_iter()
         .map(|shard| {
             let mut runner = Runner::new();
             shard.iter().map(|c| runner.run_cell(c)).collect::<Vec<_>>()
@@ -883,8 +959,52 @@ pub(crate) fn run_shards(cells: &[Cell], shard: usize) -> Vec<CellResult> {
         .collect()
 }
 
-/// Cells per worker shard: enough to amortize engine scratch, few enough
-/// to spread over the pool.
+/// Estimated work of one cell, for shard balancing only (never affects
+/// result bytes). A round touches every agent, and each activation's
+/// speculative scan is Θ(n) candidates with roughly size-n-proportional
+/// repair work, so n² · rounds is the right *shape*: it makes one
+/// n = 4096 cell weigh ~256 n = 1024 cells instead of 1.
+pub(crate) fn cell_work(cell: &Cell) -> u64 {
+    let n = cell.n as u64;
+    n.saturating_mul(n)
+        .saturating_mul(cell.max_rounds as u64)
+        .max(1)
+}
+
+/// Cuts a cell list into contiguous shards of approximately equal
+/// *estimated work* ([`cell_work`]), not equal length. Uniform-length
+/// sharding assumed per-cell cost was n-independent — on a mixed-n grid
+/// one n = 4096 cell then landed in a 64-cell shard and starved its
+/// worker while the pool idled. Greedy packing against a work target
+/// keeps heavy cells in short (often singleton) shards; a length cap
+/// ([`shard_size`]) preserves steal granularity on uniform grids.
+pub(crate) fn work_shards(cells: &[Cell]) -> Vec<&[Cell]> {
+    let max_len = shard_size(cells.len());
+    let total: u64 = cells.iter().map(cell_work).sum();
+    let workers = rayon::current_num_threads() as u64;
+    // ~4 shards per pool thread, same steal granularity as before —
+    // measured in work units now instead of cell count.
+    let target = (total / (workers * 4)).max(1);
+    let mut shards = Vec::new();
+    let mut start = 0;
+    let mut acc = 0u64;
+    for (i, cell) in cells.iter().enumerate() {
+        acc = acc.saturating_add(cell_work(cell));
+        let len = i + 1 - start;
+        if acc >= target || len >= max_len {
+            shards.push(&cells[start..=i]);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < cells.len() {
+        shards.push(&cells[start..]);
+    }
+    shards
+}
+
+/// Length cap for worker shards: enough cells to amortize engine
+/// scratch, few enough to spread over the pool.
 pub(crate) fn shard_size(total: usize) -> usize {
     // Live pool size (≥ 1 by construction): ~4 shards per pool thread
     // balances steal granularity against engine-scratch reuse.
@@ -1196,6 +1316,10 @@ mod tests {
                 checkpoint_every: 3,
                 ..base.clone()
             },
+            Cell {
+                horizon_pricing: true,
+                ..base.clone()
+            },
         ];
         for (i, v) in variants.iter().enumerate() {
             assert_ne!(cell_digest(v), cell_digest(&base), "variant {i}");
@@ -1229,6 +1353,124 @@ mod tests {
         // The preset must round-trip through the manifest like any spec.
         let back = ScenarioSpec::from_manifest(&spec.to_manifest()).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn large_n_preset_is_valid_and_round_trips() {
+        let spec = ScenarioSpec::large_n();
+        spec.validate().expect("preset must validate");
+        // Two cells (n = 1024 and n = 4096); expansion is cheap even if
+        // running them is not, so the shape is asserted here and the
+        // cells themselves run only in release harnesses.
+        let cells = spec.expand();
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().all(|c| c.horizon_pricing));
+        assert!(cells.iter().all(|c| c.certify == CertifyMode::Sampled));
+        let back = ScenarioSpec::from_manifest(&spec.to_manifest()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn horizon_manifest_gating_and_legacy_default() {
+        // Horizon-off specs keep the historical manifest bytes.
+        let text = tiny_spec().to_manifest();
+        assert!(!text.contains("horizon_pricing"));
+        // Horizon-on emits the key and round-trips.
+        let mut on = tiny_spec();
+        on.horizon_pricing = true;
+        let text_on = on.to_manifest();
+        assert!(text_on.ends_with("horizon_pricing=true\n"));
+        let back = ScenarioSpec::from_manifest(&text_on).unwrap();
+        assert_eq!(back, on);
+        // Manifests without the key default to full-sum pricing.
+        let parsed = ScenarioSpec::from_manifest(&tiny_spec().to_manifest()).unwrap();
+        assert!(!parsed.horizon_pricing);
+    }
+
+    #[test]
+    fn horizon_cells_are_deterministic_and_converge_like_full_sum() {
+        // Bounded-horizon pricing is its own deterministic policy: equal
+        // runs produce equal bytes, and on a clearly-separated small
+        // instance (no sub-ulp ties) it lands on the same result as
+        // full-sum pricing.
+        let mut spec = ScenarioSpec {
+            hosts: vec!["grid".into()],
+            ns: vec![12],
+            alphas: vec![4.0],
+            seeds: vec![0, 1],
+            max_rounds: 200,
+            ..ScenarioSpec::default()
+        };
+        let full = run_cells(&spec).unwrap();
+        spec.horizon_pricing = true;
+        let rd_a = run_cells(&spec).unwrap();
+        let rd_b = run_cells(&spec).unwrap();
+        let lines_a: Vec<String> = rd_a.iter().map(CellResult::to_jsonl).collect();
+        let lines_b: Vec<String> = rd_b.iter().map(CellResult::to_jsonl).collect();
+        assert_eq!(lines_a, lines_b, "horizon cells must be byte-stable");
+        for (f, r) in full.iter().zip(&rd_a) {
+            assert_eq!(f.outcome, r.outcome);
+            assert_eq!(f.social_cost, r.social_cost);
+        }
+    }
+
+    #[test]
+    fn pricing_policy_does_not_leak_across_cells_in_one_runner() {
+        // A horizon cell followed by a full-sum cell on the same Runner
+        // must produce the full-sum cell's canonical bytes: the sticky
+        // context policy is re-set per cell.
+        let full_cell = &tiny_spec().expand()[0];
+        let canonical = Runner::new().run_cell(full_cell).to_jsonl();
+        let mut horizon_spec = tiny_spec();
+        horizon_spec.horizon_pricing = true;
+        let horizon_cell = &horizon_spec.expand()[1];
+        let mut runner = Runner::new();
+        runner.run_cell(horizon_cell);
+        assert_eq!(runner.run_cell(full_cell).to_jsonl(), canonical);
+    }
+
+    #[test]
+    fn work_shards_cover_in_order_and_isolate_heavy_cells() {
+        let mut spec = tiny_spec();
+        spec.ns = vec![5, 64];
+        let cells = spec.expand();
+        let shards = work_shards(&cells);
+        // Partition: concatenating shards reproduces the cell list.
+        let flat: Vec<&Cell> = shards.iter().flat_map(|s| s.iter()).collect();
+        assert_eq!(flat.len(), cells.len());
+        for (a, b) in flat.iter().zip(&cells) {
+            assert_eq!(a.index, b.index);
+        }
+        // Length cap is respected.
+        let cap = shard_size(cells.len());
+        assert!(shards.iter().all(|s| s.len() <= cap));
+        // Work balance: no shard exceeds the packing target by more than
+        // one cell's worth of work (the greedy bound), so a heavy n = 64
+        // cell can never be joined by a second heavy cell once the
+        // target is already met. Recomputing the target here matches the
+        // implementation at any pool size.
+        let total: u64 = cells.iter().map(cell_work).sum();
+        let target = (total / (rayon::current_num_threads() as u64 * 4)).max(1);
+        let max_cell = cells.iter().map(cell_work).max().unwrap();
+        for s in &shards {
+            let w: u64 = s.iter().map(cell_work).sum();
+            assert!(
+                w < target + max_cell,
+                "shard work {w} exceeds target {target} + heaviest cell {max_cell}"
+            );
+        }
+        // And the estimate itself is monotone in n and rounds.
+        let base = cells[0].clone();
+        let big_n = Cell {
+            n: base.n * 4,
+            ..base.clone()
+        };
+        let more_rounds = Cell {
+            max_rounds: base.max_rounds * 2,
+            ..base.clone()
+        };
+        assert!(cell_work(&big_n) > cell_work(&base));
+        assert!(cell_work(&more_rounds) > cell_work(&base));
     }
 
     #[test]

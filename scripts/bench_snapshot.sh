@@ -12,7 +12,13 @@
 # swap-heavy moves: Ramalingam–Reps repair vs invalidate-and-redo), and
 # `move_scan_speedup_n20` = move_scan/masked/20 ÷ move_scan/speculative/20
 # (the per-activation candidate-move scan: speculative warm-vector
-# deltas vs one masked Dijkstra per candidate), and the pool ablations
+# deltas vs one masked Dijkstra per candidate), and the large-n scaling
+# figures `sssp_bucket_speedup_n4096` = large_n_sssp/heap/4096 ÷
+# large_n_sssp/bucket/4096 (the bucket-queue SSSP core against the
+# binary heap on a 4096-node network) and `cost_per_activation_n{256,
+# 1024,4096}` = large_n_round/horizon/{n} ÷ n (amortized per-agent cost
+# of one bounded-horizon add-only round — the ~O(n) curve ISSUE 9
+# tracks), and the pool ablations
 # `apsp_parallel_speedup_n256`, `maxgain_parallel_speedup_n20`, and
 # `grid_wall_speedup` (each a sequential ÷ pool-parallel pair; ≈ 1.0 on
 # a single-core runner, > 1 with real cores), and
@@ -46,6 +52,15 @@ for bench in best_response apsp dynamics move_scan service_roundtrip; do
     cargo bench -p gncg-bench --bench "$bench" >&2
 done
 
+# The large-n group runs single-shot: its n = 4096 round payload lasts
+# over a minute per iteration, so the shim's usual warmup + 10 samples
+# would cost tens of minutes. One sample of a deterministic multi-second
+# payload is already far above measurement noise (a 1-sample median is
+# that sample).
+echo "== cargo bench --bench large_n (single-shot)" >&2
+CRITERION_LITE_SAMPLES=1 CRITERION_LITE_SAMPLE_MS=1 \
+    cargo bench -p gncg-bench --bench large_n >&2
+
 python3 - "$OUT_DIR" "$REPO_ROOT/BENCH_hotpath.json" <<'PY'
 import json, math, pathlib, sys, datetime
 
@@ -78,6 +93,16 @@ meter_on = medians.get("regret_meter/on/20")
 meter_off = medians.get("regret_meter/off/20")
 if meter_on and meter_off:
     snapshot["regret_meter_overhead_n20"] = round(meter_on / meter_off, 2)
+heap4k = medians.get("large_n_sssp/heap/4096")
+bucket4k = medians.get("large_n_sssp/bucket/4096")
+if heap4k and bucket4k:
+    snapshot["sssp_bucket_speedup_n4096"] = round(heap4k / bucket4k, 2)
+for n in (256, 1024, 4096):
+    rnd = medians.get(f"large_n_round/horizon/{n}")
+    if rnd:
+        # One add-only round activates every agent once, so the round
+        # median over n is the amortized per-activation cost.
+        snapshot[f"cost_per_activation_n{n}"] = round(rnd / n)
 for fig, seq, par in (
     ("apsp_parallel_speedup_n256", "apsp/sequential/256", "apsp/parallel/256"),
     ("maxgain_parallel_speedup_n20", "maxgain_scan/sequential/20", "maxgain_scan/parallel/20"),
@@ -120,10 +145,15 @@ for fig in (
     "swap_heavy_speedup_n20",
     "move_scan_speedup_n20",
     "regret_meter_overhead_n20",
+    "sssp_bucket_speedup_n4096",
     "apsp_parallel_speedup_n256",
     "maxgain_parallel_speedup_n20",
     "grid_wall_speedup",
 ):
     if fig in snapshot:
         print(f"{fig} = {snapshot[fig]}x")
+for n in (256, 1024, 4096):
+    fig = f"cost_per_activation_n{n}"
+    if fig in snapshot:
+        print(f"{fig} = {snapshot[fig]} ns")
 PY

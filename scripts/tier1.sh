@@ -41,6 +41,13 @@ for bench in best_response apsp dynamics move_scan service_roundtrip; do
     CRITERION_LITE_OUT=target/criterion-smoke \
     cargo bench -p gncg-bench --bench "$bench" >/dev/null
 done
+# large_n smokes only its sub-minute ids: the n=4096 round costs over a
+# minute per iteration and the grid/daemon sections below already run
+# that cell end to end, so the bench smoke filters to n=1024 (which
+# covers both groups' setup and payload paths).
+CRITERION_LITE_SAMPLES=1 CRITERION_LITE_SAMPLE_MS=1 \
+  CRITERION_LITE_OUT=target/criterion-smoke \
+  cargo bench -p gncg-bench --bench large_n -- 1024 >/dev/null
 rm -rf target/criterion-smoke
 
 echo "== gncg grid smoke (4 cells, n ≤ 8)" >&2
@@ -79,6 +86,44 @@ swap_heavy_grid() {
 GNCG_THREADS=1 swap_heavy_grid
 (unset GNCG_THREADS && swap_heavy_grid)
 
+echo "== horizon-policy grid vs committed golden (24 cells, n = 20)" >&2
+# Bounded-horizon pricing at n = 20 > PRICE_HORIZON, where the truncated
+# speculative relaxations genuinely shape move selection: the committed
+# golden locks the constant and the RegionDelta scan byte for byte.
+rm -f target/tier1-horizon.jsonl target/tier1-horizon.manifest
+./target/release/gncg grid \
+  --out target/tier1-horizon.jsonl \
+  --name horizon-policy \
+  --hosts r2,grid,clusters --n 20 --alpha 2.0,4.0 \
+  --rules greedy,add --scheds rr --seeds 0,1 --max-rounds 500 --base-seed 0 \
+  --horizon
+cmp target/tier1-horizon.jsonl tests/golden/horizon_policy_n20.jsonl
+
+echo "== large-n grid (n = 1024 preset cell, byte-stable across thread counts)" >&2
+# The large-n scale path end to end: the full 3-round n = 1024 preset
+# cell — bucket-queue SSSP core, lazily synced warm vectors, and
+# bounded-horizon pricing all on the hot path — must produce identical
+# bytes pinned to one pool thread and at four.
+large_n_1024() {
+  rm -f "target/tier1-large-n-$1.jsonl" "target/tier1-large-n-$1.manifest"
+  GNCG_THREADS="$1" ./target/release/gncg grid \
+    --out "target/tier1-large-n-$1.jsonl" \
+    --preset large-n --n 1024
+}
+large_n_1024 1
+large_n_1024 4
+cmp target/tier1-large-n-1.jsonl target/tier1-large-n-4.jsonl
+
+echo "== large-n grid (n = 4096 cell vs committed golden)" >&2
+# One round of the n = 4096 preset cell (one round already sweeps all
+# 4096 activations through the scan; the daemon leg below replays the
+# same cell over the wire) against its committed golden line.
+rm -f target/tier1-large-n-4096.jsonl target/tier1-large-n-4096.manifest
+./target/release/gncg grid \
+  --out target/tier1-large-n-4096.jsonl \
+  --preset large-n --n 4096 --max-rounds 1
+cmp target/tier1-large-n-4096.jsonl tests/golden/large_n_4096_r1.jsonl
+
 echo "== observability smoke (meter + checkpoints, byte-stable across thread counts)" >&2
 # The streamed max-regret series and checkpoint frames are part of the
 # determinism contract: the same metered grid must produce identical
@@ -110,7 +155,7 @@ fi
 echo "== gncg service smoke (serve → submit ×2 → shutdown)" >&2
 SERVICE_ADDR=127.0.0.1:47421
 rm -f target/tier1-serve.log target/tier1-submit-a.jsonl target/tier1-submit-b.jsonl \
-  target/tier1-submit-meter.jsonl
+  target/tier1-submit-meter.jsonl target/tier1-submit-large-n.jsonl
 ./target/release/gncg serve --addr "$SERVICE_ADDR" --workers 2 \
   > target/tier1-serve.log 2>&1 &
 SERVE_PID=$!
@@ -155,9 +200,23 @@ echo "$explore_out" | grep -q "strategy diff" || {
   echo "tier-1 observability smoke: explore printed no diff: $explore_out" >&2
   exit 1
 }
+# Large-n through the daemon: the n = 4096 one-round cell must stream
+# the same bytes over the wire that the offline grid and the committed
+# golden carry, and afterwards the worker engines' warm-vector memory
+# peak (4096 agents × 4096-slot distance vectors ≫ 0) must surface in
+# the metrics summary.
+./target/release/gncg submit --addr "$SERVICE_ADDR" \
+  --out target/tier1-submit-large-n.jsonl \
+  --preset large-n --n 4096 --max-rounds 1
+cmp target/tier1-submit-large-n.jsonl tests/golden/large_n_4096_r1.jsonl
 metrics_out=$(./target/release/gncg metrics --addr "$SERVICE_ADDR")
 echo "$metrics_out" | grep -q "cells simulated" || {
   echo "tier-1 observability smoke: metrics printed no counters: $metrics_out" >&2
+  exit 1
+}
+echo "$metrics_out" | grep -Eq "warm vectors: peak [1-9][0-9]{6,} bytes" || {
+  echo "tier-1 large-n smoke: metrics warm-vector peak missing or implausibly small" >&2
+  echo "$metrics_out" >&2
   exit 1
 }
 status_out=$(./target/release/gncg status --addr "$SERVICE_ADDR")

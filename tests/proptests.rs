@@ -308,4 +308,252 @@ proptest! {
             }
         }
     }
+
+    /// The bucket-queue SSSP engine must equal the binary-heap engine
+    /// **bitwise** on every factory host — for fresh [`DijkstraScratch`]
+    /// runs and for [`DynamicSssp`] trackers driven through interleaved
+    /// insert / remove / swap repairs. The weight-class hint is synthetic
+    /// (the host's finite weight extremes), forcing the bucket ring even
+    /// on hosts whose game-layer class is `None`: the hint may only
+    /// change performance, never a byte.
+    #[test]
+    fn bucket_sssp_matches_heap_bitwise_under_interleaved_ops(
+        ops in proptest::collection::vec(0u64..(1u64 << 62), 12),
+        seed in 0u64..500,
+    ) {
+        use gncg_graph::{DijkstraScratch, DynamicSssp};
+        let n = 8usize;
+        for key in gncg_metrics::factory::keys() {
+            let host = gncg_metrics::factory::build_host(key, n, seed).unwrap();
+            let finite: Vec<f64> = host
+                .pairs()
+                .filter_map(|(_, _, w)| w.is_finite().then_some(w))
+                .collect();
+            let wmin = finite.iter().copied().fold(f64::INFINITY, f64::min);
+            let wmax = finite.iter().copied().fold(0.0f64, f64::max);
+            let class = Some((wmin, wmax));
+            let mut g = AdjacencyList::new(n);
+            for v in 1..n as u32 {
+                let w = host.get(0, v);
+                if w.is_finite() {
+                    g.add_edge(0, v, w);
+                }
+            }
+            let mut heap_scr = DijkstraScratch::new();
+            let mut bucket_scr = DijkstraScratch::new();
+            bucket_scr.set_weight_class(class);
+            let make = |c: Option<(f64, f64)>, g: &AdjacencyList| -> Vec<DynamicSssp> {
+                (0..n as u32)
+                    .map(|s| {
+                        let mut t = DynamicSssp::new();
+                        t.set_weight_class(c);
+                        t.reset_from(s, &gncg_graph::dijkstra::dijkstra(g, s));
+                        t
+                    })
+                    .collect()
+            };
+            let mut heap_trk = make(None, &g);
+            let mut bucket_trk = make(class, &g);
+            for &op in &ops {
+                let kind = op % 3; // 0 = insert, 1 = remove, 2 = swap
+                if kind >= 1 {
+                    let edges: Vec<_> = g.edges().collect();
+                    if !edges.is_empty() {
+                        let (a, b, w) = edges[(op / 3) as usize % edges.len()];
+                        g.remove_edge(a, b);
+                        for t in heap_trk.iter_mut().chain(bucket_trk.iter_mut()) {
+                            t.remove_edge(&g, a, b, w);
+                        }
+                    }
+                }
+                if kind == 0 || kind == 2 {
+                    let mut candidates = Vec::new();
+                    for u in 0..n as u32 {
+                        for v in (u + 1)..n as u32 {
+                            if !g.has_edge(u, v) && host.get(u, v).is_finite() {
+                                candidates.push((u, v));
+                            }
+                        }
+                    }
+                    if !candidates.is_empty() {
+                        let (u, v) = candidates[(op / 7) as usize % candidates.len()];
+                        let w = host.get(u, v);
+                        g.add_edge(u, v, w);
+                        for t in heap_trk.iter_mut().chain(bucket_trk.iter_mut()) {
+                            t.relax_insert(&g, u, v, w);
+                        }
+                    }
+                }
+                for s in 0..n as u32 {
+                    prop_assert_eq!(
+                        heap_trk[s as usize].dist(),
+                        bucket_trk[s as usize].dist(),
+                        "host '{}' source {}: bucket tracker diverged from heap",
+                        key,
+                        s
+                    );
+                }
+                let s = (op % n as u64) as u32;
+                heap_scr.run(&g, s, &[]);
+                let heap_d = heap_scr.to_vec(n);
+                bucket_scr.run(&g, s, &[]);
+                prop_assert_eq!(
+                    heap_d,
+                    bucket_scr.to_vec(n),
+                    "host '{}' source {}: bucket scratch diverged from heap",
+                    key,
+                    s
+                );
+            }
+        }
+    }
+
+    /// [`gncg_graph::DynamicSssp::relax_inserts`] (one multi-seed drain
+    /// over a whole insertion batch — the lazy warm-vector sync path)
+    /// must land on the same bitwise fixpoint as replaying the batch
+    /// one edge at a time through `relax_insert`, and both must equal a
+    /// fresh Dijkstra on the final graph.
+    #[test]
+    fn batched_insert_sync_matches_sequential_replay(
+        picks in proptest::collection::vec(0u64..(1u64 << 62), 6),
+        seed in 0u64..500,
+    ) {
+        use gncg_graph::DynamicSssp;
+        let n = 8usize;
+        for key in gncg_metrics::factory::keys() {
+            let host = gncg_metrics::factory::build_host(key, n, seed).unwrap();
+            let mut g = AdjacencyList::new(n);
+            for v in 1..n as u32 {
+                let w = host.get(0, v);
+                if w.is_finite() {
+                    g.add_edge(0, v, w);
+                }
+            }
+            let star = g.clone();
+            // Stage the batch: each pick buys one still-missing finite
+            // host edge (the shape a round of committed add moves logs).
+            let mut batch: Vec<(u32, u32, f64)> = Vec::new();
+            for &pick in &picks {
+                let mut candidates = Vec::new();
+                for u in 0..n as u32 {
+                    for v in (u + 1)..n as u32 {
+                        if !g.has_edge(u, v) && host.get(u, v).is_finite() {
+                            candidates.push((u, v));
+                        }
+                    }
+                }
+                if candidates.is_empty() {
+                    break;
+                }
+                let (u, v) = candidates[pick as usize % candidates.len()];
+                let w = host.get(u, v);
+                g.add_edge(u, v, w);
+                batch.push((u, v, w));
+            }
+            for s in 0..n as u32 {
+                let d0 = gncg_graph::dijkstra::dijkstra(&star, s);
+                let mut seq = DynamicSssp::new();
+                seq.reset_from(s, &d0);
+                let mut g2 = star.clone();
+                for &(u, v, w) in &batch {
+                    g2.add_edge(u, v, w);
+                    seq.relax_insert(&g2, u, v, w);
+                }
+                let mut batched = DynamicSssp::new();
+                batched.reset_from(s, &d0);
+                batched.relax_inserts(&g, &batch);
+                prop_assert_eq!(
+                    batched.dist(),
+                    seq.dist(),
+                    "host '{}' source {}: batched sync diverged from sequential replay",
+                    key,
+                    s
+                );
+                let fresh = gncg_graph::dijkstra::dijkstra(&g, s);
+                prop_assert_eq!(
+                    batched.dist(),
+                    fresh.as_slice(),
+                    "host '{}' source {}: batched sync diverged from fresh Dijkstra",
+                    key,
+                    s
+                );
+            }
+        }
+    }
+
+    /// A horizon-capped speculative insertion (the RegionDelta pricing
+    /// frame) must produce a *sound upper-bound* vector — elementwise
+    /// between the pre-insert and the exact post-insert distances — and
+    /// its rollback must restore the pre-insert vector **bitwise** with
+    /// both log depths at zero, for every factory host and budget.
+    #[test]
+    fn horizon_capped_speculation_is_upper_bound_and_rolls_back_bitwise(
+        picks in proptest::collection::vec(0u64..(1u64 << 62), 8),
+        seed in 0u64..500,
+        cap in 1usize..5,
+    ) {
+        use gncg_graph::{DijkstraScratch, DynamicSssp};
+        let n = 8usize;
+        for key in gncg_metrics::factory::keys() {
+            let host = gncg_metrics::factory::build_host(key, n, seed).unwrap();
+            let mut g = AdjacencyList::new(n);
+            for v in 1..n as u32 {
+                let w = host.get(0, v);
+                if w.is_finite() {
+                    g.add_edge(0, v, w);
+                }
+            }
+            let mut exact_scr = DijkstraScratch::new();
+            for (i, &pick) in picks.iter().enumerate() {
+                // Speculated edges must be incident to the vector's
+                // source (the `speculate_insert` contract — agents only
+                // price their own candidate edges).
+                let s = (pick % n as u64) as u32;
+                let targets: Vec<u32> = (0..n as u32)
+                    .filter(|&v| v != s && !g.has_edge(s, v) && host.get(s, v).is_finite())
+                    .collect();
+                if targets.is_empty() {
+                    continue;
+                }
+                let v = targets[(pick / 13) as usize % targets.len()];
+                let w = host.get(s, v);
+                let mut t = DynamicSssp::new();
+                t.reset_from(s, &gncg_graph::dijkstra::dijkstra(&g, s));
+                t.set_price_horizon(Some(cap));
+                let pre = t.dist().to_vec();
+                t.begin_speculation();
+                t.speculate_insert(&g, s, v, w);
+                exact_scr.run(&g, s, &[(s, v, w)]);
+                for (x, &p) in pre.iter().enumerate() {
+                    let trunc = t.dist()[x];
+                    prop_assert!(
+                        trunc <= p && trunc >= exact_scr.dist(x as u32),
+                        "host '{}' frame {}: truncated dist[{}] = {} outside [{}, {}]",
+                        key, i, x, trunc, exact_scr.dist(x as u32), p
+                    );
+                }
+                t.rollback();
+                prop_assert!(
+                    t.dist() == pre.as_slice(),
+                    "host '{}' frame {}: rollback must restore the vector bitwise",
+                    key,
+                    i
+                );
+                prop_assert_eq!((t.depth(), t.speculation_depth()), (0, 0));
+                // Commit the edge for real so later frames speculate on
+                // evolving networks (and exercise the horizon's
+                // committed-path bypass: add_edge must stay exact).
+                g.add_edge(s, v, w);
+                t.add_edge(&g, s, v, w);
+                let fresh = gncg_graph::dijkstra::dijkstra(&g, s);
+                prop_assert_eq!(
+                    t.dist(),
+                    fresh.as_slice(),
+                    "host '{}' frame {}: committed add_edge must ignore the horizon",
+                    key,
+                    i
+                );
+            }
+        }
+    }
 }

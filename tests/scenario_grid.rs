@@ -36,6 +36,42 @@ fn golden_spec() -> ScenarioSpec {
     }
 }
 
+/// The bounded-horizon pricing policy against its committed golden.
+/// These cells run at n = 20 > `PRICE_HORIZON`, so the truncated
+/// speculative relaxations genuinely shape which moves are chosen (the
+/// stream differs from full-sum pricing on several cells): the constant
+/// and the RegionDelta scan are part of the byte contract, and any
+/// change to either shows up here as a diff.
+#[test]
+fn horizon_policy_grid_matches_committed_golden() {
+    let dir = tmp_dir();
+    let out = dir.join("horizon-policy.jsonl");
+    let spec = ScenarioSpec {
+        name: "horizon-policy".into(),
+        hosts: vec!["r2".into(), "grid".into(), "clusters".into()],
+        ns: vec![20],
+        alphas: vec![2.0, 4.0],
+        rules: vec![RuleSpec::Greedy, RuleSpec::Add],
+        schedulers: vec![SchedSpec::RoundRobin],
+        seeds: vec![0, 1],
+        max_rounds: 500,
+        base_seed: 0,
+        certify: CertifyMode::Full,
+        horizon_pricing: true,
+        ..ScenarioSpec::default()
+    };
+    run_grid(&spec, &out, false).unwrap();
+    let got = fs::read_to_string(&out).unwrap();
+    let golden = fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/horizon_policy_n20.jsonl"),
+    )
+    .unwrap();
+    assert_eq!(
+        got, golden,
+        "bounded-horizon grid drifted from the committed golden"
+    );
+}
+
 #[test]
 fn golden_jsonl_is_byte_identical_across_runs() {
     let dir = tmp_dir();
