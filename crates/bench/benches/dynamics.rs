@@ -8,12 +8,16 @@
 //! `dynamics_swap_heavy` pair; the pool ablations `maxgain_scan` and
 //! `grid_wall` (each run once on the work-stealing pool and once inside
 //! [`rayon::with_sequential`]) feed the tracked
-//! `maxgain_parallel_speedup_n20` and `grid_wall_speedup` figures.
+//! `maxgain_parallel_speedup_n20` and `grid_wall_speedup` figures; the
+//! `br_grid` pair (persistent BR bound tables vs rebuild-every-
+//! activation) feeds `br_grid_speedup_n14`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use gncg_core::{Game, NodeId, Profile};
-use gncg_dynamics::{DynamicsConfig, EvalContext, RemovalPolicy, ResponseRule, Scheduler};
+use gncg_dynamics::{
+    BrCachePolicy, DynamicsConfig, Engine, EvalContext, RemovalPolicy, ResponseRule, Scheduler,
+};
 use gncg_suite::scenario::{run_cell_slice, ScenarioSpec};
 
 fn bench_schedulers(c: &mut Criterion) {
@@ -196,6 +200,112 @@ fn bench_grid_wall(c: &mut Criterion) {
     group.finish();
 }
 
+/// Replays exact-best-response stability sweeps through an
+/// [`EvalContext`], starting from a converged profile: eight rounds of
+/// **two** `agent_is_stable_given_current` sweeps over every agent (the
+/// regret-meter pricing pass plus the convergence check the run loop
+/// performs each round) with one strategy toggle committed between
+/// rounds so the tables keep absorbing deltas. This is where the
+/// br-grid cells spend their wall clock — runs converge within a few
+/// rounds and the bill after that is stability probing, where
+/// branch-and-bound pruning is sharp and the dominant cost of a probe
+/// is building the bound tables (candidate sort + n + 1 Dijkstras for
+/// the `d0`/B* vectors). Under `Rebuild` every probe pays that build;
+/// under `Cached` a probe pays only delta maintenance plus the DFS, and
+/// the delta-free second sweep returns memoized results outright. The
+/// dynamics-loop bookkeeping both policies share is deliberately thin
+/// here, as in `replay_swap_script`, so the pair isolates bound-table
+/// reuse. Returns a stability count so the searches are not optimized
+/// away.
+fn replay_br_sweeps(game: &Game, start: &Profile, policy: BrCachePolicy) -> usize {
+    const RULE: ResponseRule = ResponseRule::ExactBestResponse;
+    let n = game.n();
+    let mut profile = start.clone();
+    let mut ctx = EvalContext::new(game, &profile);
+    ctx.set_br_policy(policy);
+    let mut stable = 0usize;
+    let m = n as NodeId - 1;
+    for round in 0..8 as NodeId {
+        for _sweep in 0..2 {
+            for u in 0..n as NodeId {
+                if gncg_dynamics::engine::agent_is_stable_given_current(
+                    game, &profile, &mut ctx, u, RULE,
+                ) {
+                    stable += 1;
+                }
+            }
+        }
+        // One non-center agent toggles a shortcut (a buy if absent, a
+        // drop if the converged profile owns it), so the next round's
+        // probes flow through both the insert and the stale-removal
+        // maintenance paths while staying near equilibrium.
+        let a = 1 + round % m;
+        let t = 1 + (a + 2) % m;
+        let t = if t == a { 1 + (t % m) } else { t };
+        let old = profile.strategy(a).clone();
+        let mut s = old.clone();
+        if !s.insert(t) {
+            s.remove(&t);
+        }
+        profile.set_strategy(a, s);
+        ctx.apply_strategy_change(game, &profile, a, &old);
+    }
+    stable
+}
+
+/// The persistent BR bound tables priced on the br-grid column the
+/// golden locks: [`replay_br_sweeps`] at n = 14 over one game per host
+/// family × α band of the `br_grid` preset (the seed = 0 column), with
+/// the per-agent `BrBoundCache` resident across activations (`cached`,
+/// the default policy) vs torn down and rebuilt on every activation
+/// (`rebuild`, the historical baseline). Determinism guarantees both
+/// arms price bitwise-identical best responses, so the delta is pure
+/// bound-table reuse. `scripts/bench_snapshot.sh` derives the tracked
+/// `br_grid_speedup_n14` figure (rebuild ÷ cached wall time) from this
+/// pair.
+fn bench_br_grid(c: &mut Criterion) {
+    let cfg = DynamicsConfig {
+        rule: ResponseRule::ExactBestResponse,
+        scheduler: Scheduler::RoundRobin,
+        max_rounds: 60,
+        ..DynamicsConfig::default()
+    };
+    let games: Vec<(Game, Profile)> = ScenarioSpec::br_grid()
+        .expand()
+        .iter()
+        .filter(|cell| cell.n == 14 && cell.seed == 0)
+        .map(|cell| {
+            let host = gncg_metrics::factory::build_host(&cell.host, cell.n, cell.cell_seed)
+                .expect("preset hosts are registered");
+            let game = Game::new(host, cell.alpha);
+            // Both arms sweep from the same converged state; convergence
+            // itself is deterministic and identical under either policy.
+            let start = Engine::new()
+                .run(&game, Profile::star(cell.n, 0), &cfg)
+                .profile;
+            (game, start)
+        })
+        .collect();
+    assert_eq!(games.len(), 9);
+    let n = games[0].0.n();
+    let mut group = c.benchmark_group("br_grid");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("cached", BrCachePolicy::Cached),
+        ("rebuild", BrCachePolicy::Rebuild),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, n), &policy, |b, &p| {
+            b.iter(|| {
+                games
+                    .iter()
+                    .map(|(game, start)| replay_br_sweeps(game, start, p))
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
 /// The regret meter's price at n = 20: the same round-robin greedy run
 /// with the meter off vs on (one extra speculative pricing scan per
 /// round, the pass MaxGain already runs to pick a winner).
@@ -230,6 +340,7 @@ criterion_group!(
     bench_swap_heavy,
     bench_maxgain_scan,
     bench_grid_wall,
+    bench_br_grid,
     bench_regret_meter
 );
 criterion_main!(benches);

@@ -92,7 +92,10 @@ impl BestResponse {
     }
 }
 
-/// Read-only state shared by every branch of one best-response search.
+/// Per-activation owned search state: a CSR snapshot of the base graph
+/// plus the candidate/bound tables. The DFS itself runs on the borrowed
+/// [`BrSearchView`], which a persistent [`BrBoundCache`] can also
+/// assemble from its delta-maintained resident tables.
 struct BrSearch<'g> {
     game: &'g Game,
     agent: NodeId,
@@ -115,7 +118,23 @@ struct BrSearch<'g> {
     weight_class: Option<(f64, f64)>,
 }
 
+/// Borrowed read-only state shared by every branch of one best-response
+/// search — the immutable half of the engine, split out so the fresh
+/// per-activation path ([`BrSearch`]) and the persistent cached path
+/// ([`BrBoundCache`]) drive the *same* DFS over the same invariants.
+#[derive(Clone, Copy)]
+struct BrSearchView<'g> {
+    game: &'g Game,
+    agent: NodeId,
+    n: usize,
+    csr: &'g Csr,
+    candidates: &'g [NodeId],
+    cand_w: &'g [f64],
+    via: &'g [f64],
+}
+
 /// Mutable per-branch state (per worker in the parallel search).
+#[derive(Debug)]
 struct BrWorker {
     inc: DynamicSssp,
     chosen: Vec<NodeId>,
@@ -129,22 +148,76 @@ struct BrWorker {
 }
 
 impl BrWorker {
-    fn fresh(search: &BrSearch<'_>, current: f64, current_set: &BTreeSet<NodeId>) -> Self {
-        let mut worker = BrWorker {
+    fn new() -> Self {
+        BrWorker {
             inc: DynamicSssp::new(),
-            chosen: Vec::with_capacity(search.candidates.len()),
-            in_set: vec![false; search.n],
-            best_cost: current,
-            best_set: current_set.clone(),
+            chosen: Vec::new(),
+            in_set: Vec::new(),
+            best_cost: f64::INFINITY,
+            best_set: BTreeSet::new(),
             evaluated: 0,
-        };
-        worker.inc.set_weight_class(search.weight_class);
-        worker.inc.reset_from(search.agent, &search.d0);
+        }
+    }
+
+    /// Re-arms the worker for one search: live vector seeded from `d0`,
+    /// incumbent seeded from the agent's current strategy and cost.
+    fn reset(
+        &mut self,
+        agent: NodeId,
+        n: usize,
+        d0: &[f64],
+        weight_class: Option<(f64, f64)>,
+        current: f64,
+        current_set: &BTreeSet<NodeId>,
+    ) {
+        self.chosen.clear();
+        self.in_set.clear();
+        self.in_set.resize(n, false);
+        self.best_cost = current;
+        self.best_set.clear();
+        self.best_set.extend(current_set.iter().copied());
+        self.evaluated = 0;
+        self.inc.set_weight_class(weight_class);
+        self.inc.reset_from(agent, d0);
+    }
+
+    fn fresh(search: &BrSearch<'_>, current: f64, current_set: &BTreeSet<NodeId>) -> Self {
+        let mut worker = BrWorker::new();
+        worker.reset(
+            search.agent,
+            search.n,
+            &search.d0,
+            search.weight_class,
+            current,
+            current_set,
+        );
         worker
+    }
+
+    fn take_result(&mut self, current: f64) -> BestResponse {
+        BestResponse {
+            strategy: std::mem::take(&mut self.best_set),
+            cost: self.best_cost,
+            current_cost: current,
+            evaluated: self.evaluated,
+        }
     }
 }
 
 impl<'g> BrSearch<'g> {
+    /// The borrowed view the DFS runs on.
+    fn view(&self) -> BrSearchView<'_> {
+        BrSearchView {
+            game: self.game,
+            agent: self.agent,
+            n: self.n,
+            csr: &self.csr,
+            candidates: &self.candidates,
+            cand_w: &self.cand_w,
+            via: &self.via,
+        }
+    }
+
     /// Builds the shared search state from a prebuilt base graph.
     fn new(game: &'g Game, agent: NodeId, base: &AdjacencyList) -> Self {
         let n = game.n();
@@ -192,7 +265,9 @@ impl<'g> BrSearch<'g> {
             weight_class,
         }
     }
+}
 
+impl BrSearchView<'_> {
     /// The admissible lower bound at a node: committed edge cost plus
     /// `Σ_x min(live dist, optimistic completion dist)`.
     #[inline]
@@ -241,7 +316,7 @@ impl<'g> BrSearch<'g> {
         let v = self.candidates[idx];
         let w = self.cand_w[idx];
         // Branch 1: include v — relax incrementally, price the new set.
-        worker.inc.add_edge(&self.csr, self.agent, v, w);
+        worker.inc.add_edge(self.csr, self.agent, v, w);
         worker.chosen.push(v);
         worker.in_set[v as usize] = true;
         self.evaluate_current(worker);
@@ -292,18 +367,14 @@ pub fn exact_best_response_given_current(
 ) -> BestResponse {
     let base = base_graph_from(network, profile, agent);
     let search = BrSearch::new(game, agent, &base);
+    let view = search.view();
 
     let mut worker = BrWorker::fresh(&search, current, profile.strategy(agent));
     // The empty set is the one subset with no include step: price it here.
-    search.evaluate_current(&mut worker);
-    search.dfs(&mut worker, 0, 0.0);
+    view.evaluate_current(&mut worker);
+    view.dfs(&mut worker, 0, 0.0);
 
-    BestResponse {
-        strategy: worker.best_set,
-        cost: worker.best_cost,
-        current_cost: current,
-        evaluated: worker.evaluated,
-    }
+    worker.take_result(current)
 }
 
 /// Fewest candidates (`n − 1`) for which [`exact_best_response_parallel`]
@@ -342,6 +413,7 @@ pub fn exact_best_response_parallel(game: &Game, profile: &Profile, agent: NodeI
     let current = agent_cost_in(game, profile, &network, agent).total();
     let base = base_graph_from(&network, profile, agent);
     let search = BrSearch::new(game, agent, &base);
+    let view = search.view();
 
     let split = SPLIT_DEPTH;
     let results: Vec<(f64, BTreeSet<NodeId>, usize)> = (0u32..(1 << split))
@@ -362,8 +434,8 @@ pub fn exact_best_response_parallel(game: &Game, profile: &Profile, agent: NodeI
             // Each prefix set is a complete subset in exactly this task:
             // price it before descending (subsets with includes past the
             // split are priced at their last include inside the DFS).
-            search.evaluate_current(&mut worker);
-            search.dfs(&mut worker, split, edge_w_sum);
+            view.evaluate_current(&mut worker);
+            view.dfs(&mut worker, split, edge_w_sum);
             (worker.best_cost, worker.best_set, worker.evaluated)
         })
         .collect();
@@ -383,6 +455,577 @@ pub fn exact_best_response_parallel(game: &Game, profile: &Profile, agent: NodeI
         cost: best_cost,
         current_cost: current,
         evaluated,
+    }
+}
+
+/// Committed removals a [`BrBoundCache`] absorbs as bound staleness
+/// before its next activation triggers a full bound-table rebuild.
+///
+/// Each removal the cache leaves unrepaired keeps one *phantom* edge in
+/// the envelope graph its B\* vectors are exact for, which can only make
+/// the pruning bound *lower* — weaker pruning, never a wrong answer — so
+/// the budget trades rebuild Dijkstras against DFS nodes. The value is a
+/// plain constant, not a tuning surface: results are bitwise identical at
+/// any budget (see `tests/br_cache.rs`).
+pub const BR_STALENESS_BUDGET: usize = 16;
+
+/// Persistent per-agent branch-and-bound state for
+/// [`exact_best_response`]: the sorted candidate list, the exact base
+/// distances `d0`, and the per-candidate B\* distance vectors backing the
+/// suffix-min `via` bound table survive from activation to activation and
+/// are delta-maintained through the same committed `NetworkDelta` staging
+/// that keeps the dynamics engine's warm vectors alive — replacing the
+/// `n` full Dijkstras + CSR snapshots `BrSearch` pays per activation.
+///
+/// # What is exact and what is merely admissible
+///
+/// * **`base`/`d0` are exact.** `d0` seeds the DFS's live vector, whose
+///   sum *is* the reported cost of every evaluated subset, so it gets the
+///   warm-vector treatment: committed insertions replay lazily in one
+///   batched [`DynamicSssp::relax_inserts`] pass behind a cursor into the
+///   engine's insert log ([`BrBoundCache::flush_d0`], forced eagerly
+///   ahead of any removal), removals repair in place via
+///   [`DynamicSssp::remove_edges`], and ownership flips (an edge crossing
+///   the sole-owned boundary without any network change) are patched
+///   eagerly by the [`BrBoundCache::gain_co_owned`] /
+///   [`BrBoundCache::lose_co_owned`] hooks.
+///
+/// * **The B\* vectors only feed the pruning bound**, so they never need
+///   to track the true optimistic network exactly — but "stale yet
+///   admissible" is subtler than leaving removal repairs undone. A
+///   decrease-only insert replay into a vector that is merely *below*
+///   the truth can stop propagating at a stale-low node and leave some
+///   *other* node **above** the truth — an inadmissible bound. The cache
+///   therefore keeps every B\* vector **exact for the envelope graph**
+///   `Ĝ = B*(at last rebuild) ∪ {inserts since}`: insert replays stay on
+///   [`DynamicSssp::relax_inserts`]'s exactness contract, and removals
+///   simply *keep* the removed edge in `Ĝ` (a *phantom* edge). Since the
+///   true optimistic network `B* = network ∪ star(agent)` is always a
+///   subgraph of `Ĝ`, `d_Ĝ ≤ d_B*` pointwise and the bound stays
+///   admissible — each phantom edge just makes it lower, hence weaker.
+///   Past [`BR_STALENESS_BUDGET`] phantoms the next activation rebuilds
+///   the tables from scratch.
+///
+/// * **`B*` does not depend on the agent's own strategy** (`network ∪
+///   star(agent)` is invariant under the agent's own moves, and the
+///   agent's sole-owned edges are star edges already in `Ĝ`), so the
+///   agent's own purchases and drops touch neither `base` nor `Ĝ`.
+///
+/// Because weaker pruning evaluates a *superset* of the subsets the
+/// fresh search evaluates — all of them dominated within the search's
+/// `EPS` acceptance — the chosen strategy and its cost are **bitwise
+/// identical** to a fresh `BrSearch`, which stays resident as the
+/// debug oracle: every cached search re-derives the fresh tables under
+/// `debug_assertions`, asserts `d0` bitwise-equal, asserts the cached
+/// `via` bound admissible (≤ fresh) per node, and compares the chosen
+/// best response and cost bit for bit.
+#[derive(Debug)]
+pub struct BrBoundCache {
+    agent: NodeId,
+    built: bool,
+    n: usize,
+    /// Candidates sorted by increasing host weight from the agent
+    /// (game-fixed; recomputed only on rebuild).
+    candidates: Vec<NodeId>,
+    cand_w: Vec<f64>,
+    /// The agent's base graph (network minus its sole-owned edges),
+    /// maintained in lock-step with every committed delta.
+    base: AdjacencyList,
+    /// CSR snapshot of `base` for the DFS hot loop; rebuilt lazily when
+    /// `base` changed since the last search.
+    csr: Csr,
+    csr_dirty: bool,
+    /// Exact distances from the agent in `base`.
+    d0: DynamicSssp,
+    /// How many engine insert-log entries `d0` already reflects.
+    d0_synced: usize,
+    /// The envelope graph `Ĝ` the B\* vectors are exact for (see the
+    /// type docs): monotonically grown by insert replays, never shrunk.
+    ghat: AdjacencyList,
+    /// Edges of `Ĝ` no longer in the live network (normalized pairs) —
+    /// the staleness the budget counts.
+    phantom: Vec<(NodeId, NodeId)>,
+    /// Per-candidate B\* distance vectors (`bstar[i]` from source
+    /// `candidates[i]`), exact for `Ĝ`.
+    bstar: Vec<DynamicSssp>,
+    /// How many engine insert-log entries the B\* vectors reflect.
+    bstar_synced: usize,
+    /// Suffix-min bound table derived from `bstar` (same layout as
+    /// [`BrSearch::via`]); refreshed in one `O(n²)` pass when dirty.
+    via: Vec<f64>,
+    via_dirty: bool,
+    /// Reusable DFS worker (live vector, chosen stack, incumbent).
+    worker: BrWorker,
+    scratch: DijkstraScratch,
+    dist_buf: Vec<f64>,
+    batch: Vec<(NodeId, NodeId, f64)>,
+    weight_class: Option<(f64, f64)>,
+    /// The last search's `(current strategy, result)`, returned verbatim
+    /// when the agent is re-probed with **zero** intervening deltas — the
+    /// cache tracks every committed change exactly, so "no change since
+    /// the memo" means the query inputs are literally identical and the
+    /// previous answer is bitwise the fresh answer by definition. Killed
+    /// by every maintenance entry point; a hit additionally requires the
+    /// caller's `current` cost and strategy to match bit for bit.
+    memo: Option<(BTreeSet<NodeId>, BestResponse)>,
+}
+
+impl BrBoundCache {
+    /// An empty, unbuilt cache for `agent`; tables fill on first
+    /// [`BrBoundCache::ensure`].
+    pub fn new(agent: NodeId) -> Self {
+        BrBoundCache {
+            agent,
+            built: false,
+            n: 0,
+            candidates: Vec::new(),
+            cand_w: Vec::new(),
+            base: AdjacencyList::default(),
+            csr: Csr::from_adjacency(&AdjacencyList::default()),
+            csr_dirty: false,
+            d0: DynamicSssp::new(),
+            d0_synced: 0,
+            ghat: AdjacencyList::default(),
+            phantom: Vec::new(),
+            bstar: Vec::new(),
+            bstar_synced: 0,
+            via: Vec::new(),
+            via_dirty: false,
+            worker: BrWorker::new(),
+            scratch: DijkstraScratch::new(),
+            dist_buf: Vec::new(),
+            batch: Vec::new(),
+            weight_class: None,
+            memo: None,
+        }
+    }
+
+    /// The agent this cache prices best responses for.
+    pub fn agent(&self) -> NodeId {
+        self.agent
+    }
+
+    /// Whether the tables are resident (a fresh or invalidated cache
+    /// rebuilds on its next [`BrBoundCache::ensure`]).
+    pub fn is_built(&self) -> bool {
+        self.built
+    }
+
+    /// Phantom edges currently absorbed as staleness — `0` right after a
+    /// rebuild, strictly `≤ BR_STALENESS_BUDGET` whenever a search runs.
+    pub fn stale_removals(&self) -> usize {
+        self.phantom.len()
+    }
+
+    /// Drops the tables (allocations survive for the next rebuild).
+    /// Called whenever the owning context can no longer describe the
+    /// committed delta stream precisely (context reset, raw deltas).
+    pub fn invalidate(&mut self) {
+        self.built = false;
+        self.memo = None;
+    }
+
+    /// Whether the last result is memoized and no delta has touched the
+    /// cache since — the next probe with an unchanged strategy and
+    /// current cost returns it without a search (test observability).
+    pub fn memo_is_warm(&self) -> bool {
+        self.memo.is_some()
+    }
+
+    /// Bytes resident in the cache's tables — the B\* vectors dominate
+    /// (`n − 1` SSSP engines of `Θ(n)` floats each).
+    pub fn resident_bytes(&self) -> usize {
+        self.d0.resident_bytes()
+            + self
+                .bstar
+                .iter()
+                .map(DynamicSssp::resident_bytes)
+                .sum::<usize>()
+            + self.via.capacity() * std::mem::size_of::<f64>()
+            + self.phantom.capacity() * std::mem::size_of::<(NodeId, NodeId)>()
+    }
+
+    /// Makes the tables current for the live `network`: a full rebuild
+    /// when unbuilt or past the staleness budget, otherwise one lazy
+    /// replay of the pending committed-insert suffix into `d0` and the
+    /// B\* vectors.
+    pub fn ensure(
+        &mut self,
+        game: &Game,
+        profile: &Profile,
+        network: &AdjacencyList,
+        insert_log: &[(NodeId, NodeId, f64)],
+    ) {
+        if !self.built || self.phantom.len() > BR_STALENESS_BUDGET {
+            self.rebuild(game, profile, network, insert_log.len());
+            return;
+        }
+        self.flush_d0(insert_log);
+        self.sync_bstar(network, insert_log);
+    }
+
+    /// Rebuilds every table from the live network — the same
+    /// construction as [`BrSearch::new`], kept as the oracle path.
+    fn rebuild(&mut self, game: &Game, profile: &Profile, network: &AdjacencyList, log_len: usize) {
+        let n = game.n();
+        let agent = self.agent;
+        self.n = n;
+        self.weight_class = game.weight_class();
+        self.scratch.set_weight_class(self.weight_class);
+
+        self.candidates.clear();
+        self.candidates
+            .extend((0..n as NodeId).filter(|&v| v != agent));
+        self.candidates
+            .sort_by(|&a, &b| game.w(agent, a).total_cmp(&game.w(agent, b)));
+        self.cand_w.clear();
+        self.cand_w
+            .extend(self.candidates.iter().map(|&v| game.w(agent, v)));
+
+        self.base = base_graph_from(network, profile, agent);
+        self.csr = Csr::from_adjacency(&self.base);
+        self.csr_dirty = false;
+        self.scratch.run(&self.base, agent, &[]);
+        self.dist_buf.clear();
+        self.dist_buf.resize(n, f64::INFINITY);
+        self.scratch.write_distances(&mut self.dist_buf);
+        self.d0.set_weight_class(self.weight_class);
+        self.d0.reset_from(agent, &self.dist_buf);
+
+        // A fresh envelope graph is exactly the optimistic network:
+        // Ĝ = network ∪ star(agent) = base ∪ {(agent, c) ∀ candidates}.
+        self.ghat = network.clone();
+        for (i, &v) in self.candidates.iter().enumerate() {
+            if !self.ghat.has_edge(agent, v) {
+                self.ghat.add_edge(agent, v, self.cand_w[i]);
+            }
+        }
+        self.phantom.clear();
+
+        let len = self.candidates.len();
+        if self.bstar.len() < len {
+            self.bstar.resize_with(len, DynamicSssp::new);
+        }
+        for (i, &c) in self.candidates.iter().enumerate() {
+            self.scratch.run(&self.ghat, c, &[]);
+            self.dist_buf.clear();
+            self.dist_buf.resize(n, f64::INFINITY);
+            self.scratch.write_distances(&mut self.dist_buf);
+            self.bstar[i].set_weight_class(self.weight_class);
+            self.bstar[i].reset_from(c, &self.dist_buf);
+        }
+        self.rebuild_via();
+
+        self.d0_synced = log_len;
+        self.bstar_synced = log_len;
+        self.built = true;
+        self.memo = None;
+    }
+
+    /// Refreshes the suffix-min `via` table from the resident B\*
+    /// vectors — the same back-to-front fold as [`BrSearch::new`], so a
+    /// phantom-free cache reproduces the fresh table bit for bit.
+    fn rebuild_via(&mut self) {
+        let n = self.n;
+        let len = self.candidates.len();
+        self.via.clear();
+        self.via.resize((len + 1) * n, f64::INFINITY);
+        for i in (0..len).rev() {
+            let dist = self.bstar[i].dist();
+            let w = self.cand_w[i];
+            let lo = i * n;
+            // Row `i` folds over row `i + 1`, laid out right behind it.
+            let (row, next) = self.via[lo..lo + 2 * n].split_at_mut(n);
+            for ((slot, &d), &suffix) in row.iter_mut().zip(dist).zip(next.iter()) {
+                *slot = (w + d).min(suffix);
+            }
+        }
+        self.via_dirty = false;
+    }
+
+    /// Replays the pending committed-insert suffix into `d0`. Every
+    /// pending entry present in `base` replays (entries absent from
+    /// `base` are the agent's own sole-owned purchases, which the base
+    /// graph excludes by definition — their log entries are skipped
+    /// forever). The owning context must call this **before** a removal
+    /// mutates the network: pending inserts replay against a base graph
+    /// that still holds every edge about to go, the exactness contract
+    /// of [`DynamicSssp::relax_inserts`].
+    pub fn flush_d0(&mut self, insert_log: &[(NodeId, NodeId, f64)]) {
+        if !self.built || self.d0_synced >= insert_log.len() {
+            return;
+        }
+        self.memo = None;
+        self.batch.clear();
+        for &(a, b, w) in &insert_log[self.d0_synced..] {
+            if self.base.has_edge(a, b) {
+                self.batch.push((a, b, w));
+            }
+        }
+        if !self.batch.is_empty() {
+            self.d0.relax_inserts(&self.base, &self.batch);
+        }
+        self.d0_synced = insert_log.len();
+    }
+
+    /// Lazily replays pending committed inserts into the B\* vectors:
+    /// each genuinely new edge enters the envelope graph `Ĝ` and is
+    /// relaxed — exactly — into every resident vector in one batch; an
+    /// edge `Ĝ` kept through an interim removal merely stops being
+    /// phantom (the vectors are already exact for it).
+    fn sync_bstar(&mut self, network: &AdjacencyList, insert_log: &[(NodeId, NodeId, f64)]) {
+        if self.bstar_synced >= insert_log.len() {
+            return;
+        }
+        self.memo = None;
+        self.batch.clear();
+        for &(a, b, w) in &insert_log[self.bstar_synced..] {
+            if a == self.agent || b == self.agent {
+                // Star edges are permanently in Ĝ at the same host
+                // weight; the replay would be a no-op.
+                continue;
+            }
+            if !network.has_edge(a, b) {
+                // Inserted and removed again between syncs: the edge
+                // never entered Ĝ (its removal pushed no phantom).
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if self.ghat.has_edge(a, b) {
+                self.phantom.retain(|&p| p != key);
+                continue;
+            }
+            self.ghat.add_edge(a, b, w);
+            self.batch.push((a, b, w));
+        }
+        if !self.batch.is_empty() {
+            let len = self.candidates.len();
+            for inc in &mut self.bstar[..len] {
+                inc.relax_inserts(&self.ghat, &self.batch);
+            }
+            self.via_dirty = true;
+        }
+        self.bstar_synced = insert_log.len();
+    }
+
+    /// Notes a committed edge-insertion batch by `mover` (the edges are
+    /// live in the network). Base bookkeeping is eager and `O(1)` per
+    /// edge; the SSSP repairs stay lazy behind the cursors. A batch by
+    /// the cache's own agent is sole-owned by construction — outside the
+    /// base graph, already in `Ĝ` as star edges — and is a no-op.
+    pub fn on_inserts(&mut self, inserts: &[(NodeId, NodeId, f64)], mover: NodeId) {
+        if !self.built || mover == self.agent {
+            return;
+        }
+        self.memo = None;
+        for &(a, b, w) in inserts {
+            if !self.base.has_edge(a, b) {
+                self.base.add_edge(a, b, w);
+                self.csr_dirty = true;
+            }
+        }
+    }
+
+    /// Notes committed removals by `mover`, already applied to the
+    /// network; [`BrBoundCache::flush_d0`] must have run first. `d0` is
+    /// repaired exactly in one batched affected-region pass; the B\*
+    /// vectors instead keep each removed edge in `Ĝ` as a phantom
+    /// (admissible staleness — see the type docs). A batch by the
+    /// cache's own agent is a no-op (sole-owned drops were never in the
+    /// base graph, and their star edges legitimately stay in `Ĝ`).
+    pub fn on_removals(&mut self, removed: &[(NodeId, NodeId, f64)], mover: NodeId) {
+        if !self.built || mover == self.agent {
+            return;
+        }
+        self.memo = None;
+        self.batch.clear();
+        for &(a, b, w) in removed {
+            if self.base.remove_edge(a, b) {
+                self.batch.push((a, b, w));
+                self.csr_dirty = true;
+            }
+            if a != self.agent && b != self.agent && self.ghat.has_edge(a, b) {
+                let key = (a.min(b), a.max(b));
+                if !self.phantom.contains(&key) {
+                    self.phantom.push(key);
+                }
+            }
+        }
+        if !self.batch.is_empty() {
+            self.d0.remove_edges(&self.base, &self.batch);
+        }
+    }
+
+    /// The mover just bought an edge the cache's agent already owned:
+    /// `(agent, other)` was sole-owned (outside the base graph) and is
+    /// now co-owned (inside it). No network edge moved, so only this
+    /// cache's base/`d0` change; `Ĝ` holds the star edge either way.
+    pub fn gain_co_owned(&mut self, other: NodeId, w: f64, insert_log: &[(NodeId, NodeId, f64)]) {
+        if !self.built {
+            return;
+        }
+        self.memo = None;
+        // Pending inserts replay first, against the base graph *without*
+        // the flip edge (the graph d0 is exact for, minus the pending
+        // batch); only then does the flip edge enter and relax.
+        self.flush_d0(insert_log);
+        if !self.base.has_edge(self.agent, other) {
+            self.base.add_edge(self.agent, other, w);
+            self.csr_dirty = true;
+            self.d0.relax_inserts(&self.base, &[(self.agent, other, w)]);
+        }
+    }
+
+    /// The mover just dropped its copy of an edge the cache's agent
+    /// still owns: `(agent, other)` was co-owned (inside the base graph)
+    /// and is now sole-owned (outside it). The mirror image of
+    /// [`BrBoundCache::gain_co_owned`].
+    pub fn lose_co_owned(&mut self, other: NodeId, w: f64, insert_log: &[(NodeId, NodeId, f64)]) {
+        if !self.built {
+            return;
+        }
+        self.memo = None;
+        // Pending inserts replay while the base graph still holds the
+        // flip edge; the exact removal repair follows.
+        self.flush_d0(insert_log);
+        if self.base.remove_edge(self.agent, other) {
+            self.csr_dirty = true;
+            self.d0.remove_edges(&self.base, &[(self.agent, other, w)]);
+        }
+    }
+
+    /// The exact best response off the resident tables — the same DFS as
+    /// [`exact_best_response_given_current`], minus its per-activation
+    /// CSR snapshots and `n + 1` Dijkstras; a re-probe with zero
+    /// intervening deltas skips the DFS too and returns the memoized
+    /// result (identical inputs, identical answer). Requires a prior
+    /// [`BrBoundCache::ensure`] against the same network and insert log;
+    /// `current` must be the agent's exact current cost (it seeds the
+    /// incumbent). Under `debug_assertions` every call re-derives the
+    /// fresh tables and asserts bound admissibility per node plus a
+    /// bitwise-equal chosen strategy and cost.
+    pub fn best_response(
+        &mut self,
+        game: &Game,
+        profile: &Profile,
+        network: &AdjacencyList,
+        current: f64,
+    ) -> BestResponse {
+        debug_assert!(self.built, "best_response on an unbuilt BrBoundCache");
+        // Memo hit: no delta has touched the cache since the last search
+        // and the query (current strategy + exact current cost) is bit
+        // for bit the same, so the inputs of the search are literally
+        // identical and the previous result *is* the fresh result. The
+        // debug oracle below still re-derives and checks it.
+        let memoized = self
+            .memo
+            .as_ref()
+            .filter(|(set, prev)| {
+                prev.current_cost.to_bits() == current.to_bits()
+                    && set == profile.strategy(self.agent)
+            })
+            .map(|(_, prev)| prev.clone());
+        if let Some(result) = memoized {
+            #[cfg(debug_assertions)]
+            self.assert_matches_fresh(game, profile, network, current, &result);
+            #[cfg(not(debug_assertions))]
+            let _ = network;
+            return result;
+        }
+        if self.csr_dirty {
+            self.csr = Csr::from_adjacency(&self.base);
+            self.csr_dirty = false;
+        }
+        if self.via_dirty {
+            self.rebuild_via();
+        }
+        let worker = &mut self.worker;
+        worker.reset(
+            self.agent,
+            self.n,
+            self.d0.dist(),
+            self.weight_class,
+            current,
+            profile.strategy(self.agent),
+        );
+        let view = BrSearchView {
+            game,
+            agent: self.agent,
+            n: self.n,
+            csr: &self.csr,
+            candidates: &self.candidates,
+            cand_w: &self.cand_w,
+            via: &self.via,
+        };
+        view.evaluate_current(worker);
+        view.dfs(worker, 0, 0.0);
+        let result = worker.take_result(current);
+        #[cfg(debug_assertions)]
+        self.assert_matches_fresh(game, profile, network, current, &result);
+        #[cfg(not(debug_assertions))]
+        let _ = network;
+        self.memo = Some((profile.strategy(self.agent).clone(), result.clone()));
+        result
+    }
+
+    /// The PR 4–5 oracle: rebuild the per-activation search state from
+    /// scratch and require (a) the lock-step base graph, (b) a bitwise
+    /// `d0`, (c) per-node bound admissibility (cached `via` ≤ fresh
+    /// `via` — the fresh bound is the exact optimistic distance, so `≤`
+    /// *is* admissibility), and (d) a bitwise-identical chosen strategy
+    /// and cost.
+    #[cfg(debug_assertions)]
+    fn assert_matches_fresh(
+        &self,
+        game: &Game,
+        profile: &Profile,
+        network: &AdjacencyList,
+        current: f64,
+        got: &BestResponse,
+    ) {
+        let fresh_base = base_graph_from(network, profile, self.agent);
+        let mut a: Vec<_> = self.base.edges().collect();
+        let mut b: Vec<_> = fresh_base.edges().collect();
+        a.sort_by_key(|e| (e.0, e.1));
+        b.sort_by_key(|e| (e.0, e.1));
+        assert_eq!(
+            a, b,
+            "BrBoundCache base graph of agent {} drifted from base_graph_from",
+            self.agent
+        );
+        let search = BrSearch::new(game, self.agent, &fresh_base);
+        assert_eq!(
+            self.d0.dist(),
+            search.d0.as_slice(),
+            "BrBoundCache d0 of agent {} drifted from a fresh Dijkstra",
+            self.agent
+        );
+        assert_eq!(self.via.len(), search.via.len());
+        for (i, (&cached, &fresh)) in self.via.iter().zip(search.via.iter()).enumerate() {
+            assert!(
+                cached <= fresh,
+                "inadmissible cached bound for agent {}: via[{}] = {} > fresh {}",
+                self.agent,
+                i,
+                cached,
+                fresh
+            );
+        }
+        let view = search.view();
+        let mut worker = BrWorker::fresh(&search, current, profile.strategy(self.agent));
+        view.evaluate_current(&mut worker);
+        view.dfs(&mut worker, 0, 0.0);
+        assert_eq!(
+            got.strategy, worker.best_set,
+            "cached best response of agent {} diverged from a fresh BrSearch",
+            self.agent
+        );
+        assert_eq!(
+            got.cost.to_bits(),
+            worker.best_cost.to_bits(),
+            "cached best-response cost of agent {} diverged from a fresh BrSearch",
+            self.agent
+        );
     }
 }
 

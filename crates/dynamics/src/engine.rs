@@ -72,7 +72,7 @@ use rand::SeedableRng;
 
 use gncg_core::response::{
     best_move_among_given_current, best_move_among_speculative_priced,
-    exact_best_response_given_current, SpeculativePricing,
+    exact_best_response_given_current, BrBoundCache, SpeculativePricing,
 };
 use gncg_core::{Game, Move, NodeId, Profile};
 use gncg_graph::{AdjacencyList, DijkstraScratch, DynamicSssp, NetworkDelta};
@@ -273,6 +273,35 @@ impl RegretMeter {
         use rayon::prelude::*;
         ctx.ensure_all_warm();
         let n = game.n();
+        if rule == ResponseRule::ExactBestResponse && ctx.br_policy == BrCachePolicy::Cached {
+            // BR regrets come off the persistent bound tables: fan out
+            // over the per-agent caches, reading the pre-warmed distance
+            // vectors for current costs.
+            let network = &ctx.network;
+            let log = &ctx.insert_log;
+            let warm = &ctx.warm;
+            self.regrets = ctx.br[..n]
+                .par_chunks_mut(1)
+                .enumerate()
+                .map(|(u, slot)| {
+                    let uid = u as NodeId;
+                    let cache = slot[0].get_or_insert_with(|| Box::new(BrBoundCache::new(uid)));
+                    cache.ensure(game, profile, network, log);
+                    let current = gncg_core::cost::edge_cost(game, profile, uid) + warm[u].sum();
+                    let br = cache.best_response(game, profile, network, current);
+                    if br.improves() {
+                        if br.current_cost.is_infinite() && br.cost.is_finite() {
+                            f64::INFINITY
+                        } else {
+                            br.current_cost - br.cost
+                        }
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            return self.max();
+        }
         let network = &ctx.network;
         let speculative = ctx.scan == ScanPolicy::SpeculativeDelta;
         let pricing = ctx.pricing;
@@ -288,6 +317,7 @@ impl RegretMeter {
                     profile,
                     network,
                     speculative.then_some(warm),
+                    None,
                     u,
                     rule,
                     current,
@@ -359,6 +389,26 @@ pub enum ScanPolicy {
     MaskedDijkstra,
 }
 
+/// How [`ResponseRule::ExactBestResponse`] activations price the exact
+/// best response.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BrCachePolicy {
+    /// Persistent per-agent bound tables ([`BrBoundCache`]) that survive
+    /// from activation to activation, delta-maintained through the same
+    /// committed-delta staging that keeps the warm vectors alive — the
+    /// default. Chosen best responses and their costs are bit-identical
+    /// to the rebuild baseline (machine-checked per search under
+    /// `debug_assertions`), so the policy is invisible in every byte
+    /// stream and does not participate in scenario digests.
+    #[default]
+    Cached,
+    /// The historical path: rebuild the full `BrSearch` state — a CSR
+    /// snapshot plus `n` Dijkstras for the bound table — on every
+    /// activation. Kept as the equivalence oracle and the measured
+    /// baseline of the `br_grid` bench.
+    Rebuild,
+}
+
 /// The built network `G(s)` plus per-agent warm distance vectors, cached
 /// across a run and maintained under strategy changes (see the module
 /// docs for the delta/warm invariants).
@@ -399,6 +449,16 @@ pub struct EvalContext {
     /// on the context's scratch and every warm vector at
     /// [`EvalContext::reset`] (`Game::weight_class`).
     weight_class: Option<(f64, f64)>,
+    /// Per-agent persistent branch-and-bound bound tables for
+    /// [`ResponseRule::ExactBestResponse`] ([`BrBoundCache`]); built
+    /// lazily on an agent's first BR activation under
+    /// [`BrCachePolicy::Cached`], invalidated on [`EvalContext::reset`]
+    /// and raw [`EvalContext::apply_delta`] calls, and delta-maintained
+    /// through [`EvalContext::apply_strategy_change`] otherwise. Boxed:
+    /// the tables are `Θ(n²)` floats, absent entirely for non-BR runs.
+    br: Vec<Option<Box<BrBoundCache>>>,
+    /// BR pricing policy (survives [`EvalContext::reset`]).
+    br_policy: BrCachePolicy,
 }
 
 impl EvalContext {
@@ -431,6 +491,15 @@ impl EvalContext {
         self.insert_log.clear();
         self.synced.clear();
         self.synced.resize(n, 0);
+        // BR bound tables cannot survive a re-target (the committed-delta
+        // stream they were maintained through ended with the old run);
+        // they rebuild on their owner's first BR activation.
+        if self.br.len() < n {
+            self.br.resize_with(n, || None);
+        }
+        for cache in self.br.iter_mut().flatten() {
+            cache.invalidate();
+        }
     }
 
     /// The current network.
@@ -478,6 +547,38 @@ impl EvalContext {
         self.pricing
     }
 
+    /// Sets the exact-best-response pricing policy (see
+    /// [`BrCachePolicy`]). Benchmarks and equivalence tests use this to
+    /// measure the rebuild-every-activation baseline; production callers
+    /// keep the default. Bitwise invisible either way.
+    pub fn set_br_policy(&mut self, policy: BrCachePolicy) {
+        self.br_policy = policy;
+    }
+
+    /// The active exact-best-response pricing policy.
+    pub fn br_policy(&self) -> BrCachePolicy {
+        self.br_policy
+    }
+
+    /// Agent `u`'s persistent BR bound tables, when they exist — an
+    /// observability read (tests assert the staleness bookkeeping, the
+    /// service reports resident bytes). `None` until `u`'s first BR
+    /// activation under [`BrCachePolicy::Cached`].
+    pub fn br_cache(&self, u: NodeId) -> Option<&BrBoundCache> {
+        self.br.get(u as usize).and_then(|slot| slot.as_deref())
+    }
+
+    /// Bytes resident in the persistent BR bound tables across all agents
+    /// (`0` unless a BR-rule run built them) — the `Θ(n²)`-per-agent
+    /// companion figure to [`EvalContext::warm_resident_bytes`].
+    pub fn br_resident_bytes(&self) -> usize {
+        self.br
+            .iter()
+            .flatten()
+            .map(|c| c.resident_bytes())
+            .sum::<usize>()
+    }
+
     /// Bytes resident in the warm-vector machinery: every per-agent
     /// [`DynamicSssp`] plus the shared Dijkstra scratch — the dominant
     /// per-context memory at large `n` (each warm vector holds `Θ(n)`
@@ -492,15 +593,40 @@ impl EvalContext {
             + self.synced.capacity() * std::mem::size_of::<usize>()
     }
 
-    /// The cached network together with agent `u`'s warm distance vector,
-    /// mutably — the split borrow the speculative move scan works on.
-    /// Requires a prior [`EvalContext::ensure_warm`] for `u`.
-    fn network_and_warm(&mut self, u: NodeId) -> (&AdjacencyList, &mut DynamicSssp) {
+    /// The cached network together with agent `u`'s warm distance vector
+    /// (the split borrow the speculative move scan works on) plus `u`'s
+    /// BR bound cache when `want_br` — the three-way split borrow of the
+    /// activation path. Requires a prior [`EvalContext::ensure_warm`] for
+    /// `u`; with `want_br`, a prior [`EvalContext::ensure_br`] too.
+    fn network_warm_br(
+        &mut self,
+        u: NodeId,
+        want_br: bool,
+    ) -> (&AdjacencyList, &mut DynamicSssp, Option<&mut BrBoundCache>) {
         debug_assert!(
             self.valid[u as usize] && self.synced[u as usize] == self.insert_log.len(),
-            "network_and_warm on a cold or unsynced vector"
+            "network_warm_br on a cold or unsynced vector"
         );
-        (&self.network, &mut self.warm[u as usize])
+        let br = if want_br {
+            let cache = self.br[u as usize].as_deref_mut();
+            debug_assert!(
+                cache.as_ref().is_some_and(|c| c.is_built()),
+                "network_warm_br(want_br) without a prior ensure_br"
+            );
+            cache
+        } else {
+            None
+        };
+        (&self.network, &mut self.warm[u as usize], br)
+    }
+
+    /// Makes agent `u`'s persistent BR bound tables current for the live
+    /// network: a full rebuild when unbuilt (first BR activation this
+    /// run) or past the staleness budget, otherwise one lazy replay of
+    /// the pending committed-insert suffix ([`BrBoundCache::ensure`]).
+    pub fn ensure_br(&mut self, game: &Game, profile: &Profile, u: NodeId) {
+        let cache = self.br[u as usize].get_or_insert_with(|| Box::new(BrBoundCache::new(u)));
+        cache.ensure(game, profile, &self.network, &self.insert_log);
     }
 
     /// Makes agent `u`'s warm distance vector current: a fresh Dijkstra
@@ -629,7 +755,54 @@ impl EvalContext {
                 delta.insert(u, v, game.w(u, v));
             }
         }
-        self.apply_delta(&delta);
+        // Persistent BR bound tables ride the same staging as the warm
+        // vectors. Ahead of a removal, each built cache's exact base
+        // distances flush their pending committed inserts (the replay
+        // must see the base graph before edges leave it — the same
+        // pre-removal sync `apply_delta` performs for warm vectors).
+        let has_br = self
+            .br
+            .iter()
+            .any(|c| c.as_ref().is_some_and(|c| c.is_built()));
+        if has_br && !delta.removes().is_empty() {
+            for cache in self.br.iter_mut().flatten() {
+                cache.flush_d0(&self.insert_log);
+            }
+        }
+        self.apply_delta_inner(&delta);
+        if has_br {
+            // `removed_buf` holds what actually left the network.
+            if !self.removed_buf.is_empty() {
+                let removed = std::mem::take(&mut self.removed_buf);
+                for cache in self.br.iter_mut().flatten() {
+                    cache.on_removals(&removed, u);
+                }
+                self.removed_buf = removed;
+            }
+            if !delta.inserts().is_empty() {
+                for cache in self.br.iter_mut().flatten() {
+                    cache.on_inserts(delta.inserts(), u);
+                }
+            }
+            // Ownership flips: a strategy edge crossing the *other*
+            // endpoint's sole-owned boundary without any network change
+            // (the delta above is empty for it) still moves that edge
+            // across the other endpoint's base graph.
+            for &v in old.difference(new) {
+                if profile.owns(v, u) {
+                    if let Some(cache) = self.br[v as usize].as_deref_mut() {
+                        cache.lose_co_owned(u, game.w(u, v), &self.insert_log);
+                    }
+                }
+            }
+            for &v in new.difference(old) {
+                if profile.owns(v, u) {
+                    if let Some(cache) = self.br[v as usize].as_deref_mut() {
+                        cache.gain_co_owned(u, game.w(u, v), &self.insert_log);
+                    }
+                }
+            }
+        }
         self.delta = delta;
         #[cfg(debug_assertions)]
         {
@@ -688,7 +861,21 @@ impl EvalContext {
     /// exactly: removing an absent edge and re-inserting a present one
     /// are no-ops — for the network *and* the warm vectors, which must
     /// never be "repaired" for a change that did not happen.
+    ///
+    /// A raw delta bypasses the profile knowledge the persistent BR bound
+    /// tables are maintained through (mover identity, ownership flips),
+    /// so this entry point invalidates them; they rebuild on their
+    /// owner's next BR activation. The run loop's own moves go through
+    /// [`EvalContext::apply_strategy_change`], which delta-maintains the
+    /// tables instead.
     pub fn apply_delta(&mut self, delta: &NetworkDelta) {
+        for cache in self.br.iter_mut().flatten() {
+            cache.invalidate();
+        }
+        self.apply_delta_inner(delta);
+    }
+
+    fn apply_delta_inner(&mut self, delta: &NetworkDelta) {
         let will_remove = delta
             .removes()
             .iter()
@@ -784,6 +971,11 @@ impl Engine {
         self.ctx.network = AdjacencyList::default();
         self.ctx.valid.fill(false);
         self.ctx.insert_log.clear();
+        // BR bound tables own graph copies of the last job's network;
+        // drop them outright (they are absent for non-BR work anyway).
+        for slot in &mut self.ctx.br {
+            *slot = None;
+        }
     }
 
     /// Runs the dynamics from `start` on `game`.
@@ -839,12 +1031,18 @@ impl Engine {
                         let current = self.ctx.current_cost(game, &profile, u);
                         let speculative = self.ctx.scan_policy() == ScanPolicy::SpeculativeDelta;
                         let pricing = self.ctx.pricing();
-                        let (network, warm) = self.ctx.network_and_warm(u);
+                        let use_br = cfg.rule == ResponseRule::ExactBestResponse
+                            && self.ctx.br_policy() == BrCachePolicy::Cached;
+                        if use_br {
+                            self.ctx.ensure_br(game, &profile, u);
+                        }
+                        let (network, warm, br) = self.ctx.network_warm_br(u, use_br);
                         improving_change(
                             game,
                             &profile,
                             network,
                             speculative.then_some(warm),
+                            br,
                             u,
                             cfg.rule,
                             current,
@@ -944,13 +1142,18 @@ pub fn run(game: &Game, start: Profile, cfg: &DynamicsConfig) -> RunResult {
 /// untouched), and fall back to the masked-Dijkstra oracle when it is
 /// not ([`ScanPolicy::MaskedDijkstra`]). Both paths choose the same move
 /// at the same cost bits. The exact-best-response rule has its own
-/// incremental engine and ignores `warm`.
+/// incremental engine and ignores `warm`: it searches off `u`'s
+/// persistent bound tables when `br` is supplied
+/// ([`BrCachePolicy::Cached`], tables kept current by the caller), and
+/// rebuilds the full search state when it is not
+/// ([`BrCachePolicy::Rebuild`]) — bitwise-identical responses either way.
 #[allow(clippy::too_many_arguments)]
 fn improving_change(
     game: &Game,
     profile: &Profile,
     network: &AdjacencyList,
     warm: Option<&mut DynamicSssp>,
+    br: Option<&mut BrBoundCache>,
     u: NodeId,
     rule: ResponseRule,
     current: f64,
@@ -958,7 +1161,13 @@ fn improving_change(
 ) -> Option<Change> {
     let moves = match rule {
         ResponseRule::ExactBestResponse => {
-            let br = exact_best_response_given_current(game, profile, network, u, current);
+            let br = match br {
+                Some(cache) => {
+                    debug_assert_eq!(cache.agent(), u, "BR cache routed to the wrong agent");
+                    cache.best_response(game, profile, network, current)
+                }
+                None => exact_best_response_given_current(game, profile, network, u, current),
+            };
             return if br.improves() {
                 Some((br.strategy, br.current_cost, br.cost))
             } else {
@@ -995,12 +1204,18 @@ pub fn agent_is_stable_given_current(
     let current = ctx.current_cost(game, profile, u);
     let speculative = ctx.scan_policy() == ScanPolicy::SpeculativeDelta;
     let pricing = ctx.pricing();
-    let (network, warm) = ctx.network_and_warm(u);
+    let use_br =
+        rule == ResponseRule::ExactBestResponse && ctx.br_policy() == BrCachePolicy::Cached;
+    if use_br {
+        ctx.ensure_br(game, profile, u);
+    }
+    let (network, warm, br) = ctx.network_warm_br(u, use_br);
     improving_change(
         game,
         profile,
         network,
         speculative.then_some(warm),
+        br,
         u,
         rule,
         current,
@@ -1029,6 +1244,9 @@ fn max_gain_change(
             && ctx.synced[..n].iter().all(|&s| s == ctx.insert_log.len()),
         "max_gain_change requires a prior ensure_all_warm"
     );
+    if rule == ResponseRule::ExactBestResponse && ctx.br_policy == BrCachePolicy::Cached {
+        return max_gain_change_br(game, profile, ctx);
+    }
     let network = &ctx.network;
     let speculative = ctx.scan == ScanPolicy::SpeculativeDelta;
     let pricing = ctx.pricing;
@@ -1044,6 +1262,7 @@ fn max_gain_change(
                 profile,
                 network,
                 speculative.then_some(warm),
+                None,
                 u,
                 rule,
                 current,
@@ -1065,6 +1284,56 @@ fn max_gain_change(
             |a, b| {
                 // Strictly-greater keeps the earlier (smaller-id) agent on
                 // ties, matching the historical sequential scan.
+                if b.1 > a.1 || (b.1 == a.1 && b.0 < a.0) {
+                    b
+                } else {
+                    a
+                }
+            },
+        );
+    if winner.0 == NodeId::MAX {
+        None
+    } else {
+        Some((winner.0, winner.2))
+    }
+}
+
+/// [`max_gain_change`] for BR rule under [`BrCachePolicy::Cached`]: the
+/// parallel scan fans out over the per-agent *bound caches* instead of
+/// the warm vectors (each worker ensures and searches exactly its agent's
+/// tables; the pre-warmed distance vectors are only read), with the same
+/// deterministic reduction — max gain, ties to the smaller agent id.
+fn max_gain_change_br(
+    game: &Game,
+    profile: &Profile,
+    ctx: &mut EvalContext,
+) -> Option<(NodeId, Change)> {
+    use rayon::prelude::*;
+    let n = game.n();
+    let network = &ctx.network;
+    let log = &ctx.insert_log;
+    let warm = &ctx.warm;
+    let winner = ctx.br[..n]
+        .par_chunks_mut(1)
+        .enumerate()
+        .filter_map(|(u, slot)| {
+            let uid = u as NodeId;
+            let cache = slot[0].get_or_insert_with(|| Box::new(BrBoundCache::new(uid)));
+            cache.ensure(game, profile, network, log);
+            let current = gncg_core::cost::edge_cost(game, profile, uid) + warm[u].sum();
+            let br = cache.best_response(game, profile, network, current);
+            br.improves().then(|| {
+                let gain = if br.current_cost.is_infinite() && br.cost.is_finite() {
+                    f64::INFINITY
+                } else {
+                    br.current_cost - br.cost
+                };
+                (uid, gain, (br.strategy, br.current_cost, br.cost))
+            })
+        })
+        .reduce(
+            || (NodeId::MAX, f64::NEG_INFINITY, Default::default()),
+            |a, b| {
                 if b.1 > a.1 || (b.1 == a.1 && b.0 < a.0) {
                     b
                 } else {

@@ -9,7 +9,7 @@
 //! gncg grid      --out <file.jsonl> [--name <s>] [--hosts k1,k2] [--n n1,n2]
 //!                [--alpha a1,a2] [--rules r1,r2] [--scheds s1,s2]
 //!                [--seeds s1,s2 | --seed-count k] [--max-rounds <r>] [--base-seed <s>]
-//!                [--preset swap-heavy|large-n] [--certify full|sampled|off] [--horizon]
+//!                [--preset swap-heavy|large-n|br-grid] [--certify full|sampled|off] [--horizon]
 //!                [--regret-meter] [--checkpoint-every <k>] [--threads <k>]
 //! gncg resume    --out <file.jsonl> [--threads <k>]
 //! gncg serve     [--addr host:port] [--workers k] [--threads k] [--queue-cap n] [--cache <file>]
@@ -259,8 +259,9 @@ fn parse_grid_spec(args: &[String], allow_addr: bool) -> GridCli {
                 spec = match value().as_str() {
                     "swap-heavy" => ScenarioSpec::swap_heavy(),
                     "large-n" => ScenarioSpec::large_n(),
+                    "br-grid" => ScenarioSpec::br_grid(),
                     other => invalid(format_args!(
-                        "unknown preset '{other}' (use swap-heavy|large-n)"
+                        "unknown preset '{other}' (use swap-heavy|large-n|br-grid)"
                     )),
                 }
             }
@@ -1035,7 +1036,7 @@ fn usage_and_exit() -> ! {
          grid:  --out results.jsonl [--hosts k1,k2] [--n n1,n2] [--alpha a1,a2]\n\
          \x20      [--rules r1,r2] [--scheds rr,random,maxgain]\n\
          \x20      [--seeds s1,s2 | --seed-count K] [--max-rounds R] [--base-seed S]\n\
-         \x20      [--preset swap-heavy|large-n] [--certify full|sampled|off] [--horizon]\n\
+         \x20      [--preset swap-heavy|large-n|br-grid] [--certify full|sampled|off] [--horizon]\n\
          \x20      [--regret-meter] [--checkpoint-every K] [--threads K]\n\
          resume: --out results.jsonl [--threads K]   (spec is read back from the manifest)\n\
          \n\

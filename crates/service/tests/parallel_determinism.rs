@@ -99,6 +99,25 @@ fn golden_grid_bytes_survive_a_multithreaded_pool() {
     );
 }
 
+/// The br-grid preset (36 exact-best-response cells priced off the
+/// persistent BR bound tables) must reproduce its committed golden byte
+/// for byte through the real binary on a multithreaded pool. In debug
+/// test builds every cached search additionally self-checks bitwise
+/// against a fresh rebuild, so this also exercises the full bound-table
+/// oracle end to end.
+#[test]
+fn br_grid_golden_bytes_survive_a_multithreaded_pool() {
+    let golden =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/br_grid_n14.jsonl");
+    let out = tmp_dir().join("br-grid-t2.jsonl");
+    run_grid(&out, &["--preset", "br-grid"], Some("2"), None);
+    assert_eq!(
+        fs::read_to_string(&out).unwrap(),
+        fs::read_to_string(golden).unwrap(),
+        "36-cell br-grid at GNCG_THREADS=2 must equal the committed golden byte for byte"
+    );
+}
+
 #[test]
 fn grid_bytes_identical_at_every_thread_count() {
     let dir = tmp_dir();

@@ -20,8 +20,8 @@ use std::time::Instant;
 
 use gncg_core::{cost, equilibrium, Game, NodeId, Profile};
 use gncg_dynamics::{
-    Checkpoint, DynamicsConfig, Engine, Outcome, ResponseRule, RunResult, ScanPolicy, Scheduler,
-    SpeculativePricing,
+    BrCachePolicy, Checkpoint, DynamicsConfig, Engine, Outcome, ResponseRule, RunResult,
+    ScanPolicy, Scheduler, SpeculativePricing,
 };
 
 /// JSONL schema version emitted by [`CellResult::to_jsonl`] consumers
@@ -286,6 +286,31 @@ impl ScenarioSpec {
             base_seed: 0,
             certify: CertifyMode::Sampled,
             horizon_pricing: true,
+            ..ScenarioSpec::default()
+        }
+    }
+
+    /// The br-grid preset: exact-best-response dynamics on three hosts at
+    /// the sizes where the exponential per-activation search is the whole
+    /// cell cost — the end-to-end workload of the persistent BR bound
+    /// tables (`BrCachePolicy::Cached`, the engine default). The cache is
+    /// bitwise invisible (cached and rebuild pricing choose identical
+    /// responses at identical cost bits), so this grid's bytes are locked
+    /// by `tests/golden/br_grid_n14.jsonl` *and* must reproduce exactly
+    /// under `BrCachePolicy::Rebuild` — the `br_grid` bench measures the
+    /// speedup between those two runs of the same byte stream.
+    pub fn br_grid() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "br-grid".into(),
+            hosts: vec!["r2".into(), "metric".into(), "clusters".into()],
+            ns: vec![12, 14],
+            alphas: vec![0.8, 2.0, 6.0],
+            rules: vec![RuleSpec::Br],
+            schedulers: vec![SchedSpec::RoundRobin],
+            seeds: vec![0, 1],
+            max_rounds: 60,
+            base_seed: 0,
+            certify: CertifyMode::Full,
             ..ScenarioSpec::default()
         }
     }
@@ -863,6 +888,15 @@ impl Runner {
         self.engine.context_mut().set_scan_policy(scan);
     }
 
+    /// Sets the engine's exact-best-response [`BrCachePolicy`] for every
+    /// subsequent cell (sticky across per-cell context resets). Cell
+    /// results are byte-identical under either policy; the `br_grid`
+    /// bench uses this to measure the rebuild-every-activation baseline
+    /// against the default persistent bound tables.
+    pub fn set_br_policy(&mut self, policy: BrCachePolicy) {
+        self.engine.context_mut().set_br_policy(policy);
+    }
+
     /// Bytes resident in the engine's warm distance vectors after the
     /// last cell — the figure the service's `warm_resident_bytes` peak
     /// gauge records per job.
@@ -1343,6 +1377,38 @@ mod tests {
         masked_runner.set_scan_policy(ScanPolicy::MaskedDijkstra);
         let masked = masked_runner.run_cell(cell).to_jsonl();
         assert_eq!(speculative, masked);
+    }
+
+    #[test]
+    fn br_policies_produce_identical_cell_bytes() {
+        // BR cells run off the persistent bound tables by default; the
+        // rebuild-every-activation baseline (the historical pre-cache
+        // path) must emit byte-identical JSONL lines. A shared runner per
+        // policy keeps each cache alive *across* cells, so the reset
+        // invalidation is exercised too.
+        let cells = ScenarioSpec::br_grid().expand();
+        let mut cached_runner = Runner::new();
+        let mut rebuild_runner = Runner::new();
+        rebuild_runner.set_br_policy(BrCachePolicy::Rebuild);
+        for cell in [&cells[0], &cells[7], &cells[20]] {
+            let cached = cached_runner.run_cell(cell).to_jsonl();
+            let rebuild = rebuild_runner.run_cell(cell).to_jsonl();
+            assert_eq!(
+                cached, rebuild,
+                "cell {} diverged across BR policies",
+                cell.index
+            );
+        }
+    }
+
+    #[test]
+    fn br_grid_preset_is_valid_and_round_trips() {
+        let spec = ScenarioSpec::br_grid();
+        spec.validate().expect("preset must validate");
+        // 3 hosts × {12, 14} × 3 α × br × rr × 2 seeds.
+        assert_eq!(spec.expand().len(), 36);
+        let back = ScenarioSpec::from_manifest(&spec.to_manifest()).unwrap();
+        assert_eq!(back, spec);
     }
 
     #[test]

@@ -24,7 +24,11 @@
 # a single-core runner, > 1 with real cores), and
 # `regret_meter_overhead_n20` = regret_meter/on/20 ÷ regret_meter/off/20
 # (the streaming max-regret meter's per-round pricing scan; ≥ 1.0, the
-# price of equilibrium-quality observability) —
+# price of equilibrium-quality observability), and
+# `br_grid_speedup_n14` = br_grid/rebuild/14 ÷ br_grid/cached/14 (full
+# exact-best-response dynamics over the br-grid n = 14 column with the
+# persistent per-agent BR bound tables resident across activations vs
+# torn down and rebuilt every activation) —
 # into BENCH_hotpath.json at the repo root, so every PR leaves a perf
 # trajectory point behind.
 #
@@ -47,7 +51,17 @@ export CRITERION_LITE_OUT="$OUT_DIR"
 rm -rf "$OUT_DIR"
 mkdir -p "$OUT_DIR"
 
-for bench in best_response apsp dynamics move_scan service_roundtrip; do
+# The best_response group feeds the bnb_parallel_overhead_geomean gate;
+# below the MIN_PARALLEL_CANDIDATES = 18 cutoff (every measured n except
+# 20) the parallel entry point runs the identical sequential code, so
+# any per-size gap there is pure timer noise — one loaded-runner sample
+# once put exact_bnb_parallel/14 at 2.0x its sequential twin. 25 samples
+# instead of the default 10 washes single outliers out of the geomean.
+echo "== cargo bench --bench best_response (25 samples)" >&2
+CRITERION_LITE_SAMPLES="${CRITERION_LITE_SAMPLES:-25}" \
+    cargo bench -p gncg-bench --bench best_response >&2
+
+for bench in apsp dynamics move_scan service_roundtrip; do
     echo "== cargo bench --bench $bench" >&2
     cargo bench -p gncg-bench --bench "$bench" >&2
 done
@@ -93,6 +107,10 @@ meter_on = medians.get("regret_meter/on/20")
 meter_off = medians.get("regret_meter/off/20")
 if meter_on and meter_off:
     snapshot["regret_meter_overhead_n20"] = round(meter_on / meter_off, 2)
+br_rebuild = medians.get("br_grid/rebuild/14")
+br_cached = medians.get("br_grid/cached/14")
+if br_rebuild and br_cached:
+    snapshot["br_grid_speedup_n14"] = round(br_rebuild / br_cached, 2)
 heap4k = medians.get("large_n_sssp/heap/4096")
 bucket4k = medians.get("large_n_sssp/bucket/4096")
 if heap4k and bucket4k:
@@ -145,6 +163,7 @@ for fig in (
     "swap_heavy_speedup_n20",
     "move_scan_speedup_n20",
     "regret_meter_overhead_n20",
+    "br_grid_speedup_n14",
     "sssp_bucket_speedup_n4096",
     "apsp_parallel_speedup_n256",
     "maxgain_parallel_speedup_n20",

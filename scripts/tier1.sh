@@ -86,6 +86,22 @@ swap_heavy_grid() {
 GNCG_THREADS=1 swap_heavy_grid
 (unset GNCG_THREADS && swap_heavy_grid)
 
+echo "== br-grid vs committed golden (36 exact-BR cells, n = 12/14)" >&2
+# Exact best responses priced off the persistent per-agent bound tables
+# (BrBoundCache): delta-maintained d0/B* vectors, stale-admissible
+# removals, memoized re-probes. The committed golden locks the cached
+# path's bytes to the rebuild-every-activation baseline at one pool
+# thread and at four.
+br_grid() {
+  rm -f target/tier1-br-grid.jsonl target/tier1-br-grid.manifest
+  GNCG_THREADS="$1" ./target/release/gncg grid \
+    --out target/tier1-br-grid.jsonl \
+    --preset br-grid
+  cmp target/tier1-br-grid.jsonl tests/golden/br_grid_n14.jsonl
+}
+br_grid 1
+br_grid 4
+
 echo "== horizon-policy grid vs committed golden (24 cells, n = 20)" >&2
 # Bounded-horizon pricing at n = 20 > PRICE_HORIZON, where the truncated
 # speculative relaxations genuinely shape move selection: the committed
